@@ -1,0 +1,163 @@
+//! Uniform-grid taxi index used by the baseline schemes.
+//!
+//! T-Share and pGreedyDP "index all requests and taxis using grids"
+//! (Sec. V-A2): taxis are bucketed by the grid cell of their current
+//! position, and candidate searching enumerates the cells overlapping a
+//! circle. Unlike mT-Share's partition index, there is no arrival-time or
+//! travel-direction information.
+
+use mtshare_model::{Taxi, TaxiId, Time};
+use mtshare_road::{BoundingBox, GeoPoint, RoadNetwork};
+
+/// Grid-bucketed taxi positions.
+#[derive(Debug)]
+pub struct GridTaxiIndex {
+    cells: Vec<Vec<TaxiId>>,
+    taxi_cell: Vec<Option<u32>>,
+    rows: usize,
+    cols: usize,
+    bbox: BoundingBox,
+    dlat: f64,
+    dlng: f64,
+}
+
+impl GridTaxiIndex {
+    /// Builds an empty index with cells roughly `cell_m` metres wide.
+    pub fn new(graph: &RoadNetwork, cell_m: f64, n_taxis: usize) -> Self {
+        let bbox = graph.bbox();
+        let cols = ((bbox.width_m() / cell_m).ceil() as usize).clamp(1, 1024);
+        let rows = ((bbox.height_m() / cell_m).ceil() as usize).clamp(1, 1024);
+        let dlat = (bbox.max_lat - bbox.min_lat).max(1e-12) / rows as f64 * (1.0 + 1e-12);
+        let dlng = (bbox.max_lng - bbox.min_lng).max(1e-12) / cols as f64 * (1.0 + 1e-12);
+        Self {
+            cells: vec![Vec::new(); rows * cols],
+            taxi_cell: vec![None; n_taxis],
+            rows,
+            cols,
+            bbox,
+            dlat,
+            dlng,
+        }
+    }
+
+    fn cell_of(&self, p: &GeoPoint) -> u32 {
+        let r = (((p.lat - self.bbox.min_lat) / self.dlat) as isize).clamp(0, self.rows as isize - 1) as usize;
+        let c = (((p.lng - self.bbox.min_lng) / self.dlng) as isize).clamp(0, self.cols as isize - 1) as usize;
+        (r * self.cols + c) as u32
+    }
+
+    /// Re-buckets `taxi` at its position at time `now`.
+    pub fn update_taxi(&mut self, taxi: &Taxi, graph: &RoadNetwork, now: Time) {
+        let p = graph.point(taxi.position_at(now));
+        let cell = self.cell_of(&p);
+        if self.taxi_cell[taxi.id.index()] == Some(cell) {
+            return;
+        }
+        self.remove_taxi(taxi.id);
+        self.cells[cell as usize].push(taxi.id);
+        self.taxi_cell[taxi.id.index()] = Some(cell);
+    }
+
+    /// Removes `taxi` from the index.
+    pub fn remove_taxi(&mut self, taxi: TaxiId) {
+        if let Some(cell) = self.taxi_cell[taxi.index()].take() {
+            let v = &mut self.cells[cell as usize];
+            if let Some(pos) = v.iter().position(|&t| t == taxi) {
+                v.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Visits every indexed taxi whose cell overlaps the circle
+    /// `(center, radius_m)`. Cell-level filter only — callers re-check
+    /// exact distances as the original schemes do.
+    pub fn visit_in_range<F: FnMut(TaxiId)>(&self, center: &GeoPoint, radius_m: f64, mut f: F) {
+        let lat_cells = (radius_m
+            / (self.dlat.to_radians() * mtshare_road::geo::EARTH_RADIUS_M))
+            .ceil() as isize
+            + 1;
+        let lng_m = self.dlng.to_radians()
+            * mtshare_road::geo::EARTH_RADIUS_M
+            * center.lat.to_radians().cos().abs().max(0.01);
+        let lng_cells = (radius_m / lng_m).ceil() as isize + 1;
+        let r0 = ((center.lat - self.bbox.min_lat) / self.dlat) as isize;
+        let c0 = ((center.lng - self.bbox.min_lng) / self.dlng) as isize;
+        for r in (r0 - lat_cells).max(0)..=(r0 + lat_cells).min(self.rows as isize - 1) {
+            for c in (c0 - lng_cells).max(0)..=(c0 + lng_cells).min(self.cols as isize - 1) {
+                for &t in &self.cells[(r as usize) * self.cols + c as usize] {
+                    f(t);
+                }
+            }
+        }
+    }
+
+    /// Approximate resident memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.cells.iter().map(|c| c.len() * 4 + std::mem::size_of::<Vec<TaxiId>>()).sum::<usize>()
+            + self.taxi_cell.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtshare_road::{grid_city, GridCityConfig, NodeId};
+
+    fn setup() -> (RoadNetwork, GridTaxiIndex) {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let idx = GridTaxiIndex::new(&g, 250.0, 4);
+        (g, idx)
+    }
+
+    #[test]
+    fn update_and_range_query() {
+        let (g, mut idx) = setup();
+        let t0 = Taxi::new(TaxiId(0), 4, NodeId(0));
+        let t1 = Taxi::new(TaxiId(1), 4, NodeId(399));
+        idx.update_taxi(&t0, &g, 0.0);
+        idx.update_taxi(&t1, &g, 0.0);
+        let mut near0 = Vec::new();
+        idx.visit_in_range(&g.point(NodeId(0)), 300.0, |t| near0.push(t));
+        assert!(near0.contains(&TaxiId(0)));
+        assert!(!near0.contains(&TaxiId(1)));
+    }
+
+    #[test]
+    fn reposition_moves_bucket() {
+        let (g, mut idx) = setup();
+        let mut t = Taxi::new(TaxiId(0), 4, NodeId(0));
+        idx.update_taxi(&t, &g, 0.0);
+        t.location = NodeId(399);
+        idx.update_taxi(&t, &g, 0.0);
+        let mut near0 = Vec::new();
+        idx.visit_in_range(&g.point(NodeId(0)), 300.0, |x| near0.push(x));
+        assert!(near0.is_empty());
+        let mut near399 = Vec::new();
+        idx.visit_in_range(&g.point(NodeId(399)), 300.0, |x| near399.push(x));
+        assert_eq!(near399, vec![TaxiId(0)]);
+    }
+
+    #[test]
+    fn update_same_cell_is_noop() {
+        let (g, mut idx) = setup();
+        let t = Taxi::new(TaxiId(0), 4, NodeId(0));
+        idx.update_taxi(&t, &g, 0.0);
+        idx.update_taxi(&t, &g, 1.0);
+        let mut count = 0;
+        idx.visit_in_range(&g.point(NodeId(0)), 300.0, |_| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn remove_clears() {
+        let (g, mut idx) = setup();
+        let t = Taxi::new(TaxiId(0), 4, NodeId(0));
+        idx.update_taxi(&t, &g, 0.0);
+        idx.remove_taxi(TaxiId(0));
+        idx.remove_taxi(TaxiId(0)); // idempotent
+        let mut any = false;
+        idx.visit_in_range(&g.point(NodeId(0)), 5000.0, |_| any = true);
+        assert!(!any);
+        assert!(idx.memory_bytes() > 0);
+    }
+}

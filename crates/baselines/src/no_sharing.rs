@@ -1,0 +1,160 @@
+//! No-Sharing: the regular taxi service baseline (Sec. V-A2).
+//!
+//! Assigns each request to the geographically nearest *vacant* taxi within
+//! the searching range γ; the taxi serves the trip exclusively and becomes
+//! available again after the drop-off.
+
+use crate::common::shortest_legs;
+use crate::grid_index::GridTaxiIndex;
+use mtshare_model::{
+    evaluate_schedule, Assignment, DispatchOutcome, DispatchScheme, EvalContext, RideRequest,
+    Schedule, Taxi, TaxiId, Time, World,
+};
+use mtshare_road::RoadNetwork;
+
+/// The No-Sharing baseline.
+pub struct NoSharing {
+    index: GridTaxiIndex,
+    /// Searching range γ in metres (paper default 2.5 km).
+    gamma_m: f64,
+    /// Constant taxi speed, m/s.
+    speed_mps: f64,
+}
+
+impl NoSharing {
+    /// Creates the scheme with the default γ = 2.5 km at 15 km/h.
+    pub fn new(graph: &RoadNetwork, n_taxis: usize) -> Self {
+        Self::with_params(graph, n_taxis, 2500.0, 15.0 / 3.6)
+    }
+
+    /// Creates the scheme with explicit parameters.
+    pub fn with_params(graph: &RoadNetwork, n_taxis: usize, gamma_m: f64, speed_mps: f64) -> Self {
+        Self { index: GridTaxiIndex::new(graph, 500.0, n_taxis), gamma_m, speed_mps }
+    }
+
+    /// The searching range γ for a request at `now` (bounded by the rider's
+    /// waiting budget like all schemes).
+    fn gamma(&self, req: &RideRequest, now: Time) -> f64 {
+        (self.speed_mps * req.wait_budget(now).max(0.0)).min(self.gamma_m)
+    }
+}
+
+impl DispatchScheme for NoSharing {
+    fn name(&self) -> &str {
+        "No-Sharing"
+    }
+
+    fn install(&mut self, world: &World<'_>) {
+        for t in world.taxis {
+            self.index.update_taxi(t, world.graph, 0.0);
+        }
+    }
+
+    fn dispatch(&mut self, req: &RideRequest, now: Time, world: &World<'_>) -> DispatchOutcome {
+        let origin_pt = world.graph.point(req.origin);
+        let gamma = self.gamma(req, now);
+        // Vacant taxis in range, nearest first.
+        let mut candidates: Vec<(f64, TaxiId)> = Vec::new();
+        self.index.visit_in_range(&origin_pt, gamma, |id| {
+            let taxi = world.taxi(id);
+            if taxi.is_vacant() {
+                let d = world.graph.point(taxi.position_at(now)).distance_m(&origin_pt);
+                if d <= gamma {
+                    candidates.push((d, id));
+                }
+            }
+        });
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let examined = candidates.len();
+        for (_, id) in candidates {
+            let taxi = world.taxi(id);
+            let pos = taxi.position_at(now);
+            let schedule = Schedule::new().with_insertion(req, 0, 1);
+            let requests = world.requests;
+            let lookup = |r| requests.get(r);
+            let ectx = EvalContext {
+                start_node: pos,
+                start_time: now,
+                initial_load: 0,
+                capacity: taxi.capacity as u32,
+                requests: &lookup,
+            };
+            let Some(eval) = evaluate_schedule(&schedule, &ectx, |a, b| world.oracle.cost(a, b))
+            else {
+                continue;
+            };
+            let Some(legs) = shortest_legs(world, pos, &schedule) else { continue };
+            return DispatchOutcome {
+                assignment: Some(Assignment {
+                    taxi: id,
+                    schedule,
+                    legs,
+                    detour_cost_s: eval.total_cost_s,
+                }),
+                candidates_examined: examined,
+            };
+        }
+        DispatchOutcome::rejected(examined)
+    }
+
+    fn after_assign(&mut self, taxi: &Taxi, world: &World<'_>) {
+        self.index.update_taxi(taxi, world.graph, taxi.location_time);
+    }
+
+    fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
+        self.index.update_taxi(taxi, world.graph, now);
+    }
+
+    fn index_memory_bytes(&self) -> usize {
+        self.index.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Bench;
+    use mtshare_road::NodeId;
+
+    #[test]
+    fn assigns_nearest_vacant_taxi() {
+        let mut b = Bench::new();
+        b.add_taxi(NodeId(399)); // far
+        b.add_taxi(NodeId(22)); // near
+        let mut s = NoSharing::new(&b.graph, 2);
+        b.install(&mut s);
+        let req = b.make_request(21, 200, 0.0, 1.3);
+        let out = b.dispatch(&mut s, &req, 0.0);
+        let a = out.assignment.expect("nearest vacant taxi serves");
+        assert_eq!(a.taxi, TaxiId(1));
+        assert_eq!(a.schedule.len(), 2);
+    }
+
+    #[test]
+    fn busy_taxis_never_selected() {
+        let mut b = Bench::new();
+        b.add_taxi(NodeId(22));
+        let mut s = NoSharing::new(&b.graph, 1);
+        b.install(&mut s);
+        let r1 = b.make_request(21, 399, 0.0, 1.3);
+        let out = b.dispatch_and_commit(&mut s, &r1, 0.0);
+        assert!(out);
+        // Second request while the only taxi is busy: rejected.
+        let r2 = b.make_request(23, 300, 1.0, 1.3);
+        let out = b.dispatch(&mut s, &r2, 1.0);
+        assert!(out.assignment.is_none());
+    }
+
+    #[test]
+    fn respects_search_range() {
+        let mut b = Bench::new();
+        b.add_taxi(NodeId(399));
+        let mut s = NoSharing::with_params(&b.graph, 1, 150.0, 15.0 / 3.6);
+        b.install(&mut s);
+        let req = b.make_request(0, 40, 0.0, 2.0);
+        let out = b.dispatch(&mut s, &req, 0.0);
+        assert!(out.assignment.is_none());
+        assert_eq!(out.candidates_examined, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Mobility-clustering microbenches (DESIGN.md decision #3): the paper
+//! claims incremental cluster maintenance has "negligible computation
+//! overheads" — measure insert/remove/match against k-means rebuilds.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mtshare_mobility::{kmeans, MobilityClusterer, MobilityVector};
+use mtshare_road::GeoPoint;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn random_vectors(n: usize, seed: u64) -> Vec<MobilityVector> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let o = GeoPoint::new(30.6 + rng.gen_range(0.0..0.1), 104.0 + rng.gen_range(0.0..0.1));
+            let d = GeoPoint::new(30.6 + rng.gen_range(0.0..0.1), 104.0 + rng.gen_range(0.0..0.1));
+            MobilityVector::new(o, d)
+        })
+        .collect()
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let vectors = random_vectors(2000, 1);
+    let mut group = c.benchmark_group("mobility_clustering");
+
+    group.bench_function("insert_2000", |b| {
+        b.iter_batched(
+            || MobilityClusterer::new(std::f64::consts::FRAC_1_SQRT_2),
+            |mut cl| {
+                for v in &vectors {
+                    cl.insert(v);
+                }
+                cl.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Steady-state single insert+remove against a populated clusterer.
+    // Re-insertion may land in a different cluster as the means drift, so
+    // track each vector's current cluster id.
+    let mut steady = MobilityClusterer::new(std::f64::consts::FRAC_1_SQRT_2);
+    let mut ids: Vec<_> = vectors.iter().map(|v| steady.insert(v)).collect();
+    group.bench_function("steady_state_update", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let k = i % vectors.len();
+            i += 1;
+            steady.remove(ids[k], &vectors[k]);
+            ids[k] = steady.insert(&vectors[k]);
+            ids[k]
+        })
+    });
+
+    group.bench_function("best_match", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let k = i % vectors.len();
+            i += 1;
+            steady.best_match(&vectors[k])
+        })
+    });
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let data: Vec<f64> = (0..2000 * 2).map(|_| rng.gen_range(0.0..100.0)).collect();
+    c.bench_function("kmeans_2000x2_k20", |b| {
+        b.iter(|| kmeans(&data, 2, 20, 7, 20))
+    });
+}
+
+criterion_group!(benches, bench_incremental, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Map-partitioning build costs: the bipartite partitioner vs the grid
+//! baseline (both are offline/periodic per Sec. IV-B1, but build cost
+//! matters for the Fig. 14(a) κ sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtshare_mobility::{bipartite_partition, grid_partition, BipartiteConfig, Trip};
+use mtshare_road::{grid_city, GridCityConfig, NodeId};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let graph = grid_city(&GridCityConfig { rows: 50, cols: 50, ..Default::default() }).unwrap();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let trips: Vec<_> = (0..5000)
+        .map(|_| Trip {
+            origin: NodeId(rng.gen_range(0..graph.node_count() as u32)),
+            destination: NodeId(rng.gen_range(0..graph.node_count() as u32)),
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("map_partitioning");
+    group.sample_size(10);
+    group.bench_function("bipartite_k32", |b| {
+        b.iter(|| {
+            bipartite_partition(
+                &graph,
+                &trips,
+                &BipartiteConfig { kappa: 32, kt: 6, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("grid_k32", |b| b.iter(|| grid_partition(&graph, 32)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Fig. 16 — basic vs. probabilistic routing: online/offline composition
+//! of the served requests for T-Share, pGreedyDP and mT-Share (non-peak).
+
+use super::ExperimentResult;
+use crate::runner::Env;
+use crate::table::Table;
+use mtshare_core::PartitionStrategy;
+use mtshare_sim::{SchemeKind, SimReport};
+
+/// Runs the six combinations of Fig. 16.
+pub fn run(env: &Env) -> ExperimentResult {
+    let fleet = env.scale.default_fleet;
+    let scenario = env.scenario(env.nonpeak(fleet));
+    let ctx = env.context(&scenario.historical, env.scale.kappa, PartitionStrategy::Bipartite);
+
+    let mut table = Table::new(vec!["routing", "scheme", "online", "offline", "total"]);
+    let mut basic: Vec<SimReport> = Vec::new();
+    let mut prob: Vec<SimReport> = Vec::new();
+
+    for kind in [SchemeKind::TShare, SchemeKind::PGreedyDp, SchemeKind::MtShare] {
+        let c = kind.needs_context().then(|| ctx.clone());
+        let r = env.run(&scenario, kind, c, None);
+        table.row(vec![
+            "basic".to_string(),
+            r.scheme.clone(),
+            r.served_online.to_string(),
+            r.served_offline.to_string(),
+            r.served.to_string(),
+        ]);
+        eprintln!("[fig16] basic/{}: {} online + {} offline", r.scheme, r.served_online, r.served_offline);
+        basic.push(r);
+    }
+    // Probabilistic: baselines wrapped with Alg. 4 re-routing, mT-Share_pro
+    // natively.
+    for kind in [SchemeKind::TShare, SchemeKind::PGreedyDp] {
+        let r = env.run_wrapped(&scenario, kind, ctx.clone());
+        table.row(vec![
+            "probabilistic".to_string(),
+            r.scheme.clone(),
+            r.served_online.to_string(),
+            r.served_offline.to_string(),
+            r.served.to_string(),
+        ]);
+        eprintln!("[fig16] {}: {} online + {} offline", r.scheme, r.served_online, r.served_offline);
+        prob.push(r);
+    }
+    {
+        let r = env.run(&scenario, SchemeKind::MtSharePro, Some(ctx), None);
+        table.row(vec![
+            "probabilistic".to_string(),
+            r.scheme.clone(),
+            r.served_online.to_string(),
+            r.served_offline.to_string(),
+            r.served.to_string(),
+        ]);
+        eprintln!("[fig16] {}: {} online + {} offline", r.scheme, r.served_online, r.served_offline);
+        prob.push(r);
+    }
+
+    let notes = basic
+        .iter()
+        .zip(&prob)
+        .map(|(b, p)| {
+            format!(
+                "{}: offline {} → {} ({:+.0}%), total {} → {} ({:+.0}%)",
+                b.scheme,
+                b.served_offline,
+                p.served_offline,
+                (p.served_offline as f64 / b.served_offline.max(1) as f64 - 1.0) * 100.0,
+                b.served,
+                p.served,
+                (p.served as f64 / b.served.max(1) as f64 - 1.0) * 100.0,
+            )
+        })
+        .collect();
+
+    ExperimentResult {
+        id: "fig16",
+        title: "basic vs. probabilistic routing: served-request composition (non-peak)".into(),
+        paper_expectation:
+            "probabilistic routing serves strictly more offline requests for every scheme (+89% T-Share, +46% pGreedyDP, +34% mT-Share offline; +26/17/14% total)"
+                .into(),
+        table,
+        notes,
+    }
+}

@@ -1,0 +1,53 @@
+//! Table IV — memory overhead of the ridesharing indexes.
+
+use super::ExperimentResult;
+use crate::runner::Env;
+use crate::table::{fmt, Table};
+use mtshare_core::PartitionStrategy;
+use mtshare_sim::SchemeKind;
+
+/// Runs the peak scenario at the maximum fleet (the paper's upper-bound
+/// setting) and reports per-scheme index memory.
+pub fn run(env: &Env) -> ExperimentResult {
+    let fleet = *env.scale.fleets.last().expect("non-empty fleets");
+    let scenario = env.scenario(env.peak(fleet));
+    let ctx = env.context(&scenario.historical, env.scale.kappa, PartitionStrategy::Bipartite);
+
+    let mut table = Table::new(vec!["scheme", "index KiB", "shared KiB", "total KiB"]);
+    let mut mt_kib = (0.0, 0.0);
+    let mut ts_kib = (0.0, 0.0);
+    let mut pg_kib = (0.0, 0.0);
+    for kind in SchemeKind::PEAK_SET {
+        let c = kind.needs_context().then(|| ctx.clone());
+        let r = env.run(&scenario, kind, c, None);
+        let idx = r.index_memory_bytes as f64 / 1024.0;
+        let shared = r.shared_memory_bytes as f64 / 1024.0;
+        match r.scheme.as_str() {
+            "mT-Share" => mt_kib = (idx, idx + shared),
+            "T-Share" => ts_kib = (idx, idx + shared),
+            "pGreedyDP" => pg_kib = (idx, idx + shared),
+            _ => {}
+        }
+        table.row(vec![r.scheme.clone(), fmt(idx, 1), fmt(shared, 1), fmt(idx + shared, 1)]);
+    }
+
+    ExperimentResult {
+        id: "tab4",
+        title: "memory overhead of the ridesharing indexes (peak, max fleet)".into(),
+        paper_expectation:
+            "mT-Share's dual index (partitions + mobility clusters + transition tables) is ~16-40% larger than T-Share/pGreedyDP's grid index; absolute overhead negligible"
+                .into(),
+        table,
+        notes: vec![
+            format!(
+                "total memory: mT-Share / T-Share = {:.2}, / pGreedyDP = {:.2} (paper 1.16 / 1.41 on totals incl. the shared shortest-path store)",
+                mt_kib.1 / ts_kib.1.max(1e-9),
+                mt_kib.1 / pg_kib.1.max(1e-9)
+            ),
+            format!(
+                "index-only ratio is far larger here ({:.0}x) because mT-Share's context (transition tables + landmark cost matrices) is counted against tiny grid buckets, while the paper amortizes it into the precomputed-paths store",
+                mt_kib.0 / ts_kib.0.max(1e-9)
+            ),
+        ],
+    }
+}

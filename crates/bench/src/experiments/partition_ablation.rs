@@ -1,0 +1,87 @@
+//! Fig. 14(a) — impact of the partition count κ — and Table V — bipartite
+//! vs. grid map partitioning.
+
+use super::ExperimentResult;
+use crate::runner::Env;
+use crate::table::{fmt, Table};
+use mtshare_core::PartitionStrategy;
+use mtshare_sim::SchemeKind;
+
+/// Fig. 14(a): κ sweep with mT-Share in the peak scenario.
+pub fn run_kappa(env: &Env) -> ExperimentResult {
+    let fleet = env.scale.default_fleet;
+    let scenario = env.scenario(env.peak(fleet));
+    let mut table = Table::new(vec!["kappa", "served", "avg candidates", "resp ms"]);
+    let mut served_by_kappa = Vec::new();
+    for &kappa in &env.scale.kappa_sweep {
+        let ctx = env.context(&scenario.historical, kappa, PartitionStrategy::Bipartite);
+        let r = env.run(&scenario, SchemeKind::MtShare, Some(ctx), None);
+        eprintln!("[fig14a] kappa {kappa}: served {}", r.served);
+        served_by_kappa.push((kappa, r.served));
+        table.row(vec![
+            kappa.to_string(),
+            r.served.to_string(),
+            fmt(r.avg_candidates, 1),
+            fmt(r.avg_response_ms, 2),
+        ]);
+    }
+    let best = served_by_kappa.iter().max_by_key(|(_, s)| *s).copied().unwrap_or((0, 0));
+    let first = served_by_kappa.first().copied().unwrap_or((0, 0));
+    let last = served_by_kappa.last().copied().unwrap_or((0, 0));
+    ExperimentResult {
+        id: "fig14a",
+        title: "impact of the partition count κ (peak, mT-Share)".into(),
+        paper_expectation:
+            "served requests rise then fall with κ (interior optimum around κ=150 on the full map); too-small or too-large κ shrinks the candidate sets"
+                .into(),
+        table,
+        notes: vec![format!(
+            "optimum at κ={} ({} served); endpoints κ={} ⇒ {}, κ={} ⇒ {}",
+            best.0, best.1, first.0, first.1, last.0, last.1
+        )],
+    }
+}
+
+/// Table V: bipartite vs. grid partitioning, both scenarios.
+pub fn run_strategies(env: &Env) -> ExperimentResult {
+    let fleet = env.scale.default_fleet;
+    let mut table =
+        Table::new(vec!["scenario", "strategy", "served", "detour min", "served offline"]);
+    let mut notes = Vec::new();
+    for (label, cfg, kind) in [
+        ("peak", env.peak(fleet), SchemeKind::MtShare),
+        ("nonpeak", env.nonpeak(fleet), SchemeKind::MtSharePro),
+    ] {
+        let scenario = env.scenario(cfg);
+        let mut served = [0usize; 2];
+        for (i, strategy) in [PartitionStrategy::Bipartite, PartitionStrategy::Grid]
+            .into_iter()
+            .enumerate()
+        {
+            let ctx = env.context(&scenario.historical, env.scale.kappa, strategy);
+            let r = env.run(&scenario, kind, Some(ctx), None);
+            served[i] = r.served;
+            table.row(vec![
+                label.to_string(),
+                format!("{strategy:?}"),
+                r.served.to_string(),
+                fmt(r.avg_detour_min, 2),
+                r.served_offline.to_string(),
+            ]);
+            eprintln!("[tab5] {label}/{strategy:?}: served {}", r.served);
+        }
+        notes.push(format!(
+            "{label}: bipartite/grid served ratio = {:.3} (paper ≥ 1.06)",
+            served[0] as f64 / served[1].max(1) as f64
+        ));
+    }
+    ExperimentResult {
+        id: "tab5",
+        title: "bipartite vs. grid map partitioning (Table V)".into(),
+        paper_expectation:
+            "bipartite partitioning serves ≥6% more requests and cuts detour by 3-7% in both scenarios"
+                .into(),
+        table,
+        notes,
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment harness for the mT-Share reproduction.
+//!
+//! - [`scale`]: experiment scale presets (paper-scale shrunk ~8×);
+//! - [`runner`]: the shared environment (city, cache, scheme matrix);
+//! - [`experiments`]: one runner per table/figure of Sec. V;
+//! - [`table`]: plain-text / markdown table rendering.
+//!
+//! The `experiments` binary drives everything:
+//! `cargo run --release -p mtshare-bench --bin experiments -- all`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod scale;
+pub mod table;
+
+pub use runner::Env;
+pub use scale::Scale;

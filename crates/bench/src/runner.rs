@@ -1,0 +1,119 @@
+//! Shared experiment harness: one city, one cache, many runs.
+
+use crate::scale::Scale;
+use mtshare_core::{MobilityContext, MtShareConfig, PartitionStrategy, WithProbabilisticRouting};
+use mtshare_mobility::Trip;
+use mtshare_model::DispatchScheme;
+use mtshare_road::{grid_city, RoadNetwork};
+use mtshare_routing::PathCache;
+use mtshare_sim::{Scenario, ScenarioConfig, SchemeKind, SimConfig, SimReport, Simulator};
+use std::sync::Arc;
+
+/// Long-lived experiment environment.
+pub struct Env {
+    /// The synthetic city.
+    pub graph: Arc<RoadNetwork>,
+    /// Shared shortest-path cache (request materialization etc.).
+    pub cache: PathCache,
+    /// Scale preset in force.
+    pub scale: Scale,
+}
+
+impl Env {
+    /// Builds the environment for `scale`.
+    pub fn new(scale: Scale) -> Self {
+        let graph = Arc::new(grid_city(&scale.city).expect("valid city config"));
+        let cache = PathCache::new(graph.clone());
+        Self { graph, cache, scale }
+    }
+
+    /// Scaled peak scenario config for a fleet size. Demand is *fixed*
+    /// across the fleet sweep, as in the paper (29 534 requests regardless
+    /// of fleet size).
+    pub fn peak(&self, fleet: usize) -> ScenarioConfig {
+        let mut c = ScenarioConfig::peak(fleet);
+        c.n_requests = self.scale.peak_requests;
+        c.n_historical = self.scale.n_historical;
+        c
+    }
+
+    /// Scaled non-peak scenario config for a fleet size (fixed demand,
+    /// paper: 15 480 requests, 5000 of them offline).
+    pub fn nonpeak(&self, fleet: usize) -> ScenarioConfig {
+        let mut c = ScenarioConfig::nonpeak(fleet);
+        c.n_requests = self.scale.nonpeak_requests;
+        c.n_historical = self.scale.n_historical;
+        c
+    }
+
+    /// Materializes a scenario.
+    pub fn scenario(&self, cfg: ScenarioConfig) -> Scenario {
+        Scenario::generate(self.graph.clone(), &self.cache, cfg)
+    }
+
+    /// Builds a mobility context from a scenario's historical trips.
+    pub fn context(&self, historical: &[Trip], kappa: usize, strategy: PartitionStrategy) -> Arc<MobilityContext> {
+        mtshare_sim::build_context(&self.graph, historical, kappa, strategy)
+    }
+
+    /// Runs one scheme over one scenario.
+    pub fn run(
+        &self,
+        scenario: &Scenario,
+        kind: SchemeKind,
+        ctx: Option<Arc<MobilityContext>>,
+        mt_cfg: Option<MtShareConfig>,
+    ) -> SimReport {
+        let mut scheme = kind.build(&self.graph, scenario.taxis.len(), ctx, mt_cfg);
+        self.run_scheme(scenario, scheme.as_mut())
+    }
+
+    /// Runs an arbitrary scheme instance over one scenario.
+    pub fn run_scheme(&self, scenario: &Scenario, scheme: &mut dyn DispatchScheme) -> SimReport {
+        let sim = Simulator::new(self.graph.clone(), self.cache.clone(), scenario, SimConfig::default());
+        sim.run(scheme)
+    }
+
+    /// Runs a baseline scheme wrapped with probabilistic routing (Fig. 16b).
+    pub fn run_wrapped(
+        &self,
+        scenario: &Scenario,
+        kind: SchemeKind,
+        ctx: Arc<MobilityContext>,
+    ) -> SimReport {
+        let inner = kind.build(&self.graph, scenario.taxis.len(), Some(ctx.clone()), None);
+        let mut wrapped =
+            WithProbabilisticRouting::new(inner, &self.graph, ctx, MtShareConfig::default());
+        self.run_scheme(scenario, &mut wrapped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapped_baseline_runs_nonpeak() {
+        let mut scale = Scale::small();
+        scale.nonpeak_requests = 40;
+        scale.n_historical = 800;
+        let env = Env::new(scale);
+        let scenario = env.scenario(env.nonpeak(10));
+        let ctx = env.context(&scenario.historical, 8, PartitionStrategy::Bipartite);
+        let r = env.run_wrapped(&scenario, mtshare_sim::SchemeKind::TShare, ctx);
+        assert_eq!(r.scheme, "T-Share+prob");
+        assert_eq!(r.served + r.rejected, r.n_requests);
+    }
+
+    #[test]
+    fn env_runs_a_tiny_peak_comparison() {
+        let env = Env::new(Scale::small());
+        let scenario = env.scenario(env.peak(12));
+        let ctx = env.context(&scenario.historical, env.scale.kappa, PartitionStrategy::Bipartite);
+        let ns = env.run(&scenario, SchemeKind::NoSharing, None, None);
+        let mt = env.run(&scenario, SchemeKind::MtShare, Some(ctx), None);
+        assert!(ns.served > 0);
+        assert!(mt.served >= ns.served);
+        assert_eq!(ns.n_requests, mt.n_requests);
+    }
+}

@@ -1,0 +1,115 @@
+//! Experiment scale presets.
+//!
+//! The paper runs on a 214 k-vertex map with fleets of 500–3000 taxis and
+//! ~30 k requests/hour. The default scale shrinks everything by ~8× so the
+//! full figure sweep runs on one machine while preserving the
+//! demand-to-supply ratios that shape every result (see DESIGN.md).
+//! `MTSHARE_SCALE=small` selects a CI-sized scale for smoke runs.
+
+use mtshare_road::GridCityConfig;
+
+/// One experiment scale.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Name shown in experiment headers.
+    pub name: &'static str,
+    /// Synthetic city.
+    pub city: GridCityConfig,
+    /// Fleet sizes for the sweeps (paper: 500..3000 step 500).
+    pub fleets: Vec<usize>,
+    /// Default fleet for the single-point experiments (paper: 2000).
+    pub default_fleet: usize,
+    /// Fixed request count for the peak scenario (the paper fixes demand
+    /// at 29 534 requests and sweeps the fleet).
+    pub peak_requests: usize,
+    /// Fixed request count for the non-peak scenario (paper: 15 480).
+    pub nonpeak_requests: usize,
+    /// Partition count κ (paper default 150 on the full map).
+    pub kappa: usize,
+    /// κ sweep for Fig. 14(a) (paper: 50..250).
+    pub kappa_sweep: Vec<usize>,
+    /// Historical trips for the partitioner.
+    pub n_historical: usize,
+    /// Repetitions per experimental setting (paper: 10; scaled down).
+    pub repeats: usize,
+}
+
+impl Scale {
+    /// The default scale (~3.6 k vertices, 7.2 km × 7.2 km; calibrated so
+    /// the taxi density (taxis/km²) at the sweep's upper end matches the
+    /// paper's 3000 taxis on ~70 km² — candidate-set sizes then land in
+    /// the paper's range and the schemes separate).
+    pub fn default_scale() -> Self {
+        Self {
+            name: "default",
+            city: GridCityConfig { rows: 60, cols: 60, ..GridCityConfig::default() },
+            fleets: vec![100, 200, 300, 400, 500, 600],
+            default_fleet: 400,
+            peak_requests: 4500,
+            nonpeak_requests: 2400,
+            kappa: 64,
+            kappa_sweep: vec![16, 32, 64, 96, 128],
+            n_historical: 20_000,
+            repeats: 1,
+        }
+    }
+
+    /// A CI-sized scale (~1.6 k vertices; seconds per sweep).
+    pub fn small() -> Self {
+        Self {
+            name: "small",
+            city: GridCityConfig { rows: 40, cols: 40, ..GridCityConfig::default() },
+            fleets: vec![12, 24, 36],
+            default_fleet: 24,
+            peak_requests: 360,
+            nonpeak_requests: 180,
+            kappa: 24,
+            kappa_sweep: vec![12, 24, 48],
+            n_historical: 4000,
+            repeats: 1,
+        }
+    }
+
+    /// Reads `MTSHARE_SCALE` (`small` | `default`). `MTSHARE_FLEETS`
+    /// (comma-separated) overrides the fleet sweep for quick probes.
+    pub fn from_env() -> Self {
+        let mut scale = match std::env::var("MTSHARE_SCALE").as_deref() {
+            Ok("small") => Self::small(),
+            _ => Self::default_scale(),
+        };
+        if let Ok(fleets) = std::env::var("MTSHARE_FLEETS") {
+            let parsed: Vec<usize> =
+                fleets.split(',').filter_map(|f| f.trim().parse().ok()).collect();
+            if !parsed.is_empty() {
+                scale.default_fleet = parsed[parsed.len() / 2];
+                scale.fleets = parsed;
+            }
+        }
+        scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleets_env_override_parses() {
+        std::env::set_var("MTSHARE_FLEETS", "10, 20,30");
+        let s = Scale::from_env();
+        std::env::remove_var("MTSHARE_FLEETS");
+        assert_eq!(s.fleets, vec![10, 20, 30]);
+        assert_eq!(s.default_fleet, 20);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let s = Scale::small();
+        let d = Scale::default_scale();
+        assert!(s.city.rows < d.city.rows);
+        assert!(s.fleets.last().unwrap() < d.fleets.last().unwrap());
+        assert!(s.kappa < d.kappa);
+        assert!(d.fleets.contains(&d.default_fleet));
+        assert!(s.fleets.contains(&s.default_fleet));
+    }
+}

@@ -1,0 +1,106 @@
+//! Minimal aligned-table formatter for experiment output.
+
+/// A simple text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `d` decimals.
+pub fn fmt(v: f64, d: usize) -> String {
+    format!("{v:.d$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_and_markdown() {
+        let mut t = Table::new(vec!["scheme", "served"]);
+        t.row(vec!["mT-Share".to_string(), fmt(123.0, 0)]);
+        t.row(vec!["T-Share".to_string(), "88".to_string()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.to_text();
+        assert!(text.contains("mT-Share"));
+        assert!(text.lines().count() == 4);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| scheme | served |"));
+        assert!(md.contains("| T-Share | 88 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".to_string(), "2".to_string()]);
+    }
+}

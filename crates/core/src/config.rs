@@ -1,0 +1,108 @@
+//! Configuration of the mT-Share scheme (Table II defaults).
+
+/// Tunables of mT-Share. Defaults follow Table II of the paper.
+#[derive(Debug, Clone)]
+pub struct MtShareConfig {
+    /// Travel-direction threshold λ = cos θ (default 0.707, θ = 45°).
+    pub lambda: f64,
+    /// Partition-filter travel-cost slack ε (default 1.0).
+    pub epsilon: f64,
+    /// Constant taxi speed in km/h (default 15, Sec. V-A4).
+    pub taxi_speed_kmh: f64,
+    /// Cap on the candidate searching range γ in metres (paper default
+    /// 2.5 km, equivalent to Δt = 10 min at 15 km/h).
+    pub max_search_range_m: f64,
+    /// Partition-index horizon `T_mp`: taxis are indexed in every partition
+    /// they will reach within this many seconds (paper example: 1 h).
+    pub tmp_horizon_s: f64,
+    /// Enable probabilistic routing (mT-Share_pro).
+    pub probabilistic: bool,
+    /// A taxi plans probabilistic routes only when at least this fraction
+    /// of its seats is idle (paper: half the capacity).
+    pub prob_idle_fraction: f64,
+    /// Retry attempts for a valid probabilistic leg (paper: 5).
+    pub prob_attempts: usize,
+    /// Cap on enumerated landmark paths per leg in Alg. 4 step ②.
+    pub prob_max_paths: usize,
+    /// Hop cap for the landmark-path enumeration (keeps the DFS bounded on
+    /// adversarial partition shapes).
+    pub prob_max_hops: usize,
+    /// Per-vertex bias weight (seconds) of probabilistic routing: entering
+    /// a zero-demand vertex costs this much extra in the weighted search,
+    /// a demand-rich vertex close to nothing. Calibrated so biased routes
+    /// detour 10-20% — strong enough to hug demand corridors, weak enough
+    /// to stay within the deadline budget.
+    pub prob_bias_weight_s: f64,
+}
+
+impl Default for MtShareConfig {
+    fn default() -> Self {
+        Self {
+            lambda: std::f64::consts::FRAC_1_SQRT_2,
+            epsilon: 1.0,
+            taxi_speed_kmh: 15.0,
+            max_search_range_m: 2500.0,
+            tmp_horizon_s: 3600.0,
+            probabilistic: false,
+            prob_idle_fraction: 0.5,
+            prob_attempts: 5,
+            prob_max_paths: 64,
+            prob_max_hops: 12,
+            prob_bias_weight_s: 6.0,
+        }
+    }
+}
+
+impl MtShareConfig {
+    /// Constant taxi speed in metres per second.
+    #[inline]
+    pub fn speed_mps(&self) -> f64 {
+        self.taxi_speed_kmh / 3.6
+    }
+
+    /// The searching range γ for a waiting budget `Δt` (Eq. 2):
+    /// `γ = speed × Δt`, capped at [`MtShareConfig::max_search_range_m`].
+    #[inline]
+    pub fn search_range_m(&self, wait_budget_s: f64) -> f64 {
+        (self.speed_mps() * wait_budget_s.max(0.0)).min(self.max_search_range_m)
+    }
+
+    /// The mT-Share_pro variant of this configuration.
+    pub fn with_probabilistic(mut self) -> Self {
+        self.probabilistic = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let c = MtShareConfig::default();
+        assert!((c.lambda - 0.707).abs() < 1e-3);
+        assert_eq!(c.epsilon, 1.0);
+        assert_eq!(c.taxi_speed_kmh, 15.0);
+        assert_eq!(c.max_search_range_m, 2500.0);
+        assert!(!c.probabilistic);
+        assert!(c.with_probabilistic().probabilistic);
+    }
+
+    #[test]
+    fn search_range_caps_at_gamma() {
+        let c = MtShareConfig::default();
+        // 10 min budget at 15 km/h = 2.5 km (the paper's default γ).
+        assert!((c.search_range_m(600.0) - 2500.0).abs() < 1.0);
+        // Larger budgets stay capped.
+        assert_eq!(c.search_range_m(6000.0), 2500.0);
+        // Negative budget clamps to zero.
+        assert_eq!(c.search_range_m(-5.0), 0.0);
+    }
+
+    #[test]
+    fn speed_conversion() {
+        let c = MtShareConfig::default();
+        assert!((c.speed_mps() - 4.1667).abs() < 1e-3);
+    }
+}

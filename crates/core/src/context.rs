@@ -1,0 +1,150 @@
+//! Precomputed mobility context shared by mT-Share instances.
+//!
+//! Bipartite partitioning, the landmark graph, and transition statistics
+//! depend only on the road network and the historical trips, not on the
+//! live scenario — the paper recomputes them "periodically ... e.g. one
+//! year" (Sec. IV-B1). Building them once and sharing via `Arc` lets the
+//! experiment harness sweep fleet sizes and thresholds cheaply.
+
+use mtshare_mobility::{
+    bipartite_partition, grid_partition, BipartiteConfig, LandmarkGraph, MapPartitioning,
+    TransitionModel, Trip,
+};
+use mtshare_road::RoadNetwork;
+use std::sync::Arc;
+
+/// Which map-partitioning strategy to precompute (Table V ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// The paper's bipartite (geography + transition patterns) partitioning.
+    Bipartite,
+    /// The grid partitioning of prior work.
+    Grid,
+}
+
+/// Immutable per-city context: partitions, landmarks, transition model and
+/// partition-level transition aggregates.
+#[derive(Debug)]
+pub struct MobilityContext {
+    /// The map partitioning `P`.
+    pub partitioning: MapPartitioning,
+    /// The landmark graph `G_ℓ` with exact cost tables.
+    pub landmarks: LandmarkGraph,
+    /// Per-vertex transition model over partition labels.
+    pub transitions: TransitionModel,
+    /// `partition_prob[p * κ + q]` = Σ_{v ∈ p} w_v · P(dest ∈ q | origin = v),
+    /// with `w_v` the observed trip count at `v` — the partition-level
+    /// aggregate Alg. 4 step ① sums, demand-weighted so it estimates the
+    /// *expected number* of suitable requests originating in `p`.
+    partition_prob: Vec<f32>,
+    strategy: PartitionStrategy,
+}
+
+impl MobilityContext {
+    /// Builds the full context for `graph` from historical `trips`.
+    pub fn build(
+        graph: &RoadNetwork,
+        trips: &[Trip],
+        kappa: usize,
+        kt: usize,
+        seed: u64,
+        strategy: PartitionStrategy,
+    ) -> Arc<Self> {
+        let partitioning = match strategy {
+            PartitionStrategy::Bipartite => bipartite_partition(
+                graph,
+                trips,
+                &BipartiteConfig { kappa, kt, seed, ..Default::default() },
+            ),
+            PartitionStrategy::Grid => grid_partition(graph, kappa),
+        };
+        let landmarks = LandmarkGraph::build(graph, &partitioning);
+        let labels = partitioning.labels_u32();
+        let transitions = TransitionModel::from_trips(graph.node_count(), trips, &labels, partitioning.len());
+        let k = partitioning.len();
+        let mut partition_prob = vec![0.0f32; k * k];
+        for v in graph.nodes() {
+            let p = partitioning.partition_of(v).index();
+            let w = transitions.observed(v) as f32;
+            if w == 0.0 {
+                continue; // unobserved vertices carry no expected demand
+            }
+            let row = transitions.row(v);
+            for (q, &prob) in row.iter().enumerate() {
+                partition_prob[p * k + q] += w * prob;
+            }
+        }
+        Arc::new(Self { partitioning, landmarks, transitions, partition_prob, strategy })
+    }
+
+    /// Number of partitions κ.
+    #[inline]
+    pub fn kappa(&self) -> usize {
+        self.partitioning.len()
+    }
+
+    /// The strategy this context was built with.
+    #[inline]
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// Σ over vertices of partition `p` of their transition probability
+    /// into partition `q`.
+    #[inline]
+    pub fn partition_prob(&self, p: usize, q: usize) -> f32 {
+        self.partition_prob[p * self.kappa() + q]
+    }
+
+    /// Approximate resident memory of the context's index structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.partitioning.memory_bytes()
+            + self.landmarks.memory_bytes()
+            + self.transitions.memory_bytes()
+            + self.partition_prob.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtshare_road::{grid_city, GridCityConfig, NodeId};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn trips(g: &RoadNetwork, n: usize) -> Vec<Trip> {
+        let mut rng = SmallRng::seed_from_u64(2);
+        (0..n)
+            .map(|_| Trip {
+                origin: NodeId(rng.gen_range(0..g.node_count() as u32)),
+                destination: NodeId(rng.gen_range(0..g.node_count() as u32)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builds_both_strategies() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let t = trips(&g, 1000);
+        for strategy in [PartitionStrategy::Bipartite, PartitionStrategy::Grid] {
+            let ctx = MobilityContext::build(&g, &t, 12, 4, 5, strategy);
+            assert!(ctx.kappa() >= 6);
+            assert_eq!(ctx.strategy(), strategy);
+            assert!(ctx.memory_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn partition_prob_sums_to_observed_trip_counts() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let t = trips(&g, 500);
+        let ctx = MobilityContext::build(&g, &t, 9, 3, 5, PartitionStrategy::Grid);
+        let k = ctx.kappa();
+        let grand: f32 = ctx
+            .partitioning
+            .partitions()
+            .map(|p| (0..k).map(|q| ctx.partition_prob(p.index(), q)).sum::<f32>())
+            .sum();
+        // Demand-weighted rows: the grand total equals the trip count.
+        assert!((grand - t.len() as f32).abs() < 1.0, "grand total {grand}");
+    }
+}

@@ -1,0 +1,401 @@
+//! Two-phase segment-level routing: basic (Algorithm 3) and probabilistic
+//! (Algorithm 4).
+//!
+//! Both modes route each leg on the subgraph induced by the partitions the
+//! filter (Algorithm 2) retained. Basic routing returns the shortest path;
+//! probabilistic routing biases the path through partitions with a high
+//! probability of meeting *suitable* offline requests (those travelling in
+//! the taxi's direction), trading detour for encounter probability.
+
+use crate::config::MtShareConfig;
+use crate::context::MobilityContext;
+use crate::filter::filter_partitions;
+use mtshare_mobility::PartitionId;
+use mtshare_road::{direction_cosine, NodeId, RoadNetwork};
+use mtshare_routing::{MaskedDijkstra, NodeMask, Path, PathCache};
+
+/// Counters exposed for the routing ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Basic legs answered by the filtered subgraph search.
+    pub filtered_hits: u64,
+    /// Basic legs that fell back to the full-graph search (filter cut the
+    /// optimal corridor or disconnected the endpoints).
+    pub filtered_fallbacks: u64,
+    /// Probabilistic legs that returned a biased route.
+    pub prob_legs: u64,
+    /// Probabilistic legs that fell back to the shortest path.
+    pub prob_fallbacks: u64,
+}
+
+/// Reusable per-leg router (scratch state sized to the graph).
+pub struct SegmentRouter {
+    masked: MaskedDijkstra,
+    mask: NodeMask,
+    stats: RouterStats,
+    /// Scratch: per-partition suitability flags for Alg. 4 step ①.
+    dest_flags: Vec<bool>,
+    weights: Vec<f32>,
+}
+
+impl SegmentRouter {
+    /// Creates a router for `graph`.
+    pub fn new(graph: &RoadNetwork) -> Self {
+        Self {
+            masked: MaskedDijkstra::new(graph),
+            mask: NodeMask::new(graph),
+            stats: RouterStats::default(),
+            dest_flags: Vec::new(),
+            weights: vec![0.0; graph.node_count()],
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    fn allow_partitions(&mut self, ctx: &MobilityContext, partitions: &[PartitionId]) {
+        self.mask.clear();
+        for &p in partitions {
+            for &v in ctx.partitioning.members(p) {
+                self.mask.allow(v);
+            }
+        }
+    }
+
+    /// Basic routing for one leg (Algorithm 3 body): partition filter, then
+    /// Dijkstra on the induced subgraph. Falls back to the exact full-graph
+    /// shortest path when the filtered search misses the optimum (tracked
+    /// in [`RouterStats`]); the returned leg therefore always realizes the
+    /// true shortest cost the feasibility evaluation assumed.
+    pub fn basic_leg(
+        &mut self,
+        graph: &RoadNetwork,
+        ctx: &MobilityContext,
+        cfg: &MtShareConfig,
+        cache: &PathCache,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<Path> {
+        if from == to {
+            return Some(Path::trivial(from));
+        }
+        let filtered = filter_partitions(graph, ctx, from, to, cfg.lambda, cfg.epsilon);
+        self.allow_partitions(ctx, &filtered.partitions);
+        let sub = self.masked.path_masked(graph, from, to, &self.mask, None);
+        let exact_cost = cache.cost(from, to)?;
+        match sub {
+            Some(p) if p.cost_s <= exact_cost + 1e-6 => {
+                self.stats.filtered_hits += 1;
+                Some(p)
+            }
+            _ => {
+                self.stats.filtered_fallbacks += 1;
+                cache.path(from, to)
+            }
+        }
+    }
+
+    /// Probabilistic routing for one leg (Algorithm 4 body).
+    ///
+    /// `taxi_dir` is the taxi's mobility-vector direction; `budget_s` caps
+    /// the acceptable leg cost (validity proxy for the deadline check the
+    /// caller re-runs on the whole schedule). Returns the biased leg, or
+    /// the basic leg when no valid biased route exists within
+    /// `cfg.prob_attempts` partition paths.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probabilistic_leg(
+        &mut self,
+        graph: &RoadNetwork,
+        ctx: &MobilityContext,
+        cfg: &MtShareConfig,
+        cache: &PathCache,
+        from: NodeId,
+        to: NodeId,
+        taxi_dir: (f64, f64),
+        budget_s: f64,
+    ) -> Option<Path> {
+        if from == to {
+            return Some(Path::trivial(from));
+        }
+        let filtered = filter_partitions(graph, ctx, from, to, cfg.lambda, cfg.epsilon);
+
+        // ① probability of meeting suitable requests per retained partition.
+        let kappa = ctx.kappa();
+        let mut pi_prob = vec![0.0f32; filtered.partitions.len()];
+        for (idx, &p) in filtered.partitions.iter().enumerate() {
+            self.dest_flags.clear();
+            self.dest_flags.resize(kappa, false);
+            let lp = graph.point(ctx.partitioning.landmark(p));
+            for q in ctx.partitioning.partitions() {
+                if q == p {
+                    continue;
+                }
+                let lq = graph.point(ctx.partitioning.landmark(q));
+                if direction_cosine(lp.displacement_m(&lq), taxi_dir) >= cfg.lambda {
+                    self.dest_flags[q.index()] = true;
+                }
+            }
+            let mut prob = 0.0f32;
+            for q in 0..kappa {
+                if self.dest_flags[q] {
+                    prob += ctx.partition_prob(p.index(), q);
+                }
+            }
+            pi_prob[idx] = prob;
+        }
+
+        // ② enumerate landmark paths (partition paths) ranked by
+        // accumulated probability.
+        let paths = enumerate_partition_paths(
+            ctx,
+            &filtered.partitions,
+            &pi_prob,
+            ctx.partitioning.partition_of(from),
+            ctx.partitioning.partition_of(to),
+            cfg.prob_max_hops,
+            cfg.prob_max_paths,
+        );
+
+        // ③ fine-grained route over each partition path until one is valid.
+        let bias = cfg.prob_bias_weight_s as f32;
+        for partition_path in paths.iter().take(cfg.prob_attempts) {
+            self.allow_partitions(ctx, partition_path);
+            // Vertex weight 1/ψ_c, scaled into edge-cost units so the bias
+            // steers without dwarfing travel costs.
+            for &p in partition_path {
+                self.dest_flags.clear();
+                self.dest_flags.resize(kappa, false);
+                let lp = graph.point(ctx.partitioning.landmark(p));
+                for q in ctx.partitioning.partitions() {
+                    if q != p {
+                        let lq = graph.point(ctx.partitioning.landmark(q));
+                        if direction_cosine(lp.displacement_m(&lq), taxi_dir) >= cfg.lambda {
+                            self.dest_flags[q.index()] = true;
+                        }
+                    }
+                }
+                for &v in ctx.partitioning.members(p) {
+                    // ψ_c demand-weighted: expected suitable requests at v.
+                    let w = ctx.transitions.observed(v) as f32;
+                    let psi = w * ctx.transitions.prob_to_any(v, &self.dest_flags);
+                    self.weights[v.index()] = bias / (1.0 + psi);
+                }
+            }
+            let weights = &self.weights;
+            let weight_fn = |n: NodeId| weights[n.index()];
+            if let Some(p) = self.masked.path_masked(graph, from, to, &self.mask, Some(&weight_fn)) {
+                if p.cost_s <= budget_s + 1e-6 {
+                    self.stats.prob_legs += 1;
+                    return Some(p);
+                }
+            }
+        }
+        // No valid probabilistic route: fall back to the basic leg.
+        self.stats.prob_fallbacks += 1;
+        self.basic_leg(graph, ctx, cfg, cache, from, to)
+    }
+}
+
+/// DFS enumeration of simple partition paths from `src` to `dst` over the
+/// adjacency restricted to `allowed`, returning up to `max_paths` paths
+/// sorted by accumulated probability (descending) — Alg. 4 step ②.
+fn enumerate_partition_paths(
+    ctx: &MobilityContext,
+    allowed: &[PartitionId],
+    probs: &[f32],
+    src: PartitionId,
+    dst: PartitionId,
+    max_hops: usize,
+    max_paths: usize,
+) -> Vec<Vec<PartitionId>> {
+    use rustc_hash::FxHashMap;
+    let index_of: FxHashMap<PartitionId, usize> =
+        allowed.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    if !index_of.contains_key(&src) || !index_of.contains_key(&dst) {
+        return Vec::new();
+    }
+    let mut out: Vec<(f32, Vec<PartitionId>)> = Vec::new();
+    let mut stack = vec![src];
+    let mut on_path = vec![false; allowed.len()];
+    on_path[index_of[&src]] = true;
+
+    #[allow(clippy::too_many_arguments)] // recursive helper threading search state
+    fn dfs(
+        ctx: &MobilityContext,
+        index_of: &rustc_hash::FxHashMap<PartitionId, usize>,
+        probs: &[f32],
+        dst: PartitionId,
+        max_hops: usize,
+        max_paths: usize,
+        stack: &mut Vec<PartitionId>,
+        on_path: &mut Vec<bool>,
+        acc: f32,
+        out: &mut Vec<(f32, Vec<PartitionId>)>,
+    ) {
+        if out.len() >= max_paths * 4 {
+            return; // enumeration cap (we keep the best max_paths below)
+        }
+        let cur = *stack.last().expect("non-empty");
+        if cur == dst {
+            out.push((acc, stack.clone()));
+            return;
+        }
+        if stack.len() > max_hops {
+            return;
+        }
+        for &next in ctx.landmarks.neighbors(cur) {
+            if let Some(&i) = index_of.get(&next) {
+                if !on_path[i] {
+                    on_path[i] = true;
+                    stack.push(next);
+                    dfs(ctx, index_of, probs, dst, max_hops, max_paths, stack, on_path, acc + probs[i], out);
+                    stack.pop();
+                    on_path[i] = false;
+                }
+            }
+        }
+    }
+
+    let acc0 = probs[index_of[&src]];
+    dfs(ctx, &index_of, probs, dst, max_hops, max_paths, &mut stack, &mut on_path, acc0, &mut out);
+    out.sort_by(|a, b| b.0.total_cmp(&a.0));
+    out.truncate(max_paths);
+    out.into_iter().map(|(_, p)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PartitionStrategy;
+    use mtshare_mobility::Trip;
+    use mtshare_road::{grid_city, GridCityConfig};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<RoadNetwork>, Arc<MobilityContext>, PathCache) {
+        let g = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Bias historical demand toward the NE corner so probabilistic
+        // routing has structure to exploit.
+        let trips: Vec<_> = (0..1500)
+            .map(|_| Trip {
+                origin: NodeId(rng.gen_range(0..400)),
+                destination: NodeId(300 + rng.gen_range(0..100)),
+            })
+            .collect();
+        let ctx = MobilityContext::build(&g, &trips, 16, 4, 7, PartitionStrategy::Bipartite);
+        let cache = PathCache::new(g.clone());
+        (g, ctx, cache)
+    }
+
+    #[test]
+    fn basic_leg_is_exactly_shortest() {
+        let (g, ctx, cache) = setup();
+        let cfg = MtShareConfig::default();
+        let mut r = SegmentRouter::new(&g);
+        for (s, t) in [(0u32, 399u32), (20, 360), (111, 7), (5, 5)] {
+            let leg = r.basic_leg(&g, &ctx, &cfg, &cache, NodeId(s), NodeId(t)).unwrap();
+            let want = cache.cost(NodeId(s), NodeId(t)).unwrap();
+            assert!((leg.cost_s - want).abs() < 1e-6, "{s}->{t}");
+            assert_eq!(leg.start(), NodeId(s));
+            assert_eq!(leg.end(), NodeId(t));
+        }
+        let st = r.stats();
+        assert!(st.filtered_hits + st.filtered_fallbacks >= 3);
+    }
+
+    #[test]
+    fn probabilistic_leg_respects_budget_and_is_connected() {
+        let (g, ctx, cache) = setup();
+        let cfg = MtShareConfig::default().with_probabilistic();
+        let mut r = SegmentRouter::new(&g);
+        let shortest = cache.cost(NodeId(0), NodeId(399)).unwrap();
+        let budget = shortest * 2.0;
+        let dir = g.point(NodeId(0)).displacement_m(&g.point(NodeId(399)));
+        let leg = r
+            .probabilistic_leg(&g, &ctx, &cfg, &cache, NodeId(0), NodeId(399), dir, budget)
+            .unwrap();
+        assert!(leg.cost_s <= budget + 1e-6);
+        assert!(leg.cost_s >= shortest - 1e-6);
+        // Valid walk.
+        for w in leg.nodes.windows(2) {
+            assert!(g.direct_edge_cost(w[0], w[1]).is_some());
+        }
+    }
+
+    #[test]
+    fn probabilistic_tight_budget_falls_back_to_shortest() {
+        let (g, ctx, cache) = setup();
+        let cfg = MtShareConfig::default().with_probabilistic();
+        let mut r = SegmentRouter::new(&g);
+        let shortest = cache.cost(NodeId(0), NodeId(399)).unwrap();
+        let dir = g.point(NodeId(0)).displacement_m(&g.point(NodeId(399)));
+        // Budget exactly the shortest cost: only the shortest path fits.
+        let leg = r
+            .probabilistic_leg(&g, &ctx, &cfg, &cache, NodeId(0), NodeId(399), dir, shortest)
+            .unwrap();
+        assert!((leg.cost_s - shortest).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partition_path_enumeration_connects_endpoints() {
+        let (g, ctx, _) = setup();
+        let filtered =
+            filter_partitions(&g, &ctx, NodeId(0), NodeId(399), -1.0, 5.0);
+        let probs = vec![1.0f32; filtered.partitions.len()];
+        let paths = enumerate_partition_paths(
+            &ctx,
+            &filtered.partitions,
+            &probs,
+            ctx.partitioning.partition_of(NodeId(0)),
+            ctx.partitioning.partition_of(NodeId(399)),
+            12,
+            16,
+        );
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert_eq!(*p.first().unwrap(), ctx.partitioning.partition_of(NodeId(0)));
+            assert_eq!(*p.last().unwrap(), ctx.partitioning.partition_of(NodeId(399)));
+            // Consecutive partitions adjacent.
+            for w in p.windows(2) {
+                assert!(ctx.landmarks.neighbors(w[0]).contains(&w[1]));
+            }
+            // Simple path.
+            let set: std::collections::HashSet<_> = p.iter().collect();
+            assert_eq!(set.len(), p.len());
+        }
+    }
+
+    #[test]
+    fn enumeration_ranks_by_probability() {
+        let (g, ctx, _) = setup();
+        let filtered = filter_partitions(&g, &ctx, NodeId(0), NodeId(399), -1.0, 5.0);
+        // Give one mid partition huge probability.
+        let mut probs = vec![0.01f32; filtered.partitions.len()];
+        if probs.len() > 3 {
+            probs[2] = 100.0;
+        }
+        let paths = enumerate_partition_paths(
+            &ctx,
+            &filtered.partitions,
+            &probs,
+            ctx.partitioning.partition_of(NodeId(0)),
+            ctx.partitioning.partition_of(NodeId(399)),
+            12,
+            8,
+        );
+        if paths.len() >= 2 {
+            let score = |p: &Vec<PartitionId>| -> f32 {
+                p.iter()
+                    .map(|q| {
+                        let i = filtered.partitions.iter().position(|x| x == q).unwrap();
+                        probs[i]
+                    })
+                    .sum()
+            };
+            assert!(score(&paths[0]) >= score(&paths[1]));
+        }
+    }
+}

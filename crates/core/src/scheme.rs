@@ -1,0 +1,281 @@
+//! The mT-Share dispatch scheme: dual indexing + mobility-aware matching.
+
+use crate::candidates::candidate_taxis;
+use crate::config::MtShareConfig;
+use crate::context::MobilityContext;
+use crate::index::{MobilityClusterIndex, PartitionTaxiIndex};
+use crate::routing::{RouterStats, SegmentRouter};
+use crate::scheduling::schedule_best;
+use mtshare_model::{DispatchOutcome, DispatchScheme, RideRequest, Taxi, TaxiId, Time, World};
+use mtshare_road::RoadNetwork;
+
+/// The mT-Share system (Sec. IV). Construct with a prebuilt
+/// [`MobilityContext`] (partitions + landmarks + transition statistics) so
+/// the offline artifacts can be shared across experiment runs.
+pub struct MtShare {
+    cfg: MtShareConfig,
+    ctx: std::sync::Arc<MobilityContext>,
+    pindex: PartitionTaxiIndex,
+    mindex: MobilityClusterIndex,
+    router: SegmentRouter,
+    name: &'static str,
+}
+
+impl MtShare {
+    /// Creates an mT-Share instance for a fleet of `n_taxis`.
+    pub fn new(
+        graph: &RoadNetwork,
+        ctx: std::sync::Arc<MobilityContext>,
+        cfg: MtShareConfig,
+        n_taxis: usize,
+    ) -> Self {
+        let name = if cfg.probabilistic { "mT-Share_pro" } else { "mT-Share" };
+        Self {
+            pindex: PartitionTaxiIndex::new(ctx.kappa(), n_taxis),
+            mindex: MobilityClusterIndex::new(cfg.lambda, n_taxis),
+            router: SegmentRouter::new(graph),
+            cfg,
+            ctx,
+            name,
+        }
+    }
+
+    /// The mobility context in use.
+    pub fn context(&self) -> &MobilityContext {
+        &self.ctx
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MtShareConfig {
+        &self.cfg
+    }
+
+    /// Routing counters (filter hits/fallbacks, probabilistic legs).
+    pub fn router_stats(&self) -> RouterStats {
+        self.router.stats()
+    }
+
+    fn reindex(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
+        self.pindex.update_taxi(taxi, &self.ctx, now, self.cfg.tmp_horizon_s);
+        self.mindex.update_taxi(taxi, world.graph, world.requests, now);
+    }
+}
+
+impl DispatchScheme for MtShare {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn install(&mut self, world: &World<'_>) {
+        for taxi in world.taxis {
+            self.reindex(taxi, 0.0, world);
+        }
+    }
+
+    fn dispatch(&mut self, req: &RideRequest, now: Time, world: &World<'_>) -> DispatchOutcome {
+        let candidates =
+            candidate_taxis(req, now, world, &self.ctx, &self.cfg, &self.pindex, &self.mindex);
+        let (assignment, examined) =
+            schedule_best(req, &candidates, now, world, &self.ctx, &self.cfg, &mut self.router);
+        DispatchOutcome { assignment, candidates_examined: examined }
+    }
+
+    fn dispatch_offline(
+        &mut self,
+        req: &RideRequest,
+        encountered_by: TaxiId,
+        now: Time,
+        world: &World<'_>,
+    ) -> DispatchOutcome {
+        // Per Sec. IV-C2: the encountering taxi is examined first; only if
+        // it cannot validly serve the request does the server dispatch
+        // another taxi.
+        let (direct, _) = schedule_best(
+            req,
+            &[encountered_by],
+            now,
+            world,
+            &self.ctx,
+            &self.cfg,
+            &mut self.router,
+        );
+        if let Some(a) = direct {
+            return DispatchOutcome { assignment: Some(a), candidates_examined: 1 };
+        }
+        let mut out = self.dispatch(req, now, world);
+        out.candidates_examined += 1;
+        out
+    }
+
+    fn after_assign(&mut self, taxi: &Taxi, world: &World<'_>) {
+        self.reindex(taxi, taxi.location_time.max(0.0), world);
+    }
+
+    fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
+        self.reindex(taxi, now, world);
+    }
+
+    fn index_memory_bytes(&self) -> usize {
+        self.pindex.memory_bytes() + self.mindex.memory_bytes() + self.ctx.memory_bytes()
+    }
+
+    fn uses_probabilistic_routing(&self) -> bool {
+        self.cfg.probabilistic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PartitionStrategy;
+    use mtshare_mobility::Trip;
+    use mtshare_model::{RequestId, RequestStore, RideRequest, TimedRoute};
+    use mtshare_road::{grid_city, GridCityConfig, NodeId};
+    use mtshare_routing::{HotNodeOracle, PathCache};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use std::sync::Arc;
+
+    struct Sim {
+        graph: Arc<RoadNetwork>,
+        cache: PathCache,
+        oracle: HotNodeOracle,
+        taxis: Vec<Taxi>,
+        requests: RequestStore,
+        scheme: MtShare,
+    }
+
+    impl Sim {
+        fn new(n_taxis: usize, probabilistic: bool) -> Self {
+            let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+            let mut rng = SmallRng::seed_from_u64(7);
+            let trips: Vec<_> = (0..800)
+                .map(|_| Trip {
+                    origin: NodeId(rng.gen_range(0..400)),
+                    destination: NodeId(rng.gen_range(0..400)),
+                })
+                .collect();
+            let ctx = MobilityContext::build(&graph, &trips, 16, 4, 7, PartitionStrategy::Bipartite);
+            let cfg = if probabilistic {
+                MtShareConfig::default().with_probabilistic()
+            } else {
+                MtShareConfig::default()
+            };
+            let scheme = MtShare::new(&graph, ctx, cfg, n_taxis);
+            let mut taxis = Vec::new();
+            for i in 0..n_taxis {
+                taxis.push(Taxi::new(TaxiId(i as u32), 4, NodeId((i * 97 % 400) as u32)));
+            }
+            let cache = PathCache::new(graph.clone());
+            let oracle = HotNodeOracle::new(graph.clone());
+            Self { graph, cache, oracle, taxis, requests: RequestStore::new(), scheme }
+        }
+
+        fn make_request(&mut self, origin: u32, dest: u32, release: f64) -> RideRequest {
+            let direct = self.cache.cost(NodeId(origin), NodeId(dest)).unwrap();
+            self.oracle.pin(NodeId(origin));
+            self.oracle.pin(NodeId(dest));
+            let req = RideRequest {
+                id: RequestId(self.requests.len() as u32),
+                release_time: release,
+                origin: NodeId(origin),
+                destination: NodeId(dest),
+                passengers: 1,
+                deadline: release + direct * 1.3,
+                direct_cost_s: direct,
+                offline: false,
+            };
+            self.requests.push(req.clone());
+            req
+        }
+
+        fn dispatch_and_commit(&mut self, req: &RideRequest, now: f64) -> bool {
+            let out = {
+                // Split borrows: World reads fleet state, scheme is mutated.
+                let world = World {
+                    graph: &self.graph,
+                    cache: &self.cache,
+                    oracle: &self.oracle,
+                    taxis: &self.taxis,
+                    requests: &self.requests,
+                };
+                self.scheme.dispatch(req, now, &world)
+            };
+            match out.assignment {
+                None => false,
+                Some(a) => {
+                    let t = &mut self.taxis[a.taxi.index()];
+                    let pos = t.position_at(now);
+                    let route = TimedRoute::build_on(&self.graph, pos, now, &a.legs, &a.schedule);
+                    t.assigned.push(req.id);
+                    t.location = pos;
+                    t.location_time = now;
+                    t.set_plan(a.schedule, route, now);
+                    let world = World {
+                        graph: &self.graph,
+                        cache: &self.cache,
+                        oracle: &self.oracle,
+                        taxis: &self.taxis,
+                        requests: &self.requests,
+                    };
+                    let taxi = &self.taxis[a.taxi.index()];
+                    self.scheme.after_assign(taxi, &world);
+                    true
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn install_indexes_the_fleet() {
+        let mut sim = Sim::new(5, false);
+        let world = World {
+            graph: &sim.graph,
+            cache: &sim.cache,
+            oracle: &sim.oracle,
+            taxis: &sim.taxis,
+            requests: &sim.requests,
+        };
+        sim.scheme.install(&world);
+        assert!(sim.scheme.index_memory_bytes() > 0);
+        assert_eq!(sim.scheme.name(), "mT-Share");
+    }
+
+    #[test]
+    fn end_to_end_dispatch_commit_cycle() {
+        let mut sim = Sim::new(8, false);
+        {
+            let world = World {
+                graph: &sim.graph,
+                cache: &sim.cache,
+                oracle: &sim.oracle,
+                taxis: &sim.taxis,
+                requests: &sim.requests,
+            };
+            sim.scheme.install(&world);
+        }
+        let mut served = 0;
+        let specs = [(0u32, 399u32), (21, 380), (40, 350), (399, 0), (200, 10)];
+        for (k, (o, d)) in specs.iter().enumerate() {
+            let now = k as f64 * 30.0;
+            let req = sim.make_request(*o, *d, now);
+            if sim.dispatch_and_commit(&req, now) {
+                served += 1;
+            }
+        }
+        assert!(served >= 3, "only {served}/5 served");
+        // Committed taxis must have consistent state.
+        for t in &sim.taxis {
+            if let Some(route) = &t.route {
+                assert_eq!(route.event_node_idx.len(), t.schedule.len());
+            }
+            assert!(t.schedule.precedence_ok());
+        }
+    }
+
+    #[test]
+    fn probabilistic_variant_reports_name_and_flag() {
+        let sim = Sim::new(2, true);
+        assert_eq!(sim.scheme.name(), "mT-Share_pro");
+        assert!(sim.scheme.uses_probabilistic_routing());
+    }
+}

@@ -1,0 +1,93 @@
+//! Grid-based map partitioning — the baseline strategy of T-Share /
+//! pGreedyDP and the comparison point of Table V.
+//!
+//! Divides the bounding box into roughly square cells targeting κ non-empty
+//! partitions, ignoring transition patterns entirely.
+
+use crate::partition::MapPartitioning;
+use mtshare_road::RoadNetwork;
+
+/// Partitions the graph with a uniform grid targeting `kappa` non-empty
+/// cells. Returns the same [`MapPartitioning`] type as the bipartite
+/// partitioner so every consumer is strategy-agnostic.
+pub fn grid_partition(graph: &RoadNetwork, kappa: usize) -> MapPartitioning {
+    assert!(kappa >= 1);
+    assert!(graph.node_count() > 0, "graph must be non-empty");
+    let bbox = graph.bbox();
+    let w = bbox.width_m().max(1.0);
+    let h = bbox.height_m().max(1.0);
+    // rows/cols proportioned to the aspect ratio so cells are square-ish.
+    let rows = ((kappa as f64 * h / w).sqrt().round() as usize).max(1);
+    let cols = kappa.div_ceil(rows).max(1);
+
+    let dlat = (bbox.max_lat - bbox.min_lat).max(1e-12) / rows as f64 * (1.0 + 1e-12);
+    let dlng = (bbox.max_lng - bbox.min_lng).max(1e-12) / cols as f64 * (1.0 + 1e-12);
+
+    // First pass: raw cell per vertex.
+    let mut raw = Vec::with_capacity(graph.node_count());
+    for n in graph.nodes() {
+        let p = graph.point(n);
+        let r = (((p.lat - bbox.min_lat) / dlat) as usize).min(rows - 1);
+        let c = (((p.lng - bbox.min_lng) / dlng) as usize).min(cols - 1);
+        raw.push(r * cols + c);
+    }
+    // Compact non-empty cells into contiguous labels.
+    let mut remap = vec![u16::MAX; rows * cols];
+    let mut next = 0u16;
+    let mut assignment = Vec::with_capacity(raw.len());
+    for cell in raw {
+        if remap[cell] == u16::MAX {
+            remap[cell] = next;
+            next += 1;
+        }
+        assignment.push(remap[cell]);
+    }
+    MapPartitioning::from_assignment(graph, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtshare_road::{grid_city, GridCityConfig, NodeId};
+
+    #[test]
+    fn covers_all_vertices() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let p = grid_partition(&g, 16);
+        let total: usize = p.partitions().map(|q| p.members(q).len()).sum();
+        assert_eq!(total, g.node_count());
+    }
+
+    #[test]
+    fn partition_count_near_target() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        for kappa in [4, 9, 16, 25] {
+            let p = grid_partition(&g, kappa);
+            assert!(
+                p.len() >= kappa / 2 && p.len() <= kappa * 2,
+                "kappa={kappa} produced {} partitions",
+                p.len()
+            );
+        }
+    }
+
+    #[test]
+    fn cells_are_spatially_tight() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let p = grid_partition(&g, 16);
+        let diam = g.bbox().width_m().hypot(g.bbox().height_m());
+        for q in p.partitions() {
+            assert!(p.radius_m(q) < diam / 3.0);
+            assert_eq!(p.partition_of(p.landmark(q)), q);
+        }
+    }
+
+    #[test]
+    fn single_cell_degenerate() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let p = grid_partition(&g, 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.members(p.partitions().next().unwrap()).len(), g.node_count());
+        assert_eq!(p.partition_of(NodeId(0)), p.partition_of(NodeId(399)));
+    }
+}

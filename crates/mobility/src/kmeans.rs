@@ -1,0 +1,230 @@
+//! Seeded k-means with k-means++ initialization.
+//!
+//! Used three ways by the bipartite map partitioning (Sec. IV-B1): on
+//! vertex coordinates (spatial clustering), on transition-probability
+//! vectors (transition clustering), and again on coordinates inside each
+//! transition cluster (geo-clustering). Deterministic given a seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per input point.
+    pub assignment: Vec<u32>,
+    /// Flat centroid matrix (`k × dim`).
+    pub centroids: Vec<f64>,
+    /// Number of clusters actually produced (≤ requested k; empty clusters
+    /// are reseeded, but k > n yields exactly n singleton clusters).
+    pub k: usize,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+#[inline]
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means over `n = data.len() / dim` points of dimension `dim`.
+///
+/// # Panics
+/// Panics when `dim == 0`, `k == 0`, or `data.len()` is not a multiple of
+/// `dim`.
+#[allow(clippy::needless_range_loop)] // indices address several parallel arrays
+pub fn kmeans(data: &[f64], dim: usize, k: usize, seed: u64, max_iter: usize) -> KMeansResult {
+    assert!(dim > 0, "dim must be positive");
+    assert!(k > 0, "k must be positive");
+    assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+    let n = data.len() / dim;
+    if n == 0 {
+        return KMeansResult { assignment: Vec::new(), centroids: Vec::new(), k: 0, inertia: 0.0, iterations: 0 };
+    }
+    let k = k.min(n);
+    let point = |i: usize| &data[i * dim..(i + 1) * dim];
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // --- k-means++ seeding ---
+    let mut centroids = Vec::with_capacity(k * dim);
+    let first = rng.gen_range(0..n);
+    centroids.extend_from_slice(point(first));
+    let mut min_d2 = vec![f64::INFINITY; n];
+    while centroids.len() / dim < k {
+        let last = &centroids[centroids.len() - dim..];
+        let mut total = 0.0;
+        for i in 0..n {
+            let d = dist2(point(i), last);
+            if d < min_d2[i] {
+                min_d2[i] = d;
+            }
+            total += min_d2[i];
+        }
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with chosen centroids.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in min_d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.extend_from_slice(point(next));
+    }
+
+    // --- Lloyd iterations ---
+    let mut assignment = vec![0u32; n];
+    let mut iterations = 0;
+    let mut counts = vec![0usize; k];
+    let mut sums = vec![0.0f64; k * dim];
+    for it in 0..max_iter.max(1) {
+        iterations = it + 1;
+        let mut changed = false;
+        for i in 0..n {
+            let p = point(i);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = dist2(p, &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best as u32 {
+                assignment[i] = best as u32;
+                changed = true;
+            }
+        }
+        counts.iter_mut().for_each(|c| *c = 0);
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        for i in 0..n {
+            let c = assignment[i] as usize;
+            counts[c] += 1;
+            for (s, v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(point(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Reseed an empty cluster at the point farthest from its
+                // current centroid assignment.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = dist2(point(a), &centroids[assignment[a] as usize * dim..][..dim]);
+                        let db = dist2(point(b), &centroids[assignment[b] as usize * dim..][..dim]);
+                        da.total_cmp(&db)
+                    })
+                    .unwrap();
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(point(far));
+                changed = true;
+            } else {
+                for (cd, s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                    *cd = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    let inertia = (0..n).map(|i| dist2(point(i), &centroids[assignment[i] as usize * dim..][..dim])).sum();
+    KMeansResult { assignment, centroids, k, inertia, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(seed: u64) -> (Vec<f64>, usize) {
+        // Three well-separated 2-d blobs of 30 points each.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 8.0)];
+        let mut data = Vec::new();
+        for &(cx, cy) in &centers {
+            for _ in 0..30 {
+                data.push(cx + rng.gen_range(-1.0..1.0));
+                data.push(cy + rng.gen_range(-1.0..1.0));
+            }
+        }
+        (data, 2)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (data, dim) = blobs(1);
+        let r = kmeans(&data, dim, 3, 42, 50);
+        assert_eq!(r.k, 3);
+        // Points of a blob must share a label.
+        for b in 0..3 {
+            let label = r.assignment[b * 30];
+            for i in 0..30 {
+                assert_eq!(r.assignment[b * 30 + i], label, "blob {b} split");
+            }
+        }
+        assert!(r.inertia < 90.0 * 2.0, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn every_point_assigned_to_nearest_centroid() {
+        let (data, dim) = blobs(2);
+        let r = kmeans(&data, dim, 4, 7, 50);
+        let n = data.len() / dim;
+        for i in 0..n {
+            let p = &data[i * dim..(i + 1) * dim];
+            let own = dist2(p, &r.centroids[r.assignment[i] as usize * dim..][..dim]);
+            for c in 0..r.k {
+                let d = dist2(p, &r.centroids[c * dim..(c + 1) * dim]);
+                assert!(own <= d + 1e-9, "point {i} not at nearest centroid");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, dim) = blobs(3);
+        let a = kmeans(&data, dim, 3, 9, 50);
+        let b = kmeans(&data, dim, 3, 9, 50);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let data = vec![0.0, 0.0, 1.0, 1.0];
+        let r = kmeans(&data, 2, 10, 1, 20);
+        assert_eq!(r.k, 2);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let data = vec![5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0];
+        let r = kmeans(&data, 2, 2, 3, 20);
+        assert_eq!(r.assignment.len(), 4);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = kmeans(&[], 2, 3, 0, 10);
+        assert_eq!(r.k, 0);
+        assert!(r.assignment.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn rejects_ragged_data() {
+        let _ = kmeans(&[1.0, 2.0, 3.0], 2, 1, 0, 5);
+    }
+}

@@ -1,0 +1,28 @@
+//! Mobility substrate for mT-Share (Sec. IV-B).
+//!
+//! Implements the two indexing foundations of the system:
+//!
+//! - **Bipartite map partitioning** ([`partition`]): vertices are grouped by
+//!   geography *and* transition patterns mined from historical trips
+//!   ([`transition`]), on top of a seeded k-means ([`kmeans`]). Each
+//!   partitioning carries landmarks and a landmark graph ([`landmark`]).
+//!   The grid strategy of prior work lives in [`grid_partition`] for the
+//!   Table V ablation.
+//! - **Mobility clustering** ([`cluster`]): requests and busy taxis are
+//!   clustered by travel direction with a cosine threshold λ.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod grid_partition;
+pub mod kmeans;
+pub mod landmark;
+pub mod partition;
+pub mod transition;
+
+pub use cluster::{ClusterId, MobilityClusterer, MobilityVector};
+pub use grid_partition::grid_partition;
+pub use kmeans::{kmeans, KMeansResult};
+pub use landmark::LandmarkGraph;
+pub use partition::{bipartite_partition, BipartiteConfig, MapPartitioning, PartitionId};
+pub use transition::{TransitionModel, Trip};

@@ -1,0 +1,366 @@
+//! Map partitionings and the bipartite map partitioner (Sec. IV-B1).
+//!
+//! A [`MapPartitioning`] groups road-network vertices into κ partitions
+//! whose members are geographically close and — for the bipartite variant —
+//! share similar transition patterns mined from historical trips. Each
+//! partition exposes a landmark (Def. 7), its geographic centroid, and a
+//! covering radius used to intersect partitions with search circles.
+
+use crate::kmeans::kmeans;
+use crate::transition::{TransitionModel, Trip};
+use mtshare_road::{GeoPoint, NodeId, RoadNetwork};
+
+/// Identifier of a map partition. `u16` suffices: κ ≤ 250 in every paper
+/// experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub u16);
+
+impl PartitionId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A partitioning of all road-network vertices.
+#[derive(Debug, Clone)]
+pub struct MapPartitioning {
+    assignment: Vec<u16>,
+    members: Vec<Vec<NodeId>>,
+    landmarks: Vec<NodeId>,
+    centroids: Vec<GeoPoint>,
+    radii_m: Vec<f64>,
+}
+
+impl MapPartitioning {
+    /// Assembles a partitioning from a per-vertex label vector.
+    ///
+    /// Labels must form a contiguous range `0..k`. The landmark of each
+    /// partition is the member vertex closest to the partition's geographic
+    /// centroid — a documented approximation of Def. 7's graph-median that
+    /// avoids per-partition all-pairs searches.
+    pub fn from_assignment(graph: &RoadNetwork, assignment: Vec<u16>) -> Self {
+        assert_eq!(assignment.len(), graph.node_count());
+        let k = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for (i, &p) in assignment.iter().enumerate() {
+            members[p as usize].push(NodeId(i as u32));
+        }
+        assert!(members.iter().all(|m| !m.is_empty()), "labels must be contiguous, no empty partition");
+        let mut centroids = Vec::with_capacity(k);
+        let mut landmarks = Vec::with_capacity(k);
+        let mut radii_m = Vec::with_capacity(k);
+        for mem in &members {
+            let (mut lat, mut lng) = (0.0, 0.0);
+            for &v in mem {
+                let p = graph.point(v);
+                lat += p.lat;
+                lng += p.lng;
+            }
+            let c = GeoPoint::new(lat / mem.len() as f64, lng / mem.len() as f64);
+            centroids.push(c);
+            let lm = *mem
+                .iter()
+                .min_by(|a, b| graph.point(**a).distance_m(&c).total_cmp(&graph.point(**b).distance_m(&c)))
+                .expect("non-empty partition");
+            landmarks.push(lm);
+            let r = mem.iter().map(|&v| graph.point(v).distance_m(&c)).fold(0.0, f64::max);
+            radii_m.push(r);
+        }
+        Self { assignment, members, landmarks, centroids, radii_m }
+    }
+
+    /// Number of partitions κ.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the partitioning is empty (graph had no vertices).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Partition containing `node`.
+    #[inline]
+    pub fn partition_of(&self, node: NodeId) -> PartitionId {
+        PartitionId(self.assignment[node.index()])
+    }
+
+    /// Member vertices of partition `p`.
+    #[inline]
+    pub fn members(&self, p: PartitionId) -> &[NodeId] {
+        &self.members[p.index()]
+    }
+
+    /// Landmark vertex of partition `p` (Def. 7).
+    #[inline]
+    pub fn landmark(&self, p: PartitionId) -> NodeId {
+        self.landmarks[p.index()]
+    }
+
+    /// All landmarks, indexed by partition.
+    #[inline]
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Geographic centroid of partition `p`.
+    #[inline]
+    pub fn centroid(&self, p: PartitionId) -> GeoPoint {
+        self.centroids[p.index()]
+    }
+
+    /// Covering radius of partition `p` around its centroid, metres.
+    #[inline]
+    pub fn radius_m(&self, p: PartitionId) -> f64 {
+        self.radii_m[p.index()]
+    }
+
+    /// Iterator over all partition ids.
+    pub fn partitions(&self) -> impl Iterator<Item = PartitionId> {
+        (0..self.members.len() as u16).map(PartitionId)
+    }
+
+    /// Partitions whose covering disc intersects the circle
+    /// `(center, radius_m)` — the map-partition set `S_ri` of Sec. IV-C1.
+    pub fn intersecting_circle(&self, center: &GeoPoint, radius_m: f64) -> Vec<PartitionId> {
+        self.partitions()
+            .filter(|&p| self.centroids[p.index()].distance_m(center) <= radius_m + self.radii_m[p.index()])
+            .collect()
+    }
+
+    /// Per-vertex label slice (used to key transition models).
+    pub fn labels_u32(&self) -> Vec<u32> {
+        self.assignment.iter().map(|&p| p as u32).collect()
+    }
+
+    /// Approximate resident memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.assignment.len() * 2
+            + self.members.iter().map(|m| m.len() * 4).sum::<usize>()
+            + self.landmarks.len() * 4
+            + self.centroids.len() * std::mem::size_of::<GeoPoint>()
+            + self.radii_m.len() * 8
+    }
+}
+
+/// Configuration of the bipartite map partitioner.
+#[derive(Debug, Clone)]
+pub struct BipartiteConfig {
+    /// Target number of spatial partitions κ.
+    pub kappa: usize,
+    /// Number of transition clusters `kt` (paper default 20, `kt < κ`).
+    pub kt: usize,
+    /// Maximum outer refinement rounds.
+    pub max_rounds: usize,
+    /// Stop when fewer than this fraction of vertices change partition
+    /// between rounds.
+    pub tol: f64,
+    /// RNG seed for the k-means stages.
+    pub seed: u64,
+    /// Lloyd iterations per k-means invocation.
+    pub kmeans_iters: usize,
+}
+
+impl Default for BipartiteConfig {
+    fn default() -> Self {
+        Self { kappa: 96, kt: 12, max_rounds: 4, tol: 0.01, seed: 17, kmeans_iters: 30 }
+    }
+}
+
+/// Runs the three-step bipartite map partitioning until the partitions
+/// stabilize (Sec. IV-B1):
+///
+/// 1. transition-probability calculation per vertex against the current
+///    spatial clusters;
+/// 2. transition clustering of the probability vectors into `kt` groups;
+/// 3. geo-clustering inside each transition cluster into
+///    `⌊n·κ/N + 1/2⌋` spatial clusters.
+pub fn bipartite_partition(
+    graph: &RoadNetwork,
+    trips: &[Trip],
+    cfg: &BipartiteConfig,
+) -> MapPartitioning {
+    let n = graph.node_count();
+    assert!(n > 0, "graph must be non-empty");
+    assert!(cfg.kappa >= 1 && cfg.kt >= 1);
+    let coords: Vec<f64> = graph
+        .points()
+        .iter()
+        .flat_map(|p| {
+            // Scale longitude so Euclidean distance ≈ metres ratio.
+            let scale = p.lat.to_radians().cos();
+            [p.lat, p.lng * scale]
+        })
+        .collect();
+
+    // Initial spatial clustering on coordinates.
+    let init = kmeans(&coords, 2, cfg.kappa, cfg.seed, cfg.kmeans_iters);
+    let mut assignment: Vec<u32> = init.assignment;
+    let mut current_k = init.k;
+
+    for round in 0..cfg.max_rounds {
+        // ① transition probabilities against current clusters.
+        let tm = TransitionModel::from_trips(n, trips, &assignment, current_k);
+        // ② transition clustering.
+        let tc = kmeans(&tm.rows_f64(), current_k, cfg.kt, cfg.seed ^ (round as u64 + 1), cfg.kmeans_iters);
+        // ③ geo-clustering inside each transition cluster.
+        let mut new_assignment = vec![0u32; n];
+        let mut next = 0u32;
+        for t in 0..tc.k {
+            let members: Vec<usize> = (0..n).filter(|&i| tc.assignment[i] == t as u32).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let sub_k = ((members.len() * cfg.kappa) as f64 / n as f64 + 0.5).floor().max(1.0) as usize;
+            let sub_coords: Vec<f64> =
+                members.iter().flat_map(|&i| [coords[2 * i], coords[2 * i + 1]]).collect();
+            let sub = kmeans(&sub_coords, 2, sub_k, cfg.seed ^ (0x9E37 + t as u64), cfg.kmeans_iters);
+            for (j, &i) in members.iter().enumerate() {
+                new_assignment[i] = next + sub.assignment[j];
+            }
+            next += sub.k as u32;
+        }
+        let changed = relabelled_change_fraction(&assignment, current_k, &new_assignment, next as usize);
+        assignment = new_assignment;
+        current_k = next as usize;
+        if changed < cfg.tol {
+            break;
+        }
+    }
+
+    assert!(current_k <= u16::MAX as usize, "partition labels exceed u16 ({current_k})");
+    MapPartitioning::from_assignment(graph, assignment.iter().map(|&p| p as u16).collect())
+}
+
+/// Fraction of vertices that changed partition between two labelings, after
+/// mapping each new label to its majority-overlap old label (labels permute
+/// freely between rounds, so raw comparison is meaningless).
+fn relabelled_change_fraction(old: &[u32], old_k: usize, new: &[u32], new_k: usize) -> f64 {
+    if old.is_empty() {
+        return 0.0;
+    }
+    // majority[new_label] = old label with the largest overlap.
+    let mut overlap = vec![0u32; new_k * old_k.max(1)];
+    for (o, nl) in old.iter().zip(new) {
+        overlap[*nl as usize * old_k + *o as usize] += 1;
+    }
+    let majority: Vec<u32> = (0..new_k)
+        .map(|nl| {
+            (0..old_k)
+                .max_by_key(|&o| overlap[nl * old_k + o])
+                .unwrap_or(0) as u32
+        })
+        .collect();
+    let changed = old.iter().zip(new).filter(|(o, nl)| majority[**nl as usize] != **o).count();
+    changed as f64 / old.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtshare_road::{grid_city, GridCityConfig};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn city() -> RoadNetwork {
+        grid_city(&GridCityConfig::tiny()).unwrap()
+    }
+
+    fn random_trips(g: &RoadNetwork, n: usize, seed: u64) -> Vec<Trip> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Trip {
+                origin: NodeId(rng.gen_range(0..g.node_count() as u32)),
+                destination: NodeId(rng.gen_range(0..g.node_count() as u32)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn covers_every_vertex_with_nonempty_partitions() {
+        let g = city();
+        let trips = random_trips(&g, 2000, 1);
+        let cfg = BipartiteConfig { kappa: 16, kt: 4, ..Default::default() };
+        let p = bipartite_partition(&g, &trips, &cfg);
+        assert!(!p.is_empty());
+        let total: usize = p.partitions().map(|q| p.members(q).len()).sum();
+        assert_eq!(total, g.node_count());
+        for q in p.partitions() {
+            assert!(!p.members(q).is_empty());
+            // Landmark belongs to its own partition.
+            assert_eq!(p.partition_of(p.landmark(q)), q);
+        }
+    }
+
+    #[test]
+    fn partition_count_close_to_kappa() {
+        let g = city();
+        let trips = random_trips(&g, 2000, 2);
+        let cfg = BipartiteConfig { kappa: 16, kt: 4, ..Default::default() };
+        let p = bipartite_partition(&g, &trips, &cfg);
+        assert!(p.len() >= 8 && p.len() <= 32, "got {} partitions", p.len());
+    }
+
+    #[test]
+    fn members_are_geographically_coherent() {
+        let g = city();
+        let trips = random_trips(&g, 2000, 3);
+        let cfg = BipartiteConfig { kappa: 16, kt: 4, ..Default::default() };
+        let p = bipartite_partition(&g, &trips, &cfg);
+        // Average covering radius should be far below the city diameter.
+        let diam = g.bbox().width_m().hypot(g.bbox().height_m());
+        let avg_r: f64 = p.partitions().map(|q| p.radius_m(q)).sum::<f64>() / p.len() as f64;
+        assert!(avg_r < diam / 2.5, "avg radius {avg_r} vs diameter {diam}");
+    }
+
+    #[test]
+    fn intersecting_circle_finds_home_partition() {
+        let g = city();
+        let trips = random_trips(&g, 1000, 4);
+        let cfg = BipartiteConfig { kappa: 12, kt: 4, ..Default::default() };
+        let p = bipartite_partition(&g, &trips, &cfg);
+        let v = NodeId(123);
+        let home = p.partition_of(v);
+        let hits = p.intersecting_circle(&g.point(v), 100.0);
+        assert!(hits.contains(&home));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = city();
+        let trips = random_trips(&g, 1000, 5);
+        let cfg = BipartiteConfig { kappa: 12, kt: 4, ..Default::default() };
+        let a = bipartite_partition(&g, &trips, &cfg);
+        let b = bipartite_partition(&g, &trips, &cfg);
+        assert_eq!(a.labels_u32(), b.labels_u32());
+    }
+
+    #[test]
+    fn relabel_change_fraction_identity() {
+        let old = vec![0, 0, 1, 1, 2];
+        // Same grouping, permuted labels: no change.
+        let new = vec![2, 2, 0, 0, 1];
+        assert_eq!(relabelled_change_fraction(&old, 3, &new, 3), 0.0);
+        // One vertex moved.
+        let new2 = vec![2, 2, 0, 1, 1];
+        let f = relabelled_change_fraction(&old, 3, &new2, 3);
+        assert!(f > 0.0 && f <= 0.4);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let g = city();
+        let trips = random_trips(&g, 500, 6);
+        let p = bipartite_partition(&g, &trips, &BipartiteConfig { kappa: 8, kt: 3, ..Default::default() });
+        assert!(p.memory_bytes() > g.node_count() * 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Transition-probability mining from historical taxi trips.
+//!
+//! Step ① of the bipartite map partitioning (Sec. IV-B1): for every vertex
+//! `v_i`, compute the probability vector `B_i` over the κ spatial clusters,
+//! where `B_ij` is the probability that a ride calling a taxi at `v_i`
+//! travelled to cluster `j`. Probabilistic routing (Alg. 4) reuses these
+//! vectors to score partitions.
+
+use mtshare_road::NodeId;
+
+/// One historical taxi trip (origin/destination already snapped to graph
+/// vertices; this is all the mining needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trip {
+    /// Pick-up vertex.
+    pub origin: NodeId,
+    /// Drop-off vertex.
+    pub destination: NodeId,
+}
+
+/// Per-vertex transition-probability vectors over a cluster labelling.
+#[derive(Debug, Clone)]
+pub struct TransitionModel {
+    kappa: usize,
+    /// Row-major `N × κ` probabilities; rows sum to 1.
+    rows: Vec<f32>,
+    /// Observed trips per vertex (0 ⇒ uniform smoothing row).
+    counts: Vec<u32>,
+}
+
+impl TransitionModel {
+    /// Mines transition vectors from `trips`, destination-labelled by
+    /// `cluster_of` (vertex → spatial-cluster index, values < `kappa`).
+    ///
+    /// Vertices with no observed trips receive a uniform row, which keeps
+    /// downstream k-means well-defined everywhere.
+    pub fn from_trips(n_nodes: usize, trips: &[Trip], cluster_of: &[u32], kappa: usize) -> Self {
+        assert_eq!(cluster_of.len(), n_nodes, "cluster labelling must cover all vertices");
+        assert!(kappa > 0, "kappa must be positive");
+        let mut rows = vec![0.0f32; n_nodes * kappa];
+        let mut counts = vec![0u32; n_nodes];
+        for t in trips {
+            let dest_cluster = cluster_of[t.destination.index()] as usize;
+            debug_assert!(dest_cluster < kappa);
+            rows[t.origin.index() * kappa + dest_cluster] += 1.0;
+            counts[t.origin.index()] += 1;
+        }
+        for v in 0..n_nodes {
+            let row = &mut rows[v * kappa..(v + 1) * kappa];
+            let c = counts[v];
+            if c == 0 {
+                row.iter_mut().for_each(|p| *p = 1.0 / kappa as f32);
+            } else {
+                let inv = 1.0 / c as f32;
+                row.iter_mut().for_each(|p| *p *= inv);
+            }
+        }
+        Self { kappa, rows, counts }
+    }
+
+    /// Number of destination clusters κ.
+    #[inline]
+    pub fn kappa(&self) -> usize {
+        self.kappa
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Probability row of vertex `v` (length κ, sums to 1).
+    #[inline]
+    pub fn row(&self, v: NodeId) -> &[f32] {
+        &self.rows[v.index() * self.kappa..(v.index() + 1) * self.kappa]
+    }
+
+    /// `P(destination ∈ cluster | origin = v)`.
+    #[inline]
+    pub fn prob(&self, v: NodeId, cluster: usize) -> f32 {
+        self.rows[v.index() * self.kappa + cluster]
+    }
+
+    /// Accumulated probability from `v` to any cluster in `clusters`.
+    pub fn prob_to_any(&self, v: NodeId, clusters: &[bool]) -> f32 {
+        debug_assert_eq!(clusters.len(), self.kappa);
+        self.row(v).iter().zip(clusters).filter(|(_, &keep)| keep).map(|(p, _)| p).sum()
+    }
+
+    /// Number of trips observed departing from `v`.
+    #[inline]
+    pub fn observed(&self, v: NodeId) -> u32 {
+        self.counts[v.index()]
+    }
+
+    /// All rows, flattened (`N × κ` as `f64` for k-means input).
+    pub fn rows_f64(&self) -> Vec<f64> {
+        self.rows.iter().map(|&p| p as f64).collect()
+    }
+
+    /// Approximate resident memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * 4 + self.counts.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TransitionModel {
+        // 4 vertices, 2 clusters; cluster_of = [0, 0, 1, 1].
+        let cluster_of = vec![0, 0, 1, 1];
+        let trips = vec![
+            Trip { origin: NodeId(0), destination: NodeId(2) }, // 0 -> c1
+            Trip { origin: NodeId(0), destination: NodeId(3) }, // 0 -> c1
+            Trip { origin: NodeId(0), destination: NodeId(1) }, // 0 -> c0
+            Trip { origin: NodeId(1), destination: NodeId(0) }, // 1 -> c0
+        ];
+        TransitionModel::from_trips(4, &trips, &cluster_of, 2)
+    }
+
+    #[test]
+    fn probabilities_reflect_counts() {
+        let m = model();
+        assert!((m.prob(NodeId(0), 1) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.prob(NodeId(0), 0) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(m.prob(NodeId(1), 0), 1.0);
+        assert_eq!(m.observed(NodeId(0)), 3);
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        let m = model();
+        for v in 0..4u32 {
+            let s: f32 = m.row(NodeId(v)).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {v} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn unseen_vertex_gets_uniform_row() {
+        let m = model();
+        assert_eq!(m.observed(NodeId(3)), 0);
+        assert_eq!(m.prob(NodeId(3), 0), 0.5);
+        assert_eq!(m.prob(NodeId(3), 1), 0.5);
+    }
+
+    #[test]
+    fn prob_to_any_accumulates() {
+        let m = model();
+        assert!((m.prob_to_any(NodeId(0), &[true, true]) - 1.0).abs() < 1e-6);
+        assert!((m.prob_to_any(NodeId(0), &[false, true]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(m.prob_to_any(NodeId(0), &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn dimensions_and_memory() {
+        let m = model();
+        assert_eq!(m.kappa(), 2);
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.rows_f64().len(), 8);
+        assert!(m.memory_bytes() > 0);
+    }
+}

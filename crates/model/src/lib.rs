@@ -1,0 +1,33 @@
+//! Domain model for mT-Share: the vocabulary of Sec. III.
+//!
+//! - [`request`]: ride requests (Def. 2) and the request store;
+//! - [`taxi`]: taxi status (Def. 3) and in-simulation state;
+//! - [`schedule`]: taxi schedules (Def. 4), insertion enumeration and the
+//!   shared feasibility evaluator;
+//! - [`route`]: timed taxi routes (Def. 5);
+//! - [`fare`]: the regular-taxi tariff the payment model prices against;
+//! - [`scheme`]: the [`DispatchScheme`] trait implemented by mT-Share and
+//!   every baseline, plus the read-only [`World`] view.
+
+#![warn(missing_docs)]
+
+pub mod fare;
+pub mod insertion;
+pub mod reorder;
+pub mod request;
+pub mod route;
+pub mod schedule;
+pub mod scheme;
+pub mod taxi;
+
+/// Simulation time in seconds since scenario start.
+pub type Time = f64;
+
+pub use fare::FareTable;
+pub use insertion::{best_insertion, BestInsertion};
+pub use reorder::{best_reordering, BestReorder};
+pub use request::{RequestId, RequestStore, RideRequest};
+pub use route::TimedRoute;
+pub use schedule::{evaluate_schedule, EvalContext, EventKind, Schedule, ScheduleEvaluation, ScheduleEvent};
+pub use scheme::{Assignment, DispatchOutcome, DispatchScheme, World};
+pub use taxi::{Taxi, TaxiId};

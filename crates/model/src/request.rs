@@ -1,0 +1,173 @@
+//! Ride requests (Def. 2).
+
+use crate::Time;
+use mtshare_mobility::MobilityVector;
+use mtshare_road::{NodeId, RoadNetwork};
+
+/// Identifier of a ride request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u32);
+
+impl RequestId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A ride request `r_i = <t, o, d, e>` (Def. 2), extended with the rider
+/// count and the offline flag (Sec. III-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RideRequest {
+    /// Identifier.
+    pub id: RequestId,
+    /// Release time `t_ri`.
+    pub release_time: Time,
+    /// Trip origin `o_ri`.
+    pub origin: NodeId,
+    /// Trip destination `d_ri`.
+    pub destination: NodeId,
+    /// Number of riders travelling together.
+    pub passengers: u8,
+    /// Delivery deadline `e_ri`.
+    pub deadline: Time,
+    /// Shortest-path travel cost `cost(o_ri, d_ri)` in seconds.
+    pub direct_cost_s: f64,
+    /// Whether this is an offline (roadside-hailing) request `r̄_i`,
+    /// invisible to the system until a taxi encounters it.
+    pub offline: bool,
+}
+
+impl RideRequest {
+    /// Pick-up deadline `e_ri − cost(o_ri, d_ri)` (Sec. III-A).
+    #[inline]
+    pub fn pickup_deadline(&self) -> Time {
+        self.deadline - self.direct_cost_s
+    }
+
+    /// Remaining waiting budget `Δt` at time `now` (Eq. 2 evaluates this at
+    /// the release time).
+    #[inline]
+    pub fn wait_budget(&self, now: Time) -> f64 {
+        self.pickup_deadline() - now
+    }
+
+    /// Whether the deadline is achievable at all (a taxi at the origin at
+    /// release time could make it).
+    #[inline]
+    pub fn is_feasible(&self) -> bool {
+        self.direct_cost_s.is_finite() && self.deadline >= self.release_time + self.direct_cost_s
+    }
+
+    /// The request's mobility vector (Def. 9).
+    pub fn mobility_vector(&self, graph: &RoadNetwork) -> MobilityVector {
+        MobilityVector::new(graph.point(self.origin), graph.point(self.destination))
+    }
+}
+
+/// Append-only store of all requests seen by a scenario, indexed by
+/// [`RequestId`].
+#[derive(Debug, Clone, Default)]
+pub struct RequestStore {
+    all: Vec<RideRequest>,
+}
+
+impl RequestStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a request; its id must equal its position.
+    pub fn push(&mut self, req: RideRequest) {
+        assert_eq!(req.id.index(), self.all.len(), "request ids must be dense");
+        self.all.push(req);
+    }
+
+    /// Looks up a request.
+    #[inline]
+    pub fn get(&self, id: RequestId) -> &RideRequest {
+        &self.all[id.index()]
+    }
+
+    /// Number of stored requests.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether the store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Iterator over all requests.
+    pub fn iter(&self) -> impl Iterator<Item = &RideRequest> {
+        self.all.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> RideRequest {
+        RideRequest {
+            id: RequestId(0),
+            release_time: 100.0,
+            origin: NodeId(1),
+            destination: NodeId(2),
+            passengers: 1,
+            deadline: 100.0 + 600.0 * 1.3,
+            direct_cost_s: 600.0,
+            offline: false,
+        }
+    }
+
+    #[test]
+    fn pickup_deadline_and_wait_budget() {
+        let r = req();
+        assert!((r.pickup_deadline() - (100.0 + 780.0 - 600.0)).abs() < 1e-9);
+        assert!((r.wait_budget(100.0) - 180.0).abs() < 1e-9);
+        assert!((r.wait_budget(200.0) - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasibility() {
+        let r = req();
+        assert!(r.is_feasible());
+        let mut tight = req();
+        tight.deadline = 100.0 + 599.0;
+        assert!(!tight.is_feasible());
+        let mut unreachable = req();
+        unreachable.direct_cost_s = f64::INFINITY;
+        assert!(!unreachable.is_feasible());
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let mut s = RequestStore::new();
+        s.push(req());
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(RequestId(0)).origin, NodeId(1));
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn store_rejects_sparse_ids() {
+        let mut s = RequestStore::new();
+        let mut r = req();
+        r.id = RequestId(5);
+        s.push(r);
+    }
+}

@@ -1,0 +1,199 @@
+//! The dispatch-scheme interface every ridesharing policy implements.
+//!
+//! The simulator owns the fleet and the clock; a scheme is a matcher that,
+//! given a request and a read-only [`World`] view, proposes an
+//! [`Assignment`] (a full new schedule + routed legs for one taxi). The
+//! simulator commits the assignment and notifies the scheme so it can
+//! refresh its indexes. mT-Share and all baselines implement this trait,
+//! which is what keeps the Sec. V comparisons apples-to-apples.
+
+use crate::request::{RequestStore, RideRequest};
+use crate::schedule::Schedule;
+use crate::taxi::{Taxi, TaxiId};
+use crate::Time;
+use mtshare_road::RoadNetwork;
+use mtshare_routing::{HotNodeOracle, Path, PathCache};
+use std::sync::Arc;
+
+/// Read-only view of the simulation handed to schemes.
+pub struct World<'a> {
+    /// The road network.
+    pub graph: &'a Arc<RoadNetwork>,
+    /// Shared shortest-path cache for route materialization.
+    pub cache: &'a PathCache,
+    /// Shared O(1) leg-cost oracle over active request endpoints (the
+    /// stand-in for the paper's cached all-pairs table; see DESIGN.md).
+    pub oracle: &'a HotNodeOracle,
+    /// Every taxi, indexed by [`TaxiId`].
+    pub taxis: &'a [Taxi],
+    /// Every request revealed so far, indexed by request id.
+    pub requests: &'a RequestStore,
+}
+
+impl<'a> World<'a> {
+    /// The taxi with id `id`.
+    #[inline]
+    pub fn taxi(&self, id: TaxiId) -> &'a Taxi {
+        &self.taxis[id.index()]
+    }
+}
+
+/// A committed match: the chosen taxi plus its complete new plan.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// The taxi that will serve the request.
+    pub taxi: TaxiId,
+    /// The taxi's full new schedule (existing events + the new pick-up and
+    /// drop-off).
+    pub schedule: Schedule,
+    /// One routed leg per schedule event, starting from the taxi's current
+    /// position.
+    pub legs: Vec<Path>,
+    /// Detour cost `cost(R') − cost(R)` in seconds (Eq. 4).
+    pub detour_cost_s: f64,
+}
+
+/// Result of a dispatch attempt, including instrumentation the evaluation
+/// reports (Table III counts candidate taxis per request).
+#[derive(Debug, Clone)]
+pub struct DispatchOutcome {
+    /// The match, if one was found.
+    pub assignment: Option<Assignment>,
+    /// Number of candidate taxis whose schedules were examined.
+    pub candidates_examined: usize,
+}
+
+impl DispatchOutcome {
+    /// A failed dispatch that examined `candidates_examined` taxis.
+    pub fn rejected(candidates_examined: usize) -> Self {
+        Self { assignment: None, candidates_examined }
+    }
+}
+
+/// A ridesharing dispatch policy.
+pub trait DispatchScheme {
+    /// Human-readable scheme name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Called once before the scenario starts so the scheme can index the
+    /// initial fleet.
+    fn install(&mut self, world: &World<'_>);
+
+    /// Matches an online request released at `now`.
+    fn dispatch(&mut self, req: &RideRequest, now: Time, world: &World<'_>) -> DispatchOutcome;
+
+    /// Matches an offline request encountered by taxi `encountered_by` at
+    /// `now`. Per Sec. IV-C2 the encountering taxi is tried first; the
+    /// default falls back to a regular dispatch (the server assigns another
+    /// taxi when the encountering one cannot serve it).
+    fn dispatch_offline(
+        &mut self,
+        req: &RideRequest,
+        _encountered_by: TaxiId,
+        now: Time,
+        world: &World<'_>,
+    ) -> DispatchOutcome {
+        self.dispatch(req, now, world)
+    }
+
+    /// Notifies the scheme that `taxi`'s plan changed (after an assignment
+    /// was committed) so indexes can be refreshed.
+    fn after_assign(&mut self, _taxi: &Taxi, _world: &World<'_>) {}
+
+    /// Notifies the scheme that `taxi` completed a schedule event (its
+    /// position and load changed).
+    fn on_taxi_progress(&mut self, _taxi: &Taxi, _now: Time, _world: &World<'_>) {}
+
+    /// Approximate resident memory of the scheme's private indexes, bytes
+    /// (Table IV).
+    fn index_memory_bytes(&self) -> usize {
+        0
+    }
+
+    /// Whether this scheme plans probabilistic routes to hunt offline
+    /// requests (mT-Share_pro).
+    fn uses_probabilistic_routing(&self) -> bool {
+        false
+    }
+}
+
+impl DispatchScheme for Box<dyn DispatchScheme> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+    fn install(&mut self, world: &World<'_>) {
+        self.as_mut().install(world);
+    }
+    fn dispatch(&mut self, req: &RideRequest, now: Time, world: &World<'_>) -> DispatchOutcome {
+        self.as_mut().dispatch(req, now, world)
+    }
+    fn dispatch_offline(
+        &mut self,
+        req: &RideRequest,
+        encountered_by: TaxiId,
+        now: Time,
+        world: &World<'_>,
+    ) -> DispatchOutcome {
+        self.as_mut().dispatch_offline(req, encountered_by, now, world)
+    }
+    fn after_assign(&mut self, taxi: &Taxi, world: &World<'_>) {
+        self.as_mut().after_assign(taxi, world);
+    }
+    fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
+        self.as_mut().on_taxi_progress(taxi, now, world);
+    }
+    fn index_memory_bytes(&self) -> usize {
+        self.as_ref().index_memory_bytes()
+    }
+    fn uses_probabilistic_routing(&self) -> bool {
+        self.as_ref().uses_probabilistic_routing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtshare_road::{grid_city, GridCityConfig, NodeId};
+
+    struct Greedy;
+
+    impl DispatchScheme for Greedy {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+        fn install(&mut self, _world: &World<'_>) {}
+        fn dispatch(&mut self, _req: &RideRequest, _now: Time, world: &World<'_>) -> DispatchOutcome {
+            DispatchOutcome::rejected(world.taxis.len())
+        }
+    }
+
+    #[test]
+    fn trait_object_safety_and_defaults() {
+        let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let cache = PathCache::new(graph.clone());
+        let oracle = HotNodeOracle::new(graph.clone());
+        let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(0))];
+        let requests = RequestStore::new();
+        let world =
+            World { graph: &graph, cache: &cache, oracle: &oracle, taxis: &taxis, requests: &requests };
+        let mut s: Box<dyn DispatchScheme> = Box::new(Greedy);
+        s.install(&world);
+        assert_eq!(s.name(), "greedy");
+        assert_eq!(s.index_memory_bytes(), 0);
+        assert!(!s.uses_probabilistic_routing());
+        let req = RideRequest {
+            id: crate::request::RequestId(0),
+            release_time: 0.0,
+            origin: NodeId(0),
+            destination: NodeId(1),
+            passengers: 1,
+            deadline: 1e9,
+            direct_cost_s: 1.0,
+            offline: true,
+        };
+        let out = s.dispatch_offline(&req, TaxiId(0), 0.0, &world);
+        assert!(out.assignment.is_none());
+        assert_eq!(out.candidates_examined, 1);
+        assert_eq!(world.taxi(TaxiId(0)).id, TaxiId(0));
+    }
+}

@@ -1,0 +1,231 @@
+//! Geographic primitives.
+//!
+//! mT-Share works on a city-scale road network, so we use the cheap
+//! equirectangular approximation for distances (error < 0.1% over tens of
+//! kilometres) and keep an exact haversine implementation as a test oracle.
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A WGS-84 geographic point.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lng: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude/longitude degrees.
+    #[inline]
+    pub const fn new(lat: f64, lng: f64) -> Self {
+        Self { lat, lng }
+    }
+
+    /// Fast equirectangular distance in metres.
+    ///
+    /// Accurate to well under a metre per kilometre at city scale, which is
+    /// all the matching heuristics need.
+    #[inline]
+    pub fn distance_m(&self, other: &GeoPoint) -> f64 {
+        let mean_lat = 0.5 * (self.lat + other.lat).to_radians();
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlng = (other.lng - self.lng).to_radians() * mean_lat.cos();
+        EARTH_RADIUS_M * (dlat * dlat + dlng * dlng).sqrt()
+    }
+
+    /// Exact haversine distance in metres. Used as a test oracle and for
+    /// long-range queries where the equirectangular error would accumulate.
+    pub fn haversine_m(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
+        let dlat = lat2 - lat1;
+        let dlng = (other.lng - self.lng).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlng / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Arithmetic midpoint in coordinate space (fine at city scale).
+    #[inline]
+    pub fn midpoint(&self, other: &GeoPoint) -> GeoPoint {
+        GeoPoint::new(0.5 * (self.lat + other.lat), 0.5 * (self.lng + other.lng))
+    }
+
+    /// Planar displacement vector from `self` to `other` in metres
+    /// (east, north). This is what travel-direction comparisons use.
+    #[inline]
+    pub fn displacement_m(&self, other: &GeoPoint) -> (f64, f64) {
+        let mean_lat = 0.5 * (self.lat + other.lat).to_radians();
+        let east = (other.lng - self.lng).to_radians() * mean_lat.cos() * EARTH_RADIUS_M;
+        let north = (other.lat - self.lat).to_radians() * EARTH_RADIUS_M;
+        (east, north)
+    }
+}
+
+/// Axis-aligned bounding box over geographic points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Minimum latitude.
+    pub min_lat: f64,
+    /// Minimum longitude.
+    pub min_lng: f64,
+    /// Maximum latitude.
+    pub max_lat: f64,
+    /// Maximum longitude.
+    pub max_lng: f64,
+}
+
+impl BoundingBox {
+    /// An empty (inverted) box; extend with [`BoundingBox::include`].
+    pub const EMPTY: BoundingBox = BoundingBox {
+        min_lat: f64::INFINITY,
+        min_lng: f64::INFINITY,
+        max_lat: f64::NEG_INFINITY,
+        max_lng: f64::NEG_INFINITY,
+    };
+
+    /// Grows the box to contain `p`.
+    #[inline]
+    pub fn include(&mut self, p: &GeoPoint) {
+        self.min_lat = self.min_lat.min(p.lat);
+        self.min_lng = self.min_lng.min(p.lng);
+        self.max_lat = self.max_lat.max(p.lat);
+        self.max_lng = self.max_lng.max(p.lng);
+    }
+
+    /// Computes the bounding box of a point set. Returns `EMPTY` for an
+    /// empty slice.
+    pub fn of(points: &[GeoPoint]) -> BoundingBox {
+        let mut b = BoundingBox::EMPTY;
+        for p in points {
+            b.include(p);
+        }
+        b
+    }
+
+    /// Whether the box contains `p` (inclusive).
+    #[inline]
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lng >= self.min_lng && p.lng <= self.max_lng
+    }
+
+    /// Centre point of the box.
+    #[inline]
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(0.5 * (self.min_lat + self.max_lat), 0.5 * (self.min_lng + self.max_lng))
+    }
+
+    /// Width (east-west extent) in metres, measured at the box centre
+    /// latitude.
+    pub fn width_m(&self) -> f64 {
+        let c = self.center();
+        GeoPoint::new(c.lat, self.min_lng).distance_m(&GeoPoint::new(c.lat, self.max_lng))
+    }
+
+    /// Height (north-south extent) in metres.
+    pub fn height_m(&self) -> f64 {
+        GeoPoint::new(self.min_lat, self.min_lng).distance_m(&GeoPoint::new(self.max_lat, self.min_lng))
+    }
+}
+
+/// Cosine similarity between two planar direction vectors.
+///
+/// Returns 0.0 when either vector is (numerically) zero, i.e. a degenerate
+/// trip whose origin equals its destination is "similar to nothing".
+#[inline]
+pub fn direction_cosine(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let na = (a.0 * a.0 + a.1 * a.1).sqrt();
+    let nb = (b.0 * b.0 + b.1 * b.1).sqrt();
+    if na < 1e-9 || nb < 1e-9 {
+        return 0.0;
+    }
+    ((a.0 * b.0 + a.1 * b.1) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHENGDU: GeoPoint = GeoPoint::new(30.66, 104.06);
+
+    #[test]
+    fn distance_zero_for_same_point() {
+        assert_eq!(CHENGDU.distance_m(&CHENGDU), 0.0);
+        assert_eq!(CHENGDU.haversine_m(&CHENGDU), 0.0);
+    }
+
+    #[test]
+    fn equirectangular_matches_haversine_at_city_scale() {
+        let a = CHENGDU;
+        let b = GeoPoint::new(30.70, 104.12);
+        let fast = a.distance_m(&b);
+        let exact = a.haversine_m(&b);
+        assert!((fast - exact).abs() / exact < 1e-3, "fast={fast} exact={exact}");
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111_km() {
+        let a = GeoPoint::new(30.0, 104.0);
+        let b = GeoPoint::new(31.0, 104.0);
+        let d = a.haversine_m(&b);
+        assert!((d - 111_195.0).abs() < 200.0, "d={d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = CHENGDU;
+        let b = GeoPoint::new(30.71, 103.99);
+        assert!((a.distance_m(&b) - b.distance_m(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midpoint_is_between() {
+        let a = GeoPoint::new(30.0, 104.0);
+        let b = GeoPoint::new(31.0, 105.0);
+        let m = a.midpoint(&b);
+        assert_eq!(m.lat, 30.5);
+        assert_eq!(m.lng, 104.5);
+    }
+
+    #[test]
+    fn displacement_points_north_east() {
+        let a = CHENGDU;
+        let b = GeoPoint::new(30.67, 104.07);
+        let (e, n) = a.displacement_m(&b);
+        assert!(e > 0.0 && n > 0.0);
+        // Displacement magnitude should equal the distance.
+        let mag = (e * e + n * n).sqrt();
+        assert!((mag - a.distance_m(&b)).abs() < 1.0);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [
+            GeoPoint::new(30.0, 104.0),
+            GeoPoint::new(30.5, 104.5),
+            GeoPoint::new(29.9, 104.2),
+        ];
+        let b = BoundingBox::of(&pts);
+        assert_eq!(b.min_lat, 29.9);
+        assert_eq!(b.max_lat, 30.5);
+        assert_eq!(b.min_lng, 104.0);
+        assert_eq!(b.max_lng, 104.5);
+        assert!(b.contains(&GeoPoint::new(30.2, 104.3)));
+        assert!(!b.contains(&GeoPoint::new(31.0, 104.3)));
+        assert!(b.width_m() > 0.0 && b.height_m() > 0.0);
+    }
+
+    #[test]
+    fn direction_cosine_basics() {
+        assert!((direction_cosine((1.0, 0.0), (1.0, 0.0)) - 1.0).abs() < 1e-12);
+        assert!((direction_cosine((1.0, 0.0), (-1.0, 0.0)) + 1.0).abs() < 1e-12);
+        assert!(direction_cosine((1.0, 0.0), (0.0, 1.0)).abs() < 1e-12);
+        assert_eq!(direction_cosine((0.0, 0.0), (1.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn direction_cosine_45_degrees() {
+        let c = direction_cosine((1.0, 0.0), (1.0, 1.0));
+        assert!((c - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Export helpers: GeoJSON for maps, CSV for spreadsheets.
+//!
+//! Visual inspection is how one sanity-checks a partitioning (the paper's
+//! Fig. 3(b) colours Chengdu's partitions); these writers produce
+//! FeatureCollections that drop straight into geojson.io / kepler.gl.
+
+use crate::geo::GeoPoint;
+use crate::graph::RoadNetwork;
+use std::fmt::Write as _;
+
+/// Serializes the road network as a GeoJSON `FeatureCollection` of
+/// `LineString` features (one per directed edge) with `cost_s` properties.
+pub fn network_to_geojson(graph: &RoadNetwork) -> String {
+    let mut out = String::with_capacity(graph.edge_count() * 120);
+    out.push_str("{\"type\":\"FeatureCollection\",\"features\":[");
+    let mut first = true;
+    for u in graph.nodes() {
+        let pu = graph.point(u);
+        for (v, cost) in graph.out_edges(u) {
+            let pv = graph.point(v);
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"LineString\",\"coordinates\":[[{:.6},{:.6}],[{:.6},{:.6}]]}},\"properties\":{{\"from\":{},\"to\":{},\"cost_s\":{:.1}}}}}",
+                pu.lng, pu.lat, pv.lng, pv.lat, u.0, v.0, cost
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes labelled vertices (e.g. a map partitioning) as a GeoJSON
+/// `FeatureCollection` of `Point` features with a `label` property —
+/// colour by `label` to reproduce Fig. 3(b).
+pub fn labelled_nodes_to_geojson(graph: &RoadNetwork, labels: &[u32]) -> String {
+    assert_eq!(labels.len(), graph.node_count(), "one label per vertex");
+    let mut out = String::with_capacity(graph.node_count() * 90);
+    out.push_str("{\"type\":\"FeatureCollection\",\"features\":[");
+    for (i, n) in graph.nodes().enumerate() {
+        let p: GeoPoint = graph.point(n);
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"Point\",\"coordinates\":[{:.6},{:.6}]}},\"properties\":{{\"node\":{},\"label\":{}}}}}",
+            p.lng, p.lat, n.0, labels[i]
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes the vertices as CSV: `node,lat,lng[,label]`.
+pub fn nodes_to_csv(graph: &RoadNetwork, labels: Option<&[u32]>) -> String {
+    if let Some(l) = labels {
+        assert_eq!(l.len(), graph.node_count(), "one label per vertex");
+    }
+    let mut out = String::with_capacity(graph.node_count() * 32);
+    out.push_str(if labels.is_some() { "node,lat,lng,label\n" } else { "node,lat,lng\n" });
+    for (i, n) in graph.nodes().enumerate() {
+        let p = graph.point(n);
+        match labels {
+            Some(l) => {
+                let _ = writeln!(out, "{},{:.6},{:.6},{}", n.0, p.lat, p.lng, l[i]);
+            }
+            None => {
+                let _ = writeln!(out, "{},{:.6},{:.6}", n.0, p.lat, p.lng);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{grid_city, GridCityConfig};
+
+    fn tiny() -> RoadNetwork {
+        grid_city(&GridCityConfig { rows: 3, cols: 3, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn network_geojson_is_wellformed() {
+        let g = tiny();
+        let s = network_to_geojson(&g);
+        assert!(s.starts_with("{\"type\":\"FeatureCollection\""));
+        assert!(s.ends_with("]}"));
+        assert_eq!(s.matches("LineString").count(), g.edge_count());
+        // Balanced braces (cheap structural check).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn labelled_geojson_has_one_point_per_vertex() {
+        let g = tiny();
+        let labels: Vec<u32> = (0..g.node_count() as u32).map(|i| i % 3).collect();
+        let s = labelled_nodes_to_geojson(&g, &labels);
+        assert_eq!(s.matches("Point").count(), g.node_count());
+        assert!(s.contains("\"label\":2"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let g = tiny();
+        let plain = nodes_to_csv(&g, None);
+        assert_eq!(plain.lines().count(), g.node_count() + 1);
+        assert!(plain.starts_with("node,lat,lng\n"));
+        let labels = vec![7u32; g.node_count()];
+        let labelled = nodes_to_csv(&g, Some(&labels));
+        assert!(labelled.starts_with("node,lat,lng,label\n"));
+        assert!(labelled.lines().nth(1).unwrap().ends_with(",7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per vertex")]
+    fn rejects_mismatched_labels() {
+        let g = tiny();
+        let _ = labelled_nodes_to_geojson(&g, &[1, 2]);
+    }
+}

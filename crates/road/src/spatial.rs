@@ -1,0 +1,250 @@
+//! Uniform-grid spatial index over road-network vertices.
+//!
+//! Supports the two queries matching needs: snap a geographic point to its
+//! nearest vertex (requests arrive as coordinates) and enumerate vertices
+//! within a radius (candidate searching range γ).
+
+use crate::geo::GeoPoint;
+use crate::graph::RoadNetwork;
+use crate::ids::NodeId;
+
+/// A bucketed grid over the graph's bounding box.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cells: Vec<Vec<NodeId>>,
+    cols: usize,
+    rows: usize,
+    min_lat: f64,
+    min_lng: f64,
+    cell_lat: f64,
+    cell_lng: f64,
+}
+
+impl SpatialGrid {
+    /// Builds a grid whose cells are roughly `cell_m` metres on a side.
+    pub fn build(graph: &RoadNetwork, cell_m: f64) -> Self {
+        let bbox = graph.bbox();
+        let width = bbox.width_m().max(1.0);
+        let height = bbox.height_m().max(1.0);
+        let cols = ((width / cell_m).ceil() as usize).clamp(1, 4096);
+        let rows = ((height / cell_m).ceil() as usize).clamp(1, 4096);
+        // Small epsilon so max-coordinate points land in the last cell.
+        let cell_lat = (bbox.max_lat - bbox.min_lat).max(1e-9) / rows as f64 * (1.0 + 1e-12);
+        let cell_lng = (bbox.max_lng - bbox.min_lng).max(1e-9) / cols as f64 * (1.0 + 1e-12);
+        let mut cells = vec![Vec::new(); rows * cols];
+        let mut grid = Self {
+            cells: Vec::new(),
+            cols,
+            rows,
+            min_lat: bbox.min_lat,
+            min_lng: bbox.min_lng,
+            cell_lat,
+            cell_lng,
+        };
+        for node in graph.nodes() {
+            let p = graph.point(node);
+            let idx = grid.cell_of(&p);
+            cells[idx].push(node);
+        }
+        grid.cells = cells;
+        grid
+    }
+
+    #[inline]
+    fn cell_coords(&self, p: &GeoPoint) -> (usize, usize) {
+        let r = (((p.lat - self.min_lat) / self.cell_lat) as isize).clamp(0, self.rows as isize - 1) as usize;
+        let c = (((p.lng - self.min_lng) / self.cell_lng) as isize).clamp(0, self.cols as isize - 1) as usize;
+        (r, c)
+    }
+
+    #[inline]
+    fn cell_of(&self, p: &GeoPoint) -> usize {
+        let (r, c) = self.cell_coords(p);
+        r * self.cols + c
+    }
+
+    /// The vertex closest to `p`, or `None` for an empty graph.
+    ///
+    /// Searches outward ring by ring; terminates once the closest found so
+    /// far cannot be beaten by any unexplored ring.
+    pub fn nearest_node(&self, graph: &RoadNetwork, p: &GeoPoint) -> Option<NodeId> {
+        if graph.node_count() == 0 {
+            return None;
+        }
+        let (r0, c0) = self.cell_coords(p);
+        let mut best: Option<(f64, NodeId)> = None;
+        // Approximate metres per cell, for the ring lower bound.
+        let cell_m = (self.cell_lat.to_radians() * crate::geo::EARTH_RADIUS_M)
+            .min(self.cell_lng.to_radians() * crate::geo::EARTH_RADIUS_M * p.lat.to_radians().cos().abs().max(0.01));
+        let max_ring = self.rows.max(self.cols);
+        for ring in 0..=max_ring {
+            if let Some((d, _)) = best {
+                // Every cell in ring `ring` is at least (ring-1) cells away.
+                if ring >= 2 && (ring as f64 - 1.0) * cell_m > d {
+                    break;
+                }
+            }
+            let mut any_cell = false;
+            self.for_ring(r0, c0, ring, |cell| {
+                any_cell = true;
+                for &node in &self.cells[cell] {
+                    let d = graph.point(node).distance_m(p);
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, node));
+                    }
+                }
+            });
+            if !any_cell && best.is_some() {
+                break;
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+
+    /// All vertices within `radius_m` metres of `p`.
+    pub fn nodes_within(&self, graph: &RoadNetwork, p: &GeoPoint, radius_m: f64) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.visit_nodes_within(graph, p, radius_m, |n| out.push(n));
+        out
+    }
+
+    /// Visits every vertex within `radius_m` metres of `p` without
+    /// allocating a result vector.
+    pub fn visit_nodes_within<F: FnMut(NodeId)>(
+        &self,
+        graph: &RoadNetwork,
+        p: &GeoPoint,
+        radius_m: f64,
+        mut f: F,
+    ) {
+        let (r0, c0) = self.cell_coords(p);
+        let lat_span = (radius_m / (self.cell_lat.to_radians() * crate::geo::EARTH_RADIUS_M)).ceil() as usize + 1;
+        let lng_m_per_cell = self.cell_lng.to_radians()
+            * crate::geo::EARTH_RADIUS_M
+            * p.lat.to_radians().cos().abs().max(0.01);
+        let lng_span = (radius_m / lng_m_per_cell).ceil() as usize + 1;
+        let r_lo = r0.saturating_sub(lat_span);
+        let r_hi = (r0 + lat_span).min(self.rows - 1);
+        let c_lo = c0.saturating_sub(lng_span);
+        let c_hi = (c0 + lng_span).min(self.cols - 1);
+        for r in r_lo..=r_hi {
+            for c in c_lo..=c_hi {
+                for &node in &self.cells[r * self.cols + c] {
+                    if graph.point(node).distance_m(p) <= radius_m {
+                        f(node);
+                    }
+                }
+            }
+        }
+    }
+
+    fn for_ring<F: FnMut(usize)>(&self, r0: usize, c0: usize, ring: usize, mut f: F) {
+        let (r0, c0) = (r0 as isize, c0 as isize);
+        let ring = ring as isize;
+        let in_bounds =
+            |r: isize, c: isize| r >= 0 && r < self.rows as isize && c >= 0 && c < self.cols as isize;
+        if ring == 0 {
+            if in_bounds(r0, c0) {
+                f((r0 * self.cols as isize + c0) as usize);
+            }
+            return;
+        }
+        for c in (c0 - ring)..=(c0 + ring) {
+            for r in [r0 - ring, r0 + ring] {
+                if in_bounds(r, c) {
+                    f((r * self.cols as isize + c) as usize);
+                }
+            }
+        }
+        for r in (r0 - ring + 1)..=(r0 + ring - 1) {
+            for c in [c0 - ring, c0 + ring] {
+                if in_bounds(r, c) {
+                    f((r * self.cols as isize + c) as usize);
+                }
+            }
+        }
+    }
+
+    /// Approximate resident memory of the index in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.cells.iter().map(|c| c.len() * 4 + std::mem::size_of::<Vec<NodeId>>()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeSpec;
+
+    fn line_graph(n: usize) -> RoadNetwork {
+        let pts: Vec<_> = (0..n).map(|i| GeoPoint::new(30.0, 104.0 + 0.001 * i as f64)).collect();
+        let mut edges = Vec::new();
+        for i in 0..n - 1 {
+            edges.push(EdgeSpec {
+                from: NodeId(i as u32),
+                to: NodeId(i as u32 + 1),
+                length_m: 100.0,
+                speed_kmh: 15.0,
+            });
+        }
+        RoadNetwork::new(pts, &edges).unwrap()
+    }
+
+    #[test]
+    fn nearest_node_exact_hit() {
+        let g = line_graph(50);
+        let grid = SpatialGrid::build(&g, 200.0);
+        for i in [0usize, 10, 49] {
+            let p = g.point(NodeId(i as u32));
+            assert_eq!(grid.nearest_node(&g, &p), Some(NodeId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn nearest_node_matches_linear_scan() {
+        let g = line_graph(80);
+        let grid = SpatialGrid::build(&g, 150.0);
+        let probes = [
+            GeoPoint::new(30.0004, 104.012),
+            GeoPoint::new(29.9998, 104.0),
+            GeoPoint::new(30.01, 104.09),
+        ];
+        for p in probes {
+            let brute = g
+                .nodes()
+                .min_by(|a, b| g.point(*a).distance_m(&p).total_cmp(&g.point(*b).distance_m(&p)))
+                .unwrap();
+            assert_eq!(grid.nearest_node(&g, &p), Some(brute), "probe {p:?}");
+        }
+    }
+
+    #[test]
+    fn nodes_within_matches_linear_scan() {
+        let g = line_graph(60);
+        let grid = SpatialGrid::build(&g, 120.0);
+        let p = GeoPoint::new(30.0, 104.02);
+        for radius in [50.0, 300.0, 1500.0] {
+            let mut got = grid.nodes_within(&g, &p, radius);
+            got.sort();
+            let mut want: Vec<_> =
+                g.nodes().filter(|n| g.point(*n).distance_m(&p) <= radius).collect();
+            want.sort();
+            assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn empty_radius_returns_empty() {
+        let g = line_graph(10);
+        let grid = SpatialGrid::build(&g, 100.0);
+        let far = GeoPoint::new(40.0, 110.0);
+        assert!(grid.nodes_within(&g, &far, 10.0).is_empty());
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        let g = line_graph(10);
+        let grid = SpatialGrid::build(&g, 100.0);
+        assert!(grid.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Traffic conditions as edge-cost transforms.
+//!
+//! The paper assumes stable traffic ("the travel cost of each edge is
+//! constant") but notes the system "could easily extend to run with
+//! real-time traffic conditions" (Sec. III-A). This module provides that
+//! extension point: an [`HourlyTrafficProfile`] of per-hour speed factors
+//! and [`apply_traffic`], which derives a re-weighted [`RoadNetwork`] for
+//! a time slice. Deriving a graph per slice keeps every downstream
+//! component (caches, cost matrices, oracles) valid within the slice —
+//! the same quasi-static model traffic-aware dispatch systems use in
+//! practice.
+
+use crate::graph::{EdgeSpec, GraphError, RoadNetwork};
+
+/// Per-hour speed factors: effective speed = base speed × factor.
+/// A factor below 1 models congestion, above 1 free flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HourlyTrafficProfile {
+    factors: [f64; 24],
+}
+
+impl Default for HourlyTrafficProfile {
+    fn default() -> Self {
+        Self::free_flow()
+    }
+}
+
+impl HourlyTrafficProfile {
+    /// No congestion at any hour.
+    pub fn free_flow() -> Self {
+        Self { factors: [1.0; 24] }
+    }
+
+    /// A workday shape: morning (7-9) and evening (17-19) rush hours slow
+    /// traffic to ~60%, shoulders to ~80%, night free-flows slightly above
+    /// nominal.
+    pub fn workday() -> Self {
+        let mut factors = [1.0f64; 24];
+        for (h, f) in factors.iter_mut().enumerate() {
+            *f = match h {
+                7..=9 => 0.6,
+                10..=16 => 0.85,
+                17..=19 => 0.6,
+                20..=22 => 0.9,
+                _ => 1.1,
+            };
+        }
+        Self { factors }
+    }
+
+    /// Builds a profile from explicit factors.
+    ///
+    /// # Panics
+    /// Panics when any factor is non-positive or non-finite.
+    pub fn from_factors(factors: [f64; 24]) -> Self {
+        assert!(
+            factors.iter().all(|f| f.is_finite() && *f > 0.0),
+            "speed factors must be positive"
+        );
+        Self { factors }
+    }
+
+    /// The speed factor in effect at simulation time `t` seconds (hours
+    /// wrap modulo 24).
+    pub fn factor_at(&self, t_s: f64) -> f64 {
+        let h = ((t_s / 3600.0).floor() as i64).rem_euclid(24) as usize;
+        self.factors[h]
+    }
+
+    /// Slowest factor of the profile.
+    pub fn worst(&self) -> f64 {
+        self.factors.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Derives a road network whose edge travel costs reflect `factor`
+/// (effective speed = base speed × factor; costs scale by 1/factor).
+/// Lengths and topology are unchanged.
+pub fn apply_traffic(graph: &RoadNetwork, factor: f64) -> Result<RoadNetwork, GraphError> {
+    assert!(factor.is_finite() && factor > 0.0, "speed factor must be positive");
+    let mut edges = Vec::with_capacity(graph.edge_count());
+    for u in graph.nodes() {
+        for (v, cost_s, length_m, _) in graph.out_edges_full(u) {
+            // Recover the base speed from cost & length, then scale it.
+            let base_speed_mps = length_m as f64 / cost_s as f64;
+            edges.push(EdgeSpec {
+                from: u,
+                to: v,
+                length_m: length_m as f64,
+                speed_kmh: base_speed_mps * factor * 3.6,
+            });
+        }
+    }
+    RoadNetwork::new(graph.points().to_vec(), &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::synthetic::{grid_city, GridCityConfig};
+
+    #[test]
+    fn profile_factor_lookup_wraps() {
+        let p = HourlyTrafficProfile::workday();
+        assert_eq!(p.factor_at(8.0 * 3600.0), 0.6);
+        assert_eq!(p.factor_at(3.0 * 3600.0), 1.1);
+        // Hour 32 == hour 8 next day.
+        assert_eq!(p.factor_at(32.0 * 3600.0), 0.6);
+        assert_eq!(p.worst(), 0.6);
+        assert_eq!(HourlyTrafficProfile::free_flow().factor_at(0.0), 1.0);
+        assert_eq!(HourlyTrafficProfile::default(), HourlyTrafficProfile::free_flow());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_factor() {
+        let mut f = [1.0; 24];
+        f[3] = 0.0;
+        let _ = HourlyTrafficProfile::from_factors(f);
+    }
+
+    #[test]
+    fn congestion_scales_costs_inversely() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let slow = apply_traffic(&g, 0.5).unwrap();
+        assert_eq!(slow.node_count(), g.node_count());
+        assert_eq!(slow.edge_count(), g.edge_count());
+        // Every direct edge cost doubles (speed halves).
+        let mut checked = 0;
+        for u in g.nodes().take(50) {
+            for (v, base_cost) in g.out_edges(u) {
+                let slow_cost = slow.direct_edge_cost(u, v).expect("same topology");
+                assert!(
+                    (slow_cost / base_cost - 2.0).abs() < 1e-3,
+                    "{u}->{v}: {slow_cost} vs {base_cost}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn free_flow_is_identity_on_costs() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let same = apply_traffic(&g, 1.0).unwrap();
+        for u in g.nodes().take(30) {
+            for (v, c) in g.out_edges(u) {
+                let c2 = same.direct_edge_cost(u, v).unwrap();
+                assert!((c2 - c).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_paths_scale_with_congestion() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let slow = apply_traffic(&g, 0.8).unwrap();
+        let mut d1 = mtshare_routing_probe::shortest(&g, NodeId(0), NodeId(399));
+        let mut d2 = mtshare_routing_probe::shortest(&slow, NodeId(0), NodeId(399));
+        // Uniform scaling preserves the path, costs scale by 1/0.8.
+        assert!((d2 / d1 - 1.25).abs() < 1e-3, "{d1} vs {d2}");
+        std::mem::swap(&mut d1, &mut d2);
+    }
+
+    /// Minimal local Dijkstra so the road crate does not depend on the
+    /// routing crate (which depends on road).
+    mod mtshare_routing_probe {
+        use crate::graph::RoadNetwork;
+        use crate::ids::NodeId;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        pub fn shortest(g: &RoadNetwork, s: NodeId, t: NodeId) -> f64 {
+            let mut dist = vec![f64::INFINITY; g.node_count()];
+            let mut heap = BinaryHeap::new();
+            dist[s.index()] = 0.0;
+            heap.push(Reverse((ordered_float(0.0), s.0)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                let d = d as f64 / 1e3;
+                if u == t.0 {
+                    return d;
+                }
+                if d > dist[u as usize] + 1e-9 {
+                    continue;
+                }
+                for (v, w) in g.out_edges(NodeId(u)) {
+                    let nd = d + w as f64;
+                    if nd < dist[v.index()] {
+                        dist[v.index()] = nd;
+                        heap.push(Reverse((ordered_float(nd), v.0)));
+                    }
+                }
+            }
+            f64::INFINITY
+        }
+
+        fn ordered_float(v: f64) -> u64 {
+            (v * 1e3) as u64
+        }
+    }
+}

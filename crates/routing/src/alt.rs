@@ -1,0 +1,257 @@
+//! ALT: A* with landmark lower bounds (Goldberg & Harrelson).
+//!
+//! mT-Share already precomputes exact travel costs between every partition
+//! landmark and every vertex (the [`CostMatrix`] behind partition
+//! filtering). ALT reuses those tables as admissible A* heuristics via the
+//! triangle inequality:
+//!
+//! ```text
+//! d(v, t) ≥ d(ℓ, t) − d(ℓ, v)      (forward table of landmark ℓ)
+//! d(v, t) ≥ d(v, ℓ) − d(t, ℓ)      (backward table of landmark ℓ)
+//! ```
+//!
+//! The heuristic is exact along corridors aligned with a landmark, so ALT
+//! typically settles far fewer vertices than geometric A* on city grids —
+//! the engine the paper's "speedup route planning with landmarks"
+//! aspiration maps to.
+
+use crate::dijkstra::HeapEntry;
+use crate::matrix::CostMatrix;
+use crate::path::Path;
+use mtshare_road::{NodeId, RoadNetwork};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable ALT engine over a fixed landmark set.
+pub struct Alt {
+    /// Landmark cost tables (forward + backward rows per landmark).
+    matrix: CostMatrix,
+    /// Indices of the landmarks used per query (active set).
+    active: Vec<usize>,
+    g_cost: Vec<f32>,
+    parent: Vec<NodeId>,
+    epoch_of: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl Alt {
+    /// How many landmarks participate per query (more = tighter bounds,
+    /// higher per-vertex heuristic cost).
+    const ACTIVE_LANDMARKS: usize = 6;
+
+    /// Builds an engine from precomputed landmark tables.
+    pub fn new(graph: &RoadNetwork, matrix: CostMatrix) -> Self {
+        let n = graph.node_count();
+        Self {
+            matrix,
+            active: Vec::new(),
+            g_cost: vec![f32::INFINITY; n],
+            parent: vec![NodeId(u32::MAX); n],
+            epoch_of: vec![0; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Convenience constructor: computes tables for `landmarks` first.
+    pub fn with_landmarks(graph: &RoadNetwork, landmarks: &[NodeId]) -> Self {
+        Self::new(graph, CostMatrix::compute(graph, landmarks))
+    }
+
+    /// Number of landmarks available.
+    pub fn landmark_count(&self) -> usize {
+        self.matrix.sources().len()
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.epoch_of.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+    }
+
+    /// Picks the landmarks giving the tightest bound at the source —
+    /// cheap and effective per-query landmark selection.
+    fn select_landmarks(&mut self, source: NodeId, target: NodeId) {
+        let m = self.matrix.sources().len();
+        let mut scored: Vec<(f32, usize)> = (0..m)
+            .map(|i| {
+                let fwd = self.matrix.cost_from_idx(i, target) - self.matrix.cost_from_idx(i, source);
+                let bwd = self.matrix.cost_to_idx(source, i) - self.matrix.cost_to_idx(target, i);
+                (fwd.max(bwd).max(0.0), i)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        self.active.clear();
+        self.active.extend(scored.iter().take(Self::ACTIVE_LANDMARKS).map(|&(_, i)| i));
+    }
+
+    /// Admissible lower bound on `d(v, target)` from the active landmarks.
+    #[inline]
+    fn h(&self, v: NodeId, target: NodeId) -> f32 {
+        let mut best = 0.0f32;
+        for &i in &self.active {
+            let fwd = self.matrix.cost_from_idx(i, target) - self.matrix.cost_from_idx(i, v);
+            let bwd = self.matrix.cost_to_idx(v, i) - self.matrix.cost_to_idx(target, i);
+            let b = fwd.max(bwd);
+            if b.is_finite() && b > best {
+                best = b;
+            }
+        }
+        best
+    }
+
+    #[inline]
+    fn g(&self, node: NodeId) -> f32 {
+        if self.epoch_of[node.index()] == self.epoch {
+            self.g_cost[node.index()]
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// Exact shortest-path cost, or `None` when unreachable.
+    pub fn cost(&mut self, graph: &RoadNetwork, source: NodeId, target: NodeId) -> Option<f64> {
+        self.run(graph, source, target)?;
+        Some(self.g(target) as f64)
+    }
+
+    /// Exact shortest path, or `None` when unreachable.
+    pub fn path(&mut self, graph: &RoadNetwork, source: NodeId, target: NodeId) -> Option<Path> {
+        self.run(graph, source, target)?;
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while cur != source {
+            cur = self.parent[cur.index()];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some(Path { nodes, cost_s: self.g(target) as f64 })
+    }
+
+    /// Number of vertices settled by the last query (for the speedup
+    /// benches).
+    pub fn last_settled(&self) -> usize {
+        self.epoch_of.iter().filter(|&&e| e == self.epoch).count()
+    }
+
+    fn run(&mut self, graph: &RoadNetwork, source: NodeId, target: NodeId) -> Option<()> {
+        self.begin();
+        self.epoch_of[source.index()] = self.epoch;
+        self.g_cost[source.index()] = 0.0;
+        self.parent[source.index()] = source;
+        if source == target {
+            return Some(());
+        }
+        self.select_landmarks(source, target);
+        let h0 = self.h(source, target);
+        self.heap.push(Reverse(HeapEntry { cost: h0, node: source }));
+
+        while let Some(Reverse(HeapEntry { cost: f, node })) = self.heap.pop() {
+            if node == target {
+                return Some(());
+            }
+            let gn = self.g(node);
+            if f > gn + self.h(node, target) + 1e-3 {
+                continue; // stale entry
+            }
+            for (next, w) in graph.out_edges(node) {
+                let tentative = gn + w;
+                if tentative < self.g(next) {
+                    self.epoch_of[next.index()] = self.epoch;
+                    self.g_cost[next.index()] = tentative;
+                    self.parent[next.index()] = node;
+                    self.heap.push(Reverse(HeapEntry {
+                        cost: tentative + self.h(next, target),
+                        node: next,
+                    }));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::Dijkstra;
+    use mtshare_road::{grid_city, GridCityConfig};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn setup() -> (RoadNetwork, Alt) {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        // A spread of landmarks: corners, centre, mid-edges.
+        let lms = [0u32, 19, 380, 399, 210, 9, 190, 209]
+            .into_iter()
+            .map(NodeId)
+            .collect::<Vec<_>>();
+        let alt = Alt::with_landmarks(&g, &lms);
+        (g, alt)
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_pairs() {
+        let (g, mut alt) = setup();
+        let mut d = Dijkstra::new(&g);
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..80 {
+            let s = NodeId(rng.gen_range(0..g.node_count() as u32));
+            let t = NodeId(rng.gen_range(0..g.node_count() as u32));
+            let want = d.cost(&g, s, t).unwrap();
+            let got = alt.cost(&g, s, t).unwrap();
+            assert!((want - got).abs() < 1e-2, "{s}->{t}: dijkstra {want}, alt {got}");
+        }
+    }
+
+    #[test]
+    fn heuristic_is_admissible_everywhere() {
+        let (g, mut alt) = setup();
+        let mut d = Dijkstra::new(&g);
+        let target = NodeId(399);
+        let mut back = Vec::new();
+        d.all_to_one(&g, target, &mut back);
+        alt.begin();
+        alt.select_landmarks(NodeId(0), target);
+        for v in g.nodes() {
+            let h = alt.h(v, target);
+            assert!(
+                h as f64 <= back[v.index()] as f64 + 1e-2,
+                "h({v}) = {h} > d = {}",
+                back[v.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn settles_fewer_vertices_than_dijkstra_settles_total() {
+        let (g, mut alt) = setup();
+        let _ = alt.cost(&g, NodeId(0), NodeId(399)).unwrap();
+        // Corner-to-corner: ALT with corner landmarks has near-exact
+        // bounds and should settle well under the full vertex count.
+        assert!(alt.last_settled() < g.node_count() / 2, "settled {}", alt.last_settled());
+    }
+
+    #[test]
+    fn path_is_valid_walk() {
+        let (g, mut alt) = setup();
+        let p = alt.path(&g, NodeId(3), NodeId(396)).unwrap();
+        assert_eq!(p.start(), NodeId(3));
+        assert_eq!(p.end(), NodeId(396));
+        let mut total = 0.0f64;
+        for w in p.nodes.windows(2) {
+            total += g.direct_edge_cost(w[0], w[1]).expect("adjacent") as f64;
+        }
+        assert!((total - p.cost_s).abs() < 1e-2);
+    }
+
+    #[test]
+    fn self_query_and_landmark_count() {
+        let (g, mut alt) = setup();
+        assert_eq!(alt.cost(&g, NodeId(5), NodeId(5)), Some(0.0));
+        assert_eq!(alt.landmark_count(), 8);
+    }
+}

@@ -1,0 +1,159 @@
+//! A* search with a straight-line admissible heuristic.
+//!
+//! The heuristic is `geo_distance / max_edge_speed`, which never
+//! overestimates travel time, so A* returns exact shortest paths while
+//! settling far fewer vertices than Dijkstra on goal-directed queries.
+
+use crate::dijkstra::HeapEntry;
+use crate::path::Path;
+use mtshare_road::{GeoPoint, NodeId, RoadNetwork};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable A* engine.
+#[derive(Debug)]
+pub struct AStar {
+    g_cost: Vec<f32>,
+    parent: Vec<NodeId>,
+    epoch_of: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl AStar {
+    /// Creates an engine sized for `graph`.
+    pub fn new(graph: &RoadNetwork) -> Self {
+        let n = graph.node_count();
+        Self {
+            g_cost: vec![f32::INFINITY; n],
+            parent: vec![NodeId(u32::MAX); n],
+            epoch_of: vec![0; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.epoch_of.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn g(&self, node: NodeId) -> f32 {
+        if self.epoch_of[node.index()] == self.epoch {
+            self.g_cost[node.index()]
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// Exact shortest-path cost via A*, or `None` when unreachable.
+    pub fn cost(&mut self, graph: &RoadNetwork, source: NodeId, target: NodeId) -> Option<f64> {
+        self.run(graph, source, target)?;
+        Some(self.g(target) as f64)
+    }
+
+    /// Exact shortest path via A*, or `None` when unreachable.
+    pub fn path(&mut self, graph: &RoadNetwork, source: NodeId, target: NodeId) -> Option<Path> {
+        self.run(graph, source, target)?;
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while cur != source {
+            cur = self.parent[cur.index()];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some(Path { nodes, cost_s: self.g(target) as f64 })
+    }
+
+    fn run(&mut self, graph: &RoadNetwork, source: NodeId, target: NodeId) -> Option<()> {
+        if source == target {
+            self.begin();
+            self.epoch_of[source.index()] = self.epoch;
+            self.g_cost[source.index()] = 0.0;
+            self.parent[source.index()] = source;
+            return Some(());
+        }
+        let goal: GeoPoint = graph.point(target);
+        let inv_speed = 1.0 / graph.max_speed_mps().max(0.1);
+        let h = |p: GeoPoint| (p.distance_m(&goal) * inv_speed) as f32;
+
+        self.begin();
+        self.epoch_of[source.index()] = self.epoch;
+        self.g_cost[source.index()] = 0.0;
+        self.parent[source.index()] = source;
+        self.heap.push(Reverse(HeapEntry { cost: h(graph.point(source)), node: source }));
+
+        while let Some(Reverse(HeapEntry { cost: f, node })) = self.heap.pop() {
+            if node == target {
+                return Some(());
+            }
+            let gn = self.g(node);
+            // Stale entry check: the stored f must match g + h.
+            if f > gn + h(graph.point(node)) + 1e-3 {
+                continue;
+            }
+            for (next, w) in graph.out_edges(node) {
+                let tentative = gn + w;
+                if tentative < self.g(next) {
+                    self.epoch_of[next.index()] = self.epoch;
+                    self.g_cost[next.index()] = tentative;
+                    self.parent[next.index()] = node;
+                    self.heap.push(Reverse(HeapEntry {
+                        cost: tentative + h(graph.point(next)),
+                        node: next,
+                    }));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::Dijkstra;
+    use mtshare_road::{grid_city, GridCityConfig};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn matches_dijkstra_on_random_pairs() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let mut d = Dijkstra::new(&g);
+        let mut a = AStar::new(&g);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..60 {
+            let s = NodeId(rng.gen_range(0..g.node_count() as u32));
+            let t = NodeId(rng.gen_range(0..g.node_count() as u32));
+            let want = d.cost(&g, s, t).unwrap();
+            let got = a.cost(&g, s, t).unwrap();
+            assert!((want - got).abs() < 1e-2, "{s}->{t}: dijkstra {want}, astar {got}");
+        }
+    }
+
+    #[test]
+    fn path_is_valid() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let mut a = AStar::new(&g);
+        let p = a.path(&g, NodeId(0), NodeId(399)).unwrap();
+        assert_eq!(p.start(), NodeId(0));
+        assert_eq!(p.end(), NodeId(399));
+        let mut total = 0.0f64;
+        for w in p.nodes.windows(2) {
+            total += g.direct_edge_cost(w[0], w[1]).expect("adjacent") as f64;
+        }
+        assert!((total - p.cost_s).abs() < 1e-2);
+    }
+
+    #[test]
+    fn self_query() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let mut a = AStar::new(&g);
+        assert_eq!(a.cost(&g, NodeId(3), NodeId(3)), Some(0.0));
+    }
+}

@@ -1,0 +1,212 @@
+//! Shared shortest-path cost cache.
+//!
+//! The paper precomputes the all-pairs shortest paths of the Chengdu graph
+//! and serves them from memory so that every scheme enjoys O(1) queries
+//! (Sec. V-A4). All-pairs storage is infeasible beyond toy graphs, so we
+//! provide the equivalent amortized behaviour: a memoizing point-to-point
+//! cache backed by bidirectional Dijkstra, shared by *all* schemes so the
+//! response-time comparison stays fair.
+
+use crate::bidirectional::BidirDijkstra;
+use crate::path::Path;
+use mtshare_road::{NodeId, RoadNetwork};
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// Hit/miss counters of a [`PathCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the memo.
+    pub hits: u64,
+    /// Queries that ran a graph search.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in [0, 1]; 0 when no queries were made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    costs: FxHashMap<u64, f32>,
+    engine: BidirDijkstra,
+    stats: CacheStats,
+}
+
+/// Thread-safe memoizing shortest-path oracle over a fixed road network.
+///
+/// Costs are cached forever (the paper assumes static traffic, Sec. III-A).
+/// Paths are *not* cached — they are only needed when a schedule is actually
+/// committed, which is orders of magnitude rarer than cost probes.
+#[derive(Debug, Clone)]
+pub struct PathCache {
+    graph: Arc<RoadNetwork>,
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl PathCache {
+    /// Creates an empty cache over `graph`.
+    pub fn new(graph: Arc<RoadNetwork>) -> Self {
+        let engine = BidirDijkstra::new(&graph);
+        Self {
+            graph,
+            inner: Arc::new(Mutex::new(CacheInner {
+                costs: FxHashMap::default(),
+                engine,
+                stats: CacheStats::default(),
+            })),
+        }
+    }
+
+    /// The underlying road network.
+    #[inline]
+    pub fn graph(&self) -> &Arc<RoadNetwork> {
+        &self.graph
+    }
+
+    #[inline]
+    fn key(a: NodeId, b: NodeId) -> u64 {
+        ((a.0 as u64) << 32) | b.0 as u64
+    }
+
+    /// Shortest-path cost in seconds from `a` to `b`, or `None` when
+    /// unreachable. Unreachability is memoized too.
+    pub fn cost(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        if a == b {
+            return Some(0.0);
+        }
+        let key = Self::key(a, b);
+        let mut inner = self.inner.lock();
+        if let Some(&c) = inner.costs.get(&key) {
+            inner.stats.hits += 1;
+            return c.is_finite().then_some(c as f64);
+        }
+        inner.stats.misses += 1;
+        let cost = inner.engine.cost(&self.graph, a, b);
+        inner.costs.insert(key, cost.map_or(f32::INFINITY, |c| c as f32));
+        cost
+    }
+
+    /// Shortest path from `a` to `b` (computed fresh; its cost is memoized).
+    pub fn path(&self, a: NodeId, b: NodeId) -> Option<Path> {
+        let mut inner = self.inner.lock();
+        let p = inner.engine.path(&self.graph, a, b)?;
+        let key = Self::key(a, b);
+        inner.costs.entry(key).or_insert(p.cost_s as f32);
+        Some(p)
+    }
+
+    /// Pre-warms the memo with all pairs from `sources` × `targets`.
+    pub fn warm(&self, sources: &[NodeId], targets: &[NodeId]) {
+        for &s in sources {
+            for &t in targets {
+                let _ = self.cost(s, t);
+            }
+        }
+    }
+
+    /// Snapshot of hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().costs.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident memory of the memo in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        // key (8) + value (4) + hashbrown overhead ≈ 1 ctrl byte + padding.
+        self.inner.lock().costs.capacity() * (8 + 4 + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::Dijkstra;
+    use mtshare_road::{grid_city, GridCityConfig};
+
+    fn cache() -> (Arc<RoadNetwork>, PathCache) {
+        let g = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let c = PathCache::new(g.clone());
+        (g, c)
+    }
+
+    #[test]
+    fn cost_matches_dijkstra_and_hits_on_repeat() {
+        let (g, c) = cache();
+        let mut d = Dijkstra::new(&g);
+        let want = d.cost(&g, NodeId(0), NodeId(399)).unwrap();
+        let got1 = c.cost(NodeId(0), NodeId(399)).unwrap();
+        let got2 = c.cost(NodeId(0), NodeId(399)).unwrap();
+        assert!((got1 - want).abs() < 1e-2);
+        assert_eq!(got1, got2);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_cost_is_zero_and_free() {
+        let (_, c) = cache();
+        assert_eq!(c.cost(NodeId(5), NodeId(5)), Some(0.0));
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn direction_matters_in_the_key() {
+        let (_, c) = cache();
+        let ab = c.cost(NodeId(0), NodeId(399)).unwrap();
+        let ba = c.cost(NodeId(399), NodeId(0)).unwrap();
+        // Jittered directed grid: costs differ between directions.
+        assert_eq!(c.stats().misses, 2);
+        assert!(ab > 0.0 && ba > 0.0);
+    }
+
+    #[test]
+    fn path_agrees_with_cost() {
+        let (_, c) = cache();
+        let p = c.path(NodeId(3), NodeId(200)).unwrap();
+        let cost = c.cost(NodeId(3), NodeId(200)).unwrap();
+        assert!((p.cost_s - cost).abs() < 1e-2);
+    }
+
+    #[test]
+    fn unreachable_memoized() {
+        use mtshare_road::{EdgeSpec, GeoPoint};
+        let pts = vec![GeoPoint::new(30.0, 104.0), GeoPoint::new(30.001, 104.0)];
+        let edges = vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 10.0, speed_kmh: 15.0 }];
+        let g = Arc::new(RoadNetwork::new(pts, &edges).unwrap());
+        let c = PathCache::new(g);
+        assert_eq!(c.cost(NodeId(1), NodeId(0)), None);
+        assert_eq!(c.cost(NodeId(1), NodeId(0)), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn warm_fills_the_memo() {
+        let (_, c) = cache();
+        c.warm(&[NodeId(0), NodeId(1)], &[NodeId(10), NodeId(11)]);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert!(c.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Dijkstra's algorithm (the paper's routing workhorse, its ref. \[14\]) with reusable
+//! search state.
+//!
+//! The engine keeps its distance/parent arrays between queries and clears
+//! them lazily via an epoch counter, so a query allocates nothing after the
+//! first call — important because taxi scheduling issues thousands of
+//! shortest-path queries per ride request.
+
+use crate::path::Path;
+use mtshare_road::{NodeId, RoadNetwork};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by cost (min-heap via `Reverse`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct HeapEntry {
+    pub cost: f32,
+    pub node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost.total_cmp(&other.cost).then_with(|| self.node.0.cmp(&other.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable single-source shortest-path engine.
+#[derive(Debug)]
+pub struct Dijkstra {
+    dist: Vec<f32>,
+    parent: Vec<NodeId>,
+    epoch_of: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl Dijkstra {
+    /// Creates an engine sized for `graph`.
+    pub fn new(graph: &RoadNetwork) -> Self {
+        let n = graph.node_count();
+        Self {
+            dist: vec![f32::INFINITY; n],
+            parent: vec![NodeId(u32::MAX); n],
+            epoch_of: vec![0; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: hard-reset so stale marks cannot alias.
+            self.epoch_of.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn settle(&mut self, node: NodeId, cost: f32, parent: NodeId) -> bool {
+        let i = node.index();
+        if self.epoch_of[i] == self.epoch && self.dist[i] <= cost {
+            return false;
+        }
+        self.epoch_of[i] = self.epoch;
+        self.dist[i] = cost;
+        self.parent[i] = parent;
+        true
+    }
+
+    #[inline]
+    fn dist_of(&self, node: NodeId) -> f32 {
+        if self.epoch_of[node.index()] == self.epoch {
+            self.dist[node.index()]
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// Cost in seconds of the shortest path `source -> target`, or `None`
+    /// when unreachable. Terminates as soon as `target` is settled.
+    pub fn cost(&mut self, graph: &RoadNetwork, source: NodeId, target: NodeId) -> Option<f64> {
+        if source == target {
+            return Some(0.0);
+        }
+        self.begin();
+        self.settle(source, 0.0, source);
+        self.heap.push(Reverse(HeapEntry { cost: 0.0, node: source }));
+        while let Some(Reverse(HeapEntry { cost, node })) = self.heap.pop() {
+            if cost > self.dist_of(node) {
+                continue;
+            }
+            if node == target {
+                return Some(cost as f64);
+            }
+            for (next, w) in graph.out_edges(node) {
+                let nc = cost + w;
+                if self.settle(next, nc, node) {
+                    self.heap.push(Reverse(HeapEntry { cost: nc, node: next }));
+                }
+            }
+        }
+        None
+    }
+
+    /// Shortest path with its vertex sequence, or `None` when unreachable.
+    pub fn path(&mut self, graph: &RoadNetwork, source: NodeId, target: NodeId) -> Option<Path> {
+        let cost = self.cost(graph, source, target)?;
+        Some(Path { nodes: self.unwind(source, target), cost_s: cost })
+    }
+
+    fn unwind(&self, source: NodeId, target: NodeId) -> Vec<NodeId> {
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while cur != source {
+            cur = self.parent[cur.index()];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        nodes
+    }
+
+    /// Distances from `source` to every vertex (INFINITY = unreachable).
+    ///
+    /// The result is written into `out`, which is resized to the node count.
+    pub fn one_to_all(&mut self, graph: &RoadNetwork, source: NodeId, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(graph.node_count(), f32::INFINITY);
+        self.begin();
+        self.settle(source, 0.0, source);
+        self.heap.push(Reverse(HeapEntry { cost: 0.0, node: source }));
+        while let Some(Reverse(HeapEntry { cost, node })) = self.heap.pop() {
+            if cost > self.dist_of(node) {
+                continue;
+            }
+            out[node.index()] = cost;
+            for (next, w) in graph.out_edges(node) {
+                let nc = cost + w;
+                if self.settle(next, nc, node) {
+                    self.heap.push(Reverse(HeapEntry { cost: nc, node: next }));
+                }
+            }
+        }
+    }
+
+    /// Backward distances: cost from every vertex *to* `target`.
+    pub fn all_to_one(&mut self, graph: &RoadNetwork, target: NodeId, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(graph.node_count(), f32::INFINITY);
+        self.begin();
+        self.settle(target, 0.0, target);
+        self.heap.push(Reverse(HeapEntry { cost: 0.0, node: target }));
+        while let Some(Reverse(HeapEntry { cost, node })) = self.heap.pop() {
+            if cost > self.dist_of(node) {
+                continue;
+            }
+            out[node.index()] = cost;
+            for (prev, w) in graph.in_edges(node) {
+                let nc = cost + w;
+                if self.settle(prev, nc, node) {
+                    self.heap.push(Reverse(HeapEntry { cost: nc, node: prev }));
+                }
+            }
+        }
+    }
+}
+
+/// Reference Bellman-Ford used only as a property-test oracle.
+pub fn bellman_ford_cost(graph: &RoadNetwork, source: NodeId, target: NodeId) -> Option<f64> {
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source.index()] = 0.0;
+    for _ in 0..n {
+        let mut changed = false;
+        for u in graph.nodes() {
+            let du = dist[u.index()];
+            if !du.is_finite() {
+                continue;
+            }
+            for (v, w) in graph.out_edges(u) {
+                let cand = du + w as f64;
+                if cand < dist[v.index()] {
+                    dist[v.index()] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist[target.index()].is_finite().then_some(dist[target.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtshare_road::{grid_city, GridCityConfig};
+
+    fn city() -> RoadNetwork {
+        grid_city(&GridCityConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn zero_cost_to_self() {
+        let g = city();
+        let mut d = Dijkstra::new(&g);
+        assert_eq!(d.cost(&g, NodeId(5), NodeId(5)), Some(0.0));
+    }
+
+    #[test]
+    fn cost_matches_bellman_ford() {
+        let g = city();
+        let mut d = Dijkstra::new(&g);
+        for (s, t) in [(0u32, 399u32), (17, 230), (399, 0), (55, 56)] {
+            let got = d.cost(&g, NodeId(s), NodeId(t)).unwrap();
+            let want = bellman_ford_cost(&g, NodeId(s), NodeId(t)).unwrap();
+            assert!((got - want).abs() < 1e-2, "{s}->{t}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn path_is_a_valid_walk_with_matching_cost() {
+        let g = city();
+        let mut d = Dijkstra::new(&g);
+        let p = d.path(&g, NodeId(0), NodeId(399)).unwrap();
+        assert_eq!(p.start(), NodeId(0));
+        assert_eq!(p.end(), NodeId(399));
+        let mut total = 0.0f64;
+        for w in p.nodes.windows(2) {
+            let c = g.direct_edge_cost(w[0], w[1]).expect("consecutive nodes must be adjacent");
+            total += c as f64;
+        }
+        assert!((total - p.cost_s).abs() < 1e-2);
+    }
+
+    #[test]
+    fn engine_is_reusable_across_queries() {
+        let g = city();
+        let mut d = Dijkstra::new(&g);
+        let a1 = d.cost(&g, NodeId(0), NodeId(399)).unwrap();
+        let _ = d.cost(&g, NodeId(399), NodeId(0)).unwrap();
+        let a2 = d.cost(&g, NodeId(0), NodeId(399)).unwrap();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn one_to_all_consistent_with_point_queries() {
+        let g = city();
+        let mut d = Dijkstra::new(&g);
+        let mut all = Vec::new();
+        d.one_to_all(&g, NodeId(7), &mut all);
+        for t in [0u32, 100, 250, 399] {
+            let pt = d.cost(&g, NodeId(7), NodeId(t)).unwrap();
+            assert!((pt - all[t as usize] as f64).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn all_to_one_is_backward_cost() {
+        let g = city();
+        let mut d = Dijkstra::new(&g);
+        let mut back = Vec::new();
+        d.all_to_one(&g, NodeId(250), &mut back);
+        for s in [0u32, 31, 399] {
+            let fwd = d.cost(&g, NodeId(s), NodeId(250)).unwrap();
+            assert!((fwd - back[s as usize] as f64).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        use mtshare_road::{EdgeSpec, GeoPoint};
+        let pts = vec![GeoPoint::new(30.0, 104.0), GeoPoint::new(30.001, 104.0)];
+        let edges = vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 10.0, speed_kmh: 15.0 }];
+        let g = RoadNetwork::new(pts, &edges).unwrap();
+        let mut d = Dijkstra::new(&g);
+        assert_eq!(d.cost(&g, NodeId(1), NodeId(0)), None);
+        assert!(d.path(&g, NodeId(1), NodeId(0)).is_none());
+    }
+}

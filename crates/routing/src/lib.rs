@@ -1,0 +1,39 @@
+//! Shortest-path engines for mT-Share.
+//!
+//! Route planning "usually bottlenecks the efficiency of taxi scheduling"
+//! (Sec. IV-C2), so this crate provides a family of engines tuned for the
+//! query mix the system issues:
+//!
+//! - [`Dijkstra`]: single-source engine with one-to-all / all-to-one modes;
+//! - [`BidirDijkstra`]: point-to-point queries (backs the shared cache);
+//! - [`AStar`]: goal-directed exact queries with a geographic heuristic;
+//! - [`Alt`]: A* with landmark (triangle-inequality) lower bounds reusing
+//!   the partition landmark tables;
+//! - [`MaskedDijkstra`] + [`NodeMask`]: subgraph search for the paper's
+//!   two-phase (partition-filtered) routing, with optional vertex weights
+//!   for probabilistic routing;
+//! - [`PathCache`]: the memoizing oracle standing in for the paper's cached
+//!   all-pairs table;
+//! - [`CostMatrix`]: dense landmark-to-everything cost tables.
+
+#![warn(missing_docs)]
+
+pub mod alt;
+pub mod astar;
+pub mod bidirectional;
+pub mod cache;
+pub mod dijkstra;
+pub mod masked;
+pub mod matrix;
+pub mod oracle;
+pub mod path;
+
+pub use alt::Alt;
+pub use astar::AStar;
+pub use bidirectional::BidirDijkstra;
+pub use cache::{CacheStats, PathCache};
+pub use dijkstra::{bellman_ford_cost, Dijkstra};
+pub use masked::{MaskedDijkstra, NodeMask};
+pub use matrix::CostMatrix;
+pub use oracle::{HotNodeOracle, OracleStats};
+pub use path::Path;

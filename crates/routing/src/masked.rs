@@ -1,0 +1,255 @@
+//! Dijkstra restricted to an allowed vertex subset.
+//!
+//! This is the "segment-level routing" half of the paper's two-phase route
+//! planning (Sec. IV-C2): after partition filtering selects a set of map
+//! partitions, the shortest path is computed on the subgraph induced by
+//! their vertices. Instead of materializing a subgraph we run Dijkstra with
+//! a node mask, which costs one extra branch per relaxed edge and zero
+//! allocation.
+//!
+//! The mask also supports per-vertex additive weights, which Algorithm 4
+//! (probabilistic routing) uses to bias routes through vertices with high
+//! probability of meeting suitable offline requests (weight `1/ψc`).
+
+use crate::dijkstra::HeapEntry;
+use crate::path::Path;
+use mtshare_road::{NodeId, RoadNetwork};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Epoch-tagged vertex allow-list, reusable across queries.
+#[derive(Debug)]
+pub struct NodeMask {
+    epoch_of: Vec<u32>,
+    epoch: u32,
+}
+
+impl NodeMask {
+    /// Creates a mask sized for `graph` with no vertices allowed.
+    pub fn new(graph: &RoadNetwork) -> Self {
+        Self { epoch_of: vec![0; graph.node_count()], epoch: 0 }
+    }
+
+    /// Clears the mask (O(1) amortized).
+    pub fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.epoch_of.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Allows `node`.
+    #[inline]
+    pub fn allow(&mut self, node: NodeId) {
+        self.epoch_of[node.index()] = self.epoch;
+    }
+
+    /// Whether `node` is allowed.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.epoch_of[node.index()] == self.epoch
+    }
+}
+
+/// Reusable Dijkstra over a masked subgraph with optional vertex weights.
+#[derive(Debug)]
+pub struct MaskedDijkstra {
+    dist: Vec<f32>,
+    parent: Vec<NodeId>,
+    epoch_of: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl MaskedDijkstra {
+    /// Creates an engine sized for `graph`.
+    pub fn new(graph: &RoadNetwork) -> Self {
+        let n = graph.node_count();
+        Self {
+            dist: vec![f32::INFINITY; n],
+            parent: vec![NodeId(u32::MAX); n],
+            epoch_of: vec![0; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.epoch_of.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn dist_of(&self, node: NodeId) -> f32 {
+        if self.epoch_of[node.index()] == self.epoch {
+            self.dist[node.index()]
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// Shortest path from `source` to `target` visiting only vertices
+    /// allowed by `mask`. Both endpoints must be allowed.
+    ///
+    /// When `vertex_weight` is provided, entering vertex `v` additionally
+    /// costs `vertex_weight(v)`; the reported `cost_s` of the returned path
+    /// is the *pure travel cost* (weights steer the search but do not count
+    /// toward the deadline checks, matching Algorithm 4 step 3).
+    pub fn path_masked(
+        &mut self,
+        graph: &RoadNetwork,
+        source: NodeId,
+        target: NodeId,
+        mask: &NodeMask,
+        vertex_weight: Option<&dyn Fn(NodeId) -> f32>,
+    ) -> Option<Path> {
+        if !mask.contains(source) || !mask.contains(target) {
+            return None;
+        }
+        if source == target {
+            return Some(Path::trivial(source));
+        }
+        self.begin();
+        self.epoch_of[source.index()] = self.epoch;
+        self.dist[source.index()] = 0.0;
+        self.parent[source.index()] = source;
+        self.heap.push(Reverse(HeapEntry { cost: 0.0, node: source }));
+        while let Some(Reverse(HeapEntry { cost, node })) = self.heap.pop() {
+            if cost > self.dist_of(node) {
+                continue;
+            }
+            if node == target {
+                break;
+            }
+            for (next, w) in graph.out_edges(node) {
+                if !mask.contains(next) {
+                    continue;
+                }
+                let extra = vertex_weight.map_or(0.0, |f| f(next).max(0.0));
+                let nc = cost + w + extra;
+                if nc < self.dist_of(next) {
+                    self.epoch_of[next.index()] = self.epoch;
+                    self.dist[next.index()] = nc;
+                    self.parent[next.index()] = node;
+                    self.heap.push(Reverse(HeapEntry { cost: nc, node: next }));
+                }
+            }
+        }
+        if self.dist_of(target).is_infinite() {
+            return None;
+        }
+        // Unwind and recompute the pure travel cost along the walk.
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while cur != source {
+            cur = self.parent[cur.index()];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        let mut travel = 0.0f64;
+        for w in nodes.windows(2) {
+            travel += graph
+                .direct_edge_cost(w[0], w[1])
+                .expect("path edges exist in the graph") as f64;
+        }
+        Some(Path { nodes, cost_s: travel })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::Dijkstra;
+    use mtshare_road::{grid_city, GridCityConfig};
+
+    fn full_mask(g: &RoadNetwork) -> NodeMask {
+        let mut m = NodeMask::new(g);
+        m.clear();
+        for n in g.nodes() {
+            m.allow(n);
+        }
+        m
+    }
+
+    #[test]
+    fn full_mask_matches_dijkstra() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let mask = full_mask(&g);
+        let mut md = MaskedDijkstra::new(&g);
+        let mut d = Dijkstra::new(&g);
+        for (s, t) in [(0u32, 399u32), (20, 380), (111, 7)] {
+            let got = md.path_masked(&g, NodeId(s), NodeId(t), &mask, None).unwrap();
+            let want = d.cost(&g, NodeId(s), NodeId(t)).unwrap();
+            assert!((got.cost_s - want).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn restricted_mask_blocks_or_detours() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        // Allow only the first two rows (40 nodes of the 20x20 grid).
+        let mut mask = NodeMask::new(&g);
+        mask.clear();
+        for i in 0..40u32 {
+            mask.allow(NodeId(i));
+        }
+        let mut md = MaskedDijkstra::new(&g);
+        // Path within the allowed strip must exist and only touch it.
+        let p = md.path_masked(&g, NodeId(0), NodeId(39), &mask, None).unwrap();
+        assert!(p.nodes.iter().all(|n| n.0 < 40));
+        // Target outside the mask: no path.
+        assert!(md.path_masked(&g, NodeId(0), NodeId(399), &mask, None).is_none());
+    }
+
+    #[test]
+    fn masked_cost_is_at_least_unmasked() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let mut mask = NodeMask::new(&g);
+        mask.clear();
+        // Allow a thin L-shaped corridor from 0 to 399.
+        for c in 0..20u32 {
+            mask.allow(NodeId(c)); // row 0
+            mask.allow(NodeId(19 + 20 * c)); // column 19
+        }
+        let mut md = MaskedDijkstra::new(&g);
+        let mut d = Dijkstra::new(&g);
+        if let Some(p) = md.path_masked(&g, NodeId(0), NodeId(399), &mask, None) {
+            let free = d.cost(&g, NodeId(0), NodeId(399)).unwrap();
+            assert!(p.cost_s >= free - 1e-2);
+        }
+    }
+
+    #[test]
+    fn vertex_weights_steer_but_do_not_count() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let mask = full_mask(&g);
+        let mut md = MaskedDijkstra::new(&g);
+        // Penalize the direct row so the path prefers another corridor.
+        let weight = |n: NodeId| if n.0 < 20 { 1000.0 } else { 0.0 };
+        let p = md.path_masked(&g, NodeId(0), NodeId(19), &mask, Some(&weight)).unwrap();
+        // Travel cost reported must equal the actual walk cost.
+        let mut total = 0.0f64;
+        for w in p.nodes.windows(2) {
+            total += g.direct_edge_cost(w[0], w[1]).unwrap() as f64;
+        }
+        assert!((total - p.cost_s).abs() < 1e-2);
+        // The weighted search should leave row 0 at some point.
+        assert!(p.nodes.iter().any(|n| n.0 >= 20));
+    }
+
+    #[test]
+    fn endpoints_must_be_allowed() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let mut mask = NodeMask::new(&g);
+        mask.clear();
+        mask.allow(NodeId(0));
+        let mut md = MaskedDijkstra::new(&g);
+        assert!(md.path_masked(&g, NodeId(0), NodeId(1), &mask, None).is_none());
+        assert!(md.path_masked(&g, NodeId(1), NodeId(0), &mask, None).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Dense cost matrices for small source sets.
+//!
+//! The landmark graph needs exact travel costs between every pair of
+//! landmarks (Sec. IV-B1) and from each landmark to every vertex
+//! (partition filtering, Alg. 2). With κ ≈ 10²–10³ landmarks these are
+//! cheap to precompute: one forward and one backward one-to-all Dijkstra
+//! per landmark.
+
+use crate::dijkstra::Dijkstra;
+use mtshare_road::{NodeId, RoadNetwork};
+use rustc_hash::FxHashMap;
+
+/// Precomputed costs from a fixed source set to all vertices, and from all
+/// vertices back to each source.
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    sources: Vec<NodeId>,
+    index_of: FxHashMap<NodeId, u32>,
+    /// `from_rows[i][v]` = cost from `sources[i]` to vertex `v`.
+    from_rows: Vec<Vec<f32>>,
+    /// `to_rows[i][v]` = cost from vertex `v` to `sources[i]`.
+    to_rows: Vec<Vec<f32>>,
+}
+
+impl CostMatrix {
+    /// Runs 2·|sources| one-to-all searches to build the matrix.
+    pub fn compute(graph: &RoadNetwork, sources: &[NodeId]) -> Self {
+        let mut engine = Dijkstra::new(graph);
+        let mut from_rows = Vec::with_capacity(sources.len());
+        let mut to_rows = Vec::with_capacity(sources.len());
+        for &s in sources {
+            let mut fwd = Vec::new();
+            engine.one_to_all(graph, s, &mut fwd);
+            from_rows.push(fwd);
+            let mut bwd = Vec::new();
+            engine.all_to_one(graph, s, &mut bwd);
+            to_rows.push(bwd);
+        }
+        let index_of = sources.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        Self { sources: sources.to_vec(), index_of, from_rows, to_rows }
+    }
+
+    /// The source set in construction order.
+    #[inline]
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// Row index of a source vertex, if it is in the set.
+    #[inline]
+    pub fn source_index(&self, s: NodeId) -> Option<usize> {
+        self.index_of.get(&s).map(|&i| i as usize)
+    }
+
+    /// Cost from source `s` (must be in the set) to any vertex `v`.
+    /// `f32::INFINITY` when unreachable.
+    #[inline]
+    pub fn cost_from(&self, s: NodeId, v: NodeId) -> f32 {
+        self.from_rows[self.index_of[&s] as usize][v.index()]
+    }
+
+    /// Cost from any vertex `v` to source `s` (must be in the set).
+    #[inline]
+    pub fn cost_to(&self, v: NodeId, s: NodeId) -> f32 {
+        self.to_rows[self.index_of[&s] as usize][v.index()]
+    }
+
+    /// Cost between two sources.
+    #[inline]
+    pub fn between(&self, a: NodeId, b: NodeId) -> f32 {
+        self.cost_from(a, b)
+    }
+
+    /// Cost from source row `i` to vertex `v` (index-based fast path).
+    #[inline]
+    pub fn cost_from_idx(&self, i: usize, v: NodeId) -> f32 {
+        self.from_rows[i][v.index()]
+    }
+
+    /// Cost from vertex `v` to source row `i` (index-based fast path).
+    #[inline]
+    pub fn cost_to_idx(&self, v: NodeId, i: usize) -> f32 {
+        self.to_rows[i][v.index()]
+    }
+
+    /// Approximate resident memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.from_rows.iter().chain(self.to_rows.iter()).map(|r| r.len() * 4).sum::<usize>()
+            + self.sources.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtshare_road::{grid_city, GridCityConfig};
+
+    #[test]
+    fn matrix_matches_point_queries() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let sources = vec![NodeId(0), NodeId(200), NodeId(399)];
+        let m = CostMatrix::compute(&g, &sources);
+        let mut d = Dijkstra::new(&g);
+        for &s in &sources {
+            for t in [NodeId(5), NodeId(123), NodeId(398)] {
+                let want = d.cost(&g, s, t).unwrap();
+                assert!((m.cost_from(s, t) as f64 - want).abs() < 1e-2);
+                let back = d.cost(&g, t, s).unwrap();
+                assert!((m.cost_to(t, s) as f64 - back).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn between_is_symmetric_with_rows() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let sources = vec![NodeId(10), NodeId(350)];
+        let m = CostMatrix::compute(&g, &sources);
+        assert_eq!(m.between(NodeId(10), NodeId(350)), m.cost_from(NodeId(10), NodeId(350)));
+        assert_eq!(m.between(NodeId(10), NodeId(10)), 0.0);
+        assert_eq!(m.source_index(NodeId(350)), Some(1));
+        assert_eq!(m.source_index(NodeId(11)), None);
+        assert!(m.memory_bytes() > 0);
+        assert_eq!(m.sources().len(), 2);
+    }
+}

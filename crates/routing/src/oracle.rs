@@ -1,0 +1,218 @@
+//! Hot-node cost oracle: O(1) leg-cost probes for active request endpoints.
+//!
+//! The paper assumes every shortest-path query costs O(1) because the
+//! all-pairs table is precomputed and cached in memory (Sec. IV-C, V-A4).
+//! Storing all pairs is infeasible, but the query mix of insertion-based
+//! scheduling only ever touches a small hot set: legs run *from* a taxi
+//! position or a scheduled event node *to* another event node, and event
+//! nodes are exactly the origins/destinations of active requests.
+//!
+//! So we pin, per hot node, one forward and one backward one-to-all
+//! distance vector (two Dijkstras). While a request is active, every leg
+//! cost involving its endpoints is a single array read — the amortized
+//! equivalent of the paper's cache, shared by all schemes for fairness.
+
+use crate::bidirectional::BidirDijkstra;
+use crate::dijkstra::Dijkstra;
+use mtshare_road::{NodeId, RoadNetwork};
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct PinnedEntry {
+    refs: u32,
+    /// Forward: cost from the pinned node to every vertex.
+    fwd: Vec<f32>,
+    /// Backward: cost from every vertex to the pinned node.
+    bwd: Vec<f32>,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+/// Query counters of the oracle.
+pub struct OracleStats {
+    /// Queries answered from a pinned vector.
+    pub vector_hits: u64,
+    /// Queries answered from the point memo.
+    pub memo_hits: u64,
+    /// Queries that ran a bidirectional search.
+    pub searches: u64,
+    /// One-to-all computations performed for pins.
+    pub pin_computes: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    pinned: FxHashMap<u32, PinnedEntry>,
+    point_memo: FxHashMap<u64, f32>,
+    engine: Dijkstra,
+    bidi: BidirDijkstra,
+    stats: OracleStats,
+}
+
+/// Thread-safe cost oracle with pinnable hot nodes.
+#[derive(Debug, Clone)]
+pub struct HotNodeOracle {
+    graph: Arc<RoadNetwork>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl HotNodeOracle {
+    /// Creates an empty oracle over `graph`.
+    pub fn new(graph: Arc<RoadNetwork>) -> Self {
+        let engine = Dijkstra::new(&graph);
+        let bidi = BidirDijkstra::new(&graph);
+        Self {
+            graph,
+            inner: Arc::new(Mutex::new(Inner {
+                pinned: FxHashMap::default(),
+                point_memo: FxHashMap::default(),
+                engine,
+                bidi,
+                stats: OracleStats::default(),
+            })),
+        }
+    }
+
+    /// The underlying road network.
+    #[inline]
+    pub fn graph(&self) -> &Arc<RoadNetwork> {
+        &self.graph
+    }
+
+    /// Pins `node`, computing its forward + backward distance vectors if
+    /// not already resident. Pins are reference-counted.
+    pub fn pin(&self, node: NodeId) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.pinned.get_mut(&node.0) {
+            e.refs += 1;
+            return;
+        }
+        let mut fwd = Vec::new();
+        let mut bwd = Vec::new();
+        inner.engine.one_to_all(&self.graph, node, &mut fwd);
+        inner.engine.all_to_one(&self.graph, node, &mut bwd);
+        inner.stats.pin_computes += 2;
+        inner.pinned.insert(node.0, PinnedEntry { refs: 1, fwd, bwd });
+    }
+
+    /// Releases one pin of `node`; vectors are freed when the count drops
+    /// to zero. Unpinning an unpinned node is a no-op.
+    pub fn unpin(&self, node: NodeId) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.pinned.get_mut(&node.0) {
+            e.refs -= 1;
+            if e.refs == 0 {
+                inner.pinned.remove(&node.0);
+            }
+        }
+    }
+
+    /// Shortest-path cost from `a` to `b` in seconds, `None` if
+    /// unreachable. O(1) when either endpoint is pinned; otherwise a
+    /// memoized bidirectional search.
+    pub fn cost(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        if a == b {
+            return Some(0.0);
+        }
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.pinned.get(&a.0) {
+            let c = e.fwd[b.index()];
+            inner.stats.vector_hits += 1;
+            return c.is_finite().then_some(c as f64);
+        }
+        if let Some(e) = inner.pinned.get(&b.0) {
+            let c = e.bwd[a.index()];
+            inner.stats.vector_hits += 1;
+            return c.is_finite().then_some(c as f64);
+        }
+        let key = ((a.0 as u64) << 32) | b.0 as u64;
+        if let Some(&c) = inner.point_memo.get(&key) {
+            inner.stats.memo_hits += 1;
+            return c.is_finite().then_some(c as f64);
+        }
+        inner.stats.searches += 1;
+        let c = inner.bidi.cost(&self.graph, a, b);
+        inner.point_memo.insert(key, c.map_or(f32::INFINITY, |c| c as f32));
+        c
+    }
+
+    /// Snapshot of the query counters.
+    pub fn stats(&self) -> OracleStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of currently pinned nodes.
+    pub fn pinned_count(&self) -> usize {
+        self.inner.lock().pinned.len()
+    }
+
+    /// Approximate resident memory in bytes (pinned vectors + memo).
+    pub fn memory_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.pinned.len() * (2 * self.graph.node_count() * 4 + 16)
+            + inner.point_memo.capacity() * 14
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtshare_road::{grid_city, GridCityConfig};
+
+    fn oracle() -> HotNodeOracle {
+        HotNodeOracle::new(Arc::new(grid_city(&GridCityConfig::tiny()).unwrap()))
+    }
+
+    #[test]
+    fn pinned_costs_match_searches() {
+        let o = oracle();
+        let free = o.cost(NodeId(0), NodeId(399)).unwrap();
+        o.pin(NodeId(0));
+        let pinned = o.cost(NodeId(0), NodeId(399)).unwrap();
+        assert!((free - pinned).abs() < 1e-2);
+        let s = o.stats();
+        assert_eq!(s.searches, 1);
+        assert!(s.vector_hits >= 1);
+    }
+
+    #[test]
+    fn backward_vector_answers_into_pinned_node() {
+        let o = oracle();
+        o.pin(NodeId(399));
+        let got = o.cost(NodeId(0), NodeId(399)).unwrap();
+        assert_eq!(o.stats().searches, 0);
+        // Cross-check against an unpinned fresh oracle.
+        let o2 = oracle();
+        let want = o2.cost(NodeId(0), NodeId(399)).unwrap();
+        assert!((got - want).abs() < 1e-2);
+    }
+
+    #[test]
+    fn refcounted_pinning() {
+        let o = oracle();
+        o.pin(NodeId(7));
+        o.pin(NodeId(7));
+        assert_eq!(o.pinned_count(), 1);
+        let computes = o.stats().pin_computes;
+        assert_eq!(computes, 2); // one fwd + one bwd, second pin free
+        o.unpin(NodeId(7));
+        assert_eq!(o.pinned_count(), 1);
+        o.unpin(NodeId(7));
+        assert_eq!(o.pinned_count(), 0);
+        o.unpin(NodeId(7)); // no-op
+        assert_eq!(o.pinned_count(), 0);
+    }
+
+    #[test]
+    fn self_cost_zero_and_memoization() {
+        let o = oracle();
+        assert_eq!(o.cost(NodeId(5), NodeId(5)), Some(0.0));
+        let _ = o.cost(NodeId(1), NodeId(2));
+        let _ = o.cost(NodeId(1), NodeId(2));
+        let s = o.stats();
+        assert_eq!(s.searches, 1);
+        assert_eq!(s.memo_hits, 1);
+        assert!(o.memory_bytes() > 0);
+    }
+}

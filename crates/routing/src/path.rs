@@ -1,0 +1,76 @@
+//! Path representation shared by all search engines.
+
+use mtshare_road::NodeId;
+
+/// A walk through the road network with its total travel cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Visited vertices in order, including both endpoints. A trivial path
+    /// from a vertex to itself contains that vertex once.
+    pub nodes: Vec<NodeId>,
+    /// Total travel cost in seconds.
+    pub cost_s: f64,
+}
+
+impl Path {
+    /// A zero-cost path staying at `node`.
+    pub fn trivial(node: NodeId) -> Self {
+        Self { nodes: vec![node], cost_s: 0.0 }
+    }
+
+    /// First vertex of the path.
+    #[inline]
+    pub fn start(&self) -> NodeId {
+        *self.nodes.first().expect("paths are never empty")
+    }
+
+    /// Last vertex of the path.
+    #[inline]
+    pub fn end(&self) -> NodeId {
+        *self.nodes.last().expect("paths are never empty")
+    }
+
+    /// Number of edges traversed.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// Appends `other` onto this path. `other` must start where this path
+    /// ends (the paper's `⊎` concatenation in Algorithms 3–4).
+    pub fn concat(&mut self, other: &Path) {
+        assert_eq!(self.end(), other.start(), "concatenated paths must share an endpoint");
+        self.nodes.extend_from_slice(&other.nodes[1..]);
+        self.cost_s += other.cost_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId(3));
+        assert_eq!(p.start(), NodeId(3));
+        assert_eq!(p.end(), NodeId(3));
+        assert_eq!(p.edge_count(), 0);
+        assert_eq!(p.cost_s, 0.0);
+    }
+
+    #[test]
+    fn concat_joins_and_sums() {
+        let mut a = Path { nodes: vec![NodeId(0), NodeId(1)], cost_s: 5.0 };
+        let b = Path { nodes: vec![NodeId(1), NodeId(2), NodeId(3)], cost_s: 7.0 };
+        a.concat(&b);
+        assert_eq!(a.nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(a.cost_s, 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share an endpoint")]
+    fn concat_rejects_disjoint() {
+        let mut a = Path::trivial(NodeId(0));
+        a.concat(&Path::trivial(NodeId(1)));
+    }
+}

@@ -1,0 +1,30 @@
+//! Event-driven ridesharing simulator and synthetic workload substrate
+//! (the Sec. V evaluation harness).
+//!
+//! - [`workload`]: hotspot-mixture demand generator standing in for the
+//!   Didi GAIA Chengdu trace;
+//! - [`scenario`]: peak / non-peak scenario presets (Sec. V-A1) and the
+//!   scheme factory;
+//! - [`simulator`]: the analytic-motion, event-driven simulator with
+//!   offline-request encounter detection;
+//! - [`metrics`]: per-run reports (served / response / detour / waiting /
+//!   fares / memory);
+//! - [`stats`]: dataset statistics (Fig. 5);
+//! - [`trace`]: loader for real GAIA-format transaction traces.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod scenario;
+pub mod simulator;
+pub mod stats;
+pub mod trace;
+pub mod workload;
+
+pub use metrics::{Series, SimReport};
+pub use scenario::{build_context, materialize, Scenario, ScenarioConfig, ScenarioKind, SchemeKind};
+pub use simulator::{SimConfig, Simulator};
+pub use trace::{parse_trace, snap_trace, SnappedTrace, TraceParse, TraceRecord};
+pub use workload::{
+    weekend_profile, workday_profile, RawRequest, WorkloadConfig, WorkloadGenerator,
+};

@@ -1,0 +1,79 @@
+//! Dataset statistics (Fig. 5): hourly taxi-utilization profile and the
+//! trip travel-time distribution of the generated workload.
+
+use crate::metrics::Series;
+use crate::workload::RawRequest;
+use mtshare_routing::PathCache;
+
+/// Fig. 5(a): estimated average taxi-utilization ratio per hour — the
+/// proportion of fleet time spent serving requests, assuming each request
+/// occupies one taxi for its direct travel time.
+pub fn hourly_utilization(
+    stream: &[RawRequest],
+    cache: &PathCache,
+    n_taxis: usize,
+    hours: usize,
+) -> Vec<f64> {
+    let mut busy = vec![0.0f64; hours];
+    for r in stream {
+        let h = (r.release_time / 3600.0) as usize;
+        if h >= hours {
+            continue;
+        }
+        if let Some(c) = cache.cost(r.origin, r.destination) {
+            busy[h] += c;
+        }
+    }
+    let fleet_capacity = (n_taxis as f64) * 3600.0;
+    busy.iter().map(|b| (b / fleet_capacity).min(1.0)).collect()
+}
+
+/// Fig. 5(b): quantiles of the trip travel-time distribution in minutes.
+/// Returns `(quantile, minutes)` pairs for the requested quantiles.
+pub fn travel_time_distribution(
+    stream: &[RawRequest],
+    cache: &PathCache,
+    quantiles: &[f64],
+) -> Vec<(f64, f64)> {
+    let mut s = Series::default();
+    for r in stream {
+        if let Some(c) = cache.cost(r.origin, r.destination) {
+            s.push(c / 60.0);
+        }
+    }
+    quantiles.iter().map(|&q| (q, s.quantile(q))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{workday_profile, WorkloadConfig, WorkloadGenerator};
+    use mtshare_road::{grid_city, GridCityConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn utilization_tracks_demand_shape() {
+        let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let cache = PathCache::new(graph.clone());
+        let mut gen = WorkloadGenerator::new(graph, WorkloadConfig::default());
+        let profile = workday_profile(60);
+        let stream = gen.day_stream(&profile, 0.0);
+        let util = hourly_utilization(&stream, &cache, 20, 24);
+        assert_eq!(util.len(), 24);
+        assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        // Peak hour (8am) busier than 3am.
+        assert!(util[8] > util[3]);
+    }
+
+    #[test]
+    fn travel_time_quantiles_monotone() {
+        let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let cache = PathCache::new(graph.clone());
+        let mut gen = WorkloadGenerator::new(graph, WorkloadConfig::default());
+        let stream = gen.requests(200, 0.0, 3600.0, 0.0);
+        let q = travel_time_distribution(&stream, &cache, &[0.1, 0.5, 0.9]);
+        assert_eq!(q.len(), 3);
+        assert!(q[0].1 <= q[1].1 && q[1].1 <= q[2].1);
+        assert!(q[1].1 > 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Export the road network and a bipartite partitioning as GeoJSON —
+//! the Fig. 3(b)-style visualization (colour points by `label` in
+//! geojson.io or kepler.gl).
+//!
+//! Run with: `cargo run --release --example export_maps`
+
+use mt_share::core::PartitionStrategy;
+use mt_share::road::{grid_city, io as road_io, GridCityConfig};
+use mt_share::sim::{build_context, WorkloadConfig, WorkloadGenerator};
+use std::sync::Arc;
+
+fn main() {
+    let graph = Arc::new(
+        grid_city(&GridCityConfig { rows: 30, cols: 30, ..Default::default() }).expect("valid"),
+    );
+    let mut gen = WorkloadGenerator::new(graph.clone(), WorkloadConfig::default());
+    let historical = gen.historical_trips(4000);
+
+    let out_dir = std::env::temp_dir().join("mtshare_maps");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let network = road_io::network_to_geojson(&graph);
+    let network_path = out_dir.join("network.geojson");
+    std::fs::write(&network_path, network).expect("write network");
+    println!("wrote {} ({} edges)", network_path.display(), graph.edge_count());
+
+    for (name, strategy) in
+        [("bipartite", PartitionStrategy::Bipartite), ("grid", PartitionStrategy::Grid)]
+    {
+        let ctx = build_context(&graph, &historical, 16, strategy);
+        let labels = ctx.partitioning.labels_u32();
+        let geojson = road_io::labelled_nodes_to_geojson(&graph, &labels);
+        let path = out_dir.join(format!("partitions_{name}.geojson"));
+        std::fs::write(&path, geojson).expect("write partitions");
+        println!("wrote {} ({} partitions)", path.display(), ctx.kappa());
+    }
+    println!("open the files in geojson.io and colour points by `label`");
+}

@@ -1,0 +1,43 @@
+//! Peak-hour comparison: run the full simulator for every scheme on the
+//! same rush-hour workload and print a Fig. 6-style summary.
+//!
+//! Run with: `cargo run --release --example peak_hour`
+
+use mt_share::core::PartitionStrategy;
+use mt_share::road::{grid_city, GridCityConfig};
+use mt_share::routing::PathCache;
+use mt_share::sim::{build_context, Scenario, ScenarioConfig, SchemeKind, SimConfig, Simulator};
+use std::sync::Arc;
+
+fn main() {
+    let graph = Arc::new(
+        grid_city(&GridCityConfig { rows: 40, cols: 40, ..Default::default() }).expect("valid"),
+    );
+    let cache = PathCache::new(graph.clone());
+
+    // A rush hour: 10 requests per taxi-hour on a 60-taxi fleet.
+    let scenario = Scenario::generate(graph.clone(), &cache, ScenarioConfig::peak(60));
+    println!(
+        "peak scenario: {} taxis, {} requests over {:.0} min",
+        scenario.taxis.len(),
+        scenario.requests.len(),
+        scenario.config.duration_s / 60.0
+    );
+    let ctx = build_context(&graph, &scenario.historical, 24, PartitionStrategy::Bipartite);
+
+    println!(
+        "{:<12} {:>7} {:>10} {:>11} {:>12} {:>11}",
+        "scheme", "served", "resp ms", "detour min", "waiting min", "fare save %"
+    );
+    for kind in SchemeKind::PEAK_SET {
+        let mut scheme =
+            kind.build(&graph, scenario.taxis.len(), kind.needs_context().then(|| ctx.clone()), None);
+        let sim = Simulator::new(graph.clone(), cache.clone(), &scenario, SimConfig::default());
+        let r = sim.run(scheme.as_mut());
+        println!(
+            "{:<12} {:>7} {:>10.2} {:>11.2} {:>12.2} {:>11.1}",
+            r.scheme, r.served, r.avg_response_ms, r.avg_detour_min, r.avg_waiting_min,
+            r.fare_saving_pct()
+        );
+    }
+}

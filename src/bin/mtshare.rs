@@ -1,0 +1,205 @@
+//! `mtshare` — command-line front end for the reproduction.
+//!
+//! ```text
+//! mtshare simulate --scheme mt-share --taxis 120 --requests 1200 [--nonpeak]
+//! mtshare partition --kappa 32 --out partitions.geojson [--grid]
+//! mtshare stats [--hours 24]
+//! mtshare trace <file.csv>     # GAIA-format trace sanity check
+//! ```
+//!
+//! Everything runs on the synthetic city (`--rows/--cols` to resize);
+//! `trace` additionally snaps a real GAIA CSV onto it and reports
+//! coverage. Deterministic given `--seed`.
+
+use mt_share::core::PartitionStrategy;
+use mt_share::mobility::Trip;
+use mt_share::road::{grid_city, io as road_io, GridCityConfig, SpatialGrid};
+use mt_share::routing::PathCache;
+use mt_share::sim::{
+    build_context, parse_trace, snap_trace, stats, Scenario, ScenarioConfig, SchemeKind,
+    SimConfig, Simulator, WorkloadConfig, WorkloadGenerator,
+};
+use std::sync::Arc;
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Self {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut raw = raw.peekable();
+        while let Some(a) = raw.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = raw.peek().filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    raw.next();
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Self { flags, positional }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
+    );
+    std::process::exit(2)
+}
+
+fn city(args: &Args) -> Arc<mt_share::road::RoadNetwork> {
+    let cfg = GridCityConfig {
+        rows: args.num("rows", 40usize),
+        cols: args.num("cols", 40usize),
+        seed: args.num("seed", 7u64),
+        ..GridCityConfig::default()
+    };
+    Arc::new(grid_city(&cfg).expect("valid city config"))
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else { usage() };
+    let args = Args::parse(argv);
+    match cmd.as_str() {
+        "simulate" => simulate(&args),
+        "partition" => partition(&args),
+        "stats" => stats_cmd(&args),
+        "trace" => trace_cmd(&args),
+        _ => usage(),
+    }
+}
+
+fn simulate(args: &Args) {
+    let graph = city(args);
+    let cache = PathCache::new(graph.clone());
+    let taxis = args.num("taxis", 60usize);
+    let mut cfg = if args.has("nonpeak") {
+        ScenarioConfig::nonpeak(taxis)
+    } else {
+        ScenarioConfig::peak(taxis)
+    };
+    cfg.n_requests = args.num("requests", cfg.n_requests);
+    cfg.rho = args.num("rho", cfg.rho);
+    let scenario = Scenario::generate(graph.clone(), &cache, cfg);
+
+    let kind = match args.get("scheme").unwrap_or("mt-share") {
+        "no-sharing" => SchemeKind::NoSharing,
+        "t-share" => SchemeKind::TShare,
+        "pgreedy-dp" => SchemeKind::PGreedyDp,
+        "mt-share" => SchemeKind::MtShare,
+        "mt-share-pro" => SchemeKind::MtSharePro,
+        other => {
+            eprintln!("unknown scheme: {other}");
+            usage()
+        }
+    };
+    let ctx = kind.needs_context().then(|| {
+        build_context(&graph, &scenario.historical, args.num("kappa", 24usize), PartitionStrategy::Bipartite)
+    });
+    let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, None);
+    let report = Simulator::new(graph, cache, &scenario, SimConfig::default()).run(scheme.as_mut());
+
+    println!("scheme          {}", report.scheme);
+    println!("taxis           {}", report.n_taxis);
+    println!("requests        {} ({} offline)", report.n_requests, report.n_offline);
+    println!(
+        "served          {} ({:.1}%) = {} online + {} offline",
+        report.served,
+        report.served_ratio() * 100.0,
+        report.served_online,
+        report.served_offline
+    );
+    println!("rejected        {}", report.rejected);
+    println!("response        {:.2} ms avg, {:.2} ms p95", report.avg_response_ms, report.p95_response_ms);
+    println!("detour          {:.2} min avg", report.avg_detour_min);
+    println!("waiting         {:.2} min avg", report.avg_waiting_min);
+    println!("candidates      {:.1} avg", report.avg_candidates);
+    println!("fare saving     {:.1}%", report.fare_saving_pct());
+    println!("driver income   {:.1} total", report.total_driver_income);
+    println!("index memory    {:.1} KiB", report.index_memory_bytes as f64 / 1024.0);
+    println!("wall clock      {:.2} s", report.wall_clock_s);
+}
+
+fn partition(args: &Args) {
+    let graph = city(args);
+    let kappa = args.num("kappa", 24usize);
+    let strategy = if args.has("grid") { PartitionStrategy::Grid } else { PartitionStrategy::Bipartite };
+    let mut gen = WorkloadGenerator::new(graph.clone(), WorkloadConfig::default());
+    let historical: Vec<Trip> = gen.historical_trips(args.num("historical", 5000usize));
+    let ctx = build_context(&graph, &historical, kappa, strategy);
+    eprintln!(
+        "{strategy:?} partitioning: {} partitions over {} vertices",
+        ctx.kappa(),
+        graph.node_count()
+    );
+    let labels = ctx.partitioning.labels_u32();
+    let out = args.get("out").unwrap_or("partitions.geojson");
+    let body = if out.ends_with(".csv") {
+        road_io::nodes_to_csv(&graph, Some(&labels))
+    } else {
+        road_io::labelled_nodes_to_geojson(&graph, &labels)
+    };
+    std::fs::write(out, body).expect("write output file");
+    eprintln!("wrote {out}");
+}
+
+fn stats_cmd(args: &Args) {
+    let graph = city(args);
+    let cache = PathCache::new(graph.clone());
+    let hours = args.num("hours", 24usize).min(24);
+    let taxis = args.num("taxis", 300usize);
+    let mut gen = WorkloadGenerator::new(graph.clone(), WorkloadConfig::default());
+    let profile = mt_share::sim::workday_profile(taxis * 2);
+    let stream = gen.day_stream(&profile[..hours], 0.0);
+    println!("hour  requests  utilization");
+    let util = stats::hourly_utilization(&stream, &cache, taxis, hours);
+    for h in 0..hours {
+        let count = stream
+            .iter()
+            .filter(|r| r.release_time >= h as f64 * 3600.0 && r.release_time < (h + 1) as f64 * 3600.0)
+            .count();
+        println!("{h:>4}  {count:>8}  {:>10.3}", util[h]);
+    }
+    let q = stats::travel_time_distribution(&stream, &cache, &[0.1, 0.5, 0.9]);
+    println!(
+        "trip travel time: p10 {:.1} min, p50 {:.1} min, p90 {:.1} min",
+        q[0].1, q[1].1, q[2].1
+    );
+}
+
+fn trace_cmd(args: &Args) {
+    let Some(file) = args.positional.first() else { usage() };
+    let f = std::fs::File::open(file).unwrap_or_else(|e| {
+        eprintln!("cannot open {file}: {e}");
+        std::process::exit(1);
+    });
+    let parsed = parse_trace(std::io::BufReader::new(f)).expect("read trace");
+    println!("records  {}", parsed.records.len());
+    println!("errors   {}", parsed.errors.len());
+    for (line, msg) in parsed.errors.iter().take(5) {
+        println!("  line {line}: {msg}");
+    }
+    let graph = city(args);
+    let grid = SpatialGrid::build(&graph, 250.0);
+    let snapped = snap_trace(&parsed.records, &graph, &grid);
+    println!("snapped  {} trips ({} dropped)", snapped.trips.len(), snapped.dropped);
+}

@@ -1,0 +1,153 @@
+//! Failure injection: unreachable OD pairs, infeasible deadlines, empty
+//! fleets, zero-capacity taxis, and degenerate graphs must degrade
+//! gracefully — rejections, never panics or constraint violations.
+
+use mt_share::core::{MobilityContext, MtShare, MtShareConfig, PartitionStrategy};
+use mt_share::model::{
+    DispatchScheme, RequestId, RequestStore, RideRequest, Taxi, TaxiId, World,
+};
+use mt_share::baselines::{NoSharing, PGreedyDp, TShare};
+use mt_share::road::{grid_city, EdgeSpec, GeoPoint, GridCityConfig, NodeId, RoadNetwork};
+use mt_share::routing::{HotNodeOracle, PathCache};
+use std::sync::Arc;
+
+fn one_way_pair() -> Arc<RoadNetwork> {
+    // 0 -> 1 reachable, 1 -> 0 not.
+    let pts = vec![GeoPoint::new(30.0, 104.0), GeoPoint::new(30.001, 104.0)];
+    let edges = vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 100.0, speed_kmh: 15.0 }];
+    Arc::new(RoadNetwork::new(pts, &edges).unwrap())
+}
+
+fn request(id: u32, origin: u32, dest: u32, direct: f64, deadline: f64) -> RideRequest {
+    RideRequest {
+        id: RequestId(id),
+        release_time: 0.0,
+        origin: NodeId(origin),
+        destination: NodeId(dest),
+        passengers: 1,
+        deadline,
+        direct_cost_s: direct,
+        offline: false,
+    }
+}
+
+#[test]
+fn unreachable_destination_is_rejected_not_panicked() {
+    let graph = one_way_pair();
+    let cache = PathCache::new(graph.clone());
+    let oracle = HotNodeOracle::new(graph.clone());
+    let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(1))];
+    let mut requests = RequestStore::new();
+    // 1 -> 0 is unreachable.
+    let req = request(0, 1, 0, f64::INFINITY, 1e12);
+    requests.push(req.clone());
+    let world =
+        World { graph: &graph, cache: &cache, oracle: &oracle, taxis: &taxis, requests: &requests };
+
+    let ctx = MobilityContext::build(&graph, &[], 1, 1, 0, PartitionStrategy::Grid);
+    let mut schemes: Vec<Box<dyn DispatchScheme>> = vec![
+        Box::new(NoSharing::new(&graph, 1)),
+        Box::new(TShare::new(&graph, 1)),
+        Box::new(PGreedyDp::new(&graph, 1)),
+        Box::new(MtShare::new(&graph, ctx, MtShareConfig::default(), 1)),
+    ];
+    for s in &mut schemes {
+        s.install(&world);
+        let out = s.dispatch(&req, 0.0, &world);
+        assert!(out.assignment.is_none(), "{} must reject unreachable trips", s.name());
+    }
+}
+
+#[test]
+fn empty_fleet_rejects_everything() {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let oracle = HotNodeOracle::new(graph.clone());
+    let taxis: Vec<Taxi> = Vec::new();
+    let mut requests = RequestStore::new();
+    let direct = cache.cost(NodeId(0), NodeId(399)).unwrap();
+    let req = request(0, 0, 399, direct, direct * 10.0);
+    requests.push(req.clone());
+    let world =
+        World { graph: &graph, cache: &cache, oracle: &oracle, taxis: &taxis, requests: &requests };
+
+    let ctx = MobilityContext::build(&graph, &[], 4, 2, 0, PartitionStrategy::Grid);
+    let mut schemes: Vec<Box<dyn DispatchScheme>> = vec![
+        Box::new(NoSharing::new(&graph, 0)),
+        Box::new(TShare::new(&graph, 0)),
+        Box::new(PGreedyDp::new(&graph, 0)),
+        Box::new(MtShare::new(&graph, ctx, MtShareConfig::default(), 0)),
+    ];
+    for s in &mut schemes {
+        s.install(&world);
+        let out = s.dispatch(&req, 0.0, &world);
+        assert!(out.assignment.is_none());
+        assert_eq!(out.candidates_examined, 0, "{}", s.name());
+    }
+}
+
+#[test]
+fn zero_deadline_slack_is_infeasible_from_afar() {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let oracle = HotNodeOracle::new(graph.clone());
+    // Taxi at the far corner; the deadline leaves zero pickup budget.
+    let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(399))];
+    let mut requests = RequestStore::new();
+    let direct = cache.cost(NodeId(0), NodeId(20)).unwrap();
+    let req = request(0, 0, 20, direct, direct); // deadline == release + direct
+    requests.push(req.clone());
+    let world =
+        World { graph: &graph, cache: &cache, oracle: &oracle, taxis: &taxis, requests: &requests };
+    let ctx = MobilityContext::build(&graph, &[], 4, 2, 0, PartitionStrategy::Grid);
+    let mut mt = MtShare::new(&graph, ctx, MtShareConfig::default(), 1);
+    mt.install(&world);
+    assert!(mt.dispatch(&req, 0.0, &world).assignment.is_none());
+}
+
+#[test]
+fn zero_capacity_taxi_never_assigned() {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let oracle = HotNodeOracle::new(graph.clone());
+    let taxis = vec![Taxi::new(TaxiId(0), 0, NodeId(1))];
+    let mut requests = RequestStore::new();
+    let direct = cache.cost(NodeId(0), NodeId(399)).unwrap();
+    let req = request(0, 0, 399, direct, direct * 3.0);
+    requests.push(req.clone());
+    let world =
+        World { graph: &graph, cache: &cache, oracle: &oracle, taxis: &taxis, requests: &requests };
+    let ctx = MobilityContext::build(&graph, &[], 4, 2, 0, PartitionStrategy::Grid);
+    let mut schemes: Vec<Box<dyn DispatchScheme>> = vec![
+        Box::new(TShare::new(&graph, 1)),
+        Box::new(PGreedyDp::new(&graph, 1)),
+        Box::new(MtShare::new(&graph, ctx, MtShareConfig::default(), 1)),
+    ];
+    for s in &mut schemes {
+        s.install(&world);
+        assert!(s.dispatch(&req, 0.0, &world).assignment.is_none(), "{}", s.name());
+    }
+}
+
+#[test]
+fn single_partition_context_still_dispatches() {
+    // Degenerate κ = 1: everything in one partition; mT-Share must still
+    // work (filter returns the single partition).
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let oracle = HotNodeOracle::new(graph.clone());
+    let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(20))];
+    let mut requests = RequestStore::new();
+    let direct = cache.cost(NodeId(21), NodeId(200)).unwrap();
+    oracle.pin(NodeId(21));
+    oracle.pin(NodeId(200));
+    let req = request(0, 21, 200, direct, direct * 2.0);
+    requests.push(req.clone());
+    let world =
+        World { graph: &graph, cache: &cache, oracle: &oracle, taxis: &taxis, requests: &requests };
+    let ctx = MobilityContext::build(&graph, &[], 1, 1, 0, PartitionStrategy::Grid);
+    assert_eq!(ctx.kappa(), 1);
+    let mut mt = MtShare::new(&graph, ctx, MtShareConfig::default(), 1);
+    mt.install(&world);
+    assert!(mt.dispatch(&req, 0.0, &world).assignment.is_some());
+}

@@ -1,0 +1,181 @@
+//! The O(m²) insertion DP must agree with brute-force enumeration over
+//! `evaluate_schedule` on feasibility and minimum added cost — for
+//! arbitrary committed schedules.
+
+use mt_share::model::{
+    best_insertion, best_reordering, evaluate_schedule, EvalContext, RequestId, RequestStore,
+    RideRequest, Taxi, TaxiId, World,
+};
+use mt_share::road::{grid_city, GridCityConfig, NodeId, RoadNetwork};
+use mt_share::routing::{HotNodeOracle, PathCache};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+struct Fixture {
+    graph: Arc<RoadNetwork>,
+    cache: PathCache,
+    oracle: HotNodeOracle,
+    requests: RequestStore,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let cache = PathCache::new(graph.clone());
+        let oracle = HotNodeOracle::new(graph.clone());
+        Self { graph, cache, oracle, requests: RequestStore::new() }
+    }
+
+    fn add_request(&mut self, origin: u32, dest: u32, rho: f64, release: f64) -> RideRequest {
+        let direct = self.cache.cost(NodeId(origin), NodeId(dest)).unwrap();
+        let req = RideRequest {
+            id: RequestId(self.requests.len() as u32),
+            release_time: release,
+            origin: NodeId(origin),
+            destination: NodeId(dest),
+            passengers: 1,
+            deadline: release + direct * rho,
+            direct_cost_s: direct,
+            offline: false,
+        };
+        self.requests.push(req.clone());
+        req
+    }
+}
+
+/// Brute-force minimum-delta insertion with pickup-deadline enforcement.
+fn brute_force(
+    taxi: &Taxi,
+    req: &RideRequest,
+    now: f64,
+    world: &World<'_>,
+) -> Option<f64> {
+    let pos = taxi.position_at(now);
+    let mut remaining = 0.0;
+    let mut from = pos;
+    for ev in taxi.schedule.events() {
+        remaining += world.cache.cost(from, ev.node)?;
+        from = ev.node;
+    }
+    let requests = world.requests;
+    let lookup = |r| requests.get(r);
+    let ectx = EvalContext {
+        start_node: pos,
+        start_time: now,
+        initial_load: taxi.onboard_load(world.requests),
+        capacity: taxi.capacity as u32,
+        requests: &lookup,
+    };
+    let m = taxi.schedule.len();
+    let mut best: Option<f64> = None;
+    for i in 0..=m {
+        for j in (i + 1)..=(m + 1) {
+            let s = taxi.schedule.with_insertion(req, i, j);
+            if let Some(eval) = evaluate_schedule(&s, &ectx, |a, b| world.cache.cost(a, b)) {
+                if eval.arrival_times[i] > req.pickup_deadline() + 1e-6 {
+                    continue;
+                }
+                let delta = eval.total_cost_s - remaining;
+                if best.is_none_or(|b| delta < b) {
+                    best = Some(delta);
+                }
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dp_matches_brute_force(
+        taxi_pos in 0u32..400,
+        existing in proptest::collection::vec((0u32..400, 0u32..400), 0..3),
+        probe in (0u32..400, 0u32..400),
+        rho_pct in 110u32..250,
+        capacity in 1u8..5,
+    ) {
+        let mut f = Fixture::new();
+        let rho = rho_pct as f64 / 100.0;
+        let mut taxi = Taxi::new(TaxiId(0), capacity, NodeId(taxi_pos));
+
+        // Commit a schedule by inserting requests front-to-back (each must
+        // be individually feasible; skip degenerate zero trips).
+        for &(o, d) in existing.iter() {
+            if o == d { continue; }
+            let req = f.add_request(o, d, rho + 1.0, 0.0);
+            let m = taxi.schedule.len();
+            let candidate = taxi.schedule.with_insertion(&req, m, m + 1);
+            taxi.schedule = candidate;
+            taxi.assigned.push(req.id);
+        }
+
+        let (po, pd) = probe;
+        prop_assume!(po != pd);
+        let req = f.add_request(po, pd, rho, 0.0);
+
+        let world = World {
+            graph: &f.graph,
+            cache: &f.cache,
+            oracle: &f.oracle,
+            taxis: std::slice::from_ref(&taxi),
+            requests: &f.requests,
+        };
+        let dp = best_insertion(&taxi, &req, 0.0, &world, |a, b| f.cache.cost(a, b));
+        let bf = brute_force(&taxi, &req, 0.0, &world);
+        match (dp, bf) {
+            (Some(d), Some(b)) => {
+                prop_assert!((d.delta_s - b).abs() < 1.0,
+                    "dp {} vs brute force {}", d.delta_s, b);
+                // The DP's positions must themselves be feasible.
+                let s = taxi.schedule.with_insertion(&req, d.i, d.j);
+                prop_assert!(s.precedence_ok());
+            }
+            (None, None) => {}
+            (d, b) => prop_assert!(false, "feasibility disagreement: dp={d:?} brute={b:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exhaustive reordering oracle never does worse than order-
+    /// preserving insertion, and whenever insertion is feasible so is
+    /// reordering (insertion orders are a subset of reorderings).
+    #[test]
+    fn reordering_dominates_insertion(
+        taxi_pos in 0u32..400,
+        existing in proptest::collection::vec((0u32..400, 0u32..400), 0..3),
+        probe in (0u32..400, 0u32..400),
+    ) {
+        let mut f = Fixture::new();
+        let mut taxi = Taxi::new(TaxiId(0), 4, NodeId(taxi_pos));
+        for &(o, d) in existing.iter() {
+            if o == d { continue; }
+            let req = f.add_request(o, d, 6.0, 0.0);
+            let m = taxi.schedule.len();
+            taxi.schedule = taxi.schedule.with_insertion(&req, m, m + 1);
+            taxi.assigned.push(req.id);
+        }
+        let (po, pd) = probe;
+        prop_assume!(po != pd);
+        let req = f.add_request(po, pd, 1.8, 0.0);
+        let world = World {
+            graph: &f.graph,
+            cache: &f.cache,
+            oracle: &f.oracle,
+            taxis: std::slice::from_ref(&taxi),
+            requests: &f.requests,
+        };
+        let ins = best_insertion(&taxi, &req, 0.0, &world, |a, b| f.cache.cost(a, b));
+        let reo = best_reordering(&taxi, &req, 0.0, &world, |a, b| f.cache.cost(a, b));
+        match (ins, reo) {
+            (Some(i), Some(r)) => prop_assert!(r.delta_s <= i.delta_s + 1e-6,
+                "reorder {} worse than insertion {}", r.delta_s, i.delta_s),
+            (Some(i), None) => prop_assert!(false, "insertion feasible ({}) but reordering not", i.delta_s),
+            _ => {}
+        }
+    }
+}

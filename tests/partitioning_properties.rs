@@ -1,0 +1,116 @@
+//! Property tests for the mobility substrate: k-means optimality, map
+//! partitioning invariants, and the incremental mobility clusterer.
+
+use mt_share::mobility::{
+    bipartite_partition, grid_partition, kmeans, BipartiteConfig, MobilityClusterer,
+    MobilityVector, Trip,
+};
+use mt_share::road::{grid_city, GeoPoint, GridCityConfig, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kmeans_assigns_to_nearest_centroid(
+        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 4..60),
+        k in 1usize..8,
+        seed in 0u64..16,
+    ) {
+        let data: Vec<f64> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let r = kmeans(&data, 2, k, seed, 30);
+        prop_assert_eq!(r.assignment.len(), points.len());
+        let d2 = |p: &(f64, f64), c: &[f64]| (p.0 - c[0]).powi(2) + (p.1 - c[1]).powi(2);
+        for (i, p) in points.iter().enumerate() {
+            let own = d2(p, &r.centroids[r.assignment[i] as usize * 2..][..2]);
+            for c in 0..r.k {
+                prop_assert!(own <= d2(p, &r.centroids[c * 2..(c + 1) * 2]) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_inertia_never_worse_with_more_iterations(
+        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 8..40),
+        seed in 0u64..8,
+    ) {
+        let data: Vec<f64> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let short = kmeans(&data, 2, 3, seed, 2);
+        let long = kmeans(&data, 2, 3, seed, 40);
+        prop_assert!(long.inertia <= short.inertia + 1e-9);
+    }
+
+    #[test]
+    fn partitionings_cover_exactly_once(
+        seed in 0u64..6,
+        kappa in 2usize..20,
+        use_grid in proptest::bool::ANY,
+        n_trips in 50usize..300,
+    ) {
+        let g = grid_city(&GridCityConfig { rows: 12, cols: 12, seed, ..Default::default() }).unwrap();
+        let trips: Vec<Trip> = (0..n_trips)
+            .map(|i| Trip {
+                origin: NodeId((i as u32 * 37) % 144),
+                destination: NodeId((i as u32 * 53 + 17) % 144),
+            })
+            .collect();
+        let p = if use_grid {
+            grid_partition(&g, kappa)
+        } else {
+            bipartite_partition(&g, &trips, &BipartiteConfig { kappa, kt: 3, ..Default::default() })
+        };
+        // Every vertex in exactly one partition; member lists consistent
+        // with the assignment; landmarks inside their partitions.
+        let total: usize = p.partitions().map(|q| p.members(q).len()).sum();
+        prop_assert_eq!(total, g.node_count());
+        for q in p.partitions() {
+            for &v in p.members(q) {
+                prop_assert_eq!(p.partition_of(v), q);
+            }
+            prop_assert_eq!(p.partition_of(p.landmark(q)), q);
+            // Centroid covering radius covers every member.
+            let c = p.centroid(q);
+            for &v in p.members(q) {
+                prop_assert!(g.point(v).distance_m(&c) <= p.radius_m(q) + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn clusterer_count_matches_inserts_minus_removes(
+        dirs in proptest::collection::vec(0.0f64..std::f64::consts::TAU, 1..40),
+        lambda in 0.0f64..0.99,
+    ) {
+        let mut c = MobilityClusterer::new(lambda);
+        let vectors: Vec<MobilityVector> = dirs
+            .iter()
+            .map(|&th| {
+                MobilityVector::new(
+                    GeoPoint::new(30.0, 104.0),
+                    GeoPoint::new(30.0 + 0.01 * th.cos(), 104.0 + 0.01 * th.sin()),
+                )
+            })
+            .collect();
+        let ids: Vec<_> = vectors.iter().map(|v| c.insert(v)).collect();
+        let mut total: u32 = 0;
+        for id in c.live_ids() {
+            total += c.member_count(id);
+        }
+        prop_assert_eq!(total as usize, vectors.len());
+        for (id, v) in ids.iter().zip(&vectors) {
+            c.remove(*id, v);
+        }
+        prop_assert_eq!(c.len(), 0);
+    }
+}
+
+/// Helper: expose live cluster ids for the property test.
+trait LiveIds {
+    fn live_ids(&self) -> Vec<mt_share::mobility::ClusterId>;
+}
+
+impl LiveIds for MobilityClusterer {
+    fn live_ids(&self) -> Vec<mt_share::mobility::ClusterId> {
+        self.live_clusters().collect()
+    }
+}

@@ -1,0 +1,84 @@
+//! Randomized mini-scenarios: for arbitrary (seeded) workloads, fleets and
+//! deadline factors, every scheme must uphold the delivery invariants and
+//! the request-accounting identity. Catches event-ordering and replanning
+//! bugs that fixed scenarios miss.
+
+use mt_share::core::PartitionStrategy;
+use mt_share::road::{grid_city, GridCityConfig};
+use mt_share::routing::PathCache;
+use mt_share::sim::{
+    build_context, Scenario, ScenarioConfig, SchemeKind, SimConfig, Simulator, WorkloadConfig,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn run_random(
+    seed: u64,
+    n_taxis: usize,
+    n_requests: usize,
+    rho: f64,
+    offline_fraction: f64,
+    kind: SchemeKind,
+) -> (Scenario, mt_share::sim::SimReport) {
+    let graph = Arc::new(
+        grid_city(&GridCityConfig { rows: 16, cols: 16, seed: seed % 5, ..Default::default() })
+            .unwrap(),
+    );
+    let cache = PathCache::new(graph.clone());
+    let cfg = ScenarioConfig {
+        kind: mt_share::sim::ScenarioKind::NonPeak,
+        n_taxis,
+        capacity: 2 + (seed % 3) as u8,
+        rho,
+        n_requests,
+        duration_s: 1200.0,
+        offline_fraction,
+        n_historical: 400,
+        workload: WorkloadConfig { seed: seed.wrapping_mul(31), min_trip_m: 400.0, ..Default::default() },
+        seed,
+    };
+    let scenario = Scenario::generate(graph.clone(), &cache, cfg);
+    let ctx = kind
+        .needs_context()
+        .then(|| build_context(&graph, &scenario.historical, 6, PartitionStrategy::Bipartite));
+    let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, None);
+    let sim = Simulator::new(graph, cache, &scenario, SimConfig::default());
+    let report = sim.run(scheme.as_mut());
+    (scenario, report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_scenarios_uphold_invariants(
+        seed in 0u64..1000,
+        n_taxis in 2usize..10,
+        n_requests in 5usize..40,
+        rho_pct in 105u32..200,
+        offline_pct in 0u32..50,
+        scheme_pick in 0usize..5,
+    ) {
+        let kind = SchemeKind::NONPEAK_SET[scheme_pick];
+        let (scenario, r) = run_random(
+            seed,
+            n_taxis,
+            n_requests,
+            rho_pct as f64 / 100.0,
+            offline_pct as f64 / 100.0,
+            kind,
+        );
+        prop_assert_eq!(r.served + r.rejected, r.n_requests, "{}", r.scheme);
+        prop_assert_eq!(r.served, r.served_records.len());
+        for rec in &r.served_records {
+            let req = &scenario.requests[rec.request as usize];
+            prop_assert!(rec.pickup_t >= req.release_time - 1e-6);
+            prop_assert!(rec.dropoff_t <= req.deadline + 1e-3,
+                "{}: {:?} deadline {}", r.scheme, rec, req.deadline);
+            prop_assert!(rec.dropoff_t - rec.pickup_t >= req.direct_cost_s - 1.0);
+        }
+        // Payment sanity on every random run.
+        prop_assert!(r.total_passenger_fares <= r.total_solo_fares + 1e-6);
+        prop_assert!((r.total_passenger_fares - r.total_driver_income).abs() < 1e-6);
+    }
+}
