@@ -6,11 +6,16 @@ use mtshare_routing::Path;
 
 /// Materializes shortest-path legs for `schedule` starting at `pos`
 /// (baselines always route legs as shortest paths, Sec. III-A).
-pub(crate) fn shortest_legs(world: &World<'_>, pos: NodeId, schedule: &Schedule) -> Option<Vec<Path>> {
+pub(crate) fn shortest_legs(
+    world: &World<'_>,
+    pos: NodeId,
+    schedule: &Schedule,
+) -> Option<Vec<Path>> {
     let mut legs = Vec::with_capacity(schedule.len());
     let mut from = pos;
     for ev in schedule.events() {
-        let leg = if from == ev.node { Path::trivial(from) } else { world.cache.path(from, ev.node)? };
+        let leg =
+            if from == ev.node { Path::trivial(from) } else { world.cache.path(from, ev.node)? };
         from = ev.node;
         legs.push(leg);
     }

@@ -41,8 +41,10 @@ impl GridTaxiIndex {
     }
 
     fn cell_of(&self, p: &GeoPoint) -> u32 {
-        let r = (((p.lat - self.bbox.min_lat) / self.dlat) as isize).clamp(0, self.rows as isize - 1) as usize;
-        let c = (((p.lng - self.bbox.min_lng) / self.dlng) as isize).clamp(0, self.cols as isize - 1) as usize;
+        let r = (((p.lat - self.bbox.min_lat) / self.dlat) as isize)
+            .clamp(0, self.rows as isize - 1) as usize;
+        let c = (((p.lng - self.bbox.min_lng) / self.dlng) as isize)
+            .clamp(0, self.cols as isize - 1) as usize;
         (r * self.cols + c) as u32
     }
 
@@ -72,8 +74,7 @@ impl GridTaxiIndex {
     /// `(center, radius_m)`. Cell-level filter only — callers re-check
     /// exact distances as the original schemes do.
     pub fn visit_in_range<F: FnMut(TaxiId)>(&self, center: &GeoPoint, radius_m: f64, mut f: F) {
-        let lat_cells = (radius_m
-            / (self.dlat.to_radians() * mtshare_road::geo::EARTH_RADIUS_M))
+        let lat_cells = (radius_m / (self.dlat.to_radians() * mtshare_road::geo::EARTH_RADIUS_M))
             .ceil() as isize
             + 1;
         let lng_m = self.dlng.to_radians()

@@ -62,7 +62,8 @@ impl DispatchScheme for PGreedyDp {
         let mut best: Option<(TaxiId, BestInsertion)> = None;
         for &id in &candidates {
             let taxi = world.taxi(id);
-            if let Some(ins) = best_insertion_dp(taxi, req, now, world, |a, b| world.oracle.cost(a, b))
+            if let Some(ins) =
+                best_insertion_dp(taxi, req, now, world, |a, b| world.oracle.cost(a, b))
             {
                 if best.is_none_or(|(_, b)| ins.delta_s < b.delta_s) {
                     best = Some((id, ins));
@@ -196,7 +197,8 @@ mod tests {
         let req = b.make_request(21, 200, 0.0, 1.5);
         let world = b.world();
         let taxi = world.taxi(tid);
-        let ins = best_insertion_dp(taxi, &req, 0.0, &world, |x, y| world.oracle.cost(x, y)).unwrap();
+        let ins =
+            best_insertion_dp(taxi, &req, 0.0, &world, |x, y| world.oracle.cost(x, y)).unwrap();
         assert_eq!((ins.i, ins.j), (0, 1));
         let expect = world.oracle.cost(mtshare_road::NodeId(0), req.origin).unwrap()
             + world.oracle.cost(req.origin, req.destination).unwrap();
@@ -210,7 +212,9 @@ mod tests {
         let req = b.make_request(0, 20, 0.0, 1.01);
         let world = b.world();
         let taxi = world.taxi(tid);
-        assert!(best_insertion_dp(taxi, &req, 0.0, &world, |x, y| world.oracle.cost(x, y)).is_none());
+        assert!(
+            best_insertion_dp(taxi, &req, 0.0, &world, |x, y| world.oracle.cost(x, y)).is_none()
+        );
     }
 
     #[test]

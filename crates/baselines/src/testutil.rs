@@ -1,8 +1,8 @@
 //! Shared test fixture for the baseline schemes.
 
 use mtshare_model::{
-    DispatchOutcome, DispatchScheme, RequestId, RequestStore, RideRequest, Taxi, TaxiId, TimedRoute,
-    World,
+    DispatchOutcome, DispatchScheme, RequestId, RequestStore, RideRequest, Taxi, TaxiId,
+    TimedRoute, World,
 };
 use mtshare_road::{grid_city, GridCityConfig, NodeId, RoadNetwork};
 use mtshare_routing::{HotNodeOracle, PathCache};

@@ -65,9 +65,7 @@ fn bench_incremental(c: &mut Criterion) {
 fn bench_kmeans(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(2);
     let data: Vec<f64> = (0..2000 * 2).map(|_| rng.gen_range(0.0..100.0)).collect();
-    c.bench_function("kmeans_2000x2_k20", |b| {
-        b.iter(|| kmeans(&data, 2, 20, 7, 20))
-    });
+    c.bench_function("kmeans_2000x2_k20", |b| b.iter(|| kmeans(&data, 2, 20, 7, 20)));
 }
 
 criterion_group!(benches, bench_incremental, bench_kmeans);

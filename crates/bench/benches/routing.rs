@@ -14,10 +14,7 @@ fn random_pairs(n_nodes: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            (
-                NodeId(rng.gen_range(0..n_nodes as u32)),
-                NodeId(rng.gen_range(0..n_nodes as u32)),
-            )
+            (NodeId(rng.gen_range(0..n_nodes as u32)), NodeId(rng.gen_range(0..n_nodes as u32)))
         })
         .collect()
 }

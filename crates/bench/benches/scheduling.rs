@@ -99,7 +99,9 @@ fn bench_scheduling(c: &mut Criterion) {
                 taxis: &taxis,
                 requests: &f.requests,
             };
-            b.iter(|| best_insertion(&taxis[0], &probe, 0.0, &world, |x, y| world.oracle.cost(x, y)))
+            b.iter(|| {
+                best_insertion(&taxis[0], &probe, 0.0, &world, |x, y| world.oracle.cost(x, y))
+            })
         });
         group.bench_with_input(BenchmarkId::new("brute_force", depth), &depth, |b, _| {
             let world = World {
@@ -119,7 +121,9 @@ fn bench_scheduling(c: &mut Criterion) {
                 taxis: &taxis,
                 requests: &f.requests,
             };
-            b.iter(|| best_reordering(&taxis[0], &probe, 0.0, &world, |x, y| world.oracle.cost(x, y)))
+            b.iter(|| {
+                best_reordering(&taxis[0], &probe, 0.0, &world, |x, y| world.oracle.cost(x, y))
+            })
         });
     }
     group.finish();

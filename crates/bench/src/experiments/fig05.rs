@@ -16,11 +16,15 @@ pub fn run(env: &Env) -> ExperimentResult {
     let hourly_peak = env.scale.default_fleet * 10;
 
     let mut table = Table::new(vec!["hour", "workday util", "weekend util"]);
-    let mut gen_wd =
-        WorkloadGenerator::new(env.graph.clone(), WorkloadConfig { seed: 42, ..Default::default() });
+    let mut gen_wd = WorkloadGenerator::new(
+        env.graph.clone(),
+        WorkloadConfig { seed: 42, ..Default::default() },
+    );
     let wd_stream = gen_wd.day_stream(&workday_profile(hourly_peak), 0.0);
-    let mut gen_we =
-        WorkloadGenerator::new(env.graph.clone(), WorkloadConfig { seed: 43, ..Default::default() });
+    let mut gen_we = WorkloadGenerator::new(
+        env.graph.clone(),
+        WorkloadConfig { seed: 43, ..Default::default() },
+    );
     let we_stream = gen_we.day_stream(&weekend_profile(hourly_peak * 2 / 3), 0.0);
 
     let util_wd = stats::hourly_utilization(&wd_stream, &env.cache, fleet, 24);

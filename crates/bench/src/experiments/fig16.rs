@@ -27,7 +27,10 @@ pub fn run(env: &Env) -> ExperimentResult {
             r.served_offline.to_string(),
             r.served.to_string(),
         ]);
-        eprintln!("[fig16] basic/{}: {} online + {} offline", r.scheme, r.served_online, r.served_offline);
+        eprintln!(
+            "[fig16] basic/{}: {} online + {} offline",
+            r.scheme, r.served_online, r.served_offline
+        );
         basic.push(r);
     }
     // Probabilistic: baselines wrapped with Alg. 4 re-routing, mT-Share_pro
@@ -41,7 +44,10 @@ pub fn run(env: &Env) -> ExperimentResult {
             r.served_offline.to_string(),
             r.served.to_string(),
         ]);
-        eprintln!("[fig16] {}: {} online + {} offline", r.scheme, r.served_online, r.served_offline);
+        eprintln!(
+            "[fig16] {}: {} online + {} offline",
+            r.scheme, r.served_online, r.served_offline
+        );
         prob.push(r);
     }
     {
@@ -53,7 +59,10 @@ pub fn run(env: &Env) -> ExperimentResult {
             r.served_offline.to_string(),
             r.served.to_string(),
         ]);
-        eprintln!("[fig16] {}: {} online + {} offline", r.scheme, r.served_online, r.served_offline);
+        eprintln!(
+            "[fig16] {}: {} online + {} offline",
+            r.scheme, r.served_online, r.served_offline
+        );
         prob.push(r);
     }
 

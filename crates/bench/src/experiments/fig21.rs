@@ -5,9 +5,7 @@ use super::ExperimentResult;
 use crate::runner::Env;
 use crate::table::{fmt, Table};
 use mtshare_core::PartitionStrategy;
-use mtshare_sim::{
-    materialize, Scenario, SchemeKind, WorkloadConfig, WorkloadGenerator,
-};
+use mtshare_sim::{materialize, Scenario, SchemeKind, WorkloadConfig, WorkloadGenerator};
 
 /// Builds an `hours`-long scenario from a demand profile and runs the
 /// given scheme, returning (wall-clock s, response ms, served).
@@ -23,10 +21,8 @@ fn run_hours(
     let mut cfg = env.peak(fleet);
     cfg.offline_fraction = offline_fraction;
     cfg.duration_s = hours as f64 * 3600.0;
-    let mut gen = WorkloadGenerator::new(
-        env.graph.clone(),
-        WorkloadConfig { seed, ..Default::default() },
-    );
+    let mut gen =
+        WorkloadGenerator::new(env.graph.clone(), WorkloadConfig { seed, ..Default::default() });
     let historical = gen.historical_trips(cfg.n_historical);
     let raw = gen.day_stream(&profile[..hours], offline_fraction);
     let requests = materialize(&raw, &env.cache, cfg.rho);
@@ -44,7 +40,8 @@ pub fn run(env: &Env) -> ExperimentResult {
     // Hourly demand ≈ 6 requests per taxi-hour keeps day-long runs tractable.
     let hourly = fleet * 6;
     let profile = vec![hourly; 13];
-    let hour_steps: &[usize] = if env.scale.name == "small" { &[1, 2, 3] } else { &[1, 4, 7, 10, 13] };
+    let hour_steps: &[usize] =
+        if env.scale.name == "small" { &[1, 2, 3] } else { &[1, 4, 7, 10, 13] };
 
     let mut table = Table::new(vec![
         "hours",
@@ -59,7 +56,9 @@ pub fn run(env: &Env) -> ExperimentResult {
         let (wd_exec, wd_resp, _) = run_hours(env, SchemeKind::MtShare, h, &profile, 0.0, 77);
         let (we_exec, we_resp, _) =
             run_hours(env, SchemeKind::MtSharePro, h, &profile, 1.0 / 3.0, 78);
-        eprintln!("[fig21] {h}h: mT {wd_exec:.1}s/{wd_resp:.2}ms, pro {we_exec:.1}s/{we_resp:.2}ms");
+        eprintln!(
+            "[fig21] {h}h: mT {wd_exec:.1}s/{wd_resp:.2}ms, pro {we_exec:.1}s/{we_resp:.2}ms"
+        );
         execs.push((h, wd_exec));
         resp_last = (wd_resp, we_resp);
         table.row(vec![

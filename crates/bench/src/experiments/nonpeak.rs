@@ -26,7 +26,10 @@ pub fn run(env: &Env) -> Vec<ExperimentResult> {
             "[nonpeak] fleet {fleet}: {}",
             reports
                 .iter()
-                .map(|r| format!("{}={}({}on+{}off)", r.scheme, r.served, r.served_online, r.served_offline))
+                .map(|r| format!(
+                    "{}={}({}on+{}off)",
+                    r.scheme, r.served, r.served_online, r.served_offline
+                ))
                 .collect::<Vec<_>>()
                 .join(" ")
         );

@@ -54,9 +54,8 @@ pub fn run_strategies(env: &Env) -> ExperimentResult {
     ] {
         let scenario = env.scenario(cfg);
         let mut served = [0usize; 2];
-        for (i, strategy) in [PartitionStrategy::Bipartite, PartitionStrategy::Grid]
-            .into_iter()
-            .enumerate()
+        for (i, strategy) in
+            [PartitionStrategy::Bipartite, PartitionStrategy::Grid].into_iter().enumerate()
         {
             let ctx = env.context(&scenario.historical, env.scale.kappa, strategy);
             let r = env.run(&scenario, kind, Some(ctx), None);

@@ -24,7 +24,11 @@ pub fn run(env: &Env) -> Vec<ExperimentResult> {
         }
         eprintln!(
             "[peak] fleet {fleet}: {}",
-            reports.iter().map(|r| format!("{}={}", r.scheme, r.served)).collect::<Vec<_>>().join(" ")
+            reports
+                .iter()
+                .map(|r| format!("{}={}", r.scheme, r.served))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
         matrix.push((fleet, reports));
     }

@@ -25,7 +25,8 @@ pub fn run_capacity(env: &Env) -> ExperimentResult {
     ExperimentResult {
         id: "fig14b",
         title: "impact of taxi capacity (peak, mT-Share)".into(),
-        paper_expectation: "larger capacity ⇒ more served requests (+12% from capacity 2 to 6)".into(),
+        paper_expectation: "larger capacity ⇒ more served requests (+12% from capacity 2 to 6)"
+            .into(),
         table,
         notes: vec![format!(
             "served capacity-6 / capacity-2 = {:.2} (paper ≈ 1.12)",
@@ -84,8 +85,7 @@ pub fn run_gamma(env: &Env) -> ExperimentResult {
 pub fn run_rho(env: &Env) -> Vec<ExperimentResult> {
     let fleet = env.scale.default_fleet;
     let rhos = [1.2, 1.3, 1.4, 1.5, 1.6];
-    let sharing =
-        [SchemeKind::TShare, SchemeKind::PGreedyDp, SchemeKind::MtShare];
+    let sharing = [SchemeKind::TShare, SchemeKind::PGreedyDp, SchemeKind::MtShare];
 
     // One run per (ρ, scheme) plus a No-Sharing run per ρ for the payment
     // comparison of Fig. 19.
@@ -106,10 +106,7 @@ pub fn run_rho(env: &Env) -> Vec<ExperimentResult> {
             reports.push(env.run(&scenario, kind, c, None));
         }
         let ns = env.run(&scenario, SchemeKind::NoSharing, None, None);
-        eprintln!(
-            "[rho] {rho}: mT served {}",
-            reports.last().map(|r| r.served).unwrap_or(0)
-        );
+        eprintln!("[rho] {rho}: mT served {}", reports.last().map(|r| r.served).unwrap_or(0));
         runs.push((rho, reports, ns));
     }
 

@@ -75,9 +75,27 @@ fn all_ids_are_covered_by_the_registry() {
         assert!(
             matches!(
                 *id,
-                "fig5" | "fig6" | "fig7" | "tab3" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12"
-                    | "fig13" | "tab4" | "fig14a" | "fig14b" | "tab5" | "fig15" | "fig16"
-                    | "fig17" | "fig18" | "fig19" | "fig20" | "fig21"
+                "fig5"
+                    | "fig6"
+                    | "fig7"
+                    | "tab3"
+                    | "fig8"
+                    | "fig9"
+                    | "fig10"
+                    | "fig11"
+                    | "fig12"
+                    | "fig13"
+                    | "tab4"
+                    | "fig14a"
+                    | "fig14b"
+                    | "tab5"
+                    | "fig15"
+                    | "fig16"
+                    | "fig17"
+                    | "fig18"
+                    | "fig19"
+                    | "fig20"
+                    | "fig21"
             ),
             "unknown id in catalogue: {id}"
         );

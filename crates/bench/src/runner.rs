@@ -52,7 +52,12 @@ impl Env {
     }
 
     /// Builds a mobility context from a scenario's historical trips.
-    pub fn context(&self, historical: &[Trip], kappa: usize, strategy: PartitionStrategy) -> Arc<MobilityContext> {
+    pub fn context(
+        &self,
+        historical: &[Trip],
+        kappa: usize,
+        strategy: PartitionStrategy,
+    ) -> Arc<MobilityContext> {
         mtshare_sim::build_context(&self.graph, historical, kappa, strategy)
     }
 
@@ -70,7 +75,8 @@ impl Env {
 
     /// Runs an arbitrary scheme instance over one scenario.
     pub fn run_scheme(&self, scenario: &Scenario, scheme: &mut dyn DispatchScheme) -> SimReport {
-        let sim = Simulator::new(self.graph.clone(), self.cache.clone(), scenario, SimConfig::default());
+        let sim =
+            Simulator::new(self.graph.clone(), self.cache.clone(), scenario, SimConfig::default());
         sim.run(scheme)
     }
 

@@ -33,6 +33,10 @@ pub struct MtShareConfig {
     /// detour 10-20% — strong enough to hug demand corridors, weak enough
     /// to stay within the deadline budget.
     pub prob_bias_weight_s: f64,
+    /// Worker threads used to score a speculative dispatch batch
+    /// (candidate generation + Algorithm 1 per request fan out across this
+    /// many threads). `1` scores inline; results are identical either way.
+    pub parallelism: usize,
 }
 
 impl Default for MtShareConfig {
@@ -49,6 +53,7 @@ impl Default for MtShareConfig {
             prob_max_paths: 64,
             prob_max_hops: 12,
             prob_bias_weight_s: 6.0,
+            parallelism: 1,
         }
     }
 }
@@ -72,6 +77,13 @@ impl MtShareConfig {
         self.probabilistic = true;
         self
     }
+
+    /// This configuration with `n` speculative-scoring worker threads
+    /// (clamped to at least 1).
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +98,9 @@ mod tests {
         assert_eq!(c.taxi_speed_kmh, 15.0);
         assert_eq!(c.max_search_range_m, 2500.0);
         assert!(!c.probabilistic);
+        assert_eq!(c.parallelism, 1);
+        assert_eq!(c.clone().with_parallelism(0).parallelism, 1);
+        assert_eq!(c.clone().with_parallelism(8).parallelism, 8);
         assert!(c.with_probabilistic().probabilistic);
     }
 

@@ -60,7 +60,8 @@ impl MobilityContext {
         };
         let landmarks = LandmarkGraph::build(graph, &partitioning);
         let labels = partitioning.labels_u32();
-        let transitions = TransitionModel::from_trips(graph.node_count(), trips, &labels, partitioning.len());
+        let transitions =
+            TransitionModel::from_trips(graph.node_count(), trips, &labels, partitioning.len());
         let k = partitioning.len();
         let mut partition_prob = vec![0.0f32; k * k];
         for v in graph.nodes() {

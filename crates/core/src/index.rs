@@ -105,7 +105,11 @@ pub struct MobilityClusterIndex {
 impl MobilityClusterIndex {
     /// Creates an empty index with direction threshold `lambda`.
     pub fn new(lambda: f64, n_taxis: usize) -> Self {
-        Self { clusterer: MobilityClusterer::new(lambda), members: Vec::new(), taxi_entry: vec![None; n_taxis] }
+        Self {
+            clusterer: MobilityClusterer::new(lambda),
+            members: Vec::new(),
+            taxi_entry: vec![None; n_taxis],
+        }
     }
 
     /// The taxi's mobility vector per Def. 9: origin = current location,
@@ -136,7 +140,13 @@ impl MobilityClusterIndex {
 
     /// Re-registers `taxi` under its current mobility vector (or removes it
     /// when vacant).
-    pub fn update_taxi(&mut self, taxi: &Taxi, graph: &RoadNetwork, requests: &RequestStore, now: Time) {
+    pub fn update_taxi(
+        &mut self,
+        taxi: &Taxi,
+        graph: &RoadNetwork,
+        requests: &RequestStore,
+        now: Time,
+    ) {
         self.remove_taxi(taxi.id);
         if let Some(v) = Self::taxi_vector(taxi, graph, requests, now) {
             let c = self.clusterer.insert(&v);

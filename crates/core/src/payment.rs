@@ -81,7 +81,11 @@ pub struct Settlement {
 /// does not address. We clamp each fare at zero; the unspent rebate stays
 /// with the driver, so conservation (Σ fares = driver income) holds by
 /// construction.
-pub fn settle_episode(trips: &[PassengerTrip], shared_route_cost_s: f64, cfg: &PaymentConfig) -> Settlement {
+pub fn settle_episode(
+    trips: &[PassengerTrip],
+    shared_route_cost_s: f64,
+    cfg: &PaymentConfig,
+) -> Settlement {
     let no_share_total: f64 =
         trips.iter().map(|t| cfg.fare.fare_for_cost(t.direct_cost_s, cfg.speed_mps)).sum();
     let shared_route_fare = cfg.fare.fare_for_cost(shared_route_cost_s.max(0.0), cfg.speed_mps);

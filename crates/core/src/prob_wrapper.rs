@@ -11,8 +11,8 @@ use crate::context::MobilityContext;
 use crate::routing::SegmentRouter;
 use crate::scheduling::probabilistic_enabled;
 use mtshare_model::{
-    evaluate_schedule, Assignment, DispatchOutcome, DispatchScheme, EvalContext, RideRequest,
-    Taxi, TaxiId, Time, World,
+    evaluate_schedule, Assignment, DispatchOutcome, DispatchScheme, EvalContext, RideRequest, Taxi,
+    TaxiId, Time, World,
 };
 use mtshare_routing::Path;
 use std::sync::Arc;
@@ -29,7 +29,12 @@ pub struct WithProbabilisticRouting<S: DispatchScheme> {
 
 impl<S: DispatchScheme> WithProbabilisticRouting<S> {
     /// Wraps `inner`, planning probabilistic routes with `ctx`/`cfg`.
-    pub fn new(inner: S, graph: &mtshare_road::RoadNetwork, ctx: Arc<MobilityContext>, cfg: MtShareConfig) -> Self {
+    pub fn new(
+        inner: S,
+        graph: &mtshare_road::RoadNetwork,
+        ctx: Arc<MobilityContext>,
+        cfg: MtShareConfig,
+    ) -> Self {
         let name = format!("{}+prob", inner.name());
         Self { inner, ctx, cfg: cfg.with_probabilistic(), router: SegmentRouter::new(graph), name }
     }
@@ -39,7 +44,13 @@ impl<S: DispatchScheme> WithProbabilisticRouting<S> {
         &self.inner
     }
 
-    fn reroute(&mut self, req: &RideRequest, a: Assignment, now: Time, world: &World<'_>) -> Assignment {
+    fn reroute(
+        &mut self,
+        req: &RideRequest,
+        a: Assignment,
+        now: Time,
+        world: &World<'_>,
+    ) -> Assignment {
         let taxi = world.taxi(a.taxi);
         if !probabilistic_enabled(taxi, &self.cfg, world) {
             return a;
@@ -101,8 +112,7 @@ impl<S: DispatchScheme> WithProbabilisticRouting<S> {
         }) else {
             return a;
         };
-        let remaining =
-            taxi.route.as_ref().map(|r| (r.end_time() - now).max(0.0)).unwrap_or(0.0);
+        let remaining = taxi.route.as_ref().map(|r| (r.end_time() - now).max(0.0)).unwrap_or(0.0);
         let _ = req;
         Assignment {
             taxi: a.taxi,
@@ -194,7 +204,12 @@ mod tests {
             }
             let total: f64 = legs.iter().map(|l| l.cost_s).sum();
             DispatchOutcome {
-                assignment: Some(Assignment { taxi: TaxiId(0), schedule, legs, detour_cost_s: total }),
+                assignment: Some(Assignment {
+                    taxi: TaxiId(0),
+                    schedule,
+                    legs,
+                    detour_cost_s: total,
+                }),
                 candidates_examined: 1,
             }
         }
@@ -207,7 +222,7 @@ mod tests {
         let trips: Vec<_> = (0..600)
             .map(|_| Trip {
                 origin: NodeId(rng.gen_range(0..400)),
-                destination: NodeId(300 + rng.gen_range(0..100)),
+                destination: NodeId(300 + rng.gen_range(0u32..100)),
             })
             .collect();
         let ctx = MobilityContext::build(&graph, &trips, 16, 4, 7, PartitionStrategy::Bipartite);
@@ -234,8 +249,13 @@ mod tests {
             offline: false,
         };
         requests.push(req.clone());
-        let world =
-            World { graph: &graph, cache: &cache, oracle: &oracle, taxis: &taxis, requests: &requests };
+        let world = World {
+            graph: &graph,
+            cache: &cache,
+            oracle: &oracle,
+            taxis: &taxis,
+            requests: &requests,
+        };
         let out = wrapped.dispatch(&req, 0.0, &world);
         let a = out.assignment.unwrap();
         // Legs still connect and total cost within the (1+ε) budget per leg.

@@ -33,8 +33,7 @@ const MATERIALIZE_TRIES: usize = 8;
 /// Sec. V-A1).
 pub fn probabilistic_enabled(taxi: &Taxi, cfg: &MtShareConfig, world: &World<'_>) -> bool {
     cfg.probabilistic
-        && taxi.idle_seats(world.requests) as f64
-            >= cfg.prob_idle_fraction * taxi.capacity as f64
+        && taxi.idle_seats(world.requests) as f64 >= cfg.prob_idle_fraction * taxi.capacity as f64
 }
 
 /// Runs Algorithm 1: finds the candidate taxi and schedule instance with
@@ -63,7 +62,12 @@ pub fn schedule_best(
         }
     }
 
-    instances.sort_by(|a, b| a.detour_s.total_cmp(&b.detour_s));
+    // Rank by (detour, taxi id) — the same total order as
+    // `mtshare_model::assignment_cmp`. The explicit taxi-id tie-break
+    // (rather than relying on stable sort over the sorted candidate list)
+    // is what makes the winner reproducible for the speculative batch
+    // path, whatever order candidates were scored in.
+    instances.sort_by(|a, b| a.detour_s.total_cmp(&b.detour_s).then(a.taxi.cmp(&b.taxi)));
 
     for inst in instances.into_iter().take(MATERIALIZE_TRIES) {
         if let Some(assignment) = materialize(req, &inst, now, world, ctx, cfg, router) {
@@ -105,10 +109,7 @@ fn materialize(
             lng += p.lng;
         }
         let n = drops.len().max(1) as f64;
-        world
-            .graph
-            .point(pos)
-            .displacement_m(&mtshare_road::GeoPoint::new(lat / n, lng / n))
+        world.graph.point(pos).displacement_m(&mtshare_road::GeoPoint::new(lat / n, lng / n))
     } else {
         (0.0, 0.0)
     };
@@ -151,7 +152,14 @@ fn materialize(
             // Cap wandering even when slack is huge.
             let budget = shortest + available.min(shortest * (1.0 + cfg.epsilon));
             let leg = router.probabilistic_leg(
-                world.graph, ctx, cfg, world.cache, from, ev.node, taxi_dir, budget,
+                world.graph,
+                ctx,
+                cfg,
+                world.cache,
+                from,
+                ev.node,
+                taxi_dir,
+                budget,
             )?;
             extra_used += (leg.cost_s - shortest).max(0.0);
             from = ev.node;
@@ -193,11 +201,7 @@ fn materialize(
         }
     };
 
-    let remaining = taxi
-        .route
-        .as_ref()
-        .map(|r| (r.end_time() - now).max(0.0))
-        .unwrap_or(0.0);
+    let remaining = taxi.route.as_ref().map(|r| (r.end_time() - now).max(0.0)).unwrap_or(0.0);
     Some(Assignment {
         taxi: inst.taxi,
         schedule: inst.schedule.clone(),
@@ -342,7 +346,8 @@ mod tests {
         // A new request that would force a big detour north first.
         let req = f.request(380, 399, 0.0, 1.5);
         let mut router = SegmentRouter::new(&f.graph);
-        let (a, _) = schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
+        let (a, _) =
+            schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
         // Any feasible instance must drop the onboard passenger first; if
         // an assignment exists, verify its ordering.
         if let Some(a) = a {
@@ -371,7 +376,8 @@ mod tests {
         // First request: SW corner to NE corner.
         let r1 = f.request(0, 399, 0.0, 1.5);
         let mut router = SegmentRouter::new(&f.graph);
-        let (a1, _) = schedule_best(&r1, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
+        let (a1, _) =
+            schedule_best(&r1, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
         let a1 = a1.unwrap();
         // Commit the plan.
         let route = TimedRoute::build(NodeId(0), 0.0, &a1.legs, &a1.schedule);

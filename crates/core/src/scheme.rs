@@ -6,7 +6,10 @@ use crate::context::MobilityContext;
 use crate::index::{MobilityClusterIndex, PartitionTaxiIndex};
 use crate::routing::{RouterStats, SegmentRouter};
 use crate::scheduling::schedule_best;
-use mtshare_model::{DispatchOutcome, DispatchScheme, RideRequest, Taxi, TaxiId, Time, World};
+use mtshare_model::{
+    DispatchOutcome, DispatchScheme, RideRequest, SpeculativeOutcome, Taxi, TaxiId, Time, World,
+};
+use mtshare_par::par_map_with;
 use mtshare_road::RoadNetwork;
 
 /// The mT-Share system (Sec. IV). Construct with a prebuilt
@@ -18,6 +21,10 @@ pub struct MtShare {
     pindex: PartitionTaxiIndex,
     mindex: MobilityClusterIndex,
     router: SegmentRouter,
+    /// Per-worker routers for speculative batch scoring, grown lazily to
+    /// `cfg.parallelism`; their counters are folded into `router` after
+    /// every batch.
+    spec_routers: Vec<SegmentRouter>,
     name: &'static str,
 }
 
@@ -34,6 +41,7 @@ impl MtShare {
             pindex: PartitionTaxiIndex::new(ctx.kappa(), n_taxis),
             mindex: MobilityClusterIndex::new(cfg.lambda, n_taxis),
             router: SegmentRouter::new(graph),
+            spec_routers: Vec::new(),
             cfg,
             ctx,
             name,
@@ -58,6 +66,30 @@ impl MtShare {
     fn reindex(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
         self.pindex.update_taxi(taxi, &self.ctx, now, self.cfg.tmp_horizon_s);
         self.mindex.update_taxi(taxi, world.graph, world.requests, now);
+    }
+
+    /// Scores one request against the snapshot exactly like
+    /// [`MtShare::dispatch`] would, recording the candidate fingerprint
+    /// for commit-time validation. Shared (immutable) state only, so batch
+    /// workers can run it concurrently; the per-worker `router` carries
+    /// all scratch state.
+    fn speculate_one(
+        &self,
+        req: &RideRequest,
+        world: &World<'_>,
+        router: &mut SegmentRouter,
+    ) -> SpeculativeOutcome {
+        let now = req.release_time;
+        let candidates =
+            candidate_taxis(req, now, world, &self.ctx, &self.cfg, &self.pindex, &self.mindex);
+        let candidate_versions = candidates.iter().map(|&t| world.taxi(t).route_version).collect();
+        let (assignment, examined) =
+            schedule_best(req, &candidates, now, world, &self.ctx, &self.cfg, router);
+        SpeculativeOutcome {
+            outcome: DispatchOutcome { assignment, candidates_examined: examined },
+            candidates,
+            candidate_versions,
+        }
     }
 }
 
@@ -122,6 +154,55 @@ impl DispatchScheme for MtShare {
     fn uses_probabilistic_routing(&self) -> bool {
         self.cfg.probabilistic
     }
+
+    fn dispatch_batch_speculative(
+        &mut self,
+        reqs: &[RideRequest],
+        world: &World<'_>,
+    ) -> Option<Vec<SpeculativeOutcome>> {
+        let workers = self.cfg.parallelism.max(1).min(reqs.len().max(1));
+        while self.spec_routers.len() < workers {
+            self.spec_routers.push(SegmentRouter::new(world.graph));
+        }
+        // Move the worker pool out so the workers can share `&self`
+        // read-only while each mutates its own router.
+        let mut pool = std::mem::take(&mut self.spec_routers);
+        let outs = {
+            let this = &*self;
+            par_map_with(&mut pool[..workers], reqs.len(), |i, router| {
+                this.speculate_one(&reqs[i], world, router)
+            })
+        };
+        for r in &mut pool {
+            let s = r.take_stats();
+            self.router.absorb_stats(s);
+        }
+        self.spec_routers = pool;
+        Some(outs)
+    }
+
+    fn validate_speculative(
+        &mut self,
+        req: &RideRequest,
+        now: Time,
+        world: &World<'_>,
+        spec: &SpeculativeOutcome,
+    ) -> bool {
+        // The speculative result depends only on the request, the frozen
+        // offline artifacts, the canonical oracle/cache costs, and the
+        // candidates' plans. So it still holds iff the candidate set is
+        // unchanged (same taxis, same deterministic order) and no
+        // candidate was re-planned since the snapshot: any commit touches
+        // a taxi through `set_plan`, which bumps its `route_version`.
+        let candidates =
+            candidate_taxis(req, now, world, &self.ctx, &self.cfg, &self.pindex, &self.mindex);
+        candidates == spec.candidates
+            && spec
+                .candidates
+                .iter()
+                .zip(&spec.candidate_versions)
+                .all(|(&t, &v)| world.taxi(t).route_version == v)
+    }
 }
 
 #[cfg(test)]
@@ -154,7 +235,8 @@ mod tests {
                     destination: NodeId(rng.gen_range(0..400)),
                 })
                 .collect();
-            let ctx = MobilityContext::build(&graph, &trips, 16, 4, 7, PartitionStrategy::Bipartite);
+            let ctx =
+                MobilityContext::build(&graph, &trips, 16, 4, 7, PartitionStrategy::Bipartite);
             let cfg = if probabilistic {
                 MtShareConfig::default().with_probabilistic()
             } else {

@@ -42,7 +42,13 @@ pub fn kmeans(data: &[f64], dim: usize, k: usize, seed: u64, max_iter: usize) ->
     assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
     let n = data.len() / dim;
     if n == 0 {
-        return KMeansResult { assignment: Vec::new(), centroids: Vec::new(), k: 0, inertia: 0.0, iterations: 0 };
+        return KMeansResult {
+            assignment: Vec::new(),
+            centroids: Vec::new(),
+            k: 0,
+            inertia: 0.0,
+            iterations: 0,
+        };
     }
     let k = k.min(n);
     let point = |i: usize| &data[i * dim..(i + 1) * dim];
@@ -128,7 +134,9 @@ pub fn kmeans(data: &[f64], dim: usize, k: usize, seed: u64, max_iter: usize) ->
                 centroids[c * dim..(c + 1) * dim].copy_from_slice(point(far));
                 changed = true;
             } else {
-                for (cd, s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                for (cd, s) in
+                    centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..(c + 1) * dim])
+                {
                     *cd = s / counts[c] as f64;
                 }
             }
@@ -138,7 +146,8 @@ pub fn kmeans(data: &[f64], dim: usize, k: usize, seed: u64, max_iter: usize) ->
         }
     }
 
-    let inertia = (0..n).map(|i| dist2(point(i), &centroids[assignment[i] as usize * dim..][..dim])).sum();
+    let inertia =
+        (0..n).map(|i| dist2(point(i), &centroids[assignment[i] as usize * dim..][..dim])).sum();
     KMeansResult { assignment, centroids, k, inertia, iterations }
 }
 

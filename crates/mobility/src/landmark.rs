@@ -7,8 +7,8 @@
 //! shortest-path lengths without touching the full graph.
 
 use crate::partition::{MapPartitioning, PartitionId};
-use mtshare_routing::CostMatrix;
 use mtshare_road::{NodeId, RoadNetwork};
+use mtshare_routing::CostMatrix;
 use rustc_hash::FxHashSet;
 
 /// Landmark graph with precomputed cost tables.

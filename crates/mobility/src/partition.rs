@@ -53,7 +53,10 @@ impl MapPartitioning {
         for (i, &p) in assignment.iter().enumerate() {
             members[p as usize].push(NodeId(i as u32));
         }
-        assert!(members.iter().all(|m| !m.is_empty()), "labels must be contiguous, no empty partition");
+        assert!(
+            members.iter().all(|m| !m.is_empty()),
+            "labels must be contiguous, no empty partition"
+        );
         let mut centroids = Vec::with_capacity(k);
         let mut landmarks = Vec::with_capacity(k);
         let mut radii_m = Vec::with_capacity(k);
@@ -68,7 +71,9 @@ impl MapPartitioning {
             centroids.push(c);
             let lm = *mem
                 .iter()
-                .min_by(|a, b| graph.point(**a).distance_m(&c).total_cmp(&graph.point(**b).distance_m(&c)))
+                .min_by(|a, b| {
+                    graph.point(**a).distance_m(&c).total_cmp(&graph.point(**b).distance_m(&c))
+                })
                 .expect("non-empty partition");
             landmarks.push(lm);
             let r = mem.iter().map(|&v| graph.point(v).distance_m(&c)).fold(0.0, f64::max);
@@ -134,7 +139,9 @@ impl MapPartitioning {
     /// `(center, radius_m)` — the map-partition set `S_ri` of Sec. IV-C1.
     pub fn intersecting_circle(&self, center: &GeoPoint, radius_m: f64) -> Vec<PartitionId> {
         self.partitions()
-            .filter(|&p| self.centroids[p.index()].distance_m(center) <= radius_m + self.radii_m[p.index()])
+            .filter(|&p| {
+                self.centroids[p.index()].distance_m(center) <= radius_m + self.radii_m[p.index()]
+            })
             .collect()
     }
 
@@ -212,7 +219,13 @@ pub fn bipartite_partition(
         // ① transition probabilities against current clusters.
         let tm = TransitionModel::from_trips(n, trips, &assignment, current_k);
         // ② transition clustering.
-        let tc = kmeans(&tm.rows_f64(), current_k, cfg.kt, cfg.seed ^ (round as u64 + 1), cfg.kmeans_iters);
+        let tc = kmeans(
+            &tm.rows_f64(),
+            current_k,
+            cfg.kt,
+            cfg.seed ^ (round as u64 + 1),
+            cfg.kmeans_iters,
+        );
         // ③ geo-clustering inside each transition cluster.
         let mut new_assignment = vec![0u32; n];
         let mut next = 0u32;
@@ -221,16 +234,19 @@ pub fn bipartite_partition(
             if members.is_empty() {
                 continue;
             }
-            let sub_k = ((members.len() * cfg.kappa) as f64 / n as f64 + 0.5).floor().max(1.0) as usize;
+            let sub_k =
+                ((members.len() * cfg.kappa) as f64 / n as f64 + 0.5).floor().max(1.0) as usize;
             let sub_coords: Vec<f64> =
                 members.iter().flat_map(|&i| [coords[2 * i], coords[2 * i + 1]]).collect();
-            let sub = kmeans(&sub_coords, 2, sub_k, cfg.seed ^ (0x9E37 + t as u64), cfg.kmeans_iters);
+            let sub =
+                kmeans(&sub_coords, 2, sub_k, cfg.seed ^ (0x9E37 + t as u64), cfg.kmeans_iters);
             for (j, &i) in members.iter().enumerate() {
                 new_assignment[i] = next + sub.assignment[j];
             }
             next += sub.k as u32;
         }
-        let changed = relabelled_change_fraction(&assignment, current_k, &new_assignment, next as usize);
+        let changed =
+            relabelled_change_fraction(&assignment, current_k, &new_assignment, next as usize);
         assignment = new_assignment;
         current_k = next as usize;
         if changed < cfg.tol {
@@ -255,11 +271,7 @@ fn relabelled_change_fraction(old: &[u32], old_k: usize, new: &[u32], new_k: usi
         overlap[*nl as usize * old_k + *o as usize] += 1;
     }
     let majority: Vec<u32> = (0..new_k)
-        .map(|nl| {
-            (0..old_k)
-                .max_by_key(|&o| overlap[nl * old_k + o])
-                .unwrap_or(0) as u32
-        })
+        .map(|nl| (0..old_k).max_by_key(|&o| overlap[nl * old_k + o]).unwrap_or(0) as u32)
         .collect();
     let changed = old.iter().zip(new).filter(|(o, nl)| majority[**nl as usize] != **o).count();
     changed as f64 / old.len() as f64
@@ -360,7 +372,11 @@ mod tests {
     fn memory_accounting() {
         let g = city();
         let trips = random_trips(&g, 500, 6);
-        let p = bipartite_partition(&g, &trips, &BipartiteConfig { kappa: 8, kt: 3, ..Default::default() });
+        let p = bipartite_partition(
+            &g,
+            &trips,
+            &BipartiteConfig { kappa: 8, kt: 3, ..Default::default() },
+        );
         assert!(p.memory_bytes() > g.node_count() * 2);
     }
 }

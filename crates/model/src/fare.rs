@@ -75,7 +75,7 @@ mod tests {
     fn fare_for_cost_converts_speed() {
         let f = FareTable::default();
         let speed = 15.0 / 3.6; // 15 km/h in m/s
-        // 960 s at 15 km/h = 4 km.
+                                // 960 s at 15 km/h = 4 km.
         let got = f.fare_for_cost(960.0, speed);
         assert!((got - f.fare_for_distance(4000.0)).abs() < 1e-9);
     }

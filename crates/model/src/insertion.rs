@@ -81,14 +81,15 @@ pub fn best_insertion(
         }
     }
 
-    let pickup_delta = |cost: &mut dyn FnMut(NodeId, NodeId) -> Option<f64>, i: usize| -> Option<f64> {
-        let prev = nodes[i - 1];
-        if i <= m {
-            Some(cost(prev, req.origin)? + cost(req.origin, nodes[i])? - cost(prev, nodes[i])?)
-        } else {
-            cost(prev, req.origin)
-        }
-    };
+    let pickup_delta =
+        |cost: &mut dyn FnMut(NodeId, NodeId) -> Option<f64>, i: usize| -> Option<f64> {
+            let prev = nodes[i - 1];
+            if i <= m {
+                Some(cost(prev, req.origin)? + cost(req.origin, nodes[i])? - cost(prev, nodes[i])?)
+            } else {
+                cost(prev, req.origin)
+            }
+        };
 
     let mut best: Option<BestInsertion> = None;
 
@@ -96,10 +97,12 @@ pub fn best_insertion(
         if loads[i - 1] + p > capacity {
             continue;
         }
+        // A genuinely negative detour is impossible (triangle inequality);
+        // a tiny negative here means the origin sits *on* the shortest
+        // path and f32 rounding leaked through — the best possible pickup
+        // spot, not an infeasible one. Clamp instead of skipping.
         let Some(dp) = pickup_delta(&mut cost, i) else { continue };
-        if dp < 0.0 {
-            continue;
-        }
+        let dp = dp.max(0.0);
         let arrival_pickup = if i <= m {
             arrivals[i - 1] + cost(nodes[i - 1], req.origin)?
         } else {
@@ -191,8 +194,13 @@ mod tests {
             offline: false,
         };
         requests.push(req.clone());
-        let world =
-            World { graph: &graph, cache: &cache, oracle: &oracle, taxis: &taxis, requests: &requests };
+        let world = World {
+            graph: &graph,
+            cache: &cache,
+            oracle: &oracle,
+            taxis: &taxis,
+            requests: &requests,
+        };
         let ins = best_insertion(&taxis[0], &req, 0.0, &world, |a, b| cache.cost(a, b)).unwrap();
         assert_eq!((ins.i, ins.j), (0, 1));
         let expect = cache.cost(NodeId(0), NodeId(21)).unwrap() + direct;

@@ -28,6 +28,10 @@ pub use insertion::{best_insertion, BestInsertion};
 pub use reorder::{best_reordering, BestReorder};
 pub use request::{RequestId, RequestStore, RideRequest};
 pub use route::TimedRoute;
-pub use schedule::{evaluate_schedule, EvalContext, EventKind, Schedule, ScheduleEvaluation, ScheduleEvent};
-pub use scheme::{Assignment, DispatchOutcome, DispatchScheme, World};
+pub use schedule::{
+    evaluate_schedule, EvalContext, EventKind, Schedule, ScheduleEvaluation, ScheduleEvent,
+};
+pub use scheme::{
+    assignment_cmp, Assignment, DispatchOutcome, DispatchScheme, SpeculativeOutcome, World,
+};
 pub use taxi::{Taxi, TaxiId};

@@ -219,8 +219,10 @@ mod tests {
         let probe = f.req(21, 200, 2.0);
         let taxis = [taxi];
         let world = f.world(&taxis);
-        let ins = best_insertion(&taxis[0], &probe, 0.0, &world, |a, b| f.cache.cost(a, b)).unwrap();
-        let reo = best_reordering(&taxis[0], &probe, 0.0, &world, |a, b| f.cache.cost(a, b)).unwrap();
+        let ins =
+            best_insertion(&taxis[0], &probe, 0.0, &world, |a, b| f.cache.cost(a, b)).unwrap();
+        let reo =
+            best_reordering(&taxis[0], &probe, 0.0, &world, |a, b| f.cache.cost(a, b)).unwrap();
         assert!((ins.delta_s - reo.delta_s).abs() < 1e-6);
     }
 
@@ -232,7 +234,9 @@ mod tests {
         let taxis = [taxi];
         let world = f.world(&taxis);
         assert!(best_insertion(&taxis[0], &probe, 0.0, &world, |a, b| f.cache.cost(a, b)).is_none());
-        assert!(best_reordering(&taxis[0], &probe, 0.0, &world, |a, b| f.cache.cost(a, b)).is_none());
+        assert!(
+            best_reordering(&taxis[0], &probe, 0.0, &world, |a, b| f.cache.cost(a, b)).is_none()
+        );
     }
 
     #[test]
@@ -248,6 +252,8 @@ mod tests {
         let taxis = [taxi];
         let world = f.world(&taxis);
         // 8 existing + 2 new = 10 > MAX_EVENTS.
-        assert!(best_reordering(&taxis[0], &probe, 0.0, &world, |a, b| f.cache.cost(a, b)).is_none());
+        assert!(
+            best_reordering(&taxis[0], &probe, 0.0, &world, |a, b| f.cache.cost(a, b)).is_none()
+        );
     }
 }

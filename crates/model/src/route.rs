@@ -56,9 +56,8 @@ impl TimedRoute {
                     .nodes
                     .windows(2)
                     .map(|w| {
-                        graph
-                            .direct_edge_cost(w[0], w[1])
-                            .expect("leg edges exist in the graph") as f64
+                        graph.direct_edge_cost(w[0], w[1]).expect("leg edges exist in the graph")
+                            as f64
                     })
                     .collect();
                 let total: f64 = hops.iter().sum();
@@ -141,7 +140,11 @@ impl TimedRoute {
     /// Nodes reached strictly within the half-open time window
     /// `(from, to]`, with their arrival times. Used for offline-request
     /// encounter detection.
-    pub fn nodes_in_window(&self, from: Time, to: Time) -> impl Iterator<Item = (NodeId, Time)> + '_ {
+    pub fn nodes_in_window(
+        &self,
+        from: Time,
+        to: Time,
+    ) -> impl Iterator<Item = (NodeId, Time)> + '_ {
         let lo = self.arrival_s.partition_point(|&a| a <= from + 1e-9);
         self.nodes[lo..]
             .iter()

@@ -84,7 +84,11 @@ impl Schedule {
         events.push(ScheduleEvent { kind: EventKind::Pickup, request: req.id, node: req.origin });
         // After inserting the pickup, original positions shift by one.
         events.extend_from_slice(&self.events[i..j - 1]);
-        events.push(ScheduleEvent { kind: EventKind::Dropoff, request: req.id, node: req.destination });
+        events.push(ScheduleEvent {
+            kind: EventKind::Dropoff,
+            request: req.id,
+            node: req.destination,
+        });
         events.extend_from_slice(&self.events[j - 1..]);
         Schedule { events }
     }

@@ -70,6 +70,30 @@ impl DispatchOutcome {
     }
 }
 
+/// Deterministic preference order between two scored assignments: lower
+/// detour wins, ties broken by taxi id. Schemes that score candidates in
+/// parallel must rank with this total order (and process requests in
+/// request-id order) so the chosen winner is independent of thread count
+/// and scheduling; `f64::total_cmp` keeps it total even for NaN scores.
+pub fn assignment_cmp(a: &Assignment, b: &Assignment) -> std::cmp::Ordering {
+    a.detour_cost_s.total_cmp(&b.detour_cost_s).then(a.taxi.cmp(&b.taxi))
+}
+
+/// One request's speculative dispatch result, scored against a frozen
+/// world snapshot at the start of a batch window, plus the fingerprint
+/// needed to decide at commit time whether the result is still valid.
+#[derive(Debug, Clone)]
+pub struct SpeculativeOutcome {
+    /// The dispatch result computed against the snapshot.
+    pub outcome: DispatchOutcome,
+    /// The candidate set examined, in the scheme's deterministic order.
+    pub candidates: Vec<TaxiId>,
+    /// Each candidate's `route_version` at speculation time, parallel to
+    /// `candidates`. An earlier commit in the batch bumps the version of
+    /// the taxi it re-plans, invalidating dependent speculations.
+    pub candidate_versions: Vec<u64>,
+}
+
 /// A ridesharing dispatch policy.
 pub trait DispatchScheme {
     /// Human-readable scheme name (used in experiment tables).
@@ -115,6 +139,36 @@ pub trait DispatchScheme {
     fn uses_probabilistic_routing(&self) -> bool {
         false
     }
+
+    /// Speculatively scores a batch of online requests against the frozen
+    /// `world` snapshot, each at its own release time. Results must be
+    /// *identical* to what a sequence of [`DispatchScheme::dispatch`]
+    /// calls would produce on the same snapshot — the simulator commits
+    /// them in request order, revalidating each via
+    /// [`DispatchScheme::validate_speculative`] first. Returns `None` when
+    /// the scheme has no speculative path (the simulator then falls back
+    /// to sequential dispatch).
+    fn dispatch_batch_speculative(
+        &mut self,
+        _reqs: &[RideRequest],
+        _world: &World<'_>,
+    ) -> Option<Vec<SpeculativeOutcome>> {
+        None
+    }
+
+    /// Commit-time check for one speculative result: recompute the
+    /// candidate fingerprint against the *current* world and return
+    /// whether `spec` still holds (same candidates, none re-planned since
+    /// speculation). On `false` the simulator re-dispatches sequentially.
+    fn validate_speculative(
+        &mut self,
+        _req: &RideRequest,
+        _now: Time,
+        _world: &World<'_>,
+        _spec: &SpeculativeOutcome,
+    ) -> bool {
+        false
+    }
 }
 
 impl DispatchScheme for Box<dyn DispatchScheme> {
@@ -148,6 +202,22 @@ impl DispatchScheme for Box<dyn DispatchScheme> {
     fn uses_probabilistic_routing(&self) -> bool {
         self.as_ref().uses_probabilistic_routing()
     }
+    fn dispatch_batch_speculative(
+        &mut self,
+        reqs: &[RideRequest],
+        world: &World<'_>,
+    ) -> Option<Vec<SpeculativeOutcome>> {
+        self.as_mut().dispatch_batch_speculative(reqs, world)
+    }
+    fn validate_speculative(
+        &mut self,
+        req: &RideRequest,
+        now: Time,
+        world: &World<'_>,
+        spec: &SpeculativeOutcome,
+    ) -> bool {
+        self.as_mut().validate_speculative(req, now, world, spec)
+    }
 }
 
 #[cfg(test)]
@@ -162,7 +232,12 @@ mod tests {
             "greedy"
         }
         fn install(&mut self, _world: &World<'_>) {}
-        fn dispatch(&mut self, _req: &RideRequest, _now: Time, world: &World<'_>) -> DispatchOutcome {
+        fn dispatch(
+            &mut self,
+            _req: &RideRequest,
+            _now: Time,
+            world: &World<'_>,
+        ) -> DispatchOutcome {
             DispatchOutcome::rejected(world.taxis.len())
         }
     }
@@ -174,8 +249,13 @@ mod tests {
         let oracle = HotNodeOracle::new(graph.clone());
         let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(0))];
         let requests = RequestStore::new();
-        let world =
-            World { graph: &graph, cache: &cache, oracle: &oracle, taxis: &taxis, requests: &requests };
+        let world = World {
+            graph: &graph,
+            cache: &cache,
+            oracle: &oracle,
+            taxis: &taxis,
+            requests: &requests,
+        };
         let mut s: Box<dyn DispatchScheme> = Box::new(Greedy);
         s.install(&world);
         assert_eq!(s.name(), "greedy");

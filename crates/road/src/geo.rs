@@ -8,7 +8,7 @@
 pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
 
 /// A WGS-84 geographic point.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     /// Latitude in degrees.
     pub lat: f64,
@@ -106,7 +106,10 @@ impl BoundingBox {
     /// Whether the box contains `p` (inclusive).
     #[inline]
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lng >= self.min_lng && p.lng <= self.max_lng
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lng >= self.min_lng
+            && p.lng <= self.max_lng
     }
 
     /// Centre point of the box.
@@ -124,7 +127,8 @@ impl BoundingBox {
 
     /// Height (north-south extent) in metres.
     pub fn height_m(&self) -> f64 {
-        GeoPoint::new(self.min_lat, self.min_lng).distance_m(&GeoPoint::new(self.max_lat, self.min_lng))
+        GeoPoint::new(self.min_lat, self.min_lng)
+            .distance_m(&GeoPoint::new(self.max_lat, self.min_lng))
     }
 }
 
@@ -200,11 +204,8 @@ mod tests {
 
     #[test]
     fn bounding_box_of_points() {
-        let pts = [
-            GeoPoint::new(30.0, 104.0),
-            GeoPoint::new(30.5, 104.5),
-            GeoPoint::new(29.9, 104.2),
-        ];
+        let pts =
+            [GeoPoint::new(30.0, 104.0), GeoPoint::new(30.5, 104.5), GeoPoint::new(29.9, 104.2)];
         let b = BoundingBox::of(&pts);
         assert_eq!(b.min_lat, 29.9);
         assert_eq!(b.max_lat, 30.5);

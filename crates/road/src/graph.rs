@@ -102,7 +102,11 @@ impl RoadNetwork {
             if e.to.index() >= n {
                 return Err(GraphError::UnknownVertex { node: e.to.0, node_count: n });
             }
-            if !(e.length_m.is_finite() && e.length_m > 0.0 && e.speed_kmh.is_finite() && e.speed_kmh > 0.0) {
+            if !(e.length_m.is_finite()
+                && e.length_m > 0.0
+                && e.speed_kmh.is_finite()
+                && e.speed_kmh > 0.0)
+            {
                 return Err(GraphError::InvalidEdgeWeight { from: e.from.0, to: e.to.0 });
             }
         }
@@ -208,10 +212,15 @@ impl RoadNetwork {
 
     /// Outgoing `(target, cost_s, length_m, edge_id)` tuples of `node`.
     #[inline]
-    pub fn out_edges_full(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f32, f32, EdgeId)> + '_ {
+    pub fn out_edges_full(
+        &self,
+        node: NodeId,
+    ) -> impl Iterator<Item = (NodeId, f32, f32, EdgeId)> + '_ {
         let lo = self.out_offsets[node.index()] as usize;
         let hi = self.out_offsets[node.index() + 1] as usize;
-        (lo..hi).map(move |i| (self.out_targets[i], self.out_costs[i], self.out_lengths[i], self.out_edge_ids[i]))
+        (lo..hi).map(move |i| {
+            (self.out_targets[i], self.out_costs[i], self.out_lengths[i], self.out_edge_ids[i])
+        })
     }
 
     /// Incoming `(source, cost_s)` pairs of `node`.
@@ -236,10 +245,7 @@ impl RoadNetwork {
 
     /// Cost in seconds of the cheapest direct edge `from -> to`, if any.
     pub fn direct_edge_cost(&self, from: NodeId, to: NodeId) -> Option<f32> {
-        self.out_edges(from)
-            .filter(|(t, _)| *t == to)
-            .map(|(_, c)| c)
-            .min_by(|a, b| a.total_cmp(b))
+        self.out_edges(from).filter(|(t, _)| *t == to).map(|(_, c)| c).min_by(|a, b| a.total_cmp(b))
     }
 
     /// Bounding box of all vertices.
@@ -342,7 +348,8 @@ mod tests {
     #[test]
     fn not_strongly_connected_without_back_edge() {
         let pts = vec![GeoPoint::new(30.0, 104.0), GeoPoint::new(30.001, 104.0)];
-        let edges = vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 10.0, speed_kmh: 15.0 }];
+        let edges =
+            vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 10.0, speed_kmh: 15.0 }];
         let g = RoadNetwork::new(pts, &edges).unwrap();
         assert!(!g.is_strongly_connected());
     }
@@ -350,7 +357,8 @@ mod tests {
     #[test]
     fn rejects_unknown_vertex() {
         let pts = vec![GeoPoint::new(30.0, 104.0)];
-        let edges = vec![EdgeSpec { from: NodeId(0), to: NodeId(5), length_m: 10.0, speed_kmh: 15.0 }];
+        let edges =
+            vec![EdgeSpec { from: NodeId(0), to: NodeId(5), length_m: 10.0, speed_kmh: 15.0 }];
         assert!(matches!(
             RoadNetwork::new(pts, &edges),
             Err(GraphError::UnknownVertex { node: 5, .. })
@@ -361,7 +369,8 @@ mod tests {
     fn rejects_bad_weight() {
         let pts = vec![GeoPoint::new(30.0, 104.0), GeoPoint::new(30.001, 104.0)];
         for (len, speed) in [(0.0, 15.0), (-3.0, 15.0), (10.0, 0.0), (f64::NAN, 15.0)] {
-            let edges = vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: len, speed_kmh: speed }];
+            let edges =
+                vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: len, speed_kmh: speed }];
             assert!(matches!(
                 RoadNetwork::new(pts.clone(), &edges),
                 Err(GraphError::InvalidEdgeWeight { .. })

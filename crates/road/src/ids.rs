@@ -5,7 +5,7 @@
 //! `usize` (a Type-Sizes win the performance guide calls out).
 
 /// Identifier of a road-network vertex (road intersection / geolocation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -30,7 +30,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// Identifier of a directed road segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {

@@ -52,8 +52,10 @@ impl SpatialGrid {
 
     #[inline]
     fn cell_coords(&self, p: &GeoPoint) -> (usize, usize) {
-        let r = (((p.lat - self.min_lat) / self.cell_lat) as isize).clamp(0, self.rows as isize - 1) as usize;
-        let c = (((p.lng - self.min_lng) / self.cell_lng) as isize).clamp(0, self.cols as isize - 1) as usize;
+        let r = (((p.lat - self.min_lat) / self.cell_lat) as isize).clamp(0, self.rows as isize - 1)
+            as usize;
+        let c = (((p.lng - self.min_lng) / self.cell_lng) as isize).clamp(0, self.cols as isize - 1)
+            as usize;
         (r, c)
     }
 
@@ -74,8 +76,11 @@ impl SpatialGrid {
         let (r0, c0) = self.cell_coords(p);
         let mut best: Option<(f64, NodeId)> = None;
         // Approximate metres per cell, for the ring lower bound.
-        let cell_m = (self.cell_lat.to_radians() * crate::geo::EARTH_RADIUS_M)
-            .min(self.cell_lng.to_radians() * crate::geo::EARTH_RADIUS_M * p.lat.to_radians().cos().abs().max(0.01));
+        let cell_m = (self.cell_lat.to_radians() * crate::geo::EARTH_RADIUS_M).min(
+            self.cell_lng.to_radians()
+                * crate::geo::EARTH_RADIUS_M
+                * p.lat.to_radians().cos().abs().max(0.01),
+        );
         let max_ring = self.rows.max(self.cols);
         for ring in 0..=max_ring {
             if let Some((d, _)) = best {
@@ -118,7 +123,9 @@ impl SpatialGrid {
         mut f: F,
     ) {
         let (r0, c0) = self.cell_coords(p);
-        let lat_span = (radius_m / (self.cell_lat.to_radians() * crate::geo::EARTH_RADIUS_M)).ceil() as usize + 1;
+        let lat_span = (radius_m / (self.cell_lat.to_radians() * crate::geo::EARTH_RADIUS_M)).ceil()
+            as usize
+            + 1;
         let lng_m_per_cell = self.cell_lng.to_radians()
             * crate::geo::EARTH_RADIUS_M
             * p.lat.to_radians().cos().abs().max(0.01);
@@ -141,8 +148,9 @@ impl SpatialGrid {
     fn for_ring<F: FnMut(usize)>(&self, r0: usize, c0: usize, ring: usize, mut f: F) {
         let (r0, c0) = (r0 as isize, c0 as isize);
         let ring = ring as isize;
-        let in_bounds =
-            |r: isize, c: isize| r >= 0 && r < self.rows as isize && c >= 0 && c < self.cols as isize;
+        let in_bounds = |r: isize, c: isize| {
+            r >= 0 && r < self.rows as isize && c >= 0 && c < self.cols as isize
+        };
         if ring == 0 {
             if in_bounds(r0, c0) {
                 f((r0 * self.cols as isize + c0) as usize);

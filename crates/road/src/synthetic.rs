@@ -98,29 +98,33 @@ pub fn grid_city(cfg: &GridCityConfig) -> Result<RoadNetwork, GraphError> {
         for c in 0..cfg.cols {
             let jl: f64 = rng.gen_range(-cfg.jitter_frac..=cfg.jitter_frac);
             let jg: f64 = rng.gen_range(-cfg.jitter_frac..=cfg.jitter_frac);
-            points.push(GeoPoint::new(lat0 + (r as f64 + jl) * dlat, lng0 + (c as f64 + jg) * dlng));
+            points
+                .push(GeoPoint::new(lat0 + (r as f64 + jl) * dlat, lng0 + (c as f64 + jg) * dlng));
         }
     }
 
     let is_arterial = |idx: usize| cfg.arterial_every > 0 && idx.is_multiple_of(cfg.arterial_every);
     let mut edges = Vec::with_capacity(cfg.rows * cfg.cols * 4);
-    let mut add_two_way = |points: &[GeoPoint], rng: &mut SmallRng, a: NodeId, b: NodeId, speed: f64| {
-        let base = points[a.index()].distance_m(&points[b.index()]).max(10.0);
-        // Independent detour factors per direction make the graph directed.
-        let fwd = base * rng.gen_range(1.0..1.15);
-        let bwd = base * rng.gen_range(1.0..1.15);
-        edges.push(EdgeSpec { from: a, to: b, length_m: fwd, speed_kmh: speed });
-        edges.push(EdgeSpec { from: b, to: a, length_m: bwd, speed_kmh: speed });
-    };
+    let mut add_two_way =
+        |points: &[GeoPoint], rng: &mut SmallRng, a: NodeId, b: NodeId, speed: f64| {
+            let base = points[a.index()].distance_m(&points[b.index()]).max(10.0);
+            // Independent detour factors per direction make the graph directed.
+            let fwd = base * rng.gen_range(1.0..1.15);
+            let bwd = base * rng.gen_range(1.0..1.15);
+            edges.push(EdgeSpec { from: a, to: b, length_m: fwd, speed_kmh: speed });
+            edges.push(EdgeSpec { from: b, to: a, length_m: bwd, speed_kmh: speed });
+        };
 
     for r in 0..cfg.rows {
         for c in 0..cfg.cols {
             if c + 1 < cfg.cols {
-                let speed = if is_arterial(r) { cfg.arterial_speed_kmh } else { cfg.street_speed_kmh };
+                let speed =
+                    if is_arterial(r) { cfg.arterial_speed_kmh } else { cfg.street_speed_kmh };
                 add_two_way(&points, &mut rng, node(r, c), node(r, c + 1), speed);
             }
             if r + 1 < cfg.rows {
-                let speed = if is_arterial(c) { cfg.arterial_speed_kmh } else { cfg.street_speed_kmh };
+                let speed =
+                    if is_arterial(c) { cfg.arterial_speed_kmh } else { cfg.street_speed_kmh };
                 add_two_way(&points, &mut rng, node(r, c), node(r + 1, c), speed);
             }
         }
@@ -203,8 +207,18 @@ pub fn ring_radial_city(cfg: &RingRadialConfig) -> Result<RoadNetwork, GraphErro
     let mut edges = Vec::new();
     let mut add_two_way = |points: &[GeoPoint], rng: &mut SmallRng, a: NodeId, b: NodeId| {
         let base = points[a.index()].distance_m(&points[b.index()]).max(10.0);
-        edges.push(EdgeSpec { from: a, to: b, length_m: base * rng.gen_range(1.0..1.1), speed_kmh: cfg.speed_kmh });
-        edges.push(EdgeSpec { from: b, to: a, length_m: base * rng.gen_range(1.0..1.1), speed_kmh: cfg.speed_kmh });
+        edges.push(EdgeSpec {
+            from: a,
+            to: b,
+            length_m: base * rng.gen_range(1.0..1.1),
+            speed_kmh: cfg.speed_kmh,
+        });
+        edges.push(EdgeSpec {
+            from: b,
+            to: a,
+            length_m: base * rng.gen_range(1.0..1.1),
+            speed_kmh: cfg.speed_kmh,
+        });
     };
     for s in 0..cfg.spokes {
         add_two_way(&points, &mut rng, node(0, 0), node(1, s));

@@ -79,7 +79,8 @@ impl Alt {
         let m = self.matrix.sources().len();
         let mut scored: Vec<(f32, usize)> = (0..m)
             .map(|i| {
-                let fwd = self.matrix.cost_from_idx(i, target) - self.matrix.cost_from_idx(i, source);
+                let fwd =
+                    self.matrix.cost_from_idx(i, target) - self.matrix.cost_from_idx(i, source);
                 let bwd = self.matrix.cost_to_idx(source, i) - self.matrix.cost_to_idx(target, i);
                 (fwd.max(bwd).max(0.0), i)
             })
@@ -185,10 +186,8 @@ mod tests {
     fn setup() -> (RoadNetwork, Alt) {
         let g = grid_city(&GridCityConfig::tiny()).unwrap();
         // A spread of landmarks: corners, centre, mid-edges.
-        let lms = [0u32, 19, 380, 399, 210, 9, 190, 209]
-            .into_iter()
-            .map(NodeId)
-            .collect::<Vec<_>>();
+        let lms =
+            [0u32, 19, 380, 399, 210, 9, 190, 209].into_iter().map(NodeId).collect::<Vec<_>>();
         let alt = Alt::with_landmarks(&g, &lms);
         (g, alt)
     }

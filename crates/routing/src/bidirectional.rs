@@ -55,8 +55,11 @@ impl BidirDijkstra {
 
     #[inline]
     fn dist(&self, forward: bool, node: NodeId) -> f32 {
-        let (epochs, dist) =
-            if forward { (&self.epoch_of_f, &self.dist_f) } else { (&self.epoch_of_b, &self.dist_b) };
+        let (epochs, dist) = if forward {
+            (&self.epoch_of_f, &self.dist_f)
+        } else {
+            (&self.epoch_of_b, &self.dist_b)
+        };
         if epochs[node.index()] == self.epoch {
             dist[node.index()]
         } else {
@@ -112,7 +115,12 @@ impl BidirDijkstra {
     }
 
     /// Runs the bidirectional search, returning `(cost, meeting_node)`.
-    fn search(&mut self, graph: &RoadNetwork, source: NodeId, target: NodeId) -> Option<(f64, NodeId)> {
+    fn search(
+        &mut self,
+        graph: &RoadNetwork,
+        source: NodeId,
+        target: NodeId,
+    ) -> Option<(f64, NodeId)> {
         if source == target {
             return Some((0.0, source));
         }
@@ -227,7 +235,8 @@ mod tests {
     fn unreachable_is_none() {
         use mtshare_road::{EdgeSpec, GeoPoint, RoadNetwork};
         let pts = vec![GeoPoint::new(30.0, 104.0), GeoPoint::new(30.001, 104.0)];
-        let edges = vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 10.0, speed_kmh: 15.0 }];
+        let edges =
+            vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 10.0, speed_kmh: 15.0 }];
         let g = RoadNetwork::new(pts, &edges).unwrap();
         let mut bi = BidirDijkstra::new(&g);
         assert_eq!(bi.cost(&g, NodeId(1), NodeId(0)), None);

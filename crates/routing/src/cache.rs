@@ -6,6 +6,15 @@
 //! provide the equivalent amortized behaviour: a memoizing point-to-point
 //! cache backed by bidirectional Dijkstra, shared by *all* schemes so the
 //! response-time comparison stays fair.
+//!
+//! The memo is split into lock-striped shards keyed by the source node so
+//! that the speculative batch-dispatch workers can probe and fill it
+//! concurrently without serializing on one mutex. Each shard owns its own
+//! search engine (the engine is per-query scratch state, so one per shard
+//! keeps a miss from blocking other shards). Both the search and the memo
+//! quantize costs to `f32`, which makes every answer independent of lookup
+//! history and thread interleaving: hit or miss, a query returns the same
+//! canonical value.
 
 use crate::bidirectional::BidirDijkstra;
 use crate::path::Path;
@@ -13,6 +22,10 @@ use mtshare_road::{NodeId, RoadNetwork};
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
+
+/// Number of lock stripes. Power of two so the shard pick is a mask; 16
+/// comfortably exceeds the worker counts the batch dispatcher uses.
+const SHARDS: usize = 16;
 
 /// Hit/miss counters of a [`PathCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,7 +49,7 @@ impl CacheStats {
 }
 
 #[derive(Debug)]
-struct CacheInner {
+struct CacheShard {
     costs: FxHashMap<u64, f32>,
     engine: BidirDijkstra,
     stats: CacheStats,
@@ -50,21 +63,20 @@ struct CacheInner {
 #[derive(Debug, Clone)]
 pub struct PathCache {
     graph: Arc<RoadNetwork>,
-    inner: Arc<Mutex<CacheInner>>,
+    shards: Arc<[Mutex<CacheShard>; SHARDS]>,
 }
 
 impl PathCache {
     /// Creates an empty cache over `graph`.
     pub fn new(graph: Arc<RoadNetwork>) -> Self {
-        let engine = BidirDijkstra::new(&graph);
-        Self {
-            graph,
-            inner: Arc::new(Mutex::new(CacheInner {
+        let shards = std::array::from_fn(|_| {
+            Mutex::new(CacheShard {
                 costs: FxHashMap::default(),
-                engine,
+                engine: BidirDijkstra::new(&graph),
                 stats: CacheStats::default(),
-            })),
-        }
+            })
+        });
+        Self { graph, shards: Arc::new(shards) }
     }
 
     /// The underlying road network.
@@ -78,6 +90,14 @@ impl PathCache {
         ((a.0 as u64) << 32) | b.0 as u64
     }
 
+    /// Stripe by source node: batch workers probing different requests'
+    /// legs mostly start from distinct sources, so they land on distinct
+    /// locks.
+    #[inline]
+    fn shard(&self, a: NodeId) -> &Mutex<CacheShard> {
+        &self.shards[a.0 as usize & (SHARDS - 1)]
+    }
+
     /// Shortest-path cost in seconds from `a` to `b`, or `None` when
     /// unreachable. Unreachability is memoized too.
     pub fn cost(&self, a: NodeId, b: NodeId) -> Option<f64> {
@@ -85,23 +105,23 @@ impl PathCache {
             return Some(0.0);
         }
         let key = Self::key(a, b);
-        let mut inner = self.inner.lock();
-        if let Some(&c) = inner.costs.get(&key) {
-            inner.stats.hits += 1;
+        let mut shard = self.shard(a).lock();
+        if let Some(&c) = shard.costs.get(&key) {
+            shard.stats.hits += 1;
             return c.is_finite().then_some(c as f64);
         }
-        inner.stats.misses += 1;
-        let cost = inner.engine.cost(&self.graph, a, b);
-        inner.costs.insert(key, cost.map_or(f32::INFINITY, |c| c as f32));
+        shard.stats.misses += 1;
+        let cost = shard.engine.cost(&self.graph, a, b);
+        shard.costs.insert(key, cost.map_or(f32::INFINITY, |c| c as f32));
         cost
     }
 
     /// Shortest path from `a` to `b` (computed fresh; its cost is memoized).
     pub fn path(&self, a: NodeId, b: NodeId) -> Option<Path> {
-        let mut inner = self.inner.lock();
-        let p = inner.engine.path(&self.graph, a, b)?;
+        let mut shard = self.shard(a).lock();
+        let p = shard.engine.path(&self.graph, a, b)?;
         let key = Self::key(a, b);
-        inner.costs.entry(key).or_insert(p.cost_s as f32);
+        shard.costs.entry(key).or_insert(p.cost_s as f32);
         Some(p)
     }
 
@@ -114,14 +134,20 @@ impl PathCache {
         }
     }
 
-    /// Snapshot of hit/miss counters.
+    /// Snapshot of hit/miss counters, aggregated over all shards.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.lock().stats;
+            total.hits += s.hits;
+            total.misses += s.misses;
+        }
+        total
     }
 
     /// Number of memoized entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().costs.len()
+        self.shards.iter().map(|s| s.lock().costs.len()).sum()
     }
 
     /// Whether the memo is empty.
@@ -132,7 +158,7 @@ impl PathCache {
     /// Approximate resident memory of the memo in bytes.
     pub fn memory_bytes(&self) -> usize {
         // key (8) + value (4) + hashbrown overhead ≈ 1 ctrl byte + padding.
-        self.inner.lock().costs.capacity() * (8 + 4 + 2)
+        self.shards.iter().map(|s| s.lock().costs.capacity() * (8 + 4 + 2)).sum()
     }
 }
 
@@ -192,7 +218,8 @@ mod tests {
     fn unreachable_memoized() {
         use mtshare_road::{EdgeSpec, GeoPoint};
         let pts = vec![GeoPoint::new(30.0, 104.0), GeoPoint::new(30.001, 104.0)];
-        let edges = vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 10.0, speed_kmh: 15.0 }];
+        let edges =
+            vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 10.0, speed_kmh: 15.0 }];
         let g = Arc::new(RoadNetwork::new(pts, &edges).unwrap());
         let c = PathCache::new(g);
         assert_eq!(c.cost(NodeId(1), NodeId(0)), None);
@@ -208,5 +235,22 @@ mod tests {
         assert_eq!(c.len(), 4);
         assert!(!c.is_empty());
         assert!(c.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn sources_land_on_distinct_shards_but_answers_agree() {
+        // Sources 0..16 map to all 16 stripes; repeat queries hit their
+        // own shard's memo and aggregate counters stay exact.
+        let (g, c) = cache();
+        let mut d = Dijkstra::new(&g);
+        for src in 0..16u32 {
+            let want = d.cost(&g, NodeId(src), NodeId(399)).unwrap();
+            let got = c.cost(NodeId(src), NodeId(399)).unwrap();
+            assert!((got - want).abs() < 1e-2, "src={src}");
+            assert_eq!(c.cost(NodeId(src), NodeId(399)), Some(got));
+        }
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (16, 16));
+        assert_eq!(c.len(), 16);
     }
 }

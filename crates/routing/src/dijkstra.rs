@@ -284,7 +284,8 @@ mod tests {
     fn unreachable_returns_none() {
         use mtshare_road::{EdgeSpec, GeoPoint};
         let pts = vec![GeoPoint::new(30.0, 104.0), GeoPoint::new(30.001, 104.0)];
-        let edges = vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 10.0, speed_kmh: 15.0 }];
+        let edges =
+            vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 10.0, speed_kmh: 15.0 }];
         let g = RoadNetwork::new(pts, &edges).unwrap();
         let mut d = Dijkstra::new(&g);
         assert_eq!(d.cost(&g, NodeId(1), NodeId(0)), None);

@@ -153,9 +153,8 @@ impl MaskedDijkstra {
         nodes.reverse();
         let mut travel = 0.0f64;
         for w in nodes.windows(2) {
-            travel += graph
-                .direct_edge_cost(w[0], w[1])
-                .expect("path edges exist in the graph") as f64;
+            travel +=
+                graph.direct_edge_cost(w[0], w[1]).expect("path edges exist in the graph") as f64;
         }
         Some(Path { nodes, cost_s: travel })
     }

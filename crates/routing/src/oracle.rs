@@ -11,13 +11,35 @@
 //! distance vector (two Dijkstras). While a request is active, every leg
 //! cost involving its endpoints is a single array read — the amortized
 //! equivalent of the paper's cache, shared by all schemes for fairness.
+//!
+//! # Concurrency and determinism
+//!
+//! Speculative batch dispatch probes the oracle from several workers at
+//! once, so reads must be concurrent *and* every query must return one
+//! canonical value regardless of which nodes happen to be pinned. The
+//! pinned map sits behind an `RwLock` (reads share, pins/unpins are rare
+//! and exclusive), counters are atomics, and the search memo is
+//! lock-striped by source node like [`crate::PathCache`].
+//!
+//! Canonical lookup order: the **backward vector of `b` is consulted
+//! before the forward vector of `a`**. The two vectors come from
+//! independent f32 Dijkstra runs and may disagree by an ulp; scheduling
+//! queries always have their *target* pinned (it is a schedule event
+//! node), while the source may be an arbitrary taxi position that only
+//! coincidentally matches some other request's pinned endpoint. bwd-first
+//! therefore makes the answer a function of `(a, b)` alone — pinning
+//! extra nodes (as the batch path does) can never change a result.
 
 use crate::bidirectional::BidirDijkstra;
 use crate::dijkstra::Dijkstra;
 use mtshare_road::{NodeId, RoadNetwork};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
+
+/// Lock stripes of the point memo (power of two, mask-selected).
+const MEMO_SHARDS: usize = 16;
 
 #[derive(Debug)]
 struct PinnedEntry {
@@ -41,36 +63,43 @@ pub struct OracleStats {
     pub pin_computes: u64,
 }
 
+#[derive(Debug, Default)]
+struct AtomicStats {
+    vector_hits: AtomicU64,
+    memo_hits: AtomicU64,
+    searches: AtomicU64,
+    pin_computes: AtomicU64,
+}
+
 #[derive(Debug)]
-struct Inner {
-    pinned: FxHashMap<u32, PinnedEntry>,
-    point_memo: FxHashMap<u64, f32>,
-    engine: Dijkstra,
+struct MemoShard {
+    memo: FxHashMap<u64, f32>,
     bidi: BidirDijkstra,
-    stats: OracleStats,
 }
 
 /// Thread-safe cost oracle with pinnable hot nodes.
 #[derive(Debug, Clone)]
 pub struct HotNodeOracle {
     graph: Arc<RoadNetwork>,
-    inner: Arc<Mutex<Inner>>,
+    pinned: Arc<RwLock<FxHashMap<u32, PinnedEntry>>>,
+    /// Scratch engine for pin computations (pins are serialized anyway).
+    pin_engine: Arc<Mutex<Dijkstra>>,
+    memo: Arc<[Mutex<MemoShard>; MEMO_SHARDS]>,
+    stats: Arc<AtomicStats>,
 }
 
 impl HotNodeOracle {
     /// Creates an empty oracle over `graph`.
     pub fn new(graph: Arc<RoadNetwork>) -> Self {
-        let engine = Dijkstra::new(&graph);
-        let bidi = BidirDijkstra::new(&graph);
+        let memo = std::array::from_fn(|_| {
+            Mutex::new(MemoShard { memo: FxHashMap::default(), bidi: BidirDijkstra::new(&graph) })
+        });
         Self {
+            pin_engine: Arc::new(Mutex::new(Dijkstra::new(&graph))),
+            memo: Arc::new(memo),
+            pinned: Arc::new(RwLock::new(FxHashMap::default())),
+            stats: Arc::new(AtomicStats::default()),
             graph,
-            inner: Arc::new(Mutex::new(Inner {
-                pinned: FxHashMap::default(),
-                point_memo: FxHashMap::default(),
-                engine,
-                bidi,
-                stats: OracleStats::default(),
-            })),
         }
     }
 
@@ -83,75 +112,88 @@ impl HotNodeOracle {
     /// Pins `node`, computing its forward + backward distance vectors if
     /// not already resident. Pins are reference-counted.
     pub fn pin(&self, node: NodeId) {
-        let mut inner = self.inner.lock();
-        if let Some(e) = inner.pinned.get_mut(&node.0) {
+        let mut pinned = self.pinned.write();
+        if let Some(e) = pinned.get_mut(&node.0) {
             e.refs += 1;
             return;
         }
         let mut fwd = Vec::new();
         let mut bwd = Vec::new();
-        inner.engine.one_to_all(&self.graph, node, &mut fwd);
-        inner.engine.all_to_one(&self.graph, node, &mut bwd);
-        inner.stats.pin_computes += 2;
-        inner.pinned.insert(node.0, PinnedEntry { refs: 1, fwd, bwd });
+        {
+            let mut engine = self.pin_engine.lock();
+            engine.one_to_all(&self.graph, node, &mut fwd);
+            engine.all_to_one(&self.graph, node, &mut bwd);
+        }
+        self.stats.pin_computes.fetch_add(2, Relaxed);
+        pinned.insert(node.0, PinnedEntry { refs: 1, fwd, bwd });
     }
 
     /// Releases one pin of `node`; vectors are freed when the count drops
     /// to zero. Unpinning an unpinned node is a no-op.
     pub fn unpin(&self, node: NodeId) {
-        let mut inner = self.inner.lock();
-        if let Some(e) = inner.pinned.get_mut(&node.0) {
+        let mut pinned = self.pinned.write();
+        if let Some(e) = pinned.get_mut(&node.0) {
             e.refs -= 1;
             if e.refs == 0 {
-                inner.pinned.remove(&node.0);
+                pinned.remove(&node.0);
             }
         }
     }
 
     /// Shortest-path cost from `a` to `b` in seconds, `None` if
     /// unreachable. O(1) when either endpoint is pinned; otherwise a
-    /// memoized bidirectional search.
+    /// memoized bidirectional search. All stored values are f32-quantized,
+    /// and the pinned lookup is bwd-first (see the module docs), so the
+    /// answer for a pair is canonical: independent of pin state, lookup
+    /// history, and thread interleaving.
     pub fn cost(&self, a: NodeId, b: NodeId) -> Option<f64> {
         if a == b {
             return Some(0.0);
         }
-        let mut inner = self.inner.lock();
-        if let Some(e) = inner.pinned.get(&a.0) {
-            let c = e.fwd[b.index()];
-            inner.stats.vector_hits += 1;
-            return c.is_finite().then_some(c as f64);
-        }
-        if let Some(e) = inner.pinned.get(&b.0) {
-            let c = e.bwd[a.index()];
-            inner.stats.vector_hits += 1;
-            return c.is_finite().then_some(c as f64);
+        {
+            let pinned = self.pinned.read();
+            if let Some(e) = pinned.get(&b.0) {
+                let c = e.bwd[a.index()];
+                self.stats.vector_hits.fetch_add(1, Relaxed);
+                return c.is_finite().then_some(c as f64);
+            }
+            if let Some(e) = pinned.get(&a.0) {
+                let c = e.fwd[b.index()];
+                self.stats.vector_hits.fetch_add(1, Relaxed);
+                return c.is_finite().then_some(c as f64);
+            }
         }
         let key = ((a.0 as u64) << 32) | b.0 as u64;
-        if let Some(&c) = inner.point_memo.get(&key) {
-            inner.stats.memo_hits += 1;
+        let mut shard = self.memo[a.0 as usize & (MEMO_SHARDS - 1)].lock();
+        if let Some(&c) = shard.memo.get(&key) {
+            self.stats.memo_hits.fetch_add(1, Relaxed);
             return c.is_finite().then_some(c as f64);
         }
-        inner.stats.searches += 1;
-        let c = inner.bidi.cost(&self.graph, a, b);
-        inner.point_memo.insert(key, c.map_or(f32::INFINITY, |c| c as f32));
+        self.stats.searches.fetch_add(1, Relaxed);
+        let c = shard.bidi.cost(&self.graph, a, b);
+        shard.memo.insert(key, c.map_or(f32::INFINITY, |c| c as f32));
         c
     }
 
     /// Snapshot of the query counters.
     pub fn stats(&self) -> OracleStats {
-        self.inner.lock().stats
+        OracleStats {
+            vector_hits: self.stats.vector_hits.load(Relaxed),
+            memo_hits: self.stats.memo_hits.load(Relaxed),
+            searches: self.stats.searches.load(Relaxed),
+            pin_computes: self.stats.pin_computes.load(Relaxed),
+        }
     }
 
     /// Number of currently pinned nodes.
     pub fn pinned_count(&self) -> usize {
-        self.inner.lock().pinned.len()
+        self.pinned.read().len()
     }
 
     /// Approximate resident memory in bytes (pinned vectors + memo).
     pub fn memory_bytes(&self) -> usize {
-        let inner = self.inner.lock();
-        inner.pinned.len() * (2 * self.graph.node_count() * 4 + 16)
-            + inner.point_memo.capacity() * 14
+        self.pinned.read().len() * (2 * self.graph.node_count() * 4 + 16)
+            + self.memo.iter().map(|s| s.lock().memo.capacity() * 14).sum::<usize>()
     }
 }
 
@@ -186,6 +228,20 @@ mod tests {
         let o2 = oracle();
         let want = o2.cost(NodeId(0), NodeId(399)).unwrap();
         assert!((got - want).abs() < 1e-2);
+    }
+
+    #[test]
+    fn pinning_extra_nodes_never_changes_an_answer() {
+        // The determinism contract of speculative dispatch: the batch path
+        // pins whole batches of endpoints up front, the sequential path
+        // pins one request at a time, and both must read identical costs.
+        let o = oracle();
+        o.pin(NodeId(399));
+        let canonical = o.cost(NodeId(17), NodeId(399));
+        o.pin(NodeId(17)); // source becomes pinned too: bwd-first must win
+        assert_eq!(o.cost(NodeId(17), NodeId(399)), canonical);
+        o.pin(NodeId(250)); // unrelated pin
+        assert_eq!(o.cost(NodeId(17), NodeId(399)), canonical);
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod trace;
 pub mod workload;
 
 pub use metrics::{Series, SimReport};
-pub use scenario::{build_context, materialize, Scenario, ScenarioConfig, ScenarioKind, SchemeKind};
+pub use scenario::{
+    build_context, materialize, Scenario, ScenarioConfig, ScenarioKind, SchemeKind,
+};
 pub use simulator::{SimConfig, Simulator};
 pub use trace::{parse_trace, snap_trace, SnappedTrace, TraceParse, TraceRecord};
 pub use workload::{

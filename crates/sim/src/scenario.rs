@@ -1,8 +1,8 @@
 //! Scenario presets mirroring Sec. V-A1 and request materialization.
 
 use crate::workload::{RawRequest, WorkloadConfig, WorkloadGenerator};
-use mtshare_core::{MobilityContext, MtShare, MtShareConfig, PartitionStrategy};
 use mtshare_baselines::{NoSharing, PGreedyDp, TShare};
+use mtshare_core::{MobilityContext, MtShare, MtShareConfig, PartitionStrategy};
 use mtshare_mobility::Trip;
 use mtshare_model::{DispatchScheme, RequestId, RequestStore, RideRequest, Taxi, TaxiId};
 use mtshare_road::{NodeId, RoadNetwork};

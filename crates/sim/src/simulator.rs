@@ -30,11 +30,25 @@ pub struct SimConfig {
     pub encounter_radius_m: f64,
     /// Payment-model parameters.
     pub payment: PaymentConfig,
+    /// Dispatch worker threads. `1` runs the sequential reference path;
+    /// `> 1` speculatively scores runs of consecutive online arrivals in
+    /// parallel and commits them in arrival order, which by construction
+    /// produces the same assignments as the sequential path (see
+    /// DESIGN.md, "Parallel batch dispatch").
+    pub parallelism: usize,
+    /// Upper bound on arrivals speculated per batch (bounds wasted work
+    /// when an early commit invalidates the rest of the window).
+    pub max_batch: usize,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { encounter_radius_m: 60.0, payment: PaymentConfig::default() }
+        Self {
+            encounter_radius_m: 60.0,
+            payment: PaymentConfig::default(),
+            parallelism: 1,
+            max_batch: 64,
+        }
     }
 }
 
@@ -112,7 +126,12 @@ pub struct Simulator {
 impl Simulator {
     /// Builds a simulator for a materialized scenario. `cache` should be
     /// the one the scenario was generated with so direct costs are warm.
-    pub fn new(graph: Arc<RoadNetwork>, cache: PathCache, scenario: &Scenario, cfg: SimConfig) -> Self {
+    pub fn new(
+        graph: Arc<RoadNetwork>,
+        cache: PathCache,
+        scenario: &Scenario,
+        cfg: SimConfig,
+    ) -> Self {
         let oracle = HotNodeOracle::new(graph.clone());
         let spatial = SpatialGrid::build(&graph, 250.0);
         let n_taxis = scenario.taxis.len();
@@ -183,6 +202,13 @@ impl Simulator {
                 let Reverse(q) = self.heap.pop().expect("peeked");
                 self.process_event(q, scheme);
             } else {
+                if self.cfg.parallelism > 1 {
+                    let batch = self.gather_batch(&order, next_arrival, t_ev);
+                    if batch.len() >= 2 {
+                        next_arrival += self.process_batch(&batch, scheme);
+                        continue;
+                    }
+                }
                 let id = order[next_arrival];
                 next_arrival += 1;
                 self.process_arrival(id, scheme);
@@ -190,6 +216,108 @@ impl Simulator {
         }
 
         self.finish(scheme, start.elapsed().as_secs_f64())
+    }
+
+    /// The maximal run of consecutive *online* arrivals starting at
+    /// `from` that the sequential loop would process before the earliest
+    /// queued event: the `t_ev <= t_req` tie rule above means an arrival
+    /// is only processed while its release strictly precedes `t_ev`. An
+    /// offline arrival ends the run (registering a watch is cheap and
+    /// mutates encounter state).
+    fn gather_batch(&self, order: &[RequestId], from: usize, t_ev: Time) -> Vec<RequestId> {
+        let mut batch = Vec::new();
+        for &id in order.iter().skip(from).take(self.cfg.max_batch.max(1)) {
+            let req = self.requests.get(id);
+            if req.offline || t_ev <= req.release_time {
+                break;
+            }
+            batch.push(id);
+        }
+        batch
+    }
+
+    /// Speculatively scores `ids` against the current world in parallel,
+    /// then commits the results sequentially in arrival order,
+    /// revalidating each (and re-dispatching on conflict) so the outcome
+    /// is identical to processing the arrivals one by one. Returns how
+    /// many arrivals were consumed: a commit can queue an event that
+    /// sequentially precedes a later arrival in the batch, at which point
+    /// the remainder is abandoned and replayed through the main loop.
+    fn process_batch(&mut self, ids: &[RequestId], scheme: &mut dyn DispatchScheme) -> usize {
+        let reqs: Vec<RideRequest> = ids.iter().map(|&id| self.requests.get(id).clone()).collect();
+        // Pin every batch endpoint up front (infrastructure, untimed — as
+        // in `try_dispatch`). The oracle's bwd-first canonical lookup
+        // guarantees the extra pins cannot change any cost the sequential
+        // path would read.
+        for r in &reqs {
+            self.oracle.pin(r.origin);
+            self.oracle.pin(r.destination);
+        }
+        let specs = {
+            let world = World {
+                graph: &self.graph,
+                cache: &self.cache,
+                oracle: &self.oracle,
+                taxis: &self.taxis,
+                requests: &self.requests,
+            };
+            scheme.dispatch_batch_speculative(&reqs, &world)
+        };
+        let Some(specs) = specs else {
+            // Scheme has no speculative path: hand the first arrival to
+            // the sequential route (which re-pins; pins are refcounted).
+            for r in &reqs {
+                self.oracle.unpin(r.origin);
+                self.oracle.unpin(r.destination);
+            }
+            self.process_arrival(ids[0], scheme);
+            return 1;
+        };
+
+        let mut consumed = 0usize;
+        for (k, req) in reqs.iter().enumerate() {
+            if k > 0 {
+                let t_ev = self.heap.peek().map(|Reverse(e)| e.time).unwrap_or(f64::INFINITY);
+                if t_ev <= req.release_time {
+                    // An earlier commit queued an event the sequential
+                    // loop would process before this arrival: abandon the
+                    // rest of the batch.
+                    for r in &reqs[k..] {
+                        self.oracle.unpin(r.origin);
+                        self.oracle.unpin(r.destination);
+                    }
+                    break;
+                }
+            }
+            consumed += 1;
+            let now = req.release_time;
+            let t0 = std::time::Instant::now();
+            let outcome = {
+                let world = World {
+                    graph: &self.graph,
+                    cache: &self.cache,
+                    oracle: &self.oracle,
+                    taxis: &self.taxis,
+                    requests: &self.requests,
+                };
+                if scheme.validate_speculative(req, now, &world, &specs[k]) {
+                    specs[k].outcome.clone()
+                } else {
+                    scheme.dispatch(req, now, &world)
+                }
+            };
+            self.response_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+            self.candidates.push(outcome.candidates_examined as f64);
+            match outcome.assignment {
+                Some(a) => self.commit(req, a, now, scheme),
+                None => {
+                    self.oracle.unpin(req.origin);
+                    self.oracle.unpin(req.destination);
+                    self.rejected += 1;
+                }
+            }
+        }
+        consumed
     }
 
     fn process_arrival(&mut self, id: RequestId, scheme: &mut dyn DispatchScheme) {
@@ -596,12 +724,7 @@ mod tests {
     fn mtshare_serves_more_than_no_sharing_in_peak() {
         let ns = run_kind(SchemeKind::NoSharing, ScenarioConfig::peak(12));
         let mt = run_kind(SchemeKind::MtShare, ScenarioConfig::peak(12));
-        assert!(
-            mt.served > ns.served,
-            "mT-Share {} vs No-Sharing {}",
-            mt.served,
-            ns.served
-        );
+        assert!(mt.served > ns.served, "mT-Share {} vs No-Sharing {}", mt.served, ns.served);
     }
 
     #[test]

@@ -111,7 +111,11 @@ pub struct SnappedTrace {
 }
 
 /// Snaps every record to the nearest road-network vertices.
-pub fn snap_trace(records: &[TraceRecord], graph: &RoadNetwork, grid: &SpatialGrid) -> SnappedTrace {
+pub fn snap_trace(
+    records: &[TraceRecord],
+    graph: &RoadNetwork,
+    grid: &SpatialGrid,
+) -> SnappedTrace {
     let mut trips = Vec::with_capacity(records.len());
     let mut dropped = 0;
     for (i, r) in records.iter().enumerate() {
@@ -139,11 +143,7 @@ impl SnappedTrace {
     /// Live requests relative to the earliest release in the window,
     /// with the given offline fraction assigned deterministically (every
     /// `k`-th request hails offline). Sorted by release time.
-    pub fn as_requests(
-        &self,
-        records: &[TraceRecord],
-        offline_fraction: f64,
-    ) -> Vec<RawRequest> {
+    pub fn as_requests(&self, records: &[TraceRecord], offline_fraction: f64) -> Vec<RawRequest> {
         if self.trips.is_empty() {
             return Vec::new();
         }
@@ -152,7 +152,8 @@ impl SnappedTrace {
             .iter()
             .map(|&(i, _, _)| records[i].release_unix_s)
             .fold(f64::INFINITY, f64::min);
-        let every = if offline_fraction > 0.0 { (1.0 / offline_fraction).round() as usize } else { 0 };
+        let every =
+            if offline_fraction > 0.0 { (1.0 / offline_fraction).round() as usize } else { 0 };
         let mut out: Vec<RawRequest> = self
             .trips
             .iter()

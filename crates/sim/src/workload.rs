@@ -116,9 +116,7 @@ impl WorkloadGenerator {
             center.lat + r * theta.sin() / meters_per_deg,
             center.lng + r * theta.cos() / (meters_per_deg * center.lat.to_radians().cos()),
         );
-        self.grid
-            .nearest_node(&self.graph, &p)
-            .expect("non-empty graph")
+        self.grid.nearest_node(&self.graph, &p).expect("non-empty graph")
     }
 
     fn sample_uniform(&mut self) -> NodeId {

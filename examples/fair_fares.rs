@@ -21,9 +21,21 @@ fn main() {
     // 24 minutes; on the shared route they experience 19, 16.3 and 27 min.
     let min = 60.0;
     let trips = [
-        PassengerTrip { request: RequestId(0), shared_cost_s: 19.0 * min, direct_cost_s: 16.0 * min },
-        PassengerTrip { request: RequestId(1), shared_cost_s: 16.3 * min, direct_cost_s: 16.0 * min },
-        PassengerTrip { request: RequestId(2), shared_cost_s: 27.0 * min, direct_cost_s: 24.0 * min },
+        PassengerTrip {
+            request: RequestId(0),
+            shared_cost_s: 19.0 * min,
+            direct_cost_s: 16.0 * min,
+        },
+        PassengerTrip {
+            request: RequestId(1),
+            shared_cost_s: 16.3 * min,
+            direct_cost_s: 16.0 * min,
+        },
+        PassengerTrip {
+            request: RequestId(2),
+            shared_cost_s: 27.0 * min,
+            direct_cost_s: 24.0 * min,
+        },
     ];
     // The shared route drives 38 minutes in total while occupied.
     let shared_route_cost = 38.0 * min;

@@ -34,7 +34,12 @@ fn main() {
         let r = sim.run(scheme.as_mut());
         println!(
             "{:<14} served {:>4} ({} online + {} offline)  response {:>6.2} ms  detour {:>5.2} min",
-            r.scheme, r.served, r.served_online, r.served_offline, r.avg_response_ms, r.avg_detour_min
+            r.scheme,
+            r.served,
+            r.served_online,
+            r.served_offline,
+            r.avg_response_ms,
+            r.avg_detour_min
         );
     }
     println!("probabilistic routing trades response time and detour for offline encounters");

@@ -30,13 +30,21 @@ fn main() {
         "scheme", "served", "resp ms", "detour min", "waiting min", "fare save %"
     );
     for kind in SchemeKind::PEAK_SET {
-        let mut scheme =
-            kind.build(&graph, scenario.taxis.len(), kind.needs_context().then(|| ctx.clone()), None);
+        let mut scheme = kind.build(
+            &graph,
+            scenario.taxis.len(),
+            kind.needs_context().then(|| ctx.clone()),
+            None,
+        );
         let sim = Simulator::new(graph.clone(), cache.clone(), &scenario, SimConfig::default());
         let r = sim.run(scheme.as_mut());
         println!(
             "{:<12} {:>7} {:>10.2} {:>11.2} {:>12.2} {:>11.1}",
-            r.scheme, r.served, r.avg_response_ms, r.avg_detour_min, r.avg_waiting_min,
+            r.scheme,
+            r.served,
+            r.avg_response_ms,
+            r.avg_detour_min,
+            r.avg_waiting_min,
             r.fare_saving_pct()
         );
     }

@@ -3,7 +3,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use mt_share::core::{MobilityContext, MtShare, MtShareConfig, PartitionStrategy};
-use mt_share::model::{DispatchScheme, RequestId, RequestStore, RideRequest, Taxi, TaxiId, TimedRoute, World};
+use mt_share::model::{
+    DispatchScheme, RequestId, RequestStore, RideRequest, Taxi, TaxiId, TimedRoute, World,
+};
 use mt_share::road::{grid_city, GridCityConfig, NodeId};
 use mt_share::routing::{HotNodeOracle, PathCache};
 use mt_share::sim::{WorkloadConfig, WorkloadGenerator};
@@ -29,8 +31,13 @@ fn main() {
     let mut requests = RequestStore::new();
     let mut scheme = MtShare::new(&graph, ctx, MtShareConfig::default(), taxis.len());
     {
-        let world =
-            World { graph: &graph, cache: &cache, oracle: &oracle, taxis: &taxis, requests: &requests };
+        let world = World {
+            graph: &graph,
+            cache: &cache,
+            oracle: &oracle,
+            taxis: &taxis,
+            requests: &requests,
+        };
         scheme.install(&world);
     }
 

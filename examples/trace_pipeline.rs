@@ -56,7 +56,11 @@ fn main() {
     let raw_requests = snapped.as_requests(&parsed.records, 0.2);
     let live: Vec<_> = raw_requests.into_iter().skip(half).collect();
     let requests = materialize(&live, &cache, 1.3);
-    println!("training on {} trips, dispatching {} live requests", historical.len(), requests.len());
+    println!(
+        "training on {} trips, dispatching {} live requests",
+        historical.len(),
+        requests.len()
+    );
 
     let ctx = build_context(&graph, &historical, 16, PartitionStrategy::Bipartite);
     let mut cfg = ScenarioConfig::peak(30);
@@ -65,8 +69,7 @@ fn main() {
     let scenario = Scenario { config: cfg, historical, requests, taxis };
 
     let mut scheme = SchemeKind::MtShare.build(&graph, scenario.taxis.len(), Some(ctx), None);
-    let report =
-        Simulator::new(graph, cache, &scenario, SimConfig::default()).run(scheme.as_mut());
+    let report = Simulator::new(graph, cache, &scenario, SimConfig::default()).run(scheme.as_mut());
     println!(
         "{}: served {}/{} ({} offline), detour {:.2} min, waiting {:.2} min",
         report.scheme,

@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple calibrated timing loop
+//! instead of criterion's statistical machinery. Each benchmark is warmed
+//! up, run until a target measurement time is filled, and reported as
+//! mean/median ns per iteration on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-batch setup output is sized in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+/// Identifier for a benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a displayable parameter.
+    pub fn new<P: Display>(function_id: &str, parameter: P) -> Self {
+        Self { id: format!("{function_id}/{parameter}") }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing-loop driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` back-to-back for the requested iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+        }
+    }
+}
+
+fn run_bench(name: &str, settings: &Settings, mut routine: impl FnMut(&mut Bencher)) {
+    // Calibrate: find an iteration count that fills a per-sample slice.
+    let mut iters = 1u64;
+    let warm_deadline = Instant::now() + settings.warm_up;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        routine(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+        if Instant::now() >= warm_deadline {
+            break per_iter;
+        }
+        iters = iters.saturating_mul(2).min(1 << 30);
+    };
+    let per_sample = settings.measurement / settings.sample_size as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        routine(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let median = samples_ns[samples_ns.len() / 2];
+    println!(
+        "bench {name:<48} mean {:>12}  median {:>12}  ({} samples x {iters} iters)",
+        fmt_ns(mean),
+        fmt_ns(median),
+        samples_ns.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, routine: R) -> &mut Self {
+        run_bench(name, &self.settings, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<I: Into<BenchmarkId>, R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id.id), &self.settings, routine);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, P: ?Sized, R: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id.id), &self.settings, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        c.settings.sample_size = 3;
+        c.settings.warm_up = Duration::from_millis(1);
+        c.settings.measurement = Duration::from_millis(3);
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn group_and_batched() {
+        let mut c = Criterion::default();
+        c.settings.sample_size = 2;
+        c.settings.warm_up = Duration::from_millis(1);
+        c.settings.measurement = Duration::from_millis(2);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function(BenchmarkId::new("sum", 8), |b| {
+            b.iter_batched(|| vec![1u64; 8], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.bench_with_input(BenchmarkId::new("len", 4), &vec![0u8; 4], |b, v| b.iter(|| v.len()));
+        g.finish();
+    }
+}

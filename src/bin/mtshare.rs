@@ -16,8 +16,8 @@ use mt_share::mobility::Trip;
 use mt_share::road::{grid_city, io as road_io, GridCityConfig, SpatialGrid};
 use mt_share::routing::PathCache;
 use mt_share::sim::{
-    build_context, parse_trace, snap_trace, stats, Scenario, ScenarioConfig, SchemeKind,
-    SimConfig, Simulator, WorkloadConfig, WorkloadGenerator,
+    build_context, parse_trace, snap_trace, stats, Scenario, ScenarioConfig, SchemeKind, SimConfig,
+    Simulator, WorkloadConfig, WorkloadGenerator,
 };
 use std::sync::Arc;
 
@@ -60,7 +60,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
+        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
     );
     std::process::exit(2)
 }
@@ -113,12 +113,22 @@ fn simulate(args: &Args) {
         }
     };
     let ctx = kind.needs_context().then(|| {
-        build_context(&graph, &scenario.historical, args.num("kappa", 24usize), PartitionStrategy::Bipartite)
+        build_context(
+            &graph,
+            &scenario.historical,
+            args.num("kappa", 24usize),
+            PartitionStrategy::Bipartite,
+        )
     });
-    let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, None);
-    let report = Simulator::new(graph, cache, &scenario, SimConfig::default()).run(scheme.as_mut());
+    let parallelism = args.num("parallelism", 1usize).max(1);
+    let mt_cfg = (parallelism > 1)
+        .then(|| mt_share::core::MtShareConfig::default().with_parallelism(parallelism));
+    let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, mt_cfg);
+    let sim_cfg = SimConfig { parallelism, ..SimConfig::default() };
+    let report = Simulator::new(graph, cache, &scenario, sim_cfg).run(scheme.as_mut());
 
     println!("scheme          {}", report.scheme);
+    println!("parallelism     {parallelism}");
     println!("taxis           {}", report.n_taxis);
     println!("requests        {} ({} offline)", report.n_requests, report.n_offline);
     println!(
@@ -129,7 +139,10 @@ fn simulate(args: &Args) {
         report.served_offline
     );
     println!("rejected        {}", report.rejected);
-    println!("response        {:.2} ms avg, {:.2} ms p95", report.avg_response_ms, report.p95_response_ms);
+    println!(
+        "response        {:.2} ms avg, {:.2} ms p95",
+        report.avg_response_ms, report.p95_response_ms
+    );
     println!("detour          {:.2} min avg", report.avg_detour_min);
     println!("waiting         {:.2} min avg", report.avg_waiting_min);
     println!("candidates      {:.1} avg", report.avg_candidates);
@@ -142,7 +155,8 @@ fn simulate(args: &Args) {
 fn partition(args: &Args) {
     let graph = city(args);
     let kappa = args.num("kappa", 24usize);
-    let strategy = if args.has("grid") { PartitionStrategy::Grid } else { PartitionStrategy::Bipartite };
+    let strategy =
+        if args.has("grid") { PartitionStrategy::Grid } else { PartitionStrategy::Bipartite };
     let mut gen = WorkloadGenerator::new(graph.clone(), WorkloadConfig::default());
     let historical: Vec<Trip> = gen.historical_trips(args.num("historical", 5000usize));
     let ctx = build_context(&graph, &historical, kappa, strategy);
@@ -172,12 +186,14 @@ fn stats_cmd(args: &Args) {
     let stream = gen.day_stream(&profile[..hours], 0.0);
     println!("hour  requests  utilization");
     let util = stats::hourly_utilization(&stream, &cache, taxis, hours);
-    for h in 0..hours {
+    for (h, u) in util.iter().enumerate().take(hours) {
         let count = stream
             .iter()
-            .filter(|r| r.release_time >= h as f64 * 3600.0 && r.release_time < (h + 1) as f64 * 3600.0)
+            .filter(|r| {
+                r.release_time >= h as f64 * 3600.0 && r.release_time < (h + 1) as f64 * 3600.0
+            })
             .count();
-        println!("{h:>4}  {count:>8}  {:>10.3}", util[h]);
+        println!("{h:>4}  {count:>8}  {u:>10.3}");
     }
     let q = stats::travel_time_distribution(&stream, &cache, &[0.1, 0.5, 0.9]);
     println!(

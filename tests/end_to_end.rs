@@ -28,11 +28,7 @@ fn audit(scenario: &Scenario, report: &SimReport) {
     assert_eq!(report.served + report.rejected, report.n_requests, "every request accounted for");
     for rec in &report.served_records {
         let req = &scenario.requests[rec.request as usize];
-        assert!(
-            rec.pickup_t >= req.release_time - 1e-6,
-            "{:?} picked up before release",
-            rec
-        );
+        assert!(rec.pickup_t >= req.release_time - 1e-6, "{:?} picked up before release", rec);
         assert!(rec.pickup_t <= rec.dropoff_t, "{rec:?} dropped before pickup");
         assert!(
             rec.dropoff_t <= req.deadline + 1e-3,

@@ -2,11 +2,9 @@
 //! fleets, zero-capacity taxis, and degenerate graphs must degrade
 //! gracefully — rejections, never panics or constraint violations.
 
-use mt_share::core::{MobilityContext, MtShare, MtShareConfig, PartitionStrategy};
-use mt_share::model::{
-    DispatchScheme, RequestId, RequestStore, RideRequest, Taxi, TaxiId, World,
-};
 use mt_share::baselines::{NoSharing, PGreedyDp, TShare};
+use mt_share::core::{MobilityContext, MtShare, MtShareConfig, PartitionStrategy};
+use mt_share::model::{DispatchScheme, RequestId, RequestStore, RideRequest, Taxi, TaxiId, World};
 use mt_share::road::{grid_city, EdgeSpec, GeoPoint, GridCityConfig, NodeId, RoadNetwork};
 use mt_share::routing::{HotNodeOracle, PathCache};
 use std::sync::Arc;

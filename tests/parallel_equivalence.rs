@@ -1,0 +1,125 @@
+//! Speculative parallel batch dispatch must be *observationally
+//! equivalent* to the sequential reference path: same assignments, same
+//! schedules, same metrics — for any worker count. These tests run the
+//! same scenarios at parallelism 1 (the sequential path, batching
+//! disabled), 2, and 8 and require the deterministic portion of the
+//! reports to match exactly, down to the per-request audit trail of
+//! (request, taxi, pickup time, dropoff time).
+//!
+//! Deliberately excluded from the comparison: wall-clock and response-time
+//! stats (timing is inherently nondeterministic) and cache/index memory
+//! (the speculative path warms shards in a different pattern). Everything
+//! the paper's evaluation reports as *outcomes* must be bit-identical.
+
+use mt_share::core::{MtShareConfig, PartitionStrategy};
+use mt_share::road::{grid_city, GridCityConfig};
+use mt_share::routing::PathCache;
+use mt_share::sim::{
+    build_context, Scenario, ScenarioConfig, SchemeKind, SimConfig, SimReport, Simulator,
+};
+use std::sync::Arc;
+
+fn run_at(kind: SchemeKind, scenario_cfg: &ScenarioConfig, parallelism: usize) -> SimReport {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let scenario = Scenario::generate(graph.clone(), &cache, scenario_cfg.clone());
+    let ctx = kind
+        .needs_context()
+        .then(|| build_context(&graph, &scenario.historical, 12, PartitionStrategy::Bipartite));
+    let mt_cfg = MtShareConfig::default().with_parallelism(parallelism);
+    let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, Some(mt_cfg));
+    let sim_cfg = SimConfig { parallelism, ..SimConfig::default() };
+    Simulator::new(graph, cache, &scenario, sim_cfg).run(scheme.as_mut())
+}
+
+/// Asserts the deterministic portion of two reports is identical. All
+/// comparisons are exact (`==` on f64): the claim is bit-equality, not
+/// approximate agreement.
+fn assert_equivalent(seq: &SimReport, par: &SimReport, label: &str) {
+    assert_eq!(seq.served, par.served, "{label}: served");
+    assert_eq!(seq.served_online, par.served_online, "{label}: served_online");
+    assert_eq!(seq.served_offline, par.served_offline, "{label}: served_offline");
+    assert_eq!(seq.rejected, par.rejected, "{label}: rejected");
+    assert_eq!(seq.avg_detour_min, par.avg_detour_min, "{label}: avg_detour_min");
+    assert_eq!(seq.avg_waiting_min, par.avg_waiting_min, "{label}: avg_waiting_min");
+    assert_eq!(seq.avg_candidates, par.avg_candidates, "{label}: avg_candidates");
+    assert_eq!(
+        seq.total_passenger_fares, par.total_passenger_fares,
+        "{label}: total_passenger_fares"
+    );
+    assert_eq!(seq.total_solo_fares, par.total_solo_fares, "{label}: total_solo_fares");
+    assert_eq!(seq.total_driver_income, par.total_driver_income, "{label}: total_driver_income");
+    assert_eq!(seq.total_benefit, par.total_benefit, "{label}: total_benefit");
+    // The audit trail pins down *which* taxi served *which* request and
+    // exactly when — the byte-identical assignment sequence.
+    assert_eq!(
+        seq.served_records.len(),
+        par.served_records.len(),
+        "{label}: served_records length"
+    );
+    for (s, p) in seq.served_records.iter().zip(&par.served_records) {
+        assert_eq!(s.request, p.request, "{label}: record request id");
+        assert_eq!(s.taxi, p.taxi, "{label}: taxi for request {}", s.request);
+        assert_eq!(s.pickup_t, p.pickup_t, "{label}: pickup_t for request {}", s.request);
+        assert_eq!(s.dropoff_t, p.dropoff_t, "{label}: dropoff_t for request {}", s.request);
+    }
+}
+
+#[test]
+fn mtshare_peak_is_thread_count_invariant() {
+    let cfg = ScenarioConfig::peak(12);
+    let seq = run_at(SchemeKind::MtShare, &cfg, 1);
+    assert!(seq.served > 0, "scenario must exercise the dispatcher: {seq:?}");
+    for threads in [2, 8] {
+        let par = run_at(SchemeKind::MtShare, &cfg, threads);
+        assert_equivalent(&seq, &par, &format!("mT-Share peak @{threads}"));
+    }
+}
+
+#[test]
+fn mtshare_nonpeak_with_offline_requests_is_thread_count_invariant() {
+    // Non-peak mixes offline (encounter-driven, always sequential)
+    // arrivals between the batched online runs — the batch boundary and
+    // abort logic both get exercised.
+    let cfg = ScenarioConfig::nonpeak(16);
+    let seq = run_at(SchemeKind::MtShare, &cfg, 1);
+    assert!(seq.n_offline > 0, "scenario must contain offline requests");
+    for threads in [2, 8] {
+        let par = run_at(SchemeKind::MtShare, &cfg, threads);
+        assert_equivalent(&seq, &par, &format!("mT-Share nonpeak @{threads}"));
+    }
+}
+
+#[test]
+fn mtshare_pro_probabilistic_routing_is_thread_count_invariant() {
+    // Probabilistic routing takes the weighted-search leg path — it must
+    // be just as deterministic under speculation.
+    let cfg = ScenarioConfig::nonpeak(16);
+    let seq = run_at(SchemeKind::MtSharePro, &cfg, 1);
+    assert!(seq.served > 0, "{seq:?}");
+    for threads in [2, 8] {
+        let par = run_at(SchemeKind::MtSharePro, &cfg, threads);
+        assert_equivalent(&seq, &par, &format!("mT-Share_pro nonpeak @{threads}"));
+    }
+}
+
+#[test]
+fn schemes_without_a_speculative_path_fall_back_cleanly() {
+    // Baselines don't implement dispatch_batch_speculative; a parallel
+    // SimConfig must degrade to sequential dispatch with unchanged
+    // results, not crash or double-count.
+    let cfg = ScenarioConfig::peak(10);
+    let seq = run_at(SchemeKind::TShare, &cfg, 1);
+    let par = run_at(SchemeKind::TShare, &cfg, 8);
+    assert_equivalent(&seq, &par, "T-Share fallback @8");
+}
+
+#[test]
+fn parallel_run_repeats_identically() {
+    // Same thread count twice: guards against racy nondeterminism that a
+    // single seq-vs-par comparison could miss by luck.
+    let cfg = ScenarioConfig::peak(12);
+    let a = run_at(SchemeKind::MtShare, &cfg, 8);
+    let b = run_at(SchemeKind::MtShare, &cfg, 8);
+    assert_equivalent(&a, &b, "mT-Share peak @8 repeat");
+}

@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 fn city(seed: u64) -> Arc<RoadNetwork> {
     Arc::new(
-        grid_city(&GridCityConfig { rows: 12, cols: 12, seed, ..GridCityConfig::default() }).unwrap(),
+        grid_city(&GridCityConfig { rows: 12, cols: 12, seed, ..GridCityConfig::default() })
+            .unwrap(),
     )
 }
 

@@ -34,7 +34,11 @@ fn run_random(
         duration_s: 1200.0,
         offline_fraction,
         n_historical: 400,
-        workload: WorkloadConfig { seed: seed.wrapping_mul(31), min_trip_m: 400.0, ..Default::default() },
+        workload: WorkloadConfig {
+            seed: seed.wrapping_mul(31),
+            min_trip_m: 400.0,
+            ..Default::default()
+        },
         seed,
     };
     let scenario = Scenario::generate(graph.clone(), &cache, cfg);
