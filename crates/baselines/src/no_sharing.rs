@@ -93,6 +93,7 @@ impl DispatchScheme for NoSharing {
                     detour_cost_s: eval.total_cost_s,
                 }),
                 candidates_examined: examined,
+                feasible_instances: 1,
             };
         }
         DispatchOutcome::rejected(examined)

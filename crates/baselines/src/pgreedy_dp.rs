@@ -89,6 +89,7 @@ impl DispatchScheme for PGreedyDp {
                 detour_cost_s: total - remaining_cost(taxi, now),
             }),
             candidates_examined: examined,
+            feasible_instances: 1,
         }
     }
 

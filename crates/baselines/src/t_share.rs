@@ -126,6 +126,7 @@ impl DispatchScheme for TShare {
                             detour_cost_s: eval.total_cost_s - remaining_cost(taxi, now),
                         }),
                         candidates_examined: examined,
+                        feasible_instances: 1,
                     };
                 }
             }

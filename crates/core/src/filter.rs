@@ -11,6 +11,7 @@
 
 use crate::context::MobilityContext;
 use mtshare_mobility::PartitionId;
+use mtshare_obs::{Obs, Stage};
 use mtshare_road::{direction_cosine, NodeId, RoadNetwork};
 
 /// Output of one partition-filter invocation.
@@ -20,6 +21,25 @@ pub struct FilteredPartitions {
     pub partitions: Vec<PartitionId>,
     /// Landmark-estimated leg cost `cost(ℓ_z, ℓ_{z+1})`, seconds.
     pub landmark_cost_s: f64,
+}
+
+/// [`filter_partitions`] with telemetry: times the filter as a
+/// [`Stage::PartitionFilter`] span and records how many of the κ
+/// partitions survived the prune. Safe to call from batch workers (the
+/// counters are sharded).
+pub fn filter_partitions_observed(
+    graph: &RoadNetwork,
+    ctx: &MobilityContext,
+    from: NodeId,
+    to: NodeId,
+    lambda: f64,
+    epsilon: f64,
+    obs: &Obs,
+) -> FilteredPartitions {
+    let _span = obs.stage(Stage::PartitionFilter);
+    let out = filter_partitions(graph, ctx, from, to, lambda, epsilon);
+    obs.add_filter_stats(ctx.kappa() as u64, out.partitions.len() as u64);
+    out
 }
 
 /// Runs Algorithm 2 for the leg `from → to`.

@@ -26,7 +26,7 @@ pub mod scheme;
 pub use candidates::candidate_taxis;
 pub use config::MtShareConfig;
 pub use context::{MobilityContext, PartitionStrategy};
-pub use filter::{filter_partitions, FilteredPartitions};
+pub use filter::{filter_partitions, filter_partitions_observed, FilteredPartitions};
 pub use index::{MobilityClusterIndex, PartitionTaxiIndex};
 pub use payment::{settle_episode, PassengerTrip, PaymentConfig, Settlement};
 pub use prob_wrapper::WithProbabilisticRouting;

@@ -132,6 +132,11 @@ impl<S: DispatchScheme> DispatchScheme for WithProbabilisticRouting<S> {
         self.inner.install(world);
     }
 
+    fn set_obs(&mut self, obs: mtshare_obs::Obs) {
+        self.router.set_obs(obs.clone());
+        self.inner.set_obs(obs);
+    }
+
     fn dispatch(&mut self, req: &RideRequest, now: Time, world: &World<'_>) -> DispatchOutcome {
         let mut out = self.inner.dispatch(req, now, world);
         if let Some(a) = out.assignment.take() {
@@ -211,6 +216,7 @@ mod tests {
                     detour_cost_s: total,
                 }),
                 candidates_examined: 1,
+                feasible_instances: 1,
             }
         }
     }

@@ -9,8 +9,9 @@
 
 use crate::config::MtShareConfig;
 use crate::context::MobilityContext;
-use crate::filter::filter_partitions;
+use crate::filter::filter_partitions_observed;
 use mtshare_mobility::PartitionId;
+use mtshare_obs::{Obs, Stage};
 use mtshare_road::{direction_cosine, NodeId, RoadNetwork};
 use mtshare_routing::{MaskedDijkstra, NodeMask, Path, PathCache};
 
@@ -33,21 +34,33 @@ pub struct SegmentRouter {
     masked: MaskedDijkstra,
     mask: NodeMask,
     stats: RouterStats,
+    obs: Obs,
     /// Scratch: per-partition suitability flags for Alg. 4 step ①.
     dest_flags: Vec<bool>,
     weights: Vec<f32>,
 }
 
 impl SegmentRouter {
-    /// Creates a router for `graph`.
+    /// Creates a router for `graph` with telemetry disabled.
     pub fn new(graph: &RoadNetwork) -> Self {
         Self {
             masked: MaskedDijkstra::new(graph),
             mask: NodeMask::new(graph),
             stats: RouterStats::default(),
+            obs: Obs::disabled(),
             dest_flags: Vec::new(),
             weights: vec![0.0; graph.node_count()],
         }
+    }
+
+    /// Attaches a telemetry bus (stage spans + filter counters).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The telemetry bus in use (disabled handle by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Counter snapshot.
@@ -93,10 +106,26 @@ impl SegmentRouter {
         from: NodeId,
         to: NodeId,
     ) -> Option<Path> {
+        let _span = self.obs.stage(Stage::Routing);
+        self.basic_leg_inner(graph, ctx, cfg, cache, from, to)
+    }
+
+    /// [`SegmentRouter::basic_leg`] without the stage span, so the
+    /// probabilistic fallback path does not double-count routing time.
+    fn basic_leg_inner(
+        &mut self,
+        graph: &RoadNetwork,
+        ctx: &MobilityContext,
+        cfg: &MtShareConfig,
+        cache: &PathCache,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<Path> {
         if from == to {
             return Some(Path::trivial(from));
         }
-        let filtered = filter_partitions(graph, ctx, from, to, cfg.lambda, cfg.epsilon);
+        let filtered =
+            filter_partitions_observed(graph, ctx, from, to, cfg.lambda, cfg.epsilon, &self.obs);
         self.allow_partitions(ctx, &filtered.partitions);
         let sub = self.masked.path_masked(graph, from, to, &self.mask, None);
         let exact_cost = cache.cost(from, to)?;
@@ -140,7 +169,9 @@ impl SegmentRouter {
         if from == to {
             return Some(Path::trivial(from));
         }
-        let filtered = filter_partitions(graph, ctx, from, to, cfg.lambda, cfg.epsilon);
+        let _span = self.obs.stage(Stage::Routing);
+        let filtered =
+            filter_partitions_observed(graph, ctx, from, to, cfg.lambda, cfg.epsilon, &self.obs);
 
         // ① probability of meeting suitable requests per retained partition.
         let kappa = ctx.kappa();
@@ -216,7 +247,7 @@ impl SegmentRouter {
         }
         // No valid probabilistic route: fall back to the basic leg.
         self.stats.prob_fallbacks += 1;
-        self.basic_leg(graph, ctx, cfg, cache, from, to)
+        self.basic_leg_inner(graph, ctx, cfg, cache, from, to)
     }
 }
 
@@ -302,6 +333,7 @@ fn enumerate_partition_paths(
 mod tests {
     use super::*;
     use crate::context::PartitionStrategy;
+    use crate::filter::filter_partitions;
     use mtshare_mobility::Trip;
     use mtshare_road::{grid_city, GridCityConfig};
     use rand::{rngs::SmallRng, Rng, SeedableRng};

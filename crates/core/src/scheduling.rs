@@ -38,7 +38,8 @@ pub fn probabilistic_enabled(taxi: &Taxi, cfg: &MtShareConfig, world: &World<'_>
 
 /// Runs Algorithm 1: finds the candidate taxi and schedule instance with
 /// the minimum detour cost that can serve `req`, returning the committed
-/// assignment (or `None`) plus the number of candidates examined.
+/// assignment (or `None`), the number of candidates examined, and the
+/// number of deadline-feasible schedule instances found.
 pub fn schedule_best(
     req: &RideRequest,
     candidates: &[TaxiId],
@@ -47,20 +48,26 @@ pub fn schedule_best(
     ctx: &MobilityContext,
     cfg: &MtShareConfig,
     router: &mut SegmentRouter,
-) -> (Option<Assignment>, usize) {
+) -> (Option<Assignment>, usize, usize) {
     // Per candidate, the optimal schedule instance via the O(m²) slack DP
     // (identical result to brute-force enumeration; property-tested).
     let mut instances: Vec<Instance> = Vec::with_capacity(candidates.len());
-    for &taxi_id in candidates {
-        let taxi = world.taxi(taxi_id);
-        if let Some(ins) = best_insertion(taxi, req, now, world, |a, b| world.oracle.cost(a, b)) {
-            instances.push(Instance {
-                taxi: taxi_id,
-                schedule: taxi.schedule.with_insertion(req, ins.i, ins.j),
-                detour_s: ins.delta_s,
-            });
+    {
+        let _span = router.obs().stage(mtshare_obs::Stage::InsertionDp);
+        for &taxi_id in candidates {
+            let taxi = world.taxi(taxi_id);
+            if let Some(ins) = best_insertion(taxi, req, now, world, |a, b| world.oracle.cost(a, b))
+            {
+                instances.push(Instance {
+                    taxi: taxi_id,
+                    schedule: taxi.schedule.with_insertion(req, ins.i, ins.j),
+                    detour_s: ins.delta_s,
+                });
+            }
         }
+        router.obs().add_insertions(candidates.len() as u64, instances.len() as u64);
     }
+    let feasible = instances.len();
 
     // Rank by (detour, taxi id) — the same total order as
     // `mtshare_model::assignment_cmp`. The explicit taxi-id tie-break
@@ -71,10 +78,10 @@ pub fn schedule_best(
 
     for inst in instances.into_iter().take(MATERIALIZE_TRIES) {
         if let Some(assignment) = materialize(req, &inst, now, world, ctx, cfg, router) {
-            return (Some(assignment), candidates.len());
+            return (Some(assignment), candidates.len(), feasible);
         }
     }
-    (None, candidates.len())
+    (None, candidates.len(), feasible)
 }
 
 /// Routes every leg of the instance (Algorithms 3/4) and re-verifies the
@@ -290,10 +297,11 @@ mod tests {
         f.taxis.push(Taxi::new(TaxiId(0), 4, NodeId(0)));
         let req = f.request(21, 399, 0.0, 1.5);
         let mut router = SegmentRouter::new(&f.graph);
-        let (a, examined) =
+        let (a, examined, feasible) =
             schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
         let a = a.expect("assignment");
         assert_eq!(examined, 1);
+        assert_eq!(feasible, 1);
         assert_eq!(a.taxi, TaxiId(0));
         assert_eq!(a.schedule.len(), 2);
         assert_eq!(a.legs.len(), 2);
@@ -313,7 +321,7 @@ mod tests {
         f.taxis.push(Taxi::new(TaxiId(1), 4, NodeId(22))); // near
         let req = f.request(21, 200, 0.0, 10.0);
         let mut router = SegmentRouter::new(&f.graph);
-        let (a, examined) = schedule_best(
+        let (a, examined, _) = schedule_best(
             &req,
             &[TaxiId(0), TaxiId(1)],
             0.0,
@@ -346,7 +354,7 @@ mod tests {
         // A new request that would force a big detour north first.
         let req = f.request(380, 399, 0.0, 1.5);
         let mut router = SegmentRouter::new(&f.graph);
-        let (a, _) =
+        let (a, _, _) =
             schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
         // Any feasible instance must drop the onboard passenger first; if
         // an assignment exists, verify its ordering.
@@ -363,10 +371,11 @@ mod tests {
         // must first drive across the city.
         let req = f.request(0, 19, 0.0, 1.01);
         let mut router = SegmentRouter::new(&f.graph);
-        let (a, examined) =
+        let (a, examined, feasible) =
             schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
         assert!(a.is_none());
         assert_eq!(examined, 1);
+        assert_eq!(feasible, 0, "no instance can meet the deadline");
     }
 
     #[test]
@@ -376,7 +385,7 @@ mod tests {
         // First request: SW corner to NE corner.
         let r1 = f.request(0, 399, 0.0, 1.5);
         let mut router = SegmentRouter::new(&f.graph);
-        let (a1, _) =
+        let (a1, _, _) =
             schedule_best(&r1, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
         let a1 = a1.unwrap();
         // Commit the plan.
@@ -385,7 +394,7 @@ mod tests {
         f.taxis[0].set_plan(a1.schedule, route, 0.0);
         // Second aligned request along the way.
         let r2 = f.request(42, 378, 10.0, 1.5);
-        let (a2, _) =
+        let (a2, _, _) =
             schedule_best(&r2, &[TaxiId(0)], 10.0, &f.world(), &f.ctx, &f.cfg, &mut router);
         let a2 = a2.expect("aligned request should share");
         assert_eq!(a2.schedule.len(), 4);

@@ -9,8 +9,16 @@ use crate::scheduling::schedule_best;
 use mtshare_model::{
     DispatchOutcome, DispatchScheme, RideRequest, SpeculativeOutcome, Taxi, TaxiId, Time, World,
 };
+use mtshare_obs::{Obs, Stage};
 use mtshare_par::par_map_with;
 use mtshare_road::RoadNetwork;
+
+/// One speculative batch worker: a private router plus the number of
+/// requests this worker scored (reported as per-worker utilization).
+struct SpecWorker {
+    router: SegmentRouter,
+    items: u64,
+}
 
 /// The mT-Share system (Sec. IV). Construct with a prebuilt
 /// [`MobilityContext`] (partitions + landmarks + transition statistics) so
@@ -24,7 +32,8 @@ pub struct MtShare {
     /// Per-worker routers for speculative batch scoring, grown lazily to
     /// `cfg.parallelism`; their counters are folded into `router` after
     /// every batch.
-    spec_routers: Vec<SegmentRouter>,
+    spec_workers: Vec<SpecWorker>,
+    obs: Obs,
     name: &'static str,
 }
 
@@ -41,7 +50,8 @@ impl MtShare {
             pindex: PartitionTaxiIndex::new(ctx.kappa(), n_taxis),
             mindex: MobilityClusterIndex::new(cfg.lambda, n_taxis),
             router: SegmentRouter::new(graph),
-            spec_routers: Vec::new(),
+            spec_workers: Vec::new(),
+            obs: Obs::disabled(),
             cfg,
             ctx,
             name,
@@ -80,13 +90,19 @@ impl MtShare {
         router: &mut SegmentRouter,
     ) -> SpeculativeOutcome {
         let now = req.release_time;
-        let candidates =
-            candidate_taxis(req, now, world, &self.ctx, &self.cfg, &self.pindex, &self.mindex);
+        let candidates = {
+            let _span = self.obs.stage(Stage::CandidateSearch);
+            candidate_taxis(req, now, world, &self.ctx, &self.cfg, &self.pindex, &self.mindex)
+        };
         let candidate_versions = candidates.iter().map(|&t| world.taxi(t).route_version).collect();
-        let (assignment, examined) =
+        let (assignment, examined, feasible) =
             schedule_best(req, &candidates, now, world, &self.ctx, &self.cfg, router);
         SpeculativeOutcome {
-            outcome: DispatchOutcome { assignment, candidates_examined: examined },
+            outcome: DispatchOutcome {
+                assignment,
+                candidates_examined: examined,
+                feasible_instances: feasible,
+            },
             candidates,
             candidate_versions,
         }
@@ -104,12 +120,22 @@ impl DispatchScheme for MtShare {
         }
     }
 
+    fn set_obs(&mut self, obs: Obs) {
+        self.router.set_obs(obs.clone());
+        for w in &mut self.spec_workers {
+            w.router.set_obs(obs.clone());
+        }
+        self.obs = obs;
+    }
+
     fn dispatch(&mut self, req: &RideRequest, now: Time, world: &World<'_>) -> DispatchOutcome {
-        let candidates =
-            candidate_taxis(req, now, world, &self.ctx, &self.cfg, &self.pindex, &self.mindex);
-        let (assignment, examined) =
+        let candidates = {
+            let _span = self.obs.stage(Stage::CandidateSearch);
+            candidate_taxis(req, now, world, &self.ctx, &self.cfg, &self.pindex, &self.mindex)
+        };
+        let (assignment, examined, feasible) =
             schedule_best(req, &candidates, now, world, &self.ctx, &self.cfg, &mut self.router);
-        DispatchOutcome { assignment, candidates_examined: examined }
+        DispatchOutcome { assignment, candidates_examined: examined, feasible_instances: feasible }
     }
 
     fn dispatch_offline(
@@ -122,7 +148,7 @@ impl DispatchScheme for MtShare {
         // Per Sec. IV-C2: the encountering taxi is examined first; only if
         // it cannot validly serve the request does the server dispatch
         // another taxi.
-        let (direct, _) = schedule_best(
+        let (direct, _, feasible) = schedule_best(
             req,
             &[encountered_by],
             now,
@@ -132,7 +158,11 @@ impl DispatchScheme for MtShare {
             &mut self.router,
         );
         if let Some(a) = direct {
-            return DispatchOutcome { assignment: Some(a), candidates_examined: 1 };
+            return DispatchOutcome {
+                assignment: Some(a),
+                candidates_examined: 1,
+                feasible_instances: feasible,
+            };
         }
         let mut out = self.dispatch(req, now, world);
         out.candidates_examined += 1;
@@ -161,23 +191,28 @@ impl DispatchScheme for MtShare {
         world: &World<'_>,
     ) -> Option<Vec<SpeculativeOutcome>> {
         let workers = self.cfg.parallelism.max(1).min(reqs.len().max(1));
-        while self.spec_routers.len() < workers {
-            self.spec_routers.push(SegmentRouter::new(world.graph));
+        while self.spec_workers.len() < workers {
+            let mut router = SegmentRouter::new(world.graph);
+            router.set_obs(self.obs.clone());
+            self.spec_workers.push(SpecWorker { router, items: 0 });
         }
         // Move the worker pool out so the workers can share `&self`
         // read-only while each mutates its own router.
-        let mut pool = std::mem::take(&mut self.spec_routers);
+        let mut pool = std::mem::take(&mut self.spec_workers);
         let outs = {
             let this = &*self;
-            par_map_with(&mut pool[..workers], reqs.len(), |i, router| {
-                this.speculate_one(&reqs[i], world, router)
+            par_map_with(&mut pool[..workers], reqs.len(), |i, w| {
+                w.items += 1;
+                this.speculate_one(&reqs[i], world, &mut w.router)
             })
         };
-        for r in &mut pool {
-            let s = r.take_stats();
+        self.obs.record_batch(reqs.len() as u64);
+        for (idx, w) in pool.iter_mut().enumerate() {
+            let s = w.router.take_stats();
             self.router.absorb_stats(s);
+            self.obs.record_worker_items(idx, std::mem::take(&mut w.items));
         }
-        self.spec_routers = pool;
+        self.spec_workers = pool;
         Some(outs)
     }
 

@@ -11,6 +11,7 @@ use crate::request::{RequestStore, RideRequest};
 use crate::schedule::Schedule;
 use crate::taxi::{Taxi, TaxiId};
 use crate::Time;
+use mtshare_obs::Obs;
 use mtshare_road::RoadNetwork;
 use mtshare_routing::{HotNodeOracle, Path, PathCache};
 use std::sync::Arc;
@@ -61,12 +62,17 @@ pub struct DispatchOutcome {
     pub assignment: Option<Assignment>,
     /// Number of candidate taxis whose schedules were examined.
     pub candidates_examined: usize,
+    /// Number of insertion instances that satisfied every constraint
+    /// (deadline-feasible positions across all candidates). Purely
+    /// informational telemetry; deterministic for a given request and
+    /// world snapshot.
+    pub feasible_instances: usize,
 }
 
 impl DispatchOutcome {
     /// A failed dispatch that examined `candidates_examined` taxis.
     pub fn rejected(candidates_examined: usize) -> Self {
-        Self { assignment: None, candidates_examined }
+        Self { assignment: None, candidates_examined, feasible_instances: 0 }
     }
 }
 
@@ -102,6 +108,11 @@ pub trait DispatchScheme {
     /// Called once before the scenario starts so the scheme can index the
     /// initial fleet.
     fn install(&mut self, world: &World<'_>);
+
+    /// Hands the scheme a telemetry bus. Schemes that instrument their
+    /// pipeline (stage spans, filter/insertion counters) keep the handle;
+    /// the default ignores it. Called by the simulator before `install`.
+    fn set_obs(&mut self, _obs: Obs) {}
 
     /// Matches an online request released at `now`.
     fn dispatch(&mut self, req: &RideRequest, now: Time, world: &World<'_>) -> DispatchOutcome;
@@ -177,6 +188,9 @@ impl DispatchScheme for Box<dyn DispatchScheme> {
     }
     fn install(&mut self, world: &World<'_>) {
         self.as_mut().install(world);
+    }
+    fn set_obs(&mut self, obs: Obs) {
+        self.as_mut().set_obs(obs);
     }
     fn dispatch(&mut self, req: &RideRequest, now: Time, world: &World<'_>) -> DispatchOutcome {
         self.as_mut().dispatch(req, now, world)

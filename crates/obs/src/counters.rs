@@ -1,0 +1,102 @@
+//! Lock-free sharded counters.
+//!
+//! Dispatch workers (`mtshare-par` threads) bump these from inside the
+//! speculative scoring hot path; a single contended cache line would
+//! serialize them, so each counter is an array of cache-line-padded
+//! shards and every thread hashes its `ThreadId` to pick one. Reads sum
+//! all shards — they are rare (end of run / tests) and may race with
+//! writers, which is fine for telemetry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SHARDS: usize = 16;
+
+/// One cache line per shard so concurrent writers never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Pad(AtomicU64);
+
+/// A monotonically increasing counter safe to bump from any thread
+/// without locking.
+#[derive(Default)]
+pub struct ShardedCounter {
+    shards: [Pad; SHARDS],
+}
+
+impl ShardedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to this thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sums all shards. Monotone but not a linearizable snapshot.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for ShardedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardedCounter({})", self.get())
+    }
+}
+
+/// Hashes the current thread's id into a shard slot, cached per thread
+/// so the hash is computed once.
+#[inline]
+fn shard_index() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SLOT.with(|slot| {
+        let mut idx = slot.get();
+        if idx == usize::MAX {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::hash::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            idx = (h.finish() as usize) % SHARDS;
+            slot.set(idx);
+        }
+        idx
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn adds_accumulate() {
+        let c = ShardedCounter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn concurrent_adds_are_not_lost() {
+        let c = Arc::new(ShardedCounter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.add(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -1,0 +1,281 @@
+//! Typed dispatch-lifecycle events and their JSONL encoding.
+//!
+//! Determinism contract: every event is stamped with *simulation* time
+//! and emitted from the sequential commit side of the simulator, in
+//! request-commit order. The encoded stream is therefore byte-identical
+//! at any `--parallelism`. Wall-clock never appears here — it lives
+//! only in the summary's strippable `profiling` subtree.
+
+use crate::json::fmt_f64;
+use std::fmt::Write as _;
+
+/// Why a request could not be served. The order of variants is the
+/// classification order: the first failing precondition names the
+/// reason (a request with an unreachable OD *and* an empty fleet is
+/// `EmptyFleet`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// No taxis exist at all.
+    EmptyFleet,
+    /// No path between origin and destination on the road graph.
+    UnreachableOd,
+    /// The deadline does not even cover the direct drive.
+    InfeasibleDeadline,
+    /// No taxi has capacity for the requested party size.
+    ZeroCapacity,
+    /// Capacity and reachability were fine, but no schedule insertion
+    /// satisfied every rider's deadline.
+    NoFeasibleInsertion,
+    /// An offline (encounter-based) request expired before any taxi
+    /// passed close enough.
+    OfflineExpired,
+}
+
+impl RejectReason {
+    /// All variants in stable (serialization) order.
+    pub const ALL: [RejectReason; 6] = [
+        RejectReason::EmptyFleet,
+        RejectReason::UnreachableOd,
+        RejectReason::InfeasibleDeadline,
+        RejectReason::ZeroCapacity,
+        RejectReason::NoFeasibleInsertion,
+        RejectReason::OfflineExpired,
+    ];
+
+    /// The snake_case label used in JSONL events and the summary.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::EmptyFleet => "empty_fleet",
+            RejectReason::UnreachableOd => "unreachable_od",
+            RejectReason::InfeasibleDeadline => "infeasible_deadline",
+            RejectReason::ZeroCapacity => "zero_capacity",
+            RejectReason::NoFeasibleInsertion => "no_feasible_insertion",
+            RejectReason::OfflineExpired => "offline_expired",
+        }
+    }
+
+    /// Index into [`RejectReason::ALL`] (and the counter array).
+    pub fn index(self) -> usize {
+        match self {
+            RejectReason::EmptyFleet => 0,
+            RejectReason::UnreachableOd => 1,
+            RejectReason::InfeasibleDeadline => 2,
+            RejectReason::ZeroCapacity => 3,
+            RejectReason::NoFeasibleInsertion => 4,
+            RejectReason::OfflineExpired => 5,
+        }
+    }
+
+    /// Inverse of [`RejectReason::label`].
+    pub fn from_label(s: &str) -> Option<RejectReason> {
+        RejectReason::ALL.iter().copied().find(|r| r.label() == s)
+    }
+}
+
+/// One dispatch-lifecycle event. `t` is always simulation time in
+/// seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A request entered the system.
+    Arrival {
+        /// Simulation time (s).
+        t: f64,
+        /// Request id.
+        req: u32,
+        /// Whether this is an offline (encounter-based) request.
+        offline: bool,
+    },
+    /// The dispatcher evaluated a request (whatever the outcome).
+    Dispatch {
+        /// Simulation time (s).
+        t: f64,
+        /// Request id.
+        req: u32,
+        /// Candidate taxis examined.
+        candidates: u32,
+        /// Insertion instances that satisfied all constraints.
+        feasible: u32,
+    },
+    /// A request was assigned to a taxi.
+    Commit {
+        /// Simulation time (s).
+        t: f64,
+        /// Request id.
+        req: u32,
+        /// Winning taxi.
+        taxi: u32,
+        /// Extra seconds the shared ride adds over the direct drive.
+        detour_s: f64,
+        /// Stops in the taxi's schedule after insertion.
+        schedule_len: u32,
+    },
+    /// A request was definitively rejected.
+    Reject {
+        /// Simulation time (s).
+        t: f64,
+        /// Request id.
+        req: u32,
+        /// Classified cause.
+        reason: RejectReason,
+    },
+    /// A taxi came within encounter radius of a waiting offline request.
+    Encounter {
+        /// Simulation time (s).
+        t: f64,
+        /// Request id.
+        req: u32,
+        /// The encountering taxi.
+        taxi: u32,
+    },
+    /// A rider boarded.
+    Pickup {
+        /// Simulation time (s).
+        t: f64,
+        /// Request id.
+        req: u32,
+        /// Serving taxi.
+        taxi: u32,
+        /// Seconds waited since release.
+        wait_s: f64,
+    },
+    /// A rider was delivered.
+    Dropoff {
+        /// Simulation time (s).
+        t: f64,
+        /// Request id.
+        req: u32,
+        /// Serving taxi.
+        taxi: u32,
+        /// Realized detour vs. the direct drive, seconds.
+        detour_s: f64,
+    },
+}
+
+/// Event kinds, for counting. Order matches serialization labels.
+pub const EVENT_KINDS: [&str; 7] =
+    ["arrival", "dispatch", "commit", "reject", "encounter", "pickup", "dropoff"];
+
+impl Event {
+    /// Simulation timestamp of the event.
+    pub fn t(&self) -> f64 {
+        match self {
+            Event::Arrival { t, .. }
+            | Event::Dispatch { t, .. }
+            | Event::Commit { t, .. }
+            | Event::Reject { t, .. }
+            | Event::Encounter { t, .. }
+            | Event::Pickup { t, .. }
+            | Event::Dropoff { t, .. } => *t,
+        }
+    }
+
+    /// Index into [`EVENT_KINDS`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::Arrival { .. } => 0,
+            Event::Dispatch { .. } => 1,
+            Event::Commit { .. } => 2,
+            Event::Reject { .. } => 3,
+            Event::Encounter { .. } => 4,
+            Event::Pickup { .. } => 5,
+            Event::Dropoff { .. } => 6,
+        }
+    }
+
+    /// Encodes the event as one JSONL line (no trailing newline), with
+    /// a fixed key order per kind so the byte stream is canonical.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(64);
+        match self {
+            Event::Arrival { t, req, offline } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"arrival","t":{},"req":{req},"offline":{offline}}}"#,
+                    fmt_f64(*t)
+                );
+            }
+            Event::Dispatch { t, req, candidates, feasible } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"dispatch","t":{},"req":{req},"candidates":{candidates},"feasible":{feasible}}}"#,
+                    fmt_f64(*t)
+                );
+            }
+            Event::Commit { t, req, taxi, detour_s, schedule_len } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"commit","t":{},"req":{req},"taxi":{taxi},"detour_s":{},"schedule_len":{schedule_len}}}"#,
+                    fmt_f64(*t),
+                    fmt_f64(*detour_s)
+                );
+            }
+            Event::Reject { t, req, reason } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"reject","t":{},"req":{req},"reason":"{}"}}"#,
+                    fmt_f64(*t),
+                    reason.label()
+                );
+            }
+            Event::Encounter { t, req, taxi } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"encounter","t":{},"req":{req},"taxi":{taxi}}}"#,
+                    fmt_f64(*t)
+                );
+            }
+            Event::Pickup { t, req, taxi, wait_s } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"pickup","t":{},"req":{req},"taxi":{taxi},"wait_s":{}}}"#,
+                    fmt_f64(*t),
+                    fmt_f64(*wait_s)
+                );
+            }
+            Event::Dropoff { t, req, taxi, detour_s } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"dropoff","t":{},"req":{req},"taxi":{taxi},"detour_s":{}}}"#,
+                    fmt_f64(*t),
+                    fmt_f64(*detour_s)
+                );
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn jsonl_is_valid_json_with_expected_keys() {
+        let evs = [
+            Event::Arrival { t: 1.5, req: 7, offline: true },
+            Event::Dispatch { t: 1.5, req: 7, candidates: 12, feasible: 3 },
+            Event::Commit { t: 1.5, req: 7, taxi: 2, detour_s: 30.25, schedule_len: 4 },
+            Event::Reject { t: 2.0, req: 8, reason: RejectReason::UnreachableOd },
+            Event::Encounter { t: 3.0, req: 9, taxi: 1 },
+            Event::Pickup { t: 4.0, req: 7, taxi: 2, wait_s: 61.5 },
+            Event::Dropoff { t: 5.0, req: 7, taxi: 2, detour_s: 30.25 },
+        ];
+        for (i, ev) in evs.iter().enumerate() {
+            let line = ev.to_jsonl();
+            let v = json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(v.get("ev").and_then(|v| v.as_str()), Some(EVENT_KINDS[i]));
+            assert_eq!(v.get("t").and_then(|v| v.as_num()), Some(ev.t()));
+            assert_eq!(ev.kind_index(), i);
+        }
+    }
+
+    #[test]
+    fn reject_reason_labels_round_trip() {
+        for (i, r) in RejectReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(RejectReason::from_label(r.label()), Some(*r));
+        }
+        assert_eq!(RejectReason::from_label("nope"), None);
+    }
+}

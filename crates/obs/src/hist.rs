@@ -1,0 +1,284 @@
+//! Two observation containers with different trade-offs:
+//!
+//! * [`Series`] — exact values, single-writer, cheap amortized
+//!   quantiles via a lazily rebuilt sorted cache. Used for the
+//!   deterministic outcome metrics (candidates, waiting, detour) where
+//!   bit-exact statistics matter.
+//! * [`Histogram`] — log-bucketed atomic counters, safe to record into
+//!   from any worker thread without locks. Used for wall-clock stage
+//!   timings where approximate quantiles are fine and contention is not.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Simple accumulator for a scalar metric with exact quantiles.
+///
+/// `quantile` used to clone and sort the full vector on every call;
+/// it now keeps a sorted copy that is invalidated on `push` and rebuilt
+/// at most once per flush of observations, so k quantile queries after
+/// n pushes cost one sort instead of k.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    values: Vec<f64>,
+    /// Lazily rebuilt sorted view; emptied whenever `values` grows.
+    sorted: RefCell<Vec<f64>>,
+}
+
+impl Series {
+    /// Adds an observation (invalidates the sorted cache).
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted.borrow_mut().clear();
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank; 0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.sorted.borrow_mut();
+        if sorted.len() != self.values.len() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.values);
+            sorted.sort_by(|a, b| a.total_cmp(b));
+        }
+        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.quantile(0.0)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.quantile(1.0)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+/// Buckets per octave (factor-of-two range); 4 gives ~19% relative
+/// quantile error, plenty for stage timings.
+const SUB: f64 = 4.0;
+/// log2 of the smallest representable value (~1 ns when recording
+/// seconds). Everything smaller lands in bucket 0.
+const MIN_EXP: f64 = -30.0;
+/// 256 buckets span 2^-30 .. 2^34 — nanoseconds to centuries.
+const BUCKETS: usize = 256;
+
+/// Lock-free log-bucketed histogram of non-negative f64 observations.
+///
+/// `record` is wait-free (one relaxed `fetch_add` each on a bucket and
+/// two scalar accumulators); quantile reads race benignly with writers.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum in fixed-point nanounits (u64 nanoseconds when recording
+    /// seconds) so it can be atomic without CAS loops.
+    sum_nanos: AtomicU64,
+    /// Max as f64 bits; monotone CAS.
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, || AtomicU64::new(0));
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0), // 0.0f64.to_bits() == 0
+        }
+    }
+
+    fn index(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        let raw = (v.log2() - MIN_EXP) * SUB;
+        raw.max(0.0).min((BUCKETS - 1) as f64) as usize
+    }
+
+    /// Midpoint value represented by bucket `i`.
+    fn representative(i: usize) -> f64 {
+        2f64.powf(MIN_EXP + (i as f64 + 0.5) / SUB)
+    }
+
+    /// Records one non-negative observation.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.buckets[Self::index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add((v * 1e9) as u64, Ordering::Relaxed);
+        let bits = v.to_bits(); // non-negative f64 bits order like the values
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while bits > cur {
+            match self.max_bits.compare_exchange_weak(
+                cur,
+                bits,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (resolution 1e-9).
+    pub fn sum(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Largest recorded observation.
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Approximate `q`-quantile: the representative value of the bucket
+    /// holding the nearest-rank observation. 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((total - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Self::representative(i);
+            }
+        }
+        Self::representative(BUCKETS - 1)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(n={}, sum={:.6}, max={:.6})", self.count(), self.sum(), self.max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn series_statistics_match_previous_behavior() {
+        let mut s = Series::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.quantile(0.5), 3.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.sum(), 15.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn series_cache_invalidates_on_push() {
+        let mut s = Series::default();
+        s.push(10.0);
+        assert_eq!(s.quantile(0.5), 10.0); // builds the cache
+        s.push(1.0); // must invalidate it
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+        // Repeated queries reuse the cache (covered by behavior, not
+        // timing: a stale cache would return 10.0 for q=0 above).
+    }
+
+    #[test]
+    fn histogram_quantiles_are_within_bucket_error() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // 1ms .. 1s
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.sum() - 500.5).abs() < 1e-3);
+        assert_eq!(h.max(), 1.0);
+        let p50 = h.quantile(0.5);
+        // One bucket is a factor of 2^(1/4) ≈ 1.19; the representative
+        // midpoint adds another half bucket.
+        assert!(p50 > 0.5 / 1.4 && p50 < 0.5 * 1.4, "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 0.99 / 1.4 && p99 < 0.99 * 1.4, "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_inputs() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_concurrent_records_are_counted() {
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000 {
+                        h.record(1e-6 * (1 + i % 100) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 20_000);
+    }
+}

@@ -1,0 +1,584 @@
+//! # mtshare-obs — structured observability for the mT-Share pipeline
+//!
+//! A zero-external-dependency telemetry subsystem: typed
+//! dispatch-lifecycle events, lock-free sharded counters, log-bucketed
+//! histograms, stage-span timers, and JSONL/summary sinks.
+//!
+//! ## Determinism contract
+//!
+//! The event stream and the summary (minus its `profiling` subtree)
+//! are **byte-identical at any worker count**:
+//!
+//! * events carry *simulation* time only and are emitted exclusively
+//!   from the sequential commit side of the simulator, in request
+//!   order;
+//! * everything measured in wall-clock (stage spans, response
+//!   latencies) or dependent on thread scheduling (cache warming
+//!   patterns, per-worker utilization, speculative-waste counters)
+//!   lives under the summary's single `"profiling"` key, which
+//!   equivalence checks strip before comparing.
+//!
+//! ## Overhead contract
+//!
+//! A disabled [`Obs`] (the default) is a `None` behind a pointer-sized
+//! handle: every instrumentation call short-circuits on one branch, no
+//! allocation, no atomics. The `batch_dispatch_64` bench budget is a
+//! ≤ 2 % regression with telemetry disabled.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod schema;
+pub mod sink;
+pub mod span;
+
+pub use counters::ShardedCounter;
+pub use event::{Event, RejectReason, EVENT_KINDS};
+pub use hist::{Histogram, Series};
+pub use sink::{EventSink, JsonlSink, MemorySink};
+pub use span::Stage;
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Upper bound on tracked dispatch workers; higher worker ids fold
+/// into the last slot.
+const MAX_WORKERS: usize = 64;
+
+/// Summary schema identifier, bumped on breaking layout changes.
+pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v1";
+
+/// Static facts about the run, reported verbatim in the summary.
+#[derive(Debug, Clone, Default)]
+pub struct RunInfo {
+    /// Dispatch scheme label.
+    pub scheme: String,
+    /// Fleet size.
+    pub n_taxis: usize,
+    /// Total requests (online + offline).
+    pub n_requests: usize,
+    /// Offline requests among them.
+    pub n_offline: usize,
+    /// Dispatch worker threads (profiling-only: varies across
+    /// equivalence runs).
+    pub parallelism: usize,
+}
+
+/// End-of-run statistics pulled from the shared routing structures
+/// (`PathCache`, `HotNodeOracle`). Plain integers so this crate does
+/// not depend on `mtshare-routing`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExternalStats {
+    /// Path-cache hits.
+    pub cache_hits: u64,
+    /// Path-cache misses.
+    pub cache_misses: u64,
+    /// Path-cache evictions.
+    pub cache_evictions: u64,
+    /// Oracle answers served from pinned hot-node vectors.
+    pub oracle_vector_hits: u64,
+    /// Oracle answers served from the memo table.
+    pub oracle_memo_hits: u64,
+    /// Oracle fallback graph searches.
+    pub oracle_searches: u64,
+    /// Hot-node vector computations (pin events).
+    pub oracle_pin_computes: u64,
+    /// Hot-node vectors freed (refcount reached zero).
+    pub oracle_evictions: u64,
+}
+
+/// Deterministic aggregates, updated only from the commit side.
+#[derive(Default)]
+struct Aggregates {
+    event_counts: [u64; EVENT_KINDS.len()],
+    reject_counts: [u64; RejectReason::ALL.len()],
+    candidates: Series,
+    feasible: Series,
+    waiting_s: Series,
+    detour_s: Series,
+}
+
+/// The shared telemetry state behind an enabled [`Obs`].
+struct ObsCore {
+    sinks: Mutex<Vec<Box<dyn EventSink>>>,
+    agg: Mutex<Aggregates>,
+    run: Mutex<RunInfo>,
+    external: Mutex<ExternalStats>,
+    // ---- thread-safe, worker-updated (profiling) ----
+    stages: [Histogram; Stage::COUNT],
+    filter_considered: ShardedCounter,
+    filter_kept: ShardedCounter,
+    insertions_attempted: ShardedCounter,
+    insertions_feasible: ShardedCounter,
+    response_s: Histogram,
+    worker_items: Vec<AtomicU64>,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+}
+
+impl ObsCore {
+    fn new() -> Self {
+        let mut worker_items = Vec::with_capacity(MAX_WORKERS);
+        worker_items.resize_with(MAX_WORKERS, || AtomicU64::new(0));
+        Self {
+            sinks: Mutex::new(Vec::new()),
+            agg: Mutex::new(Aggregates::default()),
+            run: Mutex::new(RunInfo::default()),
+            external: Mutex::new(ExternalStats::default()),
+            stages: std::array::from_fn(|_| Histogram::new()),
+            filter_considered: ShardedCounter::new(),
+            filter_kept: ShardedCounter::new(),
+            insertions_attempted: ShardedCounter::new(),
+            insertions_feasible: ShardedCounter::new(),
+            response_s: Histogram::new(),
+            worker_items,
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Times one pipeline stage; records wall-clock into the owning
+/// histogram on drop. Obtained from [`Obs::stage`]; a span from a
+/// disabled `Obs` is inert.
+pub struct StageSpan {
+    inner: Option<(Instant, Arc<ObsCore>, Stage)>,
+}
+
+impl Drop for StageSpan {
+    fn drop(&mut self) {
+        if let Some((t0, core, stage)) = self.inner.take() {
+            core.stages[stage.index()].record(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Cheap cloneable handle to the telemetry bus. The default handle is
+/// *disabled*: every call is a single branch on a `None`.
+#[derive(Clone, Default)]
+pub struct Obs {
+    core: Option<Arc<ObsCore>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Obs({})", if self.core.is_some() { "enabled" } else { "disabled" })
+    }
+}
+
+impl Obs {
+    /// A disabled handle — all instrumentation is a no-op.
+    pub fn disabled() -> Self {
+        Self { core: None }
+    }
+
+    /// An enabled bus with no sinks yet (aggregates and counters still
+    /// collect; attach sinks with [`Obs::add_sink`]).
+    pub fn enabled() -> Self {
+        Self { core: Some(Arc::new(ObsCore::new())) }
+    }
+
+    /// Whether telemetry is collected at all.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Attaches an event sink. No-op when disabled.
+    pub fn add_sink(&self, sink: Box<dyn EventSink>) {
+        if let Some(core) = &self.core {
+            core.sinks.lock().expect("obs sinks poisoned").push(sink);
+        }
+    }
+
+    /// Emits one lifecycle event: updates the deterministic aggregates
+    /// and forwards the canonical JSONL line to every sink.
+    ///
+    /// Must only be called from the sequential commit side, in request
+    /// order — that is what makes the stream reproducible.
+    pub fn emit(&self, ev: Event) {
+        let Some(core) = &self.core else { return };
+        {
+            let mut agg = core.agg.lock().expect("obs aggregates poisoned");
+            agg.event_counts[ev.kind_index()] += 1;
+            match &ev {
+                Event::Dispatch { candidates, feasible, .. } => {
+                    agg.candidates.push(f64::from(*candidates));
+                    agg.feasible.push(f64::from(*feasible));
+                }
+                Event::Reject { reason, .. } => {
+                    agg.reject_counts[reason.index()] += 1;
+                }
+                Event::Pickup { wait_s, .. } => agg.waiting_s.push(*wait_s),
+                Event::Dropoff { detour_s, .. } => agg.detour_s.push(*detour_s),
+                _ => {}
+            }
+        }
+        let mut sinks = core.sinks.lock().expect("obs sinks poisoned");
+        if !sinks.is_empty() {
+            let line = ev.to_jsonl();
+            for s in sinks.iter_mut() {
+                s.on_event(&ev, &line);
+            }
+        }
+    }
+
+    /// Starts a wall-clock span for `stage`; the duration is recorded
+    /// when the returned guard drops.
+    #[inline]
+    pub fn stage(&self, stage: Stage) -> StageSpan {
+        StageSpan { inner: self.core.as_ref().map(|c| (Instant::now(), c.clone(), stage)) }
+    }
+
+    /// Records a partition-filter evaluation: `considered` partitions
+    /// scanned, `kept` surviving the λ/ε prune. Thread-safe.
+    #[inline]
+    pub fn add_filter_stats(&self, considered: u64, kept: u64) {
+        if let Some(core) = &self.core {
+            core.filter_considered.add(considered);
+            core.filter_kept.add(kept);
+        }
+    }
+
+    /// Records insertion-DP work: `attempted` insertion instances
+    /// enumerated, `feasible` passing all deadline checks. Thread-safe.
+    #[inline]
+    pub fn add_insertions(&self, attempted: u64, feasible: u64) {
+        if let Some(core) = &self.core {
+            core.insertions_attempted.add(attempted);
+            core.insertions_feasible.add(feasible);
+        }
+    }
+
+    /// Records that worker `worker` scored `items` requests of a
+    /// speculative batch. Thread-safe.
+    pub fn record_worker_items(&self, worker: usize, items: u64) {
+        if let Some(core) = &self.core {
+            core.worker_items[worker.min(MAX_WORKERS - 1)].fetch_add(items, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one dispatched batch of `n_requests` requests.
+    pub fn record_batch(&self, n_requests: u64) {
+        if let Some(core) = &self.core {
+            core.batches.fetch_add(1, Ordering::Relaxed);
+            core.batched_requests.fetch_add(n_requests, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one dispatcher response latency in seconds (wall-clock;
+    /// profiling only).
+    pub fn record_response_s(&self, secs: f64) {
+        if let Some(core) = &self.core {
+            core.response_s.record(secs);
+        }
+    }
+
+    /// Sets the static run facts reported in the summary.
+    pub fn set_run_info(&self, info: RunInfo) {
+        if let Some(core) = &self.core {
+            *core.run.lock().expect("obs run info poisoned") = info;
+        }
+    }
+
+    /// Sets the end-of-run cache/oracle statistics.
+    pub fn set_external_stats(&self, stats: ExternalStats) {
+        if let Some(core) = &self.core {
+            *core.external.lock().expect("obs external poisoned") = stats;
+        }
+    }
+
+    /// Flushes all sinks.
+    pub fn flush(&self) {
+        if let Some(core) = &self.core {
+            for s in core.sinks.lock().expect("obs sinks poisoned").iter_mut() {
+                s.flush();
+            }
+        }
+    }
+
+    // ---- inspection (tests, CLI) ----
+
+    /// Count of rejections classified as `reason`. 0 when disabled.
+    pub fn reject_count(&self, reason: RejectReason) -> u64 {
+        self.core
+            .as_ref()
+            .map(|c| c.agg.lock().expect("obs aggregates poisoned").reject_counts[reason.index()])
+            .unwrap_or(0)
+    }
+
+    /// Per-kind event counts in [`EVENT_KINDS`] order. Zeros when
+    /// disabled.
+    pub fn event_counts(&self) -> [u64; EVENT_KINDS.len()] {
+        self.core
+            .as_ref()
+            .map(|c| c.agg.lock().expect("obs aggregates poisoned").event_counts)
+            .unwrap_or_default()
+    }
+
+    /// Wall-clock observations recorded for `stage` (profiling).
+    pub fn stage_count(&self, stage: Stage) -> u64 {
+        self.core.as_ref().map(|c| c.stages[stage.index()].count()).unwrap_or(0)
+    }
+
+    /// Total insertion instances enumerated (profiling).
+    pub fn insertions_attempted(&self) -> u64 {
+        self.core.as_ref().map(|c| c.insertions_attempted.get()).unwrap_or(0)
+    }
+
+    /// Total partitions scanned by the filter (profiling).
+    pub fn filter_considered(&self) -> u64 {
+        self.core.as_ref().map(|c| c.filter_considered.get()).unwrap_or(0)
+    }
+
+    /// Builds the end-of-run summary JSON. `None` when disabled.
+    ///
+    /// Layout: deterministic outcome metrics first, then one
+    /// `"profiling"` subtree holding everything wall-clock- or
+    /// schedule-dependent. Equivalence checks strip that single key.
+    pub fn summary_json(&self) -> Option<String> {
+        let core = self.core.as_ref()?;
+        let agg = core.agg.lock().expect("obs aggregates poisoned");
+        let run = core.run.lock().expect("obs run info poisoned").clone();
+        let ext = *core.external.lock().expect("obs external poisoned");
+
+        let mut s = String::with_capacity(2048);
+        s.push('{');
+        let _ = write!(s, r#""schema":"{SUMMARY_SCHEMA}","#);
+        let _ = write!(
+            s,
+            r#""run":{{"scheme":"{}","taxis":{},"requests":{},"offline":{}}},"#,
+            json::escape(&run.scheme),
+            run.n_taxis,
+            run.n_requests,
+            run.n_offline
+        );
+        s.push_str(r#""events":{"#);
+        for (i, kind) in EVENT_KINDS.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, r#""{kind}":{}"#, agg.event_counts[i]);
+        }
+        s.push_str("},");
+        s.push_str(r#""rejections":{"#);
+        for (i, reason) in RejectReason::ALL.iter().enumerate() {
+            let _ = write!(s, r#""{}":{},"#, reason.label(), agg.reject_counts[i]);
+        }
+        let _ = write!(s, r#""total":{}}},"#, agg.reject_counts.iter().sum::<u64>());
+        write_series(&mut s, "candidates", &agg.candidates);
+        s.push(',');
+        write_series(&mut s, "feasible", &agg.feasible);
+        s.push(',');
+        write_series(&mut s, "waiting_s", &agg.waiting_s);
+        s.push(',');
+        write_series(&mut s, "detour_s", &agg.detour_s);
+        s.push(',');
+
+        // ---- profiling: stripped before determinism comparisons ----
+        s.push_str(r#""profiling":{"#);
+        let _ = write!(s, r#""parallelism":{},"#, run.parallelism);
+        s.push_str(r#""stages":{"#);
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write_histogram(&mut s, stage.label(), &core.stages[stage.index()], 1e6, "us");
+        }
+        s.push_str("},");
+        let _ = write!(
+            s,
+            r#""counters":{{"filter_partitions_considered":{},"filter_partitions_kept":{},"insertions_attempted":{},"insertions_feasible":{}}},"#,
+            core.filter_considered.get(),
+            core.filter_kept.get(),
+            core.insertions_attempted.get(),
+            core.insertions_feasible.get()
+        );
+        let cache_total = ext.cache_hits + ext.cache_misses;
+        let cache_ratio =
+            if cache_total == 0 { 0.0 } else { ext.cache_hits as f64 / cache_total as f64 };
+        let _ = write!(
+            s,
+            r#""path_cache":{{"hits":{},"misses":{},"evictions":{},"hit_ratio":{}}},"#,
+            ext.cache_hits,
+            ext.cache_misses,
+            ext.cache_evictions,
+            json::fmt_f64(cache_ratio)
+        );
+        let oracle_hits = ext.oracle_vector_hits + ext.oracle_memo_hits;
+        let oracle_ratio = if ext.oracle_searches == 0 {
+            0.0
+        } else {
+            oracle_hits as f64 / ext.oracle_searches as f64
+        };
+        let _ = write!(
+            s,
+            r#""oracle":{{"vector_hits":{},"memo_hits":{},"searches":{},"pin_computes":{},"evictions":{},"hit_ratio":{}}},"#,
+            ext.oracle_vector_hits,
+            ext.oracle_memo_hits,
+            ext.oracle_searches,
+            ext.oracle_pin_computes,
+            ext.oracle_evictions,
+            json::fmt_f64(oracle_ratio)
+        );
+        let workers = run.parallelism.clamp(1, MAX_WORKERS);
+        let batched = core.batched_requests.load(Ordering::Relaxed);
+        let _ = write!(
+            s,
+            r#""workers":{{"batches":{},"batched_requests":{},"items":["#,
+            core.batches.load(Ordering::Relaxed),
+            batched
+        );
+        for w in 0..workers {
+            if w > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}", core.worker_items[w].load(Ordering::Relaxed));
+        }
+        s.push_str("],\"utilization\":[");
+        for w in 0..workers {
+            if w > 0 {
+                s.push(',');
+            }
+            let items = core.worker_items[w].load(Ordering::Relaxed);
+            let u = if batched == 0 { 0.0 } else { items as f64 / batched as f64 };
+            let _ = write!(s, "{}", json::fmt_f64(u));
+        }
+        s.push_str("]},");
+        write_histogram(&mut s, "response_ms", &core.response_s, 1e3, "ms");
+        s.push_str("}}");
+        Some(s)
+    }
+}
+
+/// Writes `"name":{"count":..,"mean":..,"p50":..,"p95":..,"p99":..,"min":..,"max":..}`.
+fn write_series(out: &mut String, name: &str, series: &Series) {
+    let _ = write!(
+        out,
+        r#""{name}":{{"count":{},"mean":{},"p50":{},"p95":{},"p99":{},"min":{},"max":{}}}"#,
+        series.len(),
+        json::fmt_f64(series.mean()),
+        json::fmt_f64(series.quantile(0.5)),
+        json::fmt_f64(series.quantile(0.95)),
+        json::fmt_f64(series.quantile(0.99)),
+        json::fmt_f64(series.min()),
+        json::fmt_f64(series.max())
+    );
+}
+
+/// Writes a histogram block with quantiles scaled by `scale` and
+/// suffixed `unit` (e.g. seconds → µs with `scale = 1e6`).
+fn write_histogram(out: &mut String, name: &str, h: &Histogram, scale: f64, unit: &str) {
+    let _ = write!(
+        out,
+        r#""{name}":{{"count":{},"total_s":{},"p50_{unit}":{},"p95_{unit}":{},"p99_{unit}":{},"max_{unit}":{}}}"#,
+        h.count(),
+        json::fmt_f64(h.sum()),
+        json::fmt_f64(h.quantile(0.5) * scale),
+        json::fmt_f64(h.quantile(0.95) * scale),
+        json::fmt_f64(h.quantile(0.99) * scale),
+        json::fmt_f64(h.max() * scale)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        obs.emit(Event::Arrival { t: 0.0, req: 0, offline: false });
+        obs.add_filter_stats(10, 2);
+        obs.add_insertions(5, 1);
+        obs.record_batch(8);
+        drop(obs.stage(Stage::Routing));
+        assert!(obs.summary_json().is_none());
+        assert_eq!(obs.event_counts(), [0; 7]);
+    }
+
+    #[test]
+    fn emit_updates_aggregates_and_sinks() {
+        let obs = Obs::enabled();
+        let (sink, buf) = MemorySink::new();
+        obs.add_sink(Box::new(sink));
+        obs.emit(Event::Arrival { t: 1.0, req: 0, offline: false });
+        obs.emit(Event::Dispatch { t: 1.0, req: 0, candidates: 4, feasible: 2 });
+        obs.emit(Event::Reject { t: 1.0, req: 0, reason: RejectReason::NoFeasibleInsertion });
+        assert_eq!(obs.event_counts()[0], 1);
+        assert_eq!(obs.reject_count(RejectReason::NoFeasibleInsertion), 1);
+        assert_eq!(obs.reject_count(RejectReason::EmptyFleet), 0);
+        assert_eq!(buf.lock().unwrap().lines().count(), 3);
+    }
+
+    #[test]
+    fn spans_record_into_stage_histograms() {
+        let obs = Obs::enabled();
+        {
+            let _span = obs.stage(Stage::InsertionDp);
+            std::hint::black_box(0u64);
+        }
+        assert_eq!(obs.stage_count(Stage::InsertionDp), 1);
+        assert_eq!(obs.stage_count(Stage::Routing), 0);
+    }
+
+    #[test]
+    fn summary_is_valid_json_with_deterministic_and_profiling_parts() {
+        let obs = Obs::enabled();
+        obs.set_run_info(RunInfo {
+            scheme: "mt-share".into(),
+            n_taxis: 3,
+            n_requests: 5,
+            n_offline: 1,
+            parallelism: 2,
+        });
+        obs.emit(Event::Dispatch { t: 0.5, req: 0, candidates: 2, feasible: 1 });
+        obs.emit(Event::Commit { t: 0.5, req: 0, taxi: 1, detour_s: 9.0, schedule_len: 2 });
+        obs.emit(Event::Pickup { t: 2.0, req: 0, taxi: 1, wait_s: 1.5 });
+        obs.add_filter_stats(12, 3);
+        obs.add_insertions(7, 2);
+        obs.record_worker_items(0, 3);
+        obs.record_batch(3);
+        obs.record_response_s(0.001);
+        obs.set_external_stats(ExternalStats {
+            cache_hits: 9,
+            cache_misses: 1,
+            ..ExternalStats::default()
+        });
+        let text = obs.summary_json().unwrap();
+        let v = json::parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(SUMMARY_SCHEMA));
+        assert_eq!(
+            v.get("events").and_then(|e| e.get("dispatch")).and_then(|n| n.as_num()),
+            Some(1.0)
+        );
+        let prof = v.get("profiling").expect("profiling subtree");
+        assert_eq!(prof.get("parallelism").and_then(|n| n.as_num()), Some(2.0));
+        assert_eq!(
+            prof.get("path_cache").and_then(|c| c.get("hit_ratio")).and_then(|n| n.as_num()),
+            Some(0.9)
+        );
+        // Stripping `profiling` leaves the deterministic core only.
+        let mut stripped = v.clone();
+        stripped.strip_key("profiling");
+        assert!(stripped.get("profiling").is_none());
+        assert!(stripped.get("rejections").is_some());
+    }
+
+    #[test]
+    fn summary_reflects_reject_taxonomy_counts() {
+        let obs = Obs::enabled();
+        obs.emit(Event::Reject { t: 0.0, req: 1, reason: RejectReason::UnreachableOd });
+        obs.emit(Event::Reject { t: 0.0, req: 2, reason: RejectReason::UnreachableOd });
+        obs.emit(Event::Reject { t: 0.0, req: 3, reason: RejectReason::OfflineExpired });
+        let v = json::parse(&obs.summary_json().unwrap()).unwrap();
+        let rej = v.get("rejections").unwrap();
+        assert_eq!(rej.get("unreachable_od").and_then(|n| n.as_num()), Some(2.0));
+        assert_eq!(rej.get("offline_expired").and_then(|n| n.as_num()), Some(1.0));
+        assert_eq!(rej.get("total").and_then(|n| n.as_num()), Some(3.0));
+    }
+}

@@ -1,0 +1,310 @@
+//! Validators for the documented telemetry schema (see DESIGN.md).
+//!
+//! Used by the `obs_check` CLI binary and the CI observability job to
+//! confirm that an emitted trace/summary pair matches the contract
+//! before it is archived as a perf-trajectory artifact.
+
+use crate::event::{RejectReason, EVENT_KINDS};
+use crate::json::{self, Value};
+use crate::span::Stage;
+use crate::SUMMARY_SCHEMA;
+
+/// Field spec: name, expected type.
+#[derive(Clone, Copy)]
+enum Ty {
+    Num,
+    Bool,
+    Str,
+}
+
+fn check_fields(v: &Value, required: &[(&str, Ty)], context: &str) -> Result<(), String> {
+    let Some(fields) = v.as_obj() else {
+        return Err(format!("{context}: not an object"));
+    };
+    for (name, ty) in required {
+        let Some(val) = v.get(name) else {
+            return Err(format!("{context}: missing field \"{name}\""));
+        };
+        let ok = match ty {
+            Ty::Num => matches!(val, Value::Num(_)),
+            Ty::Bool => matches!(val, Value::Bool(_)),
+            Ty::Str => matches!(val, Value::Str(_)),
+        };
+        if !ok {
+            return Err(format!("{context}: field \"{name}\" has wrong type"));
+        }
+    }
+    // No undocumented fields: the stream is a contract, not a dumping
+    // ground. (Additions require a schema bump.)
+    for (k, _) in fields {
+        if !required.iter().any(|(name, _)| name == k) {
+            return Err(format!("{context}: unexpected field \"{k}\""));
+        }
+    }
+    Ok(())
+}
+
+/// Validates one JSONL trace line against the event schema.
+pub fn validate_event_line(line: &str) -> Result<(), String> {
+    let v = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let kind = v
+        .get("ev")
+        .and_then(|k| k.as_str())
+        .ok_or_else(|| "missing string field \"ev\"".to_string())?
+        .to_string();
+    match kind.as_str() {
+        "arrival" => check_fields(
+            &v,
+            &[("ev", Ty::Str), ("t", Ty::Num), ("req", Ty::Num), ("offline", Ty::Bool)],
+            "arrival",
+        ),
+        "dispatch" => check_fields(
+            &v,
+            &[
+                ("ev", Ty::Str),
+                ("t", Ty::Num),
+                ("req", Ty::Num),
+                ("candidates", Ty::Num),
+                ("feasible", Ty::Num),
+            ],
+            "dispatch",
+        ),
+        "commit" => check_fields(
+            &v,
+            &[
+                ("ev", Ty::Str),
+                ("t", Ty::Num),
+                ("req", Ty::Num),
+                ("taxi", Ty::Num),
+                ("detour_s", Ty::Num),
+                ("schedule_len", Ty::Num),
+            ],
+            "commit",
+        ),
+        "reject" => {
+            check_fields(
+                &v,
+                &[("ev", Ty::Str), ("t", Ty::Num), ("req", Ty::Num), ("reason", Ty::Str)],
+                "reject",
+            )?;
+            let reason = v.get("reason").and_then(|r| r.as_str()).unwrap_or("");
+            if RejectReason::from_label(reason).is_none() {
+                return Err(format!("reject: unknown reason \"{reason}\""));
+            }
+            Ok(())
+        }
+        "encounter" => check_fields(
+            &v,
+            &[("ev", Ty::Str), ("t", Ty::Num), ("req", Ty::Num), ("taxi", Ty::Num)],
+            "encounter",
+        ),
+        "pickup" => check_fields(
+            &v,
+            &[
+                ("ev", Ty::Str),
+                ("t", Ty::Num),
+                ("req", Ty::Num),
+                ("taxi", Ty::Num),
+                ("wait_s", Ty::Num),
+            ],
+            "pickup",
+        ),
+        "dropoff" => check_fields(
+            &v,
+            &[
+                ("ev", Ty::Str),
+                ("t", Ty::Num),
+                ("req", Ty::Num),
+                ("taxi", Ty::Num),
+                ("detour_s", Ty::Num),
+            ],
+            "dropoff",
+        ),
+        other => Err(format!("unknown event kind \"{other}\"")),
+    }
+}
+
+/// Validates a whole JSONL trace; returns the number of valid lines.
+/// Blank lines are not allowed (the writer never produces them).
+pub fn validate_trace(text: &str) -> Result<usize, String> {
+    let mut n = 0usize;
+    let mut last_t = f64::NEG_INFINITY;
+    for (i, line) in text.lines().enumerate() {
+        validate_event_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        // Sim-time stamps must be non-decreasing: events are emitted in
+        // commit order.
+        let v = json::parse(line).expect("validated above");
+        let t = v.get("t").and_then(|t| t.as_num()).expect("validated above");
+        if t < last_t {
+            return Err(format!("line {}: sim time went backwards ({t} < {last_t})", i + 1));
+        }
+        last_t = t;
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn require_num(v: &Value, ctx: &str, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(|n| n.as_num())
+        .ok_or_else(|| format!("{ctx}: missing numeric field \"{key}\""))
+}
+
+fn require_stat_block(v: &Value, key: &str) -> Result<(), String> {
+    let block = v.get(key).ok_or_else(|| format!("missing stat block \"{key}\""))?;
+    for f in ["count", "mean", "p50", "p95", "p99", "min", "max"] {
+        require_num(block, key, f)?;
+    }
+    Ok(())
+}
+
+fn require_hist_block(v: &Value, key: &str, unit: &str) -> Result<(), String> {
+    let block = v.get(key).ok_or_else(|| format!("missing histogram block \"{key}\""))?;
+    require_num(block, key, "count")?;
+    require_num(block, key, "total_s")?;
+    for q in ["p50", "p95", "p99", "max"] {
+        let field = format!("{q}_{unit}");
+        require_num(block, key, &field)?;
+    }
+    Ok(())
+}
+
+/// Validates a summary JSON document against the documented layout.
+pub fn validate_summary(text: &str) -> Result<(), String> {
+    let v = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    match v.get("schema").and_then(|s| s.as_str()) {
+        Some(SUMMARY_SCHEMA) => {}
+        Some(other) => return Err(format!("unknown schema \"{other}\"")),
+        None => return Err("missing \"schema\"".to_string()),
+    }
+    let run = v.get("run").ok_or("missing \"run\"")?;
+    if run.get("scheme").and_then(|s| s.as_str()).is_none() {
+        return Err("run: missing string field \"scheme\"".to_string());
+    }
+    for f in ["taxis", "requests", "offline"] {
+        require_num(run, "run", f)?;
+    }
+    let events = v.get("events").ok_or("missing \"events\"")?;
+    for kind in EVENT_KINDS {
+        require_num(events, "events", kind)?;
+    }
+    let rej = v.get("rejections").ok_or("missing \"rejections\"")?;
+    let mut total = 0.0;
+    for reason in RejectReason::ALL {
+        total += require_num(rej, "rejections", reason.label())?;
+    }
+    if require_num(rej, "rejections", "total")? != total {
+        return Err("rejections: total does not equal the sum of reasons".to_string());
+    }
+    if require_num(events, "events", "reject")? != total {
+        return Err("events.reject does not match rejections.total".to_string());
+    }
+    for block in ["candidates", "feasible", "waiting_s", "detour_s"] {
+        require_stat_block(&v, block)?;
+    }
+    let prof = v.get("profiling").ok_or("missing \"profiling\"")?;
+    require_num(prof, "profiling", "parallelism")?;
+    let stages = prof.get("stages").ok_or("profiling: missing \"stages\"")?;
+    for stage in Stage::ALL {
+        require_hist_block(stages, stage.label(), "us")?;
+    }
+    let counters = prof.get("counters").ok_or("profiling: missing \"counters\"")?;
+    for f in [
+        "filter_partitions_considered",
+        "filter_partitions_kept",
+        "insertions_attempted",
+        "insertions_feasible",
+    ] {
+        require_num(counters, "counters", f)?;
+    }
+    let cache = prof.get("path_cache").ok_or("profiling: missing \"path_cache\"")?;
+    for f in ["hits", "misses", "evictions", "hit_ratio"] {
+        require_num(cache, "path_cache", f)?;
+    }
+    let oracle = prof.get("oracle").ok_or("profiling: missing \"oracle\"")?;
+    for f in ["vector_hits", "memo_hits", "searches", "pin_computes", "evictions", "hit_ratio"] {
+        require_num(oracle, "oracle", f)?;
+    }
+    let workers = prof.get("workers").ok_or("profiling: missing \"workers\"")?;
+    require_num(workers, "workers", "batches")?;
+    require_num(workers, "workers", "batched_requests")?;
+    match (workers.get("items"), workers.get("utilization")) {
+        (Some(Value::Arr(items)), Some(Value::Arr(util))) if items.len() == util.len() => {}
+        _ => return Err("workers: items/utilization must be equal-length arrays".to_string()),
+    }
+    require_hist_block(prof, "response_ms", "ms")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::{ExternalStats, Obs, RunInfo};
+
+    #[test]
+    fn writer_output_passes_event_validation() {
+        let evs = [
+            Event::Arrival { t: 0.0, req: 0, offline: false },
+            Event::Dispatch { t: 0.0, req: 0, candidates: 3, feasible: 1 },
+            Event::Commit { t: 0.0, req: 0, taxi: 5, detour_s: 1.25, schedule_len: 2 },
+            Event::Reject { t: 1.0, req: 1, reason: RejectReason::ZeroCapacity },
+            Event::Encounter { t: 2.0, req: 2, taxi: 5 },
+            Event::Pickup { t: 3.0, req: 0, taxi: 5, wait_s: 3.0 },
+            Event::Dropoff { t: 4.0, req: 0, taxi: 5, detour_s: 1.25 },
+        ];
+        let trace: String = evs.iter().map(|e| e.to_jsonl() + "\n").collect();
+        assert_eq!(validate_trace(&trace), Ok(evs.len()));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "not json",
+            r#"{"t":1}"#,                                              // no ev
+            r#"{"ev":"warp","t":1}"#,                                  // unknown kind
+            r#"{"ev":"arrival","t":1,"req":2}"#,                       // missing offline
+            r#"{"ev":"arrival","t":1,"req":2,"offline":"yes"}"#,       // wrong type
+            r#"{"ev":"arrival","t":1,"req":2,"offline":true,"x":1}"#,  // extra field
+            r#"{"ev":"reject","t":1,"req":2,"reason":"cosmic_rays"}"#, // unknown reason
+        ] {
+            assert!(validate_event_line(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn time_must_be_non_decreasing() {
+        let good = "{\"ev\":\"encounter\",\"t\":1,\"req\":0,\"taxi\":0}\n\
+                    {\"ev\":\"encounter\",\"t\":1,\"req\":1,\"taxi\":0}\n";
+        assert_eq!(validate_trace(good), Ok(2));
+        let bad = "{\"ev\":\"encounter\",\"t\":2,\"req\":0,\"taxi\":0}\n\
+                   {\"ev\":\"encounter\",\"t\":1,\"req\":1,\"taxi\":0}\n";
+        assert!(validate_trace(bad).is_err());
+    }
+
+    #[test]
+    fn real_summary_passes_validation() {
+        let obs = Obs::enabled();
+        obs.set_run_info(RunInfo {
+            scheme: "mt-share".into(),
+            n_taxis: 2,
+            n_requests: 3,
+            n_offline: 0,
+            parallelism: 1,
+        });
+        obs.emit(Event::Reject { t: 0.0, req: 0, reason: RejectReason::EmptyFleet });
+        obs.set_external_stats(ExternalStats::default());
+        let summary = obs.summary_json().unwrap();
+        validate_summary(&summary).unwrap_or_else(|e| panic!("{e}\n{summary}"));
+    }
+
+    #[test]
+    fn inconsistent_summary_totals_are_rejected() {
+        let obs = Obs::enabled();
+        obs.emit(Event::Reject { t: 0.0, req: 0, reason: RejectReason::EmptyFleet });
+        let summary = obs.summary_json().unwrap();
+        // Forge the total.
+        let forged = summary.replace("\"total\":1", "\"total\":2");
+        assert!(validate_summary(&forged).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Event sinks: where the canonical JSONL stream goes.
+
+use crate::event::Event;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Consumes the ordered event stream. Implementations receive both the
+/// typed event and its canonical JSONL encoding (rendered once by the
+/// bus) so writers don't re-serialize.
+pub trait EventSink: Send {
+    /// Called for every emitted event, in commit order.
+    fn on_event(&mut self, ev: &Event, line: &str);
+    /// Called once at end of run.
+    fn flush(&mut self) {}
+}
+
+/// Writes one JSONL line per event to any `io::Write` (file, stdout,
+/// in-memory buffer).
+pub struct JsonlSink<W: Write + Send> {
+    w: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer. Callers wanting buffering should pass a
+    /// `BufWriter` themselves.
+    pub fn new(w: W) -> Self {
+        Self { w }
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn on_event(&mut self, _ev: &Event, line: &str) {
+        // Telemetry must never take the sim down; drop on I/O error.
+        let _ = self.w.write_all(line.as_bytes());
+        let _ = self.w.write_all(b"\n");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// Captures the JSONL stream into a shared string — used by the
+/// determinism tests to compare byte-identical traces across worker
+/// counts without touching the filesystem.
+pub struct MemorySink {
+    buf: Arc<Mutex<String>>,
+}
+
+impl MemorySink {
+    /// Returns the sink and a handle to the buffer it fills.
+    pub fn new() -> (Self, Arc<Mutex<String>>) {
+        let buf = Arc::new(Mutex::new(String::new()));
+        (Self { buf: buf.clone() }, buf)
+    }
+}
+
+impl EventSink for MemorySink {
+    fn on_event(&mut self, _ev: &Event, line: &str) {
+        let mut buf = self.buf.lock().expect("memory sink poisoned");
+        buf.push_str(line);
+        buf.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let mut out = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut out);
+            let ev = Event::Arrival { t: 0.0, req: 1, offline: false };
+            let line = ev.to_jsonl();
+            sink.on_event(&ev, &line);
+            sink.flush();
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "{\"ev\":\"arrival\",\"t\":0,\"req\":1,\"offline\":false}\n");
+    }
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let (mut sink, buf) = MemorySink::new();
+        let ev = Event::Encounter { t: 1.0, req: 2, taxi: 3 };
+        let line = ev.to_jsonl();
+        sink.on_event(&ev, &line);
+        sink.on_event(&ev, &line);
+        assert_eq!(buf.lock().unwrap().lines().count(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Pipeline stages instrumented with wall-clock span timers.
+
+/// The dispatch pipeline stages whose wall-clock latency is tracked.
+/// These populate the summary's `profiling.stages` subtree only —
+/// wall-clock is nondeterministic and excluded from equivalence checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Grid/index probe producing the candidate taxi set.
+    CandidateSearch,
+    /// Mobility-cluster partition filtering (Sec. IV-B).
+    PartitionFilter,
+    /// Schedule-insertion dynamic program over candidates.
+    InsertionDp,
+    /// Shortest-path / probabilistic routing legs.
+    Routing,
+    /// Sequential commit (validation + plan install).
+    Commit,
+}
+
+impl Stage {
+    /// Number of stages (size of per-stage arrays).
+    pub const COUNT: usize = 5;
+
+    /// All stages in stable (serialization) order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::CandidateSearch,
+        Stage::PartitionFilter,
+        Stage::InsertionDp,
+        Stage::Routing,
+        Stage::Commit,
+    ];
+
+    /// Index into per-stage arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Stage::CandidateSearch => 0,
+            Stage::PartitionFilter => 1,
+            Stage::InsertionDp => 2,
+            Stage::Routing => 3,
+            Stage::Commit => 4,
+        }
+    }
+
+    /// The snake_case label used in the summary JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::CandidateSearch => "candidate_search",
+            Stage::PartitionFilter => "partition_filter",
+            Stage::InsertionDp => "insertion_dp",
+            Stage::Routing => "routing",
+            Stage::Commit => "commit",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_match_all_order() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(Stage::ALL.len(), Stage::COUNT);
+    }
+}

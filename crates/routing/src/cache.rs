@@ -27,13 +27,16 @@ use std::sync::Arc;
 /// comfortably exceeds the worker counts the batch dispatcher uses.
 const SHARDS: usize = 16;
 
-/// Hit/miss counters of a [`PathCache`].
+/// Hit/miss/evict counters of a [`PathCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from the memo.
     pub hits: u64,
     /// Queries that ran a graph search.
     pub misses: u64,
+    /// Entries dropped by [`PathCache::trim_to`]. Zero unless a caller
+    /// bounds the memo (the default policy caches forever).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -134,15 +137,42 @@ impl PathCache {
         }
     }
 
-    /// Snapshot of hit/miss counters, aggregated over all shards.
+    /// Snapshot of hit/miss/evict counters, aggregated over all shards.
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in self.shards.iter() {
             let s = shard.lock().stats;
             total.hits += s.hits;
             total.misses += s.misses;
+            total.evictions += s.evictions;
         }
         total
+    }
+
+    /// Bounds the memo to at most `max_entries`, dropping whole shards'
+    /// overflow (entries are evicted in unspecified order; the memo only
+    /// accelerates, it never changes answers). Returns how many entries
+    /// were evicted. Deployments replaying city-scale traces call this
+    /// between episodes to cap resident memory.
+    pub fn trim_to(&self, max_entries: usize) -> u64 {
+        let per_shard = max_entries / SHARDS;
+        let mut evicted = 0u64;
+        for shard in self.shards.iter() {
+            let mut s = shard.lock();
+            if s.costs.len() > per_shard {
+                let excess = (s.costs.len() - per_shard) as u64;
+                if per_shard == 0 {
+                    s.costs.clear();
+                } else {
+                    let keep: Vec<u64> = s.costs.keys().copied().take(per_shard).collect();
+                    let kept: FxHashMap<u64, f32> = keep.iter().map(|k| (*k, s.costs[k])).collect();
+                    s.costs = kept;
+                }
+                s.stats.evictions += excess;
+                evicted += excess;
+            }
+        }
+        evicted
     }
 
     /// Number of memoized entries.
@@ -235,6 +265,27 @@ mod tests {
         assert_eq!(c.len(), 4);
         assert!(!c.is_empty());
         assert!(c.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn trim_to_counts_evictions_and_keeps_answers_correct() {
+        let (g, c) = cache();
+        let sources: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let targets: Vec<NodeId> = (390..399).map(NodeId).collect();
+        c.warm(&sources, &targets);
+        let before = c.len();
+        assert!(before > 0);
+        let evicted = c.trim_to(0);
+        assert_eq!(evicted, before as u64);
+        assert_eq!(c.stats().evictions, evicted);
+        assert!(c.is_empty());
+        // A re-query after eviction still returns the canonical value.
+        let mut d = Dijkstra::new(&g);
+        let want = d.cost(&g, NodeId(0), NodeId(390)).unwrap();
+        let got = c.cost(NodeId(0), NodeId(390)).unwrap();
+        assert!((got - want).abs() < 1e-2);
+        // Trimming to a generous bound evicts nothing.
+        assert_eq!(c.trim_to(1 << 20), 0);
     }
 
     #[test]

@@ -61,6 +61,8 @@ pub struct OracleStats {
     pub searches: u64,
     /// One-to-all computations performed for pins.
     pub pin_computes: u64,
+    /// Pinned vectors freed because their refcount dropped to zero.
+    pub evictions: u64,
 }
 
 #[derive(Debug, Default)]
@@ -69,6 +71,7 @@ struct AtomicStats {
     memo_hits: AtomicU64,
     searches: AtomicU64,
     pin_computes: AtomicU64,
+    evictions: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -136,6 +139,7 @@ impl HotNodeOracle {
             e.refs -= 1;
             if e.refs == 0 {
                 pinned.remove(&node.0);
+                self.stats.evictions.fetch_add(1, Relaxed);
             }
         }
     }
@@ -182,6 +186,7 @@ impl HotNodeOracle {
             memo_hits: self.stats.memo_hits.load(Relaxed),
             searches: self.stats.searches.load(Relaxed),
             pin_computes: self.stats.pin_computes.load(Relaxed),
+            evictions: self.stats.evictions.load(Relaxed),
         }
     }
 
@@ -254,10 +259,13 @@ mod tests {
         assert_eq!(computes, 2); // one fwd + one bwd, second pin free
         o.unpin(NodeId(7));
         assert_eq!(o.pinned_count(), 1);
+        assert_eq!(o.stats().evictions, 0);
         o.unpin(NodeId(7));
         assert_eq!(o.pinned_count(), 0);
+        assert_eq!(o.stats().evictions, 1);
         o.unpin(NodeId(7)); // no-op
         assert_eq!(o.pinned_count(), 0);
+        assert_eq!(o.stats().evictions, 1);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! - [`metrics`]: per-run reports (served / response / detour / waiting /
 //!   fares / memory);
 //! - [`stats`]: dataset statistics (Fig. 5);
-//! - [`trace`]: loader for real GAIA-format transaction traces.
+//! - [`trace`]: loader for real GAIA-format transaction traces;
+//! - [`telemetry`]: rejection-reason classification for the `mtshare-obs`
+//!   event stream.
 
 #![warn(missing_docs)]
 
@@ -18,6 +20,7 @@ pub mod metrics;
 pub mod scenario;
 pub mod simulator;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod workload;
 
@@ -26,6 +29,7 @@ pub use scenario::{
     build_context, materialize, Scenario, ScenarioConfig, ScenarioKind, SchemeKind,
 };
 pub use simulator::{SimConfig, Simulator};
+pub use telemetry::classify_rejection;
 pub use trace::{parse_trace, snap_trace, SnappedTrace, TraceParse, TraceRecord};
 pub use workload::{
     weekend_profile, workday_profile, RawRequest, WorkloadConfig, WorkloadGenerator,

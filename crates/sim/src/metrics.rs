@@ -1,52 +1,12 @@
 //! Metric collection matching Sec. V-A3.
+//!
+//! The scalar accumulator lives in `mtshare-obs` now (it backs the summary
+//! statistics there too); it is re-exported here so existing call sites and
+//! downstream users keep compiling unchanged. The obs version fixes the
+//! quadratic clone-and-sort that the old in-crate `Series::quantile` paid on
+//! every call by keeping a lazily rebuilt sorted cache.
 
-/// Simple accumulator for a scalar metric.
-#[derive(Debug, Clone, Default)]
-pub struct Series {
-    values: Vec<f64>,
-}
-
-impl Series {
-    /// Adds an observation.
-    pub fn push(&mut self, v: f64) {
-        self.values.push(v);
-    }
-
-    /// Number of observations.
-    pub fn len(&self) -> usize {
-        self.values.len()
-    }
-
-    /// Whether the series is empty.
-    pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
-    }
-
-    /// Arithmetic mean (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.values.is_empty() {
-            0.0
-        } else {
-            self.values.iter().sum::<f64>() / self.values.len() as f64
-        }
-    }
-
-    /// The `q`-quantile (nearest-rank; 0 when empty).
-    pub fn quantile(&self, q: f64) -> f64 {
-        if self.values.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
-        sorted[idx]
-    }
-
-    /// Sum of all observations.
-    pub fn sum(&self) -> f64 {
-        self.values.iter().sum()
-    }
-}
+pub use mtshare_obs::Series;
 
 /// One delivered request, for external invariant auditing.
 #[derive(Debug, Clone, Copy, PartialEq)]

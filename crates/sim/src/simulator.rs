@@ -10,11 +10,13 @@
 
 use crate::metrics::{Series, ServedRecord, SimReport};
 use crate::scenario::Scenario;
+use crate::telemetry::classify_rejection;
 use mtshare_core::{settle_episode, PassengerTrip, PaymentConfig};
 use mtshare_model::{
     DispatchScheme, EventKind, RequestId, RequestStore, RideRequest, Taxi, TaxiId, Time,
     TimedRoute, World,
 };
+use mtshare_obs::{Event, ExternalStats, Obs, RejectReason, RunInfo, Stage};
 use mtshare_road::{RoadNetwork, SpatialGrid};
 use mtshare_routing::{HotNodeOracle, PathCache};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -106,6 +108,14 @@ pub struct Simulator {
     /// request → watched nodes (for cleanup).
     watched_nodes: FxHashMap<RequestId, Vec<u32>>,
     spatial: SpatialGrid,
+    // --- observability ---
+    /// Telemetry bus; disabled by default. Events are emitted only from
+    /// the sequential commit side, stamped with simulation time, so the
+    /// stream is identical at any `parallelism` (see `mtshare-obs` docs).
+    obs: Obs,
+    /// Latest simulation time processed; stamps end-of-run events so the
+    /// emitted stream stays monotone in sim time.
+    clock: Time,
     // --- metrics ---
     pickup_time: FxHashMap<RequestId, Time>,
     episodes: Vec<Episode>,
@@ -149,6 +159,8 @@ impl Simulator {
             offline_watch: FxHashMap::default(),
             watched_nodes: FxHashMap::default(),
             spatial,
+            obs: Obs::disabled(),
+            clock: 0.0,
             pickup_time: FxHashMap::default(),
             episodes: (0..n_taxis).map(|_| Episode::default()).collect(),
             response_ms: Series::default(),
@@ -164,6 +176,12 @@ impl Simulator {
             benefit: 0.0,
             served_records: Vec::new(),
         }
+    }
+
+    /// Attaches a telemetry bus. Chainable; call before [`Simulator::run`].
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     fn world(&self) -> World<'_> {
@@ -184,6 +202,7 @@ impl Simulator {
     /// Runs the scenario to completion and reports the metrics.
     pub fn run(mut self, scheme: &mut dyn DispatchScheme) -> SimReport {
         let start = std::time::Instant::now();
+        scheme.set_obs(self.obs.clone());
         scheme.install(&self.world());
 
         let order: Vec<RequestId> = self.requests.iter().map(|r| r.id).collect();
@@ -200,8 +219,10 @@ impl Simulator {
             }
             if t_ev <= t_req {
                 let Reverse(q) = self.heap.pop().expect("peeked");
+                self.clock = self.clock.max(q.time);
                 self.process_event(q, scheme);
             } else {
+                self.clock = self.clock.max(t_req);
                 if self.cfg.parallelism > 1 {
                     let batch = self.gather_batch(&order, next_arrival, t_ev);
                     if batch.len() >= 2 {
@@ -291,6 +312,10 @@ impl Simulator {
             }
             consumed += 1;
             let now = req.release_time;
+            self.clock = self.clock.max(now);
+            // Events replay exactly what the sequential loop would emit:
+            // arrival, then the dispatch verdict, in arrival order.
+            self.obs.emit(Event::Arrival { t: now, req: req.id.0, offline: false });
             let t0 = std::time::Instant::now();
             let outcome = {
                 let world = World {
@@ -306,22 +331,50 @@ impl Simulator {
                     scheme.dispatch(req, now, &world)
                 }
             };
-            self.response_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+            let elapsed = t0.elapsed().as_secs_f64();
+            self.response_ms.push(elapsed * 1000.0);
+            self.obs.record_response_s(elapsed);
             self.candidates.push(outcome.candidates_examined as f64);
+            self.obs.emit(Event::Dispatch {
+                t: now,
+                req: req.id.0,
+                candidates: outcome.candidates_examined as u32,
+                feasible: outcome.feasible_instances as u32,
+            });
             match outcome.assignment {
                 Some(a) => self.commit(req, a, now, scheme),
                 None => {
                     self.oracle.unpin(req.origin);
                     self.oracle.unpin(req.destination);
                     self.rejected += 1;
+                    self.emit_reject(req, now);
                 }
             }
         }
         consumed
     }
 
+    /// Classifies and emits a rejection event (enabled-telemetry only:
+    /// classification probes the path cache, which the accept path never
+    /// pays for).
+    fn emit_reject(&self, req: &RideRequest, now: Time) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let world = World {
+            graph: &self.graph,
+            cache: &self.cache,
+            oracle: &self.oracle,
+            taxis: &self.taxis,
+            requests: &self.requests,
+        };
+        let reason = classify_rejection(req, &world);
+        self.obs.emit(Event::Reject { t: now, req: req.id.0, reason });
+    }
+
     fn process_arrival(&mut self, id: RequestId, scheme: &mut dyn DispatchScheme) {
         let req = self.requests.get(id).clone();
+        self.obs.emit(Event::Arrival { t: req.release_time, req: req.id.0, offline: req.offline });
         if req.offline {
             self.register_offline(&req);
         } else {
@@ -357,8 +410,16 @@ impl Simulator {
                 None => scheme.dispatch(req, now, &world),
             }
         };
-        self.response_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+        let elapsed = t0.elapsed().as_secs_f64();
+        self.response_ms.push(elapsed * 1000.0);
+        self.obs.record_response_s(elapsed);
         self.candidates.push(out.candidates_examined as f64);
+        self.obs.emit(Event::Dispatch {
+            t: now,
+            req: req.id.0,
+            candidates: out.candidates_examined as u32,
+            feasible: out.feasible_instances as u32,
+        });
         match out.assignment {
             Some(a) => {
                 self.commit(req, a, now, scheme);
@@ -369,6 +430,7 @@ impl Simulator {
                 self.oracle.unpin(req.destination);
                 if encountered_by.is_none() {
                     self.rejected += 1;
+                    self.emit_reject(req, now);
                 }
                 false
             }
@@ -382,6 +444,14 @@ impl Simulator {
         now: Time,
         scheme: &mut dyn DispatchScheme,
     ) {
+        let _span = self.obs.stage(Stage::Commit);
+        self.obs.emit(Event::Commit {
+            t: now,
+            req: req.id.0,
+            taxi: a.taxi.0,
+            detour_s: a.detour_cost_s,
+            schedule_len: a.schedule.len() as u32,
+        });
         let taxi = &mut self.taxis[a.taxi.index()];
         let pos = taxi.position_at(now);
         taxi.location = pos;
@@ -533,6 +603,12 @@ impl Simulator {
         match ev.kind {
             EventKind::Pickup => {
                 self.waiting_s.push(t - req.release_time);
+                self.obs.emit(Event::Pickup {
+                    t,
+                    req: req.id.0,
+                    taxi: taxi_id.0,
+                    wait_s: t - req.release_time,
+                });
                 self.pickup_time.insert(req.id, t);
                 let ep = &mut self.episodes[taxi_id.index()];
                 if ep.onboard_since.is_none() {
@@ -543,6 +619,12 @@ impl Simulator {
                 let picked = self.pickup_time.remove(&req.id).unwrap_or(req.release_time);
                 let shared = t - picked;
                 self.detour_s.push((shared - req.direct_cost_s).max(0.0));
+                self.obs.emit(Event::Dropoff {
+                    t,
+                    req: req.id.0,
+                    taxi: taxi_id.0,
+                    detour_s: (shared - req.direct_cost_s).max(0.0),
+                });
                 if req.offline {
                     self.served_offline += 1;
                 } else {
@@ -603,6 +685,7 @@ impl Simulator {
         if t > req.pickup_deadline() {
             self.drop_offline_watch(request);
             self.rejected += 1;
+            self.obs.emit(Event::Reject { t, req: req.id.0, reason: RejectReason::OfflineExpired });
             return;
         }
         {
@@ -617,6 +700,7 @@ impl Simulator {
         }
         // Driver reports the request; the server matches it (possibly to
         // another taxi).
+        self.obs.emit(Event::Encounter { t, req: req.id.0, taxi: taxi_id.0 });
         self.pending_offline.remove(&request);
         if self.try_dispatch(&req, t, Some(taxi_id), scheme) {
             self.drop_offline_watch_only(request);
@@ -657,11 +741,52 @@ impl Simulator {
         for i in 0..self.taxis.len() {
             self.settle_taxi(TaxiId(i as u32));
         }
-        // Offline requests never served count as rejected.
-        let expired = self.pending_offline.len();
+        // Offline requests never served count as rejected. The pending
+        // set iterates in hash order, so sort by id before emitting —
+        // the event stream must not depend on FxHashSet iteration.
+        let mut expired_ids: Vec<RequestId> = self.pending_offline.iter().copied().collect();
+        expired_ids.sort_unstable();
+        let expired = expired_ids.len();
         self.rejected += expired;
+        // Stamp with the run horizon (never earlier than any emitted
+        // event) so the stream stays monotone in sim time.
+        let horizon = expired_ids
+            .iter()
+            .map(|&id| self.requests.get(id).pickup_deadline())
+            .fold(self.clock, f64::max);
+        for id in expired_ids {
+            self.obs.emit(Event::Reject {
+                t: horizon,
+                req: id.0,
+                reason: RejectReason::OfflineExpired,
+            });
+        }
 
         let n_offline = self.requests.iter().filter(|r| r.offline).count();
+
+        if self.obs.is_enabled() {
+            self.obs.set_run_info(RunInfo {
+                scheme: scheme.name().to_string(),
+                n_taxis: self.taxis.len(),
+                n_requests: self.requests.len(),
+                n_offline,
+                parallelism: self.cfg.parallelism,
+            });
+            let cs = self.cache.stats();
+            let os = self.oracle.stats();
+            self.obs.set_external_stats(ExternalStats {
+                cache_hits: cs.hits,
+                cache_misses: cs.misses,
+                cache_evictions: cs.evictions,
+                oracle_vector_hits: os.vector_hits,
+                oracle_memo_hits: os.memo_hits,
+                oracle_searches: os.searches,
+                oracle_pin_computes: os.pin_computes,
+                oracle_evictions: os.evictions,
+            });
+            self.obs.flush();
+        }
+
         SimReport {
             scheme: scheme.name().to_string(),
             n_taxis: self.taxis.len(),

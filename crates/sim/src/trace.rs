@@ -208,6 +208,59 @@ mod tests {
         let p = parse_trace(Cursor::new("o,t,0,200.0,30.0,104.0,30.0\n")).unwrap();
         assert!(p.records.is_empty());
         assert!(p.errors[0].1.contains("out of range"));
+        // Each out-of-range field is named individually.
+        let p = parse_trace(Cursor::new("o,t,0,104.0,95.0,104.0,30.0\n")).unwrap();
+        assert!(p.errors[0].1.contains("pickup_lat"));
+        let p = parse_trace(Cursor::new("o,t,0,104.0,30.0,104.0,-95.0\n")).unwrap();
+        assert!(p.errors[0].1.contains("dropoff_lat"));
+        let p = parse_trace(Cursor::new("o,t,0,104.0,30.0,-200.0,30.0\n")).unwrap();
+        assert!(p.errors[0].1.contains("dropoff_lng"));
+    }
+
+    #[test]
+    fn malformed_lines_are_collected_never_fatal() {
+        // One valid line surrounded by every malformation class: short
+        // lines, non-numeric fields, an empty order id. All land in
+        // `errors` with 1-based line numbers; parsing always succeeds.
+        let csv = "o1,t1,notatime,104.0,30.0,104.1,30.1\n\
+                   o2,t2,0,east,30.0,104.1,30.1\n\
+                   o3,t3,0,104.0,north,104.1,30.1\n\
+                   o4,t4,0,104.0,30.0\n\
+                   ,t5,0,104.0,30.0,104.1,30.1\n\
+                   ok,t6,42,104.0,30.0,104.1,30.1\n";
+        let p = parse_trace(Cursor::new(csv)).unwrap();
+        assert_eq!(p.records.len(), 1);
+        assert_eq!(p.records[0].order_id, "ok");
+        assert_eq!(p.errors.len(), 5);
+        let lines: Vec<usize> = p.errors.iter().map(|(n, _)| *n).collect();
+        assert_eq!(lines, vec![1, 2, 3, 4, 5]);
+        assert!(p.errors[0].1.contains("bad timestamp"));
+        assert!(p.errors[1].1.contains("bad pickup_lng"));
+        assert!(p.errors[2].1.contains("bad pickup_lat"));
+        assert!(p.errors[3].1.contains("missing dropoff_lng"));
+        assert!(p.errors[4].1.contains("empty order_id"));
+    }
+
+    #[test]
+    fn extra_trailing_columns_are_ignored() {
+        // GAIA dumps sometimes carry extra columns (fares, status codes);
+        // the documented contract is to ignore them.
+        let csv = "o1,t1,10,104.0,30.0,104.1,30.1,extra,columns,9.5\n";
+        let p = parse_trace(Cursor::new(csv)).unwrap();
+        assert_eq!(p.records.len(), 1);
+        assert!(p.errors.is_empty());
+        assert_eq!(p.records[0].release_unix_s, 10.0);
+        assert_eq!(p.records[0].dropoff, GeoPoint::new(30.1, 104.1));
+    }
+
+    #[test]
+    fn comments_blanks_and_whitespace_are_tolerated() {
+        let csv = "# header comment\n\n   \n  o1 , t1 , 5 , 104.0 , 30.0 , 104.1 , 30.1  \n";
+        let p = parse_trace(Cursor::new(csv)).unwrap();
+        assert_eq!(p.records.len(), 1);
+        assert!(p.errors.is_empty());
+        assert_eq!(p.records[0].order_id, "o1");
+        assert_eq!(p.records[0].taxi_id, "t1");
     }
 
     #[test]

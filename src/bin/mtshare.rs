@@ -60,7 +60,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
+        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
     );
     std::process::exit(2)
 }
@@ -125,7 +125,38 @@ fn simulate(args: &Args) {
         .then(|| mt_share::core::MtShareConfig::default().with_parallelism(parallelism));
     let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, mt_cfg);
     let sim_cfg = SimConfig { parallelism, ..SimConfig::default() };
-    let report = Simulator::new(graph, cache, &scenario, sim_cfg).run(scheme.as_mut());
+
+    // Telemetry is collected only when at least one output was asked for.
+    let metrics_out = args.get("metrics-out");
+    let trace_out = args.get("trace-out");
+    let obs = if metrics_out.is_some() || trace_out.is_some() {
+        let obs = mt_share::obs::Obs::enabled();
+        if let Some(path) = trace_out {
+            let f = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(1);
+            });
+            obs.add_sink(Box::new(mt_share::obs::JsonlSink::new(std::io::BufWriter::new(f))));
+        }
+        obs
+    } else {
+        mt_share::obs::Obs::disabled()
+    };
+
+    let report =
+        Simulator::new(graph, cache, &scenario, sim_cfg).with_obs(obs.clone()).run(scheme.as_mut());
+
+    if let Some(path) = metrics_out {
+        let summary = obs.summary_json().expect("telemetry enabled");
+        std::fs::write(path, summary + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote summary to {path}");
+    }
+    if let Some(path) = trace_out {
+        eprintln!("wrote event trace to {path}");
+    }
 
     println!("scheme          {}", report.scheme);
     println!("parallelism     {parallelism}");

@@ -1,0 +1,66 @@
+//! `obs_check` — validates telemetry artifacts against the documented
+//! schema.
+//!
+//! ```text
+//! obs_check --trace events.jsonl --summary summary.json
+//! ```
+//!
+//! Exits 0 when every artifact matches the contract (see DESIGN.md,
+//! "Observability"): each trace line is a known event kind with exactly
+//! the documented fields, sim time never goes backwards, and the summary
+//! carries the full per-stage/cache/rejection layout with internally
+//! consistent totals. CI runs this against a fresh simulation before
+//! archiving the summary, so schema drift fails the build instead of
+//! silently corrupting the perf trajectory.
+
+use mt_share::obs::schema::{validate_summary, validate_trace};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut trace_path: Option<String> = None;
+    let mut summary_path: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => trace_path = args.next(),
+            "--summary" => summary_path = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: obs_check [--trace FILE.jsonl] [--summary FILE.json]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if trace_path.is_none() && summary_path.is_none() {
+        eprintln!("usage: obs_check [--trace FILE.jsonl] [--summary FILE.json]");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    if let Some(path) = trace_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match validate_trace(&text) {
+            Ok(n) => println!("{path}: {n} events, schema OK"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = summary_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match validate_summary(&text) {
+            Ok(()) => println!("{path}: summary schema OK"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

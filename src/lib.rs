@@ -13,7 +13,9 @@
 //! - [`core`]: the mT-Share system (dual indexing, matching, basic +
 //!   probabilistic routing, payment model);
 //! - [`baselines`]: No-Sharing, T-Share, pGreedyDP;
-//! - [`sim`]: workload generator and the event-driven simulator.
+//! - [`sim`]: workload generator and the event-driven simulator;
+//! - [`obs`]: structured observability (events, counters, histograms,
+//!   stage spans, JSONL export) — see DESIGN.md, "Observability".
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the paper-to-module map.
@@ -22,6 +24,7 @@ pub use mtshare_baselines as baselines;
 pub use mtshare_core as core;
 pub use mtshare_mobility as mobility;
 pub use mtshare_model as model;
+pub use mtshare_obs as obs;
 pub use mtshare_road as road;
 pub use mtshare_routing as routing;
 pub use mtshare_sim as sim;

@@ -5,8 +5,10 @@
 use mt_share::baselines::{NoSharing, PGreedyDp, TShare};
 use mt_share::core::{MobilityContext, MtShare, MtShareConfig, PartitionStrategy};
 use mt_share::model::{DispatchScheme, RequestId, RequestStore, RideRequest, Taxi, TaxiId, World};
+use mt_share::obs::{schema, MemorySink, Obs, RejectReason};
 use mt_share::road::{grid_city, EdgeSpec, GeoPoint, GridCityConfig, NodeId, RoadNetwork};
 use mt_share::routing::{HotNodeOracle, PathCache};
+use mt_share::sim::{Scenario, ScenarioConfig, SimConfig, Simulator};
 use std::sync::Arc;
 
 fn one_way_pair() -> Arc<RoadNetwork> {
@@ -125,6 +127,106 @@ fn zero_capacity_taxi_never_assigned() {
         s.install(&world);
         assert!(s.dispatch(&req, 0.0, &world).assignment.is_none(), "{}", s.name());
     }
+}
+
+/// Runs one request through a full simulation with telemetry attached
+/// and returns the bus plus the JSONL trace. The request must end up
+/// rejected — the tests below assert on the *reason* counter.
+fn run_single_rejection(
+    graph: &Arc<RoadNetwork>,
+    cache: &PathCache,
+    taxis: Vec<Taxi>,
+    req: RideRequest,
+) -> (Obs, String) {
+    let n_taxis = taxis.len();
+    let scenario = Scenario {
+        config: ScenarioConfig::peak(n_taxis.max(1)),
+        historical: Vec::new(),
+        requests: vec![req],
+        taxis,
+    };
+    let ctx = MobilityContext::build(graph, &[], 1, 1, 0, PartitionStrategy::Grid);
+    let mut scheme = MtShare::new(graph, ctx, MtShareConfig::default(), n_taxis);
+    let obs = Obs::enabled();
+    let (sink, buf) = MemorySink::new();
+    obs.add_sink(Box::new(sink));
+    let report = Simulator::new(graph.clone(), cache.clone(), &scenario, SimConfig::default())
+        .with_obs(obs.clone())
+        .run(&mut scheme);
+    assert_eq!(report.served, 0);
+    assert_eq!(report.rejected, 1);
+    let trace = buf.lock().unwrap().clone();
+    schema::validate_trace(&trace).expect("rejection trace must be schema-valid");
+    (obs, trace)
+}
+
+/// Asserts exactly one rejection was recorded, under `reason`.
+fn assert_sole_reason(obs: &Obs, trace: &str, reason: RejectReason) {
+    for r in RejectReason::ALL {
+        let want = u64::from(r == reason);
+        assert_eq!(obs.reject_count(r), want, "count for {}", r.label());
+    }
+    assert!(
+        trace.contains(&format!("\"reason\":\"{}\"", reason.label())),
+        "trace must name the reason:\n{trace}"
+    );
+}
+
+#[test]
+fn unreachable_od_increments_its_reason_counter() {
+    let graph = one_way_pair();
+    let cache = PathCache::new(graph.clone());
+    let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(1))];
+    let req = request(0, 1, 0, f64::INFINITY, 1e12); // 1 -> 0 unreachable
+    let (obs, trace) = run_single_rejection(&graph, &cache, taxis, req);
+    assert_sole_reason(&obs, &trace, RejectReason::UnreachableOd);
+}
+
+#[test]
+fn infeasible_deadline_increments_its_reason_counter() {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(399))];
+    let direct = cache.cost(NodeId(0), NodeId(20)).unwrap();
+    // Deadline below the direct drive: infeasible even from the origin.
+    let req = request(0, 0, 20, direct, direct * 0.5);
+    let (obs, trace) = run_single_rejection(&graph, &cache, taxis, req);
+    assert_sole_reason(&obs, &trace, RejectReason::InfeasibleDeadline);
+}
+
+#[test]
+fn zero_capacity_increments_its_reason_counter() {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let taxis = vec![Taxi::new(TaxiId(0), 0, NodeId(1))];
+    let direct = cache.cost(NodeId(0), NodeId(399)).unwrap();
+    let req = request(0, 0, 399, direct, direct * 3.0);
+    let (obs, trace) = run_single_rejection(&graph, &cache, taxis, req);
+    assert_sole_reason(&obs, &trace, RejectReason::ZeroCapacity);
+}
+
+#[test]
+fn empty_fleet_increments_its_reason_counter() {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let direct = cache.cost(NodeId(0), NodeId(399)).unwrap();
+    let req = request(0, 0, 399, direct, direct * 10.0);
+    let (obs, trace) = run_single_rejection(&graph, &cache, Vec::new(), req);
+    assert_sole_reason(&obs, &trace, RejectReason::EmptyFleet);
+}
+
+#[test]
+fn honest_rejection_classifies_as_no_feasible_insertion() {
+    // Serviceable in principle (reachable, feasible deadline, enough
+    // seats) but the lone taxi is too far to make the pickup: the
+    // fallback reason must be no_feasible_insertion, not a structural one.
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(399))];
+    let direct = cache.cost(NodeId(0), NodeId(20)).unwrap();
+    let req = request(0, 0, 20, direct, direct + 1.0); // 1 s of slack
+    let (obs, trace) = run_single_rejection(&graph, &cache, taxis, req);
+    assert_sole_reason(&obs, &trace, RejectReason::NoFeasibleInsertion);
 }
 
 #[test]

@@ -1,0 +1,136 @@
+//! End-to-end observability: a full simulation with telemetry enabled
+//! must emit a schema-valid JSONL event stream and a summary whose
+//! numbers are internally consistent with the simulation report.
+
+use mt_share::core::{MtShareConfig, PartitionStrategy};
+use mt_share::obs::{json, schema, MemorySink, Obs, Stage, EVENT_KINDS};
+use mt_share::road::{grid_city, GridCityConfig};
+use mt_share::routing::PathCache;
+use mt_share::sim::{
+    build_context, Scenario, ScenarioConfig, SchemeKind, SimConfig, SimReport, Simulator,
+};
+use std::sync::Arc;
+
+fn observed_run(
+    kind: SchemeKind,
+    cfg: ScenarioConfig,
+    parallelism: usize,
+) -> (SimReport, Obs, String) {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let scenario = Scenario::generate(graph.clone(), &cache, cfg);
+    let ctx = kind
+        .needs_context()
+        .then(|| build_context(&graph, &scenario.historical, 12, PartitionStrategy::Bipartite));
+    let mt_cfg = MtShareConfig::default().with_parallelism(parallelism);
+    let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, Some(mt_cfg));
+    let obs = Obs::enabled();
+    let (sink, buf) = MemorySink::new();
+    obs.add_sink(Box::new(sink));
+    let sim_cfg = SimConfig { parallelism, ..SimConfig::default() };
+    let report =
+        Simulator::new(graph, cache, &scenario, sim_cfg).with_obs(obs.clone()).run(scheme.as_mut());
+    let trace = buf.lock().unwrap().clone();
+    (report, obs, trace)
+}
+
+fn count_kind(trace: &str, kind: &str) -> usize {
+    let needle = format!("\"ev\":\"{kind}\"");
+    trace.lines().filter(|l| l.contains(&needle)).count()
+}
+
+#[test]
+fn trace_is_schema_valid_and_consistent_with_the_report() {
+    let (report, obs, trace) = observed_run(SchemeKind::MtShare, ScenarioConfig::peak(12), 1);
+    let n_events = schema::validate_trace(&trace).expect("schema-valid trace");
+    assert!(n_events > 0);
+
+    // Every request arrives exactly once; lifecycle counts reconcile
+    // with the report.
+    assert_eq!(count_kind(&trace, "arrival"), report.n_requests);
+    assert_eq!(count_kind(&trace, "commit"), count_kind(&trace, "pickup"));
+    assert_eq!(count_kind(&trace, "dropoff"), report.served);
+    assert_eq!(count_kind(&trace, "reject"), report.rejected);
+
+    // The aggregate counters agree with the stream.
+    let counts = obs.event_counts();
+    for (i, kind) in EVENT_KINDS.iter().enumerate() {
+        assert_eq!(counts[i] as usize, count_kind(&trace, kind), "count for {kind}");
+    }
+}
+
+#[test]
+fn summary_reports_stage_quantiles_and_cache_rates() {
+    let (report, obs, _) = observed_run(SchemeKind::MtShare, ScenarioConfig::peak(12), 2);
+    let summary = obs.summary_json().expect("enabled");
+    schema::validate_summary(&summary).expect("schema-valid summary");
+    let v = json::parse(&summary).unwrap();
+
+    let run = v.get("run").unwrap();
+    assert_eq!(run.get("requests").and_then(|n| n.as_num()), Some(report.n_requests as f64));
+    assert_eq!(run.get("taxis").and_then(|n| n.as_num()), Some(report.n_taxis as f64));
+
+    // Every pipeline stage was actually timed during the run...
+    for stage in [Stage::CandidateSearch, Stage::InsertionDp, Stage::Routing, Stage::Commit] {
+        assert!(obs.stage_count(stage) > 0, "{} never recorded", stage.label());
+    }
+    // ...and its quantiles appear in the summary.
+    let stages = v.get("profiling").and_then(|p| p.get("stages")).unwrap();
+    for stage in Stage::ALL {
+        let block = stages.get(stage.label()).unwrap();
+        for q in ["p50_us", "p95_us", "p99_us"] {
+            let val = block.get(q).and_then(|n| n.as_num()).unwrap();
+            assert!(val >= 0.0, "{}::{q}", stage.label());
+        }
+    }
+
+    // The shared path cache was exercised and its rates surfaced.
+    let cache = v.get("profiling").and_then(|p| p.get("path_cache")).unwrap();
+    let hits = cache.get("hits").and_then(|n| n.as_num()).unwrap();
+    let ratio = cache.get("hit_ratio").and_then(|n| n.as_num()).unwrap();
+    assert!(hits > 0.0);
+    assert!((0.0..=1.0).contains(&ratio));
+    let oracle = v.get("profiling").and_then(|p| p.get("oracle")).unwrap();
+    assert!(oracle.get("vector_hits").and_then(|n| n.as_num()).unwrap() > 0.0);
+    // Requests were pinned and released: evictions track completed pins.
+    assert!(oracle.get("evictions").and_then(|n| n.as_num()).unwrap() > 0.0);
+
+    // Rejection taxonomy totals reconcile with the report.
+    let rej = v.get("rejections").unwrap();
+    assert_eq!(rej.get("total").and_then(|n| n.as_num()), Some(report.rejected as f64));
+
+    // The partition filter and insertion DP recorded work.
+    assert!(obs.filter_considered() > 0);
+    assert!(obs.insertions_attempted() > 0);
+}
+
+#[test]
+fn parallel_run_reports_worker_utilization() {
+    let (_, obs, _) = observed_run(SchemeKind::MtShare, ScenarioConfig::peak(12), 2);
+    let v = json::parse(&obs.summary_json().unwrap()).unwrap();
+    let workers = v.get("profiling").and_then(|p| p.get("workers")).unwrap();
+    assert!(workers.get("batches").and_then(|n| n.as_num()).unwrap() > 0.0);
+    let batched = workers.get("batched_requests").and_then(|n| n.as_num()).unwrap();
+    assert!(batched > 0.0);
+    let mt_share::obs::json::Value::Arr(items) = workers.get("items").unwrap() else {
+        panic!("items must be an array");
+    };
+    assert_eq!(items.len(), 2, "one slot per worker");
+    let scored: f64 = items.iter().filter_map(|v| v.as_num()).sum();
+    assert!(scored >= batched, "every batched request is scored at least once");
+}
+
+#[test]
+fn disabled_bus_emits_nothing() {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let scenario = Scenario::generate(graph.clone(), &cache, ScenarioConfig::peak(10));
+    let mut scheme = SchemeKind::NoSharing.build(&graph, scenario.taxis.len(), None, None);
+    let obs = Obs::disabled();
+    let report = Simulator::new(graph, cache, &scenario, SimConfig::default())
+        .with_obs(obs.clone())
+        .run(scheme.as_mut());
+    assert!(report.served > 0);
+    assert!(obs.summary_json().is_none());
+    assert_eq!(obs.event_counts(), [0; 7]);
+}

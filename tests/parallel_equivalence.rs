@@ -12,6 +12,7 @@
 //! the paper's evaluation reports as *outcomes* must be bit-identical.
 
 use mt_share::core::{MtShareConfig, PartitionStrategy};
+use mt_share::obs::{json, MemorySink, Obs};
 use mt_share::road::{grid_city, GridCityConfig};
 use mt_share::routing::PathCache;
 use mt_share::sim::{
@@ -20,6 +21,15 @@ use mt_share::sim::{
 use std::sync::Arc;
 
 fn run_at(kind: SchemeKind, scenario_cfg: &ScenarioConfig, parallelism: usize) -> SimReport {
+    run_with_obs(kind, scenario_cfg, parallelism, Obs::disabled()).0
+}
+
+fn run_with_obs(
+    kind: SchemeKind,
+    scenario_cfg: &ScenarioConfig,
+    parallelism: usize,
+    obs: Obs,
+) -> (SimReport, Obs) {
     let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
     let cache = PathCache::new(graph.clone());
     let scenario = Scenario::generate(graph.clone(), &cache, scenario_cfg.clone());
@@ -29,7 +39,23 @@ fn run_at(kind: SchemeKind, scenario_cfg: &ScenarioConfig, parallelism: usize) -
     let mt_cfg = MtShareConfig::default().with_parallelism(parallelism);
     let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, Some(mt_cfg));
     let sim_cfg = SimConfig { parallelism, ..SimConfig::default() };
-    Simulator::new(graph, cache, &scenario, sim_cfg).run(scheme.as_mut())
+    let report =
+        Simulator::new(graph, cache, &scenario, sim_cfg).with_obs(obs.clone()).run(scheme.as_mut());
+    (report, obs)
+}
+
+/// Runs with full telemetry and returns `(event trace bytes, summary with
+/// the wall-clock/schedule-dependent "profiling" subtree stripped)`.
+fn telemetry_at(kind: SchemeKind, cfg: &ScenarioConfig, parallelism: usize) -> (String, String) {
+    let obs = Obs::enabled();
+    let (sink, buf) = MemorySink::new();
+    obs.add_sink(Box::new(sink));
+    let (_, obs) = run_with_obs(kind, cfg, parallelism, obs);
+    let trace = buf.lock().unwrap().clone();
+    let summary = obs.summary_json().expect("telemetry enabled");
+    let mut v = json::parse(&summary).expect("summary parses");
+    v.strip_key("profiling");
+    (trace, v.to_json())
 }
 
 /// Asserts the deterministic portion of two reports is identical. All
@@ -112,6 +138,47 @@ fn schemes_without_a_speculative_path_fall_back_cleanly() {
     let seq = run_at(SchemeKind::TShare, &cfg, 1);
     let par = run_at(SchemeKind::TShare, &cfg, 8);
     assert_equivalent(&seq, &par, "T-Share fallback @8");
+}
+
+#[test]
+fn telemetry_streams_are_byte_identical_across_parallelism() {
+    // The observability contract (DESIGN.md, "Observability"): with
+    // telemetry enabled, the JSONL event stream and the summary minus
+    // its "profiling" subtree are byte-identical at any worker count.
+    let cfg = ScenarioConfig::peak(12);
+    let (trace1, summary1) = telemetry_at(SchemeKind::MtShare, &cfg, 1);
+    assert!(!trace1.is_empty(), "scenario must emit events");
+    mt_share::obs::schema::validate_trace(&trace1).expect("trace schema");
+    for threads in [2, 8] {
+        let (trace_n, summary_n) = telemetry_at(SchemeKind::MtShare, &cfg, threads);
+        assert_eq!(trace1, trace_n, "event stream differs @{threads}");
+        assert_eq!(summary1, summary_n, "stripped summary differs @{threads}");
+    }
+}
+
+#[test]
+fn telemetry_with_offline_requests_is_byte_identical() {
+    // Offline encounters, expiry rejects and the batch-abandon path all
+    // emit events; the nonpeak mix must stay deterministic too.
+    let cfg = ScenarioConfig::nonpeak(16);
+    let (trace1, summary1) = telemetry_at(SchemeKind::MtSharePro, &cfg, 1);
+    assert!(trace1.contains("\"ev\":\"encounter\""), "scenario must exercise encounters");
+    for threads in [2, 8] {
+        let (trace_n, summary_n) = telemetry_at(SchemeKind::MtSharePro, &cfg, threads);
+        assert_eq!(trace1, trace_n, "event stream differs @{threads}");
+        assert_eq!(summary1, summary_n, "stripped summary differs @{threads}");
+    }
+}
+
+#[test]
+fn telemetry_does_not_change_outcomes() {
+    // Observing the run must not perturb it: reports with and without
+    // the bus attached are equivalent.
+    let cfg = ScenarioConfig::peak(12);
+    let plain = run_at(SchemeKind::MtShare, &cfg, 8);
+    let obs = Obs::enabled();
+    let (observed, _) = run_with_obs(SchemeKind::MtShare, &cfg, 8, obs);
+    assert_equivalent(&plain, &observed, "observed vs unobserved @8");
 }
 
 #[test]
