@@ -92,6 +92,17 @@ impl GridTaxiIndex {
         }
     }
 
+    /// Every bucketed taxi, sorted by id (for invariant checks: a removed
+    /// taxi must not appear here).
+    pub fn indexed_taxis(&self) -> Vec<TaxiId> {
+        self.taxi_cell
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(i, _)| TaxiId(i as u32))
+            .collect()
+    }
+
     /// Approximate resident memory in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.cells.iter().map(|c| c.len() * 4 + std::mem::size_of::<Vec<TaxiId>>()).sum::<usize>()

@@ -57,7 +57,7 @@ impl DispatchScheme for NoSharing {
         let mut candidates: Vec<(f64, TaxiId)> = Vec::new();
         self.index.visit_in_range(&origin_pt, gamma, |id| {
             let taxi = world.taxi(id);
-            if taxi.is_vacant() {
+            if taxi.alive && taxi.is_vacant() {
                 let d = world.graph.point(taxi.position_at(now)).distance_m(&origin_pt);
                 if d <= gamma {
                     candidates.push((d, id));
@@ -105,6 +105,14 @@ impl DispatchScheme for NoSharing {
 
     fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
         self.index.update_taxi(taxi, world.graph, now);
+    }
+
+    fn on_taxi_removed(&mut self, taxi: &Taxi, _world: &World<'_>) {
+        self.index.remove_taxi(taxi.id);
+    }
+
+    fn indexed_taxis(&self) -> Option<Vec<TaxiId>> {
+        Some(self.index.indexed_taxis())
     }
 
     fn index_memory_bytes(&self) -> usize {

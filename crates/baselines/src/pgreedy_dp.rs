@@ -53,7 +53,9 @@ impl DispatchScheme for PGreedyDp {
         let mut candidates: Vec<TaxiId> = Vec::new();
         self.index.visit_in_range(&origin_pt, gamma, |id| {
             let taxi = world.taxi(id);
-            if world.graph.point(taxi.position_at(now)).distance_m(&origin_pt) <= gamma {
+            if taxi.alive
+                && world.graph.point(taxi.position_at(now)).distance_m(&origin_pt) <= gamma
+            {
                 candidates.push(id);
             }
         });
@@ -99,6 +101,14 @@ impl DispatchScheme for PGreedyDp {
 
     fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
         self.index.update_taxi(taxi, world.graph, now);
+    }
+
+    fn on_taxi_removed(&mut self, taxi: &Taxi, _world: &World<'_>) {
+        self.index.remove_taxi(taxi.id);
+    }
+
+    fn indexed_taxis(&self) -> Option<Vec<TaxiId>> {
+        Some(self.index.indexed_taxis())
     }
 
     fn index_memory_bytes(&self) -> usize {

@@ -57,6 +57,9 @@ impl DispatchScheme for TShare {
         let mut candidates: Vec<(f64, TaxiId)> = Vec::new();
         self.index.visit_in_range(&origin_pt, gamma, |id| {
             let taxi = world.taxi(id);
+            if !taxi.alive {
+                return;
+            }
             let p = world.graph.point(taxi.position_at(now));
             let d_origin = p.distance_m(&origin_pt);
             if d_origin > gamma {
@@ -140,6 +143,14 @@ impl DispatchScheme for TShare {
 
     fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
         self.index.update_taxi(taxi, world.graph, now);
+    }
+
+    fn on_taxi_removed(&mut self, taxi: &Taxi, _world: &World<'_>) {
+        self.index.remove_taxi(taxi.id);
+    }
+
+    fn indexed_taxis(&self) -> Option<Vec<TaxiId>> {
+        Some(self.index.indexed_taxis())
     }
 
     fn index_memory_bytes(&self) -> usize {

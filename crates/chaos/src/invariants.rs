@@ -1,0 +1,179 @@
+//! Pure per-taxi invariant checks.
+//!
+//! The simulator's `validate_world` cadence combines these with its own
+//! cross-taxi checks (passenger conservation, index/world agreement) and
+//! reports violations through `mtshare-obs` as structured events.
+
+use mtshare_model::{EventKind, RequestStore, Taxi};
+
+/// Checks one taxi's internal consistency. Returns `Err(description)` on
+/// the first violated invariant:
+///
+/// - seat accounting: onboard load never exceeds capacity;
+/// - plan agreement: a non-empty schedule has a route with one event
+///   marker per event and non-decreasing arrival times;
+/// - precedence: every pick-up precedes its drop-off;
+/// - membership: the schedule's pick-ups are exactly the assigned set and
+///   its drop-off-only requests exactly the onboard set;
+/// - death: a broken-down taxi holds no plan and no passengers.
+pub fn check_taxi(taxi: &Taxi, requests: &RequestStore) -> Result<(), String> {
+    let load = taxi.onboard_load(requests);
+    if load > taxi.capacity as u32 {
+        return Err(format!("{}: onboard load {load} exceeds capacity {}", taxi.id, taxi.capacity));
+    }
+    if !taxi.alive {
+        if !taxi.schedule.is_empty() || taxi.route.is_some() || !taxi.is_vacant() {
+            return Err(format!("{}: dead taxi still holds a plan or passengers", taxi.id));
+        }
+        return Ok(());
+    }
+    if !taxi.schedule.precedence_ok() {
+        return Err(format!("{}: schedule violates pickup-before-dropoff", taxi.id));
+    }
+    match &taxi.route {
+        None => {
+            if !taxi.schedule.is_empty() {
+                return Err(format!("{}: non-empty schedule without a route", taxi.id));
+            }
+        }
+        Some(route) => {
+            if route.event_node_idx.len() != taxi.schedule.len() {
+                return Err(format!(
+                    "{}: route markers {} != schedule events {}",
+                    taxi.id,
+                    route.event_node_idx.len(),
+                    taxi.schedule.len()
+                ));
+            }
+            if route.arrival_s.windows(2).any(|w| w[1] < w[0] - 1e-9) {
+                return Err(format!("{}: route arrival times decrease", taxi.id));
+            }
+        }
+    }
+    // Membership: pickups ↔ assigned, dropoff-only ↔ onboard.
+    let mut pickups: Vec<_> = taxi
+        .schedule
+        .events()
+        .iter()
+        .filter_map(|e| (e.kind == EventKind::Pickup).then_some(e.request))
+        .collect();
+    let mut dropoff_only: Vec<_> = taxi
+        .schedule
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Dropoff)
+        .map(|e| e.request)
+        .filter(|r| !pickups.contains(r))
+        .collect();
+    pickups.sort_unstable();
+    dropoff_only.sort_unstable();
+    let mut assigned = taxi.assigned.clone();
+    assigned.sort_unstable();
+    let mut onboard = taxi.onboard.clone();
+    onboard.sort_unstable();
+    if pickups != assigned {
+        return Err(format!("{}: scheduled pickups {pickups:?} != assigned {assigned:?}", taxi.id));
+    }
+    if dropoff_only != onboard {
+        return Err(format!(
+            "{}: dropoff-only requests {dropoff_only:?} != onboard {onboard:?}",
+            taxi.id
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtshare_model::{RequestId, RideRequest, Schedule, TaxiId, TimedRoute};
+    use mtshare_road::NodeId;
+    use mtshare_routing::Path;
+
+    fn mkreq(id: u32, origin: u32, dest: u32, passengers: u8) -> RideRequest {
+        RideRequest {
+            id: RequestId(id),
+            release_time: 0.0,
+            origin: NodeId(origin),
+            destination: NodeId(dest),
+            passengers,
+            deadline: 1e9,
+            direct_cost_s: 10.0,
+            offline: false,
+        }
+    }
+
+    fn store(reqs: Vec<RideRequest>) -> RequestStore {
+        let mut s = RequestStore::new();
+        for r in reqs {
+            s.push(r);
+        }
+        s
+    }
+
+    fn planned_taxi() -> (Taxi, RequestStore) {
+        let r = mkreq(0, 2, 4, 1);
+        let reqs = store(vec![r.clone()]);
+        let mut t = Taxi::new(TaxiId(0), 4, NodeId(0));
+        let s = Schedule::new().with_insertion(&r, 0, 1);
+        let legs = vec![
+            Path { nodes: vec![NodeId(0), NodeId(1), NodeId(2)], cost_s: 20.0 },
+            Path { nodes: vec![NodeId(2), NodeId(3), NodeId(4)], cost_s: 30.0 },
+        ];
+        let route = TimedRoute::build(NodeId(0), 0.0, &legs, &s);
+        t.assigned.push(r.id);
+        t.set_plan(s, route, 0.0);
+        (t, reqs)
+    }
+
+    #[test]
+    fn healthy_taxi_passes() {
+        let (t, reqs) = planned_taxi();
+        assert_eq!(check_taxi(&t, &reqs), Ok(()));
+        let idle = Taxi::new(TaxiId(1), 4, NodeId(0));
+        assert_eq!(check_taxi(&idle, &reqs), Ok(()));
+    }
+
+    #[test]
+    fn overload_detected() {
+        let big = mkreq(0, 2, 4, 6);
+        let reqs = store(vec![big]);
+        let mut t = Taxi::new(TaxiId(0), 4, NodeId(0));
+        t.onboard.push(RequestId(0));
+        let err = check_taxi(&t, &reqs).unwrap_err();
+        assert!(err.contains("capacity"), "{err}");
+    }
+
+    #[test]
+    fn dead_taxi_with_plan_detected() {
+        let (mut t, reqs) = planned_taxi();
+        t.alive = false;
+        let err = check_taxi(&t, &reqs).unwrap_err();
+        assert!(err.contains("dead taxi"), "{err}");
+        // Properly failed taxi passes.
+        let (mut t, reqs) = planned_taxi();
+        t.fail(5.0);
+        assert_eq!(check_taxi(&t, &reqs), Ok(()));
+    }
+
+    #[test]
+    fn membership_mismatch_detected() {
+        let (mut t, reqs) = planned_taxi();
+        // Claim the passenger is onboard while the schedule still has the
+        // pickup.
+        t.assigned.clear();
+        t.onboard.push(RequestId(0));
+        let err = check_taxi(&t, &reqs).unwrap_err();
+        assert!(err.contains("pickups"), "{err}");
+    }
+
+    #[test]
+    fn decreasing_arrivals_detected() {
+        let (mut t, reqs) = planned_taxi();
+        if let Some(route) = &mut t.route {
+            route.arrival_s[2] = 0.5;
+        }
+        let err = check_taxi(&t, &reqs).unwrap_err();
+        assert!(err.contains("decrease"), "{err}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Deterministic disruption injection and recovery policies.
+//!
+//! The paper's dispatcher assumes committed schedules execute faithfully;
+//! a production system must survive taxis breaking down mid-route,
+//! passengers cancelling, and travel times drifting until committed
+//! deadlines become infeasible. This crate supplies the *pure* half of
+//! that robustness story — the simulator threads it through its event
+//! loop:
+//!
+//! - [`plan`]: a seeded, deterministic disruption schedule (breakdowns,
+//!   pre-pickup cancellations, localized traffic shifts) generated from a
+//!   `--chaos-seed` through the workspace `rand` shim. Same seed, same
+//!   plan, any `--parallelism` — the injected events ride the simulator's
+//!   ordinary `(time, seq)` heap order, so determinism is preserved.
+//! - [`retry`]: the bounded retry/backoff policy for re-dispatching
+//!   orphaned passengers.
+//! - [`invariants`]: pure world-state checks (seat accounting,
+//!   schedule/route agreement, monotone arrival times) the simulator's
+//!   `validate_world` cadence runs and reports through `mtshare-obs`.
+
+#![warn(missing_docs)]
+
+pub mod invariants;
+pub mod plan;
+pub mod retry;
+
+pub use invariants::check_taxi;
+pub use plan::{ChaosConfig, Disruption, DisruptionPlan, TimedDisruption};
+pub use retry::RetryPolicy;

@@ -1,0 +1,58 @@
+//! Bounded retry/backoff for re-dispatching orphaned passengers.
+
+/// Retry policy for orphaned passengers: a breakdown detaches riders from
+/// their taxi, and each rider is re-offered to the dispatch scheme up to
+/// `max_attempts` times with exponentially growing delays between
+/// attempts. Delays are deterministic (no jitter) — injected randomness
+/// would break the byte-identical-trace guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum redispatch attempts per orphan before the request is
+    /// rejected as `RetriesExhausted`.
+    pub max_attempts: u32,
+    /// Delay before the first retry, seconds.
+    pub base_delay_s: f64,
+    /// Multiplier applied per further attempt.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3, base_delay_s: 20.0, backoff_factor: 2.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before attempt number `attempt` (1-based: the first retry is
+    /// attempt 1 and waits `base_delay_s`).
+    pub fn delay_s(&self, attempt: u32) -> f64 {
+        self.base_delay_s * self.backoff_factor.powi(attempt.saturating_sub(1) as i32)
+    }
+
+    /// Whether `attempt` exceeds the budget.
+    pub fn exhausted(&self, attempt: u32) -> bool {
+        attempt > self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay_s(1), 20.0);
+        assert_eq!(p.delay_s(2), 40.0);
+        assert_eq!(p.delay_s(3), 80.0);
+        assert!(!p.exhausted(3));
+        assert!(p.exhausted(4));
+    }
+
+    #[test]
+    fn custom_policy() {
+        let p = RetryPolicy { max_attempts: 1, base_delay_s: 5.0, backoff_factor: 3.0 };
+        assert_eq!(p.delay_s(1), 5.0);
+        assert!(p.exhausted(2));
+    }
+}

@@ -54,6 +54,11 @@ pub fn candidate_taxis(
     let mut out = Vec::with_capacity(base.len().min(64));
     for taxi_id in base {
         let taxi = world.taxi(taxi_id);
+        // Defense in depth: broken-down taxis are reconciled out of the
+        // indexes, but never propose one even if an entry leaks through.
+        if !taxi.alive {
+            continue;
+        }
         // Rule 1 / Eq. 3: busy taxis must share the travel direction;
         // vacant taxis in range are always eligible.
         if !taxi.is_vacant() && !cluster_members.contains(&taxi_id) {

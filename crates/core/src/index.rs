@@ -89,6 +89,17 @@ impl PartitionTaxiIndex {
         self.lists.iter().map(|l| l.len() * 12).sum::<usize>()
             + self.taxi_partitions.iter().map(|p| p.len() * 2).sum::<usize>()
     }
+
+    /// Every taxi with at least one entry, sorted by id (for invariant
+    /// checks: a removed taxi must not appear here).
+    pub fn indexed_taxis(&self) -> Vec<TaxiId> {
+        self.taxi_partitions
+            .iter()
+            .enumerate()
+            .filter(|(_, ps)| !ps.is_empty())
+            .map(|(i, _)| TaxiId(i as u32))
+            .collect()
+    }
 }
 
 /// Mobility-cluster index over busy taxis.
@@ -205,6 +216,17 @@ impl MobilityClusterIndex {
     /// Number of live clusters.
     pub fn cluster_count(&self) -> usize {
         self.clusterer.len()
+    }
+
+    /// Every registered taxi, sorted by id (for invariant checks: a
+    /// removed taxi must not appear here).
+    pub fn indexed_taxis(&self) -> Vec<TaxiId> {
+        self.taxi_entry
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_some())
+            .map(|(i, _)| TaxiId(i as u32))
+            .collect()
     }
 
     /// Approximate resident memory in bytes.

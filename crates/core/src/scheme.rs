@@ -10,7 +10,7 @@ use mtshare_model::{
     DispatchOutcome, DispatchScheme, RideRequest, SpeculativeOutcome, Taxi, TaxiId, Time, World,
 };
 use mtshare_obs::{Obs, Stage};
-use mtshare_par::par_map_with;
+use mtshare_par::try_par_map_with;
 use mtshare_road::RoadNetwork;
 
 /// One speculative batch worker: a private router plus the number of
@@ -177,6 +177,21 @@ impl DispatchScheme for MtShare {
         self.reindex(taxi, now, world);
     }
 
+    fn on_taxi_removed(&mut self, taxi: &Taxi, _world: &World<'_>) {
+        // Reconcile the dead taxi out of both indexes (`P_z.L_t` and
+        // `C_a.L_t`) so candidate search never proposes it again.
+        self.pindex.remove_taxi(taxi.id);
+        self.mindex.remove_taxi(taxi.id);
+    }
+
+    fn indexed_taxis(&self) -> Option<Vec<TaxiId>> {
+        let mut ids = self.pindex.indexed_taxis();
+        ids.extend(self.mindex.indexed_taxis());
+        ids.sort_unstable();
+        ids.dedup();
+        Some(ids)
+    }
+
     fn index_memory_bytes(&self) -> usize {
         self.pindex.memory_bytes() + self.mindex.memory_bytes() + self.ctx.memory_bytes()
     }
@@ -199,21 +214,36 @@ impl DispatchScheme for MtShare {
         // Move the worker pool out so the workers can share `&self`
         // read-only while each mutates its own router.
         let mut pool = std::mem::take(&mut self.spec_workers);
-        let outs = {
+        let result = {
             let this = &*self;
-            par_map_with(&mut pool[..workers], reqs.len(), |i, w| {
+            try_par_map_with(&mut pool[..workers], reqs.len(), |i, w| {
                 w.items += 1;
                 this.speculate_one(&reqs[i], world, &mut w.router)
             })
         };
-        self.obs.record_batch(reqs.len() as u64);
-        for (idx, w) in pool.iter_mut().enumerate() {
-            let s = w.router.take_stats();
-            self.router.absorb_stats(s);
-            self.obs.record_worker_items(idx, std::mem::take(&mut w.items));
+        match result {
+            Ok(outs) => {
+                self.obs.record_batch(reqs.len() as u64);
+                for (idx, w) in pool.iter_mut().enumerate() {
+                    let s = w.router.take_stats();
+                    self.router.absorb_stats(s);
+                    self.obs.record_worker_items(idx, std::mem::take(&mut w.items));
+                }
+                self.spec_workers = pool;
+                Some(outs)
+            }
+            Err(_) => {
+                // A worker item panicked. The routers are scratch (rebuilt
+                // per batch is fine) but may be mid-mutation: discard the
+                // pool entirely and report `None` so the simulator degrades
+                // this batch to its sequential arrival path. Recorded as a
+                // profiling counter, never a trace event — the trace must
+                // stay byte-identical across parallelism levels.
+                self.obs.record_degraded_batch();
+                self.spec_workers.clear();
+                None
+            }
         }
-        self.spec_workers = pool;
-        Some(outs)
     }
 
     fn validate_speculative(
@@ -386,6 +416,55 @@ mod tests {
                 assert_eq!(route.event_node_idx.len(), t.schedule.len());
             }
             assert!(t.schedule.precedence_ok());
+        }
+    }
+
+    #[test]
+    fn removed_taxi_leaves_both_indexes_and_candidate_search() {
+        let mut sim = Sim::new(5, false);
+        {
+            let world = World {
+                graph: &sim.graph,
+                cache: &sim.cache,
+                oracle: &sim.oracle,
+                taxis: &sim.taxis,
+                requests: &sim.requests,
+            };
+            sim.scheme.install(&world);
+        }
+        let indexed = sim.scheme.indexed_taxis().unwrap();
+        assert!(indexed.contains(&TaxiId(2)));
+        // Break taxi 2 down and reconcile it out of the indexes.
+        sim.taxis[2].fail(10.0);
+        {
+            let world = World {
+                graph: &sim.graph,
+                cache: &sim.cache,
+                oracle: &sim.oracle,
+                taxis: &sim.taxis,
+                requests: &sim.requests,
+            };
+            let taxi = &sim.taxis[2];
+            sim.scheme.on_taxi_removed(taxi, &world);
+        }
+        let indexed = sim.scheme.indexed_taxis().unwrap();
+        assert!(!indexed.contains(&TaxiId(2)), "dead taxi still indexed");
+        assert_eq!(indexed.len(), 4);
+        // Dispatches after the breakdown never pick the dead taxi.
+        for (k, (o, d)) in [(0u32, 399u32), (21, 380), (399, 0)].iter().enumerate() {
+            let now = 20.0 + k as f64 * 30.0;
+            let req = sim.make_request(*o, *d, now);
+            let world = World {
+                graph: &sim.graph,
+                cache: &sim.cache,
+                oracle: &sim.oracle,
+                taxis: &sim.taxis,
+                requests: &sim.requests,
+            };
+            let out = sim.scheme.dispatch(&req, now, &world);
+            if let Some(a) = out.assignment {
+                assert_ne!(a.taxi, TaxiId(2), "dead taxi assigned");
+            }
         }
     }
 

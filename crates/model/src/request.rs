@@ -97,6 +97,14 @@ impl RequestStore {
         &self.all[id.index()]
     }
 
+    /// Mutable lookup, for recovery-time renegotiation: a breakdown
+    /// re-originates stranded onboard riders at the failure position and
+    /// recomputes their deadlines before re-dispatch.
+    #[inline]
+    pub fn get_mut(&mut self, id: RequestId) -> &mut RideRequest {
+        &mut self.all[id.index()]
+    }
+
     /// Number of stored requests.
     #[inline]
     pub fn len(&self) -> usize {

@@ -158,6 +158,35 @@ impl TimedRoute {
     pub fn total_cost_s(&self) -> f64 {
         self.end_time() - self.start_time()
     }
+
+    /// Stretches the hops overlapping the time window `(from, to)` whose
+    /// endpoint nodes satisfy `affected` by `factor` (a traffic shift),
+    /// delaying every later arrival by the accumulated slowdown. Window
+    /// membership is judged on the *pre-stretch* times — the quasi-static
+    /// model: the shift applies to where the plan said the taxi would be.
+    /// Returns the total delay added at the end of the route (0.0 when the
+    /// route was untouched).
+    pub fn stretch(
+        &mut self,
+        from: Time,
+        to: Time,
+        factor: f64,
+        mut affected: impl FnMut(NodeId) -> bool,
+    ) -> f64 {
+        assert!(factor.is_finite() && factor > 0.0, "stretch factor must be positive");
+        let mut acc = 0.0;
+        let mut prev_orig = self.arrival_s[0];
+        for i in 1..self.nodes.len() {
+            let orig = self.arrival_s[i];
+            let overlaps = orig > from && prev_orig < to;
+            if overlaps && (affected(self.nodes[i - 1]) || affected(self.nodes[i])) {
+                acc += (orig - prev_orig) * (factor - 1.0);
+            }
+            self.arrival_s[i] = orig + acc;
+            prev_orig = orig;
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +259,36 @@ mod tests {
         let hits: Vec<_> = route.nodes_in_window(100.0, 135.0).collect();
         assert_eq!(hits, vec![(NodeId(1), 110.0), (NodeId(2), 120.0), (NodeId(3), 135.0)]);
         assert_eq!(route.nodes_in_window(150.0, 200.0).count(), 0);
+    }
+
+    #[test]
+    fn stretch_delays_affected_window_and_suffix() {
+        let r = mkreq(1, 2, 4);
+        let s = Schedule::new().with_insertion(&r, 0, 1);
+        let legs = vec![path(&[0, 1, 2], 20.0), path(&[2, 3, 4], 30.0)];
+        let mut route = TimedRoute::build(NodeId(0), 100.0, &legs, &s);
+        // Double travel time through node 1 for the window (105, 125):
+        // hops 0→1 and 1→2 touch the region and overlap it.
+        let delay = route.stretch(105.0, 125.0, 2.0, |n| n.0 == 1);
+        assert!((delay - 20.0).abs() < 1e-9, "delay {delay}");
+        assert_eq!(route.arrival_s, vec![100.0, 120.0, 140.0, 155.0, 170.0]);
+        // Event times shift with the nodes.
+        assert_eq!(route.event_time(0), 140.0);
+        assert_eq!(route.event_time(1), 170.0);
+        // Monotone after stretching.
+        assert!(route.arrival_s.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn stretch_outside_window_or_region_is_identity() {
+        let r = mkreq(1, 2, 4);
+        let s = Schedule::new().with_insertion(&r, 0, 1);
+        let legs = vec![path(&[0, 1, 2], 20.0), path(&[2, 3, 4], 30.0)];
+        let mut route = TimedRoute::build(NodeId(0), 100.0, &legs, &s);
+        let orig = route.arrival_s.clone();
+        assert_eq!(route.stretch(200.0, 300.0, 3.0, |_| true), 0.0);
+        assert_eq!(route.stretch(100.0, 150.0, 3.0, |_| false), 0.0);
+        assert_eq!(route.arrival_s, orig);
     }
 
     #[test]

@@ -122,6 +122,14 @@ impl Schedule {
     pub fn request_ids(&self) -> impl Iterator<Item = RequestId> + '_ {
         self.events.iter().map(|e| e.request)
     }
+
+    /// A copy of the schedule with every event of `req` removed — the
+    /// repair step for cancellations and disruption-dropped riders.
+    /// Removing events never breaks precedence for the remaining
+    /// requests.
+    pub fn without_request(&self, req: RequestId) -> Schedule {
+        Schedule { events: self.events.iter().copied().filter(|e| e.request != req).collect() }
+    }
 }
 
 /// Outcome of walking a schedule instance.
@@ -269,6 +277,19 @@ mod tests {
         s.push(ev);
         s.push(ev);
         assert!(!s.precedence_ok());
+    }
+
+    #[test]
+    fn without_request_strips_both_events() {
+        let r1 = mkreq(1, 10, 20, 1e9);
+        let r2 = mkreq(2, 30, 40, 1e9);
+        let s = Schedule::new().with_insertion(&r1, 0, 1).with_insertion(&r2, 1, 2);
+        let repaired = s.without_request(RequestId(2));
+        assert_eq!(repaired.len(), 2);
+        assert!(repaired.request_ids().all(|r| r == RequestId(1)));
+        assert!(repaired.precedence_ok());
+        // Removing a request not present is a no-op copy.
+        assert_eq!(s.without_request(RequestId(9)), s);
     }
 
     #[test]

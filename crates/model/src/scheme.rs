@@ -139,6 +139,19 @@ pub trait DispatchScheme {
     /// position and load changed).
     fn on_taxi_progress(&mut self, _taxi: &Taxi, _now: Time, _world: &World<'_>) {}
 
+    /// Notifies the scheme that `taxi` permanently left service (e.g. a
+    /// breakdown). The scheme must reconcile the taxi out of every index
+    /// so candidate search never returns it again.
+    fn on_taxi_removed(&mut self, _taxi: &Taxi, _world: &World<'_>) {}
+
+    /// The taxis currently present in the scheme's candidate indexes, or
+    /// `None` when the scheme keeps no enumerable index. Used by the
+    /// simulator's `validate_world` checker to verify index/world
+    /// agreement (a dead taxi must never be indexed).
+    fn indexed_taxis(&self) -> Option<Vec<TaxiId>> {
+        None
+    }
+
     /// Approximate resident memory of the scheme's private indexes, bytes
     /// (Table IV).
     fn index_memory_bytes(&self) -> usize {
@@ -209,6 +222,12 @@ impl DispatchScheme for Box<dyn DispatchScheme> {
     }
     fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
         self.as_mut().on_taxi_progress(taxi, now, world);
+    }
+    fn on_taxi_removed(&mut self, taxi: &Taxi, world: &World<'_>) {
+        self.as_mut().on_taxi_removed(taxi, world);
+    }
+    fn indexed_taxis(&self) -> Option<Vec<TaxiId>> {
+        self.as_ref().indexed_taxis()
     }
     fn index_memory_bytes(&self) -> usize {
         self.as_ref().index_memory_bytes()

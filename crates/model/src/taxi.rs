@@ -47,6 +47,9 @@ pub struct Taxi {
     /// Bumped every time the route/schedule changes; lets indexes detect
     /// stale entries.
     pub route_version: u64,
+    /// `false` once the taxi has broken down: it never moves again and
+    /// must not appear in any candidate search.
+    pub alive: bool,
 }
 
 impl Taxi {
@@ -62,6 +65,7 @@ impl Taxi {
             onboard: Vec::new(),
             assigned: Vec::new(),
             route_version: 0,
+            alive: true,
         }
     }
 
@@ -151,6 +155,27 @@ impl Taxi {
         let r = self.route.as_ref()?;
         (!self.schedule.is_empty()).then(|| r.event_time(0))
     }
+
+    /// Takes the taxi out of service at time `now` (breakdown).
+    ///
+    /// The taxi parks at its current position, its plan is torn down and
+    /// its version bumped so every queued event for it becomes a no-op.
+    /// Returns the stranded riders: `(onboard, assigned)`, each sorted by
+    /// request id for deterministic recovery order.
+    pub fn fail(&mut self, now: Time) -> (Vec<RequestId>, Vec<RequestId>) {
+        let pos = self.position_at(now);
+        self.location = pos;
+        self.location_time = now;
+        self.schedule = Schedule::new();
+        self.route = None;
+        self.route_version += 1;
+        self.alive = false;
+        let mut onboard = std::mem::take(&mut self.onboard);
+        let mut assigned = std::mem::take(&mut self.assigned);
+        onboard.sort_unstable();
+        assigned.sort_unstable();
+        (onboard, assigned)
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +249,33 @@ mod tests {
         assert!(t.is_vacant());
         assert!(t.route.is_none());
         assert_eq!(t.position_at(99.0), NodeId(4));
+    }
+
+    #[test]
+    fn fail_parks_and_drains_orphans() {
+        let r = mkreq(0, 2, 4, 1);
+        let r2 = mkreq(1, 3, 4, 1);
+        let mut t = Taxi::new(TaxiId(0), 4, NodeId(0));
+        let s = Schedule::new().with_insertion(&r, 0, 1);
+        let legs = vec![path(&[0, 1, 2], 20.0), path(&[2, 3, 4], 30.0)];
+        let route = TimedRoute::build(NodeId(0), 0.0, &legs, &s);
+        t.assigned.push(r.id);
+        t.set_plan(s, route, 0.0);
+        t.onboard.push(r2.id);
+        let v0 = t.route_version;
+
+        let (onboard, assigned) = t.fail(10.0);
+        assert_eq!(onboard, vec![r2.id]);
+        assert_eq!(assigned, vec![r.id]);
+        assert!(!t.alive);
+        assert!(t.is_vacant());
+        assert!(t.route.is_none());
+        assert!(t.schedule.is_empty());
+        assert!(t.route_version > v0);
+        // Parked at the position it had reached mid-leg.
+        assert_eq!(t.location, NodeId(1));
+        assert_eq!(t.position_at(1e9), NodeId(1));
+        assert_eq!(t.next_event_time(), None);
     }
 
     #[test]

@@ -29,17 +29,28 @@ pub enum RejectReason {
     /// An offline (encounter-based) request expired before any taxi
     /// passed close enough.
     OfflineExpired,
+    /// The rider withdrew the request before pickup.
+    CancelledByPassenger,
+    /// The assigned taxi broke down and the stranded rider could not be
+    /// recovered (e.g. no path from the breakdown position).
+    TaxiFailed,
+    /// Recovery re-dispatch attempts for an orphaned rider ran out of
+    /// the bounded retry budget.
+    RetriesExhausted,
 }
 
 impl RejectReason {
     /// All variants in stable (serialization) order.
-    pub const ALL: [RejectReason; 6] = [
+    pub const ALL: [RejectReason; 9] = [
         RejectReason::EmptyFleet,
         RejectReason::UnreachableOd,
         RejectReason::InfeasibleDeadline,
         RejectReason::ZeroCapacity,
         RejectReason::NoFeasibleInsertion,
         RejectReason::OfflineExpired,
+        RejectReason::CancelledByPassenger,
+        RejectReason::TaxiFailed,
+        RejectReason::RetriesExhausted,
     ];
 
     /// The snake_case label used in JSONL events and the summary.
@@ -51,6 +62,9 @@ impl RejectReason {
             RejectReason::ZeroCapacity => "zero_capacity",
             RejectReason::NoFeasibleInsertion => "no_feasible_insertion",
             RejectReason::OfflineExpired => "offline_expired",
+            RejectReason::CancelledByPassenger => "cancelled_by_passenger",
+            RejectReason::TaxiFailed => "taxi_failed",
+            RejectReason::RetriesExhausted => "retries_exhausted",
         }
     }
 
@@ -63,6 +77,9 @@ impl RejectReason {
             RejectReason::ZeroCapacity => 3,
             RejectReason::NoFeasibleInsertion => 4,
             RejectReason::OfflineExpired => 5,
+            RejectReason::CancelledByPassenger => 6,
+            RejectReason::TaxiFailed => 7,
+            RejectReason::RetriesExhausted => 8,
         }
     }
 
@@ -149,11 +166,87 @@ pub enum Event {
         /// Realized detour vs. the direct drive, seconds.
         detour_s: f64,
     },
+    /// A taxi dropped out of service (injected breakdown).
+    Breakdown {
+        /// Simulation time (s).
+        t: f64,
+        /// The failed taxi.
+        taxi: u32,
+        /// Riders stranded by the failure (onboard + assigned).
+        orphans: u32,
+    },
+    /// A rider withdrew a request before pickup (informational; the
+    /// terminal accounting is the matching `reject` event).
+    Cancel {
+        /// Simulation time (s).
+        t: f64,
+        /// Request id.
+        req: u32,
+        /// Whether the request was on a committed schedule when
+        /// cancelled (false: still waiting / pending offline).
+        assigned: bool,
+    },
+    /// A time-windowed travel-time multiplier hit a road region.
+    TrafficShift {
+        /// Simulation time (s) the shift starts.
+        t: f64,
+        /// Center node of the affected region.
+        node: u32,
+        /// Region radius, metres.
+        radius_m: f64,
+        /// Travel-time multiplier: hops inside the region take
+        /// `factor ×` their base time while the window is active.
+        factor: f64,
+        /// Shift window length, seconds.
+        duration_s: f64,
+    },
+    /// A committed schedule was repaired after a disruption.
+    Reroute {
+        /// Simulation time (s).
+        t: f64,
+        /// The repaired taxi.
+        taxi: u32,
+        /// Onboard riders whose deadlines were renegotiated.
+        renegotiated: u32,
+        /// Unpicked riders dropped from the plan (re-enqueued).
+        dropped: u32,
+    },
+    /// A recovery re-dispatch attempt for an orphaned rider.
+    Redispatch {
+        /// Simulation time (s).
+        t: f64,
+        /// Request id.
+        req: u32,
+        /// 1-based attempt number within the retry budget.
+        attempt: u32,
+        /// Whether the attempt found a taxi.
+        ok: bool,
+    },
+    /// A `validate_world` check failed (healthy runs emit none).
+    InvariantViolation {
+        /// Simulation time (s).
+        t: f64,
+        /// Name of the violated invariant check.
+        check: String,
+    },
 }
 
 /// Event kinds, for counting. Order matches serialization labels.
-pub const EVENT_KINDS: [&str; 7] =
-    ["arrival", "dispatch", "commit", "reject", "encounter", "pickup", "dropoff"];
+pub const EVENT_KINDS: [&str; 13] = [
+    "arrival",
+    "dispatch",
+    "commit",
+    "reject",
+    "encounter",
+    "pickup",
+    "dropoff",
+    "breakdown",
+    "cancel",
+    "traffic_shift",
+    "reroute",
+    "redispatch",
+    "invariant_violation",
+];
 
 impl Event {
     /// Simulation timestamp of the event.
@@ -165,7 +258,13 @@ impl Event {
             | Event::Reject { t, .. }
             | Event::Encounter { t, .. }
             | Event::Pickup { t, .. }
-            | Event::Dropoff { t, .. } => *t,
+            | Event::Dropoff { t, .. }
+            | Event::Breakdown { t, .. }
+            | Event::Cancel { t, .. }
+            | Event::TrafficShift { t, .. }
+            | Event::Reroute { t, .. }
+            | Event::Redispatch { t, .. }
+            | Event::InvariantViolation { t, .. } => *t,
         }
     }
 
@@ -179,6 +278,12 @@ impl Event {
             Event::Encounter { .. } => 4,
             Event::Pickup { .. } => 5,
             Event::Dropoff { .. } => 6,
+            Event::Breakdown { .. } => 7,
+            Event::Cancel { .. } => 8,
+            Event::TrafficShift { .. } => 9,
+            Event::Reroute { .. } => 10,
+            Event::Redispatch { .. } => 11,
+            Event::InvariantViolation { .. } => 12,
         }
     }
 
@@ -240,6 +345,51 @@ impl Event {
                     fmt_f64(*detour_s)
                 );
             }
+            Event::Breakdown { t, taxi, orphans } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"breakdown","t":{},"taxi":{taxi},"orphans":{orphans}}}"#,
+                    fmt_f64(*t)
+                );
+            }
+            Event::Cancel { t, req, assigned } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"cancel","t":{},"req":{req},"assigned":{assigned}}}"#,
+                    fmt_f64(*t)
+                );
+            }
+            Event::TrafficShift { t, node, radius_m, factor, duration_s } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"traffic_shift","t":{},"node":{node},"radius_m":{},"factor":{},"duration_s":{}}}"#,
+                    fmt_f64(*t),
+                    fmt_f64(*radius_m),
+                    fmt_f64(*factor),
+                    fmt_f64(*duration_s)
+                );
+            }
+            Event::Reroute { t, taxi, renegotiated, dropped } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"reroute","t":{},"taxi":{taxi},"renegotiated":{renegotiated},"dropped":{dropped}}}"#,
+                    fmt_f64(*t)
+                );
+            }
+            Event::Redispatch { t, req, attempt, ok } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"redispatch","t":{},"req":{req},"attempt":{attempt},"ok":{ok}}}"#,
+                    fmt_f64(*t)
+                );
+            }
+            Event::InvariantViolation { t, check } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"invariant_violation","t":{},"check":"{check}"}}"#,
+                    fmt_f64(*t)
+                );
+            }
         }
         s
     }
@@ -260,6 +410,18 @@ mod tests {
             Event::Encounter { t: 3.0, req: 9, taxi: 1 },
             Event::Pickup { t: 4.0, req: 7, taxi: 2, wait_s: 61.5 },
             Event::Dropoff { t: 5.0, req: 7, taxi: 2, detour_s: 30.25 },
+            Event::Breakdown { t: 6.0, taxi: 2, orphans: 3 },
+            Event::Cancel { t: 6.5, req: 10, assigned: true },
+            Event::TrafficShift {
+                t: 7.0,
+                node: 42,
+                radius_m: 600.0,
+                factor: 0.5,
+                duration_s: 900.0,
+            },
+            Event::Reroute { t: 7.5, taxi: 1, renegotiated: 1, dropped: 2 },
+            Event::Redispatch { t: 8.0, req: 9, attempt: 2, ok: false },
+            Event::InvariantViolation { t: 9.0, check: "seat_accounting".to_string() },
         ];
         for (i, ev) in evs.iter().enumerate() {
             let line = ev.to_jsonl();

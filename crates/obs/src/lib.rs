@@ -51,7 +51,7 @@ use std::time::Instant;
 const MAX_WORKERS: usize = 64;
 
 /// Summary schema identifier, bumped on breaking layout changes.
-pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v1";
+pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v2";
 
 /// Static facts about the run, reported verbatim in the summary.
 #[derive(Debug, Clone, Default)]
@@ -119,6 +119,7 @@ struct ObsCore {
     worker_items: Vec<AtomicU64>,
     batches: AtomicU64,
     batched_requests: AtomicU64,
+    degraded_batches: AtomicU64,
 }
 
 impl ObsCore {
@@ -139,6 +140,7 @@ impl ObsCore {
             worker_items,
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            degraded_batches: AtomicU64::new(0),
         }
     }
 }
@@ -268,6 +270,22 @@ impl Obs {
             core.batches.fetch_add(1, Ordering::Relaxed);
             core.batched_requests.fetch_add(n_requests, Ordering::Relaxed);
         }
+    }
+
+    /// Records a speculative batch degraded to the sequential path
+    /// because a scoring worker panicked. Profiling only: a
+    /// `parallelism 1` run never batches, so this must not surface in
+    /// the deterministic event stream.
+    pub fn record_degraded_batch(&self) {
+        if let Some(core) = &self.core {
+            core.degraded_batches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Batches degraded to the sequential path after a worker panic
+    /// (profiling).
+    pub fn degraded_batches(&self) -> u64 {
+        self.core.as_ref().map(|c| c.degraded_batches.load(Ordering::Relaxed)).unwrap_or(0)
     }
 
     /// Records one dispatcher response latency in seconds (wall-clock;
@@ -429,9 +447,10 @@ impl Obs {
         let batched = core.batched_requests.load(Ordering::Relaxed);
         let _ = write!(
             s,
-            r#""workers":{{"batches":{},"batched_requests":{},"items":["#,
+            r#""workers":{{"batches":{},"batched_requests":{},"degraded_batches":{},"items":["#,
             core.batches.load(Ordering::Relaxed),
-            batched
+            batched,
+            core.degraded_batches.load(Ordering::Relaxed)
         );
         for w in 0..workers {
             if w > 0 {
@@ -498,7 +517,7 @@ mod tests {
         obs.record_batch(8);
         drop(obs.stage(Stage::Routing));
         assert!(obs.summary_json().is_none());
-        assert_eq!(obs.event_counts(), [0; 7]);
+        assert_eq!(obs.event_counts(), [0; EVENT_KINDS.len()]);
     }
 
     #[test]

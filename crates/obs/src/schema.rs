@@ -120,6 +120,55 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
             ],
             "dropoff",
         ),
+        "breakdown" => check_fields(
+            &v,
+            &[("ev", Ty::Str), ("t", Ty::Num), ("taxi", Ty::Num), ("orphans", Ty::Num)],
+            "breakdown",
+        ),
+        "cancel" => check_fields(
+            &v,
+            &[("ev", Ty::Str), ("t", Ty::Num), ("req", Ty::Num), ("assigned", Ty::Bool)],
+            "cancel",
+        ),
+        "traffic_shift" => check_fields(
+            &v,
+            &[
+                ("ev", Ty::Str),
+                ("t", Ty::Num),
+                ("node", Ty::Num),
+                ("radius_m", Ty::Num),
+                ("factor", Ty::Num),
+                ("duration_s", Ty::Num),
+            ],
+            "traffic_shift",
+        ),
+        "reroute" => check_fields(
+            &v,
+            &[
+                ("ev", Ty::Str),
+                ("t", Ty::Num),
+                ("taxi", Ty::Num),
+                ("renegotiated", Ty::Num),
+                ("dropped", Ty::Num),
+            ],
+            "reroute",
+        ),
+        "redispatch" => check_fields(
+            &v,
+            &[
+                ("ev", Ty::Str),
+                ("t", Ty::Num),
+                ("req", Ty::Num),
+                ("attempt", Ty::Num),
+                ("ok", Ty::Bool),
+            ],
+            "redispatch",
+        ),
+        "invariant_violation" => check_fields(
+            &v,
+            &[("ev", Ty::Str), ("t", Ty::Num), ("check", Ty::Str)],
+            "invariant_violation",
+        ),
         other => Err(format!("unknown event kind \"{other}\"")),
     }
 }
@@ -228,6 +277,7 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
     let workers = prof.get("workers").ok_or("profiling: missing \"workers\"")?;
     require_num(workers, "workers", "batches")?;
     require_num(workers, "workers", "batched_requests")?;
+    require_num(workers, "workers", "degraded_batches")?;
     match (workers.get("items"), workers.get("utilization")) {
         (Some(Value::Arr(items)), Some(Value::Arr(util))) if items.len() == util.len() => {}
         _ => return Err("workers: items/utilization must be equal-length arrays".to_string()),
@@ -252,6 +302,19 @@ mod tests {
             Event::Encounter { t: 2.0, req: 2, taxi: 5 },
             Event::Pickup { t: 3.0, req: 0, taxi: 5, wait_s: 3.0 },
             Event::Dropoff { t: 4.0, req: 0, taxi: 5, detour_s: 1.25 },
+            Event::Breakdown { t: 5.0, taxi: 5, orphans: 2 },
+            Event::Cancel { t: 5.5, req: 3, assigned: false },
+            Event::TrafficShift {
+                t: 6.0,
+                node: 17,
+                radius_m: 500.0,
+                factor: 0.6,
+                duration_s: 300.0,
+            },
+            Event::Reroute { t: 6.5, taxi: 5, renegotiated: 0, dropped: 1 },
+            Event::Redispatch { t: 7.0, req: 2, attempt: 1, ok: true },
+            Event::Reject { t: 7.0, req: 2, reason: RejectReason::TaxiFailed },
+            Event::InvariantViolation { t: 8.0, check: "passenger_conservation".to_string() },
         ];
         let trace: String = evs.iter().map(|e| e.to_jsonl() + "\n").collect();
         assert_eq!(validate_trace(&trace), Ok(evs.len()));
@@ -267,6 +330,8 @@ mod tests {
             r#"{"ev":"arrival","t":1,"req":2,"offline":"yes"}"#,       // wrong type
             r#"{"ev":"arrival","t":1,"req":2,"offline":true,"x":1}"#,  // extra field
             r#"{"ev":"reject","t":1,"req":2,"reason":"cosmic_rays"}"#, // unknown reason
+            r#"{"ev":"breakdown","t":1,"taxi":2}"#,                    // missing orphans
+            r#"{"ev":"redispatch","t":1,"req":2,"attempt":1,"ok":1}"#, // wrong type
         ] {
             assert!(validate_event_line(bad).is_err(), "{bad} should fail");
         }

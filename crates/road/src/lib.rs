@@ -26,4 +26,4 @@ pub use graph::{EdgeSpec, GraphError, RoadNetwork};
 pub use ids::{EdgeId, NodeId};
 pub use spatial::SpatialGrid;
 pub use synthetic::{grid_city, ring_radial_city, GridCityConfig, RingRadialConfig};
-pub use traffic::{apply_traffic, HourlyTrafficProfile};
+pub use traffic::{apply_traffic, HourlyTrafficProfile, TrafficShiftSpec};

@@ -73,6 +73,46 @@ impl HourlyTrafficProfile {
     }
 }
 
+/// A localized, time-windowed travel-time shift: while active, travel
+/// within `radius_m` of `center` takes `factor`× its base time (`factor`
+/// above 1 models a sudden slowdown — an incident, closure-induced spill —
+/// below 1 a clearing). Unlike [`HourlyTrafficProfile`], which re-weights
+/// the whole network per slice, a shift perturbs committed routes in
+/// place: the simulator stretches the affected span of each taxi's timed
+/// route and then repairs the schedules the stretch invalidated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficShiftSpec {
+    /// Center of the affected region.
+    pub center: crate::ids::NodeId,
+    /// Radius of the affected region in metres.
+    pub radius_m: f64,
+    /// Travel-time multiplier while active (must be positive).
+    pub factor: f64,
+    /// Activation time (simulation seconds).
+    pub start_s: f64,
+    /// How long the shift lasts.
+    pub duration_s: f64,
+}
+
+impl TrafficShiftSpec {
+    /// When the shift stops applying.
+    #[inline]
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.duration_s
+    }
+
+    /// Whether the shift is active at time `t`.
+    #[inline]
+    pub fn active_at(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s()
+    }
+
+    /// Whether `node` lies inside the affected region.
+    pub fn covers(&self, graph: &RoadNetwork, node: crate::ids::NodeId) -> bool {
+        graph.point(node).distance_m(&graph.point(self.center)) <= self.radius_m
+    }
+}
+
 /// Derives a road network whose edge travel costs reflect `factor`
 /// (effective speed = base speed × factor; costs scale by 1/factor).
 /// Lengths and topology are unchanged.

@@ -29,7 +29,7 @@ pub use scenario::{
     build_context, materialize, Scenario, ScenarioConfig, ScenarioKind, SchemeKind,
 };
 pub use simulator::{SimConfig, Simulator};
-pub use telemetry::classify_rejection;
+pub use telemetry::{classify_rejection, classify_rejection_with_cause, RejectCause};
 pub use trace::{parse_trace, snap_trace, SnappedTrace, TraceParse, TraceRecord};
 pub use workload::{
     weekend_profile, workday_profile, RawRequest, WorkloadConfig, WorkloadGenerator,

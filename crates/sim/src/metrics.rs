@@ -40,6 +40,15 @@ pub struct SimReport {
     pub served_offline: usize,
     /// Requests the dispatcher could not place.
     pub rejected: usize,
+    /// Rejections that were passenger withdrawals (a subset of
+    /// `rejected`; only injected disruption runs produce them).
+    pub cancelled: usize,
+    /// Orphaned riders (taxi breakdowns, traffic-shift plan drops)
+    /// successfully placed again by the recovery layer.
+    pub redispatched: usize,
+    /// Invariant violations detected by the `validate_every` runtime
+    /// checker (healthy runs report zero).
+    pub invariant_violations: usize,
     /// Mean dispatcher latency per request, milliseconds (Fig. 7/11).
     pub avg_response_ms: f64,
     /// 95th-percentile dispatcher latency, milliseconds.
@@ -120,6 +129,9 @@ mod tests {
             served_online: 80,
             served_offline: 0,
             rejected: 20,
+            cancelled: 0,
+            redispatched: 0,
+            invariant_violations: 0,
             avg_response_ms: 1.0,
             p95_response_ms: 2.0,
             avg_detour_min: 1.5,

@@ -11,14 +11,15 @@
 use crate::metrics::{Series, ServedRecord, SimReport};
 use crate::scenario::Scenario;
 use crate::telemetry::classify_rejection;
+use mtshare_chaos::{check_taxi, ChaosConfig, Disruption, DisruptionPlan, RetryPolicy};
 use mtshare_core::{settle_episode, PassengerTrip, PaymentConfig};
 use mtshare_model::{
-    DispatchScheme, EventKind, RequestId, RequestStore, RideRequest, Taxi, TaxiId, Time,
+    DispatchScheme, EventKind, RequestId, RequestStore, RideRequest, Schedule, Taxi, TaxiId, Time,
     TimedRoute, World,
 };
 use mtshare_obs::{Event, ExternalStats, Obs, RejectReason, RunInfo, Stage};
-use mtshare_road::{RoadNetwork, SpatialGrid};
-use mtshare_routing::{HotNodeOracle, PathCache};
+use mtshare_road::{NodeId, RoadNetwork, SpatialGrid, TrafficShiftSpec};
+use mtshare_routing::{HotNodeOracle, Path, PathCache};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -41,6 +42,15 @@ pub struct SimConfig {
     /// Upper bound on arrivals speculated per batch (bounds wasted work
     /// when an early commit invalidates the rest of the window).
     pub max_batch: usize,
+    /// Seeded disruption injection (breakdowns, cancellations, traffic
+    /// shifts). `None` runs a fault-free simulation.
+    pub chaos: Option<ChaosConfig>,
+    /// Retry/backoff budget for re-dispatching orphaned riders.
+    pub retry: RetryPolicy,
+    /// Cadence (simulation seconds) of the runtime invariant checker;
+    /// `None` disables it. Violations are reported through `mtshare-obs`
+    /// and counted in the report.
+    pub validate_every: Option<f64>,
 }
 
 impl Default for SimConfig {
@@ -50,9 +60,16 @@ impl Default for SimConfig {
             payment: PaymentConfig::default(),
             parallelism: 1,
             max_batch: 64,
+            chaos: None,
+            retry: RetryPolicy::default(),
+            validate_every: None,
         }
     }
 }
+
+/// Extra slack granted when an orphaned rider's deadline is renegotiated:
+/// the new deadline is at least `now + RENEG_SLACK × direct`.
+const RENEG_SLACK: f64 = 1.5;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
@@ -60,6 +77,12 @@ enum Ev {
     Taxi { taxi: TaxiId, version: u64 },
     /// A taxi's route passes an offline request's origin.
     Encounter { taxi: TaxiId, request: RequestId, version: u64 },
+    /// The `idx`-th planned disruption fires.
+    Disruption { idx: usize },
+    /// A bounded-retry re-dispatch attempt for an orphaned rider.
+    Redispatch { request: RequestId, attempt: u32 },
+    /// Runtime invariant sweep (`validate_every` cadence).
+    Validate,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,6 +131,17 @@ pub struct Simulator {
     /// request → watched nodes (for cleanup).
     watched_nodes: FxHashMap<RequestId, Vec<u32>>,
     spatial: SpatialGrid,
+    // --- disruption machinery ---
+    /// The seeded disruption schedule (empty without chaos).
+    plan: DisruptionPlan,
+    /// Per-request terminal-state flag: true once served or rejected.
+    /// Guards double accounting across cancels, retries and expiry.
+    resolved: Vec<bool>,
+    /// Requests cancelled before their release time: rejected on arrival.
+    cancelled_pre_release: FxHashSet<RequestId>,
+    cancelled: usize,
+    redispatched: usize,
+    invariant_violations: usize,
     // --- observability ---
     /// Telemetry bus; disabled by default. Events are emitted only from
     /// the sequential commit side, stamped with simulation time, so the
@@ -145,12 +179,25 @@ impl Simulator {
         let oracle = HotNodeOracle::new(graph.clone());
         let spatial = SpatialGrid::build(&graph, 250.0);
         let n_taxis = scenario.taxis.len();
+        let requests = scenario.request_store();
+        let n_requests = requests.len();
+        // The disruption plan is a pure function of the chaos config and
+        // the scenario shape, generated once up front — never during the
+        // run — so injected faults are identical at any `parallelism`.
+        let plan = match &cfg.chaos {
+            Some(chaos) => {
+                let horizon =
+                    requests.iter().map(|r| r.release_time).fold(0.0_f64, f64::max).max(1.0);
+                DisruptionPlan::generate(chaos, &graph, horizon, n_taxis, n_requests)
+            }
+            None => DisruptionPlan::default(),
+        };
         Self {
             graph,
             cache,
             oracle,
             taxis: scenario.taxis.clone(),
-            requests: scenario.request_store(),
+            requests,
             cfg,
             heap: BinaryHeap::new(),
             seq: 0,
@@ -159,6 +206,12 @@ impl Simulator {
             offline_watch: FxHashMap::default(),
             watched_nodes: FxHashMap::default(),
             spatial,
+            plan,
+            resolved: vec![false; n_requests],
+            cancelled_pre_release: FxHashSet::default(),
+            cancelled: 0,
+            redispatched: 0,
+            invariant_violations: 0,
             obs: Obs::disabled(),
             clock: 0.0,
             pickup_time: FxHashMap::default(),
@@ -181,6 +234,14 @@ impl Simulator {
     /// Attaches a telemetry bus. Chainable; call before [`Simulator::run`].
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Replaces the disruption schedule with an explicit plan (targeted
+    /// fault tests inject hand-built plans; `SimConfig::chaos` generates
+    /// seeded ones). Chainable; call before [`Simulator::run`].
+    pub fn with_disruptions(mut self, plan: DisruptionPlan) -> Self {
+        self.plan = plan;
         self
     }
 
@@ -208,6 +269,17 @@ impl Simulator {
         let order: Vec<RequestId> = self.requests.iter().map(|r| r.id).collect();
         let mut next_arrival = 0usize;
 
+        // Seed the planned disruptions before anything else enters the
+        // heap: their low sequence numbers order them ahead of same-time
+        // taxi events, deterministically.
+        for idx in 0..self.plan.events.len() {
+            let at = self.plan.events[idx].at;
+            self.push_ev(at, Ev::Disruption { idx });
+        }
+        if let Some(every) = self.cfg.validate_every {
+            self.push_ev(every, Ev::Validate);
+        }
+
         loop {
             let t_req = order
                 .get(next_arrival)
@@ -220,7 +292,20 @@ impl Simulator {
             if t_ev <= t_req {
                 let Reverse(q) = self.heap.pop().expect("peeked");
                 self.clock = self.clock.max(q.time);
-                self.process_event(q, scheme);
+                if q.ev == Ev::Validate {
+                    // Handled here rather than in `process_event`: the
+                    // re-arm decision needs to know whether any work
+                    // remains, or the sweep would keep the run alive
+                    // forever.
+                    self.validate_world(q.time, &*scheme);
+                    if let Some(every) = self.cfg.validate_every {
+                        if !self.heap.is_empty() || t_req.is_finite() {
+                            self.push_ev(q.time + every, Ev::Validate);
+                        }
+                    }
+                } else {
+                    self.process_event(q, scheme);
+                }
             } else {
                 self.clock = self.clock.max(t_req);
                 if self.cfg.parallelism > 1 {
@@ -249,7 +334,9 @@ impl Simulator {
         let mut batch = Vec::new();
         for &id in order.iter().skip(from).take(self.cfg.max_batch.max(1)) {
             let req = self.requests.get(id);
-            if req.offline || t_ev <= req.release_time {
+            // A pre-release-cancelled arrival is rejected, not dispatched;
+            // end the run so the sequential path handles it identically.
+            if req.offline || t_ev <= req.release_time || self.cancelled_pre_release.contains(&id) {
                 break;
             }
             batch.push(id);
@@ -347,6 +434,7 @@ impl Simulator {
                     self.oracle.unpin(req.origin);
                     self.oracle.unpin(req.destination);
                     self.rejected += 1;
+                    self.resolved[req.id.index()] = true;
                     self.emit_reject(req, now);
                 }
             }
@@ -375,19 +463,29 @@ impl Simulator {
     fn process_arrival(&mut self, id: RequestId, scheme: &mut dyn DispatchScheme) {
         let req = self.requests.get(id).clone();
         self.obs.emit(Event::Arrival { t: req.release_time, req: req.id.0, offline: req.offline });
+        if self.cancelled_pre_release.remove(&id) {
+            // Withdrawn before release: terminal on arrival, no dispatch.
+            self.reject_with(id, req.release_time, RejectReason::CancelledByPassenger);
+            return;
+        }
         if req.offline {
             self.register_offline(&req);
         } else {
-            self.try_dispatch(&req, req.release_time, None, scheme);
+            self.try_dispatch(&req, req.release_time, None, true, scheme);
         }
     }
 
     /// Runs a (timed) dispatch and commits on success. Returns success.
+    ///
+    /// `account_reject` controls whether an online failure is terminal
+    /// (counted + classified); recovery re-dispatch attempts pass `false`
+    /// and do their own retry/exhaustion accounting.
     fn try_dispatch(
         &mut self,
         req: &RideRequest,
         now: Time,
         encountered_by: Option<TaxiId>,
+        account_reject: bool,
         scheme: &mut dyn DispatchScheme,
     ) -> bool {
         // Pin before the timer starts: the paper's response times assume
@@ -428,13 +526,24 @@ impl Simulator {
             None => {
                 self.oracle.unpin(req.origin);
                 self.oracle.unpin(req.destination);
-                if encountered_by.is_none() {
+                if encountered_by.is_none() && account_reject {
                     self.rejected += 1;
+                    self.resolved[req.id.index()] = true;
                     self.emit_reject(req, now);
                 }
                 false
             }
         }
+    }
+
+    /// Terminally rejects `id` with an explicit (chaos-path) reason.
+    fn reject_with(&mut self, id: RequestId, now: Time, reason: RejectReason) {
+        self.rejected += 1;
+        self.resolved[id.index()] = true;
+        if reason == RejectReason::CancelledByPassenger {
+            self.cancelled += 1;
+        }
+        self.obs.emit(Event::Reject { t: now, req: id.0, reason });
     }
 
     fn commit(
@@ -533,6 +642,9 @@ impl Simulator {
         let now = req.release_time;
         for i in 0..self.taxis.len() {
             let taxi = &self.taxis[i];
+            if !taxi.alive {
+                continue; // a dead taxi is parked but never encounters
+            }
             let id = taxi.id;
             let version = taxi.route_version;
             if taxi.route.is_none() {
@@ -578,6 +690,11 @@ impl Simulator {
             Ev::Encounter { taxi, request, version } => {
                 self.process_encounter(q.time, taxi, request, version, scheme)
             }
+            Ev::Disruption { idx } => self.process_disruption(q.time, idx, scheme),
+            Ev::Redispatch { request, attempt } => {
+                self.process_redispatch(q.time, request, attempt, scheme)
+            }
+            Ev::Validate => unreachable!("Validate is handled in the run loop"),
         }
     }
 
@@ -590,8 +707,9 @@ impl Simulator {
     ) {
         {
             let taxi = &self.taxis[taxi_id.index()];
-            if taxi.route_version != version || taxi.schedule.is_empty() {
-                return; // superseded plan
+            if !taxi.alive || taxi.route_version != version || taxi.schedule.is_empty() {
+                return; // superseded plan (or the taxi died: `fail` bumps
+                        // the version, the alive check is belt and braces)
             }
         }
         let (ev, next_time) = {
@@ -630,6 +748,7 @@ impl Simulator {
                 } else {
                     self.served_online += 1;
                 }
+                self.resolved[req.id.index()] = true;
                 self.served_records.push(ServedRecord {
                     request: req.id.0,
                     taxi: taxi_id.0,
@@ -685,13 +804,15 @@ impl Simulator {
         if t > req.pickup_deadline() {
             self.drop_offline_watch(request);
             self.rejected += 1;
+            self.resolved[request.index()] = true;
             self.obs.emit(Event::Reject { t, req: req.id.0, reason: RejectReason::OfflineExpired });
             return;
         }
         {
             let taxi = &self.taxis[taxi_id.index()];
-            if taxi.route_version != version {
-                return; // route changed; a rescan already queued new events
+            if !taxi.alive || taxi.route_version != version {
+                return; // route changed (or the taxi broke down); a rescan
+                        // already queued any events that still apply
             }
             // The encountering taxi needs an idle seat to stop at all.
             if taxi.idle_seats(&self.requests) < req.passengers as u32 {
@@ -702,7 +823,7 @@ impl Simulator {
         // another taxi).
         self.obs.emit(Event::Encounter { t, req: req.id.0, taxi: taxi_id.0 });
         self.pending_offline.remove(&request);
-        if self.try_dispatch(&req, t, Some(taxi_id), scheme) {
+        if self.try_dispatch(&req, t, Some(taxi_id), true, scheme) {
             self.drop_offline_watch_only(request);
         } else {
             // Stays pending for future encounters.
@@ -720,6 +841,405 @@ impl Simulator {
                     }
                 }
             }
+        }
+    }
+
+    // --- disruption injection & recovery -------------------------------
+
+    fn process_disruption(&mut self, t: Time, idx: usize, scheme: &mut dyn DispatchScheme) {
+        match self.plan.events[idx].disruption {
+            Disruption::Breakdown { taxi } => self.process_breakdown(t, taxi, scheme),
+            Disruption::Cancel { request } => self.process_cancel(t, request, scheme),
+            Disruption::TrafficShift(spec) => self.process_traffic_shift(t, spec, scheme),
+        }
+    }
+
+    /// A taxi drops out of service: park it, settle its episode, reconcile
+    /// it out of the scheme's indexes and re-enqueue its stranded riders.
+    fn process_breakdown(&mut self, t: Time, taxi_id: TaxiId, scheme: &mut dyn DispatchScheme) {
+        if !self.taxis[taxi_id.index()].alive {
+            return;
+        }
+        // Close the running occupancy window before the plan is torn down
+        // so the episode settles over the cost actually driven.
+        if let Some(since) = self.episodes[taxi_id.index()].onboard_since.take() {
+            self.episodes[taxi_id.index()].onboard_cost_s += t - since;
+        }
+        let (onboard, assigned) = self.taxis[taxi_id.index()].fail(t);
+        self.route_nodes[taxi_id.index()].clear();
+        self.settle_taxi(taxi_id);
+        self.obs.emit(Event::Breakdown {
+            t,
+            taxi: taxi_id.0,
+            orphans: (onboard.len() + assigned.len()) as u32,
+        });
+        {
+            let world = World {
+                graph: &self.graph,
+                cache: &self.cache,
+                oracle: &self.oracle,
+                taxis: &self.taxis,
+                requests: &self.requests,
+            };
+            scheme.on_taxi_removed(&self.taxis[taxi_id.index()], &world);
+        }
+        let fail_node = self.taxis[taxi_id.index()].location;
+        for r in onboard {
+            self.enqueue_orphan(r, t, Some(fail_node));
+        }
+        for r in assigned {
+            self.enqueue_orphan(r, t, None);
+        }
+    }
+
+    /// Detaches an orphaned rider from its (gone) plan and schedules the
+    /// first bounded-retry re-dispatch attempt. Riders already picked up
+    /// pass the node they are stranded at: the request re-enters the
+    /// queue from there, with its deadline renegotiated to keep the
+    /// remaining trip feasible.
+    fn enqueue_orphan(&mut self, request: RequestId, now: Time, stranded_at: Option<NodeId>) {
+        if self.resolved[request.index()] {
+            return;
+        }
+        // Balance the commit-time pins; each retry attempt re-pins.
+        {
+            let req = self.requests.get(request);
+            self.oracle.unpin(req.origin);
+            self.oracle.unpin(req.destination);
+        }
+        self.pickup_time.remove(&request);
+        let direct = {
+            let req = self.requests.get(request);
+            let origin = stranded_at.unwrap_or(req.origin);
+            self.cache.cost(origin, req.destination)
+        };
+        let Some(direct) = direct else {
+            // No road leads onward from the breakdown position.
+            self.reject_with(request, now, RejectReason::TaxiFailed);
+            return;
+        };
+        {
+            let req = self.requests.get_mut(request);
+            if let Some(node) = stranded_at {
+                req.origin = node;
+            }
+            req.direct_cost_s = direct;
+            req.deadline = req.deadline.max(now + RENEG_SLACK * direct);
+        }
+        if !self.taxis.iter().any(|x| x.alive) {
+            // Nothing is left to retry against, and nothing will revive.
+            self.reject_with(request, now, RejectReason::TaxiFailed);
+            return;
+        }
+        self.push_ev(now + self.cfg.retry.delay_s(1), Ev::Redispatch { request, attempt: 1 });
+    }
+
+    /// A rider withdraws before pickup. The terminal accounting is a
+    /// `CancelledByPassenger` rejection (so `served + rejected` still
+    /// covers every request); an informational `cancel` event precedes it.
+    fn process_cancel(&mut self, t: Time, request: RequestId, scheme: &mut dyn DispatchScheme) {
+        if self.resolved[request.index()] || self.pickup_time.contains_key(&request) {
+            return; // already terminal, or onboard: too late to cancel
+        }
+        let req = self.requests.get(request).clone();
+        if req.release_time > t {
+            // Not yet released: reject at arrival, keeping the event
+            // stream in request order.
+            self.cancelled_pre_release.insert(request);
+            self.obs.emit(Event::Cancel { t, req: request.0, assigned: false });
+            return;
+        }
+        if self.pending_offline.contains(&request) {
+            self.drop_offline_watch(request);
+            self.obs.emit(Event::Cancel { t, req: request.0, assigned: false });
+            self.reject_with(request, t, RejectReason::CancelledByPassenger);
+            return;
+        }
+        match self.taxis.iter().position(|x| x.assigned.contains(&request)) {
+            Some(i) => {
+                let taxi_id = TaxiId(i as u32);
+                self.taxis[i].assigned.retain(|&r| r != request);
+                let schedule = self.taxis[i].schedule.without_request(request);
+                if !self.rebuild_plan(taxi_id, schedule, t, scheme) {
+                    self.taxis[i].assigned.push(request);
+                    return; // repair impossible; the committed plan stands
+                }
+                self.oracle.unpin(req.origin);
+                self.oracle.unpin(req.destination);
+                self.obs.emit(Event::Cancel { t, req: request.0, assigned: true });
+                self.reject_with(request, t, RejectReason::CancelledByPassenger);
+            }
+            None => {
+                // Waiting unassigned (an orphan between retry attempts):
+                // terminal now, the pending retry no-ops via `resolved`.
+                self.obs.emit(Event::Cancel { t, req: request.0, assigned: false });
+                self.reject_with(request, t, RejectReason::CancelledByPassenger);
+            }
+        }
+    }
+
+    /// A localized slowdown: committed routes through the region stretch
+    /// in place (quasi-static repair — window membership is judged on the
+    /// pre-stretch timetable, and repaired or newly committed routes use
+    /// base costs; see DESIGN.md, "Fault model & recovery"). Riders whose
+    /// deadlines the delay breaks are renegotiated or re-enqueued.
+    fn process_traffic_shift(
+        &mut self,
+        t: Time,
+        spec: TrafficShiftSpec,
+        scheme: &mut dyn DispatchScheme,
+    ) {
+        self.obs.emit(Event::TrafficShift {
+            t,
+            node: spec.center.0,
+            radius_m: spec.radius_m,
+            factor: spec.factor,
+            duration_s: spec.duration_s,
+        });
+        for i in 0..self.taxis.len() {
+            if !self.taxis[i].alive || self.taxis[i].route.is_none() {
+                continue;
+            }
+            let taxi_id = TaxiId(i as u32);
+            let delay = {
+                let graph = &self.graph;
+                let route = self.taxis[i].route.as_mut().expect("checked");
+                route.stretch(t, spec.end_s(), spec.factor, |n| spec.covers(graph, n))
+            };
+            if delay <= 1e-9 {
+                continue;
+            }
+            // Audit the stretched timetable: unpicked riders whose pickup
+            // deadline is now missed get dropped and re-dispatched;
+            // late-running onboard riders get their deadlines extended.
+            let mut dropped: Vec<RequestId> = Vec::new();
+            let mut late_dropoffs: Vec<(RequestId, Time)> = Vec::new();
+            {
+                let taxi = &self.taxis[i];
+                let route = taxi.route.as_ref().expect("checked");
+                for (k, ev) in taxi.schedule.events().iter().enumerate() {
+                    let when = route.event_time(k);
+                    match ev.kind {
+                        EventKind::Pickup => {
+                            if when > self.requests.get(ev.request).pickup_deadline() {
+                                dropped.push(ev.request);
+                            }
+                        }
+                        EventKind::Dropoff => {
+                            if !dropped.contains(&ev.request)
+                                && when > self.requests.get(ev.request).deadline
+                            {
+                                late_dropoffs.push((ev.request, when));
+                            }
+                        }
+                    }
+                }
+            }
+            let mut renegotiated = 0u32;
+            for (r, when) in late_dropoffs {
+                let req = self.requests.get_mut(r);
+                if req.deadline < when + 1.0 {
+                    req.deadline = when + 1.0;
+                    renegotiated += 1;
+                }
+            }
+            let n_dropped;
+            if dropped.is_empty() {
+                n_dropped = 0;
+                self.rearm_stretched(taxi_id, t, scheme);
+            } else {
+                let mut schedule = self.taxis[i].schedule.clone();
+                for &r in &dropped {
+                    schedule = schedule.without_request(r);
+                    self.taxis[i].assigned.retain(|&x| x != r);
+                }
+                if self.rebuild_plan(taxi_id, schedule, t, scheme) {
+                    for &r in &dropped {
+                        self.enqueue_orphan(r, t, None);
+                    }
+                    n_dropped = dropped.len() as u32;
+                } else {
+                    // Repair impossible: keep the stretched plan and
+                    // extend the affected riders' deadlines instead.
+                    let mut extend: Vec<(RequestId, Time)> = Vec::new();
+                    {
+                        let taxi = &mut self.taxis[i];
+                        taxi.assigned.extend(dropped.iter().copied());
+                        let route = taxi.route.as_ref().expect("checked");
+                        for (k, ev) in taxi.schedule.events().iter().enumerate() {
+                            if ev.kind == EventKind::Dropoff && dropped.contains(&ev.request) {
+                                extend.push((ev.request, route.event_time(k)));
+                            }
+                        }
+                    }
+                    for (r, when) in extend {
+                        let req = self.requests.get_mut(r);
+                        if req.deadline < when + 1.0 {
+                            req.deadline = when + 1.0;
+                            renegotiated += 1;
+                        }
+                    }
+                    n_dropped = 0;
+                    self.rearm_stretched(taxi_id, t, scheme);
+                }
+            }
+            self.obs.emit(Event::Reroute { t, taxi: taxi_id.0, renegotiated, dropped: n_dropped });
+        }
+    }
+
+    /// Re-arms a taxi whose route timetable was stretched in place: bumps
+    /// the version (queued events carry stale times), refreshes the
+    /// encounter map and re-queues the next schedule event.
+    fn rearm_stretched(&mut self, taxi_id: TaxiId, now: Time, scheme: &mut dyn DispatchScheme) {
+        let i = taxi_id.index();
+        self.taxis[i].route_version += 1;
+        let version = self.taxis[i].route_version;
+        let map = &mut self.route_nodes[i];
+        map.clear();
+        if let Some(route) = &self.taxis[i].route {
+            for (n, tt) in route.nodes.iter().zip(&route.arrival_s) {
+                map.entry(n.0).or_insert(*tt);
+            }
+        }
+        if let Some(nt) = self.taxis[i].next_event_time() {
+            self.push_ev(nt, Ev::Taxi { taxi: taxi_id, version });
+        }
+        let world = World {
+            graph: &self.graph,
+            cache: &self.cache,
+            oracle: &self.oracle,
+            taxis: &self.taxis,
+            requests: &self.requests,
+        };
+        scheme.on_taxi_progress(&self.taxis[i], now, &world);
+    }
+
+    /// Replaces `taxi_id`'s plan with `schedule`, routing every leg from
+    /// its position at `now` over base costs. Returns `false` — world
+    /// untouched — when some leg cannot be routed.
+    fn rebuild_plan(
+        &mut self,
+        taxi_id: TaxiId,
+        schedule: Schedule,
+        now: Time,
+        scheme: &mut dyn DispatchScheme,
+    ) -> bool {
+        let i = taxi_id.index();
+        let pos = self.taxis[i].position_at(now);
+        let mut legs: Vec<Path> = Vec::with_capacity(schedule.len());
+        let mut prev = pos;
+        for ev in schedule.events() {
+            match self.cache.path(prev, ev.node) {
+                Some(p) => {
+                    legs.push(p);
+                    prev = ev.node;
+                }
+                None => return false,
+            }
+        }
+        {
+            let taxi = &mut self.taxis[i];
+            taxi.location = pos;
+            taxi.location_time = now;
+            if schedule.is_empty() {
+                taxi.schedule = Schedule::new();
+                taxi.route = None;
+                taxi.route_version += 1;
+            } else {
+                let route = TimedRoute::build_on(&self.graph, pos, now, &legs, &schedule);
+                taxi.set_plan(schedule, route, now);
+            }
+        }
+        let map = &mut self.route_nodes[i];
+        map.clear();
+        if let Some(route) = &self.taxis[i].route {
+            for (n, tt) in route.nodes.iter().zip(&route.arrival_s) {
+                map.entry(n.0).or_insert(*tt);
+            }
+        }
+        let version = self.taxis[i].route_version;
+        if let Some(nt) = self.taxis[i].next_event_time() {
+            self.push_ev(nt, Ev::Taxi { taxi: taxi_id, version });
+        }
+        {
+            let world = World {
+                graph: &self.graph,
+                cache: &self.cache,
+                oracle: &self.oracle,
+                taxis: &self.taxis,
+                requests: &self.requests,
+            };
+            scheme.after_assign(&self.taxis[i], &world);
+        }
+        self.scan_route_for_offline(taxi_id, now);
+        true
+    }
+
+    /// One bounded-retry re-dispatch attempt for an orphaned rider.
+    fn process_redispatch(
+        &mut self,
+        t: Time,
+        request: RequestId,
+        attempt: u32,
+        scheme: &mut dyn DispatchScheme,
+    ) {
+        if self.resolved[request.index()] {
+            return; // cancelled (or otherwise settled) while waiting
+        }
+        let req = self.requests.get(request).clone();
+        let ok = self.try_dispatch(&req, t, None, false, scheme);
+        self.obs.emit(Event::Redispatch { t, req: request.0, attempt, ok });
+        if ok {
+            self.redispatched += 1;
+        } else if self.cfg.retry.exhausted(attempt + 1) {
+            self.reject_with(request, t, RejectReason::RetriesExhausted);
+        } else {
+            let next = attempt + 1;
+            self.push_ev(
+                t + self.cfg.retry.delay_s(next),
+                Ev::Redispatch { request, attempt: next },
+            );
+        }
+    }
+
+    /// Runtime invariant sweep: per-taxi consistency (`mtshare-chaos`),
+    /// passenger conservation across the fleet, and index/world
+    /// agreement. Violations are emitted as events and counted; healthy
+    /// runs emit none.
+    fn validate_world(&mut self, t: Time, scheme: &dyn DispatchScheme) {
+        let mut violations: Vec<String> = Vec::new();
+        for taxi in &self.taxis {
+            if let Err(e) = check_taxi(taxi, &self.requests) {
+                violations.push(e);
+            }
+        }
+        // Passenger conservation: an unresolved rider sits in at most one
+        // taxi; a terminal one in none.
+        let mut holders: FxHashMap<RequestId, u32> = FxHashMap::default();
+        for taxi in &self.taxis {
+            for &r in taxi.assigned.iter().chain(&taxi.onboard) {
+                *holders.entry(r).or_insert(0) += 1;
+            }
+        }
+        for req in self.requests.iter() {
+            let n = holders.get(&req.id).copied().unwrap_or(0);
+            if n > 1 {
+                violations.push(format!("{} held by {n} taxis", req.id));
+            } else if n > 0 && self.resolved[req.id.index()] {
+                violations.push(format!("{} is terminal but still scheduled", req.id));
+            }
+        }
+        // Index/world agreement: a dead taxi must never stay searchable.
+        if let Some(indexed) = scheme.indexed_taxis() {
+            for id in indexed {
+                if !self.taxis[id.index()].alive {
+                    violations.push(format!("dead {id} still indexed"));
+                }
+            }
+        }
+        for check in violations {
+            self.invariant_violations += 1;
+            self.obs.emit(Event::InvariantViolation { t, check });
         }
     }
 
@@ -755,6 +1275,7 @@ impl Simulator {
             .map(|&id| self.requests.get(id).pickup_deadline())
             .fold(self.clock, f64::max);
         for id in expired_ids {
+            self.resolved[id.index()] = true;
             self.obs.emit(Event::Reject {
                 t: horizon,
                 req: id.0,
@@ -796,6 +1317,9 @@ impl Simulator {
             served_online: self.served_online,
             served_offline: self.served_offline,
             rejected: self.rejected,
+            cancelled: self.cancelled,
+            redispatched: self.redispatched,
+            invariant_violations: self.invariant_violations,
             avg_response_ms: self.response_ms.mean(),
             p95_response_ms: self.response_ms.quantile(0.95),
             avg_detour_min: self.detour_s.mean() / 60.0,
@@ -928,5 +1452,199 @@ mod tests {
         // Conservation: rider payments equal driver income.
         assert!((r.total_passenger_fares - r.total_driver_income).abs() < 1e-6, "{r:?}");
         assert!(r.fare_saving_pct() >= 0.0);
+    }
+
+    // ---- disruption injection & recovery ----
+
+    use mtshare_chaos::TimedDisruption;
+    use mtshare_obs::MemorySink;
+
+    fn tiny_city() -> (Arc<RoadNetwork>, PathCache) {
+        let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let cache = PathCache::new(graph.clone());
+        (graph, cache)
+    }
+
+    fn chaos_request(
+        id: u32,
+        od: (u32, u32),
+        release: f64,
+        direct: f64,
+        deadline: f64,
+    ) -> RideRequest {
+        RideRequest {
+            id: RequestId(id),
+            release_time: release,
+            origin: NodeId(od.0),
+            destination: NodeId(od.1),
+            passengers: 1,
+            deadline,
+            direct_cost_s: direct,
+            offline: false,
+        }
+    }
+
+    fn at(t: f64, disruption: Disruption) -> TimedDisruption {
+        TimedDisruption { at: t, disruption }
+    }
+
+    /// Hand-built scenario + hand-built disruption plan under No-Sharing,
+    /// with the invariant checker armed. Returns the report and the trace.
+    fn run_with_plan(
+        graph: Arc<RoadNetwork>,
+        cache: PathCache,
+        taxis: Vec<Taxi>,
+        requests: Vec<RideRequest>,
+        plan: DisruptionPlan,
+    ) -> (SimReport, String) {
+        let scenario = Scenario {
+            config: ScenarioConfig::peak(taxis.len().max(1)),
+            historical: Vec::new(),
+            requests,
+            taxis,
+        };
+        let mut scheme = SchemeKind::NoSharing.build(&graph, scenario.taxis.len(), None, None);
+        let obs = Obs::enabled();
+        let (sink, buf) = MemorySink::new();
+        obs.add_sink(Box::new(sink));
+        let cfg = SimConfig { validate_every: Some(30.0), ..SimConfig::default() };
+        let report = Simulator::new(graph, cache, &scenario, cfg)
+            .with_obs(obs.clone())
+            .with_disruptions(plan)
+            .run(scheme.as_mut());
+        let trace = buf.lock().unwrap().clone();
+        (report, trace)
+    }
+
+    #[test]
+    fn breakdown_without_survivors_rejects_rider_as_taxi_failed() {
+        let (graph, cache) = tiny_city();
+        let direct = cache.cost(NodeId(0), NodeId(399)).unwrap();
+        let req = chaos_request(0, (0, 399), 0.0, direct, direct * 3.0);
+        // The lone taxi starts at the origin, so the rider is onboard when
+        // it breaks mid-trip; with nobody left alive the orphan must be
+        // rejected as taxi_failed — never lost, never panicking.
+        let plan = DisruptionPlan {
+            events: vec![at(direct * 0.5, Disruption::Breakdown { taxi: TaxiId(0) })],
+        };
+        let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(0))];
+        let (r, trace) = run_with_plan(graph, cache, taxis, vec![req], plan);
+        assert_eq!((r.served, r.rejected), (0, 1), "{r:?}");
+        assert_eq!(r.invariant_violations, 0, "{trace}");
+        assert!(
+            trace.contains(r#""ev":"breakdown""#) && trace.contains(r#""orphans":1"#),
+            "{trace}"
+        );
+        assert!(trace.contains(r#""reason":"taxi_failed""#), "{trace}");
+    }
+
+    #[test]
+    fn breakdown_orphan_is_redispatched_to_a_survivor() {
+        let (graph, cache) = tiny_city();
+        let direct = cache.cost(NodeId(0), NodeId(15)).unwrap();
+        let req = chaos_request(0, (0, 15), 0.0, direct, direct * 3.0 + 600.0);
+        // Taxi 0 (nearest, 1 hop out) wins the dispatch, then breaks down
+        // before the ~29 s pickup leg completes; the orphaned-but-waiting
+        // rider must be re-dispatched onto taxi 1 after the retry delay.
+        let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(1)), Taxi::new(TaxiId(1), 4, NodeId(2))];
+        let plan =
+            DisruptionPlan { events: vec![at(1.0, Disruption::Breakdown { taxi: TaxiId(0) })] };
+        let (r, trace) = run_with_plan(graph, cache, taxis, vec![req], plan);
+        assert_eq!((r.served, r.rejected), (1, 0), "{r:?}\n{trace}");
+        assert_eq!(r.redispatched, 1, "{trace}");
+        assert_eq!(r.invariant_violations, 0, "{trace}");
+        assert!(
+            trace.contains(r#""ev":"redispatch""#) && trace.contains(r#""ok":true"#),
+            "{trace}"
+        );
+    }
+
+    #[test]
+    fn cancel_of_an_assigned_rider_repairs_the_plan() {
+        let (graph, cache) = tiny_city();
+        let direct = cache.cost(NodeId(0), NodeId(15)).unwrap();
+        let pickup_eta = cache.cost(NodeId(105), NodeId(0)).unwrap();
+        let req = chaos_request(0, (0, 15), 0.0, direct, pickup_eta + direct + 600.0);
+        // Pickup is ~10 hops away, so the t = 2 s cancel lands while the
+        // rider is assigned but not yet picked up.
+        let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(105))];
+        let plan =
+            DisruptionPlan { events: vec![at(2.0, Disruption::Cancel { request: RequestId(0) })] };
+        let (r, trace) = run_with_plan(graph, cache, taxis, vec![req], plan);
+        assert_eq!((r.served, r.rejected, r.cancelled), (0, 1, 1), "{r:?}");
+        assert_eq!(r.invariant_violations, 0, "{trace}");
+        assert!(
+            trace.contains(r#""ev":"cancel""#) && trace.contains(r#""assigned":true"#),
+            "{trace}"
+        );
+        assert!(trace.contains(r#""reason":"cancelled_by_passenger""#), "{trace}");
+    }
+
+    #[test]
+    fn cancel_before_release_rejects_on_arrival() {
+        let (graph, cache) = tiny_city();
+        let direct = cache.cost(NodeId(0), NodeId(15)).unwrap();
+        let req = chaos_request(0, (0, 15), 30.0, direct, 30.0 + direct * 4.0);
+        let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(1))];
+        // The cancel fires before the request is even released; on arrival
+        // the request must terminate immediately without a dispatch.
+        let plan =
+            DisruptionPlan { events: vec![at(1.0, Disruption::Cancel { request: RequestId(0) })] };
+        let (r, trace) = run_with_plan(graph, cache, taxis, vec![req], plan);
+        assert_eq!((r.served, r.rejected, r.cancelled), (0, 1, 1), "{r:?}");
+        assert!(
+            trace.contains(r#""ev":"cancel""#) && trace.contains(r#""assigned":false"#),
+            "{trace}"
+        );
+        assert!(!trace.contains(r#""ev":"commit""#), "no dispatch for a cancelled rider:\n{trace}");
+        assert!(trace.contains(r#""reason":"cancelled_by_passenger""#), "{trace}");
+    }
+
+    #[test]
+    fn traffic_shift_stretches_routes_and_renegotiates_deadlines() {
+        let (graph, cache) = tiny_city();
+        let direct = cache.cost(NodeId(0), NodeId(399)).unwrap();
+        let req = chaos_request(0, (0, 399), 0.0, direct, direct * 1.2);
+        let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(0))];
+        // A city-wide 3× slowdown lands while the rider is onboard: the
+        // committed route stretches far past the original deadline and the
+        // dropoff must be renegotiated rather than stranded.
+        let spec = TrafficShiftSpec {
+            center: NodeId(210),
+            radius_m: 1e7,
+            factor: 3.0,
+            start_s: 5.0,
+            duration_s: 1e6,
+        };
+        let plan = DisruptionPlan { events: vec![at(5.0, Disruption::TrafficShift(spec))] };
+        let (r, trace) = run_with_plan(graph, cache, taxis, vec![req], plan);
+        assert_eq!((r.served, r.rejected), (1, 0), "{r:?}\n{trace}");
+        assert_eq!(r.invariant_violations, 0, "{trace}");
+        assert!(trace.contains(r#""ev":"traffic_shift""#), "{trace}");
+        assert!(
+            trace.contains(r#""ev":"reroute""#) && trace.contains(r#""renegotiated":1"#),
+            "{trace}"
+        );
+        // The delivery really was delayed past the pre-shift deadline.
+        assert!(r.served_records[0].dropoff_t > direct * 1.2, "{:?}", r.served_records);
+    }
+
+    #[test]
+    fn seeded_chaos_on_generated_scenario_keeps_accounting() {
+        // Satellite regression: a non-peak scenario exercises encounters
+        // and offline watches against dead taxis; the accounting identity
+        // and the runtime invariants must survive a full seeded mix.
+        let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let cache = PathCache::new(graph.clone());
+        let scenario = Scenario::generate(graph.clone(), &cache, ScenarioConfig::nonpeak(10));
+        let mut scheme = SchemeKind::TShare.build(&graph, scenario.taxis.len(), None, None);
+        let cfg = SimConfig {
+            chaos: Some(ChaosConfig::with_seed(11)),
+            validate_every: Some(60.0),
+            ..SimConfig::default()
+        };
+        let r = Simulator::new(graph, cache, &scenario, cfg).run(scheme.as_mut());
+        assert_eq!(r.served + r.rejected, r.n_requests, "{r:?}");
+        assert_eq!(r.invariant_violations, 0, "{r:?}");
     }
 }

@@ -60,7 +60,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
+        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
     );
     std::process::exit(2)
 }
@@ -124,7 +124,34 @@ fn simulate(args: &Args) {
     let mt_cfg = (parallelism > 1)
         .then(|| mt_share::core::MtShareConfig::default().with_parallelism(parallelism));
     let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, mt_cfg);
-    let sim_cfg = SimConfig { parallelism, ..SimConfig::default() };
+    let chaos = args.get("chaos-seed").map(|s| {
+        let seed: u64 = s.parse().unwrap_or_else(|_| {
+            eprintln!("--chaos-seed must be an integer, got `{s}`");
+            std::process::exit(2);
+        });
+        let mut chaos = mt_share::chaos::ChaosConfig::with_seed(seed);
+        if let Some(mix) = args.get("disruptions") {
+            if let Err(e) = chaos.parse_mix(mix) {
+                eprintln!("bad --disruptions spec: {e}");
+                std::process::exit(2);
+            }
+        }
+        chaos
+    });
+    if args.has("disruptions") && chaos.is_none() {
+        eprintln!("--disruptions requires --chaos-seed");
+        std::process::exit(2);
+    }
+    let validate_every = args.get("validate-every").map(|s| {
+        let every: f64 = s.parse().unwrap_or(0.0);
+        if every.is_nan() || every <= 0.0 {
+            eprintln!("--validate-every must be a positive number of seconds, got `{s}`");
+            std::process::exit(2);
+        }
+        every
+    });
+    let chaos_on = chaos.is_some();
+    let sim_cfg = SimConfig { parallelism, chaos, validate_every, ..SimConfig::default() };
 
     // Telemetry is collected only when at least one output was asked for.
     let metrics_out = args.get("metrics-out");
@@ -170,6 +197,13 @@ fn simulate(args: &Args) {
         report.served_offline
     );
     println!("rejected        {}", report.rejected);
+    if chaos_on {
+        println!("cancelled       {}", report.cancelled);
+        println!("redispatched    {}", report.redispatched);
+    }
+    if validate_every.is_some() {
+        println!("violations      {}", report.invariant_violations);
+    }
     println!(
         "response        {:.2} ms avg, {:.2} ms p95",
         report.avg_response_ms, report.p95_response_ms

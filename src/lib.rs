@@ -15,16 +15,22 @@
 //! - [`baselines`]: No-Sharing, T-Share, pGreedyDP;
 //! - [`sim`]: workload generator and the event-driven simulator;
 //! - [`obs`]: structured observability (events, counters, histograms,
-//!   stage spans, JSONL export) — see DESIGN.md, "Observability".
+//!   stage spans, JSONL export) — see DESIGN.md, "Observability";
+//! - [`par`]: panic-isolating deterministic parallel map used by batch
+//!   dispatch;
+//! - [`chaos`]: seeded disruption plans, retry policy and runtime
+//!   invariant checks — see DESIGN.md, "Fault model & recovery".
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the paper-to-module map.
 
 pub use mtshare_baselines as baselines;
+pub use mtshare_chaos as chaos;
 pub use mtshare_core as core;
 pub use mtshare_mobility as mobility;
 pub use mtshare_model as model;
 pub use mtshare_obs as obs;
+pub use mtshare_par as par;
 pub use mtshare_road as road;
 pub use mtshare_routing as routing;
 pub use mtshare_sim as sim;

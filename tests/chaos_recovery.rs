@@ -1,0 +1,103 @@
+//! Chaos acceptance: a seeded disruption mix (breakdowns, cancellations,
+//! traffic shifts) must be survived end-to-end — every request accounted
+//! in exactly one terminal state, at least one orphan successfully
+//! re-dispatched, zero invariant violations — and the event trace must
+//! stay byte-identical across parallelism levels and same-seed reruns.
+
+use mt_share::chaos::ChaosConfig;
+use mt_share::core::{MtShareConfig, PartitionStrategy};
+use mt_share::obs::{schema, MemorySink, Obs};
+use mt_share::road::{grid_city, GridCityConfig};
+use mt_share::routing::PathCache;
+use mt_share::sim::{
+    build_context, Scenario, ScenarioConfig, SchemeKind, SimConfig, SimReport, Simulator,
+};
+use std::sync::Arc;
+
+fn chaos_run(chaos_seed: u64, parallelism: usize) -> (SimReport, String) {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let scenario = Scenario::generate(graph.clone(), &cache, ScenarioConfig::peak(12));
+    let ctx = build_context(&graph, &scenario.historical, 12, PartitionStrategy::Bipartite);
+    let mt_cfg = MtShareConfig::default().with_parallelism(parallelism);
+    let mut scheme =
+        SchemeKind::MtShare.build(&graph, scenario.taxis.len(), Some(ctx), Some(mt_cfg));
+    let obs = Obs::enabled();
+    let (sink, buf) = MemorySink::new();
+    obs.add_sink(Box::new(sink));
+    let cfg = SimConfig {
+        parallelism,
+        chaos: Some(ChaosConfig::with_seed(chaos_seed)),
+        validate_every: Some(60.0),
+        ..SimConfig::default()
+    };
+    let report =
+        Simulator::new(graph, cache, &scenario, cfg).with_obs(obs.clone()).run(scheme.as_mut());
+    let trace = buf.lock().unwrap().clone();
+    (report, trace)
+}
+
+fn count_kind(trace: &str, kind: &str) -> usize {
+    let needle = format!("\"ev\":\"{kind}\"");
+    trace.lines().filter(|l| l.contains(&needle)).count()
+}
+
+/// The `"req":N` id on a trace line, when present.
+fn req_id(line: &str) -> Option<u32> {
+    let rest = &line[line.find("\"req\":")? + 6..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// A chaos seed whose plan visibly exercises all three disruption kinds
+/// *and* wins at least one successful re-dispatch on this scenario. The
+/// scan is deterministic, so the chosen seed is stable across test runs.
+fn interesting_seed() -> u64 {
+    for seed in 0..32 {
+        let (report, trace) = chaos_run(seed, 1);
+        if report.redispatched >= 1
+            && count_kind(&trace, "breakdown") >= 1
+            && count_kind(&trace, "cancel") >= 1
+            && count_kind(&trace, "traffic_shift") >= 1
+        {
+            return seed;
+        }
+    }
+    panic!("no chaos seed in 0..32 produced a successful re-dispatch");
+}
+
+#[test]
+fn seeded_chaos_recovers_and_accounts_every_request() {
+    let (report, trace) = chaos_run(interesting_seed(), 1);
+    schema::validate_trace(&trace).expect("chaos trace must be schema-valid");
+    assert_eq!(report.served + report.rejected, report.n_requests, "{report:?}");
+    assert!(report.redispatched >= 1, "{report:?}");
+    assert_eq!(report.invariant_violations, 0, "{report:?}");
+    assert_eq!(count_kind(&trace, "dropoff"), report.served);
+    assert_eq!(count_kind(&trace, "reject"), report.rejected);
+
+    // Exactly one terminal event (dropoff or reject) per request.
+    let mut terminals = vec![0usize; report.n_requests];
+    for line in trace.lines() {
+        if line.contains("\"ev\":\"dropoff\"") || line.contains("\"ev\":\"reject\"") {
+            terminals[req_id(line).expect("terminal events carry a request id") as usize] += 1;
+        }
+    }
+    for (req, n) in terminals.iter().enumerate() {
+        assert_eq!(*n, 1, "request {req} terminated {n} times");
+    }
+}
+
+#[test]
+fn chaos_traces_are_byte_identical_across_parallelism_and_reruns() {
+    let seed = interesting_seed();
+    let (r1, t1) = chaos_run(seed, 1);
+    let (_, t1b) = chaos_run(seed, 1);
+    let (r4, t4) = chaos_run(seed, 4);
+    assert_eq!(t1, t1b, "same seed, same parallelism must reproduce the trace byte-for-byte");
+    assert_eq!(t1, t4, "parallel dispatch must not change the trace");
+    assert_eq!(
+        (r1.served, r1.rejected, r1.cancelled, r1.redispatched),
+        (r4.served, r4.rejected, r4.cancelled, r4.redispatched)
+    );
+}

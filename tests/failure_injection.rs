@@ -3,6 +3,7 @@
 //! gracefully — rejections, never panics or constraint violations.
 
 use mt_share::baselines::{NoSharing, PGreedyDp, TShare};
+use mt_share::chaos::{Disruption, DisruptionPlan, TimedDisruption};
 use mt_share::core::{MobilityContext, MtShare, MtShareConfig, PartitionStrategy};
 use mt_share::model::{DispatchScheme, RequestId, RequestStore, RideRequest, Taxi, TaxiId, World};
 use mt_share::obs::{schema, MemorySink, Obs, RejectReason};
@@ -227,6 +228,91 @@ fn honest_rejection_classifies_as_no_feasible_insertion() {
     let req = request(0, 0, 20, direct, direct + 1.0); // 1 s of slack
     let (obs, trace) = run_single_rejection(&graph, &cache, taxis, req);
     assert_sole_reason(&obs, &trace, RejectReason::NoFeasibleInsertion);
+}
+
+/// Like [`run_single_rejection`], but with a hand-built disruption plan
+/// injected — the rejection is *caused* by the disruption, and its reason
+/// counter must name the cause rather than a world-state guess.
+fn run_single_chaos_rejection(
+    graph: &Arc<RoadNetwork>,
+    cache: &PathCache,
+    taxis: Vec<Taxi>,
+    req: RideRequest,
+    plan: DisruptionPlan,
+) -> (Obs, String) {
+    let n_taxis = taxis.len();
+    let scenario = Scenario {
+        config: ScenarioConfig::peak(n_taxis.max(1)),
+        historical: Vec::new(),
+        requests: vec![req],
+        taxis,
+    };
+    let ctx = MobilityContext::build(graph, &[], 1, 1, 0, PartitionStrategy::Grid);
+    let mut scheme = MtShare::new(graph, ctx, MtShareConfig::default(), n_taxis);
+    let obs = Obs::enabled();
+    let (sink, buf) = MemorySink::new();
+    obs.add_sink(Box::new(sink));
+    let report = Simulator::new(graph.clone(), cache.clone(), &scenario, SimConfig::default())
+        .with_obs(obs.clone())
+        .with_disruptions(plan)
+        .run(&mut scheme);
+    assert_eq!(report.served, 0);
+    assert_eq!(report.rejected, 1);
+    let trace = buf.lock().unwrap().clone();
+    schema::validate_trace(&trace).expect("chaos rejection trace must be schema-valid");
+    (obs, trace)
+}
+
+fn plan(at: f64, disruption: Disruption) -> DisruptionPlan {
+    DisruptionPlan { events: vec![TimedDisruption { at, disruption }] }
+}
+
+#[test]
+fn passenger_cancel_increments_its_reason_counter() {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    // The taxi is ~10 hops from the origin, so the t = 2 s cancel lands
+    // after the commit but before the pickup.
+    let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(105))];
+    let direct = cache.cost(NodeId(0), NodeId(15)).unwrap();
+    let pickup_eta = cache.cost(NodeId(105), NodeId(0)).unwrap();
+    let req = request(0, 0, 15, direct, pickup_eta + direct + 600.0);
+    let cancel = plan(2.0, Disruption::Cancel { request: RequestId(0) });
+    let (obs, trace) = run_single_chaos_rejection(&graph, &cache, taxis, req, cancel);
+    assert_sole_reason(&obs, &trace, RejectReason::CancelledByPassenger);
+}
+
+#[test]
+fn breakdown_without_survivors_increments_taxi_failed() {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    // The lone taxi starts at the origin, picks the rider up immediately,
+    // then breaks mid-trip with no fleet left to absorb the orphan.
+    let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(0))];
+    let direct = cache.cost(NodeId(0), NodeId(399)).unwrap();
+    let req = request(0, 0, 399, direct, direct * 3.0);
+    let breakdown = plan(direct * 0.5, Disruption::Breakdown { taxi: TaxiId(0) });
+    let (obs, trace) = run_single_chaos_rejection(&graph, &cache, taxis, req, breakdown);
+    assert_sole_reason(&obs, &trace, RejectReason::TaxiFailed);
+}
+
+#[test]
+fn exhausted_redispatch_budget_increments_retries_exhausted() {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    // A zero-capacity survivor keeps the fleet alive, so the orphan is
+    // re-offered on the retry schedule — and every attempt must fail until
+    // the budget runs out.
+    let taxis = vec![Taxi::new(TaxiId(0), 4, NodeId(0)), Taxi::new(TaxiId(1), 0, NodeId(1))];
+    let direct = cache.cost(NodeId(0), NodeId(399)).unwrap();
+    let req = request(0, 0, 399, direct, direct * 3.0);
+    let breakdown = plan(direct * 0.5, Disruption::Breakdown { taxi: TaxiId(0) });
+    let (obs, trace) = run_single_chaos_rejection(&graph, &cache, taxis, req, breakdown);
+    assert_sole_reason(&obs, &trace, RejectReason::RetriesExhausted);
+    // All three budgeted attempts were made and none succeeded.
+    let failed_attempts =
+        trace.lines().filter(|l| l.contains("\"ev\":\"redispatch\"") && l.contains("\"ok\":false"));
+    assert_eq!(failed_attempts.count(), 3, "{trace}");
 }
 
 #[test]

@@ -132,5 +132,5 @@ fn disabled_bus_emits_nothing() {
         .run(scheme.as_mut());
     assert!(report.served > 0);
     assert!(obs.summary_json().is_none());
-    assert_eq!(obs.event_counts(), [0; 7]);
+    assert_eq!(obs.event_counts(), [0; EVENT_KINDS.len()]);
 }

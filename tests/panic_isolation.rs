@@ -1,0 +1,119 @@
+//! Panic isolation: a scheme whose speculative batch workers panic must
+//! degrade every batch to the sequential arrival path — no crash, results
+//! identical to a plain sequential run, and the degradation visible only
+//! as a profiling counter (never a trace event: the trace must stay
+//! byte-identical across parallelism levels).
+
+use mt_share::baselines::NoSharing;
+use mt_share::model::{
+    DispatchOutcome, DispatchScheme, RideRequest, SpeculativeOutcome, Taxi, TaxiId, Time, World,
+};
+use mt_share::obs::{MemorySink, Obs};
+use mt_share::par::try_par_map_with;
+use mt_share::road::{grid_city, GridCityConfig};
+use mt_share::routing::PathCache;
+use mt_share::sim::{Scenario, ScenarioConfig, SchemeKind, SimConfig, SimReport, Simulator};
+use std::sync::Arc;
+
+/// No-Sharing with a speculative path that always panics mid-batch,
+/// mirroring the degradation contract of the real mT-Share batch path:
+/// `try_par_map_with` isolates the panic, the scheme reports a degraded
+/// batch and returns `None`, and the simulator replays the arrivals
+/// sequentially.
+struct PanickyScheme {
+    inner: NoSharing,
+    obs: Obs,
+}
+
+impl DispatchScheme for PanickyScheme {
+    fn name(&self) -> &str {
+        "panicky-no-sharing"
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs.clone();
+        self.inner.set_obs(obs);
+    }
+
+    fn install(&mut self, world: &World<'_>) {
+        self.inner.install(world);
+    }
+
+    fn dispatch(&mut self, req: &RideRequest, now: Time, world: &World<'_>) -> DispatchOutcome {
+        self.inner.dispatch(req, now, world)
+    }
+
+    fn after_assign(&mut self, taxi: &Taxi, world: &World<'_>) {
+        self.inner.after_assign(taxi, world);
+    }
+
+    fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
+        self.inner.on_taxi_progress(taxi, now, world);
+    }
+
+    fn on_taxi_removed(&mut self, taxi: &Taxi, world: &World<'_>) {
+        self.inner.on_taxi_removed(taxi, world);
+    }
+
+    fn indexed_taxis(&self) -> Option<Vec<TaxiId>> {
+        self.inner.indexed_taxis()
+    }
+
+    fn dispatch_batch_speculative(
+        &mut self,
+        reqs: &[RideRequest],
+        _world: &World<'_>,
+    ) -> Option<Vec<SpeculativeOutcome>> {
+        let mut states = vec![(); 4];
+        let result: Result<Vec<SpeculativeOutcome>, usize> =
+            try_par_map_with(&mut states, reqs.len(), |i, _| {
+                panic!("injected speculative-worker panic on item {i}")
+            });
+        assert!(result.is_err(), "every item panics");
+        self.obs.record_degraded_batch();
+        None
+    }
+}
+
+fn run(parallelism: usize, panicky: bool) -> (SimReport, Obs, String) {
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let cache = PathCache::new(graph.clone());
+    let scenario = Scenario::generate(graph.clone(), &cache, ScenarioConfig::peak(12));
+    let obs = Obs::enabled();
+    let (sink, buf) = MemorySink::new();
+    obs.add_sink(Box::new(sink));
+    let cfg = SimConfig { parallelism, ..SimConfig::default() };
+    let sim = Simulator::new(graph.clone(), cache, &scenario, cfg).with_obs(obs.clone());
+    let report = if panicky {
+        let mut scheme = PanickyScheme {
+            inner: NoSharing::new(&graph, scenario.taxis.len()),
+            obs: Obs::disabled(),
+        };
+        sim.run(&mut scheme)
+    } else {
+        let mut scheme = SchemeKind::NoSharing.build(&graph, scenario.taxis.len(), None, None);
+        sim.run(scheme.as_mut())
+    };
+    let trace = buf.lock().unwrap().clone();
+    (report, obs, trace)
+}
+
+#[test]
+fn panicking_speculative_workers_degrade_to_sequential() {
+    // Silence the default panic hook: the injected panics are expected and
+    // would otherwise flood the test output (one message per batch item).
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(|| {
+        let (seq, _, seq_trace) = run(1, false);
+        let (par, obs, par_trace) = run(4, true);
+        assert_eq!(par.served + par.rejected, par.n_requests, "{par:?}");
+        assert_eq!((seq.served, seq.rejected), (par.served, par.rejected));
+        assert!(obs.degraded_batches() > 0, "the panicking batches must be counted");
+        assert_eq!(seq_trace, par_trace, "degraded batches must not perturb the trace");
+    });
+    std::panic::set_hook(prev);
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+}

@@ -3,6 +3,7 @@
 //! the request-accounting identity. Catches event-ordering and replanning
 //! bugs that fixed scenarios miss.
 
+use mt_share::chaos::ChaosConfig;
 use mt_share::core::PartitionStrategy;
 use mt_share::road::{grid_city, GridCityConfig};
 use mt_share::routing::PathCache;
@@ -84,5 +85,70 @@ proptest! {
         // Payment sanity on every random run.
         prop_assert!(r.total_passenger_fares <= r.total_solo_fares + 1e-6);
         prop_assert!((r.total_passenger_fares - r.total_driver_income).abs() < 1e-6);
+    }
+
+    /// Under *any* seeded disruption sequence — breakdowns, cancels and
+    /// traffic shifts in arbitrary mixes — every request must end in
+    /// exactly one terminal state: the accounting identity holds, no rider
+    /// is delivered twice, and the runtime invariant sweep stays clean.
+    /// (Deadlines are deliberately not audited against the pristine
+    /// scenario: recovery renegotiates them by design.)
+    #[test]
+    fn seeded_disruptions_leave_every_request_in_one_terminal_state(
+        seed in 0u64..1000,
+        chaos_seed in 0u64..1000,
+        breakdowns in 0u32..4,
+        cancels in 0u32..6,
+        shifts in 0u32..3,
+        n_taxis in 2usize..8,
+        n_requests in 5usize..30,
+        scheme_pick in 0usize..5,
+    ) {
+        let kind = SchemeKind::NONPEAK_SET[scheme_pick];
+        let graph = Arc::new(
+            grid_city(&GridCityConfig { rows: 16, cols: 16, seed: seed % 5, ..Default::default() })
+                .unwrap(),
+        );
+        let cache = PathCache::new(graph.clone());
+        let cfg = ScenarioConfig {
+            kind: mt_share::sim::ScenarioKind::NonPeak,
+            n_taxis,
+            capacity: 2 + (seed % 3) as u8,
+            rho: 1.6,
+            n_requests,
+            duration_s: 1200.0,
+            offline_fraction: 0.2,
+            n_historical: 400,
+            workload: WorkloadConfig {
+                seed: seed.wrapping_mul(31),
+                min_trip_m: 400.0,
+                ..Default::default()
+            },
+            seed,
+        };
+        let scenario = Scenario::generate(graph.clone(), &cache, cfg);
+        let ctx = kind
+            .needs_context()
+            .then(|| build_context(&graph, &scenario.historical, 6, PartitionStrategy::Bipartite));
+        let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, None);
+        let mut chaos = ChaosConfig::with_seed(chaos_seed);
+        chaos.breakdowns = breakdowns;
+        chaos.cancellations = cancels;
+        chaos.traffic_shifts = shifts;
+        let sim_cfg = SimConfig {
+            chaos: Some(chaos),
+            validate_every: Some(90.0),
+            ..SimConfig::default()
+        };
+        let r = Simulator::new(graph, cache, &scenario, sim_cfg).run(scheme.as_mut());
+
+        prop_assert_eq!(r.served + r.rejected, r.n_requests, "{}: {:?}", r.scheme, r);
+        prop_assert_eq!(r.served, r.served_records.len());
+        prop_assert_eq!(r.invariant_violations, 0, "{}: {:?}", r.scheme, r);
+        let mut ids: Vec<u32> = r.served_records.iter().map(|s| s.request).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "a rider was delivered more than once");
     }
 }
