@@ -7,6 +7,7 @@
 //! travel-direction information.
 
 use mtshare_model::{Taxi, TaxiId, Time};
+use mtshare_persist::{DecodeError, Decoder, Encoder, Persist};
 use mtshare_road::{BoundingBox, GeoPoint, RoadNetwork};
 
 /// Grid-bucketed taxi positions.
@@ -108,6 +109,82 @@ impl GridTaxiIndex {
         self.cells.iter().map(|c| c.len() * 4 + std::mem::size_of::<Vec<TaxiId>>()).sum::<usize>()
             + self.taxi_cell.len() * 8
     }
+
+    /// Serializes the mutable occupancy (cell buckets + per-taxi cell) for
+    /// a checkpoint. Grid geometry is *not* serialized: it is a pure
+    /// function of the graph and cell size the constructor receives, so a
+    /// warm restart rebuilds it and restores only the occupancy. Bucket
+    /// order matters — `swap_remove` makes it history-dependent, and it
+    /// leaks into candidate order through stable distance-tie sorting — so
+    /// buckets are restored verbatim.
+    pub fn snapshot_occupancy(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.usize(self.cells.len());
+        for bucket in &self.cells {
+            enc.seq(bucket);
+        }
+        enc.usize(self.taxi_cell.len());
+        for e in &self.taxi_cell {
+            e.encode(&mut enc);
+        }
+        enc.into_bytes()
+    }
+
+    /// Restores occupancy produced by [`GridTaxiIndex::snapshot_occupancy`]
+    /// onto a freshly constructed index of identical geometry. Rejects
+    /// shape mismatches and bucket/per-taxi disagreements instead of
+    /// mis-restoring.
+    pub fn restore_occupancy(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut dec = Decoder::new(bytes);
+        type Occupancy = (Vec<Vec<TaxiId>>, Vec<Option<u32>>);
+        let inner =
+            |dec: &mut Decoder<'_>, shape: usize, fleet: usize| -> Result<Occupancy, DecodeError> {
+                let nc = dec.usize()?;
+                if nc != shape {
+                    return Err(DecodeError::Invalid("cell grid shape mismatch"));
+                }
+                let mut cells: Vec<Vec<TaxiId>> = Vec::with_capacity(nc.min(1 << 20));
+                for _ in 0..nc {
+                    cells.push(dec.seq()?);
+                }
+                let nt = dec.usize()?;
+                if nt != fleet {
+                    return Err(DecodeError::Invalid("fleet size mismatch"));
+                }
+                let mut taxi_cell: Vec<Option<u32>> = Vec::with_capacity(nt.min(1 << 20));
+                for _ in 0..nt {
+                    let e = Option::<u32>::decode(dec)?;
+                    if e.is_some_and(|c| c as usize >= nc) {
+                        return Err(DecodeError::Invalid("taxi bucketed in out-of-range cell"));
+                    }
+                    taxi_cell.push(e);
+                }
+                // Cross-consistency: each bucket entry has the matching
+                // per-taxi cell, and counts agree (so no duplicates).
+                for (ci, bucket) in cells.iter().enumerate() {
+                    for &t in bucket {
+                        let ok = taxi_cell.get(t.index()).is_some_and(|e| *e == Some(ci as u32));
+                        if !ok {
+                            return Err(DecodeError::Invalid("bucket and per-taxi cell disagree"));
+                        }
+                    }
+                }
+                let bucketed: usize = cells.iter().map(|c| c.len()).sum();
+                let assigned = taxi_cell.iter().filter(|e| e.is_some()).count();
+                if bucketed != assigned {
+                    return Err(DecodeError::Invalid("bucketed taxi count disagrees"));
+                }
+                Ok((cells, taxi_cell))
+            };
+        let (cells, taxi_cell) = inner(&mut dec, self.cells.len(), self.taxi_cell.len())
+            .map_err(|e| format!("grid index: {e}"))?;
+        if !dec.is_done() {
+            return Err("trailing bytes in grid index snapshot".into());
+        }
+        self.cells = cells;
+        self.taxi_cell = taxi_cell;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +235,57 @@ mod tests {
         let mut count = 0;
         idx.visit_in_range(&g.point(NodeId(0)), 300.0, |_| count += 1);
         assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn occupancy_round_trips_verbatim() {
+        let (g, mut idx) = setup();
+        for (i, n) in [(0u32, 0u32), (1, 399), (2, 21), (3, 22)] {
+            idx.update_taxi(&Taxi::new(TaxiId(i), 4, NodeId(n)), &g, 0.0);
+        }
+        // swap_remove history: removing taxi 2 reorders its bucket.
+        idx.remove_taxi(TaxiId(2));
+        let snap = idx.snapshot_occupancy();
+
+        let mut fresh = GridTaxiIndex::new(&g, 250.0, 4);
+        fresh.restore_occupancy(&snap).expect("restore succeeds");
+        assert_eq!(fresh.snapshot_occupancy(), snap, "canonical bytes round trip");
+        assert_eq!(fresh.indexed_taxis(), idx.indexed_taxis());
+        // Visit order (bucket order) is preserved exactly.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        idx.visit_in_range(&g.point(NodeId(0)), 1e6, |t| a.push(t));
+        fresh.visit_in_range(&g.point(NodeId(0)), 1e6, |t| b.push(t));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn occupancy_restore_rejects_inconsistency() {
+        let (g, mut idx) = setup();
+        idx.update_taxi(&Taxi::new(TaxiId(0), 4, NodeId(0)), &g, 0.0);
+        let snap = idx.snapshot_occupancy();
+
+        // Wrong geometry (different cell size → different shape).
+        let mut other = GridTaxiIndex::new(&g, 900.0, 1);
+        assert!(other.restore_occupancy(&snap).is_err());
+        // Wrong fleet size.
+        let mut other = GridTaxiIndex::new(&g, 250.0, 3);
+        assert!(other.restore_occupancy(&snap).is_err());
+
+        // Bucket entry without a matching per-taxi cell.
+        let mut enc = Encoder::new();
+        let shape = idx.cells.len();
+        enc.usize(shape);
+        enc.seq(&[TaxiId(0)]);
+        for _ in 1..shape {
+            enc.seq::<TaxiId>(&[]);
+        }
+        enc.usize(1);
+        Option::<u32>::None.encode(&mut enc);
+        let mut fresh = GridTaxiIndex::new(&g, 250.0, 1);
+        assert!(fresh.restore_occupancy(&enc.into_bytes()).is_err());
+
+        // Truncated payload.
+        assert!(fresh.restore_occupancy(&snap[..snap.len() - 1]).is_err());
     }
 
     #[test]

@@ -115,6 +115,14 @@ impl DispatchScheme for NoSharing {
         Some(self.index.indexed_taxis())
     }
 
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(self.index.snapshot_occupancy())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8], _world: &World<'_>) -> Result<(), String> {
+        self.index.restore_occupancy(bytes)
+    }
+
     fn index_memory_bytes(&self) -> usize {
         self.index.memory_bytes()
     }

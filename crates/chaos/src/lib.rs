@@ -20,10 +20,13 @@
 
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod invariants;
+pub mod persist;
 pub mod plan;
 pub mod retry;
 
+pub use crash::{CrashMode, CrashPoint, CRASH_EXIT_CODE};
 pub use invariants::check_taxi;
 pub use plan::{ChaosConfig, Disruption, DisruptionPlan, TimedDisruption};
 pub use retry::RetryPolicy;

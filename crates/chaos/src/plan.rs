@@ -97,7 +97,7 @@ impl ChaosConfig {
 }
 
 /// A complete, time-sorted disruption schedule.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DisruptionPlan {
     /// The disruptions in injection order (ascending time; generation
     /// order breaks ties).

@@ -18,9 +18,9 @@ use mtshare_road::{GeoPoint, RoadNetwork};
 #[derive(Debug)]
 pub struct PartitionTaxiIndex {
     /// `lists[p]` = (arrival_time, taxi), ascending by arrival.
-    lists: Vec<Vec<(Time, TaxiId)>>,
+    pub(crate) lists: Vec<Vec<(Time, TaxiId)>>,
     /// Partitions each taxi is currently indexed in (for O(x) removal).
-    taxi_partitions: Vec<Vec<u16>>,
+    pub(crate) taxi_partitions: Vec<Vec<u16>>,
 }
 
 impl PartitionTaxiIndex {
@@ -100,17 +100,27 @@ impl PartitionTaxiIndex {
             .map(|(i, _)| TaxiId(i as u32))
             .collect()
     }
+
+    /// Number of partitions (`κ`) the index was built for.
+    pub fn partition_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Fleet size the index was built for.
+    pub fn fleet_size(&self) -> usize {
+        self.taxi_partitions.len()
+    }
 }
 
 /// Mobility-cluster index over busy taxis.
 #[derive(Debug)]
 pub struct MobilityClusterIndex {
-    clusterer: MobilityClusterer,
+    pub(crate) clusterer: MobilityClusterer,
     /// `members[c]` = taxis currently in cluster `c` (slots align with the
     /// clusterer's slots and are recycled with them).
-    members: Vec<Vec<TaxiId>>,
+    pub(crate) members: Vec<Vec<TaxiId>>,
     /// Per taxi: the cluster and vector it is registered under.
-    taxi_entry: Vec<Option<(ClusterId, MobilityVector)>>,
+    pub(crate) taxi_entry: Vec<Option<(ClusterId, MobilityVector)>>,
 }
 
 impl MobilityClusterIndex {
@@ -216,6 +226,16 @@ impl MobilityClusterIndex {
     /// Number of live clusters.
     pub fn cluster_count(&self) -> usize {
         self.clusterer.len()
+    }
+
+    /// Direction threshold λ the index was built with.
+    pub fn lambda(&self) -> f64 {
+        self.clusterer.lambda()
+    }
+
+    /// Fleet size the index was built for.
+    pub fn fleet_size(&self) -> usize {
+        self.taxi_entry.len()
     }
 
     /// Every registered taxi, sorted by id (for invariant checks: a

@@ -18,6 +18,7 @@ pub mod context;
 pub mod filter;
 pub mod index;
 pub mod payment;
+pub mod persist;
 pub mod prob_wrapper;
 pub mod routing;
 pub mod scheduling;

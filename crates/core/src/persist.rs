@@ -1,0 +1,309 @@
+//! [`Persist`] impls for the dual mT-Share taxi indexes.
+//!
+//! Both indexes are *history-dependent*: partition lists keep stable
+//! insertion order among equal arrival times, and mobility-cluster slots
+//! (plus the clusterer's recycled free list) depend on the exact
+//! insert/remove sequence. That history leaks into candidate-set
+//! composition and therefore into dispatch decisions, so a warm restart
+//! snapshots the indexes faithfully instead of re-running `install` —
+//! a rebuilt index could order candidates differently and diverge from
+//! the uninterrupted run at the first post-resume dispatch.
+//!
+//! Decoding validates cross-structure invariants (a taxi appears in
+//! `lists[p]` iff `p` is in its partition set; cluster member lists agree
+//! with the clusterer's per-slot counts) so corrupted snapshot payloads
+//! are rejected rather than mis-restored.
+
+use crate::index::{MobilityClusterIndex, PartitionTaxiIndex};
+use crate::payment::PassengerTrip;
+use mtshare_mobility::{ClusterId, MobilityClusterer, MobilityVector};
+use mtshare_model::{RequestId, TaxiId, Time};
+use mtshare_persist::{DecodeError, Decoder, Encoder, Persist};
+
+impl Persist for PassengerTrip {
+    fn encode(&self, enc: &mut Encoder) {
+        self.request.encode(enc);
+        enc.f64(self.shared_cost_s);
+        enc.f64(self.direct_cost_s);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(PassengerTrip {
+            request: RequestId::decode(dec)?,
+            shared_cost_s: dec.f64()?,
+            direct_cost_s: dec.f64()?,
+        })
+    }
+}
+
+impl Persist for PartitionTaxiIndex {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.lists.len());
+        for list in &self.lists {
+            enc.seq(list);
+        }
+        enc.usize(self.taxi_partitions.len());
+        for ps in &self.taxi_partitions {
+            enc.seq(ps);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let kappa = dec.usize()?;
+        if kappa > u16::MAX as usize + 1 {
+            return Err(DecodeError::Invalid("partition count exceeds u16 id space"));
+        }
+        let mut lists: Vec<Vec<(Time, TaxiId)>> = Vec::with_capacity(kappa.min(1 << 16));
+        for _ in 0..kappa {
+            let list: Vec<(Time, TaxiId)> = dec.seq()?;
+            if !list.windows(2).all(|w| w[0].0 <= w[1].0) {
+                return Err(DecodeError::Invalid("partition list not arrival-sorted"));
+            }
+            lists.push(list);
+        }
+        let n_taxis = dec.usize()?;
+        let mut taxi_partitions: Vec<Vec<u16>> = Vec::with_capacity(n_taxis.min(1 << 20));
+        for _ in 0..n_taxis {
+            let ps: Vec<u16> = dec.seq()?;
+            if ps.iter().any(|&p| p as usize >= kappa) {
+                return Err(DecodeError::Invalid("taxi indexed in out-of-range partition"));
+            }
+            let mut sorted = ps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != ps.len() {
+                return Err(DecodeError::Invalid("duplicate partition in taxi's partition set"));
+            }
+            taxi_partitions.push(ps);
+        }
+
+        // Cross-consistency: a taxi has an entry in `lists[p]` iff `p` is
+        // in its partition set, exactly once each way.
+        let list_entries: usize = lists.iter().map(|l| l.len()).sum();
+        let set_entries: usize = taxi_partitions.iter().map(|ps| ps.len()).sum();
+        if list_entries != set_entries {
+            return Err(DecodeError::Invalid("partition lists and taxi sets disagree in size"));
+        }
+        for (p, list) in lists.iter().enumerate() {
+            for &(_, t) in list {
+                let ok = taxi_partitions.get(t.index()).is_some_and(|ps| ps.contains(&(p as u16)));
+                if !ok {
+                    return Err(DecodeError::Invalid("listed taxi lacks matching partition set"));
+                }
+            }
+        }
+        Ok(PartitionTaxiIndex { lists, taxi_partitions })
+    }
+}
+
+impl Persist for MobilityClusterIndex {
+    fn encode(&self, enc: &mut Encoder) {
+        self.clusterer.encode(enc);
+        enc.usize(self.members.len());
+        for m in &self.members {
+            enc.seq(m);
+        }
+        enc.usize(self.taxi_entry.len());
+        for e in &self.taxi_entry {
+            e.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let clusterer = MobilityClusterer::decode(dec)?;
+        let n_members = dec.usize()?;
+        let mut members: Vec<Vec<TaxiId>> = Vec::with_capacity(n_members.min(1 << 20));
+        for _ in 0..n_members {
+            members.push(dec.seq()?);
+        }
+        let n_taxis = dec.usize()?;
+        let mut taxi_entry: Vec<Option<(ClusterId, MobilityVector)>> =
+            Vec::with_capacity(n_taxis.min(1 << 20));
+        for _ in 0..n_taxis {
+            taxi_entry.push(Option::<(ClusterId, MobilityVector)>::decode(dec)?);
+        }
+
+        // Cross-consistency: every registered taxi sits in exactly the
+        // member list of its cluster, and member lists agree with the
+        // clusterer's per-slot counts.
+        for (i, entry) in taxi_entry.iter().enumerate() {
+            if let Some((c, _)) = entry {
+                let hits = members
+                    .get(c.index())
+                    .map_or(0, |m| m.iter().filter(|&&t| t.index() == i).count());
+                if hits != 1 {
+                    return Err(DecodeError::Invalid("taxi not in its cluster's member list"));
+                }
+            }
+        }
+        for (ci, m) in members.iter().enumerate() {
+            let id = ClusterId(ci as u32);
+            if m.len() != clusterer.member_count(id) as usize {
+                return Err(DecodeError::Invalid("member list disagrees with clusterer count"));
+            }
+            for &t in m {
+                let ok = taxi_entry
+                    .get(t.index())
+                    .is_some_and(|e| e.as_ref().is_some_and(|(c, _)| c.index() == ci));
+                if !ok {
+                    return Err(DecodeError::Invalid("member taxi lacks matching entry"));
+                }
+            }
+        }
+        Ok(MobilityClusterIndex { clusterer, members, taxi_entry })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{MobilityContext, PartitionStrategy};
+    use mtshare_model::{RequestId, RequestStore, RideRequest, Schedule, Taxi, TimedRoute};
+    use mtshare_road::{grid_city, GridCityConfig, NodeId, RoadNetwork};
+    use mtshare_routing::{Dijkstra, Path};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<RoadNetwork>, Arc<MobilityContext>) {
+        let g = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let trips: Vec<_> = (0..300)
+            .map(|i| mtshare_mobility::Trip {
+                origin: NodeId(i % 400),
+                destination: NodeId((i * 7 + 13) % 400),
+            })
+            .collect();
+        let ctx = MobilityContext::build(&g, &trips, 9, 3, 5, PartitionStrategy::Grid);
+        (g, ctx)
+    }
+
+    fn mkreq(id: u32, origin: u32, dest: u32) -> RideRequest {
+        RideRequest {
+            id: RequestId(id),
+            release_time: 0.0,
+            origin: NodeId(origin),
+            destination: NodeId(dest),
+            passengers: 1,
+            deadline: 1e9,
+            direct_cost_s: 100.0,
+            offline: false,
+        }
+    }
+
+    fn busy_taxi(g: &RoadNetwork, id: u32, from: u32, req: &RideRequest) -> Taxi {
+        let mut taxi = Taxi::new(mtshare_model::TaxiId(id), 4, NodeId(from));
+        let mut d = Dijkstra::new(g);
+        let leg: Path = d.path(g, NodeId(from), req.destination).unwrap();
+        let s = Schedule::new().with_insertion(req, 0, 1);
+        let legs = vec![leg, Path::trivial(req.destination)];
+        let route = TimedRoute::build(NodeId(from), 0.0, &legs, &s);
+        taxi.assigned.push(req.id);
+        taxi.set_plan(s, route, 0.0);
+        taxi
+    }
+
+    #[test]
+    fn partition_index_round_trips_canonically() {
+        let (g, ctx) = setup();
+        let mut idx = PartitionTaxiIndex::new(ctx.kappa(), 3);
+        let r = mkreq(0, 399, 399);
+        let taxis = [
+            busy_taxi(&g, 0, 0, &r),
+            Taxi::new(mtshare_model::TaxiId(1), 4, NodeId(42)),
+            Taxi::new(mtshare_model::TaxiId(2), 4, NodeId(200)),
+        ];
+        for t in &taxis {
+            idx.update_taxi(t, &ctx, 0.0, 3600.0);
+        }
+        // Remove one so a taxi with an empty set is covered too.
+        idx.remove_taxi(mtshare_model::TaxiId(2));
+
+        let bytes = idx.to_bytes();
+        let back = PartitionTaxiIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes, "canonical bytes round trip");
+        assert_eq!(back.partition_count(), idx.partition_count());
+        assert_eq!(back.fleet_size(), idx.fleet_size());
+        assert_eq!(back.indexed_taxis(), idx.indexed_taxis());
+        for p in 0..ctx.kappa() {
+            let p = mtshare_mobility::PartitionId(p as u16);
+            assert_eq!(back.taxis_in(p), idx.taxis_in(p));
+        }
+    }
+
+    #[test]
+    fn partition_index_rejects_inconsistent_payloads() {
+        // A list entry whose taxi does not record the partition.
+        let mut enc = Encoder::new();
+        enc.usize(1); // kappa = 1
+        enc.seq(&[(5.0f64, mtshare_model::TaxiId(0))]);
+        enc.usize(1); // one taxi...
+        enc.seq::<u16>(&[]); // ...with an empty partition set
+        assert!(PartitionTaxiIndex::from_bytes(&enc.into_bytes()).is_err());
+
+        // Unsorted arrival list.
+        let mut enc = Encoder::new();
+        enc.usize(1);
+        enc.seq(&[(5.0f64, mtshare_model::TaxiId(0)), (1.0f64, mtshare_model::TaxiId(0))]);
+        enc.usize(1);
+        enc.seq::<u16>(&[0, 0]);
+        assert!(PartitionTaxiIndex::from_bytes(&enc.into_bytes()).is_err());
+
+        // Out-of-range partition id.
+        let mut enc = Encoder::new();
+        enc.usize(1);
+        enc.seq::<(f64, mtshare_model::TaxiId)>(&[]);
+        enc.usize(1);
+        enc.seq::<u16>(&[7]);
+        assert!(PartitionTaxiIndex::from_bytes(&enc.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn cluster_index_round_trips_with_recycled_slots() {
+        let (g, _) = setup();
+        let mut reqs = RequestStore::new();
+        reqs.push(mkreq(0, 0, 399));
+        reqs.push(mkreq(1, 21, 398));
+        reqs.push(mkreq(2, 399, 0));
+        let mut idx = MobilityClusterIndex::new(0.7, 3);
+        let mut taxis = Vec::new();
+        for (i, (o, r)) in [(0u32, 0u32), (21, 1), (399, 2)].iter().enumerate() {
+            let mut t = Taxi::new(mtshare_model::TaxiId(i as u32), 4, NodeId(*o));
+            t.assigned.push(RequestId(*r));
+            taxis.push(t);
+        }
+        for t in &taxis {
+            idx.update_taxi(t, &g, &reqs, 0.0);
+        }
+        // Recycle: taxi 2 goes vacant, freeing its cluster slot.
+        taxis[2].assigned.clear();
+        idx.update_taxi(&taxis[2], &g, &reqs, 0.0);
+
+        let bytes = idx.to_bytes();
+        let back = MobilityClusterIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes, "canonical bytes round trip");
+        assert_eq!(back.cluster_count(), idx.cluster_count());
+        assert_eq!(back.lambda(), idx.lambda());
+        assert_eq!(back.indexed_taxis(), idx.indexed_taxis());
+        for t in &taxis {
+            assert_eq!(back.cluster_of(t.id), idx.cluster_of(t.id));
+        }
+        // The recycled slot is reused identically after restore.
+        let mut a = idx;
+        let mut b = back;
+        taxis[2].assigned.push(RequestId(2));
+        a.update_taxi(&taxis[2], &g, &reqs, 0.0);
+        b.update_taxi(&taxis[2], &g, &reqs, 0.0);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn cluster_index_rejects_mismatched_member_lists() {
+        let (g, _) = setup();
+        let mut reqs = RequestStore::new();
+        reqs.push(mkreq(0, 0, 399));
+        let mut idx = MobilityClusterIndex::new(0.7, 1);
+        let mut t = Taxi::new(mtshare_model::TaxiId(0), 4, NodeId(0));
+        t.assigned.push(RequestId(0));
+        idx.update_taxi(&t, &g, &reqs, 0.0);
+        // Corrupt the member list: drop the taxi but keep its entry.
+        idx.members[0].clear();
+        assert!(MobilityClusterIndex::from_bytes(&idx.to_bytes()).is_err());
+    }
+}

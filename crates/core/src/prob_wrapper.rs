@@ -167,6 +167,24 @@ impl<S: DispatchScheme> DispatchScheme for WithProbabilisticRouting<S> {
         self.inner.on_taxi_progress(taxi, now, world);
     }
 
+    fn on_taxi_removed(&mut self, taxi: &Taxi, world: &World<'_>) {
+        self.inner.on_taxi_removed(taxi, world);
+    }
+
+    fn indexed_taxis(&self) -> Option<Vec<TaxiId>> {
+        self.inner.indexed_taxis()
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        // The wrapper itself is stateless (its router is scratch); the
+        // inner scheme's indexes are the only state worth a checkpoint.
+        self.inner.snapshot_state()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8], world: &World<'_>) -> Result<(), String> {
+        self.inner.restore_state(bytes, world)
+    }
+
     fn index_memory_bytes(&self) -> usize {
         self.inner.index_memory_bytes() + self.ctx.memory_bytes()
     }

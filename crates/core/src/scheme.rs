@@ -11,6 +11,7 @@ use mtshare_model::{
 };
 use mtshare_obs::{Obs, Stage};
 use mtshare_par::try_par_map_with;
+use mtshare_persist::{Decoder, Encoder, Persist};
 use mtshare_road::RoadNetwork;
 
 /// One speculative batch worker: a private router plus the number of
@@ -190,6 +191,53 @@ impl DispatchScheme for MtShare {
         ids.sort_unstable();
         ids.dedup();
         Some(ids)
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        // Both indexes are history-dependent (insertion order among equal
+        // arrivals, recycled cluster slots) and that history steers
+        // candidate order, so a warm restart restores them byte-for-byte
+        // instead of re-running `install`.
+        let mut enc = Encoder::new();
+        self.pindex.encode(&mut enc);
+        self.mindex.encode(&mut enc);
+        Some(enc.into_bytes())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8], world: &World<'_>) -> Result<(), String> {
+        let mut dec = Decoder::new(bytes);
+        let pindex =
+            PartitionTaxiIndex::decode(&mut dec).map_err(|e| format!("partition index: {e}"))?;
+        let mindex =
+            MobilityClusterIndex::decode(&mut dec).map_err(|e| format!("cluster index: {e}"))?;
+        if !dec.is_done() {
+            return Err("trailing bytes in mT-Share index snapshot".into());
+        }
+        if pindex.partition_count() != self.ctx.kappa() {
+            return Err(format!(
+                "snapshot has {} partitions, context has {}",
+                pindex.partition_count(),
+                self.ctx.kappa()
+            ));
+        }
+        if pindex.fleet_size() != world.taxis.len() || mindex.fleet_size() != world.taxis.len() {
+            return Err(format!(
+                "snapshot fleet size {}/{} does not match world fleet {}",
+                pindex.fleet_size(),
+                mindex.fleet_size(),
+                world.taxis.len()
+            ));
+        }
+        if mindex.lambda().to_bits() != self.cfg.lambda.to_bits() {
+            return Err(format!(
+                "snapshot lambda {} does not match configured {}",
+                mindex.lambda(),
+                self.cfg.lambda
+            ));
+        }
+        self.pindex = pindex;
+        self.mindex = mindex;
+        Ok(())
     }
 
     fn index_memory_bytes(&self) -> usize {
@@ -466,6 +514,55 @@ mod tests {
                 assert_ne!(a.taxi, TaxiId(2), "dead taxi assigned");
             }
         }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_on_a_fresh_scheme() {
+        let mut sim = Sim::new(8, false);
+        {
+            let world = World {
+                graph: &sim.graph,
+                cache: &sim.cache,
+                oracle: &sim.oracle,
+                taxis: &sim.taxis,
+                requests: &sim.requests,
+            };
+            sim.scheme.install(&world);
+        }
+        for (k, (o, d)) in [(0u32, 399u32), (21, 380), (40, 350)].iter().enumerate() {
+            let now = k as f64 * 30.0;
+            let req = sim.make_request(*o, *d, now);
+            sim.dispatch_and_commit(&req, now);
+        }
+        let snap = sim.scheme.snapshot_state().expect("mT-Share snapshots its indexes");
+
+        // A freshly constructed scheme (same deterministic context, no
+        // `install`) restores to byte-identical index state.
+        let mut sim2 = Sim::new(8, false);
+        sim2.taxis = sim.taxis.clone();
+        {
+            let world = World {
+                graph: &sim2.graph,
+                cache: &sim2.cache,
+                oracle: &sim2.oracle,
+                taxis: &sim2.taxis,
+                requests: &sim.requests,
+            };
+            sim2.scheme.restore_state(&snap, &world).expect("restore succeeds");
+        }
+        assert_eq!(sim2.scheme.snapshot_state().unwrap(), snap);
+        assert_eq!(sim2.scheme.indexed_taxis(), sim.scheme.indexed_taxis());
+
+        // A mismatched fleet is rejected, not mis-restored.
+        let small = vec![Taxi::new(TaxiId(0), 4, NodeId(0))];
+        let world = World {
+            graph: &sim2.graph,
+            cache: &sim2.cache,
+            oracle: &sim2.oracle,
+            taxis: &small,
+            requests: &sim.requests,
+        };
+        assert!(sim2.scheme.restore_state(&snap, &world).is_err());
     }
 
     #[test]

@@ -68,6 +68,10 @@ impl ClusterState {
     }
 }
 
+/// [`MobilityClusterer::snapshot_parts`] output: `(lambda, slots as
+/// (count, [Σo_lat, Σo_lng, Σd_lat, Σd_lng]), free list, live count)`.
+pub type ClustererParts = (f64, Vec<(u32, [f64; 4])>, Vec<u32>, usize);
+
 /// Incremental clusterer over mobility vectors.
 #[derive(Debug, Clone)]
 pub struct MobilityClusterer {
@@ -187,6 +191,61 @@ impl MobilityClusterer {
     /// Approximate resident memory in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.clusters.len() * std::mem::size_of::<ClusterState>() + self.free.len() * 4
+    }
+
+    /// The clusterer's complete internal state, slot for slot, for
+    /// persistence (see [`ClustererParts`]). Slot positions and free-list
+    /// order are part of the state — cluster *identity* is the slot
+    /// index, and recycled slots must be reused in the same order after
+    /// a restore for dispatch decisions to replay identically.
+    pub fn snapshot_parts(&self) -> ClustererParts {
+        let slots = self
+            .clusters
+            .iter()
+            .map(|c| (c.count, [c.sum_o_lat, c.sum_o_lng, c.sum_d_lat, c.sum_d_lng]))
+            .collect();
+        (self.lambda, slots, self.free.clone(), self.live)
+    }
+
+    /// Rebuilds a clusterer from [`MobilityClusterer::snapshot_parts`]
+    /// output, validating internal consistency (free list ↔ empty slots
+    /// ↔ live count) so a corrupt snapshot cannot produce a clusterer
+    /// that panics later.
+    pub fn from_snapshot_parts(
+        lambda: f64,
+        slots: Vec<(u32, [f64; 4])>,
+        free: Vec<u32>,
+        live: usize,
+    ) -> Result<Self, &'static str> {
+        let n_live = slots.iter().filter(|(count, _)| *count > 0).count();
+        if n_live != live {
+            return Err("live count disagrees with non-empty slots");
+        }
+        for &slot in &free {
+            match slots.get(slot as usize) {
+                Some((0, _)) => {}
+                Some(_) => return Err("free list references a non-empty slot"),
+                None => return Err("free list references a missing slot"),
+            }
+        }
+        let n_free: std::collections::HashSet<u32> = free.iter().copied().collect();
+        if n_free.len() != free.len() {
+            return Err("free list contains duplicates");
+        }
+        if n_free.len() + live != slots.len() {
+            return Err("every slot must be live or free");
+        }
+        let clusters = slots
+            .into_iter()
+            .map(|(count, [sum_o_lat, sum_o_lng, sum_d_lat, sum_d_lng])| ClusterState {
+                count,
+                sum_o_lat,
+                sum_o_lng,
+                sum_d_lat,
+                sum_d_lng,
+            })
+            .collect();
+        Ok(Self { lambda, clusters, free, live })
     }
 }
 

@@ -18,9 +18,10 @@ pub mod grid_partition;
 pub mod kmeans;
 pub mod landmark;
 pub mod partition;
+pub mod persist;
 pub mod transition;
 
-pub use cluster::{ClusterId, MobilityClusterer, MobilityVector};
+pub use cluster::{ClusterId, ClustererParts, MobilityClusterer, MobilityVector};
 pub use grid_partition::grid_partition;
 pub use kmeans::{kmeans, KMeansResult};
 pub use landmark::LandmarkGraph;

@@ -1,0 +1,123 @@
+//! [`Persist`] impls for the mobility layer.
+//!
+//! The incremental [`MobilityClusterer`] is *history-dependent* state:
+//! cluster identity (slot position), the recycled-slot free list and the
+//! per-slot running sums all depend on the insertion/removal sequence,
+//! and they leak into candidate-set composition through
+//! `live_clusters`/`best_match` order. A warm restart therefore
+//! snapshots the clusterer faithfully — slot for slot — rather than
+//! re-clustering, which could assign different cluster ids and change
+//! dispatch decisions after resume.
+
+use crate::cluster::{ClusterId, MobilityClusterer, MobilityVector};
+use mtshare_persist::{DecodeError, Decoder, Encoder, Persist};
+use mtshare_road::GeoPoint;
+
+impl Persist for MobilityVector {
+    fn encode(&self, enc: &mut Encoder) {
+        self.origin.encode(enc);
+        self.destination.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(MobilityVector { origin: GeoPoint::decode(dec)?, destination: GeoPoint::decode(dec)? })
+    }
+}
+
+impl Persist for ClusterId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ClusterId(dec.u32()?))
+    }
+}
+
+impl Persist for MobilityClusterer {
+    fn encode(&self, enc: &mut Encoder) {
+        let (lambda, slots, free, live) = self.snapshot_parts();
+        enc.f64(lambda);
+        enc.usize(slots.len());
+        for (count, sums) in slots {
+            enc.u32(count);
+            for s in sums {
+                enc.f64(s);
+            }
+        }
+        enc.seq(&free);
+        enc.usize(live);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let lambda = dec.f64()?;
+        if !(-1.0..=1.0).contains(&lambda) {
+            return Err(DecodeError::Invalid("clusterer lambda is not a cosine"));
+        }
+        let n = dec.usize()?;
+        let mut slots = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let count = dec.u32()?;
+            let sums = [dec.f64()?, dec.f64()?, dec.f64()?, dec.f64()?];
+            slots.push((count, sums));
+        }
+        let free: Vec<u32> = dec.seq()?;
+        let live = dec.usize()?;
+        MobilityClusterer::from_snapshot_parts(lambda, slots, free, live)
+            .map_err(DecodeError::Invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(o: (f64, f64), d: (f64, f64)) -> MobilityVector {
+        MobilityVector::new(GeoPoint::new(o.0, o.1), GeoPoint::new(d.0, d.1))
+    }
+
+    #[test]
+    fn clusterer_round_trips_slot_for_slot() {
+        let mut c = MobilityClusterer::new(0.707);
+        let vectors = [
+            mv((0.0, 0.0), (1.0, 1.0)),
+            mv((0.0, 0.0), (-1.0, -1.0)),
+            mv((0.1, 0.1), (1.1, 1.2)),
+            mv((0.5, 0.5), (0.5, 1.5)),
+        ];
+        let mut ids = Vec::new();
+        for v in &vectors {
+            ids.push(c.insert(v));
+        }
+        // Recycle a slot so the free list is non-trivial.
+        c.remove(ids[1], &vectors[1]);
+
+        let back = MobilityClusterer::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back.len(), c.len());
+        assert_eq!(back.lambda(), c.lambda());
+        let live_a: Vec<ClusterId> = c.live_clusters().collect();
+        let live_b: Vec<ClusterId> = back.live_clusters().collect();
+        assert_eq!(live_a, live_b, "slot identity must survive the round trip");
+        for id in live_a {
+            assert_eq!(back.member_count(id), c.member_count(id));
+            assert_eq!(back.general_vector(id), c.general_vector(id));
+        }
+        // The recycled slot must be reused identically after restore.
+        let next = mv((2.0, 2.0), (-3.0, -3.0));
+        let mut c2 = c.clone();
+        let mut b2 = back;
+        assert_eq!(c2.insert(&next), b2.insert(&next));
+        assert_eq!(b2.to_bytes(), c2.to_bytes());
+    }
+
+    #[test]
+    fn inconsistent_snapshot_rejected() {
+        let mut enc = Encoder::new();
+        enc.f64(0.7);
+        enc.usize(1); // one slot...
+        enc.u32(5);
+        for _ in 0..4 {
+            enc.f64(1.0);
+        }
+        enc.seq(&[0u32]); // ...that is also on the free list
+        enc.usize(1);
+        assert!(MobilityClusterer::from_bytes(&enc.into_bytes()).is_err());
+    }
+}

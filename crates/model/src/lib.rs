@@ -13,6 +13,7 @@
 
 pub mod fare;
 pub mod insertion;
+pub mod persist;
 pub mod reorder;
 pub mod request;
 pub mod route;

@@ -1,0 +1,258 @@
+//! [`Persist`] impls for every piece of dispatcher world state the
+//! simulator checkpoints: requests (mutable — recovery renegotiates
+//! deadlines and re-origins orphans), taxis with their full plans, and
+//! the schedule/route value types those contain.
+
+use crate::request::{RequestId, RequestStore, RideRequest};
+use crate::route::TimedRoute;
+use crate::schedule::{EventKind, Schedule, ScheduleEvent};
+use crate::taxi::{Taxi, TaxiId};
+use mtshare_persist::{DecodeError, Decoder, Encoder, Persist};
+use mtshare_road::NodeId;
+
+impl Persist for RequestId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(RequestId(dec.u32()?))
+    }
+}
+
+impl Persist for TaxiId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TaxiId(dec.u32()?))
+    }
+}
+
+impl Persist for RideRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        enc.f64(self.release_time);
+        self.origin.encode(enc);
+        self.destination.encode(enc);
+        enc.u8(self.passengers);
+        enc.f64(self.deadline);
+        enc.f64(self.direct_cost_s);
+        enc.bool(self.offline);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(RideRequest {
+            id: RequestId::decode(dec)?,
+            release_time: dec.f64()?,
+            origin: NodeId::decode(dec)?,
+            destination: NodeId::decode(dec)?,
+            passengers: dec.u8()?,
+            deadline: dec.f64()?,
+            direct_cost_s: dec.f64()?,
+            offline: dec.bool()?,
+        })
+    }
+}
+
+impl Persist for RequestStore {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.len());
+        for r in self.iter() {
+            r.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = dec.usize()?;
+        let mut store = RequestStore::new();
+        for i in 0..n {
+            let r = RideRequest::decode(dec)?;
+            if r.id.index() != i {
+                return Err(DecodeError::Invalid("request ids are not dense"));
+            }
+            store.push(r);
+        }
+        Ok(store)
+    }
+}
+
+impl Persist for EventKind {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u8(match self {
+            EventKind::Pickup => 0,
+            EventKind::Dropoff => 1,
+        });
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.u8()? {
+            0 => Ok(EventKind::Pickup),
+            1 => Ok(EventKind::Dropoff),
+            _ => Err(DecodeError::Invalid("unknown EventKind tag")),
+        }
+    }
+}
+
+impl Persist for ScheduleEvent {
+    fn encode(&self, enc: &mut Encoder) {
+        self.kind.encode(enc);
+        self.request.encode(enc);
+        self.node.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ScheduleEvent {
+            kind: EventKind::decode(dec)?,
+            request: RequestId::decode(dec)?,
+            node: NodeId::decode(dec)?,
+        })
+    }
+}
+
+impl Persist for Schedule {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.seq(self.events());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let events: Vec<ScheduleEvent> = dec.seq()?;
+        let mut s = Schedule::new();
+        for ev in events {
+            s.push(ev);
+        }
+        Ok(s)
+    }
+}
+
+impl Persist for TimedRoute {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.seq(&self.nodes);
+        enc.seq(&self.arrival_s);
+        enc.seq(&self.event_node_idx);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let nodes: Vec<NodeId> = dec.seq()?;
+        let arrival_s: Vec<f64> = dec.seq()?;
+        let event_node_idx: Vec<usize> = dec.seq()?;
+        if nodes.len() != arrival_s.len() {
+            return Err(DecodeError::Invalid("route nodes/arrivals length mismatch"));
+        }
+        if event_node_idx.iter().any(|&i| i >= nodes.len()) {
+            return Err(DecodeError::Invalid("route event index out of bounds"));
+        }
+        Ok(TimedRoute { nodes, arrival_s, event_node_idx })
+    }
+}
+
+impl Persist for Taxi {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        enc.u8(self.capacity);
+        self.location.encode(enc);
+        enc.f64(self.location_time);
+        self.schedule.encode(enc);
+        self.route.encode(enc);
+        enc.seq(&self.onboard);
+        enc.seq(&self.assigned);
+        enc.u64(self.route_version);
+        enc.bool(self.alive);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Taxi {
+            id: TaxiId::decode(dec)?,
+            capacity: dec.u8()?,
+            location: NodeId::decode(dec)?,
+            location_time: dec.f64()?,
+            schedule: Schedule::decode(dec)?,
+            route: Option::<TimedRoute>::decode(dec)?,
+            onboard: dec.seq()?,
+            assigned: dec.seq()?,
+            route_version: dec.u64()?,
+            alive: dec.bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schedule() -> Schedule {
+        let mut s = Schedule::new();
+        s.push(ScheduleEvent { kind: EventKind::Pickup, request: RequestId(3), node: NodeId(10) });
+        s.push(ScheduleEvent { kind: EventKind::Dropoff, request: RequestId(3), node: NodeId(44) });
+        s
+    }
+
+    #[test]
+    fn request_and_store_round_trip() {
+        let mut store = RequestStore::new();
+        for i in 0..4u32 {
+            store.push(RideRequest {
+                id: RequestId(i),
+                release_time: i as f64 * 30.0,
+                origin: NodeId(i * 7),
+                destination: NodeId(i * 11 + 1),
+                passengers: 1 + (i % 3) as u8,
+                deadline: i as f64 * 30.0 + 900.0,
+                direct_cost_s: 400.0 + i as f64,
+                offline: i % 2 == 0,
+            });
+        }
+        let bytes = store.to_bytes();
+        let back = RequestStore::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), store.len());
+        for (a, b) in back.iter().zip(store.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn non_dense_request_ids_rejected() {
+        let req = RideRequest {
+            id: RequestId(5), // should be 0 in a store of one
+            release_time: 0.0,
+            origin: NodeId(0),
+            destination: NodeId(1),
+            passengers: 1,
+            deadline: 100.0,
+            direct_cost_s: 50.0,
+            offline: false,
+        };
+        let mut enc = Encoder::new();
+        enc.usize(1);
+        req.encode(&mut enc);
+        assert!(RequestStore::from_bytes(&enc.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn taxi_with_full_plan_round_trips() {
+        let mut t = Taxi::new(TaxiId(2), 4, NodeId(10));
+        t.onboard.push(RequestId(3));
+        t.location_time = 120.0;
+        let route = TimedRoute {
+            nodes: vec![NodeId(10), NodeId(22), NodeId(44)],
+            arrival_s: vec![120.0, 180.5, 260.25],
+            event_node_idx: vec![0, 2],
+        };
+        t.set_plan(sample_schedule(), route, 120.0);
+        let back = Taxi::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(back.id, t.id);
+        assert_eq!(back.schedule, t.schedule);
+        assert_eq!(back.route, t.route);
+        assert_eq!(back.onboard, t.onboard);
+        assert_eq!(back.route_version, t.route_version);
+        assert_eq!(back.alive, t.alive);
+        // Canonical bytes: re-encoding the decoded taxi is identical.
+        assert_eq!(back.to_bytes(), t.to_bytes());
+    }
+
+    #[test]
+    fn corrupt_route_shape_rejected() {
+        let route = TimedRoute {
+            nodes: vec![NodeId(1), NodeId(2)],
+            arrival_s: vec![0.0, 1.0],
+            event_node_idx: vec![1],
+        };
+        let mut enc = Encoder::new();
+        enc.seq(&route.nodes);
+        enc.seq(&route.arrival_s[..1]); // mismatched lengths
+        enc.seq(&route.event_node_idx);
+        assert!(TimedRoute::from_bytes(&enc.into_bytes()).is_err());
+    }
+}

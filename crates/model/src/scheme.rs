@@ -152,6 +152,28 @@ pub trait DispatchScheme {
         None
     }
 
+    /// Serializes the scheme's private mutable index state for a
+    /// checkpoint, or `None` when the scheme keeps no history-dependent
+    /// state (recovery then re-runs [`DispatchScheme::install`] instead).
+    ///
+    /// Index internals — bucket order, recycled slots, running sums — leak
+    /// into candidate-set composition, so a warm restart must restore them
+    /// *faithfully* rather than rebuild them from world state: a rebuilt
+    /// index could enumerate candidates in a different order and change
+    /// every dispatch decision after the resume point.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state produced by [`DispatchScheme::snapshot_state`] on a
+    /// freshly constructed scheme. Called instead of `install` when
+    /// resuming from a checkpoint; `world` carries the already-restored
+    /// fleet for validation. Must reject (not mis-restore) inconsistent or
+    /// mismatched bytes.
+    fn restore_state(&mut self, _bytes: &[u8], _world: &World<'_>) -> Result<(), String> {
+        Err(format!("scheme `{}` has no state snapshot support", self.name()))
+    }
+
     /// Approximate resident memory of the scheme's private indexes, bytes
     /// (Table IV).
     fn index_memory_bytes(&self) -> usize {
@@ -228,6 +250,12 @@ impl DispatchScheme for Box<dyn DispatchScheme> {
     }
     fn indexed_taxis(&self) -> Option<Vec<TaxiId>> {
         self.as_ref().indexed_taxis()
+    }
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        self.as_ref().snapshot_state()
+    }
+    fn restore_state(&mut self, bytes: &[u8], world: &World<'_>) -> Result<(), String> {
+        self.as_mut().restore_state(bytes, world)
     }
     fn index_memory_bytes(&self) -> usize {
         self.as_ref().index_memory_bytes()

@@ -229,10 +229,39 @@ pub enum Event {
         /// Name of the violated invariant check.
         check: String,
     },
+    /// A state snapshot was written (persistence meta event).
+    ///
+    /// Meta events are emitted through [`crate::Obs::emit_meta`]: they
+    /// reach only sinks that opt in via `EventSink::wants_meta` and are
+    /// never counted in the deterministic aggregates — checkpoint cadence
+    /// is an operational concern, and a resumed run's canonical trace
+    /// must stay byte-identical to the uninterrupted run's.
+    Checkpoint {
+        /// Simulation time (s) at the checkpoint boundary.
+        t: f64,
+        /// Event-loop step the snapshot captures.
+        step: u64,
+        /// Encoded snapshot size, bytes.
+        bytes: u64,
+    },
+    /// A run resumed from persisted state (persistence meta event; see
+    /// [`Event::Checkpoint`] for the meta-path rules).
+    Restore {
+        /// Simulation time (s) reached after WAL replay.
+        t: f64,
+        /// Event-loop step execution resumes from.
+        step: u64,
+        /// Step of the snapshot the recovery loaded.
+        snapshot_step: u64,
+        /// WAL records replayed on top of the snapshot.
+        wal_replayed: u64,
+    },
 }
 
-/// Event kinds, for counting. Order matches serialization labels.
-pub const EVENT_KINDS: [&str; 13] = [
+/// Event kinds, for counting. Order matches serialization labels; the
+/// persistence meta kinds sit at the end so pre-existing indices are
+/// stable.
+pub const EVENT_KINDS: [&str; 15] = [
     "arrival",
     "dispatch",
     "commit",
@@ -246,6 +275,8 @@ pub const EVENT_KINDS: [&str; 13] = [
     "reroute",
     "redispatch",
     "invariant_violation",
+    "checkpoint",
+    "restore",
 ];
 
 impl Event {
@@ -264,7 +295,9 @@ impl Event {
             | Event::TrafficShift { t, .. }
             | Event::Reroute { t, .. }
             | Event::Redispatch { t, .. }
-            | Event::InvariantViolation { t, .. } => *t,
+            | Event::InvariantViolation { t, .. }
+            | Event::Checkpoint { t, .. }
+            | Event::Restore { t, .. } => *t,
         }
     }
 
@@ -284,7 +317,16 @@ impl Event {
             Event::Reroute { .. } => 10,
             Event::Redispatch { .. } => 11,
             Event::InvariantViolation { .. } => 12,
+            Event::Checkpoint { .. } => 13,
+            Event::Restore { .. } => 14,
         }
+    }
+
+    /// Whether this is a persistence meta event (checkpoint/restore):
+    /// emitted through the meta path only, never part of the canonical
+    /// deterministic stream or aggregates.
+    pub fn is_meta(&self) -> bool {
+        matches!(self, Event::Checkpoint { .. } | Event::Restore { .. })
     }
 
     /// Encodes the event as one JSONL line (no trailing newline), with
@@ -390,6 +432,20 @@ impl Event {
                     fmt_f64(*t)
                 );
             }
+            Event::Checkpoint { t, step, bytes } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"checkpoint","t":{},"step":{step},"bytes":{bytes}}}"#,
+                    fmt_f64(*t)
+                );
+            }
+            Event::Restore { t, step, snapshot_step, wal_replayed } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"restore","t":{},"step":{step},"snapshot_step":{snapshot_step},"wal_replayed":{wal_replayed}}}"#,
+                    fmt_f64(*t)
+                );
+            }
         }
         s
     }
@@ -422,6 +478,8 @@ mod tests {
             Event::Reroute { t: 7.5, taxi: 1, renegotiated: 1, dropped: 2 },
             Event::Redispatch { t: 8.0, req: 9, attempt: 2, ok: false },
             Event::InvariantViolation { t: 9.0, check: "seat_accounting".to_string() },
+            Event::Checkpoint { t: 10.0, step: 512, bytes: 20480 },
+            Event::Restore { t: 10.5, step: 700, snapshot_step: 512, wal_replayed: 188 },
         ];
         for (i, ev) in evs.iter().enumerate() {
             let line = ev.to_jsonl();

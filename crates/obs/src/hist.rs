@@ -79,6 +79,19 @@ impl Series {
     pub fn sum(&self) -> f64 {
         self.values.iter().sum()
     }
+
+    /// The raw observations in push order (checkpointing: a series is
+    /// restored value-for-value so bit-exact quantiles survive a warm
+    /// restart).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rebuilds a series from observations previously taken from
+    /// [`Series::values`], preserving push order.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        Self { values, sorted: RefCell::new(Vec::new()) }
+    }
 }
 
 /// Buckets per octave (factor-of-two range); 4 gives ~19% relative

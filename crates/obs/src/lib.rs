@@ -41,8 +41,9 @@ pub use hist::{Histogram, Series};
 pub use sink::{EventSink, JsonlSink, MemorySink};
 pub use span::Stage;
 
+use mtshare_persist::{DecodeError, Decoder, Encoder, Persist};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -51,7 +52,7 @@ use std::time::Instant;
 const MAX_WORKERS: usize = 64;
 
 /// Summary schema identifier, bumped on breaking layout changes.
-pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v2";
+pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v3";
 
 /// Static facts about the run, reported verbatim in the summary.
 #[derive(Debug, Clone, Default)]
@@ -103,6 +104,35 @@ struct Aggregates {
     detour_s: Series,
 }
 
+impl Persist for Aggregates {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.seq(&self.event_counts);
+        enc.seq(&self.reject_counts);
+        for series in [&self.candidates, &self.feasible, &self.waiting_s, &self.detour_s] {
+            enc.seq(series.values());
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let events: Vec<u64> = dec.seq()?;
+        let rejects: Vec<u64> = dec.seq()?;
+        let event_counts: [u64; EVENT_KINDS.len()] = events
+            .try_into()
+            .map_err(|_| DecodeError::Invalid("event count array has wrong arity"))?;
+        let reject_counts: [u64; RejectReason::ALL.len()] = rejects
+            .try_into()
+            .map_err(|_| DecodeError::Invalid("reject count array has wrong arity"))?;
+        Ok(Self {
+            event_counts,
+            reject_counts,
+            candidates: Series::from_values(dec.seq()?),
+            feasible: Series::from_values(dec.seq()?),
+            waiting_s: Series::from_values(dec.seq()?),
+            detour_s: Series::from_values(dec.seq()?),
+        })
+    }
+}
+
 /// The shared telemetry state behind an enabled [`Obs`].
 struct ObsCore {
     sinks: Mutex<Vec<Box<dyn EventSink>>>,
@@ -120,6 +150,17 @@ struct ObsCore {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     degraded_batches: AtomicU64,
+    // ---- persistence (profiling) ----
+    /// While set, `emit` updates aggregates but suppresses sink
+    /// forwarding: WAL replay after a warm restart re-executes events
+    /// that the pre-crash run already wrote to its trace.
+    muted: AtomicBool,
+    checkpoints: AtomicU64,
+    restores: AtomicU64,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    checkpoint_bytes: Histogram,
+    checkpoint_write_s: Histogram,
 }
 
 impl ObsCore {
@@ -141,6 +182,13 @@ impl ObsCore {
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             degraded_batches: AtomicU64::new(0),
+            muted: AtomicBool::new(false),
+            checkpoints: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+            wal_records: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            checkpoint_bytes: Histogram::new(),
+            checkpoint_write_s: Histogram::new(),
         }
     }
 }
@@ -204,6 +252,12 @@ impl Obs {
     /// order — that is what makes the stream reproducible.
     pub fn emit(&self, ev: Event) {
         let Some(core) = &self.core else { return };
+        if ev.is_meta() {
+            // Persistence meta events never touch the deterministic
+            // aggregates or the canonical trace; route them to the
+            // opt-in meta path even if a caller used `emit` directly.
+            return self.emit_meta(ev);
+        }
         {
             let mut agg = core.agg.lock().expect("obs aggregates poisoned");
             agg.event_counts[ev.kind_index()] += 1;
@@ -220,6 +274,12 @@ impl Obs {
                 _ => {}
             }
         }
+        if core.muted.load(Ordering::Relaxed) {
+            // WAL replay: aggregates re-accumulate toward the pre-crash
+            // state, but the trace lines were already written by the
+            // interrupted run — forwarding again would duplicate them.
+            return;
+        }
         let mut sinks = core.sinks.lock().expect("obs sinks poisoned");
         if !sinks.is_empty() {
             let line = ev.to_jsonl();
@@ -227,6 +287,80 @@ impl Obs {
                 s.on_event(&ev, &line);
             }
         }
+    }
+
+    /// Emits a persistence meta event (checkpoint/restore) to the sinks
+    /// that opted in via [`EventSink::wants_meta`]. Never updates the
+    /// deterministic aggregates and ignores the replay mute, so meta
+    /// diagnostics survive even during replay.
+    pub fn emit_meta(&self, ev: Event) {
+        let Some(core) = &self.core else { return };
+        let mut sinks = core.sinks.lock().expect("obs sinks poisoned");
+        if sinks.iter().any(|s| s.wants_meta()) {
+            let line = ev.to_jsonl();
+            for s in sinks.iter_mut() {
+                if s.wants_meta() {
+                    s.on_event(&ev, &line);
+                }
+            }
+        }
+    }
+
+    /// Suppresses (or restores) sink forwarding while keeping aggregate
+    /// accumulation live — the warm-restart replay path uses this to
+    /// rebuild aggregates without duplicating trace lines.
+    pub fn set_muted(&self, muted: bool) {
+        if let Some(core) = &self.core {
+            core.muted.store(muted, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether sink forwarding is currently suppressed for replay.
+    pub fn is_muted(&self) -> bool {
+        self.core.as_ref().map(|c| c.muted.load(Ordering::Relaxed)).unwrap_or(false)
+    }
+
+    /// Records one snapshot write: payload size in bytes and wall-clock
+    /// write latency in seconds (profiling).
+    pub fn record_checkpoint(&self, bytes: u64, write_s: f64) {
+        if let Some(core) = &self.core {
+            core.checkpoints.fetch_add(1, Ordering::Relaxed);
+            core.checkpoint_bytes.record(bytes as f64);
+            core.checkpoint_write_s.record(write_s);
+        }
+    }
+
+    /// Records one warm restart from persisted state (profiling).
+    pub fn record_restore(&self) {
+        if let Some(core) = &self.core {
+            core.restores.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one appended WAL record of `bytes` payload bytes
+    /// (profiling).
+    pub fn record_wal_append(&self, bytes: u64) {
+        if let Some(core) = &self.core {
+            core.wal_records.fetch_add(1, Ordering::Relaxed);
+            core.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Serializes the deterministic aggregates (event/reject counts and
+    /// the four outcome series) for a checkpoint. `None` when disabled.
+    pub fn snapshot_aggregates(&self) -> Option<Vec<u8>> {
+        let core = self.core.as_ref()?;
+        Some(core.agg.lock().expect("obs aggregates poisoned").to_bytes())
+    }
+
+    /// Replaces the deterministic aggregates with a snapshot taken by
+    /// [`Obs::snapshot_aggregates`]. No-op when disabled.
+    pub fn restore_aggregates(&self, bytes: &[u8]) -> Result<(), String> {
+        let Some(core) = &self.core else { return Ok(()) };
+        let agg =
+            Aggregates::from_bytes(bytes).map_err(|e| format!("obs aggregate snapshot: {e}"))?;
+        *core.agg.lock().expect("obs aggregates poisoned") = agg;
+        Ok(())
     }
 
     /// Starts a wall-clock span for `stage`; the duration is recorded
@@ -468,6 +602,18 @@ impl Obs {
             let _ = write!(s, "{}", json::fmt_f64(u));
         }
         s.push_str("]},");
+        let _ = write!(
+            s,
+            r#""persistence":{{"checkpoints":{},"restores":{},"wal_records":{},"wal_bytes":{},"#,
+            core.checkpoints.load(Ordering::Relaxed),
+            core.restores.load(Ordering::Relaxed),
+            core.wal_records.load(Ordering::Relaxed),
+            core.wal_bytes.load(Ordering::Relaxed)
+        );
+        write_histogram(&mut s, "checkpoint_bytes", &core.checkpoint_bytes, 1.0, "b");
+        s.push(',');
+        write_histogram(&mut s, "checkpoint_write_ms", &core.checkpoint_write_s, 1e3, "ms");
+        s.push_str("},");
         write_histogram(&mut s, "response_ms", &core.response_s, 1e3, "ms");
         s.push_str("}}");
         Some(s)
@@ -586,6 +732,87 @@ mod tests {
         stripped.strip_key("profiling");
         assert!(stripped.get("profiling").is_none());
         assert!(stripped.get("rejections").is_some());
+    }
+
+    #[test]
+    fn meta_events_reach_only_opted_in_sinks_and_skip_aggregates() {
+        let obs = Obs::enabled();
+        let (plain, plain_buf) = MemorySink::new();
+        let (meta, meta_buf) = MemorySink::new_with_meta();
+        obs.add_sink(Box::new(plain));
+        obs.add_sink(Box::new(meta));
+        // Route through plain `emit` on purpose: meta events must be
+        // auto-diverted to the meta path.
+        obs.emit(Event::Checkpoint { t: 5.0, step: 10, bytes: 1024 });
+        obs.emit_meta(Event::Restore { t: 5.0, step: 10, snapshot_step: 4, wal_replayed: 6 });
+        obs.emit(Event::Arrival { t: 6.0, req: 0, offline: false });
+        assert_eq!(plain_buf.lock().unwrap().lines().count(), 1, "canonical trace: arrival only");
+        assert_eq!(meta_buf.lock().unwrap().lines().count(), 3, "meta sink sees everything");
+        let counts = obs.event_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 1, "meta events never counted");
+    }
+
+    #[test]
+    fn muted_emit_updates_aggregates_but_not_sinks() {
+        let obs = Obs::enabled();
+        let (sink, buf) = MemorySink::new();
+        obs.add_sink(Box::new(sink));
+        obs.set_muted(true);
+        assert!(obs.is_muted());
+        obs.emit(Event::Pickup { t: 1.0, req: 0, taxi: 1, wait_s: 2.5 });
+        obs.emit(Event::Reject { t: 1.0, req: 1, reason: RejectReason::EmptyFleet });
+        assert_eq!(buf.lock().unwrap().len(), 0, "replay must not duplicate trace lines");
+        assert_eq!(obs.reject_count(RejectReason::EmptyFleet), 1);
+        obs.set_muted(false);
+        obs.emit(Event::Arrival { t: 2.0, req: 2, offline: false });
+        assert_eq!(buf.lock().unwrap().lines().count(), 1);
+        let counts = obs.event_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn aggregates_snapshot_round_trips() {
+        let obs = Obs::enabled();
+        obs.emit(Event::Dispatch { t: 0.5, req: 0, candidates: 7, feasible: 3 });
+        obs.emit(Event::Pickup { t: 2.0, req: 0, taxi: 1, wait_s: 1.5 });
+        obs.emit(Event::Reject { t: 3.0, req: 1, reason: RejectReason::UnreachableOd });
+        let snap = obs.snapshot_aggregates().expect("enabled");
+        let restored = Obs::enabled();
+        restored.restore_aggregates(&snap).expect("restore");
+        assert_eq!(restored.event_counts(), obs.event_counts());
+        assert_eq!(restored.reject_count(RejectReason::UnreachableOd), 1);
+        // Series survive value-for-value: quantiles match bit-exactly.
+        let a = json::parse(&obs.summary_json().unwrap()).unwrap();
+        let b = json::parse(&restored.summary_json().unwrap()).unwrap();
+        for key in ["candidates", "feasible", "waiting_s", "detour_s"] {
+            let pa = a.get(key).and_then(|s| s.get("p50")).and_then(|n| n.as_num());
+            let pb = b.get(key).and_then(|s| s.get("p50")).and_then(|n| n.as_num());
+            assert_eq!(pa, pb, "series {key} p50 drifted");
+        }
+        // Corruption is rejected, original aggregates untouched.
+        let mut bad = snap.clone();
+        bad.truncate(bad.len() - 1);
+        assert!(restored.restore_aggregates(&bad).is_err());
+        assert_eq!(restored.event_counts(), obs.event_counts());
+    }
+
+    #[test]
+    fn summary_carries_persistence_profiling_block() {
+        let obs = Obs::enabled();
+        obs.record_checkpoint(4096, 0.002);
+        obs.record_checkpoint(8192, 0.004);
+        obs.record_restore();
+        obs.record_wal_append(64);
+        obs.record_wal_append(32);
+        obs.record_wal_append(32);
+        let v = json::parse(&obs.summary_json().unwrap()).unwrap();
+        let p = v.get("profiling").unwrap().get("persistence").expect("persistence block");
+        assert_eq!(p.get("checkpoints").and_then(|n| n.as_num()), Some(2.0));
+        assert_eq!(p.get("restores").and_then(|n| n.as_num()), Some(1.0));
+        assert_eq!(p.get("wal_records").and_then(|n| n.as_num()), Some(3.0));
+        assert_eq!(p.get("wal_bytes").and_then(|n| n.as_num()), Some(128.0));
+        let hist = p.get("checkpoint_bytes").expect("bytes histogram");
+        assert_eq!(hist.get("count").and_then(|n| n.as_num()), Some(2.0));
     }
 
     #[test]

@@ -169,6 +169,22 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
             &[("ev", Ty::Str), ("t", Ty::Num), ("check", Ty::Str)],
             "invariant_violation",
         ),
+        "checkpoint" => check_fields(
+            &v,
+            &[("ev", Ty::Str), ("t", Ty::Num), ("step", Ty::Num), ("bytes", Ty::Num)],
+            "checkpoint",
+        ),
+        "restore" => check_fields(
+            &v,
+            &[
+                ("ev", Ty::Str),
+                ("t", Ty::Num),
+                ("step", Ty::Num),
+                ("snapshot_step", Ty::Num),
+                ("wal_replayed", Ty::Num),
+            ],
+            "restore",
+        ),
         other => Err(format!("unknown event kind \"{other}\"")),
     }
 }
@@ -282,6 +298,12 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
         (Some(Value::Arr(items)), Some(Value::Arr(util))) if items.len() == util.len() => {}
         _ => return Err("workers: items/utilization must be equal-length arrays".to_string()),
     }
+    let persist = prof.get("persistence").ok_or("profiling: missing \"persistence\"")?;
+    for f in ["checkpoints", "restores", "wal_records", "wal_bytes"] {
+        require_num(persist, "persistence", f)?;
+    }
+    require_hist_block(persist, "checkpoint_bytes", "b")?;
+    require_hist_block(persist, "checkpoint_write_ms", "ms")?;
     require_hist_block(prof, "response_ms", "ms")?;
     Ok(())
 }
@@ -315,6 +337,8 @@ mod tests {
             Event::Redispatch { t: 7.0, req: 2, attempt: 1, ok: true },
             Event::Reject { t: 7.0, req: 2, reason: RejectReason::TaxiFailed },
             Event::InvariantViolation { t: 8.0, check: "passenger_conservation".to_string() },
+            Event::Checkpoint { t: 9.0, step: 128, bytes: 4096 },
+            Event::Restore { t: 9.5, step: 150, snapshot_step: 128, wal_replayed: 22 },
         ];
         let trace: String = evs.iter().map(|e| e.to_jsonl() + "\n").collect();
         assert_eq!(validate_trace(&trace), Ok(evs.len()));
@@ -332,6 +356,8 @@ mod tests {
             r#"{"ev":"reject","t":1,"req":2,"reason":"cosmic_rays"}"#, // unknown reason
             r#"{"ev":"breakdown","t":1,"taxi":2}"#,                    // missing orphans
             r#"{"ev":"redispatch","t":1,"req":2,"attempt":1,"ok":1}"#, // wrong type
+            r#"{"ev":"checkpoint","t":1,"step":2}"#,                   // missing bytes
+            r#"{"ev":"restore","t":1,"step":2,"snapshot_step":"a","wal_replayed":0}"#, // wrong type
         ] {
             assert!(validate_event_line(bad).is_err(), "{bad} should fail");
         }

@@ -12,6 +12,13 @@ pub trait EventSink: Send {
     fn on_event(&mut self, ev: &Event, line: &str);
     /// Called once at end of run.
     fn flush(&mut self) {}
+    /// Whether this sink also wants persistence meta events
+    /// (checkpoint/restore). Defaults to `false` so the canonical trace
+    /// stays byte-identical whether or not a run checkpoints — meta
+    /// events reach only sinks that opt in.
+    fn wants_meta(&self) -> bool {
+        false
+    }
 }
 
 /// Writes one JSONL line per event to any `io::Write` (file, stdout,
@@ -45,13 +52,22 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
 /// counts without touching the filesystem.
 pub struct MemorySink {
     buf: Arc<Mutex<String>>,
+    meta: bool,
 }
 
 impl MemorySink {
     /// Returns the sink and a handle to the buffer it fills.
     pub fn new() -> (Self, Arc<Mutex<String>>) {
         let buf = Arc::new(Mutex::new(String::new()));
-        (Self { buf: buf.clone() }, buf)
+        (Self { buf: buf.clone(), meta: false }, buf)
+    }
+
+    /// Like [`MemorySink::new`] but also receiving persistence meta
+    /// events (checkpoint/restore) — used by tests that assert on the
+    /// meta stream.
+    pub fn new_with_meta() -> (Self, Arc<Mutex<String>>) {
+        let buf = Arc::new(Mutex::new(String::new()));
+        (Self { buf: buf.clone(), meta: true }, buf)
     }
 }
 
@@ -60,6 +76,10 @@ impl EventSink for MemorySink {
         let mut buf = self.buf.lock().expect("memory sink poisoned");
         buf.push_str(line);
         buf.push('\n');
+    }
+
+    fn wants_meta(&self) -> bool {
+        self.meta
     }
 }
 

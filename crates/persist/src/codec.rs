@@ -1,0 +1,445 @@
+//! The binary codec: fixed-width little-endian primitives, bit-exact
+//! floats, length-prefixed sequences. No varints, no alignment, no
+//! self-description — the schema lives in the [`Persist`] impls, and the
+//! snapshot container's format version gates incompatible changes.
+
+/// Why a byte stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before the value did.
+    Eof {
+        /// Bytes the read needed.
+        need: usize,
+        /// Bytes that remained.
+        have: usize,
+    },
+    /// The bytes were readable but semantically invalid for the type.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Eof { need, have } => {
+                write!(f, "unexpected end of stream (need {need} bytes, have {have})")
+            }
+            DecodeError::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only byte sink.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the encoder, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (platform-independent width).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` bit-exactly (round-trips NaNs and signed zeros).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Writes a length-prefixed sequence of encodable values.
+    pub fn seq<T: Persist>(&mut self, items: &[T]) {
+        self.usize(items.len());
+        for item in items {
+            item.encode(self);
+        }
+    }
+}
+
+/// Cursor over an encoded byte stream.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed (decoders should end here —
+    /// trailing garbage means the schema and the stream disagree).
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Eof { need: n, have: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `usize` written by [`Encoder::usize`], bounds-checked
+    /// against the remaining stream so a corrupt length cannot trigger a
+    /// huge allocation.
+    pub fn usize(&mut self) -> Result<usize, DecodeError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::Invalid("length overflows usize"))
+    }
+
+    /// Reads a bit-exact `f64`.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid("bool byte is neither 0 nor 1")),
+        }
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::Invalid("string is not UTF-8"))
+    }
+
+    /// Reads a length-prefixed sequence of decodable values.
+    pub fn seq<T: Persist>(&mut self) -> Result<Vec<T>, DecodeError> {
+        let n = self.usize()?;
+        // A corrupt length must not pre-allocate gigabytes: each element
+        // is at least one byte, so `n` can never exceed what remains.
+        if n > self.remaining() {
+            return Err(DecodeError::Eof { need: n, have: self.remaining() });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// State that can be written to and rebuilt from the binary codec.
+///
+/// The contract — enforced by proptests in the implementing crates — is
+/// `decode(encode(x)) == x`, with *no* bytes left over.
+pub trait Persist: Sized {
+    /// Appends this value's encoding to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+    /// Reads one value back from `dec`.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+
+    /// Convenience: this value alone as a byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Convenience: decodes a value that must span exactly `bytes`.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::decode(&mut dec)?;
+        if !dec.is_done() {
+            return Err(DecodeError::Invalid("trailing bytes after value"));
+        }
+        Ok(v)
+    }
+}
+
+impl Persist for u8 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u8(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.u8()
+    }
+}
+
+impl Persist for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.u32()
+    }
+}
+
+impl Persist for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.u64()
+    }
+}
+
+impl Persist for usize {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.usize()
+    }
+}
+
+impl Persist for u16 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(u32::from(*self));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        u16::try_from(dec.u32()?).map_err(|_| DecodeError::Invalid("u16 out of range"))
+    }
+}
+
+impl Persist for f64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.f64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.f64()
+    }
+}
+
+impl Persist for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.bool(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.bool()
+    }
+}
+
+impl Persist for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.str(self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.str()
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.seq(self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.seq()
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.u8(0),
+            Some(v) => {
+                enc.u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            _ => Err(DecodeError::Invalid("Option tag is neither 0 nor 1")),
+        }
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+        self.2.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(dec)?, B::decode(dec)?, C::decode(dec)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist, D: Persist> Persist for (A, B, C, D) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+        self.2.encode(enc);
+        self.3.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(dec)?, B::decode(dec)?, C::decode(dec)?, D::decode(dec)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        enc.u8(7);
+        enc.u32(0xDEAD_BEEF);
+        enc.u64(u64::MAX);
+        enc.f64(-0.0);
+        enc.f64(f64::INFINITY);
+        enc.bool(true);
+        enc.str("naïve ✓");
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.u64().unwrap(), u64::MAX);
+        let z = dec.f64().unwrap();
+        assert_eq!(z.to_bits(), (-0.0_f64).to_bits(), "signed zero must survive");
+        assert_eq!(dec.f64().unwrap(), f64::INFINITY);
+        assert!(dec.bool().unwrap());
+        assert_eq!(dec.str().unwrap(), "naïve ✓");
+        assert!(dec.is_done());
+    }
+
+    #[test]
+    fn nan_round_trips_bit_exactly() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let bytes = weird.to_bytes();
+        let back = f64::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn sequences_and_options_round_trip() {
+        let v: Vec<(u32, Option<String>)> =
+            vec![(1, None), (2, Some("x".into())), (3, Some(String::new()))];
+        let bytes = v.to_bytes();
+        assert_eq!(Vec::<(u32, Option<String>)>::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn truncated_stream_reports_eof() {
+        let bytes = 12345u64.to_bytes();
+        let mut dec = Decoder::new(&bytes[..5]);
+        assert!(matches!(u64::decode(&mut dec), Err(DecodeError::Eof { .. })));
+    }
+
+    #[test]
+    fn corrupt_sequence_length_cannot_allocate() {
+        // A length claiming more elements than bytes remain must fail
+        // fast instead of reserving memory for it.
+        let mut enc = Encoder::new();
+        enc.usize(usize::MAX / 2);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.seq::<u8>(), Err(DecodeError::Eof { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_bytes() {
+        let mut bytes = 1u32.to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            u32::from_bytes(&bytes),
+            Err(DecodeError::Invalid("trailing bytes after value"))
+        ));
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags_rejected() {
+        assert!(matches!(bool::from_bytes(&[2]), Err(DecodeError::Invalid(_))));
+        assert!(matches!(Option::<u8>::from_bytes(&[9]), Err(DecodeError::Invalid(_))));
+    }
+}

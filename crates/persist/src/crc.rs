@@ -1,0 +1,109 @@
+//! Checksums: CRC32 (IEEE 802.3, the zlib polynomial) for on-disk
+//! integrity and FNV-1a/64 for cheap in-memory fingerprints.
+
+/// The IEEE CRC32 lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) of `bytes`. Matches zlib's `crc32(0, ...)`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Streaming FNV-1a 64-bit hasher: a cheap, deterministic fingerprint
+/// for scenario identity and WAL step digests. Not cryptographic.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xCBF2_9CE4_8422_2325)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the running hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64`'s bits into the running hash.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest so far.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a/64 of `bytes`.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check values for the IEEE polynomial.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_detects_any_single_byte_flip() {
+        let data = b"checkpoint payload with enough bytes to matter".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            let mut copy = data.clone();
+            copy[i] ^= 0x01;
+            assert_ne!(crc32(&copy), base, "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171F73967E8);
+    }
+}

@@ -1,0 +1,86 @@
+//! Crash-consistent persistence for the mT-Share dispatcher.
+//!
+//! Three layers, all dependency-free:
+//!
+//! - [`codec`]: a versionless little-endian binary codec ([`Encoder`],
+//!   [`Decoder`]) plus the [`Persist`] trait every piece of dispatcher
+//!   state implements. The codec is deliberately dumb — fixed-width
+//!   integers, bit-exact `f64`s, length-prefixed sequences — so that a
+//!   byte stream has exactly one decoding and round-trips are trivially
+//!   checkable by property tests.
+//! - [`snapshot`] + [`wal`]: the on-disk containers. A snapshot file is
+//!   `magic | format version | payload length | CRC32 | payload`,
+//!   written atomically (temp file + rename) so a crash mid-write never
+//!   leaves a half-snapshot under the final name. The write-ahead log is
+//!   a sequence of `length | CRC32 | payload` records; recovery scans
+//!   from the front and truncates at the first torn or corrupt record,
+//!   so a crash mid-append loses at most the record being written.
+//! - [`dir`]: state-directory management — one WAL plus any number of
+//!   step-stamped snapshots; [`StateDir::load_newest_valid`] walks
+//!   snapshots newest-first and falls back past corrupt ones.
+//!
+//! What this crate does *not* know about: the simulator, the schemes, or
+//! what the bytes mean. Higher crates implement [`Persist`] for their
+//! own state and decide what is snapshotted versus rebuilt cold (see
+//! DESIGN.md, "Persistence & warm restart").
+
+pub mod codec;
+pub mod crc;
+pub mod dir;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::{DecodeError, Decoder, Encoder, Persist};
+pub use crc::{crc32, fnv1a_64, Fnv64};
+pub use dir::StateDir;
+pub use snapshot::{read_snapshot, write_snapshot};
+pub use wal::{WalRecovery, WalWriter};
+
+/// Everything that can go wrong while persisting or recovering state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A container failed validation (bad magic, length or checksum).
+    Corrupt(String),
+    /// The container's format version is not the one this build writes.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// The payload decoded but does not belong to this run (wrong
+    /// scenario, scheme or configuration fingerprint).
+    Mismatch(String),
+    /// The payload bytes could not be decoded.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt state file: {what}"),
+            PersistError::UnsupportedVersion { found, expected } => {
+                write!(f, "unsupported format version {found} (expected {expected})")
+            }
+            PersistError::Mismatch(what) => write!(f, "state mismatch: {what}"),
+            PersistError::Decode(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<DecodeError> for PersistError {
+    fn from(e: DecodeError) -> Self {
+        PersistError::Decode(e)
+    }
+}

@@ -1,0 +1,170 @@
+//! The snapshot container: one self-validating file per checkpoint.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"MTSN"
+//! 4       4     format version (FORMAT_VERSION)
+//! 8       8     payload length in bytes
+//! 16      4     CRC32 of the payload
+//! 20      n     payload (opaque to this layer)
+//! ```
+//!
+//! Writes go to a `.tmp` sibling first and are renamed into place after
+//! `sync_all`, so under the final name a snapshot either exists in full
+//! or not at all — a crash mid-checkpoint leaves the previous snapshot
+//! untouched and at worst a stray temp file that the next write
+//! replaces.
+
+use crate::crc::crc32;
+use crate::PersistError;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 4] = *b"MTSN";
+
+/// Container format version written by this build.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header bytes before the payload.
+pub const HEADER_LEN: usize = 20;
+
+/// Writes `payload` as a snapshot at `path`, atomically. Returns the
+/// total file size in bytes.
+pub fn write_snapshot(path: &Path, payload: &[u8]) -> Result<u64, PersistError> {
+    let mut file_bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    file_bytes.extend_from_slice(&MAGIC);
+    file_bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    file_bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file_bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    file_bytes.extend_from_slice(payload);
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(&file_bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Best-effort directory sync so the rename itself is durable; some
+    // filesystems refuse to fsync a directory handle — not fatal.
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(file_bytes.len() as u64)
+}
+
+/// Reads and validates the snapshot at `path`, returning its payload.
+pub fn read_snapshot(path: &Path) -> Result<Vec<u8>, PersistError> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    if raw.len() < HEADER_LEN {
+        return Err(PersistError::Corrupt(format!(
+            "{}: {} bytes is shorter than the header",
+            path.display(),
+            raw.len()
+        )));
+    }
+    if raw[0..4] != MAGIC {
+        return Err(PersistError::Corrupt(format!("{}: bad magic", path.display())));
+    }
+    let version = u32::from_le_bytes(raw[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version, expected: FORMAT_VERSION });
+    }
+    let len = u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes"));
+    let stored_crc = u32::from_le_bytes(raw[16..20].try_into().expect("4 bytes"));
+    let payload = &raw[HEADER_LEN..];
+    if payload.len() as u64 != len {
+        return Err(PersistError::Corrupt(format!(
+            "{}: header claims {len} payload bytes, file holds {}",
+            path.display(),
+            payload.len()
+        )));
+    }
+    if crc32(payload) != stored_crc {
+        return Err(PersistError::Corrupt(format!(
+            "{}: payload checksum mismatch",
+            path.display()
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mtshare-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn round_trips_payload() {
+        let dir = tmpdir("rt");
+        let p = dir.join("a.mtsnap");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let size = write_snapshot(&p, &payload).unwrap();
+        assert_eq!(size as usize, HEADER_LEN + payload.len());
+        assert_eq!(read_snapshot(&p).unwrap(), payload);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewrite_replaces_previous_snapshot() {
+        let dir = tmpdir("rw");
+        let p = dir.join("a.mtsnap");
+        write_snapshot(&p, b"old state").unwrap();
+        write_snapshot(&p, b"new state").unwrap();
+        assert_eq!(read_snapshot(&p).unwrap(), b"new state");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let dir = tmpdir("flip");
+        let p = dir.join("a.mtsnap");
+        write_snapshot(&p, b"state that must not silently change").unwrap();
+        let good = fs::read(&p).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            fs::write(&p, &bad).unwrap();
+            assert!(read_snapshot(&p).is_err(), "corruption at byte {i} was not rejected");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let dir = tmpdir("trunc");
+        let p = dir.join("a.mtsnap");
+        write_snapshot(&p, b"0123456789").unwrap();
+        let good = fs::read(&p).unwrap();
+        for keep in 0..good.len() {
+            fs::write(&p, &good[..keep]).unwrap();
+            assert!(read_snapshot(&p).is_err(), "truncation to {keep} bytes accepted");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_format_version_is_rejected() {
+        let dir = tmpdir("ver");
+        let p = dir.join("a.mtsnap");
+        write_snapshot(&p, b"payload").unwrap();
+        let mut raw = fs::read(&p).unwrap();
+        raw[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        fs::write(&p, &raw).unwrap();
+        assert!(matches!(read_snapshot(&p), Err(PersistError::UnsupportedVersion { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

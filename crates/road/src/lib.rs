@@ -17,6 +17,7 @@ pub mod geo;
 pub mod graph;
 pub mod ids;
 pub mod io;
+pub mod persist;
 pub mod spatial;
 pub mod synthetic;
 pub mod traffic;

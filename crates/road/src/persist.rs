@@ -1,0 +1,68 @@
+//! [`Persist`] impls for the road-network value types that appear inside
+//! checkpointed dispatcher state. The graph itself is *not* persisted —
+//! it is deterministic given the city config and is rebuilt cold on
+//! recovery (see DESIGN.md, "Persistence & warm restart").
+
+use crate::geo::GeoPoint;
+use crate::ids::NodeId;
+use crate::traffic::TrafficShiftSpec;
+use mtshare_persist::{DecodeError, Decoder, Encoder, Persist};
+
+impl Persist for NodeId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(NodeId(dec.u32()?))
+    }
+}
+
+impl Persist for GeoPoint {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.f64(self.lat);
+        enc.f64(self.lng);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(GeoPoint { lat: dec.f64()?, lng: dec.f64()? })
+    }
+}
+
+impl Persist for TrafficShiftSpec {
+    fn encode(&self, enc: &mut Encoder) {
+        self.center.encode(enc);
+        enc.f64(self.radius_m);
+        enc.f64(self.factor);
+        enc.f64(self.start_s);
+        enc.f64(self.duration_s);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TrafficShiftSpec {
+            center: NodeId::decode(dec)?,
+            radius_m: dec.f64()?,
+            factor: dec.f64()?,
+            start_s: dec.f64()?,
+            duration_s: dec.f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn road_types_round_trip() {
+        let node = NodeId(417);
+        assert_eq!(NodeId::from_bytes(&node.to_bytes()).unwrap(), node);
+        let pt = GeoPoint { lat: 30.67, lng: 104.06 };
+        assert_eq!(GeoPoint::from_bytes(&pt.to_bytes()).unwrap(), pt);
+        let spec = TrafficShiftSpec {
+            center: NodeId(12),
+            radius_m: 800.0,
+            factor: 0.5,
+            start_s: 1800.0,
+            duration_s: 600.0,
+        };
+        assert_eq!(TrafficShiftSpec::from_bytes(&spec.to_bytes()).unwrap(), spec);
+    }
+}

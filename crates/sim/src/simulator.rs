@@ -25,6 +25,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+#[path = "checkpoint.rs"]
+mod checkpoint;
+pub use checkpoint::{PersistConfig, RunOutcome};
+
 /// Simulator knobs.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -51,6 +55,9 @@ pub struct SimConfig {
     /// `None` disables it. Violations are reported through `mtshare-obs`
     /// and counted in the report.
     pub validate_every: Option<f64>,
+    /// Checkpoint/WAL persistence (crash-consistent warm restart).
+    /// `None` runs without any state directory.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for SimConfig {
@@ -63,6 +70,7 @@ impl Default for SimConfig {
             chaos: None,
             retry: RetryPolicy::default(),
             validate_every: None,
+            persist: None,
         }
     }
 }
@@ -122,6 +130,19 @@ pub struct Simulator {
     // --- event machinery ---
     heap: BinaryHeap<Reverse<QueuedEv>>,
     seq: u64,
+    /// Sequential-work counter: one per popped heap event, consumed
+    /// arrival or validation sweep — the WAL's notion of position.
+    /// Parallelism-independent by the batch-equivalence argument.
+    step: u64,
+    /// Cursor into the release-ordered request stream (a struct field,
+    /// not a run-loop local, so snapshots capture it).
+    next_arrival: usize,
+    // --- persistence ---
+    /// Fingerprint of the immutable scenario inputs, taken at
+    /// construction; snapshots refuse to load into a different scenario.
+    scenario_digest: u64,
+    /// Live checkpoint/WAL state (`None` without `SimConfig::persist`).
+    persist: Option<checkpoint::PersistRt>,
     /// Future node→arrival map per taxi (rebuilt on commit).
     route_nodes: Vec<FxHashMap<u32, f64>>,
     // --- offline request machinery ---
@@ -192,6 +213,7 @@ impl Simulator {
             }
             None => DisruptionPlan::default(),
         };
+        let scenario_digest = checkpoint::scenario_digest(&scenario.taxis, &requests);
         Self {
             graph,
             cache,
@@ -201,6 +223,10 @@ impl Simulator {
             cfg,
             heap: BinaryHeap::new(),
             seq: 0,
+            step: 0,
+            next_arrival: 0,
+            scenario_digest,
+            persist: None,
             route_nodes: vec![FxHashMap::default(); n_taxis],
             pending_offline: FxHashSet::default(),
             offline_watch: FxHashMap::default(),
@@ -260,29 +286,43 @@ impl Simulator {
         self.heap.push(Reverse(QueuedEv { time, seq: self.seq, ev }));
     }
 
-    /// Runs the scenario to completion and reports the metrics.
-    pub fn run(mut self, scheme: &mut dyn DispatchScheme) -> SimReport {
+    /// Runs the scenario to completion and reports the metrics. Panics
+    /// if a planned in-process crash point fires; persistence-aware
+    /// callers use [`Simulator::run_to_outcome`].
+    pub fn run(self, scheme: &mut dyn DispatchScheme) -> SimReport {
+        self.run_to_outcome(scheme).report()
+    }
+
+    /// Runs the scenario, resuming from a checkpoint and/or stopping at
+    /// a planned crash point when `SimConfig::persist` says so.
+    pub fn run_to_outcome(mut self, scheme: &mut dyn DispatchScheme) -> RunOutcome {
         let start = std::time::Instant::now();
         scheme.set_obs(self.obs.clone());
-        scheme.install(&self.world());
+        let resumed = self.setup_persistence(scheme);
+        if !resumed {
+            scheme.install(&self.world());
+
+            // Seed the planned disruptions before anything else enters the
+            // heap: their low sequence numbers order them ahead of same-time
+            // taxi events, deterministically. On resume the restored heap
+            // already holds whatever seeding survived, so this (and the
+            // install above) must not run again.
+            for idx in 0..self.plan.events.len() {
+                let at = self.plan.events[idx].at;
+                self.push_ev(at, Ev::Disruption { idx });
+            }
+            if let Some(every) = self.cfg.validate_every {
+                self.push_ev(every, Ev::Validate);
+            }
+            self.initial_checkpoint(scheme);
+        }
 
         let order: Vec<RequestId> = self.requests.iter().map(|r| r.id).collect();
-        let mut next_arrival = 0usize;
-
-        // Seed the planned disruptions before anything else enters the
-        // heap: their low sequence numbers order them ahead of same-time
-        // taxi events, deterministically.
-        for idx in 0..self.plan.events.len() {
-            let at = self.plan.events[idx].at;
-            self.push_ev(at, Ev::Disruption { idx });
-        }
-        if let Some(every) = self.cfg.validate_every {
-            self.push_ev(every, Ev::Validate);
-        }
 
         loop {
+            self.maybe_checkpoint(scheme);
             let t_req = order
-                .get(next_arrival)
+                .get(self.next_arrival)
                 .map(|&id| self.requests.get(id).release_time)
                 .unwrap_or(f64::INFINITY);
             let t_ev = self.heap.peek().map(|Reverse(e)| e.time).unwrap_or(f64::INFINITY);
@@ -292,7 +332,7 @@ impl Simulator {
             if t_ev <= t_req {
                 let Reverse(q) = self.heap.pop().expect("peeked");
                 self.clock = self.clock.max(q.time);
-                if q.ev == Ev::Validate {
+                let kind = if q.ev == Ev::Validate {
                     // Handled here rather than in `process_event`: the
                     // re-arm decision needs to know whether any work
                     // remains, or the sweep would keep the run alive
@@ -303,25 +343,35 @@ impl Simulator {
                             self.push_ev(q.time + every, Ev::Validate);
                         }
                     }
+                    checkpoint::KIND_VALIDATE
                 } else {
                     self.process_event(q, scheme);
+                    checkpoint::KIND_HEAP
+                };
+                if self.complete_step(kind, q.time) {
+                    return RunOutcome::Crashed { step: self.step };
                 }
             } else {
                 self.clock = self.clock.max(t_req);
                 if self.cfg.parallelism > 1 {
-                    let batch = self.gather_batch(&order, next_arrival, t_ev);
+                    let batch = self.gather_batch(&order, self.next_arrival, t_ev);
                     if batch.len() >= 2 {
-                        next_arrival += self.process_batch(&batch, scheme);
+                        if self.process_batch(&batch, scheme) {
+                            return RunOutcome::Crashed { step: self.step };
+                        }
                         continue;
                     }
                 }
-                let id = order[next_arrival];
-                next_arrival += 1;
+                let id = order[self.next_arrival];
+                self.next_arrival += 1;
                 self.process_arrival(id, scheme);
+                if self.complete_step(checkpoint::KIND_ARRIVAL, t_req) {
+                    return RunOutcome::Crashed { step: self.step };
+                }
             }
         }
 
-        self.finish(scheme, start.elapsed().as_secs_f64())
+        RunOutcome::Finished(self.finish(scheme, start.elapsed().as_secs_f64()))
     }
 
     /// The maximal run of consecutive *online* arrivals starting at
@@ -347,11 +397,13 @@ impl Simulator {
     /// Speculatively scores `ids` against the current world in parallel,
     /// then commits the results sequentially in arrival order,
     /// revalidating each (and re-dispatching on conflict) so the outcome
-    /// is identical to processing the arrivals one by one. Returns how
-    /// many arrivals were consumed: a commit can queue an event that
-    /// sequentially precedes a later arrival in the batch, at which point
-    /// the remainder is abandoned and replayed through the main loop.
-    fn process_batch(&mut self, ids: &[RequestId], scheme: &mut dyn DispatchScheme) -> usize {
+    /// is identical to processing the arrivals one by one. Advances
+    /// `next_arrival` per consumed arrival — a commit can queue an event
+    /// that sequentially precedes a later arrival in the batch, at which
+    /// point the remainder is abandoned and replayed through the main
+    /// loop. Returns the crash flag: `true` when a planned in-process
+    /// crash fired mid-batch and the run must stop.
+    fn process_batch(&mut self, ids: &[RequestId], scheme: &mut dyn DispatchScheme) -> bool {
         let reqs: Vec<RideRequest> = ids.iter().map(|&id| self.requests.get(id).clone()).collect();
         // Pin every batch endpoint up front (infrastructure, untimed — as
         // in `try_dispatch`). The oracle's bwd-first canonical lookup
@@ -378,11 +430,11 @@ impl Simulator {
                 self.oracle.unpin(r.origin);
                 self.oracle.unpin(r.destination);
             }
+            self.next_arrival += 1;
             self.process_arrival(ids[0], scheme);
-            return 1;
+            return self.complete_step(checkpoint::KIND_ARRIVAL, reqs[0].release_time);
         };
 
-        let mut consumed = 0usize;
         for (k, req) in reqs.iter().enumerate() {
             if k > 0 {
                 let t_ev = self.heap.peek().map(|Reverse(e)| e.time).unwrap_or(f64::INFINITY);
@@ -397,7 +449,7 @@ impl Simulator {
                     break;
                 }
             }
-            consumed += 1;
+            self.next_arrival += 1;
             let now = req.release_time;
             self.clock = self.clock.max(now);
             // Events replay exactly what the sequential loop would emit:
@@ -438,8 +490,16 @@ impl Simulator {
                     self.emit_reject(req, now);
                 }
             }
+            // Each consumed arrival is one step, exactly as on the
+            // sequential path — the WAL's positions (and digests, which
+            // cover the arrival cursor) are parallelism-independent. A
+            // mid-batch crash abandons the still-pinned remainder; the
+            // world is discarded anyway.
+            if self.complete_step(checkpoint::KIND_ARRIVAL, now) {
+                return true;
+            }
         }
-        consumed
+        false
     }
 
     /// Classifies and emits a rejection event (enabled-telemetry only:
@@ -618,6 +678,11 @@ impl Simulator {
                 }
             }
         }
+        // The watch table iterates in hash order; sort before queueing so
+        // the `seq` numbers handed out are a function of world state, not
+        // of container history (a rebuilt-after-restore map would
+        // otherwise order same-time encounters differently).
+        hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         for (t, r) in hits {
             let req = self.requests.get(r);
             if t <= req.pickup_deadline() && t >= req.release_time {

@@ -32,13 +32,21 @@ pub struct TraceRecord {
     pub dropoff: GeoPoint,
 }
 
+/// Retained rejected lines per parse: a multi-gigabyte dump with a
+/// systematically wrong column layout must not balloon memory with
+/// millions of identical error strings; the first few plus the total
+/// count diagnose the problem just as well.
+pub const MAX_TRACE_ERRORS: usize = 32;
+
 /// Parse outcome: records plus per-line errors (line number, message).
 #[derive(Debug, Default)]
 pub struct TraceParse {
     /// Successfully parsed records, in file order.
     pub records: Vec<TraceRecord>,
-    /// Rejected lines.
+    /// The first [`MAX_TRACE_ERRORS`] rejected lines.
     pub errors: Vec<(usize, String)>,
+    /// Total rejected lines, including those past the retention cap.
+    pub total_errors: usize,
 }
 
 /// Parses a GAIA-format CSV from any reader.
@@ -52,7 +60,12 @@ pub fn parse_trace<R: BufRead>(reader: R) -> std::io::Result<TraceParse> {
         }
         match parse_line(line) {
             Ok(rec) => out.records.push(rec),
-            Err(e) => out.errors.push((lineno + 1, e)),
+            Err(e) => {
+                out.total_errors += 1;
+                if out.errors.len() < MAX_TRACE_ERRORS {
+                    out.errors.push((lineno + 1, e));
+                }
+            }
         }
     }
     Ok(out)
@@ -198,6 +211,7 @@ mod tests {
         let p = parse_trace(Cursor::new(csv)).unwrap();
         assert_eq!(p.records.len(), 3);
         assert_eq!(p.errors.len(), 1);
+        assert_eq!(p.total_errors, 1);
         assert_eq!(p.errors[0].0, 4, "1-based line number of the bad line");
         assert_eq!(p.records[0].order_id, "o1");
         assert_eq!(p.records[0].taxi_id, "t1");
@@ -232,6 +246,7 @@ mod tests {
         assert_eq!(p.records.len(), 1);
         assert_eq!(p.records[0].order_id, "ok");
         assert_eq!(p.errors.len(), 5);
+        assert_eq!(p.total_errors, 5);
         let lines: Vec<usize> = p.errors.iter().map(|(n, _)| *n).collect();
         assert_eq!(lines, vec![1, 2, 3, 4, 5]);
         assert!(p.errors[0].1.contains("bad timestamp"));
@@ -239,6 +254,27 @@ mod tests {
         assert!(p.errors[2].1.contains("bad pickup_lat"));
         assert!(p.errors[3].1.contains("missing dropoff_lng"));
         assert!(p.errors[4].1.contains("empty order_id"));
+    }
+
+    #[test]
+    fn error_retention_is_capped_but_counting_is_not() {
+        // A systematically malformed dump: every line bad except one valid
+        // record *after* the cap is reached — retention stops at the cap,
+        // counting and record parsing keep going.
+        let mut csv = String::new();
+        for i in 0..100 {
+            csv.push_str(&format!("bad-{i}\n"));
+        }
+        csv.push_str("ok,t1,42,104.0,30.0,104.1,30.1\n");
+        csv.push_str("trailing,junk\n");
+        let p = parse_trace(Cursor::new(csv)).unwrap();
+        assert_eq!(p.errors.len(), MAX_TRACE_ERRORS);
+        assert_eq!(p.total_errors, 101);
+        assert_eq!(p.records.len(), 1);
+        assert_eq!(p.records[0].order_id, "ok");
+        // The retained prefix is the *first* N, with line numbers intact.
+        assert_eq!(p.errors[0].0, 1);
+        assert_eq!(p.errors[MAX_TRACE_ERRORS - 1].0, MAX_TRACE_ERRORS);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Crash-consistent warm restart: kill a run at an arbitrary step,
+//! resume from the state directory, and require the concatenation of the
+//! two traces to be byte-identical to an uninterrupted run — across
+//! every dispatch scheme and at any `parallelism`, including resuming at
+//! a different worker count than the run that crashed.
+
+use mtshare_chaos::{ChaosConfig, CrashPoint};
+use mtshare_core::{MobilityContext, PartitionStrategy};
+use mtshare_obs::{MemorySink, Obs};
+use mtshare_road::{grid_city, GridCityConfig, RoadNetwork};
+use mtshare_routing::PathCache;
+use mtshare_sim::{
+    build_context, PersistConfig, RunOutcome, Scenario, ScenarioConfig, SchemeKind, SimConfig,
+    Simulator,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A scenario plus everything needed to instantiate identical fresh
+/// simulators for it repeatedly.
+struct TestWorld {
+    graph: Arc<RoadNetwork>,
+    scenario: Scenario,
+    kind: SchemeKind,
+    ctx: Option<Arc<MobilityContext>>,
+}
+
+impl TestWorld {
+    fn build(kind: SchemeKind) -> Self {
+        let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let cache = PathCache::new(graph.clone());
+        let scenario = Scenario::generate(graph.clone(), &cache, ScenarioConfig::nonpeak(10));
+        let ctx = kind
+            .needs_context()
+            .then(|| build_context(&graph, &scenario.historical, 12, PartitionStrategy::Bipartite));
+        Self { graph, scenario, kind, ctx }
+    }
+
+    /// Runs a fresh simulator over the shared scenario, capturing the
+    /// canonical JSONL trace.
+    fn run(&self, cfg: SimConfig) -> (RunOutcome, String) {
+        let obs = Obs::enabled();
+        let (sink, buf) = MemorySink::new();
+        obs.add_sink(Box::new(sink));
+        let cache = PathCache::new(self.graph.clone());
+        let mut scheme =
+            self.kind.build(&self.graph, self.scenario.taxis.len(), self.ctx.clone(), None);
+        let out = Simulator::new(self.graph.clone(), cache, &self.scenario, cfg)
+            .with_obs(obs)
+            .run_to_outcome(scheme.as_mut());
+        let trace = buf.lock().unwrap().clone();
+        (out, trace)
+    }
+}
+
+/// Chaos + the invariant sweep armed, so recovery replays through
+/// breakdowns, cancels, traffic shifts and validation steps too.
+fn base_cfg(parallelism: usize) -> SimConfig {
+    SimConfig {
+        parallelism,
+        chaos: Some(ChaosConfig::with_seed(7)),
+        validate_every: Some(60.0),
+        ..SimConfig::default()
+    }
+}
+
+/// Fresh per-test state directory (the workspace target dir, so `cargo
+/// clean` collects leftovers from killed test processes).
+fn state_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("persist-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fresh_persist(dir: &Path, crash_step: u64) -> PersistConfig {
+    PersistConfig {
+        state_dir: dir.to_path_buf(),
+        checkpoint_every: 16,
+        resume: false,
+        crash_at: Some(CrashPoint::return_at(crash_step)),
+    }
+}
+
+fn resume_persist(dir: &Path) -> PersistConfig {
+    PersistConfig {
+        state_dir: dir.to_path_buf(),
+        checkpoint_every: 16,
+        resume: true,
+        crash_at: None,
+    }
+}
+
+/// Kills a run at `crash_step`, resumes it, and checks the concatenated
+/// trace (and the final report) against an uninterrupted baseline run.
+fn crash_and_resume(world: &TestWorld, name: &str, crash_par: usize, resume_par: usize) {
+    let (base_out, base_trace) = world.run(base_cfg(crash_par));
+    let RunOutcome::Finished(base_report) = base_out else {
+        panic!("baseline run must finish");
+    };
+
+    let dir = state_dir(name);
+    let mut cfg = base_cfg(crash_par);
+    cfg.persist = Some(fresh_persist(&dir, 57));
+    let (crash_out, head) = world.run(cfg);
+    let RunOutcome::Crashed { step } = crash_out else {
+        panic!("crash run must die at the planned point");
+    };
+    assert_eq!(step, 57);
+
+    let mut cfg = base_cfg(resume_par);
+    cfg.persist = Some(resume_persist(&dir));
+    let (resume_out, tail) = world.run(cfg);
+    let RunOutcome::Finished(report) = resume_out else {
+        panic!("resumed run must finish");
+    };
+
+    assert_eq!(
+        format!("{head}{tail}"),
+        base_trace,
+        "concatenated crash+resume trace must be byte-identical ({name})"
+    );
+    assert_eq!(report.served, base_report.served, "{name}");
+    assert_eq!(report.rejected, base_report.rejected, "{name}");
+    assert_eq!(report.cancelled, base_report.cancelled, "{name}");
+    assert_eq!(report.redispatched, base_report.redispatched, "{name}");
+    assert_eq!(report.invariant_violations, 0, "{name}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_resume_matrix_over_all_schemes() {
+    for (kind, name) in [
+        (SchemeKind::NoSharing, "no-sharing"),
+        (SchemeKind::TShare, "t-share"),
+        (SchemeKind::PGreedyDp, "pgreedy"),
+        (SchemeKind::MtShare, "mt-share"),
+    ] {
+        let world = TestWorld::build(kind);
+        crash_and_resume(&world, &format!("{name}-seq"), 1, 1);
+    }
+}
+
+#[test]
+fn crash_resume_is_parallelism_independent() {
+    let world = TestWorld::build(SchemeKind::MtShare);
+    // Crash a parallel run, resume it sequentially and vice versa: the
+    // step counter (and hence the WAL) is parallelism-independent.
+    crash_and_resume(&world, "mt-share-par", 4, 4);
+    crash_and_resume(&world, "mt-share-par-to-seq", 4, 1);
+    crash_and_resume(&world, "mt-share-seq-to-par", 1, 4);
+}
+
+#[test]
+fn torn_wal_tail_is_truncated_on_recovery() {
+    let world = TestWorld::build(SchemeKind::TShare);
+    let (_, base_trace) = world.run(base_cfg(1));
+
+    let dir = state_dir("torn-tail");
+    let mut cfg = base_cfg(1);
+    cfg.persist = Some(fresh_persist(&dir, 57));
+    let (_, head) = world.run(cfg);
+
+    // A crash torn mid-append leaves a partial record at the tail; the
+    // recovery scan must drop it and resume from the last full record.
+    use std::io::Write;
+    let wal = dir.join("wal.mtwal");
+    let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+    f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+    drop(f);
+
+    let mut cfg = base_cfg(1);
+    cfg.persist = Some(resume_persist(&dir));
+    let (out, tail) = world.run(cfg);
+    assert!(matches!(out, RunOutcome::Finished(_)));
+    assert_eq!(format!("{head}{tail}"), base_trace);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_snapshot_falls_back_to_previous_checkpoint() {
+    let world = TestWorld::build(SchemeKind::MtShare);
+    let (_, base_trace) = world.run(base_cfg(1));
+
+    let dir = state_dir("corrupt-snap");
+    let mut cfg = base_cfg(1);
+    cfg.persist = Some(fresh_persist(&dir, 57));
+    let (_, head) = world.run(cfg);
+
+    // Flip a payload byte in the newest snapshot: its CRC fails, and
+    // recovery must fall back to the previous valid one and replay a
+    // longer WAL suffix — still byte-identical.
+    let mut snaps: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "mtsnap"))
+        .collect();
+    snaps.sort();
+    assert!(snaps.len() >= 2, "expected multiple checkpoints, got {snaps:?}");
+    let newest = snaps.last().unwrap();
+    let mut bytes = std::fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(newest, bytes).unwrap();
+
+    let mut cfg = base_cfg(1);
+    cfg.persist = Some(resume_persist(&dir));
+    let (out, tail) = world.run(cfg);
+    assert!(matches!(out, RunOutcome::Finished(_)));
+    assert_eq!(format!("{head}{tail}"), base_trace);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_meta_events_stay_out_of_the_canonical_trace() {
+    let world = TestWorld::build(SchemeKind::NoSharing);
+    let dir = state_dir("meta-events");
+
+    let obs = Obs::enabled();
+    let (sink, canonical) = MemorySink::new();
+    let (meta_sink, meta) = MemorySink::new_with_meta();
+    obs.add_sink(Box::new(sink));
+    obs.add_sink(Box::new(meta_sink));
+    let cache = PathCache::new(world.graph.clone());
+    let mut scheme =
+        world.kind.build(&world.graph, world.scenario.taxis.len(), world.ctx.clone(), None);
+    let mut cfg = base_cfg(1);
+    cfg.persist = Some(PersistConfig {
+        state_dir: dir.clone(),
+        checkpoint_every: 16,
+        resume: false,
+        crash_at: None,
+    });
+    let out = Simulator::new(world.graph.clone(), cache, &world.scenario, cfg)
+        .with_obs(obs)
+        .run_to_outcome(scheme.as_mut());
+    assert!(matches!(out, RunOutcome::Finished(_)));
+
+    let canonical = canonical.lock().unwrap().clone();
+    let meta = meta.lock().unwrap().clone();
+    assert!(!canonical.contains(r#""ev":"checkpoint""#), "meta leaked into canonical trace");
+    assert!(meta.contains(r#""ev":"checkpoint""#), "meta sink must see checkpoints:\n{meta}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[should_panic(expected = "snapshot was taken under scheme")]
+fn resuming_under_a_different_scheme_refuses() {
+    let mut world = TestWorld::build(SchemeKind::NoSharing);
+    let dir = state_dir("wrong-scheme");
+    let mut cfg = base_cfg(1);
+    cfg.persist = Some(fresh_persist(&dir, 57));
+    let _ = world.run(cfg);
+
+    // Same scenario, different dispatcher: the manifest check must trip.
+    world.kind = SchemeKind::TShare;
+    world.ctx = None;
+    let mut cfg = base_cfg(1);
+    cfg.persist = Some(resume_persist(&dir));
+    let _ = world.run(cfg);
+}

@@ -60,7 +60,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
+        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n                   [--state-dir DIR]   # checkpoint/WAL persistence (crash-consistent restart)\n                   [--checkpoint-every N]      # snapshot cadence in steps (default 256)\n                   [--resume]          # warm-restart from the newest valid checkpoint + WAL\n                   [--crash-at STEP]   # die (exit 42) after STEP steps, for restart testing\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
     );
     std::process::exit(2)
 }
@@ -150,8 +150,35 @@ fn simulate(args: &Args) {
         }
         every
     });
+    let persist = match args.get("state-dir") {
+        Some(dir) => {
+            let mut pc = mt_share::sim::PersistConfig::new(dir);
+            pc.checkpoint_every = args.num("checkpoint-every", pc.checkpoint_every);
+            pc.resume = args.has("resume");
+            if pc.resume {
+                eprintln!("resuming from checkpoint state in {dir}");
+            }
+            pc.crash_at = args.get("crash-at").map(|s| {
+                let step: u64 = s.parse().unwrap_or_else(|_| {
+                    eprintln!("--crash-at must be a step count, got `{s}`");
+                    std::process::exit(2);
+                });
+                mt_share::chaos::CrashPoint::exit_at(step)
+            });
+            Some(pc)
+        }
+        None => {
+            for f in ["checkpoint-every", "resume", "crash-at"] {
+                if args.has(f) {
+                    eprintln!("--{f} requires --state-dir");
+                    std::process::exit(2);
+                }
+            }
+            None
+        }
+    };
     let chaos_on = chaos.is_some();
-    let sim_cfg = SimConfig { parallelism, chaos, validate_every, ..SimConfig::default() };
+    let sim_cfg = SimConfig { parallelism, chaos, validate_every, persist, ..SimConfig::default() };
 
     // Telemetry is collected only when at least one output was asked for.
     let metrics_out = args.get("metrics-out");
@@ -275,9 +302,16 @@ fn trace_cmd(args: &Args) {
     });
     let parsed = parse_trace(std::io::BufReader::new(f)).expect("read trace");
     println!("records  {}", parsed.records.len());
-    println!("errors   {}", parsed.errors.len());
+    println!("errors   {}", parsed.total_errors);
     for (line, msg) in parsed.errors.iter().take(5) {
         println!("  line {line}: {msg}");
+    }
+    if parsed.total_errors > parsed.errors.len() {
+        println!(
+            "  ... ({} more, first {} retained)",
+            parsed.total_errors - 5,
+            parsed.errors.len()
+        );
     }
     let graph = city(args);
     let grid = SpatialGrid::build(&graph, 250.0);

@@ -1,0 +1,100 @@
+//! Full-process crash/restart harness: runs the `mtshare` binary, kills
+//! it with `--crash-at` (hard `exit(42)`, no clean shutdown), restarts
+//! it with `--resume`, and requires the concatenation of the two trace
+//! files to be byte-identical to an uninterrupted run — the same check
+//! the CI crash-restart job performs, kept here so it runs under plain
+//! `cargo test` too.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn mtshare(dir: &Path, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mtshare"))
+        .current_dir(dir)
+        .args([
+            "simulate",
+            "--scheme",
+            "mt-share",
+            "--taxis",
+            "15",
+            "--requests",
+            "150",
+            "--nonpeak",
+            "--chaos-seed",
+            "7",
+            "--validate-every",
+            "120",
+        ])
+        .args(extra)
+        .output()
+        .expect("spawn mtshare")
+}
+
+fn crash_restart_roundtrip(name: &str, par_crash: &str, par_resume: &str) {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("cli-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let full = mtshare(&dir, &["--parallelism", par_crash, "--trace-out", "full.jsonl"]);
+    assert!(full.status.success(), "baseline: {}", String::from_utf8_lossy(&full.stderr));
+
+    let crash = mtshare(
+        &dir,
+        &[
+            "--parallelism",
+            par_crash,
+            "--trace-out",
+            "head.jsonl",
+            "--state-dir",
+            "state",
+            "--checkpoint-every",
+            "25",
+            "--crash-at",
+            "80",
+        ],
+    );
+    assert_eq!(
+        crash.status.code(),
+        Some(42),
+        "planned crash must exit with the crash code: {}",
+        String::from_utf8_lossy(&crash.stderr)
+    );
+
+    let resume = mtshare(
+        &dir,
+        &[
+            "--parallelism",
+            par_resume,
+            "--trace-out",
+            "tail.jsonl",
+            "--state-dir",
+            "state",
+            "--resume",
+        ],
+    );
+    assert!(resume.status.success(), "resume: {}", String::from_utf8_lossy(&resume.stderr));
+
+    let full_trace = std::fs::read(dir.join("full.jsonl")).unwrap();
+    let mut joined = std::fs::read(dir.join("head.jsonl")).unwrap();
+    joined.extend(std::fs::read(dir.join("tail.jsonl")).unwrap());
+    assert!(
+        joined == full_trace,
+        "concatenated crash+resume trace differs from uninterrupted run ({name})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn process_crash_and_restart_sequential() {
+    crash_restart_roundtrip("seq", "1", "1");
+}
+
+#[test]
+fn process_crash_and_restart_parallel() {
+    crash_restart_roundtrip("par", "4", "4");
+}
+
+#[test]
+fn process_crash_parallel_restart_sequential() {
+    crash_restart_roundtrip("cross", "4", "1");
+}
