@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mtshare_core::{MobilityContext, MtShareConfig, PartitionStrategy, SegmentRouter};
 use mtshare_mobility::Trip;
 use mtshare_road::{grid_city, GridCityConfig, NodeId};
-use mtshare_routing::{AStar, Alt, BidirDijkstra, Dijkstra, PathCache};
+use mtshare_routing::{
+    AStar, Alt, BidirDijkstra, ChQuery, ContractionHierarchy, Dijkstra, PathCache,
+};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::sync::Arc;
 
@@ -65,6 +67,18 @@ fn bench_point_to_point(c: &mut Criterion) {
             let (s, t) = pairs[i % pairs.len()];
             i += 1;
             alt.cost(&graph, s, t)
+        })
+    });
+
+    // Contraction hierarchy (preprocessing excluded from timing).
+    let ch = Arc::new(ContractionHierarchy::build(&graph, 4));
+    let mut chq = ChQuery::new(ch);
+    group.bench_function("contraction_hierarchy", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            chq.cost(s, t)
         })
     });
     group.finish();

@@ -5,6 +5,12 @@
 //! the search circle, intersected with the mobility cluster sharing the
 //! request's travel direction, plus vacant taxis in range (Eq. 3), refined
 //! by the three filtering rules (capacity, reachability).
+//!
+//! Selection itself uses only O(1) landmark estimates; the *exact*
+//! candidate-position → pickup costs the downstream scheduling pass needs
+//! are batch-primed into the shared [`mtshare_routing::PathCache`] via the
+//! contraction-hierarchy bucket kernel (see `scheduling::schedule_best`)
+//! when the `ch` router is selected.
 
 use crate::config::MtShareConfig;
 use crate::context::MobilityContext;

@@ -49,6 +49,18 @@ pub fn schedule_best(
     cfg: &MtShareConfig,
     router: &mut SegmentRouter,
 ) -> (Option<Assignment>, usize, usize) {
+    // Under the CH backend, batch every candidate's position→pickup cost
+    // through the bucket many-to-one kernel so the materialization
+    // probes below hit a primed memo (one downward sweep instead of one
+    // search per candidate). The installed values are bit-identical to
+    // per-pair queries, and the call is a no-op under the bidirectional
+    // backend, so dispatch decisions cannot depend on the router.
+    if !candidates.is_empty() {
+        let positions: Vec<NodeId> =
+            candidates.iter().map(|&t| world.taxi(t).position_at(now)).collect();
+        world.cache.prime_many_to_one(&positions, req.origin);
+    }
+
     // Per candidate, the optimal schedule instance via the O(m²) slack DP
     // (identical result to brute-force enumeration; property-tested).
     let mut instances: Vec<Instance> = Vec::with_capacity(candidates.len());

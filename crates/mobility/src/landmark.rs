@@ -17,6 +17,10 @@ pub struct LandmarkGraph {
     adjacency: Vec<Vec<PartitionId>>,
     costs: CostMatrix,
     landmark_of: Vec<NodeId>,
+    /// Matrix row of each partition's landmark. [`CostMatrix::compute`]
+    /// collapses duplicate sources to one row, so when two partitions
+    /// share a landmark vertex they share a row.
+    row_of: Vec<u32>,
 }
 
 impl LandmarkGraph {
@@ -44,7 +48,11 @@ impl LandmarkGraph {
             .collect();
         let landmark_of = partitioning.landmarks().to_vec();
         let costs = CostMatrix::compute(graph, &landmark_of);
-        Self { adjacency, costs, landmark_of }
+        let row_of = landmark_of
+            .iter()
+            .map(|&s| costs.source_index(s).expect("every landmark has a row") as u32)
+            .collect();
+        Self { adjacency, costs, landmark_of, row_of }
     }
 
     /// Number of partitions / landmarks.
@@ -74,26 +82,26 @@ impl LandmarkGraph {
     /// Travel cost between the landmarks of two partitions, seconds.
     #[inline]
     pub fn cost_between(&self, from: PartitionId, to: PartitionId) -> f32 {
-        self.costs.cost_from_idx(from.index(), self.landmark_of[to.index()])
+        self.costs.cost_from_idx(self.row_of[from.index()] as usize, self.landmark_of[to.index()])
     }
 
     /// Travel cost from partition `p`'s landmark to any vertex.
     #[inline]
     pub fn cost_from_landmark(&self, p: PartitionId, v: NodeId) -> f32 {
-        self.costs.cost_from_idx(p.index(), v)
+        self.costs.cost_from_idx(self.row_of[p.index()] as usize, v)
     }
 
     /// Travel cost from any vertex to partition `p`'s landmark.
     #[inline]
     pub fn cost_to_landmark(&self, v: NodeId, p: PartitionId) -> f32 {
-        self.costs.cost_to_idx(v, p.index())
+        self.costs.cost_to_idx(v, self.row_of[p.index()] as usize)
     }
 
     /// Approximate resident memory in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.adjacency.iter().map(|a| a.len() * 2).sum::<usize>()
             + self.costs.memory_bytes()
-            + self.landmark_of.len() * 4
+            + self.landmark_of.len() * 8
     }
 }
 

@@ -52,7 +52,7 @@ use std::time::Instant;
 const MAX_WORKERS: usize = 64;
 
 /// Summary schema identifier, bumped on breaking layout changes.
-pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v3";
+pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v4";
 
 /// Static facts about the run, reported verbatim in the summary.
 #[derive(Debug, Clone, Default)]
@@ -91,6 +91,15 @@ pub struct ExternalStats {
     pub oracle_pin_computes: u64,
     /// Hot-node vectors freed (refcount reached zero).
     pub oracle_evictions: u64,
+    /// Contraction-hierarchy point-to-point queries (0 under the
+    /// bidirectional router).
+    pub ch_p2p_queries: u64,
+    /// Bucket many-to-one sweeps.
+    pub ch_bucket_sweeps: u64,
+    /// Total sources across all bucket sweeps.
+    pub ch_bucket_sources: u64,
+    /// Shortcut edges in the loaded/built hierarchy.
+    pub ch_shortcuts: u64,
 }
 
 /// Deterministic aggregates, updated only from the commit side.
@@ -576,6 +585,11 @@ impl Obs {
             ext.oracle_pin_computes,
             ext.oracle_evictions,
             json::fmt_f64(oracle_ratio)
+        );
+        let _ = write!(
+            s,
+            r#""ch":{{"p2p_queries":{},"bucket_sweeps":{},"bucket_sources":{},"shortcuts":{}}},"#,
+            ext.ch_p2p_queries, ext.ch_bucket_sweeps, ext.ch_bucket_sources, ext.ch_shortcuts
         );
         let workers = run.parallelism.clamp(1, MAX_WORKERS);
         let batched = core.batched_requests.load(Ordering::Relaxed);

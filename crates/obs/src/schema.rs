@@ -290,6 +290,10 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
     for f in ["vector_hits", "memo_hits", "searches", "pin_computes", "evictions", "hit_ratio"] {
         require_num(oracle, "oracle", f)?;
     }
+    let ch = prof.get("ch").ok_or("profiling: missing \"ch\"")?;
+    for f in ["p2p_queries", "bucket_sweeps", "bucket_sources", "shortcuts"] {
+        require_num(ch, "ch", f)?;
+    }
     let workers = prof.get("workers").ok_or("profiling: missing \"workers\"")?;
     require_num(workers, "workers", "batches")?;
     require_num(workers, "workers", "batched_requests")?;

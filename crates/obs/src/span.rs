@@ -15,11 +15,14 @@ pub enum Stage {
     Routing,
     /// Sequential commit (validation + plan install).
     Commit,
+    /// One-off contraction-hierarchy preprocessing (build or artifact
+    /// load) before the simulation starts.
+    PreprocessCh,
 }
 
 impl Stage {
     /// Number of stages (size of per-stage arrays).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// All stages in stable (serialization) order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -28,6 +31,7 @@ impl Stage {
         Stage::InsertionDp,
         Stage::Routing,
         Stage::Commit,
+        Stage::PreprocessCh,
     ];
 
     /// Index into per-stage arrays.
@@ -38,6 +42,7 @@ impl Stage {
             Stage::InsertionDp => 2,
             Stage::Routing => 3,
             Stage::Commit => 4,
+            Stage::PreprocessCh => 5,
         }
     }
 
@@ -49,6 +54,7 @@ impl Stage {
             Stage::InsertionDp => "insertion_dp",
             Stage::Routing => "routing",
             Stage::Commit => "commit",
+            Stage::PreprocessCh => "preprocess_ch",
         }
     }
 }

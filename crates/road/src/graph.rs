@@ -8,6 +8,33 @@
 
 use crate::geo::{BoundingBox, GeoPoint};
 use crate::ids::{EdgeId, NodeId};
+use mtshare_persist::Fnv64;
+
+/// Edge travel costs are quantized to multiples of this step (2⁻⁶ s)
+/// when the CSR arrays are built. Dyadic weights make `f32` addition
+/// *exact* for any path sum below 2¹⁸ s (~3 days), so summation is
+/// associative and every exact engine — unidirectional or bidirectional
+/// Dijkstra, contraction-hierarchy queries whose shortcut weights are
+/// sums of sums — returns bit-identical costs for the same pair. The
+/// determinism contracts of the caches and the trace-equivalence suite
+/// build on this. Costs round *up* so the geometric lower bound used by
+/// A* (distance / max speed) stays admissible.
+pub const COST_QUANTUM_S: f64 = 1.0 / 64.0;
+
+/// Rounds a travel cost in seconds up to the dyadic grid (see
+/// [`COST_QUANTUM_S`]). Values already within one part in 10⁹ of a grid
+/// point snap to it instead of bumping a whole quantum: they are grid
+/// values that picked up float error in upstream arithmetic (e.g. a
+/// speed recovered from an already-quantized cost, as `apply_traffic`
+/// does), and ceiling them would make cost transforms non-idempotent.
+#[inline]
+pub fn quantize_cost_s(cost_s: f64) -> f32 {
+    let steps = cost_s / COST_QUANTUM_S;
+    let snapped = steps.round();
+    let cells =
+        if (steps - snapped).abs() <= snapped.abs() * 1e-9 { snapped } else { steps.ceil() };
+    (cells * COST_QUANTUM_S) as f32
+}
 
 /// Errors raised while assembling a [`RoadNetwork`].
 #[derive(Debug, Clone, PartialEq)]
@@ -130,7 +157,7 @@ impl RoadNetwork {
             let slot = cursor[e.from.index()] as usize;
             cursor[e.from.index()] += 1;
             out_targets[slot] = e.to;
-            out_costs[slot] = e.cost_s() as f32;
+            out_costs[slot] = quantize_cost_s(e.cost_s());
             out_lengths[slot] = e.length_m as f32;
             out_edge_ids[slot] = EdgeId(idx as u32);
             edge_endpoints.push((e.from, e.to));
@@ -151,7 +178,7 @@ impl RoadNetwork {
             let slot = cursor[e.to.index()] as usize;
             cursor[e.to.index()] += 1;
             in_sources[slot] = e.from;
-            in_costs[slot] = e.cost_s() as f32;
+            in_costs[slot] = quantize_cost_s(e.cost_s());
         }
 
         let bbox = BoundingBox::of(&points);
@@ -296,6 +323,25 @@ impl RoadNetwork {
         count
     }
 
+    /// Order-sensitive FNV-1a fingerprint of the routing-relevant CSR
+    /// arrays (topology + quantized costs). Two graphs with the same
+    /// digest answer every shortest-path query identically, so derived
+    /// artifacts (e.g. a persisted contraction hierarchy) key on it to
+    /// detect staleness.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.node_count() as u64);
+        h.write_u64(self.edge_count() as u64);
+        for &o in &self.out_offsets {
+            h.write(&o.to_le_bytes());
+        }
+        for (t, c) in self.out_targets.iter().zip(&self.out_costs) {
+            h.write(&t.0.to_le_bytes());
+            h.write(&c.to_bits().to_le_bytes());
+        }
+        h.digest()
+    }
+
     /// Approximate resident memory of the CSR arrays in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.points.len() * std::mem::size_of::<GeoPoint>()
@@ -400,5 +446,39 @@ mod tests {
     #[test]
     fn memory_estimate_positive() {
         assert!(tiny().memory_bytes() > 0);
+    }
+
+    #[test]
+    fn costs_are_dyadic_and_never_rounded_down() {
+        let g = tiny();
+        for v in g.nodes() {
+            for (_, c) in g.out_edges(v) {
+                let steps = c as f64 / COST_QUANTUM_S;
+                assert_eq!(steps, steps.round(), "cost {c} is off the dyadic grid");
+            }
+        }
+        // Rounding is upward: a cost strictly between grid points lands on
+        // the next one, and exact multiples are unchanged.
+        assert_eq!(quantize_cost_s(24.0), 24.0);
+        assert!(quantize_cost_s(24.001) as f64 >= 24.001);
+        assert_eq!(quantize_cost_s(24.001), 24.015625);
+    }
+
+    #[test]
+    fn digest_is_stable_and_cost_sensitive() {
+        let g = tiny();
+        assert_eq!(g.digest(), tiny().digest());
+        let pts = vec![
+            GeoPoint::new(30.0, 104.0),
+            GeoPoint::new(30.001, 104.0),
+            GeoPoint::new(30.002, 104.0),
+        ];
+        let edges = vec![
+            EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 100.0, speed_kmh: 15.0 },
+            EdgeSpec { from: NodeId(1), to: NodeId(2), length_m: 100.0, speed_kmh: 15.0 },
+            EdgeSpec { from: NodeId(2), to: NodeId(0), length_m: 251.0, speed_kmh: 15.0 },
+        ];
+        let g2 = RoadNetwork::new(pts, &edges).unwrap();
+        assert_ne!(g.digest(), g2.digest(), "cost change must change the digest");
     }
 }

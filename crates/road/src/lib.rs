@@ -23,7 +23,7 @@ pub mod synthetic;
 pub mod traffic;
 
 pub use geo::{direction_cosine, BoundingBox, GeoPoint};
-pub use graph::{EdgeSpec, GraphError, RoadNetwork};
+pub use graph::{quantize_cost_s, EdgeSpec, GraphError, RoadNetwork, COST_QUANTUM_S};
 pub use ids::{EdgeId, NodeId};
 pub use spatial::SpatialGrid;
 pub use synthetic::{grid_city, ring_radial_city, GridCityConfig, RingRadialConfig};

@@ -105,6 +105,15 @@ impl Alt {
         best
     }
 
+    /// The admissible landmark lower bound on `d(source, target)` the
+    /// search would seed with — never exceeds the true shortest-path
+    /// cost (triangle inequality over exact landmark tables). Exposed
+    /// for property tests and coarse feasibility pre-checks.
+    pub fn lower_bound(&mut self, source: NodeId, target: NodeId) -> f64 {
+        self.select_landmarks(source, target);
+        self.h(source, target) as f64
+    }
+
     #[inline]
     fn g(&self, node: NodeId) -> f32 {
         if self.epoch_of[node.index()] == self.epoch {

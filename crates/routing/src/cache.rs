@@ -15,13 +15,54 @@
 //! quantize costs to `f32`, which makes every answer independent of lookup
 //! history and thread interleaving: hit or miss, a query returns the same
 //! canonical value.
+//!
+//! # Pluggable exact backend
+//!
+//! Cost misses are answered by a [`RouterBackend`]: plain bidirectional
+//! Dijkstra (the default) or a preprocessed [`ContractionHierarchy`]. Both
+//! are exact, and because edge costs live on the dyadic grid
+//! (`mtshare_road::COST_QUANTUM_S`) they return *bit-identical* values, so
+//! switching backends can never change simulator behaviour — only speed.
+//! Under the CH backend, [`PathCache::prime_many_to_one`] additionally
+//! batches "K taxi positions → one pickup" probes through the bucket
+//! kernel ([`ChBuckets`]) — one downward sweep instead of K searches.
+//!
+//! Paths always come from bidirectional Dijkstra, regardless of backend:
+//! when several shortest paths tie, CH unpacking and bidirectional search
+//! can legitimately pick different (equal-cost) vertex sequences, and a
+//! different committed route would change taxi trajectories and therefore
+//! trace bytes. Costs are the hot query mix; paths are only materialized
+//! when a schedule commits.
 
 use crate::bidirectional::BidirDijkstra;
+use crate::ch::{ChBuckets, ChQuery, ChStats, ContractionHierarchy};
 use crate::path::Path;
 use mtshare_road::{NodeId, RoadNetwork};
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
+use std::collections::hash_map::Entry;
 use std::sync::Arc;
+
+/// The exact engine a [`PathCache`] uses to answer cost misses.
+#[derive(Debug, Clone, Default)]
+pub enum RouterBackend {
+    /// Bidirectional Dijkstra, no preprocessing (the seed behaviour).
+    #[default]
+    Bidir,
+    /// Preprocessed contraction hierarchy (must be built from — or loaded
+    /// against — the same [`RoadNetwork`] the cache serves).
+    Ch(Arc<ContractionHierarchy>),
+}
+
+impl RouterBackend {
+    /// Stable name for CLI/observability output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterBackend::Bidir => "bidir",
+            RouterBackend::Ch(_) => "ch",
+        }
+    }
+}
 
 /// Number of lock stripes. Power of two so the shard pick is a mask; 16
 /// comfortably exceeds the worker counts the batch dispatcher uses.
@@ -55,6 +96,8 @@ impl CacheStats {
 struct CacheShard {
     costs: FxHashMap<u64, f32>,
     engine: BidirDijkstra,
+    /// CH query scratch when the backend is [`RouterBackend::Ch`].
+    ch: Option<ChQuery>,
     stats: CacheStats,
 }
 
@@ -67,19 +110,59 @@ struct CacheShard {
 pub struct PathCache {
     graph: Arc<RoadNetwork>,
     shards: Arc<[Mutex<CacheShard>; SHARDS]>,
+    hierarchy: Option<Arc<ContractionHierarchy>>,
+    buckets: Option<Arc<Mutex<ChBuckets>>>,
 }
 
 impl PathCache {
-    /// Creates an empty cache over `graph`.
+    /// Creates an empty cache over `graph` with the default
+    /// ([`RouterBackend::Bidir`]) backend.
     pub fn new(graph: Arc<RoadNetwork>) -> Self {
+        Self::with_backend(graph, RouterBackend::Bidir)
+    }
+
+    /// Creates an empty cache over `graph` answering misses with `backend`.
+    pub fn with_backend(graph: Arc<RoadNetwork>, backend: RouterBackend) -> Self {
+        let hierarchy = match &backend {
+            RouterBackend::Bidir => None,
+            RouterBackend::Ch(ch) => {
+                assert_eq!(
+                    ch.graph_digest(),
+                    graph.digest(),
+                    "contraction hierarchy was built for a different graph"
+                );
+                Some(ch.clone())
+            }
+        };
         let shards = std::array::from_fn(|_| {
             Mutex::new(CacheShard {
                 costs: FxHashMap::default(),
                 engine: BidirDijkstra::new(&graph),
+                ch: hierarchy.as_ref().map(|h| ChQuery::new(h.clone())),
                 stats: CacheStats::default(),
             })
         });
-        Self { graph, shards: Arc::new(shards) }
+        let buckets = hierarchy.as_ref().map(|h| Arc::new(Mutex::new(ChBuckets::new(h.clone()))));
+        Self { graph, shards: Arc::new(shards), hierarchy, buckets }
+    }
+
+    /// Name of the active backend (`"bidir"` or `"ch"`).
+    pub fn backend_name(&self) -> &'static str {
+        if self.hierarchy.is_some() {
+            "ch"
+        } else {
+            "bidir"
+        }
+    }
+
+    /// The shared hierarchy when the backend is [`RouterBackend::Ch`].
+    pub fn hierarchy(&self) -> Option<&Arc<ContractionHierarchy>> {
+        self.hierarchy.as_ref()
+    }
+
+    /// CH query/bucket counters, when the backend is [`RouterBackend::Ch`].
+    pub fn ch_stats(&self) -> Option<ChStats> {
+        self.hierarchy.as_ref().map(|h| h.stats())
     }
 
     /// The underlying road network.
@@ -114,9 +197,49 @@ impl PathCache {
             return c.is_finite().then_some(c as f64);
         }
         shard.stats.misses += 1;
-        let cost = shard.engine.cost(&self.graph, a, b);
+        let cost = match shard.ch.as_mut() {
+            Some(q) => q.cost(a, b),
+            None => shard.engine.cost(&self.graph, a, b),
+        };
         shard.costs.insert(key, cost.map_or(f32::INFINITY, |c| c as f32));
         cost
+    }
+
+    /// Batch-primes the memo with the costs from every `source` to
+    /// `target` using the bucket many-to-one kernel — one downward sweep
+    /// instead of one search per source. No-op (returns 0) under the
+    /// bidirectional backend, where there is nothing cheaper than the
+    /// per-pair search the memo already does; the values installed are
+    /// bit-identical to what per-pair queries would produce, so callers
+    /// never observe which path filled the memo. Returns the number of
+    /// pairs computed (already-memoized pairs are skipped).
+    pub fn prime_many_to_one(&self, sources: &[NodeId], target: NodeId) -> usize {
+        let Some(buckets) = &self.buckets else {
+            return 0;
+        };
+        let mut missing: Vec<NodeId> = Vec::with_capacity(sources.len());
+        for &s in sources {
+            if s == target {
+                continue;
+            }
+            if !self.shard(s).lock().costs.contains_key(&Self::key(s, target)) {
+                missing.push(s);
+            }
+        }
+        missing.sort_unstable();
+        missing.dedup();
+        if missing.is_empty() {
+            return 0;
+        }
+        let costs = buckets.lock().many_to_one(&missing, target);
+        for (&s, c) in missing.iter().zip(&costs) {
+            let mut shard = self.shard(s).lock();
+            if let Entry::Vacant(slot) = shard.costs.entry(Self::key(s, target)) {
+                slot.insert(c.map_or(f32::INFINITY, |c| c as f32));
+                shard.stats.misses += 1;
+            }
+        }
+        missing.len()
     }
 
     /// Shortest path from `a` to `b` (computed fresh; its cost is memoized).
@@ -286,6 +409,44 @@ mod tests {
         assert!((got - want).abs() < 1e-2);
         // Trimming to a generous bound evicts nothing.
         assert_eq!(c.trim_to(1 << 20), 0);
+    }
+
+    #[test]
+    fn ch_backend_returns_bit_identical_costs_and_primes_the_memo() {
+        let g = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let ch = Arc::new(crate::ch::ContractionHierarchy::build(&g, 2));
+        let bidir = PathCache::new(g.clone());
+        let cached = PathCache::with_backend(g.clone(), RouterBackend::Ch(ch));
+        assert_eq!(bidir.backend_name(), "bidir");
+        assert_eq!(cached.backend_name(), "ch");
+        assert!(cached.hierarchy().is_some());
+
+        // Bucket priming installs exactly the values per-pair queries find.
+        let sources: Vec<NodeId> = (0..32).map(|i| NodeId(i * 7 % 400)).collect();
+        let target = NodeId(399);
+        let computed = cached.prime_many_to_one(&sources, target);
+        assert!(computed > 0);
+        // `bidir` never primes: the bucket kernel needs a hierarchy.
+        assert_eq!(bidir.prime_many_to_one(&sources, target), 0);
+        for &s in &sources {
+            assert_eq!(cached.cost(s, target), bidir.cost(s, target), "{s}");
+        }
+        // Every probe above hit the primed memo (sources are distinct and
+        // none equals the target, so all 32 were bucket-computed).
+        assert_eq!(computed, sources.len());
+        let st = cached.stats();
+        assert_eq!(st.hits as usize, sources.len());
+        let ch_stats = cached.ch_stats().unwrap();
+        assert_eq!(ch_stats.bucket_sweeps, 1);
+        // Re-priming the same batch computes nothing new.
+        assert_eq!(cached.prime_many_to_one(&sources, target), 0);
+        assert_eq!(cached.ch_stats().unwrap().bucket_sweeps, 1);
+
+        // Plain cost misses route through the CH query path.
+        assert_eq!(cached.cost(NodeId(1), NodeId(398)), bidir.cost(NodeId(1), NodeId(398)));
+        assert!(cached.ch_stats().unwrap().p2p_queries > 0);
+        // Paths still come from the canonical bidirectional engine.
+        assert_eq!(cached.path(NodeId(1), NodeId(398)), bidir.path(NodeId(1), NodeId(398)));
     }
 
     #[test]

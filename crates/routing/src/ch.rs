@@ -1,0 +1,1148 @@
+//! Contraction hierarchies: preprocessed exact routing (Geisberger et al.).
+//!
+//! Preprocessing contracts vertices one by one in increasing "importance",
+//! inserting shortcut edges that preserve all shortest-path costs among the
+//! not-yet-contracted rest. A point-to-point query is then a pair of tiny
+//! Dijkstra searches that only ever relax edges toward *more* important
+//! vertices: forward from the source over the upward graph, backward from
+//! the target over the downward graph, joined at the best meeting vertex.
+//! On city grids this settles a few hundred vertices where bidirectional
+//! Dijkstra settles tens of thousands.
+//!
+//! # Node ordering
+//!
+//! Lazy edge-difference ordering: a vertex's key is dominated by the
+//! number of shortcuts its contraction inserts minus the edges it removes,
+//! tie-broken by the shortcut/removed quotient, the unpacked hop count of
+//! the needed shortcuts, and the number of already-contracted neighbours
+//! (uniformity). Keys are recomputed lazily on pop; the final order is a
+//! pure function of the graph. The initial key sweep — one witness-search
+//! simulation per vertex, read-only — is parallelized over `mtshare-par`
+//! workers; results are identical at any worker count.
+//!
+//! # Exactness
+//!
+//! Shortcut weights are `f32` sums of `f32` edge weights. Because
+//! [`RoadNetwork`] quantizes every edge cost to the dyadic grid
+//! (`mtshare_road::COST_QUANTUM_S`), those sums are *exact*, so a CH query
+//! returns bit-identical costs to plain Dijkstra — asserted with `==` in
+//! the equivalence suite, no tolerance.
+//!
+//! # Persistence
+//!
+//! The preprocessed hierarchy serializes into a CRC-framed
+//! `mtshare-persist` snapshot keyed by [`RoadNetwork::digest`], so warm
+//! restarts and repeat benchmarks skip preprocessing; a digest mismatch or
+//! a corrupt frame triggers a rebuild instead of trusting a stale file.
+
+use crate::dijkstra::HeapEntry;
+use crate::path::Path;
+use mtshare_persist::{read_snapshot, write_snapshot, Decoder, Encoder, PersistError};
+use mtshare_road::{NodeId, RoadNetwork};
+use rustc_hash::FxHashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// `via` marker for original (non-shortcut) edges.
+const NO_VIA: u32 = u32::MAX;
+
+/// Witness searches stop after settling this many vertices; an undetected
+/// witness only costs a redundant shortcut, never correctness. The budget
+/// trades preprocessing time for hierarchy sparsity (and thus query
+/// speed); 4096 keeps grid hierarchies close to witness-complete (the
+/// through-cost cap bounds the search long before the settle limit on
+/// low-rank contractions, so the budget mostly matters near the top).
+const WITNESS_SETTLE_LIMIT: usize = 4096;
+
+/// Inner payload tag of the persisted artifact.
+const ARTIFACT_TAG: &[u8; 4] = b"MTCH";
+
+/// Inner payload version of the persisted artifact.
+const ARTIFACT_VERSION: u32 = 1;
+
+/// Query counters of a [`ContractionHierarchy`] (profiling only — they are
+/// excluded from determinism comparisons like every other wall-clock or
+/// scheduling-dependent statistic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChStats {
+    /// Point-to-point searches answered.
+    pub p2p_queries: u64,
+    /// Bucket many-to-one sweeps performed.
+    pub bucket_sweeps: u64,
+    /// Total sources across all bucket sweeps.
+    pub bucket_sources: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicChStats {
+    p2p_queries: AtomicU64,
+    bucket_sweeps: AtomicU64,
+    bucket_sources: AtomicU64,
+}
+
+/// One edge of the preprocessing overlay graph.
+#[derive(Debug, Clone, Copy)]
+struct OverlayEdge {
+    node: u32,
+    w: f32,
+    via: u32,
+    hops: u32,
+}
+
+/// A shortcut `(from, to)` scheduled by a contraction simulation.
+struct Shortcut {
+    from: u32,
+    to: u32,
+    w: f32,
+    hops: u32,
+}
+
+/// The preprocessed hierarchy: ranks plus upward/downward search graphs in
+/// CSR form. Immutable after construction; share it with `Arc`.
+#[derive(Debug)]
+pub struct ContractionHierarchy {
+    graph_digest: u64,
+    /// Contraction order per vertex (0 = contracted first = least
+    /// important).
+    rank: Vec<u32>,
+    // Upward graph: original-direction edges u -> v with rank[v] > rank[u].
+    up_offsets: Vec<u32>,
+    up_targets: Vec<u32>,
+    up_weights: Vec<f32>,
+    up_via: Vec<u32>,
+    // Downward graph, indexed by the *lower* endpoint v: incoming edges
+    // u -> v with rank[u] > rank[v] (the backward search relaxes these).
+    down_offsets: Vec<u32>,
+    down_sources: Vec<u32>,
+    down_weights: Vec<f32>,
+    down_via: Vec<u32>,
+    shortcuts: u64,
+    stats: AtomicChStats,
+}
+
+/// Scratch state of one bounded witness search.
+#[derive(Default)]
+struct WitnessScratch {
+    dist: FxHashMap<u32, f32>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+/// Mutable preprocessing state: the overlay graph of uncontracted
+/// vertices.
+struct Builder {
+    fwd: Vec<Vec<OverlayEdge>>,
+    bwd: Vec<Vec<OverlayEdge>>,
+    deleted_neighbors: Vec<u32>,
+}
+
+impl Builder {
+    fn new(graph: &RoadNetwork) -> Self {
+        let n = graph.node_count();
+        let mut fwd: Vec<Vec<OverlayEdge>> = vec![Vec::new(); n];
+        let mut bwd: Vec<Vec<OverlayEdge>> = vec![Vec::new(); n];
+        // Parallel edges collapse to their minimum: only the cheapest can
+        // carry a shortest path, and one entry per neighbour keeps the
+        // upsert logic linear.
+        for u in graph.nodes() {
+            let mut best: FxHashMap<u32, f32> = FxHashMap::default();
+            for (v, w) in graph.out_edges(u) {
+                if v == u {
+                    continue;
+                }
+                let e = best.entry(v.0).or_insert(f32::INFINITY);
+                if w < *e {
+                    *e = w;
+                }
+            }
+            let mut edges: Vec<(u32, f32)> = best.into_iter().collect();
+            edges.sort_by_key(|&(v, _)| v);
+            for (v, w) in edges {
+                fwd[u.index()].push(OverlayEdge { node: v, w, via: NO_VIA, hops: 1 });
+                bwd[v as usize].push(OverlayEdge { node: u.0, w, via: NO_VIA, hops: 1 });
+            }
+        }
+        Self { fwd, bwd, deleted_neighbors: vec![0; n] }
+    }
+
+    /// Bounded Dijkstra from `from` on the overlay, skipping `avoid`,
+    /// pruned at `cap`. Populates `scratch.dist`.
+    fn witness_search(&self, from: u32, avoid: u32, cap: f32, scratch: &mut WitnessScratch) {
+        scratch.dist.clear();
+        scratch.heap.clear();
+        scratch.dist.insert(from, 0.0);
+        scratch.heap.push(Reverse(HeapEntry { cost: 0.0, node: NodeId(from) }));
+        let mut settled = 0usize;
+        while let Some(Reverse(HeapEntry { cost, node })) = scratch.heap.pop() {
+            if cost > scratch.dist.get(&node.0).copied().unwrap_or(f32::INFINITY) {
+                continue;
+            }
+            if cost > cap {
+                break;
+            }
+            settled += 1;
+            if settled > WITNESS_SETTLE_LIMIT {
+                break;
+            }
+            for e in &self.fwd[node.index()] {
+                if e.node == avoid {
+                    continue;
+                }
+                let nc = cost + e.w;
+                if nc <= cap && nc < scratch.dist.get(&e.node).copied().unwrap_or(f32::INFINITY) {
+                    scratch.dist.insert(e.node, nc);
+                    scratch.heap.push(Reverse(HeapEntry { cost: nc, node: NodeId(e.node) }));
+                }
+            }
+        }
+    }
+
+    /// Simulates contracting `v`: the shortcuts that must be inserted and
+    /// the number of overlay edges removed.
+    fn shortcuts_for(&self, v: u32, scratch: &mut WitnessScratch) -> (Vec<Shortcut>, usize) {
+        let ins = &self.bwd[v as usize];
+        let outs = &self.fwd[v as usize];
+        let removed = ins.len() + outs.len();
+        if ins.is_empty() || outs.is_empty() {
+            return (Vec::new(), removed);
+        }
+        let mut shortcuts = Vec::new();
+        for ein in ins {
+            let cap = outs
+                .iter()
+                .filter(|e| e.node != ein.node)
+                .map(|e| ein.w + e.w)
+                .fold(0.0f32, f32::max);
+            self.witness_search(ein.node, v, cap, scratch);
+            for eout in outs {
+                if eout.node == ein.node {
+                    continue;
+                }
+                let through = ein.w + eout.w;
+                let witness = scratch.dist.get(&eout.node).copied().unwrap_or(f32::INFINITY);
+                if witness > through {
+                    shortcuts.push(Shortcut {
+                        from: ein.node,
+                        to: eout.node,
+                        w: through,
+                        hops: ein.hops + eout.hops,
+                    });
+                }
+            }
+        }
+        (shortcuts, removed)
+    }
+
+    /// Ordering key of `v` (smaller contracts earlier): edge difference,
+    /// then the shortcut/removed quotient, unpacked hop volume, and
+    /// contracted-neighbour count as tie-breaks. Node id breaks exact
+    /// ties in the heap ordering.
+    fn key(&self, v: u32, scratch: &mut WitnessScratch) -> f32 {
+        let (shortcuts, removed) = self.shortcuts_for(v, scratch);
+        let added = shortcuts.len() as f32;
+        let removed_f = removed.max(1) as f32;
+        let hops: u32 = shortcuts.iter().map(|s| s.hops).sum();
+        4.0 * (added - removed as f32)
+            + added / removed_f
+            + 0.25 * hops as f32
+            + self.deleted_neighbors[v as usize] as f32
+    }
+
+    /// Applies the contraction of `v`: removes it from the overlay and
+    /// inserts `shortcuts`.
+    fn contract(&mut self, v: u32, shortcuts: Vec<Shortcut>) {
+        let ins = std::mem::take(&mut self.bwd[v as usize]);
+        let outs = std::mem::take(&mut self.fwd[v as usize]);
+        for e in &ins {
+            self.fwd[e.node as usize].retain(|x| x.node != v);
+            self.deleted_neighbors[e.node as usize] += 1;
+        }
+        for e in &outs {
+            self.bwd[e.node as usize].retain(|x| x.node != v);
+            self.deleted_neighbors[e.node as usize] += 1;
+        }
+        for s in shortcuts {
+            upsert(&mut self.fwd[s.from as usize], s.to, s.w, v, s.hops);
+            upsert(&mut self.bwd[s.to as usize], s.from, s.w, v, s.hops);
+        }
+        // Keep the removed adjacency for the CSR build.
+        self.bwd[v as usize] = ins;
+        self.fwd[v as usize] = outs;
+    }
+}
+
+/// Inserts or min-replaces the overlay edge toward `node`.
+fn upsert(adj: &mut Vec<OverlayEdge>, node: u32, w: f32, via: u32, hops: u32) {
+    if let Some(e) = adj.iter_mut().find(|e| e.node == node) {
+        if w < e.w {
+            e.w = w;
+            e.via = via;
+            e.hops = hops;
+        }
+    } else {
+        adj.push(OverlayEdge { node, w, via, hops });
+    }
+}
+
+impl ContractionHierarchy {
+    /// Preprocesses `graph` into a hierarchy. `workers` parallelizes the
+    /// initial key sweep (the result is identical at any worker count).
+    pub fn build(graph: &RoadNetwork, workers: usize) -> Self {
+        let n = graph.node_count();
+        let mut builder = Builder::new(graph);
+        let original_edges: u64 = builder.fwd.iter().map(|a| a.len() as u64).sum();
+
+        // Initial keys: one independent, read-only simulation per vertex.
+        let mut states: Vec<WitnessScratch> =
+            (0..workers.max(1)).map(|_| WitnessScratch::default()).collect();
+        let keys = {
+            let b = &builder;
+            mtshare_par::par_map_with(&mut states, n, |i, scratch| b.key(i as u32, scratch))
+        };
+        let mut heap: BinaryHeap<Reverse<HeapEntry>> =
+            (0..n).map(|i| Reverse(HeapEntry { cost: keys[i], node: NodeId(i as u32) })).collect();
+
+        let mut scratch = WitnessScratch::default();
+        let mut rank = vec![0u32; n];
+        let mut contracted = vec![false; n];
+        let mut next_rank = 0u32;
+        while let Some(Reverse(HeapEntry { node, .. })) = heap.pop() {
+            let v = node.0;
+            if contracted[v as usize] {
+                continue;
+            }
+            // Lazy re-evaluation: the neighbourhood may have changed since
+            // this key was pushed.
+            let fresh = builder.key(v, &mut scratch);
+            if let Some(Reverse(top)) = heap.peek() {
+                let top_key = HeapEntry { cost: fresh, node };
+                if *top < top_key {
+                    heap.push(Reverse(top_key));
+                    continue;
+                }
+            }
+            let (shortcuts, _) = builder.shortcuts_for(v, &mut scratch);
+            builder.contract(v, shortcuts);
+            rank[v as usize] = next_rank;
+            contracted[v as usize] = true;
+            next_rank += 1;
+        }
+
+        // CSR assembly: at contraction time every remaining neighbour of a
+        // vertex outranks it, so its frozen adjacency is exactly its
+        // upward (out) and downward (in) star. Sorted by neighbour id for
+        // a canonical byte layout.
+        let mut up_offsets = Vec::with_capacity(n + 1);
+        let mut up_targets = Vec::new();
+        let mut up_weights = Vec::new();
+        let mut up_via = Vec::new();
+        let mut down_offsets = Vec::with_capacity(n + 1);
+        let mut down_sources = Vec::new();
+        let mut down_weights = Vec::new();
+        let mut down_via = Vec::new();
+        up_offsets.push(0u32);
+        down_offsets.push(0u32);
+        for v in 0..n {
+            let mut ups = std::mem::take(&mut builder.fwd[v]);
+            ups.sort_by_key(|e| e.node);
+            for e in ups {
+                up_targets.push(e.node);
+                up_weights.push(e.w);
+                up_via.push(e.via);
+            }
+            up_offsets.push(up_targets.len() as u32);
+            let mut downs = std::mem::take(&mut builder.bwd[v]);
+            downs.sort_by_key(|e| e.node);
+            for e in downs {
+                down_sources.push(e.node);
+                down_weights.push(e.w);
+                down_via.push(e.via);
+            }
+            down_offsets.push(down_sources.len() as u32);
+        }
+        let total_edges = up_targets.len() as u64;
+        Self {
+            graph_digest: graph.digest(),
+            rank,
+            up_offsets,
+            up_targets,
+            up_weights,
+            up_via,
+            down_offsets,
+            down_sources,
+            down_weights,
+            down_via,
+            shortcuts: total_edges.saturating_sub(original_edges),
+            stats: AtomicChStats::default(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Number of shortcut edges the preprocessing inserted.
+    #[inline]
+    pub fn shortcut_count(&self) -> u64 {
+        self.shortcuts
+    }
+
+    /// Digest of the road network this hierarchy was built from.
+    #[inline]
+    pub fn graph_digest(&self) -> u64 {
+        self.graph_digest
+    }
+
+    /// Snapshot of the query counters.
+    pub fn stats(&self) -> ChStats {
+        ChStats {
+            p2p_queries: self.stats.p2p_queries.load(Relaxed),
+            bucket_sweeps: self.stats.bucket_sweeps.load(Relaxed),
+            bucket_sources: self.stats.bucket_sources.load(Relaxed),
+        }
+    }
+
+    /// Approximate resident memory of the search graphs in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.rank.len() * 4
+            + (self.up_offsets.len() + self.down_offsets.len()) * 4
+            + self.up_targets.len() * 12
+            + self.down_sources.len() * 12
+    }
+
+    #[inline]
+    fn up_range(&self, v: u32) -> std::ops::Range<usize> {
+        self.up_offsets[v as usize] as usize..self.up_offsets[v as usize + 1] as usize
+    }
+
+    #[inline]
+    fn down_range(&self, v: u32) -> std::ops::Range<usize> {
+        self.down_offsets[v as usize] as usize..self.down_offsets[v as usize + 1] as usize
+    }
+
+    /// `via` of the hierarchy edge `source -> lower` (a downward edge of
+    /// `lower`). Panics if absent: unpacking only asks for edges the
+    /// preprocessing inserted.
+    fn down_via_of(&self, lower: u32, source: u32) -> u32 {
+        let r = self.down_range(lower);
+        let i = self.down_sources[r.clone()]
+            .iter()
+            .position(|&s| s == source)
+            .expect("constituent downward edge exists");
+        self.down_via[r.start + i]
+    }
+
+    /// `via` of the hierarchy edge `lower -> target` (an upward edge of
+    /// `lower`).
+    fn up_via_of(&self, lower: u32, target: u32) -> u32 {
+        let r = self.up_range(lower);
+        let i = self.up_targets[r.clone()]
+            .iter()
+            .position(|&t| t == target)
+            .expect("constituent upward edge exists");
+        self.up_via[r.start + i]
+    }
+
+    /// Appends the original vertices of hierarchy edge `u -> v` (strictly
+    /// after `u`, through `v`) to `out`, expanding shortcuts recursively.
+    fn unpack_append(&self, u: u32, v: u32, via: u32, out: &mut Vec<NodeId>) {
+        if via == NO_VIA {
+            out.push(NodeId(v));
+            return;
+        }
+        // u -> via descends in rank, via -> v ascends; both live in the
+        // adjacency of the contracted middle vertex.
+        self.unpack_append(u, via, self.down_via_of(via, u), out);
+        self.unpack_append(via, v, self.up_via_of(via, v), out);
+    }
+
+    // ---- persistence ----------------------------------------------------
+
+    /// Serializes the hierarchy into a CRC-framed snapshot at `path`.
+    /// Returns the file size in bytes.
+    pub fn save(&self, path: &std::path::Path) -> Result<u64, PersistError> {
+        let mut enc = Encoder::new();
+        enc.bytes(ARTIFACT_TAG);
+        enc.u32(ARTIFACT_VERSION);
+        enc.u64(self.graph_digest);
+        enc.u32(self.rank.len() as u32);
+        for chunk in [&self.rank, &self.up_offsets, &self.up_targets, &self.up_via] {
+            enc.u64(chunk.len() as u64);
+            for &x in chunk.iter() {
+                enc.u32(x);
+            }
+        }
+        enc.u64(self.up_weights.len() as u64);
+        for &w in &self.up_weights {
+            enc.u32(w.to_bits());
+        }
+        for chunk in [&self.down_offsets, &self.down_sources, &self.down_via] {
+            enc.u64(chunk.len() as u64);
+            for &x in chunk.iter() {
+                enc.u32(x);
+            }
+        }
+        enc.u64(self.down_weights.len() as u64);
+        for &w in &self.down_weights {
+            enc.u32(w.to_bits());
+        }
+        enc.u64(self.shortcuts);
+        write_snapshot(path, &enc.into_bytes())
+    }
+
+    /// Loads a hierarchy from `path`, validating the CRC frame and that it
+    /// was built from exactly this `graph` (digest match).
+    pub fn load(path: &std::path::Path, graph: &RoadNetwork) -> Result<Self, PersistError> {
+        let payload = read_snapshot(path)?;
+        let mut dec = Decoder::new(&payload);
+        if dec.bytes()? != ARTIFACT_TAG {
+            return Err(PersistError::Corrupt(format!(
+                "{}: not a contraction-hierarchy artifact",
+                path.display()
+            )));
+        }
+        let version = dec.u32()?;
+        if version != ARTIFACT_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                found: version,
+                expected: ARTIFACT_VERSION,
+            });
+        }
+        let digest = dec.u64()?;
+        if digest != graph.digest() {
+            return Err(PersistError::Mismatch(format!(
+                "{}: built for graph {digest:#018x}, current graph is {:#018x}",
+                path.display(),
+                graph.digest()
+            )));
+        }
+        let n = dec.u32()? as usize;
+        if n != graph.node_count() {
+            return Err(PersistError::Mismatch(format!(
+                "{}: {n} vertices, graph has {}",
+                path.display(),
+                graph.node_count()
+            )));
+        }
+        fn read_u32s(dec: &mut Decoder<'_>) -> Result<Vec<u32>, PersistError> {
+            let len = dec.u64()? as usize;
+            let mut v = Vec::with_capacity(len.min(1 << 24));
+            for _ in 0..len {
+                v.push(dec.u32()?);
+            }
+            Ok(v)
+        }
+        let rank = read_u32s(&mut dec)?;
+        let up_offsets = read_u32s(&mut dec)?;
+        let up_targets = read_u32s(&mut dec)?;
+        let up_via = read_u32s(&mut dec)?;
+        let up_weights: Vec<f32> = read_u32s(&mut dec)?.into_iter().map(f32::from_bits).collect();
+        let down_offsets = read_u32s(&mut dec)?;
+        let down_sources = read_u32s(&mut dec)?;
+        let down_via = read_u32s(&mut dec)?;
+        let down_weights: Vec<f32> = read_u32s(&mut dec)?.into_iter().map(f32::from_bits).collect();
+        let shortcuts = dec.u64()?;
+        if rank.len() != n || up_offsets.len() != n + 1 || down_offsets.len() != n + 1 {
+            return Err(PersistError::Corrupt(format!(
+                "{}: inconsistent array arities",
+                path.display()
+            )));
+        }
+        Ok(Self {
+            graph_digest: digest,
+            rank,
+            up_offsets,
+            up_targets,
+            up_weights,
+            up_via,
+            down_offsets,
+            down_sources,
+            down_weights,
+            down_via,
+            shortcuts,
+            stats: AtomicChStats::default(),
+        })
+    }
+
+    /// Loads the artifact at `path` if it is valid for `graph`, otherwise
+    /// rebuilds from scratch and (best-effort) rewrites the artifact.
+    /// Returns the hierarchy and whether it was rebuilt.
+    pub fn load_or_build(
+        path: &std::path::Path,
+        graph: &RoadNetwork,
+        workers: usize,
+    ) -> (Self, bool) {
+        match Self::load(path, graph) {
+            Ok(ch) => (ch, false),
+            Err(_) => {
+                let ch = Self::build(graph, workers);
+                let _ = ch.save(path);
+                (ch, true)
+            }
+        }
+    }
+}
+
+/// Reusable point-to-point query state over a shared hierarchy.
+#[derive(Debug)]
+pub struct ChQuery {
+    ch: Arc<ContractionHierarchy>,
+    dist_f: Vec<f32>,
+    dist_b: Vec<f32>,
+    parent_f: Vec<u32>,
+    parent_b: Vec<u32>,
+    via_f: Vec<u32>,
+    via_b: Vec<u32>,
+    epoch_of_f: Vec<u32>,
+    epoch_of_b: Vec<u32>,
+    epoch: u32,
+    heap_f: BinaryHeap<Reverse<HeapEntry>>,
+    heap_b: BinaryHeap<Reverse<HeapEntry>>,
+    settled_f: Vec<u32>,
+    settled_b: Vec<u32>,
+}
+
+impl ChQuery {
+    /// Creates query scratch sized for `ch`.
+    pub fn new(ch: Arc<ContractionHierarchy>) -> Self {
+        let n = ch.node_count();
+        Self {
+            ch,
+            dist_f: vec![f32::INFINITY; n],
+            dist_b: vec![f32::INFINITY; n],
+            parent_f: vec![NO_VIA; n],
+            parent_b: vec![NO_VIA; n],
+            via_f: vec![NO_VIA; n],
+            via_b: vec![NO_VIA; n],
+            epoch_of_f: vec![0; n],
+            epoch_of_b: vec![0; n],
+            epoch: 0,
+            heap_f: BinaryHeap::new(),
+            heap_b: BinaryHeap::new(),
+            settled_f: Vec::new(),
+            settled_b: Vec::new(),
+        }
+    }
+
+    /// The shared hierarchy.
+    #[inline]
+    pub fn hierarchy(&self) -> &Arc<ContractionHierarchy> {
+        &self.ch
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.epoch_of_f.iter_mut().for_each(|e| *e = 0);
+            self.epoch_of_b.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+        self.settled_f.clear();
+        self.settled_b.clear();
+    }
+
+    #[inline]
+    fn dist(&self, forward: bool, v: u32) -> f32 {
+        let (epochs, dist) = if forward {
+            (&self.epoch_of_f, &self.dist_f)
+        } else {
+            (&self.epoch_of_b, &self.dist_b)
+        };
+        if epochs[v as usize] == self.epoch {
+            dist[v as usize]
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// One settle step of the `forward` (up-graph) or backward (down-graph)
+    /// search, with stall-on-demand and μ-pruning: relaxations that cannot
+    /// beat the best meeting cost found so far are skipped entirely.
+    fn step(&mut self, forward: bool, best: &mut f32, meet: &mut u32) {
+        let popped = if forward { self.heap_f.pop() } else { self.heap_b.pop() };
+        let Some(Reverse(HeapEntry { cost, node })) = popped else { return };
+        let v = node.0;
+        if cost > self.dist(forward, v) {
+            return;
+        }
+        // Stall-on-demand: a strictly cheaper entry via an edge from a
+        // higher-ranked vertex proves v is off every shortest up-down
+        // path through this direction.
+        let stalled = if forward {
+            let r = self.ch.down_range(v);
+            self.ch.down_sources[r.clone()]
+                .iter()
+                .zip(&self.ch.down_weights[r])
+                .any(|(&u, &w)| self.dist(true, u) + w < cost)
+        } else {
+            let r = self.ch.up_range(v);
+            self.ch.up_targets[r.clone()]
+                .iter()
+                .zip(&self.ch.up_weights[r])
+                .any(|(&u, &w)| self.dist(false, u) + w < cost)
+        };
+        if stalled {
+            return;
+        }
+        // Meeting update on settle. The smallest-id tie-break keeps the
+        // chosen meet (and hence the unpacked path) a pure function of the
+        // hierarchy, independent of heap internals.
+        let other = self.dist(!forward, v);
+        if other.is_finite() {
+            let cand = cost + other;
+            if cand < *best || (cand == *best && v < *meet) {
+                *best = cand;
+                *meet = v;
+            }
+        }
+        if forward {
+            self.settled_f.push(v);
+            let r = self.ch.up_range(v);
+            for i in r {
+                let t = self.ch.up_targets[i];
+                let nc = cost + self.ch.up_weights[i];
+                // nc ≥ μ ⇒ any meet through t costs ≥ μ: prune the push.
+                if nc < self.dist(true, t) && nc < *best {
+                    self.epoch_of_f[t as usize] = self.epoch;
+                    self.dist_f[t as usize] = nc;
+                    self.parent_f[t as usize] = v;
+                    self.via_f[t as usize] = self.ch.up_via[i];
+                    self.heap_f.push(Reverse(HeapEntry { cost: nc, node: NodeId(t) }));
+                }
+            }
+        } else {
+            self.settled_b.push(v);
+            let r = self.ch.down_range(v);
+            for i in r {
+                let s = self.ch.down_sources[i];
+                let nc = cost + self.ch.down_weights[i];
+                if nc < self.dist(false, s) && nc < *best {
+                    self.epoch_of_b[s as usize] = self.epoch;
+                    self.dist_b[s as usize] = nc;
+                    self.parent_b[s as usize] = v;
+                    self.via_b[s as usize] = self.ch.down_via[i];
+                    self.heap_b.push(Reverse(HeapEntry { cost: nc, node: NodeId(s) }));
+                }
+            }
+        }
+    }
+
+    /// Runs the two upward searches interleaved (cheaper frontier first)
+    /// and joins them online, returning `(cost, meet)`. Unlike plain
+    /// bidirectional Dijkstra a CH search cannot stop at the first meeting
+    /// vertex, but each direction *can* stop once its heap minimum reaches
+    /// the best meeting cost μ — no later settle can improve on μ.
+    fn search(&mut self, source: NodeId, target: NodeId) -> Option<(f32, u32)> {
+        self.ch.stats.p2p_queries.fetch_add(1, Relaxed);
+        if source == target {
+            return Some((0.0, source.0));
+        }
+        self.begin();
+        self.heap_f.clear();
+        self.heap_b.clear();
+        self.epoch_of_f[source.index()] = self.epoch;
+        self.dist_f[source.index()] = 0.0;
+        self.parent_f[source.index()] = source.0;
+        self.heap_f.push(Reverse(HeapEntry { cost: 0.0, node: source }));
+        self.epoch_of_b[target.index()] = self.epoch;
+        self.dist_b[target.index()] = 0.0;
+        self.parent_b[target.index()] = target.0;
+        self.heap_b.push(Reverse(HeapEntry { cost: 0.0, node: target }));
+
+        let mut best = f32::INFINITY;
+        let mut meet = NO_VIA;
+        loop {
+            let f_top = self.heap_f.peek().map(|e| e.0.cost);
+            let b_top = self.heap_b.peek().map(|e| e.0.cost);
+            let f_live = f_top.is_some_and(|c| c < best);
+            let b_live = b_top.is_some_and(|c| c < best);
+            let forward = match (f_live, b_live) {
+                (false, false) => break,
+                (true, false) => true,
+                (false, true) => false,
+                // Both live: advance the cheaper frontier, forward on ties.
+                (true, true) => f_top <= b_top,
+            };
+            self.step(forward, &mut best, &mut meet);
+        }
+        (meet != NO_VIA).then_some((best, meet))
+    }
+
+    /// Exact shortest-path cost, or `None` when unreachable. Bit-identical
+    /// to Dijkstra on the same [`RoadNetwork`].
+    pub fn cost(&mut self, source: NodeId, target: NodeId) -> Option<f64> {
+        self.search(source, target).map(|(c, _)| c as f64)
+    }
+
+    /// Exact shortest path with shortcuts unpacked to original vertices.
+    pub fn path(&mut self, source: NodeId, target: NodeId) -> Option<Path> {
+        let (cost, meet) = self.search(source, target)?;
+        if source == target {
+            return Some(Path::trivial(source));
+        }
+        // Upward half: source .. meet (hops recorded child-to-parent).
+        let mut hops: Vec<(u32, u32, u32)> = Vec::new();
+        let mut cur = meet;
+        while cur != source.0 {
+            let p = self.parent_f[cur as usize];
+            hops.push((p, cur, self.via_f[cur as usize]));
+            cur = p;
+        }
+        hops.reverse();
+        let mut nodes = vec![source];
+        for (u, v, via) in hops {
+            self.ch.unpack_append(u, v, via, &mut nodes);
+        }
+        // Downward half: meet .. target (parents point toward target).
+        let mut cur = meet;
+        while cur != target.0 {
+            let nxt = self.parent_b[cur as usize];
+            let via = self.via_b[cur as usize];
+            self.ch.unpack_append(cur, nxt, via, &mut nodes);
+            cur = nxt;
+        }
+        Some(Path { nodes, cost_s: cost as f64 })
+    }
+
+    /// Vertices settled by the last query (for the speedup benches).
+    pub fn last_settled(&self) -> usize {
+        self.settled_f.len() + self.settled_b.len()
+    }
+}
+
+/// Bucket-based many-to-one kernel: exact costs from K sources to one
+/// target in K upward sweeps plus a *single* downward sweep, instead of K
+/// independent bidirectional searches (Knopp et al.'s many-to-many
+/// algorithm, specialized to the dispatcher's "candidate taxis → pickup"
+/// batch shape).
+#[derive(Debug)]
+pub struct ChBuckets {
+    ch: Arc<ContractionHierarchy>,
+    buckets: Vec<Vec<(u32, f32)>>,
+    touched: Vec<u32>,
+    dist: Vec<f32>,
+    epoch_of: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    settled: Vec<u32>,
+}
+
+impl ChBuckets {
+    /// Creates bucket scratch sized for `ch`.
+    pub fn new(ch: Arc<ContractionHierarchy>) -> Self {
+        let n = ch.node_count();
+        Self {
+            ch,
+            buckets: vec![Vec::new(); n],
+            touched: Vec::new(),
+            dist: vec![f32::INFINITY; n],
+            epoch_of: vec![0; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+            settled: Vec::new(),
+        }
+    }
+
+    /// The shared hierarchy.
+    #[inline]
+    pub fn hierarchy(&self) -> &Arc<ContractionHierarchy> {
+        &self.ch
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.epoch_of.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+        self.settled.clear();
+    }
+
+    #[inline]
+    fn dist_at(&self, v: u32) -> f32 {
+        if self.epoch_of[v as usize] == self.epoch {
+            self.dist[v as usize]
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// One stalled upward sweep from `start`; `forward` picks the edge
+    /// set. Settled vertices land in `self.settled`.
+    fn sweep(&mut self, forward: bool, start: u32) {
+        self.begin();
+        self.epoch_of[start as usize] = self.epoch;
+        self.dist[start as usize] = 0.0;
+        self.heap.push(Reverse(HeapEntry { cost: 0.0, node: NodeId(start) }));
+        while let Some(Reverse(HeapEntry { cost, node })) = self.heap.pop() {
+            let v = node.0;
+            if cost > self.dist_at(v) {
+                continue;
+            }
+            let stalled = if forward {
+                let r = self.ch.down_range(v);
+                self.ch.down_sources[r.clone()]
+                    .iter()
+                    .zip(&self.ch.down_weights[r])
+                    .any(|(&u, &w)| self.dist_at(u) + w < cost)
+            } else {
+                let r = self.ch.up_range(v);
+                self.ch.up_targets[r.clone()]
+                    .iter()
+                    .zip(&self.ch.up_weights[r])
+                    .any(|(&u, &w)| self.dist_at(u) + w < cost)
+            };
+            if stalled {
+                continue;
+            }
+            self.settled.push(v);
+            let r = if forward { self.ch.up_range(v) } else { self.ch.down_range(v) };
+            for i in r {
+                let t = if forward { self.ch.up_targets[i] } else { self.ch.down_sources[i] };
+                let w = if forward { self.ch.up_weights[i] } else { self.ch.down_weights[i] };
+                let nc = cost + w;
+                if nc < self.dist_at(t) {
+                    self.epoch_of[t as usize] = self.epoch;
+                    self.dist[t as usize] = nc;
+                    self.heap.push(Reverse(HeapEntry { cost: nc, node: NodeId(t) }));
+                }
+            }
+        }
+    }
+
+    /// Exact shortest-path costs from every source to `target`
+    /// (`None` = unreachable). Bit-identical to per-pair Dijkstra.
+    pub fn many_to_one(&mut self, sources: &[NodeId], target: NodeId) -> Vec<Option<f64>> {
+        self.ch.stats.bucket_sweeps.fetch_add(1, Relaxed);
+        self.ch.stats.bucket_sources.fetch_add(sources.len() as u64, Relaxed);
+        // Drop stale buckets from the previous batch.
+        for &v in &self.touched {
+            self.buckets[v as usize].clear();
+        }
+        self.touched.clear();
+
+        // Upward sweeps: each source deposits (index, dist) at every
+        // vertex of its search space.
+        for (i, &s) in sources.iter().enumerate() {
+            self.sweep(true, s.0);
+            for k in 0..self.settled.len() {
+                let v = self.settled[k];
+                if self.buckets[v as usize].is_empty() {
+                    self.touched.push(v);
+                }
+                self.buckets[v as usize].push((i as u32, self.dist[v as usize]));
+            }
+        }
+
+        // One downward sweep from the target scans the buckets it meets.
+        let mut best = vec![f32::INFINITY; sources.len()];
+        self.sweep(false, target.0);
+        for k in 0..self.settled.len() {
+            let v = self.settled[k];
+            let dt = self.dist[v as usize];
+            for &(i, ds) in &self.buckets[v as usize] {
+                let cand = ds + dt;
+                if cand < best[i as usize] {
+                    best[i as usize] = cand;
+                }
+            }
+        }
+        sources
+            .iter()
+            .zip(best)
+            .map(|(&s, b)| if s == target { Some(0.0) } else { b.is_finite().then_some(b as f64) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bidirectional::BidirDijkstra;
+    use crate::dijkstra::Dijkstra;
+    use mtshare_road::{grid_city, ring_radial_city, GridCityConfig, RingRadialConfig};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn tiny() -> RoadNetwork {
+        grid_city(&GridCityConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn costs_bit_identical_to_dijkstra_on_grid() {
+        let g = tiny();
+        let ch = Arc::new(ContractionHierarchy::build(&g, 2));
+        let mut q = ChQuery::new(ch);
+        let mut d = Dijkstra::new(&g);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = NodeId(rng.gen_range(0..g.node_count() as u32));
+            let t = NodeId(rng.gen_range(0..g.node_count() as u32));
+            assert_eq!(q.cost(s, t), d.cost(&g, s, t), "{s}->{t}");
+        }
+    }
+
+    #[test]
+    fn costs_bit_identical_on_ring_radial() {
+        let g = ring_radial_city(&RingRadialConfig::default()).unwrap();
+        let ch = Arc::new(ContractionHierarchy::build(&g, 1));
+        let mut q = ChQuery::new(ch);
+        let mut d = Dijkstra::new(&g);
+        let mut rng = SmallRng::seed_from_u64(12);
+        for _ in 0..120 {
+            let s = NodeId(rng.gen_range(0..g.node_count() as u32));
+            let t = NodeId(rng.gen_range(0..g.node_count() as u32));
+            assert_eq!(q.cost(s, t), d.cost(&g, s, t), "{s}->{t}");
+        }
+    }
+
+    #[test]
+    fn build_is_independent_of_worker_count() {
+        let g = tiny();
+        let a = ContractionHierarchy::build(&g, 1);
+        let b = ContractionHierarchy::build(&g, 4);
+        assert_eq!(a.rank, b.rank);
+        assert_eq!(a.up_targets, b.up_targets);
+        assert_eq!(a.down_sources, b.down_sources);
+        assert_eq!(a.shortcut_count(), b.shortcut_count());
+    }
+
+    #[test]
+    fn unpacked_paths_are_valid_walks_with_exact_cost() {
+        let g = tiny();
+        let ch = Arc::new(ContractionHierarchy::build(&g, 2));
+        let mut q = ChQuery::new(ch);
+        let mut d = Dijkstra::new(&g);
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..60 {
+            let s = NodeId(rng.gen_range(0..g.node_count() as u32));
+            let t = NodeId(rng.gen_range(0..g.node_count() as u32));
+            let p = q.path(s, t).unwrap();
+            assert_eq!(p.start(), s);
+            assert_eq!(p.end(), t);
+            // Edge-by-edge f32 re-summation reproduces the query cost
+            // exactly (dyadic weights ⇒ associative addition).
+            let mut total = 0.0f32;
+            for w in p.nodes.windows(2) {
+                total += g.direct_edge_cost(w[0], w[1]).expect("adjacent");
+            }
+            assert_eq!(total as f64, p.cost_s, "{s}->{t}");
+            assert_eq!(p.cost_s, d.cost(&g, s, t).unwrap());
+        }
+    }
+
+    #[test]
+    fn self_and_unreachable_queries() {
+        use mtshare_road::{EdgeSpec, GeoPoint};
+        let pts = vec![GeoPoint::new(30.0, 104.0), GeoPoint::new(30.001, 104.0)];
+        let edges =
+            vec![EdgeSpec { from: NodeId(0), to: NodeId(1), length_m: 10.0, speed_kmh: 15.0 }];
+        let g = RoadNetwork::new(pts, &edges).unwrap();
+        let ch = Arc::new(ContractionHierarchy::build(&g, 1));
+        let mut q = ChQuery::new(ch.clone());
+        assert_eq!(q.cost(NodeId(0), NodeId(0)), Some(0.0));
+        assert_eq!(q.cost(NodeId(1), NodeId(0)), None);
+        assert!(q.path(NodeId(1), NodeId(0)).is_none());
+        assert_eq!(q.path(NodeId(1), NodeId(1)).unwrap().nodes, vec![NodeId(1)]);
+        let mut b = ChBuckets::new(ch);
+        let out = b.many_to_one(&[NodeId(0), NodeId(1)], NodeId(0));
+        assert_eq!(out, vec![Some(0.0), None]);
+    }
+
+    #[test]
+    fn buckets_match_per_pair_dijkstra_exactly() {
+        let g = tiny();
+        let ch = Arc::new(ContractionHierarchy::build(&g, 2));
+        let mut b = ChBuckets::new(ch);
+        let mut d = Dijkstra::new(&g);
+        let mut rng = SmallRng::seed_from_u64(14);
+        for _ in 0..6 {
+            let target = NodeId(rng.gen_range(0..g.node_count() as u32));
+            let sources: Vec<NodeId> =
+                (0..24).map(|_| NodeId(rng.gen_range(0..g.node_count() as u32))).collect();
+            let got = b.many_to_one(&sources, target);
+            for (i, &s) in sources.iter().enumerate() {
+                assert_eq!(got[i], d.cost(&g, s, target), "{s}->{target}");
+            }
+        }
+        let st = b.hierarchy().stats();
+        assert_eq!(st.bucket_sweeps, 6);
+        assert_eq!(st.bucket_sources, 6 * 24);
+    }
+
+    #[test]
+    fn queries_settle_far_fewer_vertices_than_bidirectional() {
+        let g = grid_city(&GridCityConfig { rows: 40, cols: 40, ..Default::default() }).unwrap();
+        let ch = Arc::new(ContractionHierarchy::build(&g, 2));
+        let mut q = ChQuery::new(ch);
+        let mut bi = BidirDijkstra::new(&g);
+        let (s, t) = (NodeId(0), NodeId(g.node_count() as u32 - 1));
+        assert_eq!(q.cost(s, t).unwrap(), bi.cost(&g, s, t).unwrap());
+        assert!(
+            q.last_settled() < g.node_count() / 4,
+            "CH settled {} of {} vertices",
+            q.last_settled(),
+            g.node_count()
+        );
+    }
+
+    #[test]
+    fn artifact_round_trips_and_rejects_wrong_graph() {
+        let dir = std::env::temp_dir().join(format!("mtshare-ch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ch.mtsnap");
+
+        let g = tiny();
+        let built = ContractionHierarchy::build(&g, 2);
+        built.save(&path).unwrap();
+        let loaded = ContractionHierarchy::load(&path, &g).unwrap();
+        assert_eq!(built.rank, loaded.rank);
+        assert_eq!(built.up_weights, loaded.up_weights);
+        assert_eq!(built.shortcut_count(), loaded.shortcut_count());
+        // Identical query results after the round trip.
+        let mut q1 = ChQuery::new(Arc::new(built));
+        let mut q2 = ChQuery::new(Arc::new(loaded));
+        let mut rng = SmallRng::seed_from_u64(15);
+        for _ in 0..40 {
+            let s = NodeId(rng.gen_range(0..g.node_count() as u32));
+            let t = NodeId(rng.gen_range(0..g.node_count() as u32));
+            assert_eq!(q1.cost(s, t), q2.cost(s, t));
+        }
+
+        // A different graph (different seed ⇒ different jitter) must be
+        // rejected with a digest mismatch, and load_or_build must rebuild.
+        let other = grid_city(&GridCityConfig { seed: 99, ..GridCityConfig::tiny() }).unwrap();
+        assert!(matches!(
+            ContractionHierarchy::load(&path, &other),
+            Err(PersistError::Mismatch(_))
+        ));
+        let (rebuilt, was_rebuilt) = ContractionHierarchy::load_or_build(&path, &other, 2);
+        assert!(was_rebuilt);
+        assert_eq!(rebuilt.graph_digest(), other.digest());
+        // The rewritten artifact now loads for the new graph.
+        let (_, rebuilt_again) = ContractionHierarchy::load_or_build(&path, &other, 2);
+        assert!(!rebuilt_again);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_artifact_is_rebuilt_not_trusted() {
+        let dir = std::env::temp_dir().join(format!("mtshare-ch-trunc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ch.mtsnap");
+        let g = tiny();
+        ContractionHierarchy::build(&g, 1).save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(ContractionHierarchy::load(&path, &g), Err(PersistError::Corrupt(_))));
+        let (ch, rebuilt) = ContractionHierarchy::load_or_build(&path, &g, 1);
+        assert!(rebuilt);
+        assert_eq!(ch.graph_digest(), g.digest());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -12,8 +12,11 @@
 //! - [`MaskedDijkstra`] + [`NodeMask`]: subgraph search for the paper's
 //!   two-phase (partition-filtered) routing, with optional vertex weights
 //!   for probabilistic routing;
+//! - [`ContractionHierarchy`] + [`ChQuery`] + [`ChBuckets`]: preprocessed
+//!   exact engine with bucket many-to-many batch queries, persistable as a
+//!   CRC-framed artifact (see the [`ch`] module docs);
 //! - [`PathCache`]: the memoizing oracle standing in for the paper's cached
-//!   all-pairs table;
+//!   all-pairs table, with a pluggable exact backend ([`RouterBackend`]);
 //! - [`CostMatrix`]: dense landmark-to-everything cost tables.
 
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@ pub mod alt;
 pub mod astar;
 pub mod bidirectional;
 pub mod cache;
+pub mod ch;
 pub mod dijkstra;
 pub mod masked;
 pub mod matrix;
@@ -31,7 +35,8 @@ pub mod path;
 pub use alt::Alt;
 pub use astar::AStar;
 pub use bidirectional::BidirDijkstra;
-pub use cache::{CacheStats, PathCache};
+pub use cache::{CacheStats, PathCache, RouterBackend};
+pub use ch::{ChBuckets, ChQuery, ChStats, ContractionHierarchy};
 pub use dijkstra::{bellman_ford_cost, Dijkstra};
 pub use masked::{MaskedDijkstra, NodeMask};
 pub use matrix::CostMatrix;

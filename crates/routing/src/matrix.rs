@@ -23,12 +23,22 @@ pub struct CostMatrix {
 }
 
 impl CostMatrix {
-    /// Runs 2·|sources| one-to-all searches to build the matrix.
+    /// Runs 2·|sources| one-to-all searches to build the matrix. Duplicate
+    /// sources are collapsed to one row (first occurrence keeps its
+    /// position), so repeated landmarks don't pay for repeated searches.
     pub fn compute(graph: &RoadNetwork, sources: &[NodeId]) -> Self {
-        let mut engine = Dijkstra::new(graph);
-        let mut from_rows = Vec::with_capacity(sources.len());
-        let mut to_rows = Vec::with_capacity(sources.len());
+        let mut index_of: FxHashMap<NodeId, u32> = FxHashMap::default();
+        let mut unique: Vec<NodeId> = Vec::with_capacity(sources.len());
         for &s in sources {
+            index_of.entry(s).or_insert_with(|| {
+                unique.push(s);
+                unique.len() as u32 - 1
+            });
+        }
+        let mut engine = Dijkstra::new(graph);
+        let mut from_rows = Vec::with_capacity(unique.len());
+        let mut to_rows = Vec::with_capacity(unique.len());
+        for &s in &unique {
             let mut fwd = Vec::new();
             engine.one_to_all(graph, s, &mut fwd);
             from_rows.push(fwd);
@@ -36,8 +46,7 @@ impl CostMatrix {
             engine.all_to_one(graph, s, &mut bwd);
             to_rows.push(bwd);
         }
-        let index_of = sources.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
-        Self { sources: sources.to_vec(), index_of, from_rows, to_rows }
+        Self { sources: unique, index_of, from_rows, to_rows }
     }
 
     /// The source set in construction order.
@@ -108,6 +117,22 @@ mod tests {
                 let back = d.cost(&g, t, s).unwrap();
                 assert!((m.cost_to(t, s) as f64 - back).abs() < 1e-2);
             }
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_collapse_to_one_row() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let dup = vec![NodeId(0), NodeId(200), NodeId(0), NodeId(200), NodeId(399)];
+        let m = CostMatrix::compute(&g, &dup);
+        let clean = CostMatrix::compute(&g, &[NodeId(0), NodeId(200), NodeId(399)]);
+        assert_eq!(m.sources(), clean.sources());
+        assert_eq!(m.memory_bytes(), clean.memory_bytes());
+        assert_eq!(m.source_index(NodeId(200)), Some(1));
+        assert_eq!(m.source_index(NodeId(399)), Some(2));
+        for t in [NodeId(5), NodeId(123), NodeId(398)] {
+            assert_eq!(m.cost_from(NodeId(0), t), clean.cost_from(NodeId(0), t));
+            assert_eq!(m.cost_to(t, NodeId(399)), clean.cost_to(t, NodeId(399)));
         }
     }
 

@@ -1360,6 +1360,9 @@ impl Simulator {
             });
             let cs = self.cache.stats();
             let os = self.oracle.stats();
+            let ch = self.cache.ch_stats().unwrap_or_default();
+            let ch_shortcuts =
+                self.cache.hierarchy().map(|h| h.shortcut_count()).unwrap_or_default();
             self.obs.set_external_stats(ExternalStats {
                 cache_hits: cs.hits,
                 cache_misses: cs.misses,
@@ -1369,6 +1372,10 @@ impl Simulator {
                 oracle_searches: os.searches,
                 oracle_pin_computes: os.pin_computes,
                 oracle_evictions: os.evictions,
+                ch_p2p_queries: ch.p2p_queries,
+                ch_bucket_sweeps: ch.bucket_sweeps,
+                ch_bucket_sources: ch.bucket_sources,
+                ch_shortcuts,
             });
             self.obs.flush();
         }
@@ -1395,7 +1402,9 @@ impl Simulator {
             total_driver_income: self.driver_income,
             total_benefit: self.benefit,
             index_memory_bytes: scheme.index_memory_bytes(),
-            shared_memory_bytes: self.oracle.memory_bytes() + self.cache.memory_bytes(),
+            shared_memory_bytes: self.oracle.memory_bytes()
+                + self.cache.memory_bytes()
+                + self.cache.hierarchy().map(|h| h.memory_bytes()).unwrap_or(0),
             wall_clock_s,
             served_records: self.served_records,
         }

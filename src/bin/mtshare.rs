@@ -14,7 +14,7 @@
 use mt_share::core::PartitionStrategy;
 use mt_share::mobility::Trip;
 use mt_share::road::{grid_city, io as road_io, GridCityConfig, SpatialGrid};
-use mt_share::routing::PathCache;
+use mt_share::routing::{ContractionHierarchy, PathCache, RouterBackend};
 use mt_share::sim::{
     build_context, parse_trace, snap_trace, stats, Scenario, ScenarioConfig, SchemeKind, SimConfig,
     Simulator, WorkloadConfig, WorkloadGenerator,
@@ -60,7 +60,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n                   [--state-dir DIR]   # checkpoint/WAL persistence (crash-consistent restart)\n                   [--checkpoint-every N]      # snapshot cadence in steps (default 256)\n                   [--resume]          # warm-restart from the newest valid checkpoint + WAL\n                   [--crash-at STEP]   # die (exit 42) after STEP steps, for restart testing\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
+        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--router bidir|ch] # exact cost engine; traces identical either way\n                   [--ch-artifact FILE]        # persist/reuse the CH preprocessing (with --router ch)\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n                   [--state-dir DIR]   # checkpoint/WAL persistence (crash-consistent restart)\n                   [--checkpoint-every N]      # snapshot cadence in steps (default 256)\n                   [--resume]          # warm-restart from the newest valid checkpoint + WAL\n                   [--crash-at STEP]   # die (exit 42) after STEP steps, for restart testing\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
     );
     std::process::exit(2)
 }
@@ -90,7 +90,61 @@ fn main() {
 
 fn simulate(args: &Args) {
     let graph = city(args);
-    let cache = PathCache::new(graph.clone());
+    let parallelism = args.num("parallelism", 1usize).max(1);
+
+    // Telemetry is collected only when at least one output was asked for.
+    // Created before the path cache so CH preprocessing lands in the
+    // `preprocess_ch` stage span.
+    let metrics_out = args.get("metrics-out");
+    let trace_out = args.get("trace-out");
+    let obs = if metrics_out.is_some() || trace_out.is_some() {
+        let obs = mt_share::obs::Obs::enabled();
+        if let Some(path) = trace_out {
+            let f = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(1);
+            });
+            obs.add_sink(Box::new(mt_share::obs::JsonlSink::new(std::io::BufWriter::new(f))));
+        }
+        obs
+    } else {
+        mt_share::obs::Obs::disabled()
+    };
+
+    let backend = match args.get("router").unwrap_or("bidir") {
+        "bidir" => {
+            if args.has("ch-artifact") {
+                eprintln!("--ch-artifact requires --router ch");
+                std::process::exit(2);
+            }
+            RouterBackend::Bidir
+        }
+        "ch" => {
+            let _span = obs.stage(mt_share::obs::Stage::PreprocessCh);
+            let ch = match args.get("ch-artifact") {
+                Some(path) => {
+                    let (ch, rebuilt) = ContractionHierarchy::load_or_build(
+                        std::path::Path::new(path),
+                        &graph,
+                        parallelism,
+                    );
+                    if rebuilt {
+                        eprintln!("built contraction hierarchy, saved artifact to {path}");
+                    } else {
+                        eprintln!("loaded contraction hierarchy artifact from {path}");
+                    }
+                    ch
+                }
+                None => ContractionHierarchy::build(&graph, parallelism),
+            };
+            RouterBackend::Ch(Arc::new(ch))
+        }
+        other => {
+            eprintln!("unknown router: {other}");
+            usage()
+        }
+    };
+    let cache = PathCache::with_backend(graph.clone(), backend);
     let taxis = args.num("taxis", 60usize);
     let mut cfg = if args.has("nonpeak") {
         ScenarioConfig::nonpeak(taxis)
@@ -120,7 +174,6 @@ fn simulate(args: &Args) {
             PartitionStrategy::Bipartite,
         )
     });
-    let parallelism = args.num("parallelism", 1usize).max(1);
     let mt_cfg = (parallelism > 1)
         .then(|| mt_share::core::MtShareConfig::default().with_parallelism(parallelism));
     let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, mt_cfg);
@@ -179,23 +232,6 @@ fn simulate(args: &Args) {
     };
     let chaos_on = chaos.is_some();
     let sim_cfg = SimConfig { parallelism, chaos, validate_every, persist, ..SimConfig::default() };
-
-    // Telemetry is collected only when at least one output was asked for.
-    let metrics_out = args.get("metrics-out");
-    let trace_out = args.get("trace-out");
-    let obs = if metrics_out.is_some() || trace_out.is_some() {
-        let obs = mt_share::obs::Obs::enabled();
-        if let Some(path) = trace_out {
-            let f = std::fs::File::create(path).unwrap_or_else(|e| {
-                eprintln!("cannot create {path}: {e}");
-                std::process::exit(1);
-            });
-            obs.add_sink(Box::new(mt_share::obs::JsonlSink::new(std::io::BufWriter::new(f))));
-        }
-        obs
-    } else {
-        mt_share::obs::Obs::disabled()
-    };
 
     let report =
         Simulator::new(graph, cache, &scenario, sim_cfg).with_obs(obs.clone()).run(scheme.as_mut());

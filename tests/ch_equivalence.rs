@@ -1,0 +1,168 @@
+//! Contraction-hierarchy equivalence matrix: on every synthetic city
+//! shape, CH costs must equal Dijkstra and bidirectional Dijkstra *bit
+//! for bit* (dyadic edge quantization makes f32 path sums associative),
+//! unpacked CH paths must be valid walks resumming to the exact cost,
+//! persisted hierarchies must survive a round trip and never be trusted
+//! when stale or corrupt, and — end to end — the simulator's event trace
+//! must be byte-identical whichever router produced the costs.
+
+use mt_share::road::{
+    grid_city, ring_radial_city, GridCityConfig, NodeId, RingRadialConfig, RoadNetwork,
+};
+use mt_share::routing::{BidirDijkstra, ChQuery, ContractionHierarchy, Dijkstra};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+/// Every synthetic shape the road crate can generate, small enough for
+/// debug-mode preprocessing.
+fn shapes() -> Vec<(&'static str, Arc<RoadNetwork>)> {
+    vec![
+        ("grid_tiny", Arc::new(grid_city(&GridCityConfig::tiny()).unwrap())),
+        (
+            "grid_30x30",
+            Arc::new(
+                grid_city(&GridCityConfig { rows: 30, cols: 30, ..Default::default() }).unwrap(),
+            ),
+        ),
+        ("ring_radial", Arc::new(ring_radial_city(&RingRadialConfig::default()).unwrap())),
+    ]
+}
+
+#[test]
+fn ch_costs_equal_both_dijkstras_on_every_shape() {
+    for (name, graph) in shapes() {
+        let ch = Arc::new(ContractionHierarchy::build(&graph, 2));
+        let mut q = ChQuery::new(ch);
+        let mut d = Dijkstra::new(&graph);
+        let mut bi = BidirDijkstra::new(&graph);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let n = graph.node_count() as u32;
+        for _ in 0..120 {
+            let s = NodeId(rng.gen_range(0..n));
+            let t = NodeId(rng.gen_range(0..n));
+            let want = d.cost(&graph, s, t);
+            assert_eq!(bi.cost(&graph, s, t), want, "{name}: bidir vs dijkstra {s}->{t}");
+            assert_eq!(q.cost(s, t), want, "{name}: ch vs dijkstra {s}->{t}");
+        }
+    }
+}
+
+#[test]
+fn unpacked_ch_paths_are_exact_walks_on_every_shape() {
+    for (name, graph) in shapes() {
+        let ch = Arc::new(ContractionHierarchy::build(&graph, 2));
+        let mut q = ChQuery::new(ch);
+        let mut d = Dijkstra::new(&graph);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let n = graph.node_count() as u32;
+        for _ in 0..40 {
+            let s = NodeId(rng.gen_range(0..n));
+            let t = NodeId(rng.gen_range(0..n));
+            let p = q.path(s, t).unwrap();
+            assert_eq!(p.start(), s, "{name}");
+            assert_eq!(p.end(), t, "{name}");
+            // Resummation over original edges must reproduce the reported
+            // cost exactly — quantized edges sum associatively in f32.
+            let mut total = 0.0f32;
+            for w in p.nodes.windows(2) {
+                let c = graph.direct_edge_cost(w[0], w[1]);
+                assert!(c.is_some(), "{name}: non-adjacent hop {}->{}", w[0], w[1]);
+                total += c.unwrap();
+            }
+            assert_eq!(total as f64, p.cost_s, "{name}: resummed walk {s}->{t}");
+            assert_eq!(Some(p.cost_s), d.cost(&graph, s, t), "{name}: vs dijkstra {s}->{t}");
+        }
+    }
+}
+
+#[test]
+fn artifact_round_trips_and_stale_or_corrupt_copies_are_rebuilt() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("ch-artifacts");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("hierarchy.mtch");
+
+    let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+    let built = ContractionHierarchy::build(&graph, 2);
+    built.save(&file).unwrap();
+
+    // Round trip: the loaded hierarchy answers identically.
+    let loaded = ContractionHierarchy::load(&file, &graph).unwrap();
+    assert_eq!(loaded.shortcut_count(), built.shortcut_count());
+    let (mut qa, mut qb) = (ChQuery::new(Arc::new(built)), ChQuery::new(Arc::new(loaded)));
+    for (s, t) in [(0u32, 399u32), (37, 201), (399, 0), (5, 5)] {
+        assert_eq!(qa.cost(NodeId(s), NodeId(t)), qb.cost(NodeId(s), NodeId(t)));
+    }
+
+    // Stale: an artifact built for a *different* graph must be rejected...
+    let other =
+        Arc::new(grid_city(&GridCityConfig { seed: 991, ..GridCityConfig::tiny() }).unwrap());
+    assert_ne!(graph.digest(), other.digest(), "seed must change the digest");
+    assert!(ContractionHierarchy::load(&file, &other).is_err());
+    // ...and load_or_build falls back to a correct rebuild.
+    let (rebuilt, was_rebuilt) = ContractionHierarchy::load_or_build(&file, &other, 2);
+    assert!(was_rebuilt);
+    assert_eq!(rebuilt.graph_digest(), other.digest());
+
+    // Corrupt: truncate the (re-saved) artifact mid-frame.
+    let bytes = std::fs::read(&file).unwrap();
+    std::fs::write(&file, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(ContractionHierarchy::load(&file, &other).is_err());
+    let (recovered, was_rebuilt) = ContractionHierarchy::load_or_build(&file, &other, 2);
+    assert!(was_rebuilt);
+    assert_eq!(recovered.graph_digest(), other.digest());
+}
+
+fn simulate(dir: &Path, router: &str, parallelism: &str, trace: &str) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mtshare"))
+        .current_dir(dir)
+        .args([
+            "simulate",
+            "--scheme",
+            "mt-share",
+            "--rows",
+            "20",
+            "--cols",
+            "20",
+            "--taxis",
+            "15",
+            "--requests",
+            "150",
+            "--nonpeak",
+            "--router",
+            router,
+            "--parallelism",
+            parallelism,
+            "--trace-out",
+            trace,
+        ])
+        .output()
+        .expect("spawn mtshare");
+    assert!(
+        out.status.success(),
+        "router={router} parallelism={parallelism}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The end-to-end correctness bar: swapping the exact cost engine (and
+/// the dispatch worker count) must not move a single byte of the trace.
+#[test]
+fn traces_are_byte_identical_across_routers_and_parallelism() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("ch-trace-diff");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    simulate(&dir, "bidir", "1", "bidir-p1.jsonl");
+    simulate(&dir, "ch", "1", "ch-p1.jsonl");
+    simulate(&dir, "ch", "4", "ch-p4.jsonl");
+
+    let reference = std::fs::read(dir.join("bidir-p1.jsonl")).unwrap();
+    assert!(!reference.is_empty(), "baseline trace must not be empty");
+    for other in ["ch-p1.jsonl", "ch-p4.jsonl"] {
+        let got = std::fs::read(dir.join(other)).unwrap();
+        assert!(got == reference, "{other} diverges from the bidir baseline trace");
+    }
+}

@@ -4,8 +4,8 @@
 
 use mt_share::road::{grid_city, GridCityConfig, NodeId, RoadNetwork};
 use mt_share::routing::{
-    bellman_ford_cost, AStar, BidirDijkstra, Dijkstra, HotNodeOracle, MaskedDijkstra, NodeMask,
-    PathCache,
+    bellman_ford_cost, AStar, Alt, BidirDijkstra, Dijkstra, HotNodeOracle, MaskedDijkstra,
+    NodeMask, PathCache,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -94,6 +94,26 @@ proptest! {
             total += c.unwrap() as f64;
         }
         prop_assert!((total - p.cost_s).abs() < 1e-2);
+    }
+
+    #[test]
+    fn landmark_lower_bound_is_admissible(
+        seed in 0u64..6,
+        s in 0u32..144,
+        t in 0u32..144,
+    ) {
+        let g = city(seed);
+        // Corners plus centre: a deliberately lopsided landmark set so the
+        // bound is tight along some corridors and slack along others.
+        let landmarks = [0u32, 11, 132, 143, 66].map(NodeId);
+        let mut alt = Alt::with_landmarks(&g, &landmarks);
+        let mut d = Dijkstra::new(&g);
+        let true_cost = d.cost(&g, NodeId(s), NodeId(t)).unwrap();
+        let lb = alt.lower_bound(NodeId(s), NodeId(t));
+        prop_assert!(
+            lb <= true_cost + 1e-3,
+            "landmark bound {lb} exceeds true cost {true_cost} for {s}->{t}"
+        );
     }
 
     #[test]
