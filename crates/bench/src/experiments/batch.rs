@@ -1,0 +1,90 @@
+//! Rolling-horizon batch (Kuhn–Munkres) dispatch vs. insertion-greedy
+//! mT-Share, with a `--batch-window` sweep. Not a figure from the paper —
+//! this documents the repo's batch-assignment extension against the
+//! paper's greedy per-request dispatcher on the standard peak scenario.
+
+use super::ExperimentResult;
+use crate::runner::Env;
+use crate::table::{fmt, Table};
+use mtshare_core::PartitionStrategy;
+use mtshare_sim::{BatchConfig, SchemeKind, SimConfig, SimReport};
+
+/// Window widths swept, in simulated seconds.
+const WINDOWS_S: [f64; 5] = [5.0, 10.0, 20.0, 30.0, 60.0];
+
+/// Runs the greedy baseline and the batch window sweep at max fleet.
+pub fn run(env: &Env) -> ExperimentResult {
+    let fleet = *env.scale.fleets.last().expect("non-empty fleet list");
+    let scenario = env.scenario(env.peak(fleet));
+    let ctx = env.context(&scenario.historical, env.scale.kappa, PartitionStrategy::Bipartite);
+
+    let greedy = env.run(&scenario, SchemeKind::MtShare, Some(ctx.clone()), None);
+    let mut batches: Vec<(f64, SimReport)> = Vec::new();
+    for window_s in WINDOWS_S {
+        let mut scheme = SchemeKind::MtShareBatch.build(
+            &env.graph,
+            scenario.taxis.len(),
+            Some(ctx.clone()),
+            None,
+        );
+        let sim_cfg = SimConfig {
+            batch: Some(BatchConfig { window_s, max_retries: 2 }),
+            ..SimConfig::default()
+        };
+        let r = env.run_scheme_with(&scenario, scheme.as_mut(), sim_cfg);
+        eprintln!("[batch] window {window_s}s: served {} (greedy {})", r.served, greedy.served);
+        batches.push((window_s, r));
+    }
+
+    let mut t = Table::new(vec![
+        "dispatch",
+        "served",
+        "service rate %",
+        "detour min",
+        "wait min (avg)",
+        "wait min (p95)",
+        "resp ms",
+    ]);
+    let row = |label: String, r: &SimReport| {
+        vec![
+            label,
+            r.served.to_string(),
+            fmt(r.served_ratio() * 100.0, 1),
+            fmt(r.avg_detour_min, 2),
+            fmt(r.avg_waiting_min, 2),
+            fmt(r.p95_waiting_min, 2),
+            fmt(r.avg_response_ms, 3),
+        ]
+    };
+    t.row(row("greedy (insertion)".into(), &greedy));
+    for (w, r) in &batches {
+        t.row(row(format!("batch, {w:.0} s window"), r));
+    }
+
+    let best = batches.iter().max_by_key(|(_, r)| r.served).expect("non-empty window sweep");
+    ExperimentResult {
+        id: "batch",
+        title: "rolling-horizon batch (LAP) vs. insertion-greedy dispatch (peak, max fleet)".into(),
+        paper_expectation: "not in the paper — extension; window-optimal batching should \
+                            serve at least as many requests as greedy per-request insertion, \
+                            trading response latency (requests wait out their window) for \
+                            globally cheaper assignments"
+            .into(),
+        table: t,
+        notes: vec![
+            format!(
+                "best window {:.0} s serves {} vs greedy {} ({:+.1}%)",
+                best.0,
+                best.1.served,
+                greedy.served,
+                (best.1.served as f64 / greedy.served as f64 - 1.0) * 100.0
+            ),
+            "short windows converge to greedy (singleton LAPs); long windows burn deadline \
+             slack while requests sit in the buffer — service degrades past ~30 s here"
+                .into(),
+            "batch response time measures the per-row share of the window's scoring + LAP \
+             solve, not the rider-perceived wait for a match (that is bounded by the window)"
+                .into(),
+        ],
+    }
+}

@@ -5,6 +5,7 @@
 //! `EXPERIMENTS.md`. Absolute numbers differ from the paper (synthetic
 //! city, scaled fleet — see DESIGN.md), the *shapes* are what must hold.
 
+pub mod batch;
 pub mod fig05;
 pub mod fig16;
 pub mod fig21;
@@ -50,6 +51,7 @@ impl std::fmt::Display for ExperimentResult {
 pub const ALL_IDS: &[&str] = &[
     "fig5", "fig6", "fig7", "tab3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "tab4",
     "fig14a", "fig14b", "tab5", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+    "batch",
 ];
 
 /// Runs the experiment(s) behind `id`. Group runners (the peak/non-peak
@@ -69,6 +71,7 @@ pub fn run_experiment(env: &Env, id: &str) -> Vec<ExperimentResult> {
         "fig17" | "fig18" | "fig19" | "rho" => sweeps::run_rho(env),
         "fig20" => vec![sweeps::run_lambda(env)],
         "fig21" => vec![fig21::run(env)],
+        "batch" => vec![batch::run(env)],
         other => panic!("unknown experiment id: {other} (known: {ALL_IDS:?})"),
     }
 }
@@ -88,6 +91,7 @@ pub fn run_all(env: &Env) -> Vec<ExperimentResult> {
     out.extend(sweeps::run_rho(env));
     out.push(sweeps::run_lambda(env));
     out.push(fig21::run(env));
+    out.push(batch::run(env));
     out
 }
 

@@ -75,8 +75,18 @@ impl Env {
 
     /// Runs an arbitrary scheme instance over one scenario.
     pub fn run_scheme(&self, scenario: &Scenario, scheme: &mut dyn DispatchScheme) -> SimReport {
-        let sim =
-            Simulator::new(self.graph.clone(), self.cache.clone(), scenario, SimConfig::default());
+        self.run_scheme_with(scenario, scheme, SimConfig::default())
+    }
+
+    /// Runs an arbitrary scheme instance under an explicit sim config
+    /// (rolling-horizon batch windows etc.).
+    pub fn run_scheme_with(
+        &self,
+        scenario: &Scenario,
+        scheme: &mut dyn DispatchScheme,
+        sim_cfg: SimConfig,
+    ) -> SimReport {
+        let sim = Simulator::new(self.graph.clone(), self.cache.clone(), scenario, sim_cfg);
         sim.run(scheme)
     }
 

@@ -37,6 +37,10 @@ pub struct MtShareConfig {
     /// (candidate generation + Algorithm 1 per request fan out across this
     /// many threads). `1` scores inline; results are identical either way.
     pub parallelism: usize,
+    /// Rolling-horizon batch assignment (mT-Share_batch): requests are
+    /// collected per window and matched jointly through a Kuhn–Munkres
+    /// assignment solve instead of greedy per-arrival insertion.
+    pub batch: bool,
 }
 
 impl Default for MtShareConfig {
@@ -54,6 +58,7 @@ impl Default for MtShareConfig {
             prob_max_hops: 12,
             prob_bias_weight_s: 6.0,
             parallelism: 1,
+            batch: false,
         }
     }
 }
@@ -84,6 +89,12 @@ impl MtShareConfig {
         self.parallelism = n.max(1);
         self
     }
+
+    /// The rolling-horizon batch-assignment variant (mT-Share_batch).
+    pub fn with_batch(mut self) -> Self {
+        self.batch = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +112,8 @@ mod tests {
         assert_eq!(c.parallelism, 1);
         assert_eq!(c.clone().with_parallelism(0).parallelism, 1);
         assert_eq!(c.clone().with_parallelism(8).parallelism, 8);
+        assert!(!c.batch);
+        assert!(c.clone().with_batch().batch);
         assert!(c.with_probabilistic().probabilistic);
     }
 

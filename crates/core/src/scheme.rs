@@ -7,7 +7,8 @@ use crate::index::{MobilityClusterIndex, PartitionTaxiIndex};
 use crate::routing::{RouterStats, SegmentRouter};
 use crate::scheduling::schedule_best;
 use mtshare_model::{
-    DispatchOutcome, DispatchScheme, RideRequest, SpeculativeOutcome, Taxi, TaxiId, Time, World,
+    best_insertion, DispatchOutcome, DispatchScheme, RideRequest, SpeculativeOutcome, Taxi, TaxiId,
+    Time, WindowRow, World,
 };
 use mtshare_obs::{Obs, Stage};
 use mtshare_par::try_par_map_with;
@@ -46,7 +47,13 @@ impl MtShare {
         cfg: MtShareConfig,
         n_taxis: usize,
     ) -> Self {
-        let name = if cfg.probabilistic { "mT-Share_pro" } else { "mT-Share" };
+        let name = if cfg.batch {
+            "mT-Share_batch"
+        } else if cfg.probabilistic {
+            "mT-Share_pro"
+        } else {
+            "mT-Share"
+        };
         Self {
             pindex: PartitionTaxiIndex::new(ctx.kappa(), n_taxis),
             mindex: MobilityClusterIndex::new(cfg.lambda, n_taxis),
@@ -107,6 +114,45 @@ impl MtShare {
             candidates,
             candidate_versions,
         }
+    }
+
+    /// Scores one batch-window row: the request's candidate set at the
+    /// flush time `now` with the marginal insertion detour per candidate
+    /// (`∞` when no deadline-feasible instance exists). Pure with respect
+    /// to `(req, now, world)` — no scratch state survives the call — so
+    /// rows computed by parallel workers and by the sequential fallback
+    /// are bit-identical. Taxi→pickup costs are primed through the CH
+    /// bucket many-to-one kernel so the per-candidate DP probes (and the
+    /// winner's later materialization) hit a warm memo.
+    fn score_row(&self, req: &RideRequest, now: Time, world: &World<'_>) -> WindowRow {
+        let candidates = {
+            let _span = self.obs.stage(Stage::CandidateSearch);
+            candidate_taxis(req, now, world, &self.ctx, &self.cfg, &self.pindex, &self.mindex)
+        };
+        let candidate_versions: Vec<u64> =
+            candidates.iter().map(|&t| world.taxi(t).route_version).collect();
+        if !candidates.is_empty() {
+            let positions: Vec<_> =
+                candidates.iter().map(|&t| world.taxi(t).position_at(now)).collect();
+            world.cache.prime_many_to_one(&positions, req.origin);
+        }
+        let mut costs = Vec::with_capacity(candidates.len());
+        let mut feasible = 0usize;
+        {
+            let _span = self.obs.stage(Stage::InsertionDp);
+            for &taxi_id in &candidates {
+                let taxi = world.taxi(taxi_id);
+                match best_insertion(taxi, req, now, world, |a, b| world.oracle.cost(a, b)) {
+                    Some(ins) => {
+                        costs.push(ins.delta_s);
+                        feasible += 1;
+                    }
+                    None => costs.push(f64::INFINITY),
+                }
+            }
+            self.obs.add_insertions(candidates.len() as u64, feasible as u64);
+        }
+        WindowRow { candidates, candidate_versions, costs, feasible }
     }
 }
 
@@ -315,6 +361,70 @@ impl DispatchScheme for MtShare {
                 .iter()
                 .zip(&spec.candidate_versions)
                 .all(|(&t, &v)| world.taxi(t).route_version == v)
+    }
+
+    fn score_window(
+        &mut self,
+        reqs: &[RideRequest],
+        now: Time,
+        world: &World<'_>,
+    ) -> Option<Vec<WindowRow>> {
+        if reqs.is_empty() {
+            return Some(Vec::new());
+        }
+        let workers = self.cfg.parallelism.max(1).min(reqs.len());
+        if workers > 1 {
+            while self.spec_workers.len() < workers {
+                let mut router = SegmentRouter::new(world.graph);
+                router.set_obs(self.obs.clone());
+                self.spec_workers.push(SpecWorker { router, items: 0 });
+            }
+            let mut pool = std::mem::take(&mut self.spec_workers);
+            let result = {
+                let this = &*self;
+                try_par_map_with(&mut pool[..workers], reqs.len(), |i, w| {
+                    w.items += 1;
+                    this.score_row(&reqs[i], now, world)
+                })
+            };
+            match result {
+                Ok(rows) => {
+                    self.obs.record_batch(reqs.len() as u64);
+                    for (idx, w) in pool.iter_mut().enumerate() {
+                        let s = w.router.take_stats();
+                        self.router.absorb_stats(s);
+                        self.obs.record_worker_items(idx, std::mem::take(&mut w.items));
+                    }
+                    self.spec_workers = pool;
+                    return Some(rows);
+                }
+                Err(_) => {
+                    // A worker item panicked; discard the pool and re-score
+                    // the window sequentially below. `score_row` is a pure
+                    // function of the frozen window, so the fallback rows
+                    // are identical — recorded as a profiling counter only.
+                    self.obs.record_degraded_batch();
+                    self.spec_workers.clear();
+                }
+            }
+        }
+        Some(reqs.iter().map(|r| self.score_row(r, now, world)).collect())
+    }
+
+    fn dispatch_to(
+        &mut self,
+        req: &RideRequest,
+        taxi: TaxiId,
+        now: Time,
+        world: &World<'_>,
+    ) -> DispatchOutcome {
+        // The assignment solver already chose the taxi; re-derive the best
+        // insertion against the *current* world and materialize it — the
+        // same revalidated-commit path Algorithm 1 uses, restricted to the
+        // winner.
+        let (assignment, examined, feasible) =
+            schedule_best(req, &[taxi], now, world, &self.ctx, &self.cfg, &mut self.router);
+        DispatchOutcome { assignment, candidates_examined: examined, feasible_instances: feasible }
     }
 }
 

@@ -33,6 +33,7 @@ pub use schedule::{
     evaluate_schedule, EvalContext, EventKind, Schedule, ScheduleEvaluation, ScheduleEvent,
 };
 pub use scheme::{
-    assignment_cmp, Assignment, DispatchOutcome, DispatchScheme, SpeculativeOutcome, World,
+    assignment_cmp, Assignment, DispatchOutcome, DispatchScheme, SpeculativeOutcome, WindowRow,
+    World,
 };
 pub use taxi::{Taxi, TaxiId};

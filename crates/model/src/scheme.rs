@@ -100,6 +100,24 @@ pub struct SpeculativeOutcome {
     pub candidate_versions: Vec<u64>,
 }
 
+/// One scored row of a rolling-horizon batch window's cost matrix: a
+/// request's candidate taxis (in the scheme's deterministic order) with
+/// the marginal insertion cost of each, plus the version fingerprint for
+/// commit-time validation (same contract as [`SpeculativeOutcome`]).
+#[derive(Debug, Clone)]
+pub struct WindowRow {
+    /// Candidate taxis examined, in the scheme's deterministic order.
+    pub candidates: Vec<TaxiId>,
+    /// Each candidate's `route_version` at scoring time, parallel to
+    /// `candidates`.
+    pub candidate_versions: Vec<u64>,
+    /// Marginal insertion detour per candidate, seconds, parallel to
+    /// `candidates`; `f64::INFINITY` marks an infeasible insertion.
+    pub costs: Vec<f64>,
+    /// Number of finite (deadline-feasible) entries in `costs`.
+    pub feasible: usize,
+}
+
 /// A ridesharing dispatch policy.
 pub trait DispatchScheme {
     /// Human-readable scheme name (used in experiment tables).
@@ -215,6 +233,37 @@ pub trait DispatchScheme {
     ) -> bool {
         false
     }
+
+    /// Scores a whole batch window against the frozen `world`: one cost
+    /// row per request, all evaluated at `now` (the window flush time).
+    /// Rows must be a pure function of `(reqs, now, world)` — the
+    /// simulator feeds them to a deterministic assignment solver and the
+    /// trace-equivalence guarantee rides on it. Returns `None` when the
+    /// scheme has no batch-window path (the simulator then dispatches
+    /// the window members sequentially).
+    fn score_window(
+        &mut self,
+        _reqs: &[RideRequest],
+        _now: Time,
+        _world: &World<'_>,
+    ) -> Option<Vec<WindowRow>> {
+        None
+    }
+
+    /// Dispatches `req` restricted to the single `taxi` an assignment
+    /// solver picked for it, re-deriving and materializing the best
+    /// insertion against the *current* world — the revalidated-commit
+    /// path for batch winners. The default rejects, matching the
+    /// [`DispatchScheme::score_window`] default of "no batch path".
+    fn dispatch_to(
+        &mut self,
+        _req: &RideRequest,
+        _taxi: TaxiId,
+        _now: Time,
+        _world: &World<'_>,
+    ) -> DispatchOutcome {
+        DispatchOutcome::rejected(1)
+    }
 }
 
 impl DispatchScheme for Box<dyn DispatchScheme> {
@@ -278,6 +327,23 @@ impl DispatchScheme for Box<dyn DispatchScheme> {
         spec: &SpeculativeOutcome,
     ) -> bool {
         self.as_mut().validate_speculative(req, now, world, spec)
+    }
+    fn score_window(
+        &mut self,
+        reqs: &[RideRequest],
+        now: Time,
+        world: &World<'_>,
+    ) -> Option<Vec<WindowRow>> {
+        self.as_mut().score_window(reqs, now, world)
+    }
+    fn dispatch_to(
+        &mut self,
+        req: &RideRequest,
+        taxi: TaxiId,
+        now: Time,
+        world: &World<'_>,
+    ) -> DispatchOutcome {
+        self.as_mut().dispatch_to(req, taxi, now, world)
     }
 }
 

@@ -52,7 +52,7 @@ use std::time::Instant;
 const MAX_WORKERS: usize = 64;
 
 /// Summary schema identifier, bumped on breaking layout changes.
-pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v4";
+pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v5";
 
 /// Static facts about the run, reported verbatim in the summary.
 #[derive(Debug, Clone, Default)]
@@ -159,6 +159,14 @@ struct ObsCore {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     degraded_batches: AtomicU64,
+    // ---- batch assignment solver (profiling) ----
+    lap_solves: AtomicU64,
+    lap_rows: AtomicU64,
+    lap_cols: AtomicU64,
+    lap_assigned: AtomicU64,
+    lap_augmentations: AtomicU64,
+    lap_relaxations: AtomicU64,
+    lap_skipped_rows: AtomicU64,
     // ---- persistence (profiling) ----
     /// While set, `emit` updates aggregates but suppresses sink
     /// forwarding: WAL replay after a warm restart re-executes events
@@ -191,6 +199,13 @@ impl ObsCore {
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             degraded_batches: AtomicU64::new(0),
+            lap_solves: AtomicU64::new(0),
+            lap_rows: AtomicU64::new(0),
+            lap_cols: AtomicU64::new(0),
+            lap_assigned: AtomicU64::new(0),
+            lap_augmentations: AtomicU64::new(0),
+            lap_relaxations: AtomicU64::new(0),
+            lap_skipped_rows: AtomicU64::new(0),
             muted: AtomicBool::new(false),
             checkpoints: AtomicU64::new(0),
             restores: AtomicU64::new(0),
@@ -431,6 +446,36 @@ impl Obs {
         self.core.as_ref().map(|c| c.degraded_batches.load(Ordering::Relaxed)).unwrap_or(0)
     }
 
+    /// Records one Kuhn–Munkres batch-window solve: matrix shape, rows
+    /// matched, and the solver's internal work counters (profiling —
+    /// the resulting assignment is deterministic, the wall-clock and
+    /// aggregate work are not part of the trace contract).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_lap(
+        &self,
+        rows: u64,
+        cols: u64,
+        assigned: u64,
+        augmentations: u64,
+        relaxations: u64,
+        skipped_rows: u64,
+    ) {
+        if let Some(core) = &self.core {
+            core.lap_solves.fetch_add(1, Ordering::Relaxed);
+            core.lap_rows.fetch_add(rows, Ordering::Relaxed);
+            core.lap_cols.fetch_add(cols, Ordering::Relaxed);
+            core.lap_assigned.fetch_add(assigned, Ordering::Relaxed);
+            core.lap_augmentations.fetch_add(augmentations, Ordering::Relaxed);
+            core.lap_relaxations.fetch_add(relaxations, Ordering::Relaxed);
+            core.lap_skipped_rows.fetch_add(skipped_rows, Ordering::Relaxed);
+        }
+    }
+
+    /// Batch-window assignment solves recorded so far (profiling).
+    pub fn lap_solves(&self) -> u64 {
+        self.core.as_ref().map(|c| c.lap_solves.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
     /// Records one dispatcher response latency in seconds (wall-clock;
     /// profiling only).
     pub fn record_response_s(&self, secs: f64) {
@@ -628,6 +673,17 @@ impl Obs {
         s.push(',');
         write_histogram(&mut s, "checkpoint_write_ms", &core.checkpoint_write_s, 1e3, "ms");
         s.push_str("},");
+        let _ = write!(
+            s,
+            r#""lap":{{"solves":{},"rows":{},"cols":{},"assigned":{},"augmentations":{},"relaxations":{},"skipped_rows":{}}},"#,
+            core.lap_solves.load(Ordering::Relaxed),
+            core.lap_rows.load(Ordering::Relaxed),
+            core.lap_cols.load(Ordering::Relaxed),
+            core.lap_assigned.load(Ordering::Relaxed),
+            core.lap_augmentations.load(Ordering::Relaxed),
+            core.lap_relaxations.load(Ordering::Relaxed),
+            core.lap_skipped_rows.load(Ordering::Relaxed)
+        );
         write_histogram(&mut s, "response_ms", &core.response_s, 1e3, "ms");
         s.push_str("}}");
         Some(s)

@@ -308,6 +308,11 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
     }
     require_hist_block(persist, "checkpoint_bytes", "b")?;
     require_hist_block(persist, "checkpoint_write_ms", "ms")?;
+    let lap = prof.get("lap").ok_or("profiling: missing \"lap\"")?;
+    for f in ["solves", "rows", "cols", "assigned", "augmentations", "relaxations", "skipped_rows"]
+    {
+        require_num(lap, "lap", f)?;
+    }
     require_hist_block(prof, "response_ms", "ms")?;
     Ok(())
 }

@@ -18,11 +18,13 @@ pub enum Stage {
     /// One-off contraction-hierarchy preprocessing (build or artifact
     /// load) before the simulation starts.
     PreprocessCh,
+    /// Kuhn–Munkres assignment solve over a batch window's cost matrix.
+    BatchSolve,
 }
 
 impl Stage {
     /// Number of stages (size of per-stage arrays).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All stages in stable (serialization) order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -32,6 +34,7 @@ impl Stage {
         Stage::Routing,
         Stage::Commit,
         Stage::PreprocessCh,
+        Stage::BatchSolve,
     ];
 
     /// Index into per-stage arrays.
@@ -43,6 +46,7 @@ impl Stage {
             Stage::Routing => 3,
             Stage::Commit => 4,
             Stage::PreprocessCh => 5,
+            Stage::BatchSolve => 6,
         }
     }
 
@@ -55,6 +59,7 @@ impl Stage {
             Stage::Routing => "routing",
             Stage::Commit => "commit",
             Stage::PreprocessCh => "preprocess_ch",
+            Stage::BatchSolve => "batch_solve",
         }
     }
 }

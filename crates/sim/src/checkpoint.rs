@@ -166,6 +166,7 @@ impl Persist for Ev {
                 enc.u32(*attempt);
             }
             Ev::Validate => enc.u8(4),
+            Ev::BatchFlush => enc.u8(5),
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -179,6 +180,7 @@ impl Persist for Ev {
             2 => Ok(Ev::Disruption { idx: dec.usize()? }),
             3 => Ok(Ev::Redispatch { request: RequestId::decode(dec)?, attempt: dec.u32()? }),
             4 => Ok(Ev::Validate),
+            5 => Ok(Ev::BatchFlush),
             _ => Err(DecodeError::Invalid("unknown Ev tag")),
         }
     }
@@ -413,6 +415,7 @@ impl Simulator {
         h.write_u64(self.redispatched as u64);
         h.write_u64(self.heap.len() as u64);
         h.write_u64(self.next_arrival as u64);
+        h.write_u64(self.window.len() as u64);
         h.digest()
     }
 
@@ -481,6 +484,9 @@ impl Simulator {
         enc.usize(self.rejected);
         enc.seq(&self.served_records);
         self.plan.encode(&mut enc);
+        // The open batch window (buffering order is semantic: it is the
+        // matrix row order at the next flush).
+        enc.seq(&self.window);
         // Scheme index state and obs aggregates, as opaque sub-payloads.
         match scheme.snapshot_state() {
             Some(b) => {
@@ -584,6 +590,7 @@ impl Simulator {
         self.rejected = dec.usize().map_err(e)?;
         self.served_records = dec.seq().map_err(e)?;
         self.plan = DisruptionPlan::decode(&mut dec).map_err(e)?;
+        self.window = dec.seq::<(RequestId, u32)>().map_err(e)?;
         let scheme_state =
             if dec.bool().map_err(e)? { Some(dec.bytes().map_err(e)?.to_vec()) } else { None };
         let obs_state =

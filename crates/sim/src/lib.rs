@@ -28,7 +28,7 @@ pub use metrics::{Series, SimReport};
 pub use scenario::{
     build_context, materialize, Scenario, ScenarioConfig, ScenarioKind, SchemeKind,
 };
-pub use simulator::{PersistConfig, RunOutcome, SimConfig, Simulator};
+pub use simulator::{BatchConfig, PersistConfig, RunOutcome, SimConfig, Simulator};
 pub use telemetry::{classify_rejection, classify_rejection_with_cause, RejectCause};
 pub use trace::{parse_trace, snap_trace, SnappedTrace, TraceParse, TraceRecord, MAX_TRACE_ERRORS};
 pub use workload::{

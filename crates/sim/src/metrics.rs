@@ -57,6 +57,8 @@ pub struct SimReport {
     pub avg_detour_min: f64,
     /// Mean waiting time of served requests, minutes (Fig. 9/13).
     pub avg_waiting_min: f64,
+    /// 95th-percentile waiting time of served requests, minutes.
+    pub p95_waiting_min: f64,
     /// Mean candidate-set size per request (Table III).
     pub avg_candidates: f64,
     /// Σ fares actually paid by riders.
@@ -136,6 +138,7 @@ mod tests {
             p95_response_ms: 2.0,
             avg_detour_min: 1.5,
             avg_waiting_min: 2.5,
+            p95_waiting_min: 4.0,
             avg_candidates: 7.0,
             total_passenger_fares: 900.0,
             total_solo_fares: 1000.0,

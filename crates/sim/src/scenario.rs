@@ -171,6 +171,8 @@ pub enum SchemeKind {
     MtShare,
     /// mT-Share with probabilistic routing enabled.
     MtSharePro,
+    /// mT-Share scoring under rolling-horizon batch (LAP) dispatch.
+    MtShareBatch,
 }
 
 impl SchemeKind {
@@ -195,12 +197,13 @@ impl SchemeKind {
             SchemeKind::PGreedyDp => "pGreedyDP",
             SchemeKind::MtShare => "mT-Share",
             SchemeKind::MtSharePro => "mT-Share_pro",
+            SchemeKind::MtShareBatch => "mT-Share_batch",
         }
     }
 
     /// Whether this scheme needs the mobility context.
     pub fn needs_context(&self) -> bool {
-        matches!(self, SchemeKind::MtShare | SchemeKind::MtSharePro)
+        matches!(self, SchemeKind::MtShare | SchemeKind::MtSharePro | SchemeKind::MtShareBatch)
     }
 
     /// Instantiates the scheme for a fleet of `n_taxis` over `graph`.
@@ -242,6 +245,12 @@ impl SchemeKind {
             SchemeKind::MtSharePro => {
                 let ctx = ctx.expect("mT-Share_pro needs a mobility context");
                 let cfg = base_cfg.with_probabilistic();
+                Box::new(MtShare::new(graph, ctx, cfg, n_taxis))
+            }
+            SchemeKind::MtShareBatch => {
+                let ctx = ctx.expect("mT-Share_batch needs a mobility context");
+                let mut cfg = base_cfg.with_batch();
+                cfg.probabilistic = false;
                 Box::new(MtShare::new(graph, ctx, cfg, n_taxis))
             }
         }
@@ -301,7 +310,10 @@ mod tests {
             let scheme = kind.build(&graph, 5, Some(ctx.clone()), None);
             assert_eq!(scheme.name(), kind.label());
         }
+        let batch = SchemeKind::MtShareBatch.build(&graph, 5, Some(ctx.clone()), None);
+        assert_eq!(batch.name(), "mT-Share_batch");
         assert!(!SchemeKind::TShare.needs_context());
         assert!(SchemeKind::MtShare.needs_context());
+        assert!(SchemeKind::MtShareBatch.needs_context());
     }
 }

@@ -58,6 +58,30 @@ pub struct SimConfig {
     /// Checkpoint/WAL persistence (crash-consistent warm restart).
     /// `None` runs without any state directory.
     pub persist: Option<PersistConfig>,
+    /// Rolling-horizon batch assignment: online arrivals are buffered
+    /// per window and matched jointly through a Kuhn–Munkres solve at
+    /// the window flush (see DESIGN.md, "Batch assignment"). `None`
+    /// dispatches greedily per arrival. Mutually exclusive with
+    /// speculative arrival batching: with a window open, `parallelism`
+    /// fans out *window scoring* instead.
+    pub batch: Option<BatchConfig>,
+}
+
+/// Rolling-horizon batch dispatch knobs ([`SimConfig::batch`]).
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Window length in simulated seconds: requests arriving within a
+    /// window are matched together at its flush.
+    pub window_s: f64,
+    /// How many later windows an unmatched request re-enters before it
+    /// is terminally rejected. `0` rejects at the first lost window.
+    pub max_retries: u32,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { window_s: 30.0, max_retries: 2 }
+    }
 }
 
 impl Default for SimConfig {
@@ -71,6 +95,7 @@ impl Default for SimConfig {
             retry: RetryPolicy::default(),
             validate_every: None,
             persist: None,
+            batch: None,
         }
     }
 }
@@ -91,6 +116,10 @@ enum Ev {
     Redispatch { request: RequestId, attempt: u32 },
     /// Runtime invariant sweep (`validate_every` cadence).
     Validate,
+    /// The open batch window flushes: its members are matched jointly
+    /// (batch mode only; exactly one is pending while the window holds
+    /// any member).
+    BatchFlush,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -160,6 +189,10 @@ pub struct Simulator {
     resolved: Vec<bool>,
     /// Requests cancelled before their release time: rejected on arrival.
     cancelled_pre_release: FxHashSet<RequestId>,
+    /// Members of the open batch window, in buffering order, with the
+    /// number of windows each already lost. Non-empty iff exactly one
+    /// `Ev::BatchFlush` is pending (batch mode only).
+    window: Vec<(RequestId, u32)>,
     cancelled: usize,
     redispatched: usize,
     invariant_violations: usize,
@@ -235,6 +268,7 @@ impl Simulator {
             plan,
             resolved: vec![false; n_requests],
             cancelled_pre_release: FxHashSet::default(),
+            window: Vec::new(),
             cancelled: 0,
             redispatched: 0,
             invariant_violations: 0,
@@ -353,7 +387,10 @@ impl Simulator {
                 }
             } else {
                 self.clock = self.clock.max(t_req);
-                if self.cfg.parallelism > 1 {
+                // In batch mode arrivals only enter the window buffer, so
+                // there is nothing to speculate on; `parallelism` fans out
+                // window *scoring* inside the flush instead.
+                if self.cfg.parallelism > 1 && self.cfg.batch.is_none() {
                     let batch = self.gather_batch(&order, self.next_arrival, t_ev);
                     if batch.len() >= 2 {
                         if self.process_batch(&batch, scheme) {
@@ -530,6 +567,15 @@ impl Simulator {
         }
         if req.offline {
             self.register_offline(&req);
+        } else if let Some(window_s) = self.cfg.batch.as_ref().map(|b| b.window_s) {
+            // Batch mode: buffer the arrival; the whole window is matched
+            // at the flush. The first member of a window arms its flush —
+            // the invariant is one pending flush iff the window is
+            // non-empty, so an arrival can never arm a second one.
+            if self.window.is_empty() {
+                self.push_ev(req.release_time + window_s, Ev::BatchFlush);
+            }
+            self.window.push((id, 0));
         } else {
             self.try_dispatch(&req, req.release_time, None, true, scheme);
         }
@@ -759,6 +805,7 @@ impl Simulator {
             Ev::Redispatch { request, attempt } => {
                 self.process_redispatch(q.time, request, attempt, scheme)
             }
+            Ev::BatchFlush => self.process_batch_flush(q.time, scheme),
             Ev::Validate => unreachable!("Validate is handled in the run loop"),
         }
     }
@@ -1267,6 +1314,142 @@ impl Simulator {
         }
     }
 
+    /// Drains the open batch window at its flush time `t`: scores one
+    /// cost row per live member, solves the rectangular assignment with
+    /// the Kuhn–Munkres solver (`mtshare-lap`) and commits each winner
+    /// through the scheme's revalidated [`DispatchScheme::dispatch_to`]
+    /// path. Losers re-enter the next window until their retry budget
+    /// runs out. One heap step, like any other event — the whole flush
+    /// is a pure function of the window contents and the frozen world,
+    /// so the trace is byte-identical at any `parallelism`.
+    fn process_batch_flush(&mut self, t: Time, scheme: &mut dyn DispatchScheme) {
+        let window_s = self.cfg.batch.as_ref().expect("flush only queued in batch mode").window_s;
+        let max_retries = self.cfg.batch.as_ref().expect("checked").max_retries;
+        // A member can turn terminal while buffered (a chaos cancel
+        // inside the open window): drop it here so it is matched — and
+        // accounted — exactly zero more times.
+        let members: Vec<(RequestId, u32)> = std::mem::take(&mut self.window)
+            .into_iter()
+            .filter(|&(id, _)| !self.resolved[id.index()])
+            .collect();
+        if members.is_empty() {
+            return;
+        }
+        let reqs: Vec<RideRequest> =
+            members.iter().map(|&(id, _)| self.requests.get(id).clone()).collect();
+        // Pin every window endpoint before the solve (infrastructure,
+        // untimed — the same contract as `try_dispatch`).
+        for r in &reqs {
+            self.oracle.pin(r.origin);
+            self.oracle.pin(r.destination);
+        }
+        let t0 = std::time::Instant::now();
+        let rows = {
+            let world = World {
+                graph: &self.graph,
+                cache: &self.cache,
+                oracle: &self.oracle,
+                taxis: &self.taxis,
+                requests: &self.requests,
+            };
+            scheme.score_window(&reqs, t, &world)
+        };
+        let Some(rows) = rows else {
+            // Scheme has no batch-window path: dispatch the members
+            // sequentially at the flush time (re-pins; pins refcount).
+            for r in &reqs {
+                self.oracle.unpin(r.origin);
+                self.oracle.unpin(r.destination);
+            }
+            for r in &reqs {
+                self.try_dispatch(r, t, None, true, scheme);
+            }
+            return;
+        };
+        debug_assert_eq!(rows.len(), reqs.len(), "one cost row per window member");
+
+        // Columns: the sorted union of candidate taxis across rows. The
+        // matrix entry is the marginal insertion detour, ∞ where a taxi
+        // is not a (feasible) candidate of that row's request.
+        let mut cols: Vec<TaxiId> =
+            rows.iter().flat_map(|r| r.candidates.iter().copied()).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        let (n_rows, n_cols) = (rows.len(), cols.len());
+        let mut cost = vec![f64::INFINITY; n_rows * n_cols];
+        for (i, row) in rows.iter().enumerate() {
+            for (c, taxi) in row.candidates.iter().enumerate() {
+                let j = cols.binary_search(taxi).expect("columns built from candidates");
+                cost[i * n_cols + j] = row.costs[c];
+            }
+        }
+        let sol = {
+            let _span = self.obs.stage(Stage::BatchSolve);
+            mtshare_lap::solve(n_rows, n_cols, &cost)
+        };
+        self.obs.record_lap(
+            n_rows as u64,
+            n_cols as u64,
+            sol.assigned as u64,
+            sol.stats.augmentations,
+            sol.stats.relaxations,
+            sol.stats.skipped_rows,
+        );
+        let per_req_s = t0.elapsed().as_secs_f64() / n_rows as f64;
+
+        for (i, (&(id, attempt), req)) in members.iter().zip(&reqs).enumerate() {
+            self.response_ms.push(per_req_s * 1000.0);
+            self.obs.record_response_s(per_req_s);
+            self.candidates.push(rows[i].candidates.len() as f64);
+            self.obs.emit(Event::Dispatch {
+                t,
+                req: id.0,
+                candidates: rows[i].candidates.len() as u32,
+                feasible: rows[i].feasible as u32,
+            });
+            // The LAP guarantees pairwise-distinct winners, so earlier
+            // commits in this flush never touch a later winner's taxi —
+            // each `dispatch_to` re-derives and re-verifies against the
+            // current world anyway (materialization can still fail, which
+            // demotes the row to a loser).
+            let committed = sol.row_to_col[i].map(|j| cols[j]).is_some_and(|taxi| {
+                let outcome = {
+                    let world = World {
+                        graph: &self.graph,
+                        cache: &self.cache,
+                        oracle: &self.oracle,
+                        taxis: &self.taxis,
+                        requests: &self.requests,
+                    };
+                    scheme.dispatch_to(req, taxi, t, &world)
+                };
+                match outcome.assignment {
+                    Some(a) => {
+                        self.commit(req, a, t, scheme);
+                        true
+                    }
+                    None => false,
+                }
+            });
+            if !committed {
+                self.oracle.unpin(req.origin);
+                self.oracle.unpin(req.destination);
+                if attempt >= max_retries {
+                    self.rejected += 1;
+                    self.resolved[id.index()] = true;
+                    self.emit_reject(req, t);
+                } else {
+                    self.window.push((id, attempt + 1));
+                }
+            }
+        }
+        // Losers re-queued above re-arm the next flush (the window was
+        // drained at entry, so they are its only members right now).
+        if !self.window.is_empty() {
+            self.push_ev(t + window_s, Ev::BatchFlush);
+        }
+    }
+
     /// Runtime invariant sweep: per-taxi consistency (`mtshare-chaos`),
     /// passenger conservation across the fleet, and index/world
     /// agreement. Violations are emitted as events and counted; healthy
@@ -1396,6 +1579,7 @@ impl Simulator {
             p95_response_ms: self.response_ms.quantile(0.95),
             avg_detour_min: self.detour_s.mean() / 60.0,
             avg_waiting_min: self.waiting_s.mean() / 60.0,
+            p95_waiting_min: self.waiting_s.quantile(0.95) / 60.0,
             avg_candidates: self.candidates.mean(),
             total_passenger_fares: self.fares_paid,
             total_solo_fares: self.fares_solo,
@@ -1720,5 +1904,61 @@ mod tests {
         let r = Simulator::new(graph, cache, &scenario, cfg).run(scheme.as_mut());
         assert_eq!(r.served + r.rejected, r.n_requests, "{r:?}");
         assert_eq!(r.invariant_violations, 0, "{r:?}");
+    }
+
+    #[test]
+    fn batch_window_survives_checkpoint_crash_and_resume() {
+        // A window much wider than the peak inter-arrival gap keeps the
+        // window non-empty through the early steps, so the checkpoint at
+        // step 16 and the crash at step 20 land mid-window: the snapshot
+        // must carry the buffered members and the pending flush event, and
+        // the resumed run must finish with the same outcomes as an
+        // uninterrupted one.
+        let dir = std::env::temp_dir().join(format!("mtshare-batchwin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let cache = PathCache::new(graph.clone());
+        let mut sc = ScenarioConfig::peak(8);
+        sc.n_requests = 60;
+        let scenario = Scenario::generate(graph.clone(), &cache, sc);
+        let ctx = build_context(&graph, &scenario.historical, 12, PartitionStrategy::Bipartite);
+        let batch = Some(BatchConfig { window_s: 60.0, max_retries: 2 });
+        let build = || {
+            SchemeKind::MtShareBatch.build(&graph, scenario.taxis.len(), Some(ctx.clone()), None)
+        };
+        let run = |persist: Option<PersistConfig>| {
+            let cfg = SimConfig { batch: batch.clone(), persist, ..SimConfig::default() };
+            let mut scheme = build();
+            Simulator::new(graph.clone(), cache.clone(), &scenario, cfg)
+                .run_to_outcome(scheme.as_mut())
+        };
+
+        let RunOutcome::Finished(full) = run(None) else { panic!("baseline must finish") };
+        assert!(full.served > 0, "{full:?}");
+
+        let mut pc = PersistConfig::new(dir.to_str().unwrap());
+        pc.checkpoint_every = 8;
+        pc.crash_at = Some(mtshare_chaos::CrashPoint::return_at(20));
+        let outcome = run(Some(pc));
+        assert!(matches!(outcome, RunOutcome::Crashed { step: 20 }), "{outcome:?}");
+
+        let mut pc = PersistConfig::new(dir.to_str().unwrap());
+        pc.checkpoint_every = 8;
+        pc.resume = true;
+        let RunOutcome::Finished(resumed) = run(Some(pc)) else { panic!("resume must finish") };
+
+        assert_eq!(full.served, resumed.served);
+        assert_eq!(full.rejected, resumed.rejected);
+        assert_eq!(full.avg_detour_min, resumed.avg_detour_min);
+        assert_eq!(full.avg_waiting_min, resumed.avg_waiting_min);
+        assert_eq!(full.total_driver_income, resumed.total_driver_income);
+        assert_eq!(full.served_records.len(), resumed.served_records.len());
+        for (a, b) in full.served_records.iter().zip(&resumed.served_records) {
+            assert_eq!((a.request, a.taxi), (b.request, b.taxi));
+            assert_eq!((a.pickup_t, a.dropoff_t), (b.pickup_t, b.dropoff_t));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -190,6 +190,9 @@ pub mod prelude {
 
 /// Runs one property: draws cases until `config.cases` succeed or a case
 /// fails. Rejections (via `prop_assume!`) retry up to a global attempt cap.
+/// The `PROPTEST_CASES` environment variable overrides every in-file case
+/// count — CI's deep-fuzz passes set it to shake out fresh regressions
+/// without editing the tests.
 pub fn run_property(
     name: &str,
     config: &ProptestConfig,
@@ -201,6 +204,11 @@ pub fn run_property(
     name.hash(&mut h);
     let mut rng = SmallRng::seed_from_u64(h.finish() ^ 0x5eed_cafe_f00d_d00d);
 
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let config = &ProptestConfig { cases };
     let mut passed = 0u32;
     let max_attempts = config.cases.saturating_mul(20).max(64);
     let mut attempts = 0u32;

@@ -16,8 +16,8 @@ use mt_share::mobility::Trip;
 use mt_share::road::{grid_city, io as road_io, GridCityConfig, SpatialGrid};
 use mt_share::routing::{ContractionHierarchy, PathCache, RouterBackend};
 use mt_share::sim::{
-    build_context, parse_trace, snap_trace, stats, Scenario, ScenarioConfig, SchemeKind, SimConfig,
-    Simulator, WorkloadConfig, WorkloadGenerator,
+    build_context, parse_trace, snap_trace, stats, BatchConfig, Scenario, ScenarioConfig,
+    SchemeKind, SimConfig, Simulator, WorkloadConfig, WorkloadGenerator,
 };
 use std::sync::Arc;
 
@@ -60,7 +60,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--router bidir|ch] # exact cost engine; traces identical either way\n                   [--ch-artifact FILE]        # persist/reuse the CH preprocessing (with --router ch)\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n                   [--state-dir DIR]   # checkpoint/WAL persistence (crash-consistent restart)\n                   [--checkpoint-every N]      # snapshot cadence in steps (default 256)\n                   [--resume]          # warm-restart from the newest valid checkpoint + WAL\n                   [--crash-at STEP]   # die (exit 42) after STEP steps, for restart testing\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
+        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro|batch]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--batch-window S]  # rolling-horizon window in sim seconds (with --scheme batch)\n                   [--batch-retries N] # re-queue budget for losing requests (with --scheme batch)\n                   [--router bidir|ch] # exact cost engine; traces identical either way\n                   [--ch-artifact FILE]        # persist/reuse the CH preprocessing (with --router ch)\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n                   [--state-dir DIR]   # checkpoint/WAL persistence (crash-consistent restart)\n                   [--checkpoint-every N]      # snapshot cadence in steps (default 256)\n                   [--resume]          # warm-restart from the newest valid checkpoint + WAL\n                   [--crash-at STEP]   # die (exit 42) after STEP steps, for restart testing\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
     );
     std::process::exit(2)
 }
@@ -161,10 +161,31 @@ fn simulate(args: &Args) {
         "pgreedy-dp" => SchemeKind::PGreedyDp,
         "mt-share" => SchemeKind::MtShare,
         "mt-share-pro" => SchemeKind::MtSharePro,
+        "batch" | "mt-share-batch" => SchemeKind::MtShareBatch,
         other => {
             eprintln!("unknown scheme: {other}");
             usage()
         }
+    };
+    let batch = if kind == SchemeKind::MtShareBatch {
+        let mut bc = BatchConfig::default();
+        if let Some(s) = args.get("batch-window") {
+            bc.window_s = s.parse().unwrap_or(0.0);
+            if bc.window_s.is_nan() || bc.window_s <= 0.0 {
+                eprintln!("--batch-window must be a positive number of seconds, got `{s}`");
+                std::process::exit(2);
+            }
+        }
+        bc.max_retries = args.num("batch-retries", bc.max_retries);
+        Some(bc)
+    } else {
+        for f in ["batch-window", "batch-retries"] {
+            if args.has(f) {
+                eprintln!("--{f} requires --scheme batch");
+                std::process::exit(2);
+            }
+        }
+        None
     };
     let ctx = kind.needs_context().then(|| {
         build_context(
@@ -231,7 +252,8 @@ fn simulate(args: &Args) {
         }
     };
     let chaos_on = chaos.is_some();
-    let sim_cfg = SimConfig { parallelism, chaos, validate_every, persist, ..SimConfig::default() };
+    let sim_cfg =
+        SimConfig { parallelism, chaos, validate_every, persist, batch, ..SimConfig::default() };
 
     let report =
         Simulator::new(graph, cache, &scenario, sim_cfg).with_obs(obs.clone()).run(scheme.as_mut());

@@ -10,25 +10,34 @@ use mt_share::obs::{schema, MemorySink, Obs};
 use mt_share::road::{grid_city, GridCityConfig};
 use mt_share::routing::PathCache;
 use mt_share::sim::{
-    build_context, Scenario, ScenarioConfig, SchemeKind, SimConfig, SimReport, Simulator,
+    build_context, BatchConfig, Scenario, ScenarioConfig, SchemeKind, SimConfig, SimReport,
+    Simulator,
 };
 use std::sync::Arc;
 
 fn chaos_run(chaos_seed: u64, parallelism: usize) -> (SimReport, String) {
+    chaos_run_kind(SchemeKind::MtShare, chaos_seed, parallelism)
+}
+
+fn chaos_run_kind(kind: SchemeKind, chaos_seed: u64, parallelism: usize) -> (SimReport, String) {
     let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
     let cache = PathCache::new(graph.clone());
     let scenario = Scenario::generate(graph.clone(), &cache, ScenarioConfig::peak(12));
     let ctx = build_context(&graph, &scenario.historical, 12, PartitionStrategy::Bipartite);
     let mt_cfg = MtShareConfig::default().with_parallelism(parallelism);
-    let mut scheme =
-        SchemeKind::MtShare.build(&graph, scenario.taxis.len(), Some(ctx), Some(mt_cfg));
+    let mut scheme = kind.build(&graph, scenario.taxis.len(), Some(ctx), Some(mt_cfg));
     let obs = Obs::enabled();
     let (sink, buf) = MemorySink::new();
     obs.add_sink(Box::new(sink));
+    // A wide window keeps requests buffered for long stretches, so the
+    // seeded disruptions overlap open windows often.
+    let batch = (kind == SchemeKind::MtShareBatch)
+        .then_some(BatchConfig { window_s: 45.0, max_retries: 2 });
     let cfg = SimConfig {
         parallelism,
         chaos: Some(ChaosConfig::with_seed(chaos_seed)),
         validate_every: Some(60.0),
+        batch,
         ..SimConfig::default()
     };
     let report =
@@ -96,6 +105,62 @@ fn chaos_traces_are_byte_identical_across_parallelism_and_reruns() {
     let (r4, t4) = chaos_run(seed, 4);
     assert_eq!(t1, t1b, "same seed, same parallelism must reproduce the trace byte-for-byte");
     assert_eq!(t1, t4, "parallel dispatch must not change the trace");
+    assert_eq!(
+        (r1.served, r1.rejected, r1.cancelled, r1.redispatched),
+        (r4.served, r4.rejected, r4.cancelled, r4.redispatched)
+    );
+}
+
+/// A chaos seed whose plan, under the batch scheme, cancels at least one
+/// request while it sits *unassigned* (i.e. buffered in an open window —
+/// under batch dispatch a released, unresolved, unassigned request is by
+/// definition window-buffered) and breaks at least one taxi. Deterministic
+/// scan, so the choice is stable.
+fn interesting_batch_seed() -> u64 {
+    for seed in 0..32 {
+        let (report, trace) = chaos_run_kind(SchemeKind::MtShareBatch, seed, 1);
+        let unassigned_cancel = trace
+            .lines()
+            .any(|l| l.contains("\"ev\":\"cancel\"") && l.contains("\"assigned\":false"));
+        if unassigned_cancel && count_kind(&trace, "breakdown") >= 1 && report.served > 0 {
+            return seed;
+        }
+    }
+    panic!("no chaos seed in 0..32 cancelled a window-buffered request under batch dispatch");
+}
+
+#[test]
+fn batch_chaos_open_window_disruptions_terminate_exactly_once() {
+    // The satellite case from the issue: a breakdown or cancel hitting a
+    // taxi/request involved in an *open* batch window must leave every
+    // request in exactly one terminal state — never lost in the window
+    // buffer, never double-terminated by both the cancel path and the
+    // flush path.
+    let (report, trace) = chaos_run_kind(SchemeKind::MtShareBatch, interesting_batch_seed(), 1);
+    schema::validate_trace(&trace).expect("batch chaos trace must be schema-valid");
+    assert_eq!(report.served + report.rejected, report.n_requests, "{report:?}");
+    assert_eq!(report.invariant_violations, 0, "{report:?}");
+    assert_eq!(count_kind(&trace, "dropoff"), report.served);
+    assert_eq!(count_kind(&trace, "reject"), report.rejected);
+    let mut terminals = vec![0usize; report.n_requests];
+    for line in trace.lines() {
+        if line.contains("\"ev\":\"dropoff\"") || line.contains("\"ev\":\"reject\"") {
+            terminals[req_id(line).expect("terminal events carry a request id") as usize] += 1;
+        }
+    }
+    for (req, n) in terminals.iter().enumerate() {
+        assert_eq!(*n, 1, "request {req} terminated {n} times");
+    }
+}
+
+#[test]
+fn batch_chaos_traces_are_byte_identical_across_parallelism_and_reruns() {
+    let seed = interesting_batch_seed();
+    let (r1, t1) = chaos_run_kind(SchemeKind::MtShareBatch, seed, 1);
+    let (_, t1b) = chaos_run_kind(SchemeKind::MtShareBatch, seed, 1);
+    let (r4, t4) = chaos_run_kind(SchemeKind::MtShareBatch, seed, 4);
+    assert_eq!(t1, t1b, "same seed, same parallelism must reproduce the batch trace");
+    assert_eq!(t1, t4, "parallel window scoring must not change the batch trace");
     assert_eq!(
         (r1.served, r1.rejected, r1.cancelled, r1.redispatched),
         (r4.served, r4.rejected, r4.cancelled, r4.redispatched)

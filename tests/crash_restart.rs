@@ -8,13 +8,12 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-fn mtshare(dir: &Path, extra: &[&str]) -> std::process::Output {
+fn mtshare(dir: &Path, scheme: &[&str], extra: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_mtshare"))
         .current_dir(dir)
+        .args(["simulate"])
+        .args(scheme)
         .args([
-            "simulate",
-            "--scheme",
-            "mt-share",
             "--taxis",
             "15",
             "--requests",
@@ -31,15 +30,26 @@ fn mtshare(dir: &Path, extra: &[&str]) -> std::process::Output {
 }
 
 fn crash_restart_roundtrip(name: &str, par_crash: &str, par_resume: &str) {
+    crash_restart_scheme(name, &["--scheme", "mt-share"], par_crash, par_resume, "80");
+}
+
+fn crash_restart_scheme(
+    name: &str,
+    scheme: &[&str],
+    par_crash: &str,
+    par_resume: &str,
+    crash_at: &str,
+) {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("cli-{name}"));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
 
-    let full = mtshare(&dir, &["--parallelism", par_crash, "--trace-out", "full.jsonl"]);
+    let full = mtshare(&dir, scheme, &["--parallelism", par_crash, "--trace-out", "full.jsonl"]);
     assert!(full.status.success(), "baseline: {}", String::from_utf8_lossy(&full.stderr));
 
     let crash = mtshare(
         &dir,
+        scheme,
         &[
             "--parallelism",
             par_crash,
@@ -50,7 +60,7 @@ fn crash_restart_roundtrip(name: &str, par_crash: &str, par_resume: &str) {
             "--checkpoint-every",
             "25",
             "--crash-at",
-            "80",
+            crash_at,
         ],
     );
     assert_eq!(
@@ -62,6 +72,7 @@ fn crash_restart_roundtrip(name: &str, par_crash: &str, par_resume: &str) {
 
     let resume = mtshare(
         &dir,
+        scheme,
         &[
             "--parallelism",
             par_resume,
@@ -97,4 +108,30 @@ fn process_crash_and_restart_parallel() {
 #[test]
 fn process_crash_parallel_restart_sequential() {
     crash_restart_roundtrip("cross", "4", "1");
+}
+
+// The batch scheme keeps an open request window between flushes; a wide
+// `--batch-window` makes the fixed crash step land while the window is
+// non-empty, so the snapshot/WAL must carry the buffered members and the
+// pending flush event across the restart.
+const BATCH: &[&str] = &["--scheme", "batch", "--batch-window", "45"];
+
+#[test]
+fn batch_crash_and_restart_sequential() {
+    crash_restart_scheme("batch-seq", BATCH, "1", "1", "60");
+}
+
+#[test]
+fn batch_crash_parallel_restart_sequential() {
+    crash_restart_scheme("batch-cross", BATCH, "4", "1", "60");
+}
+
+#[test]
+fn batch_crash_mid_window_various_steps() {
+    // Sweep crash points so at least one lands between an arrival being
+    // buffered and its window's flush — the checkpoint-boundary-mid-window
+    // case — regardless of workload drift.
+    for (i, step) in ["40", "75", "110"].iter().enumerate() {
+        crash_restart_scheme(&format!("batch-step{i}"), BATCH, "1", "1", step);
+    }
 }

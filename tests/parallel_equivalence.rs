@@ -16,7 +16,8 @@ use mt_share::obs::{json, MemorySink, Obs};
 use mt_share::road::{grid_city, GridCityConfig};
 use mt_share::routing::PathCache;
 use mt_share::sim::{
-    build_context, Scenario, ScenarioConfig, SchemeKind, SimConfig, SimReport, Simulator,
+    build_context, BatchConfig, Scenario, ScenarioConfig, SchemeKind, SimConfig, SimReport,
+    Simulator,
 };
 use std::sync::Arc;
 
@@ -38,7 +39,8 @@ fn run_with_obs(
         .then(|| build_context(&graph, &scenario.historical, 12, PartitionStrategy::Bipartite));
     let mt_cfg = MtShareConfig::default().with_parallelism(parallelism);
     let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, Some(mt_cfg));
-    let sim_cfg = SimConfig { parallelism, ..SimConfig::default() };
+    let batch = (kind == SchemeKind::MtShareBatch).then(BatchConfig::default);
+    let sim_cfg = SimConfig { parallelism, batch, ..SimConfig::default() };
     let report =
         Simulator::new(graph, cache, &scenario, sim_cfg).with_obs(obs.clone()).run(scheme.as_mut());
     (report, obs)
@@ -179,6 +181,71 @@ fn telemetry_does_not_change_outcomes() {
     let obs = Obs::enabled();
     let (observed, _) = run_with_obs(SchemeKind::MtShare, &cfg, 8, obs);
     assert_equivalent(&plain, &observed, "observed vs unobserved @8");
+}
+
+#[test]
+fn batch_scheme_is_thread_count_invariant() {
+    // Rolling-horizon batch dispatch scores window rows speculatively but
+    // the LAP solve and commit order are a pure function of the window
+    // contents — outcomes must not depend on the worker count.
+    let cfg = ScenarioConfig::peak(12);
+    let seq = run_at(SchemeKind::MtShareBatch, &cfg, 1);
+    assert!(seq.served > 0, "scenario must exercise the batch dispatcher: {seq:?}");
+    for threads in [2, 4, 8] {
+        let par = run_at(SchemeKind::MtShareBatch, &cfg, threads);
+        assert_equivalent(&seq, &par, &format!("mT-Share_batch peak @{threads}"));
+    }
+}
+
+#[test]
+fn batch_scheme_nonpeak_with_offline_requests_is_thread_count_invariant() {
+    // Offline encounters stay on the sequential greedy path even in batch
+    // mode; the interleaving of encounter commits and window flushes must
+    // still be thread-count invariant.
+    let cfg = ScenarioConfig::nonpeak(16);
+    let seq = run_at(SchemeKind::MtShareBatch, &cfg, 1);
+    assert!(seq.n_offline > 0, "scenario must contain offline requests");
+    for threads in [2, 4] {
+        let par = run_at(SchemeKind::MtShareBatch, &cfg, threads);
+        assert_equivalent(&seq, &par, &format!("mT-Share_batch nonpeak @{threads}"));
+    }
+}
+
+#[test]
+fn batch_telemetry_is_byte_identical_and_schema_valid() {
+    // The batch scheme's event stream (window-flush dispatches, LAP spans)
+    // and its summary minus "profiling" must be byte-identical at any
+    // worker count, and the unstripped summary must satisfy the v5 schema
+    // (profiling.lap block, batch_solve stage histogram).
+    let cfg = ScenarioConfig::peak(12);
+    let obs = Obs::enabled();
+    let (sink, buf) = MemorySink::new();
+    obs.add_sink(Box::new(sink));
+    let (_, obs) = run_with_obs(SchemeKind::MtShareBatch, &cfg, 1, obs);
+    let trace1 = buf.lock().unwrap().clone();
+    assert!(!trace1.is_empty(), "scenario must emit events");
+    mt_share::obs::schema::validate_trace(&trace1).expect("trace schema");
+    let full_summary = obs.summary_json().expect("telemetry enabled");
+    mt_share::obs::schema::validate_summary(&full_summary).expect("summary schema v5");
+    assert!(obs.lap_solves() > 0, "batch runs must record LAP solves");
+    let mut v = json::parse(&full_summary).expect("summary parses");
+    v.strip_key("profiling");
+    let summary1 = v.to_json();
+    for threads in [2, 8] {
+        let (trace_n, summary_n) = telemetry_at(SchemeKind::MtShareBatch, &cfg, threads);
+        assert_eq!(trace1, trace_n, "batch event stream differs @{threads}");
+        assert_eq!(summary1, summary_n, "batch stripped summary differs @{threads}");
+    }
+}
+
+#[test]
+fn batch_run_repeats_identically() {
+    // Same seed, same thread count, run twice: the batch path must be
+    // reproducible run-to-run, not just across worker counts.
+    let cfg = ScenarioConfig::peak(12);
+    let a = run_at(SchemeKind::MtShareBatch, &cfg, 4);
+    let b = run_at(SchemeKind::MtShareBatch, &cfg, 4);
+    assert_equivalent(&a, &b, "mT-Share_batch peak @4 repeat");
 }
 
 #[test]

@@ -1,0 +1,144 @@
+//! Guards for the checked-in `.proptest-regressions` files.
+//!
+//! The vendored proptest shim does not read regression files, so two
+//! things keep them from rotting: (1) every file must stay syntactically
+//! valid — a future migration back to upstream proptest must be able to
+//! load them — and (2) each pinned counterexample is replayed here as an
+//! explicit deterministic test, so the bug it once caught stays caught.
+//! CI runs this suite alongside a deep-fuzz pass (`PROPTEST_CASES`) whose
+//! fresh failures get folded back into the files and this list.
+
+use mt_share::core::{settle_episode, PartitionStrategy, PassengerTrip, PaymentConfig};
+use mt_share::model::RequestId;
+use mt_share::road::{grid_city, GridCityConfig};
+use mt_share::routing::PathCache;
+use mt_share::sim::{
+    build_context, Scenario, ScenarioConfig, SchemeKind, SimConfig, Simulator, WorkloadConfig,
+};
+use std::sync::Arc;
+
+/// All regression files tracked in the repository. Listing them explicitly
+/// (rather than globbing) means a new file must also come with replay
+/// coverage below, or this test is updated consciously.
+const REGRESSION_FILES: &[&str] = &[
+    "tests/payment_properties.proptest-regressions",
+    "tests/simulation_fuzz.proptest-regressions",
+];
+
+#[test]
+fn regression_files_parse() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    for rel in REGRESSION_FILES {
+        let path = format!("{root}/{rel}");
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {rel}: {e}"));
+        let mut pinned = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // Upstream proptest's persistence format: `cc <64-hex-digest>`
+            // optionally followed by a `# shrinks to ...` comment.
+            let rest = line
+                .strip_prefix("cc ")
+                .unwrap_or_else(|| panic!("{rel}:{}: unknown directive `{line}`", i + 1));
+            let digest = rest.split_whitespace().next().unwrap_or("");
+            assert_eq!(digest.len(), 64, "{rel}:{}: digest `{digest}` is not 64 chars", i + 1);
+            assert!(
+                digest.chars().all(|c| c.is_ascii_hexdigit()),
+                "{rel}:{}: digest `{digest}` is not hex",
+                i + 1
+            );
+            if let Some(comment) = rest[digest.len()..].trim_start().strip_prefix('#') {
+                assert!(
+                    comment.trim_start().starts_with("shrinks to"),
+                    "{rel}:{}: unexpected trailing comment `{comment}`",
+                    i + 1
+                );
+            }
+            pinned += 1;
+        }
+        assert!(pinned >= 1, "{rel}: no pinned cases — delete the file instead");
+    }
+}
+
+/// Replays the pinned counterexample from
+/// `payment_properties.proptest-regressions`: one rider with a large
+/// detour, one on the direct path and one whose solo trip dwarfs the
+/// shared route, settled with β ≈ 0.78 at the minimum η. Historically the
+/// rebate clamp let rider 2's fare go negative here.
+#[test]
+fn payment_regression_case_settles_cleanly() {
+    let trips = [
+        PassengerTrip {
+            request: RequestId(0),
+            shared_cost_s: 742.7073117229244,
+            direct_cost_s: 300.0,
+        },
+        PassengerTrip { request: RequestId(1), shared_cost_s: 300.0, direct_cost_s: 300.0 },
+        PassengerTrip {
+            request: RequestId(2),
+            shared_cost_s: 2679.492525802072,
+            direct_cost_s: 2679.492525802072,
+        },
+    ];
+    let cfg = PaymentConfig { beta: 0.7814627481067329, eta: 0.001, ..Default::default() };
+    let s = settle_episode(&trips, 300.0, &cfg);
+
+    assert!(s.benefit >= 0.0);
+    assert!(s.benefit <= s.no_share_total + 1e-9);
+    let total: f64 = s.fares.iter().map(|(_, f)| f).sum();
+    assert!((total - s.driver_income).abs() < 1e-6);
+    assert!(s.driver_income >= s.no_share_total - cfg.beta * s.benefit - 1e-6);
+    for (t, (_, fare)) in trips.iter().zip(&s.fares) {
+        let solo = cfg.fare.fare_for_cost(t.direct_cost_s, cfg.speed_mps);
+        assert!(*fare <= solo + 1e-9, "fare {fare} > solo {solo}");
+        assert!(*fare >= 0.0, "negative fare {fare}");
+    }
+}
+
+/// Replays the pinned counterexample from
+/// `simulation_fuzz.proptest-regressions`: seed 820, a 2-taxi fleet under
+/// 21 requests at ρ = 1.75 with mT-Share (scheme_pick = 3). Historically
+/// a replanning race here delivered a rider after their deadline.
+#[test]
+fn simulation_fuzz_regression_case_upholds_invariants() {
+    let seed = 820u64;
+    let graph = Arc::new(
+        grid_city(&GridCityConfig { rows: 16, cols: 16, seed: seed % 5, ..Default::default() })
+            .unwrap(),
+    );
+    let cache = PathCache::new(graph.clone());
+    let cfg = ScenarioConfig {
+        kind: mt_share::sim::ScenarioKind::NonPeak,
+        n_taxis: 2,
+        capacity: 2 + (seed % 3) as u8,
+        rho: 1.75,
+        n_requests: 21,
+        duration_s: 1200.0,
+        offline_fraction: 0.0,
+        n_historical: 400,
+        workload: WorkloadConfig {
+            seed: seed.wrapping_mul(31),
+            min_trip_m: 400.0,
+            ..Default::default()
+        },
+        seed,
+    };
+    let scenario = Scenario::generate(graph.clone(), &cache, cfg);
+    let ctx = build_context(&graph, &scenario.historical, 6, PartitionStrategy::Bipartite);
+    let mut scheme = SchemeKind::MtShare.build(&graph, scenario.taxis.len(), Some(ctx), None);
+    let r = Simulator::new(graph, cache, &scenario, SimConfig::default()).run(scheme.as_mut());
+
+    assert_eq!(r.served + r.rejected, r.n_requests, "{r:?}");
+    assert_eq!(r.served, r.served_records.len());
+    for rec in &r.served_records {
+        let req = &scenario.requests[rec.request as usize];
+        assert!(rec.pickup_t >= req.release_time - 1e-6);
+        assert!(rec.dropoff_t <= req.deadline + 1e-3, "{rec:?} deadline {}", req.deadline);
+        assert!(rec.dropoff_t - rec.pickup_t >= req.direct_cost_s - 1.0);
+    }
+    assert!(r.total_passenger_fares <= r.total_solo_fares + 1e-6);
+    assert!((r.total_passenger_fares - r.total_driver_income).abs() < 1e-6);
+}

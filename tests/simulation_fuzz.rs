@@ -8,10 +8,29 @@ use mt_share::core::PartitionStrategy;
 use mt_share::road::{grid_city, GridCityConfig};
 use mt_share::routing::PathCache;
 use mt_share::sim::{
-    build_context, Scenario, ScenarioConfig, SchemeKind, SimConfig, Simulator, WorkloadConfig,
+    build_context, BatchConfig, Scenario, ScenarioConfig, SchemeKind, SimConfig, Simulator,
+    WorkloadConfig,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// The non-peak comparison set plus the rolling-horizon batch dispatcher:
+/// the fuzzers must cover the LAP window path alongside the greedy ones.
+const FUZZ_SET: [SchemeKind; 6] = [
+    SchemeKind::NoSharing,
+    SchemeKind::TShare,
+    SchemeKind::PGreedyDp,
+    SchemeKind::MtShare,
+    SchemeKind::MtSharePro,
+    SchemeKind::MtShareBatch,
+];
+
+/// Batch sim-config for the batch scheme, `None` otherwise. Window width
+/// varies with the seed so flush boundaries land in different places.
+fn batch_cfg(kind: SchemeKind, seed: u64) -> Option<BatchConfig> {
+    (kind == SchemeKind::MtShareBatch)
+        .then_some(BatchConfig { window_s: 10.0 + (seed % 5) as f64 * 15.0, max_retries: 2 })
+}
 
 fn run_random(
     seed: u64,
@@ -47,7 +66,8 @@ fn run_random(
         .needs_context()
         .then(|| build_context(&graph, &scenario.historical, 6, PartitionStrategy::Bipartite));
     let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, None);
-    let sim = Simulator::new(graph, cache, &scenario, SimConfig::default());
+    let sim_cfg = SimConfig { batch: batch_cfg(kind, seed), ..SimConfig::default() };
+    let sim = Simulator::new(graph, cache, &scenario, sim_cfg);
     let report = sim.run(scheme.as_mut());
     (scenario, report)
 }
@@ -62,9 +82,9 @@ proptest! {
         n_requests in 5usize..40,
         rho_pct in 105u32..200,
         offline_pct in 0u32..50,
-        scheme_pick in 0usize..5,
+        scheme_pick in 0usize..6,
     ) {
-        let kind = SchemeKind::NONPEAK_SET[scheme_pick];
+        let kind = FUZZ_SET[scheme_pick];
         let (scenario, r) = run_random(
             seed,
             n_taxis,
@@ -102,9 +122,9 @@ proptest! {
         shifts in 0u32..3,
         n_taxis in 2usize..8,
         n_requests in 5usize..30,
-        scheme_pick in 0usize..5,
+        scheme_pick in 0usize..6,
     ) {
-        let kind = SchemeKind::NONPEAK_SET[scheme_pick];
+        let kind = FUZZ_SET[scheme_pick];
         let graph = Arc::new(
             grid_city(&GridCityConfig { rows: 16, cols: 16, seed: seed % 5, ..Default::default() })
                 .unwrap(),
@@ -138,6 +158,7 @@ proptest! {
         let sim_cfg = SimConfig {
             chaos: Some(chaos),
             validate_every: Some(90.0),
+            batch: batch_cfg(kind, seed),
             ..SimConfig::default()
         };
         let r = Simulator::new(graph, cache, &scenario, sim_cfg).run(scheme.as_mut());
