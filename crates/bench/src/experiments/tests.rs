@@ -96,6 +96,7 @@ fn all_ids_are_covered_by_the_registry() {
                     | "fig19"
                     | "fig20"
                     | "fig21"
+                    | "batch"
             ),
             "unknown id in catalogue: {id}"
         );

@@ -37,11 +37,20 @@ pub enum RejectReason {
     /// Recovery re-dispatch attempts for an orphaned rider ran out of
     /// the bounded retry budget.
     RetriesExhausted,
+    /// Service mode: the bounded admission queue was full and the
+    /// `shed-oldest` policy dropped this (oldest queued) request.
+    QueueShed,
+    /// Service mode: the bounded admission queue was full and the
+    /// `reject-new` policy turned this request away at the door.
+    QueueRejected,
+    /// Service mode: the request arrived after the drain protocol had
+    /// already stopped admission.
+    DrainRejected,
 }
 
 impl RejectReason {
     /// All variants in stable (serialization) order.
-    pub const ALL: [RejectReason; 9] = [
+    pub const ALL: [RejectReason; 12] = [
         RejectReason::EmptyFleet,
         RejectReason::UnreachableOd,
         RejectReason::InfeasibleDeadline,
@@ -51,6 +60,9 @@ impl RejectReason {
         RejectReason::CancelledByPassenger,
         RejectReason::TaxiFailed,
         RejectReason::RetriesExhausted,
+        RejectReason::QueueShed,
+        RejectReason::QueueRejected,
+        RejectReason::DrainRejected,
     ];
 
     /// The snake_case label used in JSONL events and the summary.
@@ -65,6 +77,9 @@ impl RejectReason {
             RejectReason::CancelledByPassenger => "cancelled_by_passenger",
             RejectReason::TaxiFailed => "taxi_failed",
             RejectReason::RetriesExhausted => "retries_exhausted",
+            RejectReason::QueueShed => "queue_shed",
+            RejectReason::QueueRejected => "queue_rejected",
+            RejectReason::DrainRejected => "drain_rejected",
         }
     }
 
@@ -80,6 +95,9 @@ impl RejectReason {
             RejectReason::CancelledByPassenger => 6,
             RejectReason::TaxiFailed => 7,
             RejectReason::RetriesExhausted => 8,
+            RejectReason::QueueShed => 9,
+            RejectReason::QueueRejected => 10,
+            RejectReason::DrainRejected => 11,
         }
     }
 

@@ -190,6 +190,10 @@ impl Histogram {
     /// holding the nearest-rank observation. 0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        Self::quantile_of(&counts, q)
+    }
+
+    fn quantile_of(counts: &[u64], q: f64) -> f64 {
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0.0;
@@ -204,6 +208,39 @@ impl Histogram {
         }
         Self::representative(BUCKETS - 1)
     }
+
+    /// Freezes the current bucket counts, for later interval-delta
+    /// queries (steady-state reports subtract two snapshots to get the
+    /// distribution of just the last interval).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Observations recorded since `prev` was taken.
+    pub fn count_since(&self, prev: &HistogramSnapshot) -> u64 {
+        self.count().saturating_sub(prev.counts.iter().sum())
+    }
+
+    /// Approximate `q`-quantile over only the observations recorded
+    /// since `prev` was taken (0 when the interval is empty). Buckets
+    /// are monotone, so the delta is a well-formed histogram.
+    pub fn quantile_since(&self, prev: &HistogramSnapshot, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(&prev.counts)
+            .map(|(b, &p)| b.load(Ordering::Relaxed).saturating_sub(p))
+            .collect();
+        Self::quantile_of(&counts, q)
+    }
+}
+
+/// Frozen bucket counts of a [`Histogram`] ([`Histogram::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
 }
 
 impl std::fmt::Debug for Histogram {
@@ -274,6 +311,25 @@ mod tests {
         h.record(f64::NAN);
         assert_eq!(h.count(), 3);
         assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_snapshot_deltas_cover_only_the_interval() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(0.001); // 1 ms
+        }
+        let snap = h.snapshot();
+        assert_eq!(h.count_since(&snap), 0);
+        assert_eq!(h.quantile_since(&snap, 0.95), 0.0);
+        for _ in 0..50 {
+            h.record(1.0); // 1 s, only in the second interval
+        }
+        assert_eq!(h.count_since(&snap), 50);
+        let p95 = h.quantile_since(&snap, 0.95);
+        assert!(p95 > 1.0 / 1.4 && p95 < 1.4, "interval p95 = {p95}");
+        // The cumulative quantile still sees the old mass.
+        assert!(h.quantile(0.5) < 0.01);
     }
 
     #[test]

@@ -34,12 +34,14 @@ pub mod json;
 pub mod schema;
 pub mod sink;
 pub mod span;
+pub mod steady;
 
 pub use counters::ShardedCounter;
 pub use event::{Event, RejectReason, EVENT_KINDS};
-pub use hist::{Histogram, Series};
+pub use hist::{Histogram, HistogramSnapshot, Series};
 pub use sink::{EventSink, JsonlSink, MemorySink};
 pub use span::Stage;
+pub use steady::{rss_bytes, SteadyExtra, SteadyTracker, STEADY_SCHEMA};
 
 use mtshare_persist::{DecodeError, Decoder, Encoder, Persist};
 use std::fmt::Write as _;
@@ -52,7 +54,10 @@ use std::time::Instant;
 const MAX_WORKERS: usize = 64;
 
 /// Summary schema identifier, bumped on breaking layout changes.
-pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v5";
+/// v6: the `rejections` block gained the service-mode admission reasons
+/// (`queue_shed`, `queue_rejected`, `drain_rejected`); the steady-state
+/// report stream ([`steady::STEADY_SCHEMA`]) ships alongside.
+pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v6";
 
 /// Static facts about the run, reported verbatim in the summary.
 #[derive(Debug, Clone, Default)]

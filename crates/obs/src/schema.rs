@@ -7,7 +7,7 @@
 use crate::event::{RejectReason, EVENT_KINDS};
 use crate::json::{self, Value};
 use crate::span::Stage;
-use crate::SUMMARY_SCHEMA;
+use crate::{STEADY_SCHEMA, SUMMARY_SCHEMA};
 
 /// Field spec: name, expected type.
 #[derive(Clone, Copy)]
@@ -15,6 +15,7 @@ enum Ty {
     Num,
     Bool,
     Str,
+    Obj,
 }
 
 fn check_fields(v: &Value, required: &[(&str, Ty)], context: &str) -> Result<(), String> {
@@ -29,6 +30,7 @@ fn check_fields(v: &Value, required: &[(&str, Ty)], context: &str) -> Result<(),
             Ty::Num => matches!(val, Value::Num(_)),
             Ty::Bool => matches!(val, Value::Bool(_)),
             Ty::Str => matches!(val, Value::Str(_)),
+            Ty::Obj => matches!(val, Value::Obj(_)),
         };
         if !ok {
             return Err(format!("{context}: field \"{name}\" has wrong type"));
@@ -317,10 +319,72 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates one steady-state report JSONL line.
+pub fn validate_steady_line(line: &str) -> Result<(), String> {
+    let v = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    match v.get("schema").and_then(|s| s.as_str()) {
+        Some(STEADY_SCHEMA) => {}
+        Some(other) => return Err(format!("unknown steady schema \"{other}\"")),
+        None => return Err("missing \"schema\"".to_string()),
+    }
+    check_fields(
+        &v,
+        &[
+            ("schema", Ty::Str),
+            ("t", Ty::Num),
+            ("interval_s", Ty::Num),
+            ("arrivals", Ty::Num),
+            ("commits", Ty::Num),
+            ("rejects", Ty::Num),
+            ("shed", Ty::Num),
+            ("queue_peak", Ty::Num),
+            ("ingested", Ty::Num),
+            ("steps", Ty::Num),
+            ("stage_p95_us", Ty::Obj),
+            ("rss_bytes", Ty::Num),
+        ],
+        "steady",
+    )?;
+    let stages = v.get("stage_p95_us").expect("checked above");
+    for stage in Stage::ALL {
+        require_num(stages, "stage_p95_us", stage.label())?;
+    }
+    Ok(())
+}
+
+/// Validates a whole steady-state JSONL stream: every line against
+/// [`validate_steady_line`], virtual time non-decreasing, the
+/// `ingested`/`steps` gauges monotone. Returns the line count.
+pub fn validate_steady(text: &str) -> Result<usize, String> {
+    let mut n = 0usize;
+    let mut last_t = f64::NEG_INFINITY;
+    let mut last_ingested = 0.0f64;
+    let mut last_steps = 0.0f64;
+    for (i, line) in text.lines().enumerate() {
+        validate_steady_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let v = json::parse(line).expect("validated above");
+        let t = v.get("t").and_then(|t| t.as_num()).expect("validated above");
+        if t < last_t {
+            return Err(format!("line {}: virtual time went backwards ({t} < {last_t})", i + 1));
+        }
+        last_t = t;
+        for (key, last) in [("ingested", &mut last_ingested), ("steps", &mut last_steps)] {
+            let g = v.get(key).and_then(|g| g.as_num()).expect("validated above");
+            if g < *last {
+                return Err(format!("line {}: gauge \"{key}\" went backwards", i + 1));
+            }
+            *last = g;
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::event::Event;
+    use crate::steady::{SteadyExtra, SteadyTracker};
     use crate::{ExternalStats, Obs, RunInfo};
 
     #[test]
@@ -396,6 +460,50 @@ mod tests {
         obs.set_external_stats(ExternalStats::default());
         let summary = obs.summary_json().unwrap();
         validate_summary(&summary).unwrap_or_else(|e| panic!("{e}\n{summary}"));
+    }
+
+    #[test]
+    fn real_steady_stream_passes_validation() {
+        let obs = Obs::enabled();
+        let mut tracker = SteadyTracker::new(&obs);
+        obs.emit(Event::Arrival { t: 1.0, req: 0, offline: false });
+        let mut stream = String::new();
+        let extra = SteadyExtra { queue_peak: 1, ingested: 1, steps: 2 };
+        stream.push_str(&tracker.report_line(&obs, 10.0, &extra).unwrap());
+        stream.push('\n');
+        obs.emit(Event::Reject { t: 12.0, req: 0, reason: RejectReason::QueueShed });
+        let extra = SteadyExtra { queue_peak: 0, ingested: 1, steps: 3 };
+        stream.push_str(&tracker.report_line(&obs, 20.0, &extra).unwrap());
+        stream.push('\n');
+        assert_eq!(validate_steady(&stream), Ok(2), "{stream}");
+    }
+
+    #[test]
+    fn malformed_steady_lines_are_rejected() {
+        let obs = Obs::enabled();
+        let mut tracker = SteadyTracker::new(&obs);
+        let good = tracker.report_line(&obs, 5.0, &SteadyExtra::default()).unwrap();
+        assert!(validate_steady_line(&good).is_ok());
+        for bad in [
+            "not json".to_string(),
+            good.replace(crate::STEADY_SCHEMA, "mtshare-obs-steady/v0"), // wrong schema
+            good.replace("\"arrivals\":0,", ""),                         // missing field
+            good.replace("\"shed\":0", "\"shed\":0,\"extra\":1"),        // undocumented field
+            good.replace("\"commit\":0", "\"commit\":\"fast\""),         // stage not a number
+        ] {
+            assert!(validate_steady_line(&bad).is_err(), "{bad} should fail");
+        }
+        // Time or gauges going backwards fail the stream check.
+        let later = tracker.report_line(&obs, 9.0, &SteadyExtra::default()).unwrap();
+        let backwards = format!("{later}\n{good}\n");
+        assert!(validate_steady(&backwards).is_err());
+        let regress = tracker
+            .report_line(&obs, 11.0, &SteadyExtra { queue_peak: 0, ingested: 5, steps: 9 })
+            .unwrap();
+        let shrink = tracker
+            .report_line(&obs, 12.0, &SteadyExtra { queue_peak: 0, ingested: 4, steps: 9 })
+            .unwrap();
+        assert!(validate_steady(&format!("{regress}\n{shrink}\n")).is_err());
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Bounded admission queue with explicit load-shedding policies.
+//!
+//! Entries of one burst arrive "simultaneously" — faster than the
+//! engine drains them — so they contend for a queue of fixed capacity.
+//! Between bursts the engine always catches up ([`run_until_idle`]
+//! returns `Idle` before the next burst is read), so every burst starts
+//! against an empty queue. That makes admission *memoryless*: the
+//! decisions are a pure function of the burst and the configuration,
+//! which is what lets a resumed run re-derive the original run's
+//! decisions without persisting any queue state.
+//!
+//! [`run_until_idle`]: mtshare_sim::SimEngine::run_until_idle
+
+use mtshare_obs::RejectReason;
+use std::collections::VecDeque;
+
+/// What to do when a burst overruns the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Lossless: the producer blocks until the consumer frees a slot.
+    /// Every entry is admitted; requires capacity ≥ 1.
+    Block,
+    /// Shed the oldest queued entry to make room for the newcomer
+    /// (newest-wins). Sheds emit [`RejectReason::QueueShed`].
+    ShedOldest,
+    /// Drop the newcomer when the queue is full (oldest-wins). Drops
+    /// emit [`RejectReason::QueueRejected`].
+    RejectNew,
+}
+
+impl AdmissionPolicy {
+    /// Parses the CLI spelling (`block` / `shed-oldest` / `reject-new`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "block" => Ok(AdmissionPolicy::Block),
+            "shed-oldest" => Ok(AdmissionPolicy::ShedOldest),
+            "reject-new" => Ok(AdmissionPolicy::RejectNew),
+            other => {
+                Err(format!("unknown admission policy `{other}` (block|shed-oldest|reject-new)"))
+            }
+        }
+    }
+}
+
+/// A bounded admission queue configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionQueue {
+    /// Queue capacity in entries. Zero is legal for the shedding
+    /// policies (everything overruns) and rejected for `block`.
+    pub capacity: usize,
+    /// Overrun policy.
+    pub policy: AdmissionPolicy,
+}
+
+/// The outcome of pushing one burst through the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BurstAdmission {
+    /// Per entry, in feed order: `None` = admitted, `Some(reason)` =
+    /// load-shed with that reject reason.
+    pub decisions: Vec<Option<RejectReason>>,
+    /// Peak queue depth the burst reached.
+    pub queue_peak: usize,
+}
+
+impl AdmissionQueue {
+    /// Validates the configuration (a blocking producer in front of a
+    /// zero-capacity queue deadlocks by construction).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.policy == AdmissionPolicy::Block && self.capacity == 0 {
+            return Err("--admission block with --queue-capacity 0 can never admit anything".into());
+        }
+        Ok(())
+    }
+
+    /// Runs one burst of `n` simultaneous arrivals through the queue
+    /// and returns the per-entry decisions.
+    pub fn admit_burst(&self, n: usize) -> BurstAdmission {
+        let mut decisions: Vec<Option<RejectReason>> = vec![None; n];
+        match self.policy {
+            // The producer blocks while the consumer drains: everything
+            // gets through, and the queue itself never exceeds capacity.
+            AdmissionPolicy::Block => {
+                BurstAdmission { decisions, queue_peak: n.min(self.capacity) }
+            }
+            AdmissionPolicy::ShedOldest | AdmissionPolicy::RejectNew => {
+                let mut queued: VecDeque<usize> = VecDeque::new();
+                let mut peak = 0;
+                for i in 0..n {
+                    if queued.len() == self.capacity {
+                        match self.policy {
+                            AdmissionPolicy::ShedOldest => {
+                                match queued.pop_front() {
+                                    Some(oldest) => {
+                                        decisions[oldest] = Some(RejectReason::QueueShed);
+                                        queued.push_back(i);
+                                    }
+                                    // Capacity 0: there is no queued
+                                    // entry to evict, the newcomer
+                                    // itself is the shed.
+                                    None => decisions[i] = Some(RejectReason::QueueShed),
+                                }
+                            }
+                            AdmissionPolicy::RejectNew => {
+                                decisions[i] = Some(RejectReason::QueueRejected)
+                            }
+                            AdmissionPolicy::Block => unreachable!(),
+                        }
+                    } else {
+                        queued.push_back(i);
+                    }
+                    peak = peak.max(queued.len());
+                }
+                BurstAdmission { decisions, queue_peak: peak }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shed_indices(adm: &BurstAdmission) -> Vec<usize> {
+        adm.decisions.iter().enumerate().filter_map(|(i, d)| d.is_some().then_some(i)).collect()
+    }
+
+    #[test]
+    fn block_admits_everything() {
+        let q = AdmissionQueue { capacity: 2, policy: AdmissionPolicy::Block };
+        let adm = q.admit_burst(7);
+        assert!(adm.decisions.iter().all(Option::is_none));
+        assert_eq!(adm.queue_peak, 2);
+    }
+
+    #[test]
+    fn shed_oldest_keeps_the_newest_entries() {
+        let q = AdmissionQueue { capacity: 3, policy: AdmissionPolicy::ShedOldest };
+        let adm = q.admit_burst(8);
+        // The last `capacity` entries survive; everything older was
+        // evicted to make room.
+        assert_eq!(shed_indices(&adm), [0, 1, 2, 3, 4]);
+        assert!(adm.decisions[..5].iter().all(|d| *d == Some(RejectReason::QueueShed)));
+        assert_eq!(adm.queue_peak, 3);
+    }
+
+    #[test]
+    fn reject_new_keeps_the_oldest_entries() {
+        let q = AdmissionQueue { capacity: 3, policy: AdmissionPolicy::RejectNew };
+        let adm = q.admit_burst(8);
+        assert_eq!(shed_indices(&adm), [3, 4, 5, 6, 7]);
+        assert!(adm.decisions[3..].iter().all(|d| *d == Some(RejectReason::QueueRejected)));
+        assert_eq!(adm.queue_peak, 3);
+    }
+
+    #[test]
+    fn burst_within_capacity_is_untouched() {
+        for policy in
+            [AdmissionPolicy::Block, AdmissionPolicy::ShedOldest, AdmissionPolicy::RejectNew]
+        {
+            let q = AdmissionQueue { capacity: 4, policy };
+            let adm = q.admit_burst(4);
+            assert!(adm.decisions.iter().all(Option::is_none), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_sheds_every_entry() {
+        let shed = AdmissionQueue { capacity: 0, policy: AdmissionPolicy::ShedOldest };
+        let adm = shed.admit_burst(3);
+        assert!(adm.decisions.iter().all(|d| *d == Some(RejectReason::QueueShed)));
+        assert_eq!(adm.queue_peak, 0);
+
+        let rej = AdmissionQueue { capacity: 0, policy: AdmissionPolicy::RejectNew };
+        let adm = rej.admit_burst(3);
+        assert!(adm.decisions.iter().all(|d| *d == Some(RejectReason::QueueRejected)));
+
+        let block = AdmissionQueue { capacity: 0, policy: AdmissionPolicy::Block };
+        assert!(block.validate().is_err());
+        assert!(shed.validate().is_ok());
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let q = AdmissionQueue { capacity: 2, policy: AdmissionPolicy::ShedOldest };
+        assert_eq!(q.admit_burst(6), q.admit_burst(6));
+    }
+}

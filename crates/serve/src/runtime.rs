@@ -1,0 +1,203 @@
+//! The serve loop: admit → step → report, then drain and finalize.
+
+use crate::admission::AdmissionQueue;
+use crate::feed::{FeedReader, Pace};
+use mtshare_model::DispatchScheme;
+use mtshare_obs::{Obs, SteadyExtra, SteadyTracker};
+use mtshare_sim::{SimEngine, SimReport, StepOutcome};
+use std::io::{BufRead, BufReader, Write};
+
+/// Serve-loop configuration (the CLI validates flag combinations and
+/// builds this).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Bounded admission queue in front of the engine.
+    pub queue: AdmissionQueue,
+    /// Feed pacing: free-running or virtual-time bursts.
+    pub pace: Pace,
+    /// Steady-state report cadence in virtual seconds (`None` = off).
+    pub report_every_s: Option<f64>,
+    /// Node count of the road network, bounding feed node ids.
+    pub n_nodes: u32,
+}
+
+/// How a serve run ended.
+pub enum ServeOutcome {
+    /// Graceful drain completed: WAL flushed, final checkpoint written,
+    /// report built.
+    Finished(Box<SimReport>),
+    /// A planned in-process crash point fired mid-stream (restart
+    /// tests); state is crash-consistent but nothing was finalized.
+    Crashed {
+        /// Steps fully processed before death.
+        step: u64,
+    },
+}
+
+/// Opens a feed source: `-` for stdin, `tcp:ADDR` to bind `ADDR` and
+/// serve one connection, anything else as a file path.
+pub fn open_feed(spec: &str) -> Result<Box<dyn BufRead>, String> {
+    if spec == "-" {
+        return Ok(Box::new(BufReader::new(std::io::stdin())));
+    }
+    if let Some(addr) = spec.strip_prefix("tcp:") {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| format!("cannot bind feed socket {addr}: {e}"))?;
+        let (stream, peer) =
+            listener.accept().map_err(|e| format!("accepting feed connection: {e}"))?;
+        eprintln!("feed connection from {peer}");
+        return Ok(Box::new(BufReader::new(stream)));
+    }
+    let f = std::fs::File::open(spec).map_err(|e| format!("cannot open feed {spec}: {e}"))?;
+    Ok(Box::new(BufReader::new(f)))
+}
+
+/// Drives `engine` over the feed until EOF or a drain command, then
+/// drains gracefully: admission stops, in-flight work finishes or
+/// expires, the final checkpoint and obs summary are flushed.
+///
+/// Steady-state lines land on `report_out` every
+/// [`ServeOptions::report_every_s`] virtual seconds. They are
+/// suppressed while `obs` is muted (WAL replay after a resume): the
+/// replayed interval's counters were already reported by the crashed
+/// run, and profiling-grade numbers are not replayable anyway.
+pub fn serve<R: BufRead>(
+    mut engine: SimEngine,
+    scheme: &mut dyn DispatchScheme,
+    feed: R,
+    opts: ServeOptions,
+    obs: &Obs,
+    mut report_out: Option<&mut dyn Write>,
+) -> Result<ServeOutcome, String> {
+    opts.queue.validate()?;
+    // The restored ingestion count is the feed cursor: everything the
+    // crashed run ingested (admitted or doomed) is skipped, and the
+    // skip lands on a burst boundary because bursts are ingested whole
+    // before the engine steps.
+    let skip = if engine.resumed() { engine.ingested() } else { 0 };
+    let mut reader = FeedReader::new(feed, opts.pace, opts.n_nodes, skip);
+
+    let mut steady = SteadyState::new(&opts);
+    // Catch up before touching the feed. A fresh run goes idle
+    // immediately, but a restored run must first re-execute the steps
+    // the crashed run processed *before* it ingested its next burst —
+    // the WAL digests pin each step to the watermark it ran under, so
+    // raising the watermark early would make replay diverge. (`Done`
+    // means the crash fell inside the final drain: the whole feed is
+    // behind the restored cursor already.)
+    match engine.run_until_idle(scheme) {
+        StepOutcome::Idle | StepOutcome::Done => {}
+        StepOutcome::Crashed { step } => return Ok(ServeOutcome::Crashed { step }),
+        StepOutcome::Progressed => unreachable!("run_until_idle only returns terminal outcomes"),
+    }
+    while let Some(burst) = reader.next_burst()? {
+        let adm = opts.queue.admit_burst(burst.len());
+        steady.queue_peak = steady.queue_peak.max(adm.queue_peak);
+        for (entry, decision) in burst.into_iter().zip(adm.decisions) {
+            match decision {
+                None => {
+                    engine.ingest(entry);
+                }
+                Some(reason) => {
+                    engine.ingest_doomed(entry, reason);
+                }
+            }
+        }
+        match engine.run_until_idle(scheme) {
+            StepOutcome::Idle => {}
+            StepOutcome::Crashed { step } => return Ok(ServeOutcome::Crashed { step }),
+            outcome => unreachable!("open stream cannot reach {outcome:?}"),
+        }
+        steady.boundary_reports(&engine, obs, &mut report_out)?;
+    }
+
+    // Drain: entries past the drain command still enter the trace, as
+    // deterministic rejections at their release times.
+    for (entry, reason) in reader.leftovers()? {
+        engine.ingest_doomed(entry, reason);
+    }
+    engine.close_stream();
+    match engine.run_until_idle(scheme) {
+        StepOutcome::Done => {}
+        StepOutcome::Crashed { step } => return Ok(ServeOutcome::Crashed { step }),
+        outcome => unreachable!("closed stream cannot reach {outcome:?}"),
+    }
+    steady.final_report(&engine, obs, &mut report_out)?;
+    Ok(ServeOutcome::Finished(Box::new(engine.finalize(scheme))))
+}
+
+/// Steady-report bookkeeping for one serve run.
+struct SteadyState {
+    tracker: Option<SteadyTracker>,
+    next_t: f64,
+    every: f64,
+    /// Peak admission-queue depth since the last report.
+    queue_peak: usize,
+}
+
+impl SteadyState {
+    fn new(opts: &ServeOptions) -> Self {
+        let every = opts.report_every_s.unwrap_or(f64::INFINITY);
+        Self { tracker: None, next_t: every, every, queue_peak: 0 }
+    }
+
+    /// Emits one line per report boundary the virtual clock has crossed.
+    fn boundary_reports(
+        &mut self,
+        engine: &SimEngine,
+        obs: &Obs,
+        out: &mut Option<&mut dyn Write>,
+    ) -> Result<(), String> {
+        while engine.clock() >= self.next_t {
+            self.emit(engine, obs, self.next_t, out)?;
+            self.next_t += self.every;
+        }
+        Ok(())
+    }
+
+    /// One last line at the drain clock, so short runs still produce a
+    /// report and the final interval is never silently dropped.
+    fn final_report(
+        &mut self,
+        engine: &SimEngine,
+        obs: &Obs,
+        out: &mut Option<&mut dyn Write>,
+    ) -> Result<(), String> {
+        if self.every.is_finite() {
+            // The final line's timestamp must not go backwards relative
+            // to the last boundary line.
+            let t = engine.clock().max(self.next_t - self.every);
+            self.emit(engine, obs, t, out)?;
+        }
+        Ok(())
+    }
+
+    fn emit(
+        &mut self,
+        engine: &SimEngine,
+        obs: &Obs,
+        t: f64,
+        out: &mut Option<&mut dyn Write>,
+    ) -> Result<(), String> {
+        if obs.is_muted() {
+            // Mid-replay: drop the baseline so the first post-replay
+            // interval starts from the restored counters, not from a
+            // half-replayed state.
+            self.tracker = None;
+            return Ok(());
+        }
+        let tracker = self.tracker.get_or_insert_with(|| SteadyTracker::new(obs));
+        let extra = SteadyExtra {
+            queue_peak: self.queue_peak,
+            ingested: engine.ingested() as u64,
+            steps: engine.step_count(),
+        };
+        if let Some(line) = tracker.report_line(obs, t, &extra) {
+            if let Some(w) = out.as_deref_mut() {
+                writeln!(w, "{line}").map_err(|e| format!("writing steady report: {e}"))?;
+            }
+        }
+        self.queue_peak = 0;
+        Ok(())
+    }
+}

@@ -35,7 +35,7 @@ use crate::metrics::{Series, ServedRecord, SimReport};
 use mtshare_chaos::{ChaosConfig, CrashMode, CrashPoint, DisruptionPlan, CRASH_EXIT_CODE};
 use mtshare_core::PassengerTrip;
 use mtshare_model::{DispatchScheme, RequestId, RequestStore, Taxi, TaxiId, Time};
-use mtshare_obs::Event;
+use mtshare_obs::{Event, RejectReason};
 use mtshare_persist::{
     fnv1a_64, DecodeError, Decoder, Encoder, Fnv64, Persist, StateDir, WalWriter,
 };
@@ -325,6 +325,21 @@ impl Simulator {
         }
     }
 
+    /// Writes the drain-time final snapshot of a service-mode run, so a
+    /// later `--resume` warm-restarts from the fully drained state
+    /// instead of replaying the tail of the WAL.
+    pub(crate) fn final_checkpoint(&mut self, scheme: &dyn DispatchScheme) {
+        if self.persist.is_some() {
+            self.write_checkpoint(scheme);
+        }
+    }
+
+    /// Whether WAL replay after a warm restart is still re-executing
+    /// (trace sinks are muted until it completes).
+    pub(crate) fn is_replaying(&self) -> bool {
+        self.persist.as_ref().is_some_and(|rt| rt.replay.is_some())
+    }
+
     /// Writes a snapshot at a run-loop boundary when the cadence is due
     /// (live mode only — replay never re-snapshots ground it already has).
     pub(super) fn maybe_checkpoint(&mut self, scheme: &dyn DispatchScheme) {
@@ -408,6 +423,10 @@ impl Simulator {
         let mut h = Fnv64::new();
         h.write_u64(self.seq);
         h.write_f64(self.clock);
+        // Constant +∞ in one-shot runs; in streaming runs it ties the
+        // WAL position to the ingestion progress, so a resumed serve
+        // loop must re-ingest the feed at the same step boundaries.
+        h.write_f64(self.watermark);
         h.write_u64(self.served_online as u64);
         h.write_u64(self.served_offline as u64);
         h.write_u64(self.rejected as u64);
@@ -444,11 +463,13 @@ impl Simulator {
         enc.u64(self.requests.len() as u64);
         self.cfg.chaos.encode(&mut enc);
         enc.u64(self.scenario_digest);
+        enc.bool(self.streaming);
         // Position.
         enc.u64(self.step);
         enc.f64(self.clock);
         enc.u64(self.seq);
         enc.usize(self.next_arrival);
+        enc.f64(self.watermark);
         // World.
         enc.seq(&self.taxis);
         self.requests.encode(&mut enc);
@@ -463,6 +484,10 @@ impl Simulator {
             self.cancelled_pre_release.iter().copied().collect();
         cancelled_pre.sort_unstable();
         enc.seq(&cancelled_pre);
+        let mut doomed: Vec<(RequestId, u8)> =
+            self.doomed.iter().map(|(&r, &reason)| (r, reason.index() as u8)).collect();
+        doomed.sort_unstable_by_key(|&(r, _)| r);
+        enc.seq(&doomed);
         enc.usize(self.cancelled);
         enc.usize(self.redispatched);
         enc.usize(self.invariant_violations);
@@ -525,7 +550,10 @@ impl Simulator {
         }
         let n_taxis = dec.u64().map_err(e)? as usize;
         let n_requests = dec.u64().map_err(e)? as usize;
-        if n_taxis != self.taxis.len() || n_requests != self.requests.len() {
+        // A streaming run is constructed with an empty store (the feed
+        // is re-consumed after restore), so only one-shot runs can check
+        // the request count before decoding.
+        if n_taxis != self.taxis.len() || (!self.streaming && n_requests != self.requests.len()) {
             return Err(format!(
                 "snapshot world is {n_taxis} taxis / {n_requests} requests, this scenario is {} / {}",
                 self.taxis.len(),
@@ -540,6 +568,14 @@ impl Simulator {
         if digest != self.scenario_digest {
             return Err("snapshot belongs to a different scenario".into());
         }
+        let streaming = dec.bool().map_err(e)?;
+        if streaming != self.streaming {
+            return Err(if streaming {
+                "snapshot was taken by a streaming (serve) run, this run is one-shot".into()
+            } else {
+                "snapshot was taken by a one-shot run, this run is streaming (serve)".into()
+            });
+        }
         let step = dec.u64().map_err(e)?;
         if step != snap_step {
             return Err(format!("snapshot file for step {snap_step} claims step {step} inside"));
@@ -548,6 +584,7 @@ impl Simulator {
         self.clock = dec.f64().map_err(e)?;
         self.seq = dec.u64().map_err(e)?;
         self.next_arrival = dec.usize().map_err(e)?;
+        self.watermark = dec.f64().map_err(e)?;
         if self.next_arrival > n_requests {
             return Err("snapshot arrival cursor past the request stream".into());
         }
@@ -568,6 +605,17 @@ impl Simulator {
             return Err("snapshot resolved-flag vector has the wrong length".into());
         }
         self.cancelled_pre_release = dec.seq::<RequestId>().map_err(e)?.into_iter().collect();
+        self.doomed = dec
+            .seq::<(RequestId, u8)>()
+            .map_err(e)?
+            .into_iter()
+            .map(|(r, idx)| {
+                RejectReason::ALL
+                    .get(idx as usize)
+                    .map(|&reason| (r, reason))
+                    .ok_or("snapshot doomed entry has an unknown reject reason")
+            })
+            .collect::<Result<_, _>>()?;
         self.cancelled = dec.usize().map_err(e)?;
         self.redispatched = dec.usize().map_err(e)?;
         self.invariant_violations = dec.usize().map_err(e)?;

@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod metrics;
 pub mod scenario;
 pub mod simulator;
@@ -24,11 +25,12 @@ pub mod telemetry;
 pub mod trace;
 pub mod workload;
 
+pub use engine::{IngestEntry, SimEngine};
 pub use metrics::{Series, SimReport};
 pub use scenario::{
     build_context, materialize, Scenario, ScenarioConfig, ScenarioKind, SchemeKind,
 };
-pub use simulator::{BatchConfig, PersistConfig, RunOutcome, SimConfig, Simulator};
+pub use simulator::{BatchConfig, PersistConfig, RunOutcome, SimConfig, Simulator, StepOutcome};
 pub use telemetry::{classify_rejection, classify_rejection_with_cause, RejectCause};
 pub use trace::{parse_trace, snap_trace, SnappedTrace, TraceParse, TraceRecord, MAX_TRACE_ERRORS};
 pub use workload::{

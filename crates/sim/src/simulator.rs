@@ -104,6 +104,26 @@ impl Default for SimConfig {
 /// the new deadline is at least `now + RENEG_SLACK × direct`.
 const RENEG_SLACK: f64 = 1.5;
 
+/// What one [`Simulator::step_once`] call did. The service runtime
+/// ([`crate::engine::SimEngine`]) paces its feed consumption off these;
+/// the one-shot loop only ever sees `Progressed`, `Done` and `Crashed`
+/// (its watermark is +∞, so it cannot go idle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One unit of sequential work was consumed.
+    Progressed,
+    /// Nothing is processable below the watermark: ingest more of the
+    /// feed (or close the stream) to make progress.
+    Idle,
+    /// Heap drained, arrival cursor exhausted, stream closed.
+    Done,
+    /// A planned in-process crash fired; the WAL is synced.
+    Crashed {
+        /// Steps fully processed before death.
+        step: u64,
+    },
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
     /// The next schedule event of a taxi completes.
@@ -166,6 +186,24 @@ pub struct Simulator {
     /// Cursor into the release-ordered request stream (a struct field,
     /// not a run-loop local, so snapshots capture it).
     next_arrival: usize,
+    // --- streaming ingestion (service mode; see `crate::engine`) ---
+    /// Largest release time the stream has revealed so far. The loop may
+    /// only process work at times ≤ this bound: a later feed entry could
+    /// still be released anywhere above it. One-shot runs pin it at +∞
+    /// (the whole stream is known up front), which makes the gate
+    /// vacuous and the loop byte-identical to the classic behavior.
+    watermark: Time,
+    /// Streaming construction: the request store starts empty and grows
+    /// via [`Simulator::ingest_request`]. Snapshots tag the mode so
+    /// service-mode state can never restore into a one-shot run.
+    streaming: bool,
+    /// Stream entries admitted only to be rejected at their arrival step
+    /// (admission sheds, post-drain arrivals, unreachable ODs): the
+    /// rejection is emitted at release time, not at the earlier decision
+    /// time, which keeps the trace monotone in sim time.
+    doomed: FxHashMap<RequestId, RejectReason>,
+    /// Whether [`Simulator::begin`] restored a snapshot.
+    was_resumed: bool,
     // --- persistence ---
     /// Fingerprint of the immutable scenario inputs, taken at
     /// construction; snapshots refuse to load into a different scenario.
@@ -258,6 +296,10 @@ impl Simulator {
             seq: 0,
             step: 0,
             next_arrival: 0,
+            watermark: f64::INFINITY,
+            streaming: false,
+            doomed: FxHashMap::default(),
+            was_resumed: false,
             scenario_digest,
             persist: None,
             route_nodes: vec![FxHashMap::default(); n_taxis],
@@ -305,6 +347,18 @@ impl Simulator {
         self
     }
 
+    /// Switches to streaming construction for the service runtime
+    /// ([`crate::engine::SimEngine`]): the request stream is unknown up
+    /// front, so the loop must never advance past the watermark (the
+    /// largest ingested release time) until
+    /// [`Simulator::close_stream`] declares the feed exhausted.
+    /// Construct with an empty-request scenario; chainable.
+    pub fn with_streaming(mut self) -> Self {
+        self.streaming = true;
+        self.watermark = f64::NEG_INFINITY;
+        self
+    }
+
     fn world(&self) -> World<'_> {
         World {
             graph: &self.graph,
@@ -331,8 +385,25 @@ impl Simulator {
     /// a planned crash point when `SimConfig::persist` says so.
     pub fn run_to_outcome(mut self, scheme: &mut dyn DispatchScheme) -> RunOutcome {
         let start = std::time::Instant::now();
+        self.begin(scheme);
+        loop {
+            match self.step_once(scheme) {
+                StepOutcome::Progressed => {}
+                StepOutcome::Idle | StepOutcome::Done => break,
+                StepOutcome::Crashed { step } => return RunOutcome::Crashed { step },
+            }
+        }
+        RunOutcome::Finished(self.finish(scheme, start.elapsed().as_secs_f64()))
+    }
+
+    /// Run setup: attaches the obs bus to the scheme and either restores
+    /// a snapshot (resume) or installs the scheme, seeds the planned
+    /// disruptions and writes the step-0 checkpoint. Must be called
+    /// exactly once, before the first [`Simulator::step_once`].
+    pub(crate) fn begin(&mut self, scheme: &mut dyn DispatchScheme) {
         scheme.set_obs(self.obs.clone());
         let resumed = self.setup_persistence(scheme);
+        self.was_resumed = resumed;
         if !resumed {
             scheme.install(&self.world());
 
@@ -350,65 +421,82 @@ impl Simulator {
             }
             self.initial_checkpoint(scheme);
         }
+    }
 
-        let order: Vec<RequestId> = self.requests.iter().map(|r| r.id).collect();
-
-        loop {
-            self.maybe_checkpoint(scheme);
-            let t_req = order
-                .get(self.next_arrival)
-                .map(|&id| self.requests.get(id).release_time)
-                .unwrap_or(f64::INFINITY);
-            let t_ev = self.heap.peek().map(|Reverse(e)| e.time).unwrap_or(f64::INFINITY);
-            if !t_req.is_finite() && !t_ev.is_finite() {
-                break;
-            }
-            if t_ev <= t_req {
-                let Reverse(q) = self.heap.pop().expect("peeked");
-                self.clock = self.clock.max(q.time);
-                let kind = if q.ev == Ev::Validate {
-                    // Handled here rather than in `process_event`: the
-                    // re-arm decision needs to know whether any work
-                    // remains, or the sweep would keep the run alive
-                    // forever.
-                    self.validate_world(q.time, &*scheme);
-                    if let Some(every) = self.cfg.validate_every {
-                        if !self.heap.is_empty() || t_req.is_finite() {
-                            self.push_ev(q.time + every, Ev::Validate);
-                        }
-                    }
-                    checkpoint::KIND_VALIDATE
-                } else {
-                    self.process_event(q, scheme);
-                    checkpoint::KIND_HEAP
-                };
-                if self.complete_step(kind, q.time) {
-                    return RunOutcome::Crashed { step: self.step };
-                }
+    /// Consumes one unit of sequential work — the earliest of the next
+    /// queued event and the next pending arrival, both gated by the
+    /// watermark — or reports why it could not.
+    pub(crate) fn step_once(&mut self, scheme: &mut dyn DispatchScheme) -> StepOutcome {
+        self.maybe_checkpoint(scheme);
+        let t_req = if self.next_arrival < self.requests.len() {
+            self.requests.get(RequestId(self.next_arrival as u32)).release_time
+        } else {
+            f64::INFINITY
+        };
+        let t_ev = self.heap.peek().map(|Reverse(e)| e.time).unwrap_or(f64::INFINITY);
+        if !t_req.is_finite() && !t_ev.is_finite() {
+            // No pending work at all. In streaming mode that is merely
+            // idle until the stream closes and lifts the watermark to +∞.
+            return if self.watermark == f64::INFINITY {
+                StepOutcome::Done
             } else {
-                self.clock = self.clock.max(t_req);
-                // In batch mode arrivals only enter the window buffer, so
-                // there is nothing to speculate on; `parallelism` fans out
-                // window *scoring* inside the flush instead.
-                if self.cfg.parallelism > 1 && self.cfg.batch.is_none() {
-                    let batch = self.gather_batch(&order, self.next_arrival, t_ev);
-                    if batch.len() >= 2 {
-                        if self.process_batch(&batch, scheme) {
-                            return RunOutcome::Crashed { step: self.step };
-                        }
-                        continue;
+                StepOutcome::Idle
+            };
+        }
+        if t_ev <= t_req.min(self.watermark) {
+            let Reverse(q) = self.heap.pop().expect("peeked");
+            self.clock = self.clock.max(q.time);
+            let kind = if q.ev == Ev::Validate {
+                // Handled here rather than in `process_event`: the
+                // re-arm decision needs to know whether any work
+                // remains, or the sweep would keep the run alive
+                // forever. A finite watermark counts as pending work:
+                // the stream is still open and more can arrive.
+                self.validate_world(q.time, &*scheme);
+                if let Some(every) = self.cfg.validate_every {
+                    if !self.heap.is_empty() || t_req.is_finite() || self.watermark.is_finite() {
+                        self.push_ev(q.time + every, Ev::Validate);
                     }
                 }
-                let id = order[self.next_arrival];
-                self.next_arrival += 1;
-                self.process_arrival(id, scheme);
-                if self.complete_step(checkpoint::KIND_ARRIVAL, t_req) {
-                    return RunOutcome::Crashed { step: self.step };
+                checkpoint::KIND_VALIDATE
+            } else {
+                self.process_event(q, scheme);
+                checkpoint::KIND_HEAP
+            };
+            if self.complete_step(kind, q.time) {
+                return StepOutcome::Crashed { step: self.step };
+            }
+        } else if t_req.is_finite() {
+            // An ingested request's release never exceeds the watermark,
+            // so this arrival is safe to process ahead of any event past
+            // the gate.
+            self.clock = self.clock.max(t_req);
+            // In batch mode arrivals only enter the window buffer, so
+            // there is nothing to speculate on; `parallelism` fans out
+            // window *scoring* inside the flush instead.
+            if self.cfg.parallelism > 1 && self.cfg.batch.is_none() {
+                let batch = self.gather_batch(self.next_arrival, t_ev);
+                if batch.len() >= 2 {
+                    return if self.process_batch(&batch, scheme) {
+                        StepOutcome::Crashed { step: self.step }
+                    } else {
+                        StepOutcome::Progressed
+                    };
                 }
             }
+            let id = RequestId(self.next_arrival as u32);
+            self.next_arrival += 1;
+            self.process_arrival(id, scheme);
+            if self.complete_step(checkpoint::KIND_ARRIVAL, t_req) {
+                return StepOutcome::Crashed { step: self.step };
+            }
+        } else {
+            // The earliest queued event sits beyond the watermark and no
+            // arrival is pending: a not-yet-ingested request could still
+            // be released first, so the loop must wait for the stream.
+            return StepOutcome::Idle;
         }
-
-        RunOutcome::Finished(self.finish(scheme, start.elapsed().as_secs_f64()))
+        StepOutcome::Progressed
     }
 
     /// The maximal run of consecutive *online* arrivals starting at
@@ -417,18 +505,94 @@ impl Simulator {
     /// is only processed while its release strictly precedes `t_ev`. An
     /// offline arrival ends the run (registering a watch is cheap and
     /// mutates encounter state).
-    fn gather_batch(&self, order: &[RequestId], from: usize, t_ev: Time) -> Vec<RequestId> {
+    fn gather_batch(&self, from: usize, t_ev: Time) -> Vec<RequestId> {
         let mut batch = Vec::new();
-        for &id in order.iter().skip(from).take(self.cfg.max_batch.max(1)) {
+        let until = (from + self.cfg.max_batch.max(1)).min(self.requests.len());
+        for i in from..until {
+            let id = RequestId(i as u32);
             let req = self.requests.get(id);
-            // A pre-release-cancelled arrival is rejected, not dispatched;
-            // end the run so the sequential path handles it identically.
-            if req.offline || t_ev <= req.release_time || self.cancelled_pre_release.contains(&id) {
+            // A pre-release-cancelled (or stream-doomed) arrival is
+            // rejected, not dispatched; end the run so the sequential
+            // path handles it identically.
+            if req.offline
+                || t_ev <= req.release_time
+                || self.cancelled_pre_release.contains(&id)
+                || self.doomed.contains_key(&id)
+            {
                 break;
             }
             batch.push(id);
         }
         batch
+    }
+
+    // --- streaming ingestion (service mode; see `crate::engine`) ---
+
+    /// Appends one stream entry to the request store with the next dense
+    /// id, recomputing its direct cost, and raises the watermark to its
+    /// release time. `doom` marks the entry admission-rejected: it still
+    /// consumes its arrival step, where the rejection is emitted. An
+    /// unreachable (or zero-cost) OD dooms the entry on its own — the
+    /// one-shot generator filters those out at materialization, but a
+    /// live feed can carry anything.
+    pub(crate) fn ingest_request(
+        &mut self,
+        entry: crate::engine::IngestEntry,
+        doom: Option<RejectReason>,
+    ) -> RequestId {
+        debug_assert!(self.streaming, "ingest into a one-shot simulator");
+        let id = RequestId(self.requests.len() as u32);
+        let mut doom = doom;
+        let direct_cost_s = match self.cache.cost(entry.origin, entry.destination) {
+            Some(c) if c > 0.0 => c,
+            _ => {
+                doom = doom.or(Some(RejectReason::UnreachableOd));
+                0.0
+            }
+        };
+        self.requests.push(RideRequest {
+            id,
+            release_time: entry.release,
+            origin: entry.origin,
+            destination: entry.destination,
+            passengers: entry.passengers,
+            deadline: entry.deadline,
+            direct_cost_s,
+            offline: entry.offline,
+        });
+        self.resolved.push(false);
+        if let Some(reason) = doom {
+            self.doomed.insert(id, reason);
+        }
+        self.watermark = self.watermark.max(entry.release);
+        id
+    }
+
+    /// Declares the stream exhausted: lifts the watermark to +∞ so the
+    /// loop can run everything still pending down to [`StepOutcome::Done`].
+    pub(crate) fn close_stream(&mut self) {
+        self.watermark = f64::INFINITY;
+    }
+
+    /// Latest simulation time processed.
+    pub(crate) fn clock(&self) -> Time {
+        self.clock
+    }
+
+    /// Sequential-work step counter (the WAL position).
+    pub(crate) fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Requests in the store — in streaming mode, exactly the entries
+    /// ingested so far (restored ones included after a resume).
+    pub(crate) fn n_ingested(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether [`Simulator::begin`] restored a snapshot.
+    pub(crate) fn was_resumed(&self) -> bool {
+        self.was_resumed
     }
 
     /// Speculatively scores `ids` against the current world in parallel,
@@ -560,6 +724,13 @@ impl Simulator {
     fn process_arrival(&mut self, id: RequestId, scheme: &mut dyn DispatchScheme) {
         let req = self.requests.get(id).clone();
         self.obs.emit(Event::Arrival { t: req.release_time, req: req.id.0, offline: req.offline });
+        if let Some(reason) = self.doomed.remove(&id) {
+            // Admission-rejected stream entry: it consumed its arrival
+            // step like any other request, and the rejection lands here —
+            // at release time — so the trace stays monotone.
+            self.reject_with(id, req.release_time, reason);
+            return;
+        }
         if self.cancelled_pre_release.remove(&id) {
             // Withdrawn before release: terminal on arrival, no dispatch.
             self.reject_with(id, req.release_time, RejectReason::CancelledByPassenger);
@@ -1503,7 +1674,11 @@ impl Simulator {
         self.benefit += s.benefit;
     }
 
-    fn finish(mut self, scheme: &mut dyn DispatchScheme, wall_clock_s: f64) -> SimReport {
+    pub(crate) fn finish(
+        mut self,
+        scheme: &mut dyn DispatchScheme,
+        wall_clock_s: f64,
+    ) -> SimReport {
         // Settle episodes still open at the horizon (all deliveries done —
         // the heap drained — so only bookkeeping remains).
         for i in 0..self.taxis.len() {

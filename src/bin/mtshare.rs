@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! mtshare simulate --scheme mt-share --taxis 120 --requests 1200 [--nonpeak]
+//! mtshare serve --feed requests.jsonl [--pace 30] [--admission shed-oldest]
 //! mtshare partition --kappa 32 --out partitions.geojson [--grid]
 //! mtshare stats [--hours 24]
 //! mtshare trace <file.csv>     # GAIA-format trace sanity check
@@ -10,14 +11,23 @@
 //! Everything runs on the synthetic city (`--rows/--cols` to resize);
 //! `trace` additionally snaps a real GAIA CSV onto it and reports
 //! coverage. Deterministic given `--seed`.
+//!
+//! `serve` is the long-lived service mode: requests arrive over a
+//! line-delimited JSON feed (stdin, a file replay, or `tcp:ADDR`),
+//! pass a bounded admission queue, and drive the same simulator the
+//! one-shot `simulate` uses — a recorded feed (`simulate
+//! --feed-record`) replays to a byte-identical event trace.
 
 use mt_share::core::PartitionStrategy;
 use mt_share::mobility::Trip;
 use mt_share::road::{grid_city, io as road_io, GridCityConfig, SpatialGrid};
 use mt_share::routing::{ContractionHierarchy, PathCache, RouterBackend};
+use mt_share::serve::{
+    open_feed, record_feed, AdmissionPolicy, AdmissionQueue, Pace, ServeOptions, ServeOutcome,
+};
 use mt_share::sim::{
     build_context, parse_trace, snap_trace, stats, BatchConfig, Scenario, ScenarioConfig,
-    SchemeKind, SimConfig, Simulator, WorkloadConfig, WorkloadGenerator,
+    SchemeKind, SimConfig, SimEngine, Simulator, WorkloadConfig, WorkloadGenerator,
 };
 use std::sync::Arc;
 
@@ -60,7 +70,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro|batch]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--batch-window S]  # rolling-horizon window in sim seconds (with --scheme batch)\n                   [--batch-retries N] # re-queue budget for losing requests (with --scheme batch)\n                   [--router bidir|ch] # exact cost engine; traces identical either way\n                   [--ch-artifact FILE]        # persist/reuse the CH preprocessing (with --router ch)\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n                   [--state-dir DIR]   # checkpoint/WAL persistence (crash-consistent restart)\n                   [--checkpoint-every N]      # snapshot cadence in steps (default 256)\n                   [--resume]          # warm-restart from the newest valid checkpoint + WAL\n                   [--crash-at STEP]   # die (exit 42) after STEP steps, for restart testing\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
+        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro|batch]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--batch-window S]  # rolling-horizon window in sim seconds (with --scheme batch)\n                   [--batch-retries N] # re-queue budget for losing requests (with --scheme batch)\n                   [--router bidir|ch] # exact cost engine; traces identical either way\n                   [--ch-artifact FILE]        # persist/reuse the CH preprocessing (with --router ch)\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--feed-record FILE.jsonl]  # dump the arrival stream in the serve feed format\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n                   [--state-dir DIR]   # checkpoint/WAL persistence (crash-consistent restart)\n                   [--checkpoint-every N]      # snapshot cadence in steps (default 256)\n                   [--resume]          # warm-restart from the newest valid checkpoint + WAL\n                   [--crash-at STEP]   # die (exit 42) after STEP steps, for restart testing\n  mtshare serve    [--feed -|FILE|tcp:ADDR]    # line-delimited JSON request feed (default stdin)\n                   [--queue-capacity N]        # bounded admission queue (default 64)\n                   [--admission block|shed-oldest|reject-new]\n                   [--pace free|QUANTUM_S]     # burst entries per virtual-time quantum (default free)\n                   [--report-out FILE.jsonl]   # periodic steady-state reports\n                   [--report-every SECONDS]    # report cadence in virtual seconds (default 60)\n                   plus the simulate scenario/persistence flags (--taxis, --requests, --scheme,\n                   --state-dir, --resume, ...); a serve run over a recorded feed produces the\n                   one-shot run's exact event trace\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
     );
     std::process::exit(2)
 }
@@ -75,12 +85,91 @@ fn city(args: &Args) -> Arc<mt_share::road::RoadNetwork> {
     Arc::new(grid_city(&cfg).expect("valid city config"))
 }
 
+/// Scenario-construction flags shared by `simulate` and `serve`.
+const SCENARIO_FLAGS: &[&str] = &[
+    "scheme",
+    "taxis",
+    "requests",
+    "nonpeak",
+    "rho",
+    "rows",
+    "cols",
+    "seed",
+    "kappa",
+    "parallelism",
+    "batch-window",
+    "batch-retries",
+    "router",
+    "ch-artifact",
+    "metrics-out",
+    "trace-out",
+    "validate-every",
+    "state-dir",
+    "checkpoint-every",
+    "resume",
+    "crash-at",
+];
+
+const SIMULATE_FLAGS: &[&str] = &["feed-record", "chaos-seed", "disruptions"];
+
+const SERVE_FLAGS: &[&str] =
+    &["feed", "queue-capacity", "admission", "pace", "report-out", "report-every"];
+
+/// Exits 2 with a clear message: `why` names the flag combination that
+/// cannot work.
+fn flag_error(why: &str) -> ! {
+    eprintln!("{why}");
+    std::process::exit(2)
+}
+
+/// Early validation of flag names and combinations, before any
+/// expensive construction: unknown flags and impossible combinations
+/// fail in milliseconds with a message naming the offending flags.
+fn validate_flags(cmd: &str, args: &Args, extra: &[&str]) {
+    for (name, _) in &args.flags {
+        if !SCENARIO_FLAGS.contains(&name.as_str()) && !extra.contains(&name.as_str()) {
+            eprintln!("unknown flag --{name} for `mtshare {cmd}`");
+            usage();
+        }
+    }
+    if args.has("resume") && !args.has("state-dir") {
+        flag_error("--resume requires --state-dir (there is no checkpoint to resume from)");
+    }
+    for f in ["checkpoint-every", "crash-at"] {
+        if args.has(f) && !args.has("state-dir") {
+            flag_error(&format!("--{f} requires --state-dir"));
+        }
+    }
+    let batch_scheme = matches!(args.get("scheme"), Some("batch" | "mt-share-batch"));
+    for f in ["batch-window", "batch-retries"] {
+        if args.has(f) && !batch_scheme {
+            flag_error(&format!("--{f} requires --scheme batch"));
+        }
+    }
+    if args.has("ch-artifact") && args.get("router") != Some("ch") {
+        flag_error("--ch-artifact requires --router ch");
+    }
+    if args.has("disruptions") && !args.has("chaos-seed") {
+        flag_error("--disruptions requires --chaos-seed");
+    }
+    if args.has("report-every") && !args.has("report-out") {
+        flag_error("--report-every requires --report-out (there is nowhere to write reports)");
+    }
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else { usage() };
     let args = Args::parse(argv);
     match cmd.as_str() {
-        "simulate" => simulate(&args),
+        "simulate" => {
+            validate_flags("simulate", &args, SIMULATE_FLAGS);
+            simulate(&args)
+        }
+        "serve" => {
+            validate_flags("serve", &args, SERVE_FLAGS);
+            serve_cmd(&args)
+        }
         "partition" => partition(&args),
         "stats" => stats_cmd(&args),
         "trace" => trace_cmd(&args),
@@ -88,44 +177,40 @@ fn main() {
     }
 }
 
-fn simulate(args: &Args) {
-    let graph = city(args);
-    let parallelism = args.num("parallelism", 1usize).max(1);
+/// Telemetry bus: enabled iff at least one output was asked for.
+/// Created before the path cache so CH preprocessing lands in the
+/// `preprocess_ch` stage span.
+fn build_obs(args: &Args) -> mt_share::obs::Obs {
+    let wants = args.has("metrics-out") || args.has("trace-out") || args.has("report-out");
+    if !wants {
+        return mt_share::obs::Obs::disabled();
+    }
+    let obs = mt_share::obs::Obs::enabled();
+    if let Some(path) = args.get("trace-out") {
+        let f = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        obs.add_sink(Box::new(mt_share::obs::JsonlSink::new(std::io::BufWriter::new(f))));
+    }
+    obs
+}
 
-    // Telemetry is collected only when at least one output was asked for.
-    // Created before the path cache so CH preprocessing lands in the
-    // `preprocess_ch` stage span.
-    let metrics_out = args.get("metrics-out");
-    let trace_out = args.get("trace-out");
-    let obs = if metrics_out.is_some() || trace_out.is_some() {
-        let obs = mt_share::obs::Obs::enabled();
-        if let Some(path) = trace_out {
-            let f = std::fs::File::create(path).unwrap_or_else(|e| {
-                eprintln!("cannot create {path}: {e}");
-                std::process::exit(1);
-            });
-            obs.add_sink(Box::new(mt_share::obs::JsonlSink::new(std::io::BufWriter::new(f))));
-        }
-        obs
-    } else {
-        mt_share::obs::Obs::disabled()
-    };
-
+fn build_cache(
+    args: &Args,
+    graph: &Arc<mt_share::road::RoadNetwork>,
+    parallelism: usize,
+    obs: &mt_share::obs::Obs,
+) -> PathCache {
     let backend = match args.get("router").unwrap_or("bidir") {
-        "bidir" => {
-            if args.has("ch-artifact") {
-                eprintln!("--ch-artifact requires --router ch");
-                std::process::exit(2);
-            }
-            RouterBackend::Bidir
-        }
+        "bidir" => RouterBackend::Bidir,
         "ch" => {
             let _span = obs.stage(mt_share::obs::Stage::PreprocessCh);
             let ch = match args.get("ch-artifact") {
                 Some(path) => {
                     let (ch, rebuilt) = ContractionHierarchy::load_or_build(
                         std::path::Path::new(path),
-                        &graph,
+                        graph,
                         parallelism,
                     );
                     if rebuilt {
@@ -135,7 +220,7 @@ fn simulate(args: &Args) {
                     }
                     ch
                 }
-                None => ContractionHierarchy::build(&graph, parallelism),
+                None => ContractionHierarchy::build(graph, parallelism),
             };
             RouterBackend::Ch(Arc::new(ch))
         }
@@ -144,7 +229,10 @@ fn simulate(args: &Args) {
             usage()
         }
     };
-    let cache = PathCache::with_backend(graph.clone(), backend);
+    PathCache::with_backend(graph.clone(), backend)
+}
+
+fn scenario_config(args: &Args) -> ScenarioConfig {
     let taxis = args.num("taxis", 60usize);
     let mut cfg = if args.has("nonpeak") {
         ScenarioConfig::nonpeak(taxis)
@@ -153,9 +241,11 @@ fn simulate(args: &Args) {
     };
     cfg.n_requests = args.num("requests", cfg.n_requests);
     cfg.rho = args.num("rho", cfg.rho);
-    let scenario = Scenario::generate(graph.clone(), &cache, cfg);
+    cfg
+}
 
-    let kind = match args.get("scheme").unwrap_or("mt-share") {
+fn scheme_kind(args: &Args) -> SchemeKind {
+    match args.get("scheme").unwrap_or("mt-share") {
         "no-sharing" => SchemeKind::NoSharing,
         "t-share" => SchemeKind::TShare,
         "pgreedy-dp" => SchemeKind::PGreedyDp,
@@ -166,8 +256,11 @@ fn simulate(args: &Args) {
             eprintln!("unknown scheme: {other}");
             usage()
         }
-    };
-    let batch = if kind == SchemeKind::MtShareBatch {
+    }
+}
+
+fn batch_config(args: &Args, kind: SchemeKind) -> Option<BatchConfig> {
+    (kind == SchemeKind::MtShareBatch).then(|| {
         let mut bc = BatchConfig::default();
         if let Some(s) = args.get("batch-window") {
             bc.window_s = s.parse().unwrap_or(0.0);
@@ -177,16 +270,71 @@ fn simulate(args: &Args) {
             }
         }
         bc.max_retries = args.num("batch-retries", bc.max_retries);
-        Some(bc)
-    } else {
-        for f in ["batch-window", "batch-retries"] {
-            if args.has(f) {
-                eprintln!("--{f} requires --scheme batch");
-                std::process::exit(2);
-            }
+        bc
+    })
+}
+
+fn validate_every(args: &Args) -> Option<f64> {
+    args.get("validate-every").map(|s| {
+        let every: f64 = s.parse().unwrap_or(0.0);
+        if every.is_nan() || every <= 0.0 {
+            eprintln!("--validate-every must be a positive number of seconds, got `{s}`");
+            std::process::exit(2);
         }
-        None
-    };
+        every
+    })
+}
+
+fn persist_config(args: &Args) -> Option<mt_share::sim::PersistConfig> {
+    args.get("state-dir").map(|dir| {
+        let mut pc = mt_share::sim::PersistConfig::new(dir);
+        pc.checkpoint_every = args.num("checkpoint-every", pc.checkpoint_every);
+        pc.resume = args.has("resume");
+        if pc.resume {
+            eprintln!("resuming from checkpoint state in {dir}");
+        }
+        pc.crash_at = args.get("crash-at").map(|s| {
+            let step: u64 = s.parse().unwrap_or_else(|_| {
+                eprintln!("--crash-at must be a step count, got `{s}`");
+                std::process::exit(2);
+            });
+            mt_share::chaos::CrashPoint::exit_at(step)
+        });
+        pc
+    })
+}
+
+fn write_metrics(args: &Args, obs: &mt_share::obs::Obs) {
+    if let Some(path) = args.get("metrics-out") {
+        let summary = obs.summary_json().expect("telemetry enabled");
+        std::fs::write(path, summary + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote summary to {path}");
+    }
+    if let Some(path) = args.get("trace-out") {
+        eprintln!("wrote event trace to {path}");
+    }
+}
+
+fn simulate(args: &Args) {
+    let graph = city(args);
+    let parallelism = args.num("parallelism", 1usize).max(1);
+    let obs = build_obs(args);
+    let cache = build_cache(args, &graph, parallelism, &obs);
+    let scenario = Scenario::generate(graph.clone(), &cache, scenario_config(args));
+
+    if let Some(path) = args.get("feed-record") {
+        std::fs::write(path, record_feed(&scenario.requests)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("recorded {} feed entries to {path}", scenario.requests.len());
+    }
+
+    let kind = scheme_kind(args);
+    let batch = batch_config(args, kind);
     let ctx = kind.needs_context().then(|| {
         build_context(
             &graph,
@@ -212,45 +360,8 @@ fn simulate(args: &Args) {
         }
         chaos
     });
-    if args.has("disruptions") && chaos.is_none() {
-        eprintln!("--disruptions requires --chaos-seed");
-        std::process::exit(2);
-    }
-    let validate_every = args.get("validate-every").map(|s| {
-        let every: f64 = s.parse().unwrap_or(0.0);
-        if every.is_nan() || every <= 0.0 {
-            eprintln!("--validate-every must be a positive number of seconds, got `{s}`");
-            std::process::exit(2);
-        }
-        every
-    });
-    let persist = match args.get("state-dir") {
-        Some(dir) => {
-            let mut pc = mt_share::sim::PersistConfig::new(dir);
-            pc.checkpoint_every = args.num("checkpoint-every", pc.checkpoint_every);
-            pc.resume = args.has("resume");
-            if pc.resume {
-                eprintln!("resuming from checkpoint state in {dir}");
-            }
-            pc.crash_at = args.get("crash-at").map(|s| {
-                let step: u64 = s.parse().unwrap_or_else(|_| {
-                    eprintln!("--crash-at must be a step count, got `{s}`");
-                    std::process::exit(2);
-                });
-                mt_share::chaos::CrashPoint::exit_at(step)
-            });
-            Some(pc)
-        }
-        None => {
-            for f in ["checkpoint-every", "resume", "crash-at"] {
-                if args.has(f) {
-                    eprintln!("--{f} requires --state-dir");
-                    std::process::exit(2);
-                }
-            }
-            None
-        }
-    };
+    let validate_every = validate_every(args);
+    let persist = persist_config(args);
     let chaos_on = chaos.is_some();
     let sim_cfg =
         SimConfig { parallelism, chaos, validate_every, persist, batch, ..SimConfig::default() };
@@ -258,17 +369,7 @@ fn simulate(args: &Args) {
     let report =
         Simulator::new(graph, cache, &scenario, sim_cfg).with_obs(obs.clone()).run(scheme.as_mut());
 
-    if let Some(path) = metrics_out {
-        let summary = obs.summary_json().expect("telemetry enabled");
-        std::fs::write(path, summary + "\n").unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!("wrote summary to {path}");
-    }
-    if let Some(path) = trace_out {
-        eprintln!("wrote event trace to {path}");
-    }
+    write_metrics(args, &obs);
 
     println!("scheme          {}", report.scheme);
     println!("parallelism     {parallelism}");
@@ -300,6 +401,119 @@ fn simulate(args: &Args) {
     println!("driver income   {:.1} total", report.total_driver_income);
     println!("index memory    {:.1} KiB", report.index_memory_bytes as f64 / 1024.0);
     println!("wall clock      {:.2} s", report.wall_clock_s);
+}
+
+fn serve_cmd(args: &Args) {
+    // Admission configuration fails fast, before the city is built.
+    let queue = AdmissionQueue {
+        capacity: args.num("queue-capacity", 64usize),
+        policy: match args.get("admission") {
+            None => AdmissionPolicy::Block,
+            Some(s) => AdmissionPolicy::parse(s).unwrap_or_else(|e| flag_error(&e)),
+        },
+    };
+    queue.validate().unwrap_or_else(|e| flag_error(&e));
+    let pace = match args.get("pace").unwrap_or("free") {
+        "free" => Pace::Free,
+        s => {
+            let quantum_s: f64 = s.parse().unwrap_or(0.0);
+            if quantum_s.is_nan() || quantum_s <= 0.0 {
+                flag_error(&format!("--pace must be `free` or a positive quantum, got `{s}`"));
+            }
+            Pace::Virtual { quantum_s }
+        }
+    };
+    let report_every_s = args.has("report-out").then(|| {
+        let every: f64 = args.num("report-every", 60.0);
+        if every.is_nan() || every <= 0.0 {
+            flag_error("--report-every must be a positive number of virtual seconds");
+        }
+        every
+    });
+
+    let graph = city(args);
+    let parallelism = args.num("parallelism", 1usize).max(1);
+    let obs = build_obs(args);
+    let cache = build_cache(args, &graph, parallelism, &obs);
+    // The same generation as `simulate`, so the fleet and historical
+    // trips are identical — only the arrival stream is replaced by the
+    // feed. The generated requests are discarded.
+    let mut scenario = Scenario::generate(graph.clone(), &cache, scenario_config(args));
+    scenario.requests = Vec::new();
+
+    let kind = scheme_kind(args);
+    let batch = batch_config(args, kind);
+    let ctx = kind.needs_context().then(|| {
+        build_context(
+            &graph,
+            &scenario.historical,
+            args.num("kappa", 24usize),
+            PartitionStrategy::Bipartite,
+        )
+    });
+    let mt_cfg = (parallelism > 1)
+        .then(|| mt_share::core::MtShareConfig::default().with_parallelism(parallelism));
+    let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, mt_cfg);
+    let sim_cfg = SimConfig {
+        parallelism,
+        validate_every: validate_every(args),
+        persist: persist_config(args),
+        batch,
+        ..SimConfig::default()
+    };
+
+    let n_nodes = graph.node_count() as u32;
+    let sim =
+        Simulator::new(graph, cache, &scenario, sim_cfg).with_obs(obs.clone()).with_streaming();
+    let engine = SimEngine::new(sim, scheme.as_mut());
+    if engine.resumed() {
+        eprintln!("restored {} ingested requests; continuing the feed", engine.ingested());
+    }
+
+    let feed = open_feed(args.get("feed").unwrap_or("-")).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let mut report_file = args.get("report-out").map(|path| {
+        std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        }))
+    });
+
+    let opts = ServeOptions { queue, pace, report_every_s, n_nodes };
+    let outcome = mt_share::serve::serve(
+        engine,
+        scheme.as_mut(),
+        feed,
+        opts,
+        &obs,
+        report_file.as_mut().map(|w| w as &mut dyn std::io::Write),
+    );
+    match outcome {
+        Ok(ServeOutcome::Finished(report)) => {
+            drop(report_file);
+            write_metrics(args, &obs);
+            if args.has("report-out") {
+                eprintln!("wrote steady-state reports to {}", args.get("report-out").unwrap());
+            }
+            println!("scheme          {}", report.scheme);
+            println!("parallelism     {parallelism}");
+            println!("taxis           {}", report.n_taxis);
+            println!("requests        {} ({} offline)", report.n_requests, report.n_offline);
+            println!("served          {} ({:.1}%)", report.served, report.served_ratio() * 100.0);
+            println!("rejected        {}", report.rejected);
+            println!("wall clock      {:.2} s", report.wall_clock_s);
+        }
+        Ok(ServeOutcome::Crashed { step }) => {
+            eprintln!("planned crash after step {step}");
+            std::process::exit(42);
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn partition(args: &Args) {

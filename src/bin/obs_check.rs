@@ -2,7 +2,7 @@
 //! schema.
 //!
 //! ```text
-//! obs_check --trace events.jsonl --summary summary.json
+//! obs_check --trace events.jsonl --summary summary.json --steady steady.jsonl
 //! ```
 //!
 //! Exits 0 when every artifact matches the contract (see DESIGN.md,
@@ -13,25 +13,30 @@
 //! archiving the summary, so schema drift fails the build instead of
 //! silently corrupting the perf trajectory.
 
-use mt_share::obs::schema::{validate_summary, validate_trace};
+use mt_share::obs::schema::{validate_steady, validate_summary, validate_trace};
+
+const USAGE: &str =
+    "usage: obs_check [--trace FILE.jsonl] [--summary FILE.json] [--steady FILE.jsonl]";
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut trace_path: Option<String> = None;
     let mut summary_path: Option<String> = None;
+    let mut steady_path: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--trace" => trace_path = args.next(),
             "--summary" => summary_path = args.next(),
+            "--steady" => steady_path = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: obs_check [--trace FILE.jsonl] [--summary FILE.json]");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
     }
-    if trace_path.is_none() && summary_path.is_none() {
-        eprintln!("usage: obs_check [--trace FILE.jsonl] [--summary FILE.json]");
+    if trace_path.is_none() && summary_path.is_none() && steady_path.is_none() {
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
 
@@ -56,6 +61,19 @@ fn main() {
         });
         match validate_summary(&text) {
             Ok(()) => println!("{path}: summary schema OK"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = steady_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match validate_steady(&text) {
+            Ok(n) => println!("{path}: {n} steady reports, schema OK"),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
                 failed = true;

@@ -16,6 +16,8 @@
 //! - [`sim`]: workload generator and the event-driven simulator;
 //! - [`obs`]: structured observability (events, counters, histograms,
 //!   stage spans, JSONL export) — see DESIGN.md, "Observability";
+//! - [`serve`]: long-lived service runtime (JSONL request feed, bounded
+//!   admission queue, graceful drain) — see DESIGN.md, "Service mode";
 //! - [`par`]: panic-isolating deterministic parallel map used by batch
 //!   dispatch;
 //! - [`chaos`]: seeded disruption plans, retry policy and runtime
@@ -33,4 +35,5 @@ pub use mtshare_obs as obs;
 pub use mtshare_par as par;
 pub use mtshare_road as road;
 pub use mtshare_routing as routing;
+pub use mtshare_serve as serve;
 pub use mtshare_sim as sim;
