@@ -51,12 +51,8 @@ fn main() {
     let mut persist_wall = f64::INFINITY;
     let mut summary = String::new();
     for _ in 0..runs {
-        let pc = PersistConfig {
-            state_dir: state_dir.clone(),
-            checkpoint_every: CHECKPOINT_EVERY,
-            resume: false,
-            crash_at: None,
-        };
+        let pc =
+            PersistConfig { checkpoint_every: CHECKPOINT_EVERY, ..PersistConfig::new(&state_dir) };
         let (wall, s) = run_once(&graph, &scenario, &ctx, Some(pc));
         if wall < persist_wall {
             persist_wall = wall;

@@ -12,8 +12,14 @@
 //!   `--chaos-seed` through the workspace `rand` shim. Same seed, same
 //!   plan, any `--parallelism` — the injected events ride the simulator's
 //!   ordinary `(time, seq)` heap order, so determinism is preserved.
+//! - [`failpoint`]: seeded storage/feed failpoints (`--failpoints`) —
+//!   ENOSPC, lost fsyncs, torn frames, read-back corruption, feed
+//!   disconnects — generated once up front and threaded through the
+//!   `mtshare-persist` fault-injection seam, so every injected I/O
+//!   fault is a pure function of the seed.
 //! - [`retry`]: the bounded retry/backoff policy for re-dispatching
-//!   orphaned passengers.
+//!   orphaned passengers — reused by `mtshare serve --supervise` as the
+//!   restart-backoff schedule.
 //! - [`invariants`]: pure world-state checks (seat accounting,
 //!   schedule/route agreement, monotone arrival times) the simulator's
 //!   `validate_world` cadence runs and reports through `mtshare-obs`.
@@ -21,12 +27,15 @@
 #![warn(missing_docs)]
 
 pub mod crash;
+pub mod failpoint;
 pub mod invariants;
 pub mod persist;
 pub mod plan;
 pub mod retry;
 
 pub use crash::{CrashMode, CrashPoint, CRASH_EXIT_CODE};
+pub use failpoint::{Failpoint, FailpointPlan, FailpointSpec, FeedFaultPlan};
 pub use invariants::check_taxi;
+pub use mtshare_persist::fault::{FaultInjector, IoFault, IoOp};
 pub use plan::{ChaosConfig, Disruption, DisruptionPlan, TimedDisruption};
 pub use retry::RetryPolicy;

@@ -274,12 +274,52 @@ pub enum Event {
         /// WAL records replayed on top of the snapshot.
         wal_replayed: u64,
     },
+    /// A storage operation failed mid-run (persistence meta event; see
+    /// [`Event::Checkpoint`] for the meta-path rules). What happens next
+    /// is the durability policy's call: strict runs stop with a typed
+    /// exit, degrade runs quarantine the state dir and keep serving.
+    StorageFault {
+        /// Simulation time (s) when the fault surfaced.
+        t: f64,
+        /// Event-loop step at the fault.
+        step: u64,
+        /// The failing operation (`wal_append`, `wal_sync`,
+        /// `snapshot_write`, ...).
+        op: &'static str,
+        /// Fault classification (`no_space`, `sync_lost`, `corruption`,
+        /// `transient`).
+        class: &'static str,
+    },
+    /// The degrade durability policy fired: persistence is off for the
+    /// rest of the run and the state dir was quarantined for post-mortem
+    /// (persistence meta event).
+    DurabilityDegraded {
+        /// Simulation time (s) when the policy fired.
+        t: f64,
+        /// Event-loop step at the fault.
+        step: u64,
+        /// Whether the bad state-dir generation was successfully moved
+        /// aside (false: the rename itself failed; the dir is untouched).
+        quarantined: bool,
+    },
+    /// The feed transport failed mid-stream (meta event): disconnect,
+    /// malformed framing or an oversized line. The serve loop syncs
+    /// persistence and exits with the feed-fault code so a supervisor
+    /// can restart and resume.
+    FeedFault {
+        /// Simulation time (s) when the feed broke.
+        t: f64,
+        /// 1-based feed line at which the fault surfaced.
+        line: u64,
+        /// Fault kind (`disconnect`, `oversized_line`, `io`).
+        kind: &'static str,
+    },
 }
 
 /// Event kinds, for counting. Order matches serialization labels; the
 /// persistence meta kinds sit at the end so pre-existing indices are
 /// stable.
-pub const EVENT_KINDS: [&str; 15] = [
+pub const EVENT_KINDS: [&str; 18] = [
     "arrival",
     "dispatch",
     "commit",
@@ -295,6 +335,9 @@ pub const EVENT_KINDS: [&str; 15] = [
     "invariant_violation",
     "checkpoint",
     "restore",
+    "storage_fault",
+    "durability_degraded",
+    "feed_fault",
 ];
 
 impl Event {
@@ -315,7 +358,10 @@ impl Event {
             | Event::Redispatch { t, .. }
             | Event::InvariantViolation { t, .. }
             | Event::Checkpoint { t, .. }
-            | Event::Restore { t, .. } => *t,
+            | Event::Restore { t, .. }
+            | Event::StorageFault { t, .. }
+            | Event::DurabilityDegraded { t, .. }
+            | Event::FeedFault { t, .. } => *t,
         }
     }
 
@@ -337,14 +383,24 @@ impl Event {
             Event::InvariantViolation { .. } => 12,
             Event::Checkpoint { .. } => 13,
             Event::Restore { .. } => 14,
+            Event::StorageFault { .. } => 15,
+            Event::DurabilityDegraded { .. } => 16,
+            Event::FeedFault { .. } => 17,
         }
     }
 
-    /// Whether this is a persistence meta event (checkpoint/restore):
-    /// emitted through the meta path only, never part of the canonical
-    /// deterministic stream or aggregates.
+    /// Whether this is a persistence/fault meta event: emitted through
+    /// the meta path only, never part of the canonical deterministic
+    /// stream or aggregates.
     pub fn is_meta(&self) -> bool {
-        matches!(self, Event::Checkpoint { .. } | Event::Restore { .. })
+        matches!(
+            self,
+            Event::Checkpoint { .. }
+                | Event::Restore { .. }
+                | Event::StorageFault { .. }
+                | Event::DurabilityDegraded { .. }
+                | Event::FeedFault { .. }
+        )
     }
 
     /// Encodes the event as one JSONL line (no trailing newline), with
@@ -464,6 +520,27 @@ impl Event {
                     fmt_f64(*t)
                 );
             }
+            Event::StorageFault { t, step, op, class } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"storage_fault","t":{},"step":{step},"op":"{op}","class":"{class}"}}"#,
+                    fmt_f64(*t)
+                );
+            }
+            Event::DurabilityDegraded { t, step, quarantined } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"durability_degraded","t":{},"step":{step},"quarantined":{quarantined}}}"#,
+                    fmt_f64(*t)
+                );
+            }
+            Event::FeedFault { t, line, kind } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"feed_fault","t":{},"line":{line},"kind":"{kind}"}}"#,
+                    fmt_f64(*t)
+                );
+            }
         }
         s
     }
@@ -498,6 +575,9 @@ mod tests {
             Event::InvariantViolation { t: 9.0, check: "seat_accounting".to_string() },
             Event::Checkpoint { t: 10.0, step: 512, bytes: 20480 },
             Event::Restore { t: 10.5, step: 700, snapshot_step: 512, wal_replayed: 188 },
+            Event::StorageFault { t: 11.0, step: 710, op: "wal_append", class: "no_space" },
+            Event::DurabilityDegraded { t: 11.0, step: 710, quarantined: true },
+            Event::FeedFault { t: 11.5, line: 4021, kind: "disconnect" },
         ];
         for (i, ev) in evs.iter().enumerate() {
             let line = ev.to_jsonl();

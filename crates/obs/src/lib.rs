@@ -54,10 +54,11 @@ use std::time::Instant;
 const MAX_WORKERS: usize = 64;
 
 /// Summary schema identifier, bumped on breaking layout changes.
-/// v6: the `rejections` block gained the service-mode admission reasons
-/// (`queue_shed`, `queue_rejected`, `drain_rejected`); the steady-state
-/// report stream ([`steady::STEADY_SCHEMA`]) ships alongside.
-pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v6";
+/// v7: `profiling` gained a `faults` block (storage/feed fault counters,
+/// quarantines, tolerated directory-fsync gaps) and three meta event
+/// kinds (`storage_fault`, `durability_degraded`, `feed_fault`) joined
+/// the event-count table.
+pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v7";
 
 /// Static facts about the run, reported verbatim in the summary.
 #[derive(Debug, Clone, Default)]
@@ -183,6 +184,12 @@ struct ObsCore {
     wal_bytes: AtomicU64,
     checkpoint_bytes: Histogram,
     checkpoint_write_s: Histogram,
+    // ---- storage/feed faults (profiling) ----
+    wal_faults: AtomicU64,
+    snapshot_faults: AtomicU64,
+    feed_faults: AtomicU64,
+    dir_sync_unsupported: AtomicU64,
+    quarantines: AtomicU64,
 }
 
 impl ObsCore {
@@ -218,6 +225,11 @@ impl ObsCore {
             wal_bytes: AtomicU64::new(0),
             checkpoint_bytes: Histogram::new(),
             checkpoint_write_s: Histogram::new(),
+            wal_faults: AtomicU64::new(0),
+            snapshot_faults: AtomicU64::new(0),
+            feed_faults: AtomicU64::new(0),
+            dir_sync_unsupported: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
         }
     }
 }
@@ -372,6 +384,45 @@ impl Obs {
         if let Some(core) = &self.core {
             core.wal_records.fetch_add(1, Ordering::Relaxed);
             core.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one mid-run storage fault on operation `op`
+    /// (`wal_append`, `wal_sync`, `snapshot_write`, `snapshot_read`,
+    /// `dir_sync`): WAL ops count against the `wal` bucket, everything
+    /// else against `snapshot` (profiling).
+    pub fn record_storage_fault(&self, op: &str) {
+        if let Some(core) = &self.core {
+            if op.starts_with("wal") {
+                core.wal_faults.fetch_add(1, Ordering::Relaxed);
+            } else {
+                core.snapshot_faults.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records one feed-transport fault (disconnect, oversized or
+    /// malformed line) observed by the serve loop (profiling).
+    pub fn record_feed_fault(&self) {
+        if let Some(core) = &self.core {
+            core.feed_faults.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one tolerated "this filesystem cannot fsync a directory"
+    /// outcome of a snapshot rename (profiling). Real directory-fsync
+    /// failures surface as storage faults instead.
+    pub fn record_dir_sync_unsupported(&self) {
+        if let Some(core) = &self.core {
+            core.dir_sync_unsupported.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one quarantined state-dir generation — the degrade
+    /// durability policy moved the bad generation aside (profiling).
+    pub fn record_quarantine(&self) {
+        if let Some(core) = &self.core {
+            core.quarantines.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -678,6 +729,15 @@ impl Obs {
         s.push(',');
         write_histogram(&mut s, "checkpoint_write_ms", &core.checkpoint_write_s, 1e3, "ms");
         s.push_str("},");
+        let _ = write!(
+            s,
+            r#""faults":{{"wal":{},"snapshot":{},"feed":{},"dir_sync_unsupported":{},"quarantines":{}}},"#,
+            core.wal_faults.load(Ordering::Relaxed),
+            core.snapshot_faults.load(Ordering::Relaxed),
+            core.feed_faults.load(Ordering::Relaxed),
+            core.dir_sync_unsupported.load(Ordering::Relaxed),
+            core.quarantines.load(Ordering::Relaxed)
+        );
         let _ = write!(
             s,
             r#""lap":{{"solves":{},"rows":{},"cols":{},"assigned":{},"augmentations":{},"relaxations":{},"skipped_rows":{}}},"#,

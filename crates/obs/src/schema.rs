@@ -187,6 +187,27 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
             ],
             "restore",
         ),
+        "storage_fault" => check_fields(
+            &v,
+            &[
+                ("ev", Ty::Str),
+                ("t", Ty::Num),
+                ("step", Ty::Num),
+                ("op", Ty::Str),
+                ("class", Ty::Str),
+            ],
+            "storage_fault",
+        ),
+        "durability_degraded" => check_fields(
+            &v,
+            &[("ev", Ty::Str), ("t", Ty::Num), ("step", Ty::Num), ("quarantined", Ty::Bool)],
+            "durability_degraded",
+        ),
+        "feed_fault" => check_fields(
+            &v,
+            &[("ev", Ty::Str), ("t", Ty::Num), ("line", Ty::Num), ("kind", Ty::Str)],
+            "feed_fault",
+        ),
         other => Err(format!("unknown event kind \"{other}\"")),
     }
 }
@@ -310,6 +331,10 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
     }
     require_hist_block(persist, "checkpoint_bytes", "b")?;
     require_hist_block(persist, "checkpoint_write_ms", "ms")?;
+    let faults = prof.get("faults").ok_or("profiling: missing \"faults\"")?;
+    for f in ["wal", "snapshot", "feed", "dir_sync_unsupported", "quarantines"] {
+        require_num(faults, "faults", f)?;
+    }
     let lap = prof.get("lap").ok_or("profiling: missing \"lap\"")?;
     for f in ["solves", "rows", "cols", "assigned", "augmentations", "relaxations", "skipped_rows"]
     {
@@ -412,6 +437,9 @@ mod tests {
             Event::InvariantViolation { t: 8.0, check: "passenger_conservation".to_string() },
             Event::Checkpoint { t: 9.0, step: 128, bytes: 4096 },
             Event::Restore { t: 9.5, step: 150, snapshot_step: 128, wal_replayed: 22 },
+            Event::StorageFault { t: 9.75, step: 160, op: "snapshot_write", class: "no_space" },
+            Event::DurabilityDegraded { t: 9.75, step: 160, quarantined: true },
+            Event::FeedFault { t: 10.0, line: 321, kind: "oversized_line" },
         ];
         let trace: String = evs.iter().map(|e| e.to_jsonl() + "\n").collect();
         assert_eq!(validate_trace(&trace), Ok(evs.len()));
@@ -431,6 +459,9 @@ mod tests {
             r#"{"ev":"redispatch","t":1,"req":2,"attempt":1,"ok":1}"#, // wrong type
             r#"{"ev":"checkpoint","t":1,"step":2}"#,                   // missing bytes
             r#"{"ev":"restore","t":1,"step":2,"snapshot_step":"a","wal_replayed":0}"#, // wrong type
+            r#"{"ev":"storage_fault","t":1,"step":2,"op":"wal_append"}"#, // missing class
+            r#"{"ev":"durability_degraded","t":1,"step":2,"quarantined":"yes"}"#, // wrong type
+            r#"{"ev":"feed_fault","t":1,"line":2}"#,                   // missing kind
         ] {
             assert!(validate_event_line(bad).is_err(), "{bad} should fail");
         }

@@ -15,10 +15,12 @@
 //! validates, skipping corrupt files instead of failing — the previous
 //! checkpoint plus the (longer-lived) WAL still reach the crash point.
 
-use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::fault::FaultInjector;
+use crate::snapshot::{read_snapshot_with, write_snapshot_with, SnapshotStats};
 use crate::PersistError;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Extension of snapshot files.
 const SNAP_EXT: &str = "mtsnap";
@@ -29,6 +31,7 @@ const WAL_NAME: &str = "wal.mtwal";
 #[derive(Debug, Clone)]
 pub struct StateDir {
     root: PathBuf,
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl StateDir {
@@ -36,7 +39,13 @@ impl StateDir {
     pub fn create(root: impl Into<PathBuf>) -> Result<Self, PersistError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(Self { root })
+        Ok(Self { root, injector: None })
+    }
+
+    /// Installs a fault injector consulted by snapshot reads/writes.
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
     }
 
     /// The directory path.
@@ -71,9 +80,9 @@ impl StateDir {
         Ok(steps)
     }
 
-    /// Writes `payload` as the snapshot for `step`. Returns file size.
-    pub fn write_snapshot(&self, step: u64, payload: &[u8]) -> Result<u64, PersistError> {
-        write_snapshot(&self.snapshot_path(step), payload)
+    /// Writes `payload` as the snapshot for `step`.
+    pub fn write_snapshot(&self, step: u64, payload: &[u8]) -> Result<SnapshotStats, PersistError> {
+        write_snapshot_with(&self.snapshot_path(step), payload, self.injector.as_deref())
     }
 
     /// Loads the newest snapshot that validates, as `(step, payload)`.
@@ -84,13 +93,30 @@ impl StateDir {
         let mut steps = self.snapshot_steps()?;
         steps.reverse();
         for step in steps {
-            match read_snapshot(&self.snapshot_path(step)) {
+            match read_snapshot_with(&self.snapshot_path(step), self.injector.as_deref()) {
                 Ok(payload) => return Ok(Some((step, payload))),
                 Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => continue,
                 Err(_) => continue, // corrupt: fall back to an older one
             }
         }
         Ok(None)
+    }
+
+    /// Quarantines this state-dir generation: renames the whole
+    /// directory to a `<root>.quarantine-N` sibling (first free `N`),
+    /// preserving the bad state for post-mortem while freeing the path
+    /// for a fresh generation. The degrade durability policy calls this
+    /// when the storage layer fails mid-run.
+    pub fn quarantine(&self) -> Result<PathBuf, PersistError> {
+        let name = self.root.file_name().and_then(|s| s.to_str()).unwrap_or("state");
+        for n in 1..10_000u32 {
+            let dest = self.root.with_file_name(format!("{name}.quarantine-{n}"));
+            if !dest.exists() {
+                fs::rename(&self.root, &dest)?;
+                return Ok(dest);
+            }
+        }
+        Err(PersistError::Io(std::io::Error::other("too many quarantined generations")))
     }
 
     /// Removes every snapshot and the WAL — the fresh-run path, so a
@@ -162,6 +188,25 @@ mod tests {
         assert!(sd.snapshot_steps().unwrap().is_empty());
         assert!(!sd.wal_path().exists());
         let _ = fs::remove_dir_all(sd.path());
+    }
+
+    #[test]
+    fn quarantine_moves_the_generation_aside() {
+        let sd = StateDir::create(tmpdir("quarantine")).unwrap();
+        sd.write_snapshot(0, b"bad generation").unwrap();
+        fs::write(sd.wal_path(), b"records").unwrap();
+        let root = sd.path().to_path_buf();
+        let q1 = sd.quarantine().unwrap();
+        assert!(!root.exists(), "original path must be freed");
+        assert!(q1.exists());
+        assert!(q1.join(WAL_NAME).exists(), "quarantined state is preserved");
+        // A second generation at the same root quarantines to -2.
+        let sd2 = StateDir::create(&root).unwrap();
+        let q2 = sd2.quarantine().unwrap();
+        assert_ne!(q1, q2);
+        for d in [q1, q2] {
+            let _ = fs::remove_dir_all(d);
+        }
     }
 
     #[test]

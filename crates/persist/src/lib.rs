@@ -27,13 +27,15 @@
 pub mod codec;
 pub mod crc;
 pub mod dir;
+pub mod fault;
 pub mod snapshot;
 pub mod wal;
 
 pub use codec::{DecodeError, Decoder, Encoder, Persist};
 pub use crc::{crc32, fnv1a_64, Fnv64};
 pub use dir::StateDir;
-pub use snapshot::{read_snapshot, write_snapshot};
+pub use fault::{FaultInjector, IoFault, IoOp};
+pub use snapshot::{read_snapshot, write_snapshot, SnapshotStats};
 pub use wal::{WalRecovery, WalWriter};
 
 /// Everything that can go wrong while persisting or recovering state.
@@ -41,6 +43,11 @@ pub use wal::{WalRecovery, WalWriter};
 pub enum PersistError {
     /// Underlying filesystem failure.
     Io(std::io::Error),
+    /// Data reached the OS but an fsync failed: the write itself
+    /// succeeded, its *durability* did not. Distinct from [`Io`]
+    /// (`PersistError::Io`) so degradation policies can tell a lost
+    /// durability guarantee from a failed write.
+    SyncFailed(std::io::Error),
     /// A container failed validation (bad magic, length or checksum).
     Corrupt(String),
     /// The container's format version is not the one this build writes.
@@ -57,10 +64,80 @@ pub enum PersistError {
     Decode(DecodeError),
 }
 
+/// Coarse classification of a [`PersistError`] for policy decisions:
+/// degrade-vs-fail branches on *what kind* of failure occurred, not on
+/// the exact error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The device is full (ENOSPC) — retrying in place cannot help.
+    NoSpace,
+    /// An fsync was lost; on-disk state may lag the in-memory state.
+    SyncLost,
+    /// On-disk bytes are damaged or unintelligible (torn frame, bad
+    /// CRC, wrong version, decode failure, manifest mismatch).
+    Corruption,
+    /// Any other I/O failure — possibly transient.
+    Transient,
+}
+
+impl FaultClass {
+    /// Stable label for telemetry events.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::NoSpace => "no_space",
+            FaultClass::SyncLost => "sync_lost",
+            FaultClass::Corruption => "corruption",
+            FaultClass::Transient => "transient",
+        }
+    }
+}
+
+impl PersistError {
+    /// Classifies this error for the degradation policy.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            PersistError::Io(e) if e.raw_os_error() == Some(28) => FaultClass::NoSpace,
+            PersistError::Io(_) => FaultClass::Transient,
+            PersistError::SyncFailed(_) => FaultClass::SyncLost,
+            PersistError::Corrupt(_)
+            | PersistError::UnsupportedVersion { .. }
+            | PersistError::Mismatch(_)
+            | PersistError::Decode(_) => FaultClass::Corruption,
+        }
+    }
+}
+
+/// What a run does when the storage layer fails mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Fail fast: sync what can be synced, then stop with a typed
+    /// storage-fault outcome (the CLI maps it to a dedicated exit
+    /// code). The state dir stays where it is for a `--resume`.
+    #[default]
+    Strict,
+    /// Keep serving from memory: the state-dir generation is
+    /// quarantined (renamed aside), persistence is disabled for the
+    /// rest of the run, and a warning event is emitted. Durability is
+    /// lost; the trace contract is not.
+    Degrade,
+}
+
+impl Durability {
+    /// Parses the `--durability` CLI value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "strict" => Ok(Durability::Strict),
+            "degrade" => Ok(Durability::Degrade),
+            other => Err(format!("unknown durability policy `{other}` (strict|degrade)")),
+        }
+    }
+}
+
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::SyncFailed(e) => write!(f, "fsync failed (durability lost): {e}"),
             PersistError::Corrupt(what) => write!(f, "corrupt state file: {what}"),
             PersistError::UnsupportedVersion { found, expected } => {
                 write!(f, "unsupported format version {found} (expected {expected})")

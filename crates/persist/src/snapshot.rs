@@ -18,6 +18,7 @@
 //! replaces.
 
 use crate::crc::crc32;
+use crate::fault::{self, FaultInjector, IoFault, IoOp};
 use crate::PersistError;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
@@ -32,9 +33,31 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Header bytes before the payload.
 pub const HEADER_LEN: usize = 20;
 
-/// Writes `payload` as a snapshot at `path`, atomically. Returns the
-/// total file size in bytes.
-pub fn write_snapshot(path: &Path, payload: &[u8]) -> Result<u64, PersistError> {
+/// Outcome of a successful snapshot write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Total file size in bytes (header + payload).
+    pub bytes: u64,
+    /// The filesystem refused to fsync the parent directory
+    /// (`Unsupported`): the rename's durability is best-effort on this
+    /// filesystem. Tolerated, but surfaced so callers can count it —
+    /// any *other* directory-fsync failure is propagated as an error.
+    pub dir_sync_unsupported: bool,
+}
+
+/// Writes `payload` as a snapshot at `path`, atomically.
+pub fn write_snapshot(path: &Path, payload: &[u8]) -> Result<SnapshotStats, PersistError> {
+    write_snapshot_with(path, payload, None)
+}
+
+/// [`write_snapshot`] with an optional fault injector consulted before
+/// the temp-file write (`SnapshotWrite`) and the directory fsync
+/// (`DirSync`).
+pub fn write_snapshot_with(
+    path: &Path,
+    payload: &[u8],
+    injector: Option<&dyn FaultInjector>,
+) -> Result<SnapshotStats, PersistError> {
     let mut file_bytes = Vec::with_capacity(HEADER_LEN + payload.len());
     file_bytes.extend_from_slice(&MAGIC);
     file_bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -43,26 +66,82 @@ pub fn write_snapshot(path: &Path, payload: &[u8]) -> Result<u64, PersistError> 
     file_bytes.extend_from_slice(payload);
 
     let tmp = path.with_extension("tmp");
+    if let Some(f) = injector.and_then(|i| i.check(IoOp::SnapshotWrite)) {
+        return Err(inject_write_fault(f, &tmp, &file_bytes));
+    }
     {
         let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
         f.write_all(&file_bytes)?;
         f.sync_all()?;
     }
     fs::rename(&tmp, path)?;
-    // Best-effort directory sync so the rename itself is durable; some
-    // filesystems refuse to fsync a directory handle — not fatal.
+    // Directory fsync makes the rename itself durable. "This filesystem
+    // cannot fsync a directory" is tolerated and reported via the
+    // stats; a real failure means the snapshot's existence may not
+    // survive a power cut — that is propagated, not swallowed.
+    let mut dir_sync_unsupported = false;
     if let Some(parent) = path.parent() {
-        if let Ok(d) = File::open(parent) {
-            let _ = d.sync_all();
+        let injected = injector.and_then(|i| i.check(IoOp::DirSync));
+        match injected {
+            Some(IoFault::Unsupported) => dir_sync_unsupported = true,
+            Some(_) => return Err(PersistError::SyncFailed(fault::eio())),
+            None => match File::open(parent).and_then(|d| d.sync_all()) {
+                Ok(()) => {}
+                Err(e) if dir_sync_is_unsupported(&e) => dir_sync_unsupported = true,
+                Err(e) => return Err(PersistError::SyncFailed(e)),
+            },
         }
     }
-    Ok(file_bytes.len() as u64)
+    Ok(SnapshotStats { bytes: file_bytes.len() as u64, dir_sync_unsupported })
+}
+
+/// Whether a directory-fsync error means "this filesystem does not
+/// support the operation" (ENOTSUP/EINVAL/`Unsupported`) rather than a
+/// real durability failure.
+fn dir_sync_is_unsupported(e: &std::io::Error) -> bool {
+    e.kind() == std::io::ErrorKind::Unsupported || matches!(e.raw_os_error(), Some(95 | 22))
+}
+
+/// Materialises an injected snapshot-write fault. A short write leaves
+/// a partial *temp* file and never renames — demonstrating that the
+/// final name stays atomic even under a torn write.
+fn inject_write_fault(f: IoFault, tmp: &Path, file_bytes: &[u8]) -> PersistError {
+    match f {
+        IoFault::ShortWrite { keep_permille } => {
+            let keep = file_bytes.len() * usize::from(keep_permille.min(999)) / 1000;
+            let _ = fs::write(tmp, &file_bytes[..keep]);
+            PersistError::Io(fault::eio())
+        }
+        IoFault::NoSpace => PersistError::Io(fault::enospc()),
+        IoFault::SyncFailed => PersistError::SyncFailed(fault::eio()),
+        IoFault::Unsupported | IoFault::CorruptByte { .. } => PersistError::Io(fault::eio()),
+    }
 }
 
 /// Reads and validates the snapshot at `path`, returning its payload.
 pub fn read_snapshot(path: &Path) -> Result<Vec<u8>, PersistError> {
+    read_snapshot_with(path, None)
+}
+
+/// [`read_snapshot`] with an optional fault injector: a `CorruptByte`
+/// fault flips one byte of the raw file image before validation, so
+/// the CRC/format checks are exercised against real corruption.
+pub fn read_snapshot_with(
+    path: &Path,
+    injector: Option<&dyn FaultInjector>,
+) -> Result<Vec<u8>, PersistError> {
     let mut raw = Vec::new();
     File::open(path)?.read_to_end(&mut raw)?;
+    if let Some(f) = injector.and_then(|i| i.check(IoOp::SnapshotRead)) {
+        match f {
+            IoFault::CorruptByte { offset, mask } if !raw.is_empty() => {
+                let i = (offset % raw.len() as u64) as usize;
+                raw[i] ^= if mask == 0 { 0x40 } else { mask };
+            }
+            IoFault::CorruptByte { .. } => {}
+            _ => return Err(PersistError::Io(fault::eio())),
+        }
+    }
     if raw.len() < HEADER_LEN {
         return Err(PersistError::Corrupt(format!(
             "{}: {} bytes is shorter than the header",
@@ -112,8 +191,9 @@ mod tests {
         let dir = tmpdir("rt");
         let p = dir.join("a.mtsnap");
         let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
-        let size = write_snapshot(&p, &payload).unwrap();
-        assert_eq!(size as usize, HEADER_LEN + payload.len());
+        let stats = write_snapshot(&p, &payload).unwrap();
+        assert_eq!(stats.bytes as usize, HEADER_LEN + payload.len());
+        assert!(!stats.dir_sync_unsupported, "tmpfs supports directory fsync");
         assert_eq!(read_snapshot(&p).unwrap(), payload);
         let _ = fs::remove_dir_all(&dir);
     }

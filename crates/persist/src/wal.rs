@@ -14,10 +14,12 @@
 //! record, and a re-opened writer continues from the last good one.
 
 use crate::crc::crc32;
+use crate::fault::{self, FaultInjector, IoFault, IoOp};
 use crate::PersistError;
 use std::fs::OpenOptions;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Per-record header bytes.
 const RECORD_HEADER: usize = 8;
@@ -75,6 +77,7 @@ fn scan(bytes: &[u8]) -> WalRecovery {
 pub struct WalWriter {
     out: BufWriter<std::fs::File>,
     appended: u64,
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl WalWriter {
@@ -82,7 +85,12 @@ impl WalWriter {
     /// writer — the start-of-run path.
     pub fn create(path: &Path) -> Result<Self, PersistError> {
         let f = OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
-        Ok(Self { out: BufWriter::new(f), appended: 0 })
+        Ok(Self { out: BufWriter::new(f), appended: 0, injector: None })
+    }
+
+    /// Installs a fault injector consulted before every append/sync.
+    pub fn set_fault_injector(&mut self, injector: Arc<dyn FaultInjector>) {
+        self.injector = Some(injector);
     }
 
     /// Opens the log at `path`, recovering its valid prefix: intact
@@ -101,13 +109,16 @@ impl WalWriter {
             f.sync_all()?;
         }
         f.seek(SeekFrom::Start(recovery.valid_len))?;
-        Ok((recovery, Self { out: BufWriter::new(f), appended: 0 }))
+        Ok((recovery, Self { out: BufWriter::new(f), appended: 0, injector: None }))
     }
 
     /// Appends one record. Buffered — call [`WalWriter::sync`] to make
     /// it durable.
     pub fn append(&mut self, payload: &[u8]) -> Result<(), PersistError> {
         assert!(payload.len() as u64 <= u64::from(MAX_RECORD), "WAL record too large");
+        if let Some(f) = self.injector.as_ref().and_then(|i| i.check(IoOp::WalAppend)) {
+            return Err(self.inject_append_fault(f, payload));
+        }
         self.out.write_all(&(payload.len() as u32).to_le_bytes())?;
         self.out.write_all(&crc32(payload).to_le_bytes())?;
         self.out.write_all(payload)?;
@@ -115,10 +126,43 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Flushes buffered appends and fsyncs the file.
+    /// Materialises an injected append fault. A short write leaves a
+    /// genuinely torn frame on disk — the same bytes a crash mid-append
+    /// would leave — so recovery paths see the real thing.
+    fn inject_append_fault(&mut self, f: IoFault, payload: &[u8]) -> PersistError {
+        match f {
+            IoFault::ShortWrite { keep_permille } => {
+                let mut frame = Vec::with_capacity(RECORD_HEADER + payload.len());
+                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&crc32(payload).to_le_bytes());
+                frame.extend_from_slice(payload);
+                let keep = frame.len() * usize::from(keep_permille.min(999)) / 1000;
+                let _ = self.out.flush();
+                let mut raw = self.out.get_ref();
+                let _ = raw.write_all(&frame[..keep]);
+                let _ = raw.sync_all();
+                PersistError::Io(fault::eio())
+            }
+            IoFault::NoSpace => PersistError::Io(fault::enospc()),
+            IoFault::SyncFailed | IoFault::Unsupported | IoFault::CorruptByte { .. } => {
+                PersistError::Io(fault::eio())
+            }
+        }
+    }
+
+    /// Flushes buffered appends and fsyncs the file. A failed flush is
+    /// an ordinary [`PersistError::Io`]; a failed fsync is the typed
+    /// [`PersistError::SyncFailed`] — the bytes reached the OS, their
+    /// durability did not.
     pub fn sync(&mut self) -> Result<(), PersistError> {
         self.out.flush()?;
-        self.out.get_ref().sync_all()?;
+        if let Some(f) = self.injector.as_ref().and_then(|i| i.check(IoOp::WalSync)) {
+            // The flush above succeeded: data is in the OS page cache,
+            // exactly the state a real lost fsync leaves behind.
+            let _ = f;
+            return Err(PersistError::SyncFailed(fault::eio()));
+        }
+        self.out.get_ref().sync_all().map_err(PersistError::SyncFailed)?;
         Ok(())
     }
 

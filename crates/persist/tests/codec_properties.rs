@@ -120,4 +120,95 @@ proptest! {
         prop_assert_eq!(rec.records.len(), fit);
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    /// Torn final frame at *any* byte offset — from its first header
+    /// byte to one short of complete — possibly with a flipped bit
+    /// inside the torn region: recovery always keeps exactly the intact
+    /// prefix, truncates the file to it, and the re-opened writer
+    /// continues the log from there.
+    #[test]
+    fn torn_final_frame_at_any_offset_recovers_and_resumes(
+        records in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..40),
+            1..6,
+        ),
+        tear_frac in 0.0f64..1.0,
+        flip in (proptest::bool::ANY, 0usize..10_000, 0u32..8),
+    ) {
+        let dir = scratch("tear", (tear_frac * 1e6) as u64);
+        let path = dir.join("log.mtwal");
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            for r in &records {
+                w.append(r).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let final_frame = 8 + records.last().unwrap().len();
+        let prefix_len = full.len() - final_frame;
+        // Cut strictly inside the final frame: [prefix_len, full.len()).
+        let cut = prefix_len + ((final_frame as f64) * tear_frac) as usize % final_frame;
+        let mut torn = full[..cut].to_vec();
+        let (do_flip, pos, bit) = flip;
+        if do_flip && cut > prefix_len {
+            let p = prefix_len + pos % (cut - prefix_len);
+            torn[p] ^= 1 << bit;
+        }
+        std::fs::write(&path, &torn).unwrap();
+        let (rec, mut w) = WalWriter::open_recover(&path).unwrap();
+        prop_assert_eq!(rec.records.len(), records.len() - 1, "cut at {}", cut);
+        for (got, want) in rec.records.iter().zip(&records) {
+            prop_assert_eq!(got, want);
+        }
+        prop_assert!(rec.tail_truncated || cut == prefix_len);
+        prop_assert_eq!(std::fs::metadata(&path).unwrap().len(), prefix_len as u64);
+        // The recovered writer continues the log.
+        w.append(b"resumed").unwrap();
+        w.sync().unwrap();
+        let (rec2, _) = WalWriter::open_recover(&path).unwrap();
+        prop_assert_eq!(rec2.records.len(), records.len());
+        prop_assert_eq!(rec2.records.last().unwrap().as_slice(), b"resumed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A *complete* final frame with any single bit flipped anywhere in
+    /// it (header or body) is dropped by the CRC/length checks — the
+    /// intact prefix survives and the log accepts new appends.
+    #[test]
+    fn flipped_bit_in_final_frame_drops_only_that_record(
+        records in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 1..40),
+            1..6,
+        ),
+        pos in 0usize..10_000,
+        bit in 0u32..8,
+    ) {
+        let dir = scratch("flipwal", (pos as u64) << 3 | u64::from(bit));
+        let path = dir.join("log.mtwal");
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            for r in &records {
+                w.append(r).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let mut full = std::fs::read(&path).unwrap();
+        let final_frame = 8 + records.last().unwrap().len();
+        let prefix_len = full.len() - final_frame;
+        let p = prefix_len + pos % final_frame;
+        full[p] ^= 1 << bit;
+        std::fs::write(&path, &full).unwrap();
+        let (rec, mut w) = WalWriter::open_recover(&path).unwrap();
+        prop_assert_eq!(rec.records.len(), records.len() - 1, "flip at {}", p);
+        for (got, want) in rec.records.iter().zip(&records) {
+            prop_assert_eq!(got, want);
+        }
+        prop_assert!(rec.tail_truncated);
+        w.append(b"after corruption").unwrap();
+        w.sync().unwrap();
+        let (rec2, _) = WalWriter::open_recover(&path).unwrap();
+        prop_assert_eq!(rec2.records.last().unwrap().as_slice(), b"after corruption");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -490,7 +490,7 @@ impl ContractionHierarchy {
             enc.u32(w.to_bits());
         }
         enc.u64(self.shortcuts);
-        write_snapshot(path, &enc.into_bytes())
+        write_snapshot(path, &enc.into_bytes()).map(|stats| stats.bytes)
     }
 
     /// Loads a hierarchy from `path`, validating the CRC frame and that it

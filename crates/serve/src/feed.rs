@@ -23,11 +23,34 @@
 //! doomed with [`RejectReason::DrainRejected`] so they appear in the
 //! trace deterministically.
 
+use mtshare_chaos::failpoint::{FeedFaultPlan, STALL_MS};
 use mtshare_obs::json::{self, Value};
 use mtshare_obs::RejectReason;
 use mtshare_road::NodeId;
 use mtshare_sim::IngestEntry;
 use std::io::BufRead;
+
+/// Hard cap on one feed line, bytes. A line that reaches the cap
+/// without a newline is a protocol fault (`oversized_line`), not
+/// something to buffer unboundedly — a garbage or hostile peer must not
+/// balloon the resident set.
+pub const MAX_LINE_BYTES: u64 = 64 * 1024;
+
+/// Coarse classification of a feed error message, for the
+/// `feed_fault` meta event and the fault counters: `disconnect`
+/// (injected or real connection loss), `oversized_line`, `io`
+/// (transport read errors), `protocol` (malformed framing/content).
+pub fn classify_feed_error(msg: &str) -> &'static str {
+    if msg.contains("injected disconnect") || msg.contains("connection reset") {
+        "disconnect"
+    } else if msg.contains("exceeds the") {
+        "oversized_line"
+    } else if msg.contains("feed read:") {
+        "io"
+    } else {
+        "protocol"
+    }
+}
 
 /// One parsed feed line.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -183,6 +206,8 @@ pub struct FeedReader<R: BufRead> {
     eof: bool,
     last_t: f64,
     line_no: u64,
+    /// Seeded feed faults (`--failpoints feed-*`); empty in production.
+    faults: FeedFaultPlan,
 }
 
 impl<R: BufRead> FeedReader<R> {
@@ -198,13 +223,27 @@ impl<R: BufRead> FeedReader<R> {
             eof: false,
             last_t: f64::NEG_INFINITY,
             line_no: 0,
+            faults: FeedFaultPlan::default(),
         }
+    }
+
+    /// Installs a seeded feed-fault plan: a deterministic mid-stream
+    /// disconnect and/or a slow-consumer stall at planned line numbers.
+    pub fn with_faults(mut self, faults: FeedFaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Whether the stream ended with an explicit drain command (as
     /// opposed to plain EOF).
     pub fn drain_commanded(&self) -> bool {
         self.drain_seen
+    }
+
+    /// 1-based number of the last feed line consumed (0 before the
+    /// first) — error reporting context for the serve loop.
+    pub fn line(&self) -> u64 {
+        self.line_no
     }
 
     /// Next admissible entry straight off the wire, or `None` at EOF /
@@ -214,11 +253,34 @@ impl<R: BufRead> FeedReader<R> {
             if self.eof || self.drain_seen {
                 return Ok(None);
             }
+            let next_line = self.line_no + 1;
+            if self.faults.disconnect_at_line == Some(next_line) {
+                // A dropped peer surfaces exactly like a mid-line read
+                // error; deterministic because the line index is a pure
+                // function of the feed consumed so far.
+                return Err(format!(
+                    "feed line {next_line}: connection reset by failpoint (injected disconnect)"
+                ));
+            }
+            if let Some((line, stall_ms)) = self.faults.stall {
+                if line == next_line {
+                    // Slow-consumer stall: wall-clock only, the virtual
+                    // clock and the trace are untouched.
+                    std::thread::sleep(std::time::Duration::from_millis(stall_ms.min(STALL_MS)));
+                }
+            }
             let mut line = String::new();
-            let n = self.input.read_line(&mut line).map_err(|e| format!("feed read: {e}"))?;
+            let n = std::io::Read::take(&mut self.input, MAX_LINE_BYTES)
+                .read_line(&mut line)
+                .map_err(|e| format!("feed read: {e}"))?;
             if n == 0 {
                 self.eof = true;
                 return Ok(None);
+            }
+            if n as u64 == MAX_LINE_BYTES && !line.ends_with('\n') {
+                return Err(format!(
+                    "feed line {next_line}: exceeds the {MAX_LINE_BYTES}-byte line cap"
+                ));
             }
             self.line_no += 1;
             let trimmed = line.trim();
@@ -428,6 +490,57 @@ mod tests {
         assert_eq!(r.next_burst().unwrap().unwrap().len(), 1);
         let err = r.next_burst().unwrap_err();
         assert!(err.contains("goes back in time"), "{err}");
+    }
+
+    #[test]
+    fn oversized_line_is_a_typed_fault_not_a_buffer() {
+        // One valid entry, then a line that never terminates within the
+        // cap — the reader must fail with the oversized classification
+        // instead of buffering it.
+        let mut feed = feed_of(&[entry(1.0)], "");
+        feed.push_str(&"x".repeat(MAX_LINE_BYTES as usize + 10));
+        let mut r = FeedReader::new(Cursor::new(feed), Pace::Free, 10, 0);
+        assert_eq!(r.next_burst().unwrap().unwrap().len(), 1);
+        let err = r.next_burst().unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert_eq!(classify_feed_error(&err), "oversized_line");
+    }
+
+    #[test]
+    fn injected_disconnect_fires_at_the_planned_line() {
+        let feed = feed_of(&[entry(1.0), entry(2.0), entry(3.0)], "");
+        let plan = FeedFaultPlan { disconnect_at_line: Some(2), stall: None };
+        let mut r = FeedReader::new(Cursor::new(feed), Pace::Free, 10, 0).with_faults(plan);
+        assert_eq!(r.next_burst().unwrap().unwrap().len(), 1);
+        assert_eq!(r.line(), 1);
+        let err = r.next_burst().unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert_eq!(classify_feed_error(&err), "disconnect");
+    }
+
+    #[test]
+    fn injected_stall_delays_but_preserves_the_stream() {
+        let feed = feed_of(&[entry(1.0), entry(2.0)], "");
+        let plan = FeedFaultPlan { disconnect_at_line: None, stall: Some((2, STALL_MS)) };
+        let mut r = FeedReader::new(Cursor::new(feed), Pace::Free, 10, 0).with_faults(plan);
+        let start = std::time::Instant::now();
+        assert_eq!(r.next_burst().unwrap().unwrap().len(), 1);
+        assert_eq!(r.next_burst().unwrap().unwrap().len(), 1);
+        assert!(r.next_burst().unwrap().is_none());
+        assert!(start.elapsed() >= std::time::Duration::from_millis(STALL_MS));
+    }
+
+    #[test]
+    fn feed_error_classification_covers_the_fault_table() {
+        let cases = [
+            ("feed line 7: connection reset by failpoint (injected disconnect)", "disconnect"),
+            ("feed line 3: exceeds the 65536-byte line cap", "oversized_line"),
+            ("feed read: unexpected EOF", "io"),
+            ("feed line 2: missing required key `deadline`", "protocol"),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(classify_feed_error(msg), want, "{msg}");
+        }
     }
 
     #[test]

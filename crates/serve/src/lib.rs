@@ -10,7 +10,10 @@
 //!   entries into virtual-time quanta, and the `feed-record` writer;
 //! - [`admission`]: the bounded queue and its `block` / `shed-oldest` /
 //!   `reject-new` policies;
-//! - [`runtime`]: the serve loop — admit, step, report, drain, finalize.
+//! - [`runtime`]: the serve loop — admit, step, report, drain, finalize;
+//! - [`supervise`]: the `--supervise` watchdog — restart on transient
+//!   deaths (planned crashes, feed/storage faults, stalls) with bounded
+//!   exponential backoff, resuming through the state dir.
 //!
 //! Determinism contract: the event trace of a serve run over a recorded
 //! feed is byte-identical to the one-shot run of the same scenario, at
@@ -24,7 +27,15 @@
 pub mod admission;
 pub mod feed;
 pub mod runtime;
+pub mod supervise;
 
 pub use admission::{AdmissionPolicy, AdmissionQueue, BurstAdmission};
-pub use feed::{entry_line, parse_line, record_feed, FeedItem, FeedReader, Pace};
-pub use runtime::{open_feed, serve, ServeOptions, ServeOutcome};
+pub use feed::{
+    classify_feed_error, entry_line, parse_line, record_feed, FeedItem, FeedReader, Pace,
+    MAX_LINE_BYTES,
+};
+pub use runtime::{open_feed, serve, ServeError, ServeOptions, ServeOutcome};
+pub use supervise::{
+    restart_args, supervise, SuperviseConfig, FEED_FAULT_EXIT, STORAGE_FAULT_EXIT,
+    SUPERVISE_EXHAUSTED_EXIT,
+};

@@ -1,15 +1,17 @@
 //! The serve loop: admit → step → report, then drain and finalize.
 
 use crate::admission::AdmissionQueue;
-use crate::feed::{FeedReader, Pace};
+use crate::feed::{classify_feed_error, FeedReader, Pace};
+use mtshare_chaos::failpoint::FeedFaultPlan;
 use mtshare_model::DispatchScheme;
-use mtshare_obs::{Obs, SteadyExtra, SteadyTracker};
+use mtshare_obs::{Event, Obs, SteadyExtra, SteadyTracker};
 use mtshare_sim::{SimEngine, SimReport, StepOutcome};
 use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
 
 /// Serve-loop configuration (the CLI validates flag combinations and
 /// builds this).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Bounded admission queue in front of the engine.
     pub queue: AdmissionQueue,
@@ -19,6 +21,47 @@ pub struct ServeOptions {
     pub report_every_s: Option<f64>,
     /// Node count of the road network, bounding feed node ids.
     pub n_nodes: u32,
+    /// Liveness file for the supervisor: the step count is rewritten
+    /// after every burst, so a stale mtime means a wedged engine.
+    pub heartbeat: Option<PathBuf>,
+    /// Seeded feed faults to inject into the reader (`--failpoints`).
+    pub feed_faults: Option<FeedFaultPlan>,
+}
+
+/// How a serve run failed. `Feed` is a typed feed fault (disconnect,
+/// oversized line, transport error, protocol violation) after the WAL
+/// was synced — the state dir stays resumable and the CLI maps it to
+/// its own exit code so a supervisor can tell it from a config error.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The feed failed mid-stream.
+    Feed {
+        /// 1-based feed line at/after which the fault hit.
+        line: u64,
+        /// Classification (see [`classify_feed_error`]).
+        kind: &'static str,
+        /// Human-readable cause.
+        msg: String,
+    },
+    /// Anything else: config validation, report-sink I/O.
+    Other(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Feed { line, kind, msg } => {
+                write!(f, "feed fault ({kind}) at line {line}: {msg}")
+            }
+            ServeError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl From<String> for ServeError {
+    fn from(msg: String) -> Self {
+        ServeError::Other(msg)
+    }
 }
 
 /// How a serve run ended.
@@ -30,6 +73,13 @@ pub enum ServeOutcome {
     /// tests); state is crash-consistent but nothing was finalized.
     Crashed {
         /// Steps fully processed before death.
+        step: u64,
+    },
+    /// Strict durability stopped the run on a storage fault: the WAL
+    /// was synced best-effort, sinks are flushed, and the CLI exits
+    /// with the storage-fault code.
+    StorageFault {
+        /// Steps processed when the fault stopped the run.
         step: u64,
     },
 }
@@ -68,7 +118,7 @@ pub fn serve<R: BufRead>(
     opts: ServeOptions,
     obs: &Obs,
     mut report_out: Option<&mut dyn Write>,
-) -> Result<ServeOutcome, String> {
+) -> Result<ServeOutcome, ServeError> {
     opts.queue.validate()?;
     // The restored ingestion count is the feed cursor: everything the
     // crashed run ingested (admitted or doomed) is skipped, and the
@@ -76,8 +126,12 @@ pub fn serve<R: BufRead>(
     // before the engine steps.
     let skip = if engine.resumed() { engine.ingested() } else { 0 };
     let mut reader = FeedReader::new(feed, opts.pace, opts.n_nodes, skip);
+    if let Some(plan) = opts.feed_faults {
+        reader = reader.with_faults(plan);
+    }
 
     let mut steady = SteadyState::new(&opts);
+    beat(&opts.heartbeat, &engine);
     // Catch up before touching the feed. A fresh run goes idle
     // immediately, but a restored run must first re-execute the steps
     // the crashed run processed *before* it ingested its next burst —
@@ -88,9 +142,15 @@ pub fn serve<R: BufRead>(
     match engine.run_until_idle(scheme) {
         StepOutcome::Idle | StepOutcome::Done => {}
         StepOutcome::Crashed { step } => return Ok(ServeOutcome::Crashed { step }),
+        StepOutcome::StorageFault { step } => return Ok(ServeOutcome::StorageFault { step }),
         StepOutcome::Progressed => unreachable!("run_until_idle only returns terminal outcomes"),
     }
-    while let Some(burst) = reader.next_burst()? {
+    loop {
+        let burst = match reader.next_burst() {
+            Ok(Some(burst)) => burst,
+            Ok(None) => break,
+            Err(msg) => return Err(feed_fault(&mut engine, obs, reader.line(), msg)),
+        };
         let adm = opts.queue.admit_burst(burst.len());
         steady.queue_peak = steady.queue_peak.max(adm.queue_peak);
         for (entry, decision) in burst.into_iter().zip(adm.decisions) {
@@ -106,24 +166,53 @@ pub fn serve<R: BufRead>(
         match engine.run_until_idle(scheme) {
             StepOutcome::Idle => {}
             StepOutcome::Crashed { step } => return Ok(ServeOutcome::Crashed { step }),
+            StepOutcome::StorageFault { step } => return Ok(ServeOutcome::StorageFault { step }),
             outcome => unreachable!("open stream cannot reach {outcome:?}"),
         }
+        beat(&opts.heartbeat, &engine);
         steady.boundary_reports(&engine, obs, &mut report_out)?;
     }
 
     // Drain: entries past the drain command still enter the trace, as
     // deterministic rejections at their release times.
-    for (entry, reason) in reader.leftovers()? {
+    let leftovers = match reader.leftovers() {
+        Ok(entries) => entries,
+        Err(msg) => return Err(feed_fault(&mut engine, obs, reader.line(), msg)),
+    };
+    for (entry, reason) in leftovers {
         engine.ingest_doomed(entry, reason);
     }
     engine.close_stream();
     match engine.run_until_idle(scheme) {
         StepOutcome::Done => {}
         StepOutcome::Crashed { step } => return Ok(ServeOutcome::Crashed { step }),
+        StepOutcome::StorageFault { step } => return Ok(ServeOutcome::StorageFault { step }),
         outcome => unreachable!("closed stream cannot reach {outcome:?}"),
     }
+    beat(&opts.heartbeat, &engine);
     steady.final_report(&engine, obs, &mut report_out)?;
-    Ok(ServeOutcome::Finished(Box::new(engine.finalize(scheme))))
+    match engine.finalize(scheme) {
+        Ok(report) => Ok(ServeOutcome::Finished(Box::new(report))),
+        Err(step) => Ok(ServeOutcome::StorageFault { step }),
+    }
+}
+
+/// Records a feed fault (counter + meta event), syncs persistence so
+/// the state dir is crash-consistent, and builds the typed error.
+fn feed_fault(engine: &mut SimEngine, obs: &Obs, line: u64, msg: String) -> ServeError {
+    let kind = classify_feed_error(&msg);
+    obs.record_feed_fault();
+    obs.emit_meta(Event::FeedFault { t: engine.clock(), line, kind });
+    engine.sync_persistence();
+    ServeError::Feed { line, kind, msg }
+}
+
+/// Best-effort heartbeat write: the supervisor watches this file's
+/// mtime, so content only needs to change the inode's timestamp.
+fn beat(path: &Option<PathBuf>, engine: &SimEngine) {
+    if let Some(p) = path {
+        let _ = std::fs::write(p, format!("{}\n", engine.step_count()));
+    }
 }
 
 /// Steady-report bookkeeping for one serve run.

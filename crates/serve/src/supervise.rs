@@ -1,0 +1,324 @@
+//! Supervised restart loop for `mtshare serve --supervise`.
+//!
+//! The supervisor re-executes the serve command as a child process and
+//! watches two liveness signals: the exit status and (optionally) the
+//! heartbeat file's mtime. Transient deaths — a planned crash point, a
+//! feed fault, a storage fault under strict durability, a signal, or a
+//! detected stall — trigger a restart with bounded exponential backoff
+//! ([`RetryPolicy`]); the restart resumes through the existing
+//! `--resume` path, so the child's trace continues byte-identically
+//! from its last durable step. Genuine configuration or runtime errors
+//! (exit 1/2) propagate immediately: restarting cannot fix those.
+//!
+//! Restarts strip one-shot flags from the argv: `--crash-at` and
+//! `--failpoints` schedules already fired (replaying them would
+//! re-crash forever), and the `--supervise*` family must not nest.
+
+use mtshare_chaos::RetryPolicy;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+/// Exit code for a typed feed fault (disconnect, oversized line,
+/// transport error): the state dir is crash-consistent and resumable.
+pub const FEED_FAULT_EXIT: i32 = 43;
+/// Exit code for a storage fault under `--durability strict`: the WAL
+/// is synced up to the faulted step and the run is resumable.
+pub const STORAGE_FAULT_EXIT: i32 = 44;
+/// Exit code when the supervisor's restart budget is exhausted.
+pub const SUPERVISE_EXHAUSTED_EXIT: i32 = 45;
+
+/// Supervisor configuration, built by the CLI from `--supervise-*`.
+#[derive(Debug, Clone)]
+pub struct SuperviseConfig {
+    /// Restart budget and backoff curve. `max_attempts` restarts are
+    /// allowed; `delay_s(attempt)` is slept before each one.
+    pub retry: RetryPolicy,
+    /// Kill and restart the child when its heartbeat file goes stale
+    /// for this long (`None` disables the watchdog).
+    pub stall_timeout: Option<Duration>,
+    /// Heartbeat file the child rewrites each burst (`--heartbeat-file`,
+    /// forwarded to the child untouched).
+    pub heartbeat: Option<PathBuf>,
+}
+
+/// How one child incarnation ended.
+#[derive(Debug, PartialEq, Eq)]
+enum ChildEnd {
+    /// Normal exit with a code.
+    Exited(i32),
+    /// Killed by a signal (or unreadable status).
+    Signaled,
+    /// Watchdog killed it after the heartbeat went stale.
+    Stalled,
+}
+
+impl ChildEnd {
+    fn describe(&self) -> String {
+        match self {
+            ChildEnd::Exited(c) => format!("exit code {c}"),
+            ChildEnd::Signaled => "killed by signal".into(),
+            ChildEnd::Stalled => "stalled heartbeat".into(),
+        }
+    }
+}
+
+/// Flags whose value (the following argv element, or the `=` suffix)
+/// must be stripped along with the flag on restart.
+const STRIP_WITH_VALUE: &[&str] = &[
+    "--crash-at",
+    "--failpoints",
+    "--supervise-max-restarts",
+    "--supervise-backoff-ms",
+    "--supervise-stall-ms",
+];
+/// Bare flags stripped on restart.
+const STRIP_BARE: &[&str] = &["--supervise"];
+
+/// Argv for a restarted child: one-shot fault/crash schedules and the
+/// `--supervise*` family removed, `--resume` guaranteed present.
+pub fn restart_args(args: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len() + 1);
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if STRIP_BARE.contains(&arg.as_str()) {
+            continue;
+        }
+        if STRIP_WITH_VALUE.contains(&arg.as_str()) {
+            skip_value = true;
+            continue;
+        }
+        if STRIP_WITH_VALUE
+            .iter()
+            .any(|f| arg.starts_with(f) && arg.as_bytes().get(f.len()) == Some(&b'='))
+        {
+            continue;
+        }
+        out.push(arg.clone());
+    }
+    if !out.iter().any(|a| a == "--resume") {
+        out.push("--resume".into());
+    }
+    out
+}
+
+/// Runs `exe args` under supervision; returns the exit code the
+/// supervisor process should terminate with.
+///
+/// Exit 0 passes through. Exit 1 and 2 (runtime/flag errors) are fatal
+/// and pass through — they are deterministic, so a restart would only
+/// loop. Everything else (planned crash 42, feed fault 43, storage
+/// fault 44, signals, stalls) is transient: restart with backoff until
+/// [`RetryPolicy::max_attempts`] is spent, then
+/// [`SUPERVISE_EXHAUSTED_EXIT`].
+pub fn supervise(exe: &std::ffi::OsStr, args: &[String], cfg: &SuperviseConfig) -> i32 {
+    let mut argv: Vec<String> = args.to_vec();
+    let mut attempt: u32 = 0;
+    loop {
+        let mut child = match Command::new(exe).args(&argv).spawn() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("supervise: cannot spawn engine: {e}");
+                return 1;
+            }
+        };
+        let end = wait_watched(&mut child, cfg);
+        match end {
+            ChildEnd::Exited(0) => return 0,
+            ChildEnd::Exited(c @ (1 | 2)) => return c,
+            _ => {}
+        }
+        attempt += 1;
+        if cfg.retry.exhausted(attempt) {
+            eprintln!(
+                "supervise: giving up after {} restarts (last end: {})",
+                attempt - 1,
+                end.describe()
+            );
+            return SUPERVISE_EXHAUSTED_EXIT;
+        }
+        let delay = Duration::from_secs_f64(cfg.retry.delay_s(attempt).max(0.0));
+        eprintln!(
+            "supervise: engine ended ({}); restart {attempt}/{} in {:.1}s",
+            end.describe(),
+            cfg.retry.max_attempts,
+            delay.as_secs_f64()
+        );
+        std::thread::sleep(delay);
+        argv = restart_args(&argv);
+    }
+}
+
+/// Waits for the child, polling the heartbeat watchdog; kills the child
+/// on a stale heartbeat. Before the child's first beat the spawn time
+/// stands in for the file mtime, so slow startup gets the same budget.
+fn wait_watched(child: &mut Child, cfg: &SuperviseConfig) -> ChildEnd {
+    let spawned = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                return match status.code() {
+                    Some(c) => ChildEnd::Exited(c),
+                    None => ChildEnd::Signaled,
+                }
+            }
+            Ok(None) => {}
+            Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return ChildEnd::Signaled;
+            }
+        }
+        if let (Some(timeout), Some(hb)) = (cfg.stall_timeout, cfg.heartbeat.as_ref()) {
+            let age = std::fs::metadata(hb)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .unwrap_or_else(|| spawned.elapsed());
+            // Spawn grace: a restarted child inherits its predecessor's
+            // stale heartbeat file, so staleness only counts once the
+            // child has had a full timeout to produce its first beat.
+            if age > timeout && spawned.elapsed() > timeout {
+                let _ = child.kill();
+                let _ = child.wait();
+                return ChildEnd::Stalled;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_attempts: u32) -> SuperviseConfig {
+        SuperviseConfig {
+            retry: RetryPolicy { max_attempts, base_delay_s: 0.01, backoff_factor: 1.0 },
+            stall_timeout: None,
+            heartbeat: None,
+        }
+    }
+
+    /// A shell one-liner that exits 42 until a counter file has been
+    /// touched `n` times, then exits 0 — the shape of a planned crash
+    /// that a resume fixes.
+    fn flaky_script(counter: &std::path::Path, failures: u32) -> Vec<String> {
+        let script = format!(
+            "c=0; [ -f {p} ] && c=$(cat {p}); c=$((c+1)); echo $c > {p}; \
+             [ $c -le {failures} ] && exit 42; exit 0",
+            p = counter.display()
+        );
+        vec!["-c".into(), script]
+    }
+
+    fn temp_counter(name: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("mtshare-supervise-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn restart_args_strip_one_shot_flags_and_force_resume() {
+        let args: Vec<String> = [
+            "serve",
+            "--scenario",
+            "s.json",
+            "--state-dir",
+            "d",
+            "--supervise",
+            "--supervise-max-restarts",
+            "5",
+            "--crash-at",
+            "120",
+            "--failpoints",
+            "wal-sync-fail=1",
+            "--heartbeat-file",
+            "hb",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let restarted = restart_args(&args);
+        assert_eq!(
+            restarted,
+            [
+                "serve",
+                "--scenario",
+                "s.json",
+                "--state-dir",
+                "d",
+                "--heartbeat-file",
+                "hb",
+                "--resume"
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+        );
+        // Already-resuming argv is left with exactly one --resume.
+        let again = restart_args(&restarted);
+        assert_eq!(again.iter().filter(|a| *a == "--resume").count(), 1);
+    }
+
+    #[test]
+    fn transient_exits_are_retried_until_success() {
+        let counter = temp_counter("retry");
+        let code = supervise(std::ffi::OsStr::new("/bin/sh"), &flaky_script(&counter, 2), &cfg(5));
+        assert_eq!(code, 0);
+        let runs: u32 = std::fs::read_to_string(&counter).unwrap().trim().parse().unwrap();
+        assert_eq!(runs, 3, "two crashes plus the successful run");
+        let _ = std::fs::remove_file(&counter);
+    }
+
+    #[test]
+    fn exhausted_budget_yields_typed_exit() {
+        let counter = temp_counter("exhaust");
+        let code =
+            supervise(std::ffi::OsStr::new("/bin/sh"), &flaky_script(&counter, 100), &cfg(2));
+        assert_eq!(code, SUPERVISE_EXHAUSTED_EXIT);
+        let _ = std::fs::remove_file(&counter);
+    }
+
+    #[test]
+    fn fatal_exit_codes_pass_through_without_restart() {
+        let counter = temp_counter("fatal");
+        let script = format!(
+            "c=0; [ -f {p} ] && c=$(cat {p}); c=$((c+1)); echo $c > {p}; exit 2",
+            p = counter.display()
+        );
+        let code = supervise(std::ffi::OsStr::new("/bin/sh"), &["-c".into(), script], &cfg(5));
+        assert_eq!(code, 2);
+        let runs: u32 = std::fs::read_to_string(&counter).unwrap().trim().parse().unwrap();
+        assert_eq!(runs, 1, "a flag error must not be retried");
+        let _ = std::fs::remove_file(&counter);
+    }
+
+    #[test]
+    fn stalled_heartbeat_triggers_kill_and_restart() {
+        let counter = temp_counter("stall");
+        let hb = temp_counter("stall-hb");
+        std::fs::write(&hb, "0\n").unwrap();
+        // First run sleeps forever (heartbeat never refreshed); the
+        // watchdog kills it. Second run exits 0.
+        let script = format!(
+            "c=0; [ -f {p} ] && c=$(cat {p}); c=$((c+1)); echo $c > {p}; \
+             [ $c -le 1 ] && sleep 30; exit 0",
+            p = counter.display()
+        );
+        let mut config = cfg(3);
+        config.stall_timeout = Some(Duration::from_millis(300));
+        config.heartbeat = Some(hb.clone());
+        let start = Instant::now();
+        let code = supervise(std::ffi::OsStr::new("/bin/sh"), &["-c".into(), script], &config);
+        assert_eq!(code, 0);
+        assert!(start.elapsed() < Duration::from_secs(10), "watchdog must not wait out the sleep");
+        let _ = std::fs::remove_file(&counter);
+        let _ = std::fs::remove_file(&hb);
+    }
+}

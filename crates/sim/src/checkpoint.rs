@@ -37,10 +37,12 @@ use mtshare_core::PassengerTrip;
 use mtshare_model::{DispatchScheme, RequestId, RequestStore, Taxi, TaxiId, Time};
 use mtshare_obs::{Event, RejectReason};
 use mtshare_persist::{
-    fnv1a_64, DecodeError, Decoder, Encoder, Fnv64, Persist, StateDir, WalWriter,
+    fnv1a_64, DecodeError, Decoder, Durability, Encoder, FaultInjector, Fnv64, Persist,
+    PersistError, StateDir, WalWriter,
 };
 use std::cmp::Reverse;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// WAL record kind: a popped heap event.
 pub(super) const KIND_HEAP: u8 = 0;
@@ -63,13 +65,29 @@ pub struct PersistConfig {
     pub resume: bool,
     /// Planned dispatcher death for crash-restart testing.
     pub crash_at: Option<CrashPoint>,
+    /// What to do when a storage operation fails *mid-run* (startup
+    /// failures are config errors and always fatal): `Strict` stops the
+    /// run with a typed outcome, `Degrade` quarantines the state dir and
+    /// keeps serving from memory.
+    pub durability: Durability,
+    /// Deterministic fault injection seam consulted by every WAL and
+    /// snapshot operation (`--failpoints`); `None` in production.
+    pub fault_injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl PersistConfig {
     /// Persistence into `state_dir` with a default checkpoint cadence,
-    /// no resume, no planned crash.
+    /// no resume, no planned crash, strict durability, no fault
+    /// injection.
     pub fn new(state_dir: impl Into<PathBuf>) -> Self {
-        Self { state_dir: state_dir.into(), checkpoint_every: 256, resume: false, crash_at: None }
+        Self {
+            state_dir: state_dir.into(),
+            checkpoint_every: 256,
+            resume: false,
+            crash_at: None,
+            durability: Durability::Strict,
+            fault_injector: None,
+        }
     }
 }
 
@@ -88,15 +106,26 @@ pub enum RunOutcome {
         /// Steps fully processed before death.
         step: u64,
     },
+    /// Strict durability ([`Durability::Strict`]) stopped the run after
+    /// a storage fault. The WAL was synced best-effort and the sinks
+    /// flushed; the state dir was left in place for `--resume`.
+    StorageFault {
+        /// Steps fully processed before the fault stopped the run.
+        step: u64,
+    },
 }
 
 impl RunOutcome {
-    /// Unwraps the report of a completed run; panics on a crash.
+    /// Unwraps the report of a completed run; panics on a crash or a
+    /// storage fault.
     pub fn report(self) -> SimReport {
         match self {
             RunOutcome::Finished(r) => r,
             RunOutcome::Crashed { step } => {
                 panic!("simulation died at planned crash point (step {step})")
+            }
+            RunOutcome::StorageFault { step } => {
+                panic!("simulation stopped on a storage fault (step {step})")
             }
         }
     }
@@ -246,12 +275,18 @@ impl Simulator {
     /// the restored heap already holds the seeded events).
     pub(super) fn setup_persistence(&mut self, scheme: &mut dyn DispatchScheme) -> bool {
         let Some(pc) = self.cfg.persist.clone() else { return false };
-        let dir = StateDir::create(&pc.state_dir)
+        let mut dir = StateDir::create(&pc.state_dir)
             .unwrap_or_else(|e| panic!("persist: cannot open state dir: {e}"));
+        if let Some(inj) = &pc.fault_injector {
+            dir = dir.with_fault_injector(inj.clone());
+        }
         if !pc.resume {
             dir.reset().unwrap_or_else(|e| panic!("persist: cannot reset state dir: {e}"));
-            let wal = WalWriter::create(&dir.wal_path())
+            let mut wal = WalWriter::create(&dir.wal_path())
                 .unwrap_or_else(|e| panic!("persist: cannot create wal: {e}"));
+            if let Some(inj) = &pc.fault_injector {
+                wal.set_fault_injector(inj.clone());
+            }
             self.persist = Some(PersistRt {
                 dir,
                 wal,
@@ -267,8 +302,11 @@ impl Simulator {
             .load_newest_valid()
             .unwrap_or_else(|e| panic!("persist: snapshot scan failed: {e}"))
             .unwrap_or_else(|| panic!("--resume: no valid snapshot in {}", pc.state_dir.display()));
-        let (recovery, wal) = WalWriter::open_recover(&dir.wal_path())
+        let (recovery, mut wal) = WalWriter::open_recover(&dir.wal_path())
             .unwrap_or_else(|e| panic!("persist: wal recovery failed: {e}"));
+        if let Some(inj) = &pc.fault_injector {
+            wal.set_fault_injector(inj.clone());
+        }
         self.apply_snapshot(&payload, snap_step, scheme)
             .unwrap_or_else(|e| panic!("--resume: {e}"));
         self.rebuild_derived();
@@ -394,8 +432,17 @@ impl Simulator {
             let mut enc = Encoder::new();
             WalRecord { step, kind, t, digest }.encode(&mut enc);
             let rec = enc.into_bytes();
-            rt.wal.append(&rec).unwrap_or_else(|e| panic!("persist: wal append failed: {e}"));
-            self.obs.record_wal_append(rec.len() as u64);
+            match rt.wal.append(&rec) {
+                Ok(()) => self.obs.record_wal_append(rec.len() as u64),
+                Err(e) => {
+                    // Mid-step fault: the step's effects are already in
+                    // the trace but its WAL record is not, so a strict
+                    // resume may re-emit up to one step (documented in
+                    // DESIGN.md). Degrade keeps running without the WAL.
+                    self.handle_persist_error("wal_append", e);
+                    return self.storage_fault.is_some();
+                }
+            }
         }
         if let Some((snapshot_step, wal_replayed)) = finished_replay {
             self.obs.set_muted(false);
@@ -403,18 +450,79 @@ impl Simulator {
             self.obs.emit_meta(Event::Restore { t: clock, step, snapshot_step, wal_replayed });
         }
 
-        let rt = self.persist.as_mut().expect("checked above");
-        if let Some(cp) = rt.crash_at {
-            if cp.at_step == step {
-                rt.wal.sync().unwrap_or_else(|e| panic!("persist: wal sync failed: {e}"));
-                self.obs.flush();
-                match cp.mode {
-                    CrashMode::ExitProcess => std::process::exit(CRASH_EXIT_CODE),
-                    CrashMode::Return => return true,
+        let crash_due =
+            self.persist.as_ref().and_then(|rt| rt.crash_at).filter(|cp| cp.at_step == step);
+        if let Some(cp) = crash_due {
+            let sync_res = self.persist.as_mut().expect("crash point needs persistence").wal.sync();
+            if let Err(e) = sync_res {
+                self.handle_persist_error("wal_sync", e);
+                if self.storage_fault.is_some() {
+                    return true;
                 }
+            }
+            self.obs.flush();
+            match cp.mode {
+                CrashMode::ExitProcess => std::process::exit(CRASH_EXIT_CODE),
+                CrashMode::Return => return true,
             }
         }
         false
+    }
+
+    /// Routes a mid-run storage failure through the durability policy.
+    /// Every fault is surfaced (obs counter + meta event) and ends in a
+    /// documented terminal state — never a panic or silent corruption:
+    ///
+    /// - [`Durability::Strict`]: best-effort WAL sync and sink flush,
+    ///   then arm the storage-fault flag so the run stops at the current
+    ///   step boundary with a typed outcome (exit code 44 at the CLI).
+    /// - [`Durability::Degrade`]: quarantine the state-dir generation
+    ///   for post-mortem, drop persistence, keep serving from memory.
+    pub(super) fn handle_persist_error(&mut self, op: &'static str, err: PersistError) {
+        let class = err.class().label();
+        self.obs.record_storage_fault(op);
+        self.obs.emit_meta(Event::StorageFault { t: self.clock, step: self.step, op, class });
+        let durability = self.cfg.persist.as_ref().map(|pc| pc.durability).unwrap_or_default();
+        match durability {
+            Durability::Degrade => {
+                // Close the WAL handle before renaming the directory out
+                // from under it.
+                let quarantined = match self.persist.take() {
+                    Some(rt) => {
+                        drop(rt.wal);
+                        rt.dir.quarantine().is_ok()
+                    }
+                    None => false,
+                };
+                if quarantined {
+                    self.obs.record_quarantine();
+                }
+                self.obs.emit_meta(Event::DurabilityDegraded {
+                    t: self.clock,
+                    step: self.step,
+                    quarantined,
+                });
+            }
+            Durability::Strict => {
+                if let Some(rt) = self.persist.as_mut() {
+                    let _ = rt.wal.sync();
+                }
+                self.persist = None;
+                self.obs.flush();
+                self.storage_fault = Some(self.step);
+            }
+        }
+    }
+
+    /// Best-effort durability point for abnormal exits (feed faults,
+    /// supervisor-requested stops): syncs the WAL and flushes the obs
+    /// sinks so the typed exit is crash-consistent and a later
+    /// `--resume` continues byte-identically.
+    pub(crate) fn sync_persistence(&mut self) {
+        if let Some(rt) = self.persist.as_mut() {
+            let _ = rt.wal.sync();
+        }
+        self.obs.flush();
     }
 
     /// FNV digest over the cheap state counters — enough to catch a
@@ -438,18 +546,35 @@ impl Simulator {
         h.digest()
     }
 
+    /// Writes a snapshot of the current state, syncing the WAL first so
+    /// every record up to this boundary is durable before the snapshot
+    /// that supersedes them exists. Failures route through the
+    /// durability policy instead of panicking — since this runs at a
+    /// step boundary (no half-traced step), a strict stop here resumes
+    /// byte-identically.
     fn write_checkpoint(&mut self, scheme: &dyn DispatchScheme) {
         let t0 = std::time::Instant::now();
         let payload = self.encode_snapshot(scheme);
         let step = self.step;
-        let rt = self.persist.as_mut().expect("write_checkpoint without persist");
-        let bytes = rt
-            .dir
-            .write_snapshot(step, &payload)
-            .unwrap_or_else(|e| panic!("persist: snapshot write failed: {e}"));
-        rt.last_checkpoint_step = step;
-        self.obs.record_checkpoint(bytes, t0.elapsed().as_secs_f64());
-        self.obs.emit_meta(Event::Checkpoint { t: self.clock, step, bytes });
+        let sync_err =
+            self.persist.as_mut().expect("write_checkpoint without persist").wal.sync().err();
+        if let Some(e) = sync_err {
+            self.handle_persist_error("wal_sync", e);
+            return;
+        }
+        let write_res =
+            self.persist.as_mut().expect("synced above").dir.write_snapshot(step, &payload);
+        match write_res {
+            Ok(stats) => {
+                self.persist.as_mut().expect("synced above").last_checkpoint_step = step;
+                if stats.dir_sync_unsupported {
+                    self.obs.record_dir_sync_unsupported();
+                }
+                self.obs.record_checkpoint(stats.bytes, t0.elapsed().as_secs_f64());
+                self.obs.emit_meta(Event::Checkpoint { t: self.clock, step, bytes: stats.bytes });
+            }
+            Err(e) => self.handle_persist_error("snapshot_write", e),
+        }
     }
 
     /// Serializes the full dispatcher state. Hash-ordered containers are

@@ -107,9 +107,22 @@ impl SimEngine {
     /// Ends the run: writes the final checkpoint (when persistence is
     /// configured) and builds the report. Call only after
     /// [`SimEngine::run_until_idle`] returned [`StepOutcome::Done`].
-    pub fn finalize(mut self, scheme: &mut dyn DispatchScheme) -> SimReport {
+    /// `Err(step)` means the final checkpoint hit a storage fault under
+    /// strict durability: the WAL is synced, the sinks are flushed and
+    /// the state dir is resumable, but no report exists.
+    pub fn finalize(mut self, scheme: &mut dyn DispatchScheme) -> Result<SimReport, u64> {
         self.sim.final_checkpoint(&*scheme);
-        self.sim.finish(scheme, self.start.elapsed().as_secs_f64())
+        if let Some(step) = self.sim.storage_fault() {
+            return Err(step);
+        }
+        Ok(self.sim.finish(scheme, self.start.elapsed().as_secs_f64()))
+    }
+
+    /// Best-effort durability point for abnormal exits (feed faults):
+    /// syncs the WAL and flushes the obs sinks so a typed exit is
+    /// crash-consistent and a later `--resume` continues the trace.
+    pub fn sync_persistence(&mut self) {
+        self.sim.sync_persistence();
     }
 
     /// Latest simulation time processed.
@@ -202,7 +215,7 @@ mod tests {
         }
         engine.close_stream();
         assert_eq!(engine.run_until_idle(scheme.as_mut()), StepOutcome::Done);
-        engine.finalize(scheme.as_mut())
+        engine.finalize(scheme.as_mut()).expect("no persistence, no storage faults")
     }
 
     #[test]
@@ -237,7 +250,7 @@ mod tests {
         assert_eq!(engine.ingested(), 0);
         engine.close_stream();
         assert_eq!(engine.run_until_idle(scheme.as_mut()), StepOutcome::Done);
-        let report = engine.finalize(scheme.as_mut());
+        let report = engine.finalize(scheme.as_mut()).expect("no persistence, no storage faults");
         assert_eq!(report.served, 0);
     }
 
@@ -262,6 +275,6 @@ mod tests {
         engine.close_stream();
         assert_eq!(engine.run_until_idle(scheme.as_mut()), StepOutcome::Done);
         assert_eq!(obs.reject_count(RejectReason::QueueShed), 5);
-        engine.finalize(scheme.as_mut());
+        engine.finalize(scheme.as_mut()).expect("no persistence, no storage faults");
     }
 }

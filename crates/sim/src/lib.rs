@@ -27,6 +27,7 @@ pub mod workload;
 
 pub use engine::{IngestEntry, SimEngine};
 pub use metrics::{Series, SimReport};
+pub use mtshare_persist::Durability;
 pub use scenario::{
     build_context, materialize, Scenario, ScenarioConfig, ScenarioKind, SchemeKind,
 };

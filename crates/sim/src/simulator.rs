@@ -122,6 +122,13 @@ pub enum StepOutcome {
         /// Steps fully processed before death.
         step: u64,
     },
+    /// Strict durability stopped the run on a storage fault; the WAL
+    /// was synced best-effort and the sinks flushed. The state dir is
+    /// intact for `--resume`.
+    StorageFault {
+        /// Steps fully processed before the fault stopped the run.
+        step: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -204,6 +211,10 @@ pub struct Simulator {
     doomed: FxHashMap<RequestId, RejectReason>,
     /// Whether [`Simulator::begin`] restored a snapshot.
     was_resumed: bool,
+    /// Armed by the strict durability policy when a storage operation
+    /// fails mid-run: the step count at the fault. The run stops at the
+    /// current step boundary with [`StepOutcome::StorageFault`].
+    storage_fault: Option<u64>,
     // --- persistence ---
     /// Fingerprint of the immutable scenario inputs, taken at
     /// construction; snapshots refuse to load into a different scenario.
@@ -300,6 +311,7 @@ impl Simulator {
             streaming: false,
             doomed: FxHashMap::default(),
             was_resumed: false,
+            storage_fault: None,
             scenario_digest,
             persist: None,
             route_nodes: vec![FxHashMap::default(); n_taxis],
@@ -391,6 +403,7 @@ impl Simulator {
                 StepOutcome::Progressed => {}
                 StepOutcome::Idle | StepOutcome::Done => break,
                 StepOutcome::Crashed { step } => return RunOutcome::Crashed { step },
+                StepOutcome::StorageFault { step } => return RunOutcome::StorageFault { step },
             }
         }
         RunOutcome::Finished(self.finish(scheme, start.elapsed().as_secs_f64()))
@@ -428,6 +441,11 @@ impl Simulator {
     /// watermark — or reports why it could not.
     pub(crate) fn step_once(&mut self, scheme: &mut dyn DispatchScheme) -> StepOutcome {
         self.maybe_checkpoint(scheme);
+        if let Some(step) = self.storage_fault {
+            // The strict durability policy armed the flag (possibly in
+            // the checkpoint just attempted): stop at this boundary.
+            return StepOutcome::StorageFault { step };
+        }
         let t_req = if self.next_arrival < self.requests.len() {
             self.requests.get(RequestId(self.next_arrival as u32)).release_time
         } else {
@@ -464,7 +482,7 @@ impl Simulator {
                 checkpoint::KIND_HEAP
             };
             if self.complete_step(kind, q.time) {
-                return StepOutcome::Crashed { step: self.step };
+                return self.stop_outcome();
             }
         } else if t_req.is_finite() {
             // An ingested request's release never exceeds the watermark,
@@ -478,7 +496,7 @@ impl Simulator {
                 let batch = self.gather_batch(self.next_arrival, t_ev);
                 if batch.len() >= 2 {
                     return if self.process_batch(&batch, scheme) {
-                        StepOutcome::Crashed { step: self.step }
+                        self.stop_outcome()
                     } else {
                         StepOutcome::Progressed
                     };
@@ -488,7 +506,7 @@ impl Simulator {
             self.next_arrival += 1;
             self.process_arrival(id, scheme);
             if self.complete_step(checkpoint::KIND_ARRIVAL, t_req) {
-                return StepOutcome::Crashed { step: self.step };
+                return self.stop_outcome();
             }
         } else {
             // The earliest queued event sits beyond the watermark and no
@@ -497,6 +515,17 @@ impl Simulator {
             return StepOutcome::Idle;
         }
         StepOutcome::Progressed
+    }
+
+    /// The terminal outcome after [`Simulator::complete_step`] (or
+    /// [`Simulator::process_batch`]) said the run must stop: a storage
+    /// fault if the strict durability policy armed one, otherwise the
+    /// planned crash.
+    fn stop_outcome(&self) -> StepOutcome {
+        match self.storage_fault {
+            Some(step) => StepOutcome::StorageFault { step },
+            None => StepOutcome::Crashed { step: self.step },
+        }
     }
 
     /// The maximal run of consecutive *online* arrivals starting at
@@ -582,6 +611,12 @@ impl Simulator {
     /// Sequential-work step counter (the WAL position).
     pub(crate) fn step_count(&self) -> u64 {
         self.step
+    }
+
+    /// Step at which the strict durability policy stopped the run, if a
+    /// storage fault fired.
+    pub(crate) fn storage_fault(&self) -> Option<u64> {
+        self.storage_fault
     }
 
     /// Requests in the store — in streaming mode, exactly the entries

@@ -78,6 +78,7 @@ fn fresh_persist(dir: &Path, crash_step: u64) -> PersistConfig {
         checkpoint_every: 16,
         resume: false,
         crash_at: Some(CrashPoint::return_at(crash_step)),
+        ..PersistConfig::new(dir)
     }
 }
 
@@ -87,6 +88,7 @@ fn resume_persist(dir: &Path) -> PersistConfig {
         checkpoint_every: 16,
         resume: true,
         crash_at: None,
+        ..PersistConfig::new(dir)
     }
 }
 
@@ -229,6 +231,7 @@ fn checkpoint_meta_events_stay_out_of_the_canonical_trace() {
         checkpoint_every: 16,
         resume: false,
         crash_at: None,
+        ..PersistConfig::new(&dir)
     });
     let out = Simulator::new(world.graph.clone(), cache, &world.scenario, cfg)
         .with_obs(obs)

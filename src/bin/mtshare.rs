@@ -18,16 +18,19 @@
 //! one-shot `simulate` uses — a recorded feed (`simulate
 //! --feed-record`) replays to a byte-identical event trace.
 
+use mt_share::chaos::failpoint::{FailpointPlan, FailpointSpec};
+use mt_share::chaos::RetryPolicy;
 use mt_share::core::PartitionStrategy;
 use mt_share::mobility::Trip;
 use mt_share::road::{grid_city, io as road_io, GridCityConfig, SpatialGrid};
 use mt_share::routing::{ContractionHierarchy, PathCache, RouterBackend};
 use mt_share::serve::{
-    open_feed, record_feed, AdmissionPolicy, AdmissionQueue, Pace, ServeOptions, ServeOutcome,
+    open_feed, record_feed, supervise, AdmissionPolicy, AdmissionQueue, Pace, ServeError,
+    ServeOptions, ServeOutcome, SuperviseConfig, FEED_FAULT_EXIT, STORAGE_FAULT_EXIT,
 };
 use mt_share::sim::{
-    build_context, parse_trace, snap_trace, stats, BatchConfig, Scenario, ScenarioConfig,
-    SchemeKind, SimConfig, SimEngine, Simulator, WorkloadConfig, WorkloadGenerator,
+    build_context, parse_trace, snap_trace, stats, BatchConfig, Durability, RunOutcome, Scenario,
+    ScenarioConfig, SchemeKind, SimConfig, SimEngine, Simulator, WorkloadConfig, WorkloadGenerator,
 };
 use std::sync::Arc;
 
@@ -70,7 +73,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro|batch]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--batch-window S]  # rolling-horizon window in sim seconds (with --scheme batch)\n                   [--batch-retries N] # re-queue budget for losing requests (with --scheme batch)\n                   [--router bidir|ch] # exact cost engine; traces identical either way\n                   [--ch-artifact FILE]        # persist/reuse the CH preprocessing (with --router ch)\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--feed-record FILE.jsonl]  # dump the arrival stream in the serve feed format\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n                   [--state-dir DIR]   # checkpoint/WAL persistence (crash-consistent restart)\n                   [--checkpoint-every N]      # snapshot cadence in steps (default 256)\n                   [--resume]          # warm-restart from the newest valid checkpoint + WAL\n                   [--crash-at STEP]   # die (exit 42) after STEP steps, for restart testing\n  mtshare serve    [--feed -|FILE|tcp:ADDR]    # line-delimited JSON request feed (default stdin)\n                   [--queue-capacity N]        # bounded admission queue (default 64)\n                   [--admission block|shed-oldest|reject-new]\n                   [--pace free|QUANTUM_S]     # burst entries per virtual-time quantum (default free)\n                   [--report-out FILE.jsonl]   # periodic steady-state reports\n                   [--report-every SECONDS]    # report cadence in virtual seconds (default 60)\n                   plus the simulate scenario/persistence flags (--taxis, --requests, --scheme,\n                   --state-dir, --resume, ...); a serve run over a recorded feed produces the\n                   one-shot run's exact event trace\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
+        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro|batch]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--batch-window S]  # rolling-horizon window in sim seconds (with --scheme batch)\n                   [--batch-retries N] # re-queue budget for losing requests (with --scheme batch)\n                   [--router bidir|ch] # exact cost engine; traces identical either way\n                   [--ch-artifact FILE]        # persist/reuse the CH preprocessing (with --router ch)\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--feed-record FILE.jsonl]  # dump the arrival stream in the serve feed format\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n                   [--state-dir DIR]   # checkpoint/WAL persistence (crash-consistent restart)\n                   [--checkpoint-every N]      # snapshot cadence in steps (default 256)\n                   [--resume]          # warm-restart from the newest valid checkpoint + WAL\n                   [--crash-at STEP]   # die (exit 42) after STEP steps, for restart testing\n                   [--durability strict|degrade]  # storage-fault policy: fail fast (exit 44) or\n                                                  # quarantine the state dir and keep serving\n                   [--failpoints SPEC] # seeded I/O faults, e.g. wal-sync-fail=1,snap-write-enospc=1\n                                       # (schedule derived from --chaos-seed)\n  mtshare serve    [--feed -|FILE|tcp:ADDR]    # line-delimited JSON request feed (default stdin)\n                   [--queue-capacity N]        # bounded admission queue (default 64)\n                   [--admission block|shed-oldest|reject-new]\n                   [--pace free|QUANTUM_S]     # burst entries per virtual-time quantum (default free)\n                   [--report-out FILE.jsonl]   # periodic steady-state reports\n                   [--report-every SECONDS]    # report cadence in virtual seconds (default 60)\n                   [--heartbeat-file FILE]     # liveness file rewritten every burst\n                   [--supervise]               # watchdog: restart on crash/fault/stall with backoff\n                   [--supervise-max-restarts N] [--supervise-backoff-ms MS] [--supervise-stall-ms MS]\n                   plus the simulate scenario/persistence flags (--taxis, --requests, --scheme,\n                   --state-dir, --resume, ...); a serve run over a recorded feed produces the\n                   one-shot run's exact event trace\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
     );
     std::process::exit(2)
 }
@@ -108,12 +111,26 @@ const SCENARIO_FLAGS: &[&str] = &[
     "checkpoint-every",
     "resume",
     "crash-at",
+    "chaos-seed",
+    "durability",
+    "failpoints",
 ];
 
-const SIMULATE_FLAGS: &[&str] = &["feed-record", "chaos-seed", "disruptions"];
+const SIMULATE_FLAGS: &[&str] = &["feed-record", "disruptions"];
 
-const SERVE_FLAGS: &[&str] =
-    &["feed", "queue-capacity", "admission", "pace", "report-out", "report-every"];
+const SERVE_FLAGS: &[&str] = &[
+    "feed",
+    "queue-capacity",
+    "admission",
+    "pace",
+    "report-out",
+    "report-every",
+    "heartbeat-file",
+    "supervise",
+    "supervise-max-restarts",
+    "supervise-backoff-ms",
+    "supervise-stall-ms",
+];
 
 /// Exits 2 with a clear message: `why` names the flag combination that
 /// cannot work.
@@ -152,8 +169,27 @@ fn validate_flags(cmd: &str, args: &Args, extra: &[&str]) {
     if args.has("disruptions") && !args.has("chaos-seed") {
         flag_error("--disruptions requires --chaos-seed");
     }
+    if args.has("failpoints") && !args.has("chaos-seed") {
+        flag_error("--failpoints requires --chaos-seed (fault schedules are seeded)");
+    }
+    if args.has("durability") && !args.has("state-dir") {
+        flag_error("--durability requires --state-dir (there is no storage to protect)");
+    }
     if args.has("report-every") && !args.has("report-out") {
         flag_error("--report-every requires --report-out (there is nowhere to write reports)");
+    }
+    if args.has("supervise") && !args.has("state-dir") {
+        flag_error("--supervise requires --state-dir (restarts resume from the checkpoint state)");
+    }
+    for f in ["supervise-max-restarts", "supervise-backoff-ms", "supervise-stall-ms"] {
+        if args.has(f) && !args.has("supervise") {
+            flag_error(&format!("--{f} requires --supervise"));
+        }
+    }
+    if args.has("supervise-stall-ms") && !args.has("heartbeat-file") {
+        flag_error(
+            "--supervise-stall-ms requires --heartbeat-file (the stall watchdog watches it)",
+        );
     }
 }
 
@@ -285,7 +321,36 @@ fn validate_every(args: &Args) -> Option<f64> {
     })
 }
 
-fn persist_config(args: &Args) -> Option<mt_share::sim::PersistConfig> {
+fn chaos_seed(args: &Args) -> Option<u64> {
+    args.get("chaos-seed").map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("--chaos-seed must be an integer, got `{s}`");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// Seeded failpoint plan (`--failpoints`, schedule derived from
+/// `--chaos-seed`): one shared plan drives both the storage-fault
+/// injector and the serve feed faults, so a single seed reproduces the
+/// whole fault schedule.
+fn failpoint_plan(args: &Args) -> Option<Arc<FailpointPlan>> {
+    args.get("failpoints").map(|spec| {
+        let spec = FailpointSpec::parse(spec)
+            .unwrap_or_else(|e| flag_error(&format!("bad --failpoints spec: {e}")));
+        let seed = chaos_seed(args).expect("validated: --failpoints requires --chaos-seed");
+        let plan = FailpointPlan::generate(seed, &spec);
+        if plan.has_storage_faults() && !args.has("state-dir") {
+            flag_error("--failpoints with storage faults requires --state-dir");
+        }
+        Arc::new(plan)
+    })
+}
+
+fn persist_config(
+    args: &Args,
+    injector: Option<Arc<FailpointPlan>>,
+) -> Option<mt_share::sim::PersistConfig> {
     args.get("state-dir").map(|dir| {
         let mut pc = mt_share::sim::PersistConfig::new(dir);
         pc.checkpoint_every = args.num("checkpoint-every", pc.checkpoint_every);
@@ -300,6 +365,12 @@ fn persist_config(args: &Args) -> Option<mt_share::sim::PersistConfig> {
             });
             mt_share::chaos::CrashPoint::exit_at(step)
         });
+        if let Some(s) = args.get("durability") {
+            pc.durability = Durability::parse(s).unwrap_or_else(|e| flag_error(&e));
+        }
+        if let Some(p) = injector {
+            pc.fault_injector = Some(p);
+        }
         pc
     })
 }
@@ -361,13 +432,29 @@ fn simulate(args: &Args) {
         chaos
     });
     let validate_every = validate_every(args);
-    let persist = persist_config(args);
+    let persist = persist_config(args, failpoint_plan(args));
     let chaos_on = chaos.is_some();
     let sim_cfg =
         SimConfig { parallelism, chaos, validate_every, persist, batch, ..SimConfig::default() };
 
-    let report =
-        Simulator::new(graph, cache, &scenario, sim_cfg).with_obs(obs.clone()).run(scheme.as_mut());
+    let outcome = Simulator::new(graph, cache, &scenario, sim_cfg)
+        .with_obs(obs.clone())
+        .run_to_outcome(scheme.as_mut());
+    let report = match outcome {
+        RunOutcome::Finished(report) => report,
+        RunOutcome::Crashed { step } => {
+            eprintln!("planned crash after step {step}");
+            std::process::exit(42);
+        }
+        RunOutcome::StorageFault { step } => {
+            write_metrics(args, &obs);
+            eprintln!(
+                "storage fault stopped the run after step {step} (strict durability); \
+                 the state dir is resumable with --resume"
+            );
+            std::process::exit(STORAGE_FAULT_EXIT);
+        }
+    };
 
     write_metrics(args, &obs);
 
@@ -403,7 +490,54 @@ fn simulate(args: &Args) {
     println!("wall clock      {:.2} s", report.wall_clock_s);
 }
 
+/// Re-executes `mtshare serve` (minus the `--supervise*` family) under
+/// the supervisor and exits with its verdict. The first incarnation
+/// keeps `--crash-at`/`--failpoints` — those are exactly the faults the
+/// supervisor exists to ride out; restarts strip them and resume.
+fn supervise_cmd(args: &Args) -> ! {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("supervise: cannot determine the engine executable: {e}");
+        std::process::exit(1);
+    });
+    let mut child_args: Vec<String> = vec!["serve".into()];
+    let mut skip_value = false;
+    for arg in std::env::args().skip(2) {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if arg == "--supervise" {
+            continue;
+        }
+        if matches!(
+            arg.as_str(),
+            "--supervise-max-restarts" | "--supervise-backoff-ms" | "--supervise-stall-ms"
+        ) {
+            skip_value = true;
+            continue;
+        }
+        child_args.push(arg);
+    }
+    let cfg = SuperviseConfig {
+        retry: RetryPolicy {
+            max_attempts: args.num("supervise-max-restarts", 3u32),
+            base_delay_s: args.num("supervise-backoff-ms", 200u64) as f64 / 1000.0,
+            backoff_factor: 2.0,
+        },
+        stall_timeout: args.get("supervise-stall-ms").map(|s| {
+            std::time::Duration::from_millis(s.parse().unwrap_or_else(|_| {
+                flag_error(&format!("--supervise-stall-ms must be milliseconds, got `{s}`"))
+            }))
+        }),
+        heartbeat: args.get("heartbeat-file").map(std::path::PathBuf::from),
+    };
+    std::process::exit(supervise(exe.as_os_str(), &child_args, &cfg));
+}
+
 fn serve_cmd(args: &Args) {
+    if args.has("supervise") {
+        supervise_cmd(args);
+    }
     // Admission configuration fails fast, before the city is built.
     let queue = AdmissionQueue {
         capacity: args.num("queue-capacity", 64usize),
@@ -454,10 +588,12 @@ fn serve_cmd(args: &Args) {
     let mt_cfg = (parallelism > 1)
         .then(|| mt_share::core::MtShareConfig::default().with_parallelism(parallelism));
     let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, mt_cfg);
+    let failplan = failpoint_plan(args);
+    let feed_faults = failplan.as_ref().map(|p| p.feed_faults()).filter(|f| !f.is_empty());
     let sim_cfg = SimConfig {
         parallelism,
         validate_every: validate_every(args),
-        persist: persist_config(args),
+        persist: persist_config(args, failplan),
         batch,
         ..SimConfig::default()
     };
@@ -481,7 +617,14 @@ fn serve_cmd(args: &Args) {
         }))
     });
 
-    let opts = ServeOptions { queue, pace, report_every_s, n_nodes };
+    let opts = ServeOptions {
+        queue,
+        pace,
+        report_every_s,
+        n_nodes,
+        heartbeat: args.get("heartbeat-file").map(std::path::PathBuf::from),
+        feed_faults,
+    };
     let outcome = mt_share::serve::serve(
         engine,
         scheme.as_mut(),
@@ -508,6 +651,22 @@ fn serve_cmd(args: &Args) {
         Ok(ServeOutcome::Crashed { step }) => {
             eprintln!("planned crash after step {step}");
             std::process::exit(42);
+        }
+        Ok(ServeOutcome::StorageFault { step }) => {
+            drop(report_file);
+            write_metrics(args, &obs);
+            eprintln!(
+                "storage fault stopped the serve loop after step {step} (strict durability); \
+                 the state dir is resumable with --resume"
+            );
+            std::process::exit(STORAGE_FAULT_EXIT);
+        }
+        Err(ServeError::Feed { line, kind, msg }) => {
+            drop(report_file);
+            write_metrics(args, &obs);
+            eprintln!("serve: feed fault ({kind}) at line {line}: {msg}");
+            eprintln!("the state dir (if any) is crash-consistent; restart with --resume");
+            std::process::exit(FEED_FAULT_EXIT);
         }
         Err(e) => {
             eprintln!("serve: {e}");

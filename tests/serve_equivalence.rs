@@ -152,8 +152,12 @@ fn bad_flag_combinations_fail_fast_with_exit_2() {
         (&["serve", "--admission", "block", "--queue-capacity", "0"], "can never admit"),
         (&["serve", "--admission", "sometimes"], "unknown admission policy"),
         (&["serve", "--pace", "-3"], "--pace must be"),
-        (&["serve", "--chaos-seed", "7"], "unknown flag --chaos-seed"),
+        (&["serve", "--disruptions", "cancels=2"], "unknown flag --disruptions"),
         (&["simulate", "--totally-bogus"], "unknown flag --totally-bogus"),
+        (&["simulate", "--failpoints", "wal-sync-fail=1"], "--failpoints requires --chaos-seed"),
+        (&["serve", "--durability", "degrade"], "--durability requires --state-dir"),
+        (&["serve", "--supervise"], "--supervise requires --state-dir"),
+        (&["serve", "--supervise-backoff-ms", "10"], "--supervise-backoff-ms requires --supervise"),
     ];
     for (argv, needle) in cases {
         let out = mtshare(&dir, argv);
@@ -216,8 +220,14 @@ fn run_serve(
     persist: Option<PersistConfig>,
 ) -> ServeRun {
     let (engine, mut scheme, obs) = build_engine(w, batch, persist);
-    let opts =
-        ServeOptions { queue, pace, report_every_s: None, n_nodes: w.graph.node_count() as u32 };
+    let opts = ServeOptions {
+        queue,
+        pace,
+        report_every_s: None,
+        n_nodes: w.graph.node_count() as u32,
+        heartbeat: None,
+        feed_faults: None,
+    };
     let outcome =
         serve(engine, scheme.as_mut(), Cursor::new(feed_text.to_string()), opts, &obs, None)
             .expect("serve run");
@@ -228,6 +238,7 @@ fn finished(run: &ServeRun) -> &SimReport {
     match &run.outcome {
         ServeOutcome::Finished(r) => r,
         ServeOutcome::Crashed { step } => panic!("unexpected crash at step {step}"),
+        ServeOutcome::StorageFault { step } => panic!("unexpected storage fault at step {step}"),
     }
 }
 
@@ -310,7 +321,7 @@ fn drain_while_resuming_completes_and_matches() {
     assert!(matches!(engine.run_until_idle(scheme.as_mut()), StepOutcome::Done));
     let done_step = engine.step_count();
     assert!(done_step > close_step, "this workload must leave in-flight work to drain");
-    let full = engine.finalize(scheme.as_mut());
+    let full = engine.finalize(scheme.as_mut()).expect("no persistence, no storage faults");
 
     let dir = tmpdir("drain-resume");
     let state = dir.join("state");
@@ -321,7 +332,7 @@ fn drain_while_resuming_completes_and_matches() {
     let crashed = run_serve(&w, &feed, LOSSLESS, pace, None, Some(persist));
     let step = match crashed.outcome {
         ServeOutcome::Crashed { step } => step,
-        ServeOutcome::Finished(_) => panic!("crash point never fired"),
+        _ => panic!("crash point never fired"),
     };
     assert!(step >= close_step, "crash fell before the drain phase");
 
