@@ -7,14 +7,16 @@
 use crate::common::shortest_legs;
 use crate::grid_index::GridTaxiIndex;
 use mtshare_model::{
-    evaluate_schedule, Assignment, DispatchOutcome, DispatchScheme, EvalContext, RideRequest,
-    Schedule, Taxi, TaxiId, Time, World,
+    Assignment, DispatchOutcome, DispatchScheme, DpEngine, EngineStats, RideRequest,
+    ScheduleEngine, Taxi, TaxiId, Time, World,
 };
 use mtshare_road::RoadNetwork;
+use std::sync::Arc;
 
 /// The No-Sharing baseline.
 pub struct NoSharing {
     index: GridTaxiIndex,
+    engine: Arc<dyn ScheduleEngine>,
     /// Searching range γ in metres (paper default 2.5 km).
     gamma_m: f64,
     /// Constant taxi speed, m/s.
@@ -29,7 +31,19 @@ impl NoSharing {
 
     /// Creates the scheme with explicit parameters.
     pub fn with_params(graph: &RoadNetwork, n_taxis: usize, gamma_m: f64, speed_mps: f64) -> Self {
-        Self { index: GridTaxiIndex::new(graph, 500.0, n_taxis), gamma_m, speed_mps }
+        Self {
+            index: GridTaxiIndex::new(graph, 500.0, n_taxis),
+            engine: Arc::new(DpEngine),
+            gamma_m,
+            speed_mps,
+        }
+    }
+
+    /// This scheme scoring through `engine` (`--scheduler dp|dtree`);
+    /// results are bit-identical across engines.
+    pub fn with_engine(mut self, engine: Arc<dyn ScheduleEngine>) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The searching range γ for a request at `now` (bounded by the rider's
@@ -70,44 +84,47 @@ impl DispatchScheme for NoSharing {
         for (_, id) in candidates {
             let taxi = world.taxi(id);
             let pos = taxi.position_at(now);
-            let schedule = Schedule::new().with_insertion(req, 0, 1);
-            let requests = world.requests;
-            let lookup = |r| requests.get(r);
-            let ectx = EvalContext {
-                start_node: pos,
-                start_time: now,
-                initial_load: 0,
-                capacity: taxi.capacity as u32,
-                requests: &lookup,
-            };
-            let Some(eval) = evaluate_schedule(&schedule, &ectx, |a, b| world.oracle.cost(a, b))
-            else {
-                continue;
-            };
-            let Some(legs) = shortest_legs(world, pos, &schedule) else { continue };
-            return DispatchOutcome {
-                assignment: Some(Assignment {
-                    taxi: id,
-                    schedule,
-                    legs,
-                    detour_cost_s: eval.total_cost_s,
-                }),
-                candidates_examined: examined,
-                feasible_instances: 1,
-            };
+            // A vacant taxi has exactly one insertion pair (pickup then
+            // drop-off at the front), so `first_feasible` evaluates the
+            // direct-trip schedule the historical inline code built.
+            let mut routed = None;
+            let found = self.engine.first_feasible(taxi, req, now, world, &mut |schedule, _| {
+                match shortest_legs(world, pos, schedule) {
+                    Some(legs) => {
+                        routed = Some(legs);
+                        true
+                    }
+                    None => false,
+                }
+            });
+            if let Some((schedule, eval)) = found {
+                return DispatchOutcome {
+                    assignment: Some(Assignment {
+                        taxi: id,
+                        schedule,
+                        legs: routed.expect("accepted instance was routed"),
+                        detour_cost_s: eval.total_cost_s,
+                    }),
+                    candidates_examined: examined,
+                    feasible_instances: 1,
+                };
+            }
         }
         DispatchOutcome::rejected(examined)
     }
 
     fn after_assign(&mut self, taxi: &Taxi, world: &World<'_>) {
+        self.engine.after_assign(taxi, world);
         self.index.update_taxi(taxi, world.graph, taxi.location_time);
     }
 
     fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
+        self.engine.on_taxi_progress(taxi, world);
         self.index.update_taxi(taxi, world.graph, now);
     }
 
     fn on_taxi_removed(&mut self, taxi: &Taxi, _world: &World<'_>) {
+        self.engine.on_taxi_removed(taxi);
         self.index.remove_taxi(taxi.id);
     }
 
@@ -120,11 +137,16 @@ impl DispatchScheme for NoSharing {
     }
 
     fn restore_state(&mut self, bytes: &[u8], _world: &World<'_>) -> Result<(), String> {
+        self.engine.invalidate_all();
         self.index.restore_occupancy(bytes)
     }
 
     fn index_memory_bytes(&self) -> usize {
         self.index.memory_bytes()
+    }
+
+    fn scheduler_stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 }
 

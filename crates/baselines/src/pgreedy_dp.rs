@@ -11,13 +11,16 @@
 use crate::common::{remaining_cost, shortest_legs};
 use crate::grid_index::GridTaxiIndex;
 use mtshare_model::{
-    Assignment, DispatchOutcome, DispatchScheme, RideRequest, Taxi, TaxiId, Time, World,
+    Assignment, DispatchOutcome, DispatchScheme, DpEngine, EngineStats, RideRequest,
+    ScheduleEngine, Taxi, TaxiId, Time, World,
 };
 use mtshare_road::RoadNetwork;
+use std::sync::Arc;
 
 /// The pGreedyDP baseline.
 pub struct PGreedyDp {
     index: GridTaxiIndex,
+    engine: Arc<dyn ScheduleEngine>,
     gamma_m: f64,
     speed_mps: f64,
 }
@@ -32,7 +35,19 @@ impl PGreedyDp {
 
     /// Creates the scheme with explicit parameters.
     pub fn with_params(graph: &RoadNetwork, n_taxis: usize, gamma_m: f64, speed_mps: f64) -> Self {
-        Self { index: GridTaxiIndex::new(graph, 500.0, n_taxis), gamma_m, speed_mps }
+        Self {
+            index: GridTaxiIndex::new(graph, 500.0, n_taxis),
+            engine: Arc::new(DpEngine),
+            gamma_m,
+            speed_mps,
+        }
+    }
+
+    /// This scheme scoring through `engine` (`--scheduler dp|dtree`);
+    /// results are bit-identical across engines.
+    pub fn with_engine(mut self, engine: Arc<dyn ScheduleEngine>) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -65,7 +80,9 @@ impl DispatchScheme for PGreedyDp {
         for &id in &candidates {
             let taxi = world.taxi(id);
             if let Some(ins) =
-                best_insertion_dp(taxi, req, now, world, |a, b| world.oracle.cost(a, b))
+                self.engine.best_insertion(taxi, req, now, world, &mut |a, b| {
+                    world.oracle.cost(a, b)
+                })
             {
                 if best.is_none_or(|(_, b)| ins.delta_s < b.delta_s) {
                     best = Some((id, ins));
@@ -96,14 +113,17 @@ impl DispatchScheme for PGreedyDp {
     }
 
     fn after_assign(&mut self, taxi: &Taxi, world: &World<'_>) {
+        self.engine.after_assign(taxi, world);
         self.index.update_taxi(taxi, world.graph, taxi.location_time);
     }
 
     fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
+        self.engine.on_taxi_progress(taxi, world);
         self.index.update_taxi(taxi, world.graph, now);
     }
 
     fn on_taxi_removed(&mut self, taxi: &Taxi, _world: &World<'_>) {
+        self.engine.on_taxi_removed(taxi);
         self.index.remove_taxi(taxi.id);
     }
 
@@ -116,11 +136,16 @@ impl DispatchScheme for PGreedyDp {
     }
 
     fn restore_state(&mut self, bytes: &[u8], _world: &World<'_>) -> Result<(), String> {
+        self.engine.invalidate_all();
         self.index.restore_occupancy(bytes)
     }
 
     fn index_memory_bytes(&self) -> usize {
         self.index.memory_bytes()
+    }
+
+    fn scheduler_stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 }
 

@@ -11,14 +11,16 @@
 use crate::common::{committed_load, remaining_cost, shortest_legs};
 use crate::grid_index::GridTaxiIndex;
 use mtshare_model::{
-    evaluate_schedule, Assignment, DispatchOutcome, DispatchScheme, EvalContext, RideRequest, Taxi,
-    TaxiId, Time, World,
+    Assignment, DispatchOutcome, DispatchScheme, DpEngine, EngineStats, RideRequest,
+    ScheduleEngine, Taxi, TaxiId, Time, World,
 };
 use mtshare_road::RoadNetwork;
+use std::sync::Arc;
 
 /// The T-Share baseline.
 pub struct TShare {
     index: GridTaxiIndex,
+    engine: Arc<dyn ScheduleEngine>,
     gamma_m: f64,
     speed_mps: f64,
 }
@@ -31,7 +33,19 @@ impl TShare {
 
     /// Creates the scheme with explicit parameters.
     pub fn with_params(graph: &RoadNetwork, n_taxis: usize, gamma_m: f64, speed_mps: f64) -> Self {
-        Self { index: GridTaxiIndex::new(graph, 500.0, n_taxis), gamma_m, speed_mps }
+        Self {
+            index: GridTaxiIndex::new(graph, 500.0, n_taxis),
+            engine: Arc::new(DpEngine),
+            gamma_m,
+            speed_mps,
+        }
+    }
+
+    /// This scheme scoring through `engine` (`--scheduler dp|dtree`);
+    /// results are bit-identical across engines.
+    pub fn with_engine(mut self, engine: Arc<dyn ScheduleEngine>) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -96,56 +110,51 @@ impl DispatchScheme for TShare {
         let examined = candidates.len();
 
         // First valid candidate wins; within a candidate, the first
-        // feasible insertion wins (no min-detour optimization).
+        // feasible insertion in pinned `(i, j)` order wins (no min-detour
+        // optimization). Rejecting an instance whose legs cannot be routed
+        // abandons pickup position `i` — the engine's `first_feasible`
+        // replicates the historical `continue 'positions` behaviour.
         for &(_, id) in &candidates {
             let taxi = world.taxi(id);
             let pos = taxi.position_at(now);
-            let requests = world.requests;
-            let lookup = |r| requests.get(r);
-            let ectx = EvalContext {
-                start_node: pos,
-                start_time: now,
-                initial_load: taxi.onboard_load(world.requests),
-                capacity: taxi.capacity as u32,
-                requests: &lookup,
-            };
-            let m = taxi.schedule.len();
-            'positions: for i in 0..=m {
-                for j in (i + 1)..=(m + 1) {
-                    let schedule = taxi.schedule.with_insertion(req, i, j);
-                    let Some(eval) =
-                        evaluate_schedule(&schedule, &ectx, |a, b| world.oracle.cost(a, b))
-                    else {
-                        continue;
-                    };
-                    let Some(legs) = shortest_legs(world, pos, &schedule) else {
-                        continue 'positions;
-                    };
-                    return DispatchOutcome {
-                        assignment: Some(Assignment {
-                            taxi: id,
-                            schedule,
-                            legs,
-                            detour_cost_s: eval.total_cost_s - remaining_cost(taxi, now),
-                        }),
-                        candidates_examined: examined,
-                        feasible_instances: 1,
-                    };
+            let mut routed = None;
+            let found = self.engine.first_feasible(taxi, req, now, world, &mut |schedule, _| {
+                match shortest_legs(world, pos, schedule) {
+                    Some(legs) => {
+                        routed = Some(legs);
+                        true
+                    }
+                    None => false,
                 }
+            });
+            if let Some((schedule, eval)) = found {
+                return DispatchOutcome {
+                    assignment: Some(Assignment {
+                        taxi: id,
+                        schedule,
+                        legs: routed.expect("accepted instance was routed"),
+                        detour_cost_s: eval.total_cost_s - remaining_cost(taxi, now),
+                    }),
+                    candidates_examined: examined,
+                    feasible_instances: 1,
+                };
             }
         }
         DispatchOutcome::rejected(examined)
     }
 
     fn after_assign(&mut self, taxi: &Taxi, world: &World<'_>) {
+        self.engine.after_assign(taxi, world);
         self.index.update_taxi(taxi, world.graph, taxi.location_time);
     }
 
     fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
+        self.engine.on_taxi_progress(taxi, world);
         self.index.update_taxi(taxi, world.graph, now);
     }
 
     fn on_taxi_removed(&mut self, taxi: &Taxi, _world: &World<'_>) {
+        self.engine.on_taxi_removed(taxi);
         self.index.remove_taxi(taxi.id);
     }
 
@@ -158,11 +167,16 @@ impl DispatchScheme for TShare {
     }
 
     fn restore_state(&mut self, bytes: &[u8], _world: &World<'_>) -> Result<(), String> {
+        self.engine.invalidate_all();
         self.index.restore_occupancy(bytes)
     }
 
     fn index_memory_bytes(&self) -> usize {
         self.index.memory_bytes()
+    }
+
+    fn scheduler_stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 }
 

@@ -1,5 +1,7 @@
 //! Configuration of the mT-Share scheme (Table II defaults).
 
+use mtshare_model::SchedulerKind;
+
 /// Tunables of mT-Share. Defaults follow Table II of the paper.
 #[derive(Debug, Clone)]
 pub struct MtShareConfig {
@@ -41,6 +43,9 @@ pub struct MtShareConfig {
     /// collected per window and matched jointly through a Kuhn–Munkres
     /// assignment solve instead of greedy per-arrival insertion.
     pub batch: bool,
+    /// Which schedule-scoring engine serves insertion queries
+    /// (`--scheduler dp|dtree`); results are bit-identical either way.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for MtShareConfig {
@@ -59,6 +64,7 @@ impl Default for MtShareConfig {
             prob_bias_weight_s: 6.0,
             parallelism: 1,
             batch: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -95,6 +101,12 @@ impl MtShareConfig {
         self.batch = true;
         self
     }
+
+    /// This configuration with the given schedule-scoring engine.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +126,8 @@ mod tests {
         assert_eq!(c.clone().with_parallelism(8).parallelism, 8);
         assert!(!c.batch);
         assert!(c.clone().with_batch().batch);
+        assert_eq!(c.scheduler, SchedulerKind::Dp);
+        assert_eq!(c.clone().with_scheduler(SchedulerKind::Dtree).scheduler, SchedulerKind::Dtree);
         assert!(c.with_probabilistic().probabilistic);
     }
 

@@ -38,6 +38,14 @@ pub struct SegmentRouter {
     /// Scratch: per-partition suitability flags for Alg. 4 step ①.
     dest_flags: Vec<bool>,
     weights: Vec<f32>,
+    /// Scratch: scored insertion slots, reused across `schedule_best`
+    /// calls so Algorithm 1 allocates nothing per candidate.
+    slots: Vec<crate::scheduling::ScoredSlot>,
+    /// Per-dispatch memo of routed basic legs: materialization attempts
+    /// within one `schedule_best` re-route identical `(from, to)` legs
+    /// (a losing candidate's schedule prefix, the pickup→drop-off leg),
+    /// and a basic leg is a pure function of its endpoints.
+    leg_memo: Vec<(NodeId, NodeId, Path)>,
 }
 
 impl SegmentRouter {
@@ -50,7 +58,50 @@ impl SegmentRouter {
             obs: Obs::disabled(),
             dest_flags: Vec::new(),
             weights: vec![0.0; graph.node_count()],
+            slots: Vec::new(),
+            leg_memo: Vec::new(),
         }
+    }
+
+    /// Moves the scored-slot scratch buffer out (empty, capacity kept).
+    pub(crate) fn take_slots(&mut self) -> Vec<crate::scheduling::ScoredSlot> {
+        let mut slots = std::mem::take(&mut self.slots);
+        slots.clear();
+        slots
+    }
+
+    /// Returns the scratch buffer for reuse by the next dispatch.
+    pub(crate) fn put_slots(&mut self, slots: Vec<crate::scheduling::ScoredSlot>) {
+        self.slots = slots;
+    }
+
+    /// Starts a fresh per-dispatch basic-leg memo.
+    pub(crate) fn begin_leg_memo(&mut self) {
+        self.leg_memo.clear();
+    }
+
+    /// [`SegmentRouter::basic_leg`] answered from the per-dispatch memo
+    /// when the same `(from, to)` leg was already routed since the last
+    /// [`SegmentRouter::begin_leg_memo`]. Only basic legs memoize:
+    /// probabilistic legs consume deadline slack statefully, so equal
+    /// endpoints do not imply equal routes there.
+    pub(crate) fn basic_leg_memo(
+        &mut self,
+        graph: &RoadNetwork,
+        ctx: &MobilityContext,
+        cfg: &MtShareConfig,
+        cache: &PathCache,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<Path> {
+        if let Some((_, _, leg)) =
+            self.leg_memo.iter().find(|(a, b, _)| *a == from && *b == to)
+        {
+            return Some(leg.clone());
+        }
+        let leg = self.basic_leg(graph, ctx, cfg, cache, from, to)?;
+        self.leg_memo.push((from, to, leg.clone()));
+        Some(leg)
     }
 
     /// Attaches a telemetry bus (stage spans + filter counters).

@@ -10,18 +10,29 @@ use crate::config::MtShareConfig;
 use crate::context::MobilityContext;
 use crate::routing::SegmentRouter;
 use mtshare_model::{
-    best_insertion, evaluate_schedule, Assignment, EvalContext, RideRequest, Schedule, Taxi,
+    evaluate_schedule, Assignment, EvalContext, RideRequest, Schedule, ScheduleEngine, Taxi,
     TaxiId, Time, World,
 };
 use mtshare_road::NodeId;
 use mtshare_routing::Path;
 
-/// One feasible schedule instance found during enumeration.
+/// One scored insertion slot: where the request's pick-up (`i`) and
+/// drop-off (`j`) land in the candidate's schedule, and at what detour.
+/// The full [`Schedule`] is only materialized for the ranked winners —
+/// slots live in a scratch buffer reused across `schedule_best` calls.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScoredSlot {
+    taxi: TaxiId,
+    i: usize,
+    j: usize,
+    detour_s: f64,
+}
+
+/// One feasible schedule instance selected for materialization.
 #[derive(Debug, Clone)]
 struct Instance {
     taxi: TaxiId,
     schedule: Schedule,
-    detour_s: f64,
 }
 
 /// How many ranked instances to try materializing before giving up (only
@@ -40,6 +51,7 @@ pub fn probabilistic_enabled(taxi: &Taxi, cfg: &MtShareConfig, world: &World<'_>
 /// the minimum detour cost that can serve `req`, returning the committed
 /// assignment (or `None`), the number of candidates examined, and the
 /// number of deadline-feasible schedule instances found.
+#[allow(clippy::too_many_arguments)] // dispatch context threaded from the scheme
 pub fn schedule_best(
     req: &RideRequest,
     candidates: &[TaxiId],
@@ -47,6 +59,7 @@ pub fn schedule_best(
     world: &World<'_>,
     ctx: &MobilityContext,
     cfg: &MtShareConfig,
+    engine: &dyn ScheduleEngine,
     router: &mut SegmentRouter,
 ) -> (Option<Assignment>, usize, usize) {
     // Under the CH backend, batch every candidate's position→pickup cost
@@ -61,39 +74,52 @@ pub fn schedule_best(
         world.cache.prime_many_to_one(&positions, req.origin);
     }
 
-    // Per candidate, the optimal schedule instance via the O(m²) slack DP
-    // (identical result to brute-force enumeration; property-tested).
-    let mut instances: Vec<Instance> = Vec::with_capacity(candidates.len());
+    // Per candidate, the optimal schedule instance via the configured
+    // engine — the O(m²) slack DP or the incremental dynamic tree, with
+    // bit-identical results either way (identical to brute-force
+    // enumeration; property-tested). Slots go into a scratch buffer
+    // reused across calls; the full `Schedule` is allocated only for the
+    // few ranked winners materialized below.
+    let mut slots = router.take_slots();
     {
-        let _span = router.obs().stage(mtshare_obs::Stage::InsertionDp);
+        let _span = router.obs().stage(engine.stage());
         for &taxi_id in candidates {
             let taxi = world.taxi(taxi_id);
-            if let Some(ins) = best_insertion(taxi, req, now, world, |a, b| world.oracle.cost(a, b))
+            if let Some(ins) =
+                engine.best_insertion(taxi, req, now, world, &mut |a, b| world.oracle.cost(a, b))
             {
-                instances.push(Instance {
-                    taxi: taxi_id,
-                    schedule: taxi.schedule.with_insertion(req, ins.i, ins.j),
-                    detour_s: ins.delta_s,
-                });
+                slots.push(ScoredSlot { taxi: taxi_id, i: ins.i, j: ins.j, detour_s: ins.delta_s });
             }
         }
-        router.obs().add_insertions(candidates.len() as u64, instances.len() as u64);
+        router.obs().add_insertions(candidates.len() as u64, slots.len() as u64);
     }
-    let feasible = instances.len();
+    let feasible = slots.len();
 
     // Rank by (detour, taxi id) — the same total order as
     // `mtshare_model::assignment_cmp`. The explicit taxi-id tie-break
     // (rather than relying on stable sort over the sorted candidate list)
     // is what makes the winner reproducible for the speculative batch
     // path, whatever order candidates were scored in.
-    instances.sort_by(|a, b| a.detour_s.total_cmp(&b.detour_s).then(a.taxi.cmp(&b.taxi)));
+    slots.sort_by(|a, b| a.detour_s.total_cmp(&b.detour_s).then(a.taxi.cmp(&b.taxi)));
 
-    for inst in instances.into_iter().take(MATERIALIZE_TRIES) {
-        if let Some(assignment) = materialize(req, &inst, now, world, ctx, cfg, router) {
-            return (Some(assignment), candidates.len(), feasible);
+    // Materialization attempts within one dispatch share a basic-leg memo:
+    // consecutive tries often rank the same taxi (re-routing its unchanged
+    // schedule prefix) and always share the pickup→drop-off leg, and basic
+    // legs are pure functions of (from, to).
+    router.begin_leg_memo();
+    let mut assignment = None;
+    for slot in slots.iter().take(MATERIALIZE_TRIES) {
+        let inst = Instance {
+            taxi: slot.taxi,
+            schedule: world.taxi(slot.taxi).schedule.with_insertion(req, slot.i, slot.j),
+        };
+        if let Some(a) = materialize(req, &inst, now, world, ctx, cfg, router) {
+            assignment = Some(a);
+            break;
         }
     }
-    (None, candidates.len(), feasible)
+    router.put_slots(slots);
+    (assignment, candidates.len(), feasible)
 }
 
 /// Routes every leg of the instance (Algorithms 3/4) and re-verifies the
@@ -187,7 +213,7 @@ fn materialize(
     } else {
         let mut from = pos;
         for ev in inst.schedule.events() {
-            let leg = router.basic_leg(world.graph, ctx, cfg, world.cache, from, ev.node)?;
+            let leg = router.basic_leg_memo(world.graph, ctx, cfg, world.cache, from, ev.node)?;
             from = ev.node;
             legs.push(leg);
         }
@@ -207,7 +233,8 @@ fn materialize(
             legs.clear();
             let mut from = pos;
             for ev in inst.schedule.events() {
-                let leg = router.basic_leg(world.graph, ctx, cfg, world.cache, from, ev.node)?;
+                let leg =
+                    router.basic_leg_memo(world.graph, ctx, cfg, world.cache, from, ev.node)?;
                 from = ev.node;
                 legs.push(leg);
             }
@@ -234,7 +261,7 @@ mod tests {
     use super::*;
     use crate::context::{MobilityContext, PartitionStrategy};
     use mtshare_mobility::Trip;
-    use mtshare_model::{RequestId, RequestStore, TimedRoute};
+    use mtshare_model::{DpEngine, RequestId, RequestStore, TimedRoute};
     use mtshare_road::{grid_city, GridCityConfig, RoadNetwork};
     use mtshare_routing::{HotNodeOracle, PathCache};
     use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -310,7 +337,7 @@ mod tests {
         let req = f.request(21, 399, 0.0, 1.5);
         let mut router = SegmentRouter::new(&f.graph);
         let (a, examined, feasible) =
-            schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
+            schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &DpEngine, &mut router);
         let a = a.expect("assignment");
         assert_eq!(examined, 1);
         assert_eq!(feasible, 1);
@@ -340,6 +367,7 @@ mod tests {
             &f.world(),
             &f.ctx,
             &f.cfg,
+            &DpEngine,
             &mut router,
         );
         assert_eq!(examined, 2);
@@ -367,7 +395,7 @@ mod tests {
         let req = f.request(380, 399, 0.0, 1.5);
         let mut router = SegmentRouter::new(&f.graph);
         let (a, _, _) =
-            schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
+            schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &DpEngine, &mut router);
         // Any feasible instance must drop the onboard passenger first; if
         // an assignment exists, verify its ordering.
         if let Some(a) = a {
@@ -384,7 +412,7 @@ mod tests {
         let req = f.request(0, 19, 0.0, 1.01);
         let mut router = SegmentRouter::new(&f.graph);
         let (a, examined, feasible) =
-            schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
+            schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &DpEngine, &mut router);
         assert!(a.is_none());
         assert_eq!(examined, 1);
         assert_eq!(feasible, 0, "no instance can meet the deadline");
@@ -398,7 +426,7 @@ mod tests {
         let r1 = f.request(0, 399, 0.0, 1.5);
         let mut router = SegmentRouter::new(&f.graph);
         let (a1, _, _) =
-            schedule_best(&r1, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &mut router);
+            schedule_best(&r1, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &DpEngine, &mut router);
         let a1 = a1.unwrap();
         // Commit the plan.
         let route = TimedRoute::build(NodeId(0), 0.0, &a1.legs, &a1.schedule);
@@ -407,7 +435,7 @@ mod tests {
         // Second aligned request along the way.
         let r2 = f.request(42, 378, 10.0, 1.5);
         let (a2, _, _) =
-            schedule_best(&r2, &[TaxiId(0)], 10.0, &f.world(), &f.ctx, &f.cfg, &mut router);
+            schedule_best(&r2, &[TaxiId(0)], 10.0, &f.world(), &f.ctx, &f.cfg, &DpEngine, &mut router);
         let a2 = a2.expect("aligned request should share");
         assert_eq!(a2.schedule.len(), 4);
         // Shared detour should be far below serving r2 from scratch.

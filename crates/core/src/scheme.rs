@@ -7,8 +7,8 @@ use crate::index::{MobilityClusterIndex, PartitionTaxiIndex};
 use crate::routing::{RouterStats, SegmentRouter};
 use crate::scheduling::schedule_best;
 use mtshare_model::{
-    best_insertion, DispatchOutcome, DispatchScheme, RideRequest, SpeculativeOutcome, Taxi, TaxiId,
-    Time, WindowRow, World,
+    make_engine, DispatchOutcome, DispatchScheme, EngineStats, RideRequest, ScheduleEngine,
+    SpeculativeOutcome, Taxi, TaxiId, Time, WindowRow, World,
 };
 use mtshare_obs::{Obs, Stage};
 use mtshare_par::try_par_map_with;
@@ -30,6 +30,10 @@ pub struct MtShare {
     ctx: std::sync::Arc<MobilityContext>,
     pindex: PartitionTaxiIndex,
     mindex: MobilityClusterIndex,
+    /// Insertion-scoring engine behind `--scheduler dp|dtree`. Shared
+    /// (`Arc`) so speculative batch workers can score through it
+    /// concurrently; results are bit-identical across engines.
+    engine: std::sync::Arc<dyn ScheduleEngine>,
     router: SegmentRouter,
     /// Per-worker routers for speculative batch scoring, grown lazily to
     /// `cfg.parallelism`; their counters are folded into `router` after
@@ -57,6 +61,7 @@ impl MtShare {
         Self {
             pindex: PartitionTaxiIndex::new(ctx.kappa(), n_taxis),
             mindex: MobilityClusterIndex::new(cfg.lambda, n_taxis),
+            engine: make_engine(cfg.scheduler, n_taxis),
             router: SegmentRouter::new(graph),
             spec_workers: Vec::new(),
             obs: Obs::disabled(),
@@ -103,8 +108,16 @@ impl MtShare {
             candidate_taxis(req, now, world, &self.ctx, &self.cfg, &self.pindex, &self.mindex)
         };
         let candidate_versions = candidates.iter().map(|&t| world.taxi(t).route_version).collect();
-        let (assignment, examined, feasible) =
-            schedule_best(req, &candidates, now, world, &self.ctx, &self.cfg, router);
+        let (assignment, examined, feasible) = schedule_best(
+            req,
+            &candidates,
+            now,
+            world,
+            &self.ctx,
+            &self.cfg,
+            &*self.engine,
+            router,
+        );
         SpeculativeOutcome {
             outcome: DispatchOutcome {
                 assignment,
@@ -139,10 +152,12 @@ impl MtShare {
         let mut costs = Vec::with_capacity(candidates.len());
         let mut feasible = 0usize;
         {
-            let _span = self.obs.stage(Stage::InsertionDp);
+            let _span = self.obs.stage(self.engine.stage());
             for &taxi_id in &candidates {
                 let taxi = world.taxi(taxi_id);
-                match best_insertion(taxi, req, now, world, |a, b| world.oracle.cost(a, b)) {
+                match self.engine.best_insertion(taxi, req, now, world, &mut |a, b| {
+                    world.oracle.cost(a, b)
+                }) {
                     Some(ins) => {
                         costs.push(ins.delta_s);
                         feasible += 1;
@@ -180,8 +195,16 @@ impl DispatchScheme for MtShare {
             let _span = self.obs.stage(Stage::CandidateSearch);
             candidate_taxis(req, now, world, &self.ctx, &self.cfg, &self.pindex, &self.mindex)
         };
-        let (assignment, examined, feasible) =
-            schedule_best(req, &candidates, now, world, &self.ctx, &self.cfg, &mut self.router);
+        let (assignment, examined, feasible) = schedule_best(
+            req,
+            &candidates,
+            now,
+            world,
+            &self.ctx,
+            &self.cfg,
+            &*self.engine,
+            &mut self.router,
+        );
         DispatchOutcome { assignment, candidates_examined: examined, feasible_instances: feasible }
     }
 
@@ -202,6 +225,7 @@ impl DispatchScheme for MtShare {
             world,
             &self.ctx,
             &self.cfg,
+            &*self.engine,
             &mut self.router,
         );
         if let Some(a) = direct {
@@ -217,16 +241,20 @@ impl DispatchScheme for MtShare {
     }
 
     fn after_assign(&mut self, taxi: &Taxi, world: &World<'_>) {
+        self.engine.after_assign(taxi, world);
         self.reindex(taxi, taxi.location_time.max(0.0), world);
     }
 
     fn on_taxi_progress(&mut self, taxi: &Taxi, now: Time, world: &World<'_>) {
+        self.engine.on_taxi_progress(taxi, world);
         self.reindex(taxi, now, world);
     }
 
     fn on_taxi_removed(&mut self, taxi: &Taxi, _world: &World<'_>) {
         // Reconcile the dead taxi out of both indexes (`P_z.L_t` and
-        // `C_a.L_t`) so candidate search never proposes it again.
+        // `C_a.L_t`) so candidate search never proposes it again, and drop
+        // its incremental scheduling state.
+        self.engine.on_taxi_removed(taxi);
         self.pindex.remove_taxi(taxi.id);
         self.mindex.remove_taxi(taxi.id);
     }
@@ -283,6 +311,10 @@ impl DispatchScheme for MtShare {
         }
         self.pindex = pindex;
         self.mindex = mindex;
+        // The snapshot carries no engine state: incremental trees are
+        // rebuilt lazily from the restored plans, so the on-disk format is
+        // identical under either scheduler.
+        self.engine.invalidate_all();
         Ok(())
     }
 
@@ -292,6 +324,10 @@ impl DispatchScheme for MtShare {
 
     fn uses_probabilistic_routing(&self) -> bool {
         self.cfg.probabilistic
+    }
+
+    fn scheduler_stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 
     fn dispatch_batch_speculative(
@@ -422,8 +458,16 @@ impl DispatchScheme for MtShare {
         // insertion against the *current* world and materialize it — the
         // same revalidated-commit path Algorithm 1 uses, restricted to the
         // winner.
-        let (assignment, examined, feasible) =
-            schedule_best(req, &[taxi], now, world, &self.ctx, &self.cfg, &mut self.router);
+        let (assignment, examined, feasible) = schedule_best(
+            req,
+            &[taxi],
+            now,
+            world,
+            &self.ctx,
+            &self.cfg,
+            &*self.engine,
+            &mut self.router,
+        );
         DispatchOutcome { assignment, candidates_examined: examined, feasible_instances: feasible }
     }
 }

@@ -7,10 +7,13 @@
 //! - [`route`]: timed taxi routes (Def. 5);
 //! - [`fare`]: the regular-taxi tariff the payment model prices against;
 //! - [`scheme`]: the [`DispatchScheme`] trait implemented by mT-Share and
-//!   every baseline, plus the read-only [`World`] view.
+//!   every baseline, plus the read-only [`World`] view;
+//! - [`engine`]: the [`ScheduleEngine`] strategy behind
+//!   `--scheduler dp|dtree` (insertion DP vs incremental dynamic trees).
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod fare;
 pub mod insertion;
 pub mod persist;
@@ -24,6 +27,7 @@ pub mod taxi;
 /// Simulation time in seconds since scenario start.
 pub type Time = f64;
 
+pub use engine::{make_engine, DpEngine, DtreeEngine, EngineStats, ScheduleEngine, SchedulerKind};
 pub use fare::FareTable;
 pub use insertion::{best_insertion, BestInsertion};
 pub use reorder::{best_reordering, BestReorder};

@@ -204,6 +204,13 @@ pub trait DispatchScheme {
         false
     }
 
+    /// Cumulative counters of the scheme's [`crate::ScheduleEngine`]
+    /// for the summary's `profiling.dtree` block. All-zero under the
+    /// plain DP engine (and for schemes without a pluggable engine).
+    fn scheduler_stats(&self) -> crate::EngineStats {
+        crate::EngineStats::default()
+    }
+
     /// Speculatively scores a batch of online requests against the frozen
     /// `world` snapshot, each at its own release time. Results must be
     /// *identical* to what a sequence of [`DispatchScheme::dispatch`]
@@ -311,6 +318,9 @@ impl DispatchScheme for Box<dyn DispatchScheme> {
     }
     fn uses_probabilistic_routing(&self) -> bool {
         self.as_ref().uses_probabilistic_routing()
+    }
+    fn scheduler_stats(&self) -> crate::EngineStats {
+        self.as_ref().scheduler_stats()
     }
     fn dispatch_batch_speculative(
         &mut self,

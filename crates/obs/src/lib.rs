@@ -58,7 +58,10 @@ const MAX_WORKERS: usize = 64;
 /// quarantines, tolerated directory-fsync gaps) and three meta event
 /// kinds (`storage_fault`, `durability_degraded`, `feed_fault`) joined
 /// the event-count table.
-pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v7";
+/// v8: `profiling.stages` gained the `dtree_update` span and `profiling`
+/// gained a `dtree` block (dynamic-tree scheduler sync/memoization
+/// counters; all zero under `--scheduler dp`).
+pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v8";
 
 /// Static facts about the run, reported verbatim in the summary.
 #[derive(Debug, Clone, Default)]
@@ -106,6 +109,30 @@ pub struct ExternalStats {
     pub ch_bucket_sources: u64,
     /// Shortcut edges in the loaded/built hierarchy.
     pub ch_shortcuts: u64,
+    /// Dynamic-tree scheduler: insertion scorings served by trees.
+    pub dtree_scores: u64,
+    /// Dynamic-tree scheduler: full spine rebuilds.
+    pub dtree_rebuilds: u64,
+    /// Dynamic-tree scheduler: completed-stop advances.
+    pub dtree_advances: u64,
+    /// Dynamic-tree scheduler: winning-branch promotions (splice-ins).
+    pub dtree_commits: u64,
+    /// Dynamic-tree scheduler: request splice-outs (cancel/repair).
+    pub dtree_removes: u64,
+    /// Dynamic-tree scheduler: version refreshes after retiming.
+    pub dtree_retimes: u64,
+    /// Dynamic-tree scheduler: committed-leg costs served from spine
+    /// caches.
+    pub dtree_legs_reused: u64,
+    /// Dynamic-tree scheduler: committed-leg costs filled by a fresh
+    /// oracle query.
+    pub dtree_legs_filled: u64,
+    /// Dynamic-tree scheduler: per-evaluation memo hits (queries the
+    /// insertion DP would have re-issued).
+    pub dtree_memo_reuses: u64,
+    /// Dynamic-tree scheduler: per-evaluation memo fills (distinct
+    /// oracle queries).
+    pub dtree_memo_fills: u64,
 }
 
 /// Deterministic aggregates, updated only from the commit side.
@@ -748,6 +775,20 @@ impl Obs {
             core.lap_augmentations.load(Ordering::Relaxed),
             core.lap_relaxations.load(Ordering::Relaxed),
             core.lap_skipped_rows.load(Ordering::Relaxed)
+        );
+        let _ = write!(
+            s,
+            r#""dtree":{{"scores":{},"rebuilds":{},"advances":{},"commits":{},"removes":{},"retimes":{},"legs_reused":{},"legs_filled":{},"memo_reuses":{},"memo_fills":{}}},"#,
+            ext.dtree_scores,
+            ext.dtree_rebuilds,
+            ext.dtree_advances,
+            ext.dtree_commits,
+            ext.dtree_removes,
+            ext.dtree_retimes,
+            ext.dtree_legs_reused,
+            ext.dtree_legs_filled,
+            ext.dtree_memo_reuses,
+            ext.dtree_memo_fills
         );
         write_histogram(&mut s, "response_ms", &core.response_s, 1e3, "ms");
         s.push_str("}}");

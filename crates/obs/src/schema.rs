@@ -340,6 +340,21 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
     {
         require_num(lap, "lap", f)?;
     }
+    let dtree = prof.get("dtree").ok_or("profiling: missing \"dtree\"")?;
+    for f in [
+        "scores",
+        "rebuilds",
+        "advances",
+        "commits",
+        "removes",
+        "retimes",
+        "legs_reused",
+        "legs_filled",
+        "memo_reuses",
+        "memo_fills",
+    ] {
+        require_num(dtree, "dtree", f)?;
+    }
     require_hist_block(prof, "response_ms", "ms")?;
     Ok(())
 }

@@ -20,11 +20,14 @@ pub enum Stage {
     PreprocessCh,
     /// Kuhn–Munkres assignment solve over a batch window's cost matrix.
     BatchSolve,
+    /// Incremental dynamic-tree scheduling update (`--scheduler dtree`):
+    /// spine sync + memoized insertion scoring.
+    DtreeUpdate,
 }
 
 impl Stage {
     /// Number of stages (size of per-stage arrays).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All stages in stable (serialization) order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -35,6 +38,7 @@ impl Stage {
         Stage::Commit,
         Stage::PreprocessCh,
         Stage::BatchSolve,
+        Stage::DtreeUpdate,
     ];
 
     /// Index into per-stage arrays.
@@ -47,6 +51,7 @@ impl Stage {
             Stage::Commit => 4,
             Stage::PreprocessCh => 5,
             Stage::BatchSolve => 6,
+            Stage::DtreeUpdate => 7,
         }
     }
 
@@ -60,6 +65,7 @@ impl Stage {
             Stage::Commit => "commit",
             Stage::PreprocessCh => "preprocess_ch",
             Stage::BatchSolve => "batch_solve",
+            Stage::DtreeUpdate => "dtree_update",
         }
     }
 }

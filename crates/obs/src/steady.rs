@@ -20,7 +20,8 @@ use crate::Obs;
 use std::fmt::Write as _;
 
 /// Steady-state report schema identifier.
-pub const STEADY_SCHEMA: &str = "mtshare-obs-steady/v1";
+/// v2: `stage_p95_us` gained the `dtree_update` stage.
+pub const STEADY_SCHEMA: &str = "mtshare-obs-steady/v2";
 
 /// Gauges owned by the serve runtime (not derivable from [`Obs`])
 /// that ride along on each steady line.

@@ -40,5 +40,5 @@ pub use ch::{ChBuckets, ChQuery, ChStats, ContractionHierarchy};
 pub use dijkstra::{bellman_ford_cost, Dijkstra};
 pub use masked::{MaskedDijkstra, NodeMask};
 pub use matrix::CostMatrix;
-pub use oracle::{HotNodeOracle, OracleStats};
+pub use oracle::{HotNodeOracle, OracleStats, PinnedReader};
 pub use path::Path;

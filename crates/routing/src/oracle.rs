@@ -179,6 +179,26 @@ impl HotNodeOracle {
         c
     }
 
+    /// Runs `f` with a [`PinnedReader`]: a borrowed view of the pinned
+    /// vectors that answers the `cost()` fast path without re-acquiring
+    /// the `RwLock` or touching an atomic per query. Vector hits are
+    /// counted locally and folded into the stats once at the end.
+    ///
+    /// Intended for query bursts that probe many legs against the same
+    /// pin set — e.g. scoring one insertion candidate. The read lock is
+    /// held for the whole closure, recursion-tolerant, so `f` may fall
+    /// back to `cost()` for unpinned pairs; callers must not
+    /// `pin`/`unpin` from inside `f` or concurrently with it (dispatch
+    /// already orders all pinning before scoring).
+    pub fn batch<R>(&self, f: impl FnOnce(&mut PinnedReader<'_>) -> R) -> R {
+        let mut reader = PinnedReader { pinned: self.pinned.read_recursive(), hits: 0 };
+        let r = f(&mut reader);
+        if reader.hits > 0 {
+            self.stats.vector_hits.fetch_add(reader.hits, Relaxed);
+        }
+        r
+    }
+
     /// Snapshot of the query counters.
     pub fn stats(&self) -> OracleStats {
         OracleStats {
@@ -199,6 +219,39 @@ impl HotNodeOracle {
     pub fn memory_bytes(&self) -> usize {
         self.pinned.read().len() * (2 * self.graph.node_count() * 4 + 16)
             + self.memo.iter().map(|s| s.lock().memo.capacity() * 14).sum::<usize>()
+    }
+}
+
+/// Borrowed fast-path view of the oracle's pinned vectors — see
+/// [`HotNodeOracle::batch`].
+pub struct PinnedReader<'a> {
+    pinned: parking_lot::RwLockReadGuard<'a, FxHashMap<u32, PinnedEntry>>,
+    hits: u64,
+}
+
+impl PinnedReader<'_> {
+    /// The `cost()` fast path: `Some(answer)` when `a == b` or either
+    /// endpoint is pinned, reading the exact same vector entry in the
+    /// exact same bwd-first order as [`HotNodeOracle::cost`] — the
+    /// answer is bit-identical. Returns `None` when the pair would need
+    /// the memo/search path; the caller falls back to its full cost
+    /// function (nested `cost()` reads are safe — see [`HotNodeOracle::batch`]).
+    #[inline]
+    pub fn pinned_cost(&mut self, a: NodeId, b: NodeId) -> Option<Option<f64>> {
+        if a == b {
+            return Some(Some(0.0));
+        }
+        if let Some(e) = self.pinned.get(&b.0) {
+            self.hits += 1;
+            let c = e.bwd[a.index()];
+            return Some(c.is_finite().then_some(c as f64));
+        }
+        if let Some(e) = self.pinned.get(&a.0) {
+            self.hits += 1;
+            let c = e.fwd[b.index()];
+            return Some(c.is_finite().then_some(c as f64));
+        }
+        None
     }
 }
 
@@ -266,6 +319,24 @@ mod tests {
         o.unpin(NodeId(7)); // no-op
         assert_eq!(o.pinned_count(), 0);
         assert_eq!(o.stats().evictions, 1);
+    }
+
+    #[test]
+    fn batch_reader_matches_cost_bit_for_bit() {
+        let o = oracle();
+        o.pin(NodeId(0));
+        o.pin(NodeId(399));
+        let pairs =
+            [(NodeId(5), NodeId(5)), (NodeId(17), NodeId(399)), (NodeId(0), NodeId(250))];
+        for (a, b) in pairs {
+            let want = o.cost(a, b);
+            let got = o.batch(|r| r.pinned_cost(a, b)).expect("either endpoint pinned or a == b");
+            assert_eq!(got.map(f64::to_bits), want.map(f64::to_bits), "{a:?}->{b:?}");
+        }
+        // Neither endpoint pinned: the reader defers to the full path.
+        assert!(o.batch(|r| r.pinned_cost(NodeId(40), NodeId(41))).is_none());
+        // Hits were folded into the shared stats exactly once per answer.
+        assert_eq!(o.stats().vector_hits, 2 * 2); // (17,399) and (0,250), via cost + batch
     }
 
     #[test]

@@ -1756,6 +1756,7 @@ impl Simulator {
             let ch = self.cache.ch_stats().unwrap_or_default();
             let ch_shortcuts =
                 self.cache.hierarchy().map(|h| h.shortcut_count()).unwrap_or_default();
+            let es = scheme.scheduler_stats();
             self.obs.set_external_stats(ExternalStats {
                 cache_hits: cs.hits,
                 cache_misses: cs.misses,
@@ -1769,6 +1770,16 @@ impl Simulator {
                 ch_bucket_sweeps: ch.bucket_sweeps,
                 ch_bucket_sources: ch.bucket_sources,
                 ch_shortcuts,
+                dtree_scores: es.scores,
+                dtree_rebuilds: es.rebuilds,
+                dtree_advances: es.advances,
+                dtree_commits: es.commits,
+                dtree_removes: es.removes,
+                dtree_retimes: es.retimes,
+                dtree_legs_reused: es.legs_reused,
+                dtree_legs_filled: es.legs_filled,
+                dtree_memo_reuses: es.memo_reuses,
+                dtree_memo_fills: es.memo_fills,
             });
             self.obs.flush();
         }

@@ -3,9 +3,8 @@
 //! directly). A poisoned std lock is recovered rather than propagated,
 //! matching parking_lot's behaviour of not poisoning on panic.
 
-use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
-};
+use std::sync::{Mutex as StdMutex, RwLock as StdRwLock};
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
 #[derive(Debug, Default)]
@@ -68,6 +67,14 @@ impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// parking_lot's recursion-tolerant read. `std`'s lock has no such
+    /// variant, so this is a plain `read()`: recursive reads are fine
+    /// as long as no writer is queued between them (real parking_lot
+    /// lifts that caveat).
+    pub fn read_recursive(&self) -> RwLockReadGuard<'_, T> {
+        self.read()
     }
 
     /// Acquires an exclusive write guard.

@@ -73,7 +73,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro|batch]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--batch-window S]  # rolling-horizon window in sim seconds (with --scheme batch)\n                   [--batch-retries N] # re-queue budget for losing requests (with --scheme batch)\n                   [--router bidir|ch] # exact cost engine; traces identical either way\n                   [--ch-artifact FILE]        # persist/reuse the CH preprocessing (with --router ch)\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--feed-record FILE.jsonl]  # dump the arrival stream in the serve feed format\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n                   [--state-dir DIR]   # checkpoint/WAL persistence (crash-consistent restart)\n                   [--checkpoint-every N]      # snapshot cadence in steps (default 256)\n                   [--resume]          # warm-restart from the newest valid checkpoint + WAL\n                   [--crash-at STEP]   # die (exit 42) after STEP steps, for restart testing\n                   [--durability strict|degrade]  # storage-fault policy: fail fast (exit 44) or\n                                                  # quarantine the state dir and keep serving\n                   [--failpoints SPEC] # seeded I/O faults, e.g. wal-sync-fail=1,snap-write-enospc=1\n                                       # (schedule derived from --chaos-seed)\n  mtshare serve    [--feed -|FILE|tcp:ADDR]    # line-delimited JSON request feed (default stdin)\n                   [--queue-capacity N]        # bounded admission queue (default 64)\n                   [--admission block|shed-oldest|reject-new]\n                   [--pace free|QUANTUM_S]     # burst entries per virtual-time quantum (default free)\n                   [--report-out FILE.jsonl]   # periodic steady-state reports\n                   [--report-every SECONDS]    # report cadence in virtual seconds (default 60)\n                   [--heartbeat-file FILE]     # liveness file rewritten every burst\n                   [--supervise]               # watchdog: restart on crash/fault/stall with backoff\n                   [--supervise-max-restarts N] [--supervise-backoff-ms MS] [--supervise-stall-ms MS]\n                   plus the simulate scenario/persistence flags (--taxis, --requests, --scheme,\n                   --state-dir, --resume, ...); a serve run over a recorded feed produces the\n                   one-shot run's exact event trace\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
+        "usage:\n  mtshare simulate [--scheme no-sharing|t-share|pgreedy-dp|mt-share|mt-share-pro|batch]\n                   [--taxis N] [--requests N] [--nonpeak] [--rows N] [--cols N] [--seed N]\n                   [--capacity N]      # seats per taxi (1-8, default 4)\n                   [--parallelism N]   # dispatch worker threads; results identical to 1\n                   [--scheduler dp|dtree]      # insertion scoring engine; traces identical either way\n                   [--batch-window S]  # rolling-horizon window in sim seconds (with --scheme batch)\n                   [--batch-retries N] # re-queue budget for losing requests (with --scheme batch)\n                   [--router bidir|ch] # exact cost engine; traces identical either way\n                   [--ch-artifact FILE]        # persist/reuse the CH preprocessing (with --router ch)\n                   [--metrics-out FILE.json]   # end-of-run summary (stages, caches, rejections)\n                   [--trace-out FILE.jsonl]    # dispatch-lifecycle event stream\n                   [--feed-record FILE.jsonl]  # dump the arrival stream in the serve feed format\n                   [--chaos-seed N]    # inject seeded disruptions (breakdowns/cancels/shifts)\n                   [--disruptions breakdowns=2,cancels=4,shifts=2]  # mix (with --chaos-seed)\n                   [--validate-every SECONDS]  # runtime invariant checker cadence\n                   [--state-dir DIR]   # checkpoint/WAL persistence (crash-consistent restart)\n                   [--checkpoint-every N]      # snapshot cadence in steps (default 256)\n                   [--resume]          # warm-restart from the newest valid checkpoint + WAL\n                   [--crash-at STEP]   # die (exit 42) after STEP steps, for restart testing\n                   [--durability strict|degrade]  # storage-fault policy: fail fast (exit 44) or\n                                                  # quarantine the state dir and keep serving\n                   [--failpoints SPEC] # seeded I/O faults, e.g. wal-sync-fail=1,snap-write-enospc=1\n                                       # (schedule derived from --chaos-seed)\n  mtshare serve    [--feed -|FILE|tcp:ADDR]    # line-delimited JSON request feed (default stdin)\n                   [--queue-capacity N]        # bounded admission queue (default 64)\n                   [--admission block|shed-oldest|reject-new]\n                   [--pace free|QUANTUM_S]     # burst entries per virtual-time quantum (default free)\n                   [--report-out FILE.jsonl]   # periodic steady-state reports\n                   [--report-every SECONDS]    # report cadence in virtual seconds (default 60)\n                   [--heartbeat-file FILE]     # liveness file rewritten every burst\n                   [--supervise]               # watchdog: restart on crash/fault/stall with backoff\n                   [--supervise-max-restarts N] [--supervise-backoff-ms MS] [--supervise-stall-ms MS]\n                   plus the simulate scenario/persistence flags (--taxis, --requests, --scheme,\n                   --state-dir, --resume, ...); a serve run over a recorded feed produces the\n                   one-shot run's exact event trace\n  mtshare partition [--kappa N] [--grid] [--out FILE.geojson|FILE.csv]\n  mtshare stats [--hours N]\n  mtshare trace FILE.csv"
     );
     std::process::exit(2)
 }
@@ -99,7 +99,9 @@ const SCENARIO_FLAGS: &[&str] = &[
     "cols",
     "seed",
     "kappa",
+    "capacity",
     "parallelism",
+    "scheduler",
     "batch-window",
     "batch-retries",
     "router",
@@ -277,7 +279,37 @@ fn scenario_config(args: &Args) -> ScenarioConfig {
     };
     cfg.n_requests = args.num("requests", cfg.n_requests);
     cfg.rho = args.num("rho", cfg.rho);
+    if let Some(s) = args.get("capacity") {
+        let cap: u8 = s.parse().unwrap_or(0);
+        if !(1..=8).contains(&cap) {
+            flag_error(&format!("--capacity must be between 1 and 8 seats, got `{s}`"));
+        }
+        cfg.capacity = cap;
+    }
     cfg
+}
+
+/// The insertion-scoring engine (`--scheduler dp|dtree`, default `dp`).
+fn scheduler_kind(args: &Args) -> mt_share::model::SchedulerKind {
+    match args.get("scheduler") {
+        None => mt_share::model::SchedulerKind::default(),
+        Some(s) => mt_share::model::SchedulerKind::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown scheduler: {s} (expected dp|dtree)");
+            usage()
+        }),
+    }
+}
+
+/// mT-Share configuration overrides accumulated from the CLI
+/// (`--parallelism`, `--scheduler`); `None` when everything is at its
+/// default so scheme construction takes the no-override path.
+fn mt_config(args: &Args, parallelism: usize) -> Option<mt_share::core::MtShareConfig> {
+    let scheduler = scheduler_kind(args);
+    (parallelism > 1 || scheduler != mt_share::model::SchedulerKind::default()).then(|| {
+        mt_share::core::MtShareConfig::default()
+            .with_parallelism(parallelism)
+            .with_scheduler(scheduler)
+    })
 }
 
 fn scheme_kind(args: &Args) -> SchemeKind {
@@ -414,8 +446,7 @@ fn simulate(args: &Args) {
             PartitionStrategy::Bipartite,
         )
     });
-    let mt_cfg = (parallelism > 1)
-        .then(|| mt_share::core::MtShareConfig::default().with_parallelism(parallelism));
+    let mt_cfg = mt_config(args, parallelism);
     let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, mt_cfg);
     let chaos = args.get("chaos-seed").map(|s| {
         let seed: u64 = s.parse().unwrap_or_else(|_| {
@@ -585,8 +616,7 @@ fn serve_cmd(args: &Args) {
             PartitionStrategy::Bipartite,
         )
     });
-    let mt_cfg = (parallelism > 1)
-        .then(|| mt_share::core::MtShareConfig::default().with_parallelism(parallelism));
+    let mt_cfg = mt_config(args, parallelism);
     let mut scheme = kind.build(&graph, scenario.taxis.len(), ctx, mt_cfg);
     let failplan = failpoint_plan(args);
     let feed_faults = failplan.as_ref().map(|p| p.feed_faults()).filter(|f| !f.is_empty());

@@ -10,6 +10,8 @@
 //!   mobility clustering;
 //! - [`model`]: requests, taxis, schedules, routes, fares, the
 //!   `DispatchScheme` trait;
+//! - [`dtree`]: incremental dynamic trees of stop sequences — the
+//!   `--scheduler dtree` engine's data structure;
 //! - [`core`]: the mT-Share system (dual indexing, matching, basic +
 //!   probabilistic routing, payment model);
 //! - [`baselines`]: No-Sharing, T-Share, pGreedyDP;
@@ -29,6 +31,7 @@
 pub use mtshare_baselines as baselines;
 pub use mtshare_chaos as chaos;
 pub use mtshare_core as core;
+pub use mtshare_dtree as dtree;
 pub use mtshare_mobility as mobility;
 pub use mtshare_model as model;
 pub use mtshare_obs as obs;

@@ -1,0 +1,347 @@
+//! The incremental dynamic-tree engine must be **bit-identical** to the
+//! per-request insertion DP: same feasibility verdict, same winning
+//! `(i, j)` positions, same `delta_s` down to the last mantissa bit —
+//! for arbitrary fleets, committed plans, and splice histories. This is
+//! what entitles `--scheduler dtree` to byte-identical traces.
+
+use mt_share::dtree::{DTree, Stop};
+use mt_share::model::{
+    BestInsertion, DpEngine, DtreeEngine, EventKind, RequestId, RequestStore, RideRequest,
+    ScheduleEngine, Taxi, TaxiId, World,
+};
+use mt_share::road::{grid_city, GridCityConfig, NodeId, RoadNetwork};
+use mt_share::routing::{HotNodeOracle, PathCache};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+struct Fixture {
+    graph: Arc<RoadNetwork>,
+    cache: PathCache,
+    oracle: HotNodeOracle,
+    requests: RequestStore,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let cache = PathCache::new(graph.clone());
+        let oracle = HotNodeOracle::new(graph.clone());
+        Self { graph, cache, oracle, requests: RequestStore::new() }
+    }
+
+    fn add_party(
+        &mut self,
+        origin: u32,
+        dest: u32,
+        rho: f64,
+        release: f64,
+        passengers: u8,
+    ) -> RideRequest {
+        let direct = self.cache.cost(NodeId(origin), NodeId(dest)).unwrap();
+        let req = RideRequest {
+            id: RequestId(self.requests.len() as u32),
+            release_time: release,
+            origin: NodeId(origin),
+            destination: NodeId(dest),
+            passengers,
+            deadline: release + direct * rho,
+            direct_cost_s: direct,
+            offline: false,
+        };
+        self.requests.push(req.clone());
+        req
+    }
+
+    fn world<'a>(&'a self, taxis: &'a [Taxi]) -> World<'a> {
+        World {
+            graph: &self.graph,
+            cache: &self.cache,
+            oracle: &self.oracle,
+            taxis,
+            requests: &self.requests,
+        }
+    }
+}
+
+/// Collapses an engine answer to a bit-comparable key.
+fn key(b: Option<BestInsertion>) -> Option<(usize, usize, u64)> {
+    b.map(|v| (v.i, v.j, v.delta_s.to_bits()))
+}
+
+/// The spine stop a schedule event maps to.
+fn stop_of(ev: &mt_share::model::ScheduleEvent, requests: &RequestStore) -> Stop {
+    Stop {
+        node: ev.node.0,
+        request: ev.request.0,
+        pickup: ev.kind == EventKind::Pickup,
+        riders: requests.get(ev.request).passengers as u32,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fleet-level equivalence: for every taxi the dtree returns the
+    /// same `Option<BestInsertion>` as the DP (positions AND cost, bit
+    /// for bit), so the fleet-wide winning instance — taxi, schedule,
+    /// detour — is identical under either scheduler.
+    #[test]
+    fn dtree_matches_dp_bit_for_bit(
+        positions in proptest::collection::vec(0u32..400, 1..7),
+        existing in proptest::collection::vec((0u32..400, 0u32..400, 1u8..3, 0usize..6), 0..12),
+        probe in (0u32..400, 0u32..400, 1u8..3),
+        rho_pct in 115u32..250,
+        capacity in 2u8..5,
+    ) {
+        let mut f = Fixture::new();
+        let rho = rho_pct as f64 / 100.0;
+        let mut taxis: Vec<Taxi> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Taxi::new(TaxiId(i as u32), capacity, NodeId(p)))
+            .collect();
+
+        // Commit up to 12 requests round-robin by the generated taxi
+        // choice, each appended back-to-back (always precedence-valid).
+        for &(o, d, seats, pick) in existing.iter() {
+            if o == d || seats > capacity {
+                continue;
+            }
+            let req = f.add_party(o, d, rho + 1.0, 0.0, seats);
+            let taxi = &mut taxis[pick % positions.len()];
+            let m = taxi.schedule.len();
+            taxi.schedule = taxi.schedule.with_insertion(&req, m, m + 1);
+            taxi.assigned.push(req.id);
+            taxi.route_version += 1;
+        }
+
+        let (po, pd, seats) = probe;
+        prop_assume!(po != pd);
+        let req = f.add_party(po, pd, rho, 0.0, seats);
+
+        let dp = DpEngine;
+        let dtree = DtreeEngine::new(taxis.len());
+        let world = f.world(&taxis);
+
+        let mut winner_dp: Option<(u64, usize, usize, usize)> = None;
+        let mut winner_dt: Option<(u64, usize, usize, usize)> = None;
+        for (idx, taxi) in taxis.iter().enumerate() {
+            let a = dp.best_insertion(taxi, &req, 0.0, &world, &mut |x, y| f.cache.cost(x, y));
+            let b = dtree.best_insertion(taxi, &req, 0.0, &world, &mut |x, y| f.cache.cost(x, y));
+            prop_assert_eq!(key(a), key(b), "engines disagree on taxi {}", idx);
+            // Fleet winner under the pinned (detour, taxi) ordering.
+            let consider = |slot: &mut Option<(u64, usize, usize, usize)>, v: BestInsertion| {
+                let entry = (v.delta_s.to_bits(), idx, v.i, v.j);
+                if slot.is_none_or(|w| {
+                    let (wb, wi, _, _) = w;
+                    f64::from_bits(entry.0).total_cmp(&f64::from_bits(wb))
+                        .then(idx.cmp(&wi))
+                        .is_lt()
+                }) {
+                    *slot = Some(entry);
+                }
+            };
+            if let Some(v) = a { consider(&mut winner_dp, v); }
+            if let Some(v) = b { consider(&mut winner_dt, v); }
+        }
+        prop_assert_eq!(winner_dp, winner_dt);
+
+        // Same winner ⇒ same materialized schedule; it must be a valid
+        // instance (precedence holds, probe pair present exactly once).
+        if let Some((_, idx, i, j)) = winner_dp {
+            let s = taxis[idx].schedule.with_insertion(&req, i, j);
+            prop_assert!(s.precedence_ok());
+            let stops: Vec<Stop> = s.events().iter().map(|ev| stop_of(ev, &f.requests)).collect();
+            let pair: Vec<&Stop> = stops.iter().filter(|st| st.request == req.id.0).collect();
+            prop_assert_eq!(pair.len(), 2);
+            prop_assert!(pair[0].pickup && !pair[1].pickup);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Insert → commit → remove round-trips on the raw tree: committing
+    /// a scored winner splices exactly the probe's stop pair in at the
+    /// winning positions, removing it restores the original spine, and
+    /// the post-round-trip tree scores bit-identically to a tree rebuilt
+    /// from scratch (no stale memo or leg-cache state survives).
+    #[test]
+    fn commit_remove_round_trip(
+        taxi_pos in 0u32..400,
+        existing in proptest::collection::vec((0u32..400, 0u32..400, 1u8..3), 0..4),
+        probe in (0u32..400, 0u32..400, 1u8..3),
+        recheck in (0u32..400, 0u32..400),
+        rho_pct in 115u32..250,
+    ) {
+        let mut f = Fixture::new();
+        let rho = rho_pct as f64 / 100.0;
+        let capacity = 4u8;
+        let mut taxi = Taxi::new(TaxiId(0), capacity, NodeId(taxi_pos));
+        for &(o, d, seats) in existing.iter() {
+            if o == d {
+                continue;
+            }
+            let req = f.add_party(o, d, rho + 1.0, 0.0, seats);
+            let m = taxi.schedule.len();
+            taxi.schedule = taxi.schedule.with_insertion(&req, m, m + 1);
+            taxi.assigned.push(req.id);
+        }
+        let (po, pd, seats) = probe;
+        prop_assume!(po != pd);
+        let req = f.add_party(po, pd, rho, 0.0, seats);
+
+        let spine: Vec<Stop> =
+            taxi.schedule.events().iter().map(|ev| stop_of(ev, &f.requests)).collect();
+        let mut tree = DTree::new();
+        tree.rebuild(1, spine.iter().copied());
+
+        let mk_probe = |taxi: &Taxi, req: &RideRequest, requests: &RequestStore| {
+            mt_share::dtree::Probe {
+                origin: req.origin.0,
+                destination: req.destination.0,
+                passengers: req.passengers as u32,
+                deadline: req.deadline,
+                pickup_deadline: req.pickup_deadline(),
+                now: 0.0,
+                pos: taxi.position_at(0.0).0,
+                initial_load: taxi.onboard_load(requests),
+                capacity: capacity as u32,
+            }
+        };
+        let p = mk_probe(&taxi, &req, &f.requests);
+        let won = tree.score(
+            &p,
+            &mut |r| f.requests.get(RequestId(r)).deadline,
+            &mut |a, b| f.cache.cost(NodeId(a), NodeId(b)),
+        );
+
+        if let Some(ins) = won {
+            // Commit: the spine must now equal the materialized schedule.
+            let pickup = Stop { node: po, request: req.id.0, pickup: true, riders: seats as u32 };
+            let dropoff = Stop { node: pd, request: req.id.0, pickup: false, riders: seats as u32 };
+            tree.commit(2, ins, pickup, dropoff);
+            let committed = taxi.schedule.with_insertion(&req, ins.i, ins.j);
+            let expect: Vec<Stop> =
+                committed.events().iter().map(|ev| stop_of(ev, &f.requests)).collect();
+            prop_assert_eq!(tree.stops(), &expect[..]);
+
+            // Remove: round-trips back to the original spine.
+            tree.remove(3, req.id.0);
+            prop_assert_eq!(tree.stops(), &spine[..]);
+
+            // And the survivor scores exactly like a fresh rebuild.
+            let (ro, rd) = recheck;
+            prop_assume!(ro != rd);
+            let req2 = f.add_party(ro, rd, rho, 0.0, 1);
+            let p2 = mk_probe(&taxi, &req2, &f.requests);
+            let incremental = tree.score(
+                &p2,
+                &mut |r| f.requests.get(RequestId(r)).deadline,
+                &mut |a, b| f.cache.cost(NodeId(a), NodeId(b)),
+            );
+            let mut fresh = DTree::new();
+            fresh.rebuild(3, spine.iter().copied());
+            let scratch = fresh.score(
+                &p2,
+                &mut |r| f.requests.get(RequestId(r)).deadline,
+                &mut |a, b| f.cache.cost(NodeId(a), NodeId(b)),
+            );
+            prop_assert_eq!(
+                incremental.map(|v| (v.i, v.j, v.delta_s.to_bits())),
+                scratch.map(|v| (v.i, v.j, v.delta_s.to_bits()))
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A mini dispatch loop over the engine hooks: commits (winning DP
+    /// positions), cancels, completed-stop pops, and retimes — the exact
+    /// splice stream `sync_tree` sees in the simulator. After every
+    /// mutation both engines must agree bit for bit on a fresh probe,
+    /// and the tree must absorb the whole history through splices
+    /// (exactly one rebuild: the initial one).
+    #[test]
+    fn engine_agrees_through_splice_history(
+        taxi_pos in 0u32..400,
+        ops in proptest::collection::vec((0u8..4, 0u32..400, 0u32..400, 1u8..3), 1..12),
+        rho_pct in 130u32..250,
+    ) {
+        let mut f = Fixture::new();
+        let rho = rho_pct as f64 / 100.0;
+        let mut taxi = Taxi::new(TaxiId(0), 4, NodeId(taxi_pos));
+        let dp = DpEngine;
+        let dtree = DtreeEngine::new(1);
+
+        // Seed one committed request so every op kind has work to do.
+        let seed = f.add_party(taxi_pos.wrapping_add(1) % 400, taxi_pos.wrapping_add(57) % 400, rho + 2.0, 0.0, 1);
+        prop_assume!(seed.origin != seed.destination);
+        taxi.schedule = taxi.schedule.with_insertion(&seed, 0, 1);
+        taxi.assigned.push(seed.id);
+        taxi.route_version = 1;
+        {
+            let taxis = std::slice::from_ref(&taxi);
+            let world = f.world(taxis);
+            dtree.after_assign(&taxi, &world);
+        }
+
+        for &(kind, o, d, seats) in ops.iter() {
+            match kind {
+                // Commit a new request at its DP-optimal positions.
+                0 => {
+                    if o == d {
+                        continue;
+                    }
+                    let req = f.add_party(o, d, rho + 1.0, 0.0, seats);
+                    let won = {
+                        let taxis = std::slice::from_ref(&taxi);
+                        let world = f.world(taxis);
+                        dp.best_insertion(&taxi, &req, 0.0, &world, &mut |x, y| f.cache.cost(x, y))
+                    };
+                    if let Some(v) = won {
+                        taxi.schedule = taxi.schedule.with_insertion(&req, v.i, v.j);
+                        taxi.assigned.push(req.id);
+                        taxi.route_version += 1;
+                    }
+                }
+                // Cancel the oldest still-scheduled request.
+                1 => {
+                    let Some(victim) = taxi.schedule.events().first().map(|ev| ev.request) else {
+                        continue;
+                    };
+                    taxi.schedule = taxi.schedule.without_request(victim);
+                    taxi.assigned.retain(|&r| r != victim);
+                    taxi.route_version += 1;
+                }
+                // Complete the front stop (no version bump — advance).
+                2 => {
+                    if taxi.schedule.len() == 0 {
+                        continue;
+                    }
+                    taxi.schedule.pop_front();
+                }
+                // Retime: version bump, identical stop sequence.
+                _ => {
+                    taxi.route_version += 1;
+                }
+            }
+            // Both engines must agree on a fresh probe of this state.
+            let probe = (o != d).then(|| f.add_party(d, o, rho, 0.0, 1));
+            let taxis = std::slice::from_ref(&taxi);
+            let world = f.world(taxis);
+            dtree.after_assign(&taxi, &world);
+            if let Some(probe) = probe {
+                let a = dp.best_insertion(&taxi, &probe, 0.0, &world, &mut |x, y| f.cache.cost(x, y));
+                let b = dtree.best_insertion(&taxi, &probe, 0.0, &world, &mut |x, y| f.cache.cost(x, y));
+                prop_assert_eq!(key(a), key(b), "post-op disagreement (op kind {})", kind);
+            }
+        }
+
+        let stats = dtree.stats();
+        prop_assert_eq!(stats.rebuilds, 1, "splice history forced a rebuild: {:?}", stats);
+    }
+}

@@ -27,13 +27,24 @@ impl Fixture {
     }
 
     fn add_request(&mut self, origin: u32, dest: u32, rho: f64, release: f64) -> RideRequest {
+        self.add_party(origin, dest, rho, release, 1)
+    }
+
+    fn add_party(
+        &mut self,
+        origin: u32,
+        dest: u32,
+        rho: f64,
+        release: f64,
+        passengers: u8,
+    ) -> RideRequest {
         let direct = self.cache.cost(NodeId(origin), NodeId(dest)).unwrap();
         let req = RideRequest {
             id: RequestId(self.requests.len() as u32),
             release_time: release,
             origin: NodeId(origin),
             destination: NodeId(dest),
-            passengers: 1,
+            passengers,
             deadline: release + direct * rho,
             direct_cost_s: direct,
             offline: false,
@@ -131,6 +142,60 @@ proptest! {
                 prop_assert!((d.delta_s - b).abs() < 1.0,
                     "dp {} vs brute force {}", d.delta_s, b);
                 // The DP's positions must themselves be feasible.
+                let s = taxi.schedule.with_insertion(&req, d.i, d.j);
+                prop_assert!(s.precedence_ok());
+            }
+            (None, None) => {}
+            (d, b) => prop_assert!(false, "feasibility disagreement: dp={d:?} brute={b:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Capacity-3/4 taxis with multi-seat parties: the DP's range-maximum
+    /// load check must agree with brute-force enumeration when committed
+    /// requests occupy 1–3 seats each and the probe itself is a party.
+    #[test]
+    fn dp_matches_brute_force_multi_seat(
+        taxi_pos in 0u32..400,
+        existing in proptest::collection::vec((0u32..400, 0u32..400, 1u8..4), 0..3),
+        probe in (0u32..400, 0u32..400, 1u8..4),
+        rho_pct in 110u32..250,
+        capacity in 3u8..5,
+    ) {
+        let mut f = Fixture::new();
+        let rho = rho_pct as f64 / 100.0;
+        let mut taxi = Taxi::new(TaxiId(0), capacity, NodeId(taxi_pos));
+
+        // Commit parties front-to-back, skipping any that would overload a
+        // leg on their own (the committed plan must be feasible to start).
+        for &(o, d, seats) in existing.iter() {
+            if o == d || seats > capacity { continue; }
+            let req = f.add_party(o, d, rho + 1.0, 0.0, seats);
+            let m = taxi.schedule.len();
+            taxi.schedule = taxi.schedule.with_insertion(&req, m, m + 1);
+            taxi.assigned.push(req.id);
+        }
+
+        let (po, pd, seats) = probe;
+        prop_assume!(po != pd);
+        let req = f.add_party(po, pd, rho, 0.0, seats);
+
+        let world = World {
+            graph: &f.graph,
+            cache: &f.cache,
+            oracle: &f.oracle,
+            taxis: std::slice::from_ref(&taxi),
+            requests: &f.requests,
+        };
+        let dp = best_insertion(&taxi, &req, 0.0, &world, |a, b| f.cache.cost(a, b));
+        let bf = brute_force(&taxi, &req, 0.0, &world, |a, b| f.cache.cost(a, b));
+        match (dp, bf) {
+            (Some(d), Some(b)) => {
+                prop_assert!((d.delta_s - b).abs() < 1.0,
+                    "dp {} vs brute force {}", d.delta_s, b);
                 let s = taxi.schedule.with_insertion(&req, d.i, d.j);
                 prop_assert!(s.precedence_ok());
             }
