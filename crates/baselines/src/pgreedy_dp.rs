@@ -79,10 +79,9 @@ impl DispatchScheme for PGreedyDp {
         let mut best: Option<(TaxiId, BestInsertion)> = None;
         for &id in &candidates {
             let taxi = world.taxi(id);
-            if let Some(ins) =
-                self.engine.best_insertion(taxi, req, now, world, &mut |a, b| {
-                    world.oracle.cost(a, b)
-                })
+            if let Some(ins) = self
+                .engine
+                .best_insertion(taxi, req, now, world, &mut |a, b| world.oracle.cost(a, b))
             {
                 if best.is_none_or(|(_, b)| ins.delta_s < b.delta_s) {
                     best = Some((id, ins));

@@ -47,8 +47,8 @@ fn main() {
 
     let f = build_fixture();
     let occupancy = mean_occupancy(&f);
-    let mean_stops = f.taxis.iter().map(|t| t.schedule.len()).sum::<usize>() as f64
-        / f.taxis.len() as f64;
+    let mean_stops =
+        f.taxis.iter().map(|t| t.schedule.len()).sum::<usize>() as f64 / f.taxis.len() as f64;
     assert!(occupancy >= 2.0, "fixture occupancy {occupancy} below the ≥2 bench regime");
 
     let dp = DpEngine;
@@ -64,12 +64,10 @@ fn main() {
     let mut feasible = 0usize;
     for probe in &f.probes {
         for taxi in &f.taxis {
-            let a = dp.best_insertion(taxi, probe, 0.0, &world, &mut |x, y| {
-                world.oracle.cost(x, y)
-            });
-            let b = dtree.best_insertion(taxi, probe, 0.0, &world, &mut |x, y| {
-                world.oracle.cost(x, y)
-            });
+            let a =
+                dp.best_insertion(taxi, probe, 0.0, &world, &mut |x, y| world.oracle.cost(x, y));
+            let b =
+                dtree.best_insertion(taxi, probe, 0.0, &world, &mut |x, y| world.oracle.cost(x, y));
             assert_eq!(
                 a.map(|v| (v.i, v.j, v.delta_s.to_bits())),
                 b.map(|v| (v.i, v.j, v.delta_s.to_bits())),
@@ -142,11 +140,11 @@ fn build_fixture() -> Fixture {
     let n = graph.node_count() as u32;
 
     let add_request = |requests: &mut RequestStore,
-                           oracle: &mut HotNodeOracle,
-                           cache: &PathCache,
-                           o: NodeId,
-                           d: NodeId,
-                           deadline: f64|
+                       oracle: &mut HotNodeOracle,
+                       cache: &PathCache,
+                       o: NodeId,
+                       d: NodeId,
+                       deadline: f64|
      -> RideRequest {
         let direct = cache.cost(o, d).expect("grid is connected");
         let req = RideRequest {
@@ -242,9 +240,8 @@ fn best_latency(runs: usize, f: &Fixture, engine: &dyn ScheduleEngine) -> (f64, 
         for probe in &f.probes {
             for taxi in &f.taxis {
                 let t0 = Instant::now();
-                let r = engine.best_insertion(taxi, probe, 0.0, &world, &mut |x, y| {
-                    world.oracle.cost(x, y)
-                });
+                let r = engine
+                    .best_insertion(taxi, probe, 0.0, &world, &mut |x, y| world.oracle.cost(x, y));
                 let dt = t0.elapsed().as_secs_f64() * 1e6;
                 std::hint::black_box(r);
                 mins[idx] = mins[idx].min(dt);

@@ -94,9 +94,7 @@ impl SegmentRouter {
         from: NodeId,
         to: NodeId,
     ) -> Option<Path> {
-        if let Some((_, _, leg)) =
-            self.leg_memo.iter().find(|(a, b, _)| *a == from && *b == to)
-        {
+        if let Some((_, _, leg)) = self.leg_memo.iter().find(|(a, b, _)| *a == from && *b == to) {
             return Some(leg.clone());
         }
         let leg = self.basic_leg(graph, ctx, cfg, cache, from, to)?;

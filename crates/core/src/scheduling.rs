@@ -336,8 +336,16 @@ mod tests {
         f.taxis.push(Taxi::new(TaxiId(0), 4, NodeId(0)));
         let req = f.request(21, 399, 0.0, 1.5);
         let mut router = SegmentRouter::new(&f.graph);
-        let (a, examined, feasible) =
-            schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &DpEngine, &mut router);
+        let (a, examined, feasible) = schedule_best(
+            &req,
+            &[TaxiId(0)],
+            0.0,
+            &f.world(),
+            &f.ctx,
+            &f.cfg,
+            &DpEngine,
+            &mut router,
+        );
         let a = a.expect("assignment");
         assert_eq!(examined, 1);
         assert_eq!(feasible, 1);
@@ -394,8 +402,16 @@ mod tests {
         // A new request that would force a big detour north first.
         let req = f.request(380, 399, 0.0, 1.5);
         let mut router = SegmentRouter::new(&f.graph);
-        let (a, _, _) =
-            schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &DpEngine, &mut router);
+        let (a, _, _) = schedule_best(
+            &req,
+            &[TaxiId(0)],
+            0.0,
+            &f.world(),
+            &f.ctx,
+            &f.cfg,
+            &DpEngine,
+            &mut router,
+        );
         // Any feasible instance must drop the onboard passenger first; if
         // an assignment exists, verify its ordering.
         if let Some(a) = a {
@@ -411,8 +427,16 @@ mod tests {
         // must first drive across the city.
         let req = f.request(0, 19, 0.0, 1.01);
         let mut router = SegmentRouter::new(&f.graph);
-        let (a, examined, feasible) =
-            schedule_best(&req, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &DpEngine, &mut router);
+        let (a, examined, feasible) = schedule_best(
+            &req,
+            &[TaxiId(0)],
+            0.0,
+            &f.world(),
+            &f.ctx,
+            &f.cfg,
+            &DpEngine,
+            &mut router,
+        );
         assert!(a.is_none());
         assert_eq!(examined, 1);
         assert_eq!(feasible, 0, "no instance can meet the deadline");
@@ -425,8 +449,16 @@ mod tests {
         // First request: SW corner to NE corner.
         let r1 = f.request(0, 399, 0.0, 1.5);
         let mut router = SegmentRouter::new(&f.graph);
-        let (a1, _, _) =
-            schedule_best(&r1, &[TaxiId(0)], 0.0, &f.world(), &f.ctx, &f.cfg, &DpEngine, &mut router);
+        let (a1, _, _) = schedule_best(
+            &r1,
+            &[TaxiId(0)],
+            0.0,
+            &f.world(),
+            &f.ctx,
+            &f.cfg,
+            &DpEngine,
+            &mut router,
+        );
         let a1 = a1.unwrap();
         // Commit the plan.
         let route = TimedRoute::build(NodeId(0), 0.0, &a1.legs, &a1.schedule);
@@ -434,8 +466,16 @@ mod tests {
         f.taxis[0].set_plan(a1.schedule, route, 0.0);
         // Second aligned request along the way.
         let r2 = f.request(42, 378, 10.0, 1.5);
-        let (a2, _, _) =
-            schedule_best(&r2, &[TaxiId(0)], 10.0, &f.world(), &f.ctx, &f.cfg, &DpEngine, &mut router);
+        let (a2, _, _) = schedule_best(
+            &r2,
+            &[TaxiId(0)],
+            10.0,
+            &f.world(),
+            &f.ctx,
+            &f.cfg,
+            &DpEngine,
+            &mut router,
+        );
         let a2 = a2.expect("aligned request should share");
         assert_eq!(a2.schedule.len(), 4);
         // Shared detour should be far below serving r2 from scratch.

@@ -155,9 +155,10 @@ impl MtShare {
             let _span = self.obs.stage(self.engine.stage());
             for &taxi_id in &candidates {
                 let taxi = world.taxi(taxi_id);
-                match self.engine.best_insertion(taxi, req, now, world, &mut |a, b| {
-                    world.oracle.cost(a, b)
-                }) {
+                match self
+                    .engine
+                    .best_insertion(taxi, req, now, world, &mut |a, b| world.oracle.cost(a, b))
+                {
                     Some(ins) => {
                         costs.push(ins.delta_s);
                         feasible += 1;

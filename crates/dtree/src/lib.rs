@@ -153,12 +153,9 @@ impl Scratch {
     /// `loads`, `pos_leg`) are keyed by `DTree::prefix_key` and survive
     /// across evaluations; `slack` is fully rewritten each evaluation.
     fn reset_memo(&mut self, m: usize) {
-        for v in [
-            &mut self.to_origin,
-            &mut self.from_origin,
-            &mut self.to_dest,
-            &mut self.from_dest,
-        ] {
+        for v in
+            [&mut self.to_origin, &mut self.from_origin, &mut self.to_dest, &mut self.from_dest]
+        {
             v.clear();
             v.resize(m + 1, UNKNOWN);
         }
@@ -433,8 +430,13 @@ impl DTree {
 
         // Committed leg cost cost(nodes[a], nodes[a+1]), known finite
         // after the arrivals pass.
-        let committed_leg =
-            |s: &Scratch, leg_cost: &[f64], a: usize| if a == 0 { s.pos_leg } else { leg_cost[a - 1] };
+        let committed_leg = |s: &Scratch, leg_cost: &[f64], a: usize| {
+            if a == 0 {
+                s.pos_leg
+            } else {
+                leg_cost[a - 1]
+            }
+        };
 
         if s.loads[0] + p > capacity && m == 0 {
             return None;
@@ -528,10 +530,7 @@ impl DTree {
                         - committed_leg(s, leg_cost, i - 1);
                     (d, arrival_pickup + leg_od)
                 } else {
-                    (
-                        memo!(to_origin, m, node(m), probe.origin)? + leg_od,
-                        arrival_pickup + leg_od,
-                    )
+                    (memo!(to_origin, m, node(m), probe.origin)? + leg_od, arrival_pickup + leg_od)
                 };
                 let ok = arrive_d <= probe.deadline + 1e-6 && pair_delta <= s.slack[i] + 1e-6;
                 if ok && best.is_none_or(|b| pair_delta < b.delta_s) {
@@ -629,10 +628,7 @@ mod tests {
         assert_eq!((ins.i, ins.j), (1, 2));
         t.commit(2, ins, stop(12, 1, true), stop(18, 1, false));
         assert_eq!(t.len(), 4);
-        assert_eq!(
-            t.stops().iter().map(|s| s.node).collect::<Vec<_>>(),
-            vec![10, 12, 18, 20]
-        );
+        assert_eq!(t.stops().iter().map(|s| s.node).collect::<Vec<_>>(), vec![10, 12, 18, 20]);
         assert!(t.is_synced(2, 4));
         // The untouched legs would be reused; spliced ones are unknown.
         let filled_before = t.stats.legs_filled;
@@ -649,12 +645,12 @@ mod tests {
     #[test]
     fn remove_splices_out_both_stops() {
         let mut t = DTree::new();
-        t.rebuild(1, [stop(10, 0, true), stop(12, 1, true), stop(18, 1, false), stop(20, 0, false)]);
-        assert_eq!(t.remove(2, 1), 2);
-        assert_eq!(
-            t.stops().iter().map(|s| s.node).collect::<Vec<_>>(),
-            vec![10, 20]
+        t.rebuild(
+            1,
+            [stop(10, 0, true), stop(12, 1, true), stop(18, 1, false), stop(20, 0, false)],
         );
+        assert_eq!(t.remove(2, 1), 2);
+        assert_eq!(t.stops().iter().map(|s| s.node).collect::<Vec<_>>(), vec![10, 20]);
         assert_eq!(t.remove(3, 7), 0, "unknown request removes nothing");
         assert!(t.is_synced(3, 2));
     }

@@ -150,7 +150,8 @@ pub trait ScheduleEngine: Send + Sync {
         for i in 0..=m {
             for j in (i + 1)..=(m + 1) {
                 let schedule = taxi.schedule.with_insertion(req, i, j);
-                let Some(eval) = evaluate_schedule(&schedule, &ectx, |a, b| world.oracle.cost(a, b))
+                let Some(eval) =
+                    evaluate_schedule(&schedule, &ectx, |a, b| world.oracle.cost(a, b))
                 else {
                     continue;
                 };
@@ -386,14 +387,10 @@ impl ScheduleEngine for DtreeEngine {
         // falls back to the caller's cost function, so custom cost
         // closures (tests, alternate backends) keep exact dp parity.
         let ins = world.oracle.batch(|fast| {
-            tree.score(
-                &probe,
-                &mut |r| world.requests.get(RequestId(r)).deadline,
-                &mut |a, b| {
-                    let (a, b) = (NodeId(a), NodeId(b));
-                    fast.pinned_cost(a, b).unwrap_or_else(|| cost(a, b))
-                },
-            )
+            tree.score(&probe, &mut |r| world.requests.get(RequestId(r)).deadline, &mut |a, b| {
+                let (a, b) = (NodeId(a), NodeId(b));
+                fast.pinned_cost(a, b).unwrap_or_else(|| cost(a, b))
+            })
         })?;
         Some(BestInsertion { i: ins.i, j: ins.j, delta_s: ins.delta_s })
     }
@@ -518,12 +515,10 @@ mod tests {
             }
             let taxis = vec![taxi.clone()];
             let world = f.world(&taxis);
-            let a = dp.best_insertion(&taxis[0], &r1, 0.0, &world, &mut |x, y| {
-                world.oracle.cost(x, y)
-            });
-            let b = dtree.best_insertion(&taxis[0], &r1, 0.0, &world, &mut |x, y| {
-                world.oracle.cost(x, y)
-            });
+            let a =
+                dp.best_insertion(&taxis[0], &r1, 0.0, &world, &mut |x, y| world.oracle.cost(x, y));
+            let b = dtree
+                .best_insertion(&taxis[0], &r1, 0.0, &world, &mut |x, y| world.oracle.cost(x, y));
             match (a, b) {
                 (None, None) => {}
                 (Some(a), Some(b)) => {
@@ -601,7 +596,10 @@ mod tests {
             let b = engine.best_insertion(&taxis[0], &probe_req, 10.0, &world, &mut |x, y| {
                 world.oracle.cost(x, y)
             });
-            assert_eq!(a.map(|v| (v.i, v.j, v.delta_s.to_bits())), b.map(|v| (v.i, v.j, v.delta_s.to_bits())));
+            assert_eq!(
+                a.map(|v| (v.i, v.j, v.delta_s.to_bits())),
+                b.map(|v| (v.i, v.j, v.delta_s.to_bits()))
+            );
         }
         assert_eq!(engine.stats().advances, 1);
 

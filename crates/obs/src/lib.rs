@@ -61,7 +61,10 @@ const MAX_WORKERS: usize = 64;
 /// v8: `profiling.stages` gained the `dtree_update` span and `profiling`
 /// gained a `dtree` block (dynamic-tree scheduler sync/memoization
 /// counters; all zero under `--scheduler dp`).
-pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v8";
+/// v9: `profiling.stages` gained the `customize` span and `profiling`
+/// gained a `cch` block (customizable-hierarchy query/customization
+/// counters; all zero unless `--router cch`).
+pub const SUMMARY_SCHEMA: &str = "mtshare-obs-summary/v9";
 
 /// Static facts about the run, reported verbatim in the summary.
 #[derive(Debug, Clone, Default)]
@@ -109,6 +112,19 @@ pub struct ExternalStats {
     pub ch_bucket_sources: u64,
     /// Shortcut edges in the loaded/built hierarchy.
     pub ch_shortcuts: u64,
+    /// Customizable-hierarchy point-to-point queries (0 unless
+    /// `--router cch`).
+    pub cch_p2p_queries: u64,
+    /// Customizable-hierarchy bucket many-to-one sweeps.
+    pub cch_bucket_sweeps: u64,
+    /// Total sources across all CCH bucket sweeps.
+    pub cch_bucket_sources: u64,
+    /// Metric customizations performed (1 for the base metric, plus one
+    /// per traffic-shift boundary crossed).
+    pub cch_customizations: u64,
+    /// Skeleton arcs the nested-dissection elimination added beyond the
+    /// original edges (fill-in).
+    pub cch_fill_arcs: u64,
     /// Dynamic-tree scheduler: insertion scorings served by trees.
     pub dtree_scores: u64,
     /// Dynamic-tree scheduler: full spine rebuilds.
@@ -718,6 +734,15 @@ impl Obs {
             s,
             r#""ch":{{"p2p_queries":{},"bucket_sweeps":{},"bucket_sources":{},"shortcuts":{}}},"#,
             ext.ch_p2p_queries, ext.ch_bucket_sweeps, ext.ch_bucket_sources, ext.ch_shortcuts
+        );
+        let _ = write!(
+            s,
+            r#""cch":{{"p2p_queries":{},"bucket_sweeps":{},"bucket_sources":{},"customizations":{},"fill_arcs":{}}},"#,
+            ext.cch_p2p_queries,
+            ext.cch_bucket_sweeps,
+            ext.cch_bucket_sources,
+            ext.cch_customizations,
+            ext.cch_fill_arcs
         );
         let workers = run.parallelism.clamp(1, MAX_WORKERS);
         let batched = core.batched_requests.load(Ordering::Relaxed);

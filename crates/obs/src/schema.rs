@@ -317,6 +317,10 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
     for f in ["p2p_queries", "bucket_sweeps", "bucket_sources", "shortcuts"] {
         require_num(ch, "ch", f)?;
     }
+    let cch = prof.get("cch").ok_or("profiling: missing \"cch\"")?;
+    for f in ["p2p_queries", "bucket_sweeps", "bucket_sources", "customizations", "fill_arcs"] {
+        require_num(cch, "cch", f)?;
+    }
     let workers = prof.get("workers").ok_or("profiling: missing \"workers\"")?;
     require_num(workers, "workers", "batches")?;
     require_num(workers, "workers", "batched_requests")?;

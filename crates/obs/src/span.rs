@@ -23,11 +23,14 @@ pub enum Stage {
     /// Incremental dynamic-tree scheduling update (`--scheduler dtree`):
     /// spine sync + memoized insertion scoring.
     DtreeUpdate,
+    /// CCH metric re-customization when a traffic-shift window opens or
+    /// closes (`--router cch` under `--disruptions`).
+    Customize,
 }
 
 impl Stage {
     /// Number of stages (size of per-stage arrays).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// All stages in stable (serialization) order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -39,6 +42,7 @@ impl Stage {
         Stage::PreprocessCh,
         Stage::BatchSolve,
         Stage::DtreeUpdate,
+        Stage::Customize,
     ];
 
     /// Index into per-stage arrays.
@@ -52,6 +56,7 @@ impl Stage {
             Stage::PreprocessCh => 5,
             Stage::BatchSolve => 6,
             Stage::DtreeUpdate => 7,
+            Stage::Customize => 8,
         }
     }
 
@@ -66,6 +71,7 @@ impl Stage {
             Stage::PreprocessCh => "preprocess_ch",
             Stage::BatchSolve => "batch_solve",
             Stage::DtreeUpdate => "dtree_update",
+            Stage::Customize => "customize",
         }
     }
 }

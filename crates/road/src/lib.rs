@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dissect;
 pub mod geo;
 pub mod graph;
 pub mod ids;
@@ -22,9 +23,10 @@ pub mod spatial;
 pub mod synthetic;
 pub mod traffic;
 
+pub use dissect::nested_dissection_order;
 pub use geo::{direction_cosine, BoundingBox, GeoPoint};
 pub use graph::{quantize_cost_s, EdgeSpec, GraphError, RoadNetwork, COST_QUANTUM_S};
 pub use ids::{EdgeId, NodeId};
 pub use spatial::SpatialGrid;
 pub use synthetic::{grid_city, ring_radial_city, GridCityConfig, RingRadialConfig};
-pub use traffic::{apply_traffic, HourlyTrafficProfile, TrafficShiftSpec};
+pub use traffic::{apply_traffic, apply_traffic_shifts, HourlyTrafficProfile, TrafficShiftSpec};

@@ -73,6 +73,11 @@ impl GridCityConfig {
     pub fn large() -> Self {
         Self { rows: 200, cols: 200, ..Self::default() }
     }
+
+    /// The city-scale tier (160 k nodes) for preprocessing benchmarks.
+    pub fn huge() -> Self {
+        Self { rows: 400, cols: 400, ..Self::default() }
+    }
 }
 
 /// Generates a perturbed Manhattan grid city.

@@ -134,6 +134,49 @@ pub fn apply_traffic(graph: &RoadNetwork, factor: f64) -> Result<RoadNetwork, Gr
     RoadNetwork::new(graph.points().to_vec(), &edges)
 }
 
+/// Derives a road network with every active [`TrafficShiftSpec`] applied
+/// *regionally*: an edge's travel time is multiplied by `spec.factor`
+/// when either endpoint lies inside the spec's region (matching the
+/// node-coverage rule the simulator's `TimedRoute::stretch` repair
+/// uses), and overlapping shifts compose multiplicatively. Note the
+/// factor here is a **time** multiplier — the inverse sense of
+/// [`apply_traffic`]'s speed factor. Lengths and topology are
+/// unchanged; costs re-quantize through [`RoadNetwork::new`], so the
+/// result obeys the same dyadic exactness contract as the base graph.
+pub fn apply_traffic_shifts(
+    graph: &RoadNetwork,
+    shifts: &[TrafficShiftSpec],
+) -> Result<RoadNetwork, GraphError> {
+    // Precompute per-spec node coverage once: covers() is a distance
+    // probe, and each edge would otherwise probe both endpoints per spec.
+    let covered: Vec<Vec<bool>> = shifts
+        .iter()
+        .map(|spec| {
+            assert!(spec.factor.is_finite() && spec.factor > 0.0, "time factor must be positive");
+            graph.nodes().map(|v| spec.covers(graph, v)).collect()
+        })
+        .collect();
+    let mut edges = Vec::with_capacity(graph.edge_count());
+    for u in graph.nodes() {
+        for (v, cost_s, length_m, _) in graph.out_edges_full(u) {
+            let mut time_factor = 1.0;
+            for (spec, cov) in shifts.iter().zip(&covered) {
+                if cov[u.index()] || cov[v.index()] {
+                    time_factor *= spec.factor;
+                }
+            }
+            let base_speed_mps = length_m as f64 / cost_s as f64;
+            edges.push(EdgeSpec {
+                from: u,
+                to: v,
+                length_m: length_m as f64,
+                speed_kmh: base_speed_mps / time_factor * 3.6,
+            });
+        }
+    }
+    RoadNetwork::new(graph.points().to_vec(), &edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +232,65 @@ mod tests {
             for (v, c) in g.out_edges(u) {
                 let c2 = same.direct_edge_cost(u, v).unwrap();
                 assert!((c2 - c).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn regional_shift_scales_only_covered_edges() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let center = NodeId(0);
+        let spec = TrafficShiftSpec {
+            center,
+            radius_m: 300.0,
+            factor: 2.0,
+            start_s: 0.0,
+            duration_s: 600.0,
+        };
+        let shifted = apply_traffic_shifts(&g, &[spec]).unwrap();
+        assert_eq!(shifted.node_count(), g.node_count());
+        assert_eq!(shifted.edge_count(), g.edge_count());
+        let (mut touched, mut untouched) = (0, 0);
+        for u in g.nodes() {
+            for (v, base) in g.out_edges(u) {
+                let got = shifted.direct_edge_cost(u, v).unwrap();
+                if spec.covers(&g, u) || spec.covers(&g, v) {
+                    assert!((got / base - 2.0).abs() < 1e-2, "{u}->{v}: {got} vs {base}");
+                    touched += 1;
+                } else {
+                    assert!((got - base).abs() < 1e-3, "{u}->{v} changed outside region");
+                    untouched += 1;
+                }
+            }
+        }
+        assert!(touched > 0, "region must cover some edges");
+        assert!(untouched > touched, "region must not cover the whole city");
+    }
+
+    #[test]
+    fn overlapping_shifts_compose_multiplicatively() {
+        let g = grid_city(&GridCityConfig::tiny()).unwrap();
+        let spec = TrafficShiftSpec {
+            center: NodeId(0),
+            radius_m: 300.0,
+            factor: 2.0,
+            start_s: 0.0,
+            duration_s: 600.0,
+        };
+        let twice = apply_traffic_shifts(&g, &[spec, spec]).unwrap();
+        for u in g.nodes().take(60) {
+            for (v, base) in g.out_edges(u) {
+                let got = twice.direct_edge_cost(u, v).unwrap();
+                let want = if spec.covers(&g, u) || spec.covers(&g, v) { 4.0 } else { 1.0 };
+                assert!((got / base - want).abs() < 1e-2, "{u}->{v}");
+            }
+        }
+        // No active shifts: costs are bit-identical to a plain rebuild —
+        // re-quantization through RoadNetwork::new is idempotent.
+        let same = apply_traffic_shifts(&g, &[]).unwrap();
+        for u in g.nodes() {
+            for (v, base) in g.out_edges(u) {
+                assert_eq!(same.direct_edge_cost(u, v), Some(base), "{u}->{v}");
             }
         }
     }

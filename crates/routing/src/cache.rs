@@ -19,13 +19,15 @@
 //! # Pluggable exact backend
 //!
 //! Cost misses are answered by a [`RouterBackend`]: plain bidirectional
-//! Dijkstra (the default) or a preprocessed [`ContractionHierarchy`]. Both
-//! are exact, and because edge costs live on the dyadic grid
-//! (`mtshare_road::COST_QUANTUM_S`) they return *bit-identical* values, so
-//! switching backends can never change simulator behaviour — only speed.
-//! Under the CH backend, [`PathCache::prime_many_to_one`] additionally
-//! batches "K taxi positions → one pickup" probes through the bucket
-//! kernel ([`ChBuckets`]) — one downward sweep instead of K searches.
+//! Dijkstra (the default), a preprocessed [`ContractionHierarchy`], or a
+//! [`CustomizableCh`]. All are exact, and because edge costs live on the
+//! dyadic grid (`mtshare_road::COST_QUANTUM_S`) they return
+//! *bit-identical* values, so switching backends can never change
+//! simulator behaviour — only speed. Under the CH/CCH backends,
+//! [`PathCache::prime_many_to_one`] additionally batches "K taxi
+//! positions → one pickup" probes through a bucket kernel
+//! ([`ChBuckets`] / [`CchBuckets`]) — one downward sweep instead of K
+//! searches.
 //!
 //! Paths always come from bidirectional Dijkstra, regardless of backend:
 //! when several shortest paths tie, CH unpacking and bidirectional search
@@ -33,12 +35,23 @@
 //! different committed route would change taxi trajectories and therefore
 //! trace bytes. Costs are the hot query mix; paths are only materialized
 //! when a schedule commits.
+//!
+//! # Re-customization
+//!
+//! A regional traffic shift changes the metric mid-run. The bidir and
+//! CCH backends support [`PathCache::recustomize`]: swap in the shifted
+//! graph (re-customizing the CCH metric in milliseconds), clear the memo,
+//! and every subsequent answer — cost, prime, or path — is exact on the
+//! *shifted* graph. The plain-CH backend cannot (its order and shortcut
+//! weights bake in the metric); callers gate on
+//! [`PathCache::is_recustomizable`].
 
 use crate::bidirectional::BidirDijkstra;
+use crate::cch::{CchBuckets, CchQuery, CchStats, CustomizableCh};
 use crate::ch::{ChBuckets, ChQuery, ChStats, ContractionHierarchy};
 use crate::path::Path;
 use mtshare_road::{NodeId, RoadNetwork};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rustc_hash::FxHashMap;
 use std::collections::hash_map::Entry;
 use std::sync::Arc;
@@ -52,6 +65,10 @@ pub enum RouterBackend {
     /// Preprocessed contraction hierarchy (must be built from — or loaded
     /// against — the same [`RoadNetwork`] the cache serves).
     Ch(Arc<ContractionHierarchy>),
+    /// Customizable contraction hierarchy (skeleton built from the same
+    /// [`RoadNetwork`] the cache serves; metric re-customizable at run
+    /// time via [`PathCache::recustomize`]).
+    Cch(Arc<CustomizableCh>),
 }
 
 impl RouterBackend {
@@ -60,8 +77,16 @@ impl RouterBackend {
         match self {
             RouterBackend::Bidir => "bidir",
             RouterBackend::Ch(_) => "ch",
+            RouterBackend::Cch(_) => "cch",
         }
     }
+}
+
+/// The shared bucket many-to-one kernel of the active backend.
+#[derive(Debug)]
+enum BucketKernel {
+    Ch(ChBuckets),
+    Cch(CchBuckets),
 }
 
 /// Number of lock stripes. Power of two so the shard pick is a mask; 16
@@ -98,20 +123,28 @@ struct CacheShard {
     engine: BidirDijkstra,
     /// CH query scratch when the backend is [`RouterBackend::Ch`].
     ch: Option<ChQuery>,
+    /// CCH query scratch when the backend is [`RouterBackend::Cch`].
+    cch: Option<CchQuery>,
     stats: CacheStats,
 }
 
-/// Thread-safe memoizing shortest-path oracle over a fixed road network.
+/// Thread-safe memoizing shortest-path oracle over a road network.
 ///
-/// Costs are cached forever (the paper assumes static traffic, Sec. III-A).
-/// Paths are *not* cached — they are only needed when a schedule is actually
-/// committed, which is orders of magnitude rarer than cost probes.
+/// Costs are cached until the metric changes: the paper assumes static
+/// traffic (Sec. III-A), and under `--disruptions` a regional traffic
+/// shift triggers [`PathCache::recustomize`], which clears the memo.
+/// Paths are *not* cached — they are only needed when a schedule is
+/// actually committed, which is orders of magnitude rarer than cost
+/// probes.
 #[derive(Debug, Clone)]
 pub struct PathCache {
-    graph: Arc<RoadNetwork>,
+    /// The graph answers are exact on *right now* — swapped wholesale by
+    /// [`PathCache::recustomize`]; readers snapshot the `Arc`.
+    live: Arc<RwLock<Arc<RoadNetwork>>>,
     shards: Arc<[Mutex<CacheShard>; SHARDS]>,
     hierarchy: Option<Arc<ContractionHierarchy>>,
-    buckets: Option<Arc<Mutex<ChBuckets>>>,
+    cch: Option<Arc<CustomizableCh>>,
+    buckets: Option<Arc<Mutex<BucketKernel>>>,
 }
 
 impl PathCache {
@@ -123,15 +156,28 @@ impl PathCache {
 
     /// Creates an empty cache over `graph` answering misses with `backend`.
     pub fn with_backend(graph: Arc<RoadNetwork>, backend: RouterBackend) -> Self {
-        let hierarchy = match &backend {
-            RouterBackend::Bidir => None,
+        let (hierarchy, cch) = match &backend {
+            RouterBackend::Bidir => (None, None),
             RouterBackend::Ch(ch) => {
                 assert_eq!(
                     ch.graph_digest(),
                     graph.digest(),
                     "contraction hierarchy was built for a different graph"
                 );
-                Some(ch.clone())
+                (Some(ch.clone()), None)
+            }
+            RouterBackend::Cch(cch) => {
+                assert_eq!(
+                    cch.graph_digest(),
+                    graph.digest(),
+                    "customizable hierarchy was built for a different graph"
+                );
+                assert_eq!(
+                    cch.metric_graph_digest(),
+                    graph.digest(),
+                    "customizable hierarchy carries a metric for a different graph"
+                );
+                (None, Some(cch.clone()))
             }
         };
         let shards = std::array::from_fn(|_| {
@@ -139,17 +185,32 @@ impl PathCache {
                 costs: FxHashMap::default(),
                 engine: BidirDijkstra::new(&graph),
                 ch: hierarchy.as_ref().map(|h| ChQuery::new(h.clone())),
+                cch: cch.as_ref().map(|h| CchQuery::new(h.clone())),
                 stats: CacheStats::default(),
             })
         });
-        let buckets = hierarchy.as_ref().map(|h| Arc::new(Mutex::new(ChBuckets::new(h.clone()))));
-        Self { graph, shards: Arc::new(shards), hierarchy, buckets }
+        let buckets = match (&hierarchy, &cch) {
+            (Some(h), _) => Some(Arc::new(Mutex::new(BucketKernel::Ch(ChBuckets::new(h.clone()))))),
+            (_, Some(h)) => {
+                Some(Arc::new(Mutex::new(BucketKernel::Cch(CchBuckets::new(h.clone())))))
+            }
+            _ => None,
+        };
+        Self {
+            live: Arc::new(RwLock::new(graph)),
+            shards: Arc::new(shards),
+            hierarchy,
+            cch,
+            buckets,
+        }
     }
 
-    /// Name of the active backend (`"bidir"` or `"ch"`).
+    /// Name of the active backend (`"bidir"`, `"ch"`, or `"cch"`).
     pub fn backend_name(&self) -> &'static str {
         if self.hierarchy.is_some() {
             "ch"
+        } else if self.cch.is_some() {
+            "cch"
         } else {
             "bidir"
         }
@@ -160,15 +221,66 @@ impl PathCache {
         self.hierarchy.as_ref()
     }
 
+    /// The shared hierarchy when the backend is [`RouterBackend::Cch`].
+    pub fn customizable(&self) -> Option<&Arc<CustomizableCh>> {
+        self.cch.as_ref()
+    }
+
     /// CH query/bucket counters, when the backend is [`RouterBackend::Ch`].
     pub fn ch_stats(&self) -> Option<ChStats> {
         self.hierarchy.as_ref().map(|h| h.stats())
     }
 
-    /// The underlying road network.
+    /// CCH query/customization counters, when the backend is
+    /// [`RouterBackend::Cch`].
+    pub fn cch_stats(&self) -> Option<CchStats> {
+        self.cch.as_ref().map(|h| h.stats())
+    }
+
+    /// Whether [`PathCache::recustomize`] is supported (every backend
+    /// except plain CH, whose order and weights bake in the metric).
+    pub fn is_recustomizable(&self) -> bool {
+        self.hierarchy.is_none()
+    }
+
+    /// Swaps the metric: all subsequent answers are exact on `graph`
+    /// (same topology as the current graph, different edge costs — e.g.
+    /// from [`mtshare_road::apply_traffic_shifts`]). Re-customizes the
+    /// CCH metric when that backend is active and clears the memo.
+    /// Returns the CCH metric generation, if any.
+    ///
+    /// Answers already handed out were exact on the previous metric;
+    /// in-flight probes in other threads may still read it — callers
+    /// serialize re-customization against dispatch (the simulator does
+    /// this naturally: shifts apply between events).
+    ///
+    /// # Panics
+    /// Panics under the plain-CH backend (gate on
+    /// [`PathCache::is_recustomizable`]) or when `graph` has a different
+    /// vertex count.
+    pub fn recustomize(&self, graph: Arc<RoadNetwork>) -> Option<u64> {
+        assert!(
+            self.is_recustomizable(),
+            "plain-ch backend cannot re-customize; rebuild the hierarchy instead"
+        );
+        assert_eq!(
+            graph.node_count(),
+            self.live.read().node_count(),
+            "re-customization graph must share the topology"
+        );
+        let generation = self.cch.as_ref().map(|h| h.customize(&graph));
+        *self.live.write() = graph;
+        for shard in self.shards.iter() {
+            shard.lock().costs.clear();
+        }
+        generation
+    }
+
+    /// The road network answers are currently exact on (a snapshot: the
+    /// cache may re-customize after this returns).
     #[inline]
-    pub fn graph(&self) -> &Arc<RoadNetwork> {
-        &self.graph
+    pub fn graph(&self) -> Arc<RoadNetwork> {
+        self.live.read().clone()
     }
 
     #[inline]
@@ -197,9 +309,13 @@ impl PathCache {
             return c.is_finite().then_some(c as f64);
         }
         shard.stats.misses += 1;
-        let cost = match shard.ch.as_mut() {
-            Some(q) => q.cost(a, b),
-            None => shard.engine.cost(&self.graph, a, b),
+        let cost = if let Some(q) = shard.ch.as_mut() {
+            q.cost(a, b)
+        } else if let Some(q) = shard.cch.as_mut() {
+            q.cost(a, b)
+        } else {
+            let graph = self.live.read().clone();
+            shard.engine.cost(&graph, a, b)
         };
         shard.costs.insert(key, cost.map_or(f32::INFINITY, |c| c as f32));
         cost
@@ -231,7 +347,10 @@ impl PathCache {
         if missing.is_empty() {
             return 0;
         }
-        let costs = buckets.lock().many_to_one(&missing, target);
+        let costs = match &mut *buckets.lock() {
+            BucketKernel::Ch(b) => b.many_to_one(&missing, target),
+            BucketKernel::Cch(b) => b.many_to_one(&missing, target),
+        };
         for (&s, c) in missing.iter().zip(&costs) {
             let mut shard = self.shard(s).lock();
             if let Entry::Vacant(slot) = shard.costs.entry(Self::key(s, target)) {
@@ -244,8 +363,9 @@ impl PathCache {
 
     /// Shortest path from `a` to `b` (computed fresh; its cost is memoized).
     pub fn path(&self, a: NodeId, b: NodeId) -> Option<Path> {
+        let graph = self.live.read().clone();
         let mut shard = self.shard(a).lock();
-        let p = shard.engine.path(&self.graph, a, b)?;
+        let p = shard.engine.path(&graph, a, b)?;
         let key = Self::key(a, b);
         shard.costs.entry(key).or_insert(p.cost_s as f32);
         Some(p)
@@ -447,6 +567,65 @@ mod tests {
         assert!(cached.ch_stats().unwrap().p2p_queries > 0);
         // Paths still come from the canonical bidirectional engine.
         assert_eq!(cached.path(NodeId(1), NodeId(398)), bidir.path(NodeId(1), NodeId(398)));
+    }
+
+    #[test]
+    fn cch_backend_matches_bidir_and_recustomizes() {
+        use mtshare_road::{apply_traffic_shifts, TrafficShiftSpec};
+        let g = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let cch = Arc::new(crate::cch::CustomizableCh::build(&g));
+        let cached = PathCache::with_backend(g.clone(), RouterBackend::Cch(cch));
+        let bidir = PathCache::new(g.clone());
+        assert_eq!(cached.backend_name(), "cch");
+        assert!(cached.customizable().is_some());
+        assert!(cached.is_recustomizable() && bidir.is_recustomizable());
+        assert!(cached.ch_stats().is_none());
+
+        let sources: Vec<NodeId> = (0..24).map(|i| NodeId(i * 13 % 400)).collect();
+        let target = NodeId(397);
+        assert!(cached.prime_many_to_one(&sources, target) > 0);
+        for &s in &sources {
+            assert_eq!(cached.cost(s, target), bidir.cost(s, target), "{s}");
+        }
+        assert_eq!(cached.cost(NodeId(2), NodeId(391)), bidir.cost(NodeId(2), NodeId(391)));
+        assert!(cached.cch_stats().unwrap().p2p_queries > 0);
+
+        // Shift a region; both recustomizable backends agree bit-for-bit
+        // with fresh Dijkstra on the shifted graph — cost, prime, & path.
+        let spec = TrafficShiftSpec {
+            center: NodeId(200),
+            radius_m: 600.0,
+            factor: 2.0,
+            start_s: 0.0,
+            duration_s: 1.0,
+        };
+        let shifted = Arc::new(apply_traffic_shifts(&g, &[spec]).unwrap());
+        assert_eq!(cached.recustomize(shifted.clone()), Some(1));
+        assert_eq!(bidir.recustomize(shifted.clone()), None);
+        assert_eq!(cached.graph().digest(), shifted.digest());
+        let mut d = Dijkstra::new(&shifted);
+        for &s in sources.iter().take(8) {
+            let want = d.cost(&shifted, s, target);
+            assert_eq!(cached.cost(s, target), want, "{s}");
+            assert_eq!(bidir.cost(s, target), want, "{s}");
+        }
+        assert!(cached.prime_many_to_one(&sources, NodeId(11)) > 0);
+        for &s in sources.iter().take(8) {
+            assert_eq!(cached.cost(s, NodeId(11)), d.cost(&shifted, s, NodeId(11)), "{s}");
+        }
+        let p = cached.path(NodeId(0), NodeId(399)).unwrap();
+        assert_eq!(Some(p.cost_s), d.cost(&shifted, NodeId(0), NodeId(399)));
+        assert_eq!(cached.cch_stats().unwrap().customizations, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot re-customize")]
+    fn ch_backend_rejects_recustomize() {
+        let g = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let ch = Arc::new(crate::ch::ContractionHierarchy::build(&g, 1));
+        let cached = PathCache::with_backend(g.clone(), RouterBackend::Ch(ch));
+        assert!(!cached.is_recustomizable());
+        cached.recustomize(g);
     }
 
     #[test]

@@ -9,16 +9,30 @@
 //! On city grids this settles a few hundred vertices where bidirectional
 //! Dijkstra settles tens of thousands.
 //!
-//! # Node ordering
+//! # Node ordering and parallel construction
 //!
-//! Lazy edge-difference ordering: a vertex's key is dominated by the
-//! number of shortcuts its contraction inserts minus the edges it removes,
+//! Edge-difference ordering: a vertex's key is dominated by the number of
+//! shortcuts its contraction inserts minus the edges it removes,
 //! tie-broken by the shortcut/removed quotient, the unpacked hop count of
 //! the needed shortcuts, and the number of already-contracted neighbours
-//! (uniformity). Keys are recomputed lazily on pop; the final order is a
-//! pure function of the graph. The initial key sweep — one witness-search
-//! simulation per vertex, read-only — is parallelized over `mtshare-par`
-//! workers; results are identical at any worker count.
+//! (uniformity); node id breaks exact key ties.
+//!
+//! Construction is **level-synchronous**: each round (a) recomputes keys
+//! of vertices whose neighbourhood changed, (b) selects the deterministic
+//! independent set of *locally minimal* vertices — `v` is selected iff
+//! `(key[v], v)` beats `(key[u], u)` for every uncontracted overlay
+//! neighbour `u` — and (c) simulates all selected contractions against
+//! the frozen overlay. Selection, key recompute, and simulation fan out
+//! over `mtshare-par` workers (read-only, results joined in index order);
+//! contractions are then *applied* sequentially in ascending vertex id,
+//! which also assigns ranks. No two selected vertices are adjacent, so a
+//! simulation never sees a peer's edits: the applied shortcuts — and
+//! therefore the artifact bytes — are identical at any worker count.
+//! Witness searches simulated one round stale can at worst miss a newly
+//! cheaper witness, costing a redundant shortcut, never correctness.
+//! Small tails (≤ `SEQ_TAIL` vertices) contract one-by-one — the exact
+//! same rule with a singleton set — to skip per-round overhead where
+//! parallelism has nothing left to win.
 //!
 //! # Exactness
 //!
@@ -37,7 +51,7 @@
 
 use crate::dijkstra::HeapEntry;
 use crate::path::Path;
-use mtshare_persist::{read_snapshot, write_snapshot, Decoder, Encoder, PersistError};
+use mtshare_persist::{fnv1a_64, read_snapshot, write_snapshot, Decoder, Encoder, PersistError};
 use mtshare_road::{NodeId, RoadNetwork};
 use rustc_hash::FxHashMap;
 use std::cmp::Reverse;
@@ -59,8 +73,14 @@ const WITNESS_SETTLE_LIMIT: usize = 4096;
 /// Inner payload tag of the persisted artifact.
 const ARTIFACT_TAG: &[u8; 4] = b"MTCH";
 
-/// Inner payload version of the persisted artifact.
-const ARTIFACT_VERSION: u32 = 1;
+/// Inner payload version of the persisted artifact. v2 added the metric
+/// generation counter (always 0 for a plain CH, which bakes the metric
+/// into the hierarchy; customizable hierarchies count customizations).
+const ARTIFACT_VERSION: u32 = 2;
+
+/// Below this many remaining vertices, contraction proceeds one vertex
+/// per round: per-round fan-out overhead exceeds the win on tiny tails.
+const SEQ_TAIL: usize = 64;
 
 /// Query counters of a [`ContractionHierarchy`] (profiling only — they are
 /// excluded from determinism comparisons like every other wall-clock or
@@ -286,47 +306,121 @@ fn upsert(adj: &mut Vec<OverlayEdge>, node: u32, w: f32, via: u32, hops: u32) {
 }
 
 impl ContractionHierarchy {
-    /// Preprocesses `graph` into a hierarchy. `workers` parallelizes the
-    /// initial key sweep (the result is identical at any worker count).
+    /// Preprocesses `graph` into a hierarchy using level-synchronous
+    /// parallel contraction over `workers` fork-join workers (see the
+    /// module docs). The node order — and the artifact byte layout — is
+    /// a pure function of the graph, byte-identical at any worker count.
     pub fn build(graph: &RoadNetwork, workers: usize) -> Self {
         let n = graph.node_count();
         let mut builder = Builder::new(graph);
         let original_edges: u64 = builder.fwd.iter().map(|a| a.len() as u64).sum();
 
-        // Initial keys: one independent, read-only simulation per vertex.
         let mut states: Vec<WitnessScratch> =
             (0..workers.max(1)).map(|_| WitnessScratch::default()).collect();
-        let keys = {
+
+        // Initial keys: one independent, read-only simulation per vertex.
+        let mut keys = {
             let b = &builder;
             mtshare_par::par_map_with(&mut states, n, |i, scratch| b.key(i as u32, scratch))
         };
-        let mut heap: BinaryHeap<Reverse<HeapEntry>> =
-            (0..n).map(|i| Reverse(HeapEntry { cost: keys[i], node: NodeId(i as u32) })).collect();
 
-        let mut scratch = WitnessScratch::default();
         let mut rank = vec![0u32; n];
         let mut contracted = vec![false; n];
         let mut next_rank = 0u32;
-        while let Some(Reverse(HeapEntry { node, .. })) = heap.pop() {
-            let v = node.0;
-            if contracted[v as usize] {
-                continue;
-            }
-            // Lazy re-evaluation: the neighbourhood may have changed since
-            // this key was pushed.
-            let fresh = builder.key(v, &mut scratch);
-            if let Some(Reverse(top)) = heap.peek() {
-                let top_key = HeapEntry { cost: fresh, node };
-                if *top < top_key {
-                    heap.push(Reverse(top_key));
-                    continue;
+        let mut remaining: Vec<u32> = (0..n as u32).collect();
+        // Dirty marks: vertices whose key must be refreshed next round.
+        let mut dirty = vec![false; n];
+        let mut marked: Vec<u32> = Vec::new();
+
+        while !remaining.is_empty() {
+            // Select the independent set of locally minimal vertices.
+            // Read-only scan; `remaining` stays sorted ascending, so the
+            // selected set comes out in ascending id order too.
+            let selected: Vec<u32> = if remaining.len() <= SEQ_TAIL {
+                // Tail: one vertex per round (the global minimum) — same
+                // rule, singleton set, no fan-out overhead.
+                let &v = remaining
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        keys[a as usize].total_cmp(&keys[b as usize]).then(a.cmp(&b))
+                    })
+                    .expect("remaining is non-empty");
+                vec![v]
+            } else {
+                let flags = {
+                    let b = &builder;
+                    let keys = &keys;
+                    let rem = &remaining;
+                    mtshare_par::par_map_with(&mut states, rem.len(), |i, _| {
+                        let v = rem[i];
+                        let kv = keys[v as usize];
+                        b.fwd[v as usize].iter().chain(b.bwd[v as usize].iter()).all(|e| {
+                            let ku = keys[e.node as usize];
+                            kv.total_cmp(&ku).then(v.cmp(&e.node)).is_lt()
+                        })
+                    })
+                };
+                remaining.iter().zip(&flags).filter_map(|(&v, &s)| s.then_some(v)).collect()
+            };
+            debug_assert!(!selected.is_empty(), "the global minimum is always selected");
+
+            // Simulate every selected contraction against the frozen
+            // overlay (read-only, parallel). Selected vertices are
+            // pairwise non-adjacent, so no simulation can observe another
+            // selected vertex's edits.
+            let sims: Vec<Vec<Shortcut>> = {
+                let b = &builder;
+                let sel = &selected;
+                mtshare_par::par_map_with(&mut states, sel.len(), |i, scratch| {
+                    b.shortcuts_for(sel[i], scratch).0
+                })
+            };
+
+            // Apply sequentially in ascending vertex id; ranks follow the
+            // application order. Mark the star dirty first: those
+            // vertices lose edges, gain a contracted neighbour, and are
+            // the endpoints of every inserted shortcut.
+            for (&v, shortcuts) in selected.iter().zip(sims) {
+                for e in builder.fwd[v as usize].iter().chain(builder.bwd[v as usize].iter()) {
+                    if !dirty[e.node as usize] {
+                        dirty[e.node as usize] = true;
+                        marked.push(e.node);
+                    }
                 }
+                builder.contract(v, shortcuts);
+                rank[v as usize] = next_rank;
+                contracted[v as usize] = true;
+                next_rank += 1;
             }
-            let (shortcuts, _) = builder.shortcuts_for(v, &mut scratch);
-            builder.contract(v, shortcuts);
-            rank[v as usize] = next_rank;
-            contracted[v as usize] = true;
-            next_rank += 1;
+
+            // Drop the contracted vertices from the remaining set, then
+            // refresh the keys of dirty survivors (read-only, parallel).
+            let mut sel_it = selected.iter().peekable();
+            remaining.retain(|&v| {
+                if sel_it.peek() == Some(&&v) {
+                    sel_it.next();
+                    false
+                } else {
+                    true
+                }
+            });
+            marked.sort_unstable();
+            let refresh: Vec<u32> =
+                marked.iter().copied().filter(|&v| !contracted[v as usize]).collect();
+            let fresh = {
+                let b = &builder;
+                let list = &refresh;
+                mtshare_par::par_map_with(&mut states, list.len(), |i, scratch| {
+                    b.key(list[i], scratch)
+                })
+            };
+            for (&v, k) in refresh.iter().zip(fresh) {
+                keys[v as usize] = k;
+            }
+            for &v in &marked {
+                dirty[v as usize] = false;
+            }
+            marked.clear();
         }
 
         // CSR assembly: at contraction time every remaining neighbour of a
@@ -461,13 +555,14 @@ impl ContractionHierarchy {
 
     // ---- persistence ----------------------------------------------------
 
-    /// Serializes the hierarchy into a CRC-framed snapshot at `path`.
-    /// Returns the file size in bytes.
-    pub fn save(&self, path: &std::path::Path) -> Result<u64, PersistError> {
+    /// Canonical artifact payload (v2): tag, version, graph digest,
+    /// metric generation, then every array with an explicit length.
+    fn encode(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         enc.bytes(ARTIFACT_TAG);
         enc.u32(ARTIFACT_VERSION);
         enc.u64(self.graph_digest);
+        enc.u64(0); // metric generation: a plain CH bakes the base metric in
         enc.u32(self.rank.len() as u32);
         for chunk in [&self.rank, &self.up_offsets, &self.up_targets, &self.up_via] {
             enc.u64(chunk.len() as u64);
@@ -490,7 +585,20 @@ impl ContractionHierarchy {
             enc.u32(w.to_bits());
         }
         enc.u64(self.shortcuts);
-        write_snapshot(path, &enc.into_bytes()).map(|stats| stats.bytes)
+        enc.into_bytes()
+    }
+
+    /// FNV-1a digest of the canonical artifact payload. Two hierarchies
+    /// with equal digests are byte-identical on disk — the property the
+    /// any-worker-count determinism suite asserts.
+    pub fn artifact_digest(&self) -> u64 {
+        fnv1a_64(&self.encode())
+    }
+
+    /// Serializes the hierarchy into a CRC-framed snapshot at `path`.
+    /// Returns the file size in bytes.
+    pub fn save(&self, path: &std::path::Path) -> Result<u64, PersistError> {
+        write_snapshot(path, &self.encode()).map(|stats| stats.bytes)
     }
 
     /// Loads a hierarchy from `path`, validating the CRC frame and that it
@@ -517,6 +625,14 @@ impl ContractionHierarchy {
                 "{}: built for graph {digest:#018x}, current graph is {:#018x}",
                 path.display(),
                 graph.digest()
+            )));
+        }
+        let generation = dec.u64()?;
+        if generation != 0 {
+            return Err(PersistError::Mismatch(format!(
+                "{}: customized artifact (metric generation {generation}), a plain CH \
+                 artifact must be generation 0",
+                path.display()
             )));
         }
         let n = dec.u32()? as usize;
@@ -567,20 +683,25 @@ impl ContractionHierarchy {
         })
     }
 
-    /// Loads the artifact at `path` if it is valid for `graph`, otherwise
-    /// rebuilds from scratch and (best-effort) rewrites the artifact.
+    /// Loads the artifact at `path` if it is valid for `graph`; a missing,
+    /// corrupt, or wrong-graph artifact triggers a rebuild from scratch
+    /// and a (best-effort) rewrite. A *version* mismatch is different: the
+    /// file is a healthy artifact from an incompatible build, so silently
+    /// clobbering it would be destructive — it propagates as
+    /// [`PersistError::UnsupportedVersion`] for the caller to surface.
     /// Returns the hierarchy and whether it was rebuilt.
     pub fn load_or_build(
         path: &std::path::Path,
         graph: &RoadNetwork,
         workers: usize,
-    ) -> (Self, bool) {
+    ) -> Result<(Self, bool), PersistError> {
         match Self::load(path, graph) {
-            Ok(ch) => (ch, false),
+            Ok(ch) => Ok((ch, false)),
+            Err(e @ PersistError::UnsupportedVersion { .. }) => Err(e),
             Err(_) => {
                 let ch = Self::build(graph, workers);
                 let _ = ch.save(path);
-                (ch, true)
+                Ok((ch, true))
             }
         }
     }
@@ -1008,6 +1129,9 @@ mod tests {
         assert_eq!(a.up_targets, b.up_targets);
         assert_eq!(a.down_sources, b.down_sources);
         assert_eq!(a.shortcut_count(), b.shortcut_count());
+        // The full byte-identity contract: equal artifact digests.
+        assert_eq!(a.artifact_digest(), b.artifact_digest());
+        assert_eq!(a.artifact_digest(), ContractionHierarchy::build(&g, 2).artifact_digest());
     }
 
     #[test]
@@ -1120,11 +1244,11 @@ mod tests {
             ContractionHierarchy::load(&path, &other),
             Err(PersistError::Mismatch(_))
         ));
-        let (rebuilt, was_rebuilt) = ContractionHierarchy::load_or_build(&path, &other, 2);
+        let (rebuilt, was_rebuilt) = ContractionHierarchy::load_or_build(&path, &other, 2).unwrap();
         assert!(was_rebuilt);
         assert_eq!(rebuilt.graph_digest(), other.digest());
         // The rewritten artifact now loads for the new graph.
-        let (_, rebuilt_again) = ContractionHierarchy::load_or_build(&path, &other, 2);
+        let (_, rebuilt_again) = ContractionHierarchy::load_or_build(&path, &other, 2).unwrap();
         assert!(!rebuilt_again);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1140,9 +1264,41 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(matches!(ContractionHierarchy::load(&path, &g), Err(PersistError::Corrupt(_))));
-        let (ch, rebuilt) = ContractionHierarchy::load_or_build(&path, &g, 1);
+        let (ch, rebuilt) = ContractionHierarchy::load_or_build(&path, &g, 1).unwrap();
         assert!(rebuilt);
         assert_eq!(ch.graph_digest(), g.digest());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatched_artifact_is_rejected_not_clobbered() {
+        let dir = std::env::temp_dir().join(format!("mtshare-ch-ver-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ch.mtsnap");
+        let g = tiny();
+
+        // A healthy frame from a *previous* format version: correct tag,
+        // matching graph digest, but version 1. The loader must fail with
+        // the typed version error — not a decode panic — and
+        // load_or_build must refuse to overwrite the file.
+        let mut enc = Encoder::new();
+        enc.bytes(ARTIFACT_TAG);
+        enc.u32(1);
+        enc.u64(g.digest());
+        enc.u32(g.node_count() as u32);
+        write_snapshot(&path, &enc.into_bytes()).unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        assert!(matches!(
+            ContractionHierarchy::load(&path, &g),
+            Err(PersistError::UnsupportedVersion { found: 1, expected: ARTIFACT_VERSION })
+        ));
+        assert!(matches!(
+            ContractionHierarchy::load_or_build(&path, &g, 1),
+            Err(PersistError::UnsupportedVersion { .. })
+        ));
+        assert_eq!(std::fs::read(&path).unwrap(), before, "stale artifact must stay intact");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

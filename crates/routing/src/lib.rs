@@ -25,20 +25,24 @@ pub mod alt;
 pub mod astar;
 pub mod bidirectional;
 pub mod cache;
+pub mod cch;
 pub mod ch;
 pub mod dijkstra;
 pub mod masked;
 pub mod matrix;
 pub mod oracle;
+pub mod order;
 pub mod path;
 
 pub use alt::Alt;
 pub use astar::AStar;
 pub use bidirectional::BidirDijkstra;
 pub use cache::{CacheStats, PathCache, RouterBackend};
+pub use cch::{CchBuckets, CchMetric, CchQuery, CchStats, CustomizableCh};
 pub use ch::{ChBuckets, ChQuery, ChStats, ContractionHierarchy};
 pub use dijkstra::{bellman_ford_cost, Dijkstra};
 pub use masked::{MaskedDijkstra, NodeMask};
 pub use matrix::CostMatrix;
 pub use oracle::{HotNodeOracle, OracleStats, PinnedReader};
+pub use order::NodeOrder;
 pub use path::Path;

@@ -112,6 +112,37 @@ impl HotNodeOracle {
         &self.graph
     }
 
+    /// Points the oracle at a re-weighted copy of its road network (same
+    /// topology, e.g. from [`mtshare_road::apply_traffic_shifts`]): the
+    /// point memo is dropped and every pinned vector is recomputed
+    /// eagerly, in ascending node-id order, so answers are exact on the
+    /// new metric and deterministic regardless of pin history. Refcounts
+    /// survive — active requests keep their O(1) fast path.
+    ///
+    /// Takes `&mut self` so re-targeting is exclusive by construction;
+    /// the simulator owns its oracle and re-customizes between events.
+    pub fn retarget(&mut self, graph: Arc<RoadNetwork>) {
+        assert_eq!(
+            graph.node_count(),
+            self.graph.node_count(),
+            "re-target graph must share the topology"
+        );
+        self.graph = graph;
+        for shard in self.memo.iter() {
+            shard.lock().memo.clear();
+        }
+        let mut pinned = self.pinned.write();
+        let mut nodes: Vec<u32> = pinned.keys().copied().collect();
+        nodes.sort_unstable();
+        let mut engine = self.pin_engine.lock();
+        for v in nodes {
+            let e = pinned.get_mut(&v).expect("key collected above");
+            engine.one_to_all(&self.graph, NodeId(v), &mut e.fwd);
+            engine.all_to_one(&self.graph, NodeId(v), &mut e.bwd);
+            self.stats.pin_computes.fetch_add(2, Relaxed);
+        }
+    }
+
     /// Pins `node`, computing its forward + backward distance vectors if
     /// not already resident. Pins are reference-counted.
     pub fn pin(&self, node: NodeId) {
@@ -326,8 +357,7 @@ mod tests {
         let o = oracle();
         o.pin(NodeId(0));
         o.pin(NodeId(399));
-        let pairs =
-            [(NodeId(5), NodeId(5)), (NodeId(17), NodeId(399)), (NodeId(0), NodeId(250))];
+        let pairs = [(NodeId(5), NodeId(5)), (NodeId(17), NodeId(399)), (NodeId(0), NodeId(250))];
         for (a, b) in pairs {
             let want = o.cost(a, b);
             let got = o.batch(|r| r.pinned_cost(a, b)).expect("either endpoint pinned or a == b");
@@ -337,6 +367,36 @@ mod tests {
         assert!(o.batch(|r| r.pinned_cost(NodeId(40), NodeId(41))).is_none());
         // Hits were folded into the shared stats exactly once per answer.
         assert_eq!(o.stats().vector_hits, 2 * 2); // (17,399) and (0,250), via cost + batch
+    }
+
+    #[test]
+    fn retarget_recomputes_pins_and_drops_the_memo() {
+        use mtshare_road::{apply_traffic_shifts, TrafficShiftSpec};
+        let g = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let mut o = HotNodeOracle::new(g.clone());
+        o.pin(NodeId(399));
+        let _ = o.cost(NodeId(40), NodeId(41)); // memoized search
+        let before = o.cost(NodeId(0), NodeId(399)).unwrap();
+
+        let spec = TrafficShiftSpec {
+            center: NodeId(0),
+            radius_m: 800.0,
+            factor: 3.0,
+            start_s: 0.0,
+            duration_s: 1.0,
+        };
+        let shifted = Arc::new(apply_traffic_shifts(&g, &[spec]).unwrap());
+        o.retarget(shifted.clone());
+        assert_eq!(o.graph().digest(), shifted.digest());
+        assert_eq!(o.pinned_count(), 1);
+
+        // Pinned fast path and memo/search path both answer on the new
+        // metric, bit-identical to a fresh oracle over the shifted graph.
+        let fresh = HotNodeOracle::new(shifted);
+        let after = o.cost(NodeId(0), NodeId(399)).unwrap();
+        assert!(after > before, "slowdown region must lengthen the trip");
+        assert_eq!(Some(after), fresh.cost(NodeId(0), NodeId(399)));
+        assert_eq!(o.cost(NodeId(40), NodeId(41)), fresh.cost(NodeId(40), NodeId(41)));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use mtshare_model::{
     TimedRoute, World,
 };
 use mtshare_obs::{Event, ExternalStats, Obs, RejectReason, RunInfo, Stage};
-use mtshare_road::{NodeId, RoadNetwork, SpatialGrid, TrafficShiftSpec};
+use mtshare_road::{apply_traffic_shifts, NodeId, RoadNetwork, SpatialGrid, TrafficShiftSpec};
 use mtshare_routing::{HotNodeOracle, Path, PathCache};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::cmp::Reverse;
@@ -233,6 +233,13 @@ pub struct Simulator {
     // --- disruption machinery ---
     /// The seeded disruption schedule (empty without chaos).
     plan: DisruptionPlan,
+    /// Plan indices of the traffic shifts the routing metric currently
+    /// reflects (sorted). Only non-empty under a re-customizable router
+    /// (`--router cch`): [`Simulator::sync_metric`] keeps it equal to
+    /// the set active at the processed work unit's time. Not persisted —
+    /// it is a pure function of the plan and the clock, so a resumed run
+    /// re-derives it at its first work unit.
+    metric_shifts: Vec<usize>,
     /// Per-request terminal-state flag: true once served or rejected.
     /// Guards double accounting across cancels, retries and expiry.
     resolved: Vec<bool>,
@@ -320,6 +327,7 @@ impl Simulator {
             watched_nodes: FxHashMap::default(),
             spatial,
             plan,
+            metric_shifts: Vec::new(),
             resolved: vec![false; n_requests],
             cancelled_pre_release: FxHashSet::default(),
             window: Vec::new(),
@@ -464,6 +472,7 @@ impl Simulator {
         if t_ev <= t_req.min(self.watermark) {
             let Reverse(q) = self.heap.pop().expect("peeked");
             self.clock = self.clock.max(q.time);
+            self.sync_metric(q.time);
             let kind = if q.ev == Ev::Validate {
                 // Handled here rather than in `process_event`: the
                 // re-arm decision needs to know whether any work
@@ -489,11 +498,19 @@ impl Simulator {
             // so this arrival is safe to process ahead of any event past
             // the gate.
             self.clock = self.clock.max(t_req);
+            self.sync_metric(t_req);
             // In batch mode arrivals only enter the window buffer, so
             // there is nothing to speculate on; `parallelism` fans out
             // window *scoring* inside the flush instead.
             if self.cfg.parallelism > 1 && self.cfg.batch.is_none() {
-                let batch = self.gather_batch(self.next_arrival, t_ev);
+                // A traffic-shift boundary (start *or* end) changes the
+                // routing metric between arrivals; cut the speculative
+                // run there so batch scoring never spans a metric the
+                // sequential path would not have used. Shift starts are
+                // heap events (already a cut via `t_ev`); shift *ends*
+                // are not, hence the explicit boundary.
+                let cut = t_ev.min(self.next_metric_boundary(t_req));
+                let batch = self.gather_batch(self.next_arrival, cut);
                 if batch.len() >= 2 {
                     return if self.process_batch(&batch, scheme) {
                         self.stop_outcome()
@@ -553,6 +570,72 @@ impl Simulator {
             batch.push(id);
         }
         batch
+    }
+
+    /// Re-customizes the routing metric to the traffic shifts active at
+    /// `t` when the router supports it (`--router cch`). Without a
+    /// re-customizable backend this is a no-op and traffic shifts keep
+    /// their stretch-only treatment, so existing `--router bidir|ch`
+    /// traces are unchanged. Runs before the work unit at `t` is
+    /// processed, so a shift-start disruption repairs routes against the
+    /// already-shifted metric and the first work unit past a shift's end
+    /// sees the restored one.
+    fn sync_metric(&mut self, t: Time) {
+        if self.cache.customizable().is_none() {
+            return;
+        }
+        let active: Vec<usize> = self
+            .plan
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| match e.disruption {
+                Disruption::TrafficShift(spec) => spec.active_at(t),
+                _ => false,
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if active == self.metric_shifts {
+            return;
+        }
+        let _span = self.obs.stage(Stage::Customize);
+        let shifted = if active.is_empty() {
+            self.graph.clone()
+        } else {
+            let specs: Vec<TrafficShiftSpec> = active
+                .iter()
+                .map(|&i| match self.plan.events[i].disruption {
+                    Disruption::TrafficShift(spec) => spec,
+                    _ => unreachable!("filtered to traffic shifts above"),
+                })
+                .collect();
+            let g = apply_traffic_shifts(&self.graph, &specs)
+                .expect("traffic shift preserves graph validity");
+            Arc::new(g)
+        };
+        self.cache.recustomize(shifted.clone());
+        self.oracle.retarget(shifted);
+        self.metric_shifts = active;
+    }
+
+    /// The earliest traffic-shift start or end strictly after `t`, or
+    /// +∞ when none remain or the router is not re-customizable. Used
+    /// to cut speculative arrival batches at metric changes.
+    fn next_metric_boundary(&self, t: Time) -> Time {
+        if self.cache.customizable().is_none() {
+            return f64::INFINITY;
+        }
+        let mut next = f64::INFINITY;
+        for e in &self.plan.events {
+            if let Disruption::TrafficShift(spec) = e.disruption {
+                for b in [spec.start_s, spec.end_s()] {
+                    if b > t && b < next {
+                        next = b;
+                    }
+                }
+            }
+        }
+        next
     }
 
     // --- streaming ingestion (service mode; see `crate::engine`) ---
@@ -1756,6 +1839,9 @@ impl Simulator {
             let ch = self.cache.ch_stats().unwrap_or_default();
             let ch_shortcuts =
                 self.cache.hierarchy().map(|h| h.shortcut_count()).unwrap_or_default();
+            let cch = self.cache.cch_stats().unwrap_or_default();
+            let cch_fill_arcs =
+                self.cache.customizable().map(|h| h.fill_arc_count()).unwrap_or_default();
             let es = scheme.scheduler_stats();
             self.obs.set_external_stats(ExternalStats {
                 cache_hits: cs.hits,
@@ -1770,6 +1856,11 @@ impl Simulator {
                 ch_bucket_sweeps: ch.bucket_sweeps,
                 ch_bucket_sources: ch.bucket_sources,
                 ch_shortcuts,
+                cch_p2p_queries: cch.p2p_queries,
+                cch_bucket_sweeps: cch.bucket_sweeps,
+                cch_bucket_sources: cch.bucket_sources,
+                cch_customizations: cch.customizations,
+                cch_fill_arcs,
                 dtree_scores: es.scores,
                 dtree_rebuilds: es.rebuilds,
                 dtree_advances: es.advances,
@@ -1809,7 +1900,8 @@ impl Simulator {
             index_memory_bytes: scheme.index_memory_bytes(),
             shared_memory_bytes: self.oracle.memory_bytes()
                 + self.cache.memory_bytes()
-                + self.cache.hierarchy().map(|h| h.memory_bytes()).unwrap_or(0),
+                + self.cache.hierarchy().map(|h| h.memory_bytes()).unwrap_or(0)
+                + self.cache.customizable().map(|h| h.memory_bytes()).unwrap_or(0),
             wall_clock_s,
             served_records: self.served_records,
         }
@@ -1993,6 +2085,73 @@ mod tests {
             .run(scheme.as_mut());
         let trace = buf.lock().unwrap().clone();
         (report, trace)
+    }
+
+    #[test]
+    fn cch_backend_recustomizes_and_stays_deterministic_across_parallelism() {
+        use mtshare_routing::{CustomizableCh, RouterBackend};
+        let graph = Arc::new(grid_city(&GridCityConfig::tiny()).unwrap());
+        let base = PathCache::new(graph.clone());
+        let direct_a = base.cost(NodeId(0), NodeId(399)).unwrap();
+        let direct_b = base.cost(NodeId(19), NodeId(380)).unwrap();
+        // A city-wide 3× slowdown opens at t=5 and closes at t=100.25,
+        // *between* the two arrivals: the first must be scored on the
+        // shifted metric, the second on the restored base one. The close
+        // is not a heap event, so the speculative batch at parallelism>1
+        // must be cut at the metric boundary to match the sequential run.
+        let spec = TrafficShiftSpec {
+            center: NodeId(210),
+            radius_m: 1e7,
+            factor: 3.0,
+            start_s: 5.0,
+            duration_s: 95.25,
+        };
+        let plan = DisruptionPlan { events: vec![at(5.0, Disruption::TrafficShift(spec))] };
+        let run = |parallelism: usize| {
+            let cch = Arc::new(CustomizableCh::build(&graph));
+            let cache = PathCache::with_backend(graph.clone(), RouterBackend::Cch(cch.clone()));
+            let scenario = Scenario {
+                config: ScenarioConfig::peak(2),
+                historical: Vec::new(),
+                requests: vec![
+                    chaos_request(0, (0, 399), 100.0, direct_a, 100.0 + direct_a * 8.0),
+                    chaos_request(1, (19, 380), 100.5, direct_b, 100.5 + direct_b * 8.0),
+                ],
+                taxis: vec![
+                    Taxi::new(TaxiId(0), 4, NodeId(0)),
+                    Taxi::new(TaxiId(1), 4, NodeId(19)),
+                ],
+            };
+            let mut scheme = SchemeKind::NoSharing.build(&graph, 2, None, None);
+            let obs = Obs::enabled();
+            let (sink, buf) = MemorySink::new();
+            obs.add_sink(Box::new(sink));
+            let cfg = SimConfig { parallelism, ..SimConfig::default() };
+            let mut report = Simulator::new(graph.clone(), cache, &scenario, cfg)
+                .with_obs(obs.clone())
+                .with_disruptions(plan.clone())
+                .run(scheme.as_mut());
+            // Wall-clock fields are nondeterministic; blank them so the
+            // report comparison covers only simulation outcomes.
+            report.wall_clock_s = 0.0;
+            report.avg_response_ms = 0.0;
+            report.p95_response_ms = 0.0;
+            let trace = buf.lock().unwrap().clone();
+            (report, trace, cch)
+        };
+        let (r1, t1, cch1) = run(1);
+        let (r4, t4, cch4) = run(4);
+        assert_eq!((r1.served, r1.rejected, r1.invariant_violations), (2, 0, 0), "{t1}");
+        // Base build + shift open + shift close (restore) = 3 customizations,
+        // ending on metric generation 2 — identically at any parallelism.
+        for cch in [&cch1, &cch4] {
+            assert_eq!(cch.stats().customizations, 3);
+            assert_eq!(cch.generation(), 2);
+        }
+        assert_eq!(format!("{r1:?}"), format!("{r4:?}"));
+        let evs =
+            |t: &str| t.lines().filter(|l| l.contains(r#""ev":"#)).collect::<Vec<_>>().join("\n");
+        assert_eq!(evs(&t1), evs(&t4));
     }
 
     #[test]

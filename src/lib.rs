@@ -36,6 +36,7 @@ pub use mtshare_mobility as mobility;
 pub use mtshare_model as model;
 pub use mtshare_obs as obs;
 pub use mtshare_par as par;
+pub use mtshare_persist as persist;
 pub use mtshare_road as road;
 pub use mtshare_routing as routing;
 pub use mtshare_serve as serve;

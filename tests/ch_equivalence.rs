@@ -102,7 +102,7 @@ fn artifact_round_trips_and_stale_or_corrupt_copies_are_rebuilt() {
     assert_ne!(graph.digest(), other.digest(), "seed must change the digest");
     assert!(ContractionHierarchy::load(&file, &other).is_err());
     // ...and load_or_build falls back to a correct rebuild.
-    let (rebuilt, was_rebuilt) = ContractionHierarchy::load_or_build(&file, &other, 2);
+    let (rebuilt, was_rebuilt) = ContractionHierarchy::load_or_build(&file, &other, 2).unwrap();
     assert!(was_rebuilt);
     assert_eq!(rebuilt.graph_digest(), other.digest());
 
@@ -110,9 +110,55 @@ fn artifact_round_trips_and_stale_or_corrupt_copies_are_rebuilt() {
     let bytes = std::fs::read(&file).unwrap();
     std::fs::write(&file, &bytes[..bytes.len() / 2]).unwrap();
     assert!(ContractionHierarchy::load(&file, &other).is_err());
-    let (recovered, was_rebuilt) = ContractionHierarchy::load_or_build(&file, &other, 2);
+    let (recovered, was_rebuilt) = ContractionHierarchy::load_or_build(&file, &other, 2).unwrap();
     assert!(was_rebuilt);
     assert_eq!(recovered.graph_digest(), other.digest());
+}
+
+/// A healthy artifact from an *incompatible format version* is the one
+/// corruption mode that must never trigger the silent rebuild-and-clobber
+/// path: the CLI refuses it with a clear message and exit code 2, and the
+/// file is left byte-for-byte intact.
+#[test]
+fn version_mismatched_artifact_exits_2_and_is_left_intact() {
+    use mt_share::persist::{write_snapshot, Encoder};
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("artifact-version");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (router, tag) in [("ch", b"MTCH"), ("cch", b"MTCC")] {
+        let file = dir.join(format!("{router}.mtsnap"));
+        let mut enc = Encoder::new();
+        enc.bytes(tag);
+        enc.u32(1); // a format version this build does not read
+        enc.u64(0);
+        write_snapshot(&file, &enc.into_bytes()).unwrap();
+        let before = std::fs::read(&file).unwrap();
+
+        let out = Command::new(env!("CARGO_BIN_EXE_mtshare"))
+            .args([
+                "simulate",
+                "--scheme",
+                "no-sharing",
+                "--rows",
+                "8",
+                "--cols",
+                "8",
+                "--taxis",
+                "2",
+                "--requests",
+                "5",
+                "--router",
+                router,
+                "--ch-artifact",
+                file.to_str().unwrap(),
+            ])
+            .output()
+            .expect("spawn mtshare");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "router={router}: {err}");
+        assert!(err.contains("version 1"), "router={router}: {err}");
+        assert_eq!(std::fs::read(&file).unwrap(), before, "router={router}: file clobbered");
+    }
 }
 
 fn simulate(dir: &Path, router: &str, parallelism: &str, trace: &str) {
@@ -156,12 +202,16 @@ fn traces_are_byte_identical_across_routers_and_parallelism() {
     std::fs::create_dir_all(&dir).unwrap();
 
     simulate(&dir, "bidir", "1", "bidir-p1.jsonl");
+    simulate(&dir, "dijkstra", "1", "dijkstra-p1.jsonl");
     simulate(&dir, "ch", "1", "ch-p1.jsonl");
     simulate(&dir, "ch", "4", "ch-p4.jsonl");
+    simulate(&dir, "cch", "1", "cch-p1.jsonl");
+    simulate(&dir, "cch", "4", "cch-p4.jsonl");
 
     let reference = std::fs::read(dir.join("bidir-p1.jsonl")).unwrap();
     assert!(!reference.is_empty(), "baseline trace must not be empty");
-    for other in ["ch-p1.jsonl", "ch-p4.jsonl"] {
+    for other in ["dijkstra-p1.jsonl", "ch-p1.jsonl", "ch-p4.jsonl", "cch-p1.jsonl", "cch-p4.jsonl"]
+    {
         let got = std::fs::read(dir.join(other)).unwrap();
         assert!(got == reference, "{other} diverges from the bidir baseline trace");
     }
